@@ -1,0 +1,154 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * alias-method vs binary-search CDF sampling of empirical distributions
+//!   (property generation does one draw per attribute per edge);
+//! * the two-stage edge-list preferential attachment vs the naive
+//!   degree-weighted vertex selection it replaces (the O(1) vs O(V) trade
+//!   PGPBA inherits from Alam et al.);
+//! * hash-set vs sort-dedup `distinct()` strategies (PGSK's shuffle step).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csb_bench::standard_seed_scaled;
+use csb_core::kronecker::{generate_edges, kronfit, kronfit_moments, Initiator};
+use csb_core::pgsk::simplify;
+use csb_core::topo::Topology;
+use csb_graph::partition::PartitionStrategy;
+use csb_stats::rng::rng_for;
+use csb_stats::EmpiricalDistribution;
+use rand::Rng;
+
+fn bench_sampling(c: &mut Criterion) {
+    // A distribution with a large, skewed support, like real degree data.
+    let dist = EmpiricalDistribution::from_weighted(
+        (1..=2_000u64).map(|v| (v, 1.0 / v as f64)),
+    );
+    let mut group = c.benchmark_group("sampling_ablation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("alias", |b| {
+        let mut rng = rng_for(1, 0);
+        b.iter(|| (0..10_000).map(|_| dist.sample(&mut rng)).sum::<u64>())
+    });
+    group.bench_function("cdf_binary_search", |b| {
+        let mut rng = rng_for(1, 1);
+        b.iter(|| (0..10_000).map(|_| dist.sample_cdf(&mut rng)).sum::<u64>())
+    });
+    group.finish();
+}
+
+fn bench_attachment(c: &mut Criterion) {
+    let seed = standard_seed_scaled(0.3);
+    let src: Vec<u32> = seed.graph.edge_sources().iter().map(|v| v.0).collect();
+    let dst: Vec<u32> = seed.graph.edge_targets().iter().map(|v| v.0).collect();
+    let n = seed.graph.vertex_count();
+    // Naive preferential attachment: degree-weighted vertex selection by
+    // prefix-sum scan — O(V) per pick.
+    let degrees: Vec<u64> = {
+        let mut d = vec![0u64; n];
+        for &s in &src {
+            d[s as usize] += 1;
+        }
+        for &t in &dst {
+            d[t as usize] += 1;
+        }
+        d
+    };
+    let total_degree: u64 = degrees.iter().sum();
+
+    let mut group = c.benchmark_group("pgpba_attachment_ablation");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("edge_list_two_stage", |b| {
+        let mut rng = rng_for(2, 0);
+        b.iter(|| {
+            (0..1_000)
+                .map(|_| {
+                    let e = rng.gen_range(0..src.len());
+                    if rng.gen::<bool>() {
+                        src[e]
+                    } else {
+                        dst[e]
+                    }
+                })
+                .map(u64::from)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("naive_degree_scan", |b| {
+        let mut rng = rng_for(2, 1);
+        b.iter(|| {
+            (0..1_000)
+                .map(|_| {
+                    let mut target = rng.gen_range(0..total_degree);
+                    let mut pick = 0u32;
+                    for (v, &d) in degrees.iter().enumerate() {
+                        if target < d {
+                            pick = v as u32;
+                            break;
+                        }
+                        target -= d;
+                    }
+                    pick
+                })
+                .map(u64::from)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    let edges = generate_edges(&Initiator::classic(), 16, 200_000, 3);
+    let mut group = c.benchmark_group("pgsk_distinct_ablation");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("hash_set", |b| {
+        b.iter(|| {
+            let set: std::collections::HashSet<(u64, u64)> = edges.iter().copied().collect();
+            set.len()
+        })
+    });
+    group.bench_function("sort_dedup", |b| {
+        b.iter(|| {
+            let mut v = edges.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let seed = standard_seed_scaled(0.3);
+    let g = &seed.graph;
+    let mut group = c.benchmark_group("partition_ablation");
+    group.throughput(Throughput::Elements(g.edge_count() as u64));
+    for (name, strategy) in [
+        ("random_vertex_cut", PartitionStrategy::RandomVertexCut),
+        ("edge_partition_1d", PartitionStrategy::EdgePartition1D),
+        ("edge_partition_2d", PartitionStrategy::EdgePartition2D),
+    ] {
+        group.bench_function(name, |b| b.iter(|| strategy.assign(g, 16)));
+    }
+    group.finish();
+}
+
+fn bench_kronfit(c: &mut Criterion) {
+    let seed = standard_seed_scaled(0.2);
+    let topo = Topology::of_graph(&seed.graph);
+    let simple = simplify(&topo);
+    let n = topo.num_vertices;
+    let mut group = c.benchmark_group("kronfit_ablation");
+    group.sample_size(10);
+    group.bench_function("mle_10_iters", |b| b.iter(|| kronfit(&simple, n, 10, 200, 1)));
+    group.bench_function("moment_matching", |b| b.iter(|| kronfit_moments(&simple, n)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_attachment,
+    bench_distinct,
+    bench_partitioning,
+    bench_kronfit
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the graph analytics kernels the veracity
+//! pipeline depends on (degree extraction, PageRank parallel vs sequential,
+//! connected components, seed analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csb_bench::standard_seed_scaled;
+use csb_core::analysis::SeedAnalysis;
+use csb_core::{pgpba, PgpbaConfig};
+use csb_graph::algo::pagerank::{pagerank, pagerank_sequential, PageRankConfig};
+use csb_graph::algo::{degree_distribution, weakly_connected_components};
+
+fn bench_kernels(c: &mut Criterion) {
+    let seed = standard_seed_scaled(0.2);
+    let g = pgpba(
+        &seed,
+        &PgpbaConfig { desired_size: seed.edge_count() as u64 * 8, fraction: 0.5, seed: 1 },
+    );
+    let edges = g.edge_count() as u64;
+
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(edges));
+    let cfg = PageRankConfig { max_iters: 20, ..PageRankConfig::default() };
+    group.bench_function("pagerank_parallel", |b| b.iter(|| pagerank(&g, &cfg)));
+    group.bench_function("pagerank_sequential", |b| b.iter(|| pagerank_sequential(&g, &cfg)));
+    group.bench_function("degree_distribution", |b| b.iter(|| degree_distribution(&g)));
+    group.bench_function("wcc", |b| b.iter(|| weakly_connected_components(&g)));
+    group.bench_function("seed_analysis", |b| b.iter(|| SeedAnalysis::of(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the benchmark-workload queries themselves
+//! (node / edge / path / sub-graph families) over a synthetic dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csb_bench::standard_seed_scaled;
+use csb_core::{pgpba, PgpbaConfig};
+use csb_stats::rng::rng_for;
+use csb_workloads::queries::{edge, node, path, subgraph};
+use csb_workloads::{replay_flows, GraphIndex};
+use rand::Rng;
+
+fn bench_queries(c: &mut Criterion) {
+    let seed = standard_seed_scaled(0.2);
+    let g = pgpba(
+        &seed,
+        &PgpbaConfig { desired_size: seed.edge_count() as u64 * 8, fraction: 0.3, seed: 1 },
+    );
+    let idx = GraphIndex::build(&g);
+    let mut rng = rng_for(9, 0);
+    let n = g.vertex_count() as u32;
+
+    let mut group = c.benchmark_group("workload_queries");
+    group.bench_function("node_host_profile", |b| {
+        b.iter(|| {
+            let ip = *g.vertex(csb_graph::graph::VertexId(rng.gen_range(0..n)));
+            node::host_profile(&idx, ip)
+        })
+    });
+    group.throughput(Throughput::Elements(g.edge_count() as u64));
+    group.bench_function("edge_flows_to_port", |b| b.iter(|| edge::flows_to_port(&idx, 443)));
+    group.bench_function("edge_heavy_flows", |b| b.iter(|| edge::heavy_flows(&idx, 100_000)));
+    group.bench_function("path_k_hop", |b| {
+        b.iter(|| path::k_hop_reach(&idx, csb_graph::graph::VertexId(rng.gen_range(0..n)), 2))
+    });
+    group.bench_function("subgraph_scan_stars", |b| {
+        b.iter(|| subgraph::scan_star_candidates(&idx, 10))
+    });
+    group.bench_function("subgraph_top_talkers", |b| b.iter(|| subgraph::top_k_talkers(&idx, 10)));
+    group.finish();
+
+    let mut replay_group = c.benchmark_group("replay");
+    replay_group.throughput(Throughput::Elements(g.edge_count() as u64));
+    replay_group.bench_function("graph_to_flow_stream", |b| b.iter(|| replay_flows(&g, 60.0, 2)));
+    replay_group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

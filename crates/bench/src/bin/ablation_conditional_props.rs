@@ -1,0 +1,63 @@
+//! Ablation (design choice from DESIGN.md): conditional attribute sampling
+//! `p(a | IN_BYTES)` vs independent marginal sampling. Conditional sampling
+//! is what keeps generated NetFlow attributes mutually consistent; this
+//! harness quantifies it by comparing cross-attribute correlations of the
+//! seed against both sampling modes.
+
+use csb_bench::{standard_seed, Table};
+use csb_core::analysis::PropertyModel;
+use csb_graph::EdgeProperties;
+use csb_stats::rng::rng_for;
+use csb_stats::summary::pearson;
+
+fn correlations(props: &[EdgeProperties]) -> [(String, f64); 3] {
+    // log1p compresses the heavy tails so Pearson reflects the bulk.
+    let col = |f: &dyn Fn(&EdgeProperties) -> u64| -> Vec<f64> {
+        props.iter().map(|p| (f(p) as f64).ln_1p()).collect()
+    };
+    let in_bytes = col(&|p| p.in_bytes);
+    let in_pkts = col(&|p| p.in_pkts);
+    let duration = col(&|p| p.duration_ms);
+    let out_bytes = col(&|p| p.out_bytes);
+    [
+        ("IN_BYTES ~ IN_PKTS".into(), pearson(&in_bytes, &in_pkts)),
+        ("IN_BYTES ~ DURATION".into(), pearson(&in_bytes, &duration)),
+        ("IN_BYTES ~ OUT_BYTES".into(), pearson(&in_bytes, &out_bytes)),
+    ]
+}
+
+fn main() {
+    let seed = standard_seed();
+    let model = PropertyModel::from_graph(&seed.graph);
+    let n = 50_000;
+
+    let mut rng = rng_for(0xAB1A, 0);
+    let conditional: Vec<EdgeProperties> = (0..n).map(|_| model.sample(&mut rng)).collect();
+    let independent: Vec<EdgeProperties> =
+        (0..n).map(|_| model.sample_independent(&mut rng)).collect();
+
+    println!(
+        "Conditional vs independent attribute sampling ({n} samples from a\n\
+         {}-edge seed model)\n",
+        seed.edge_count()
+    );
+    let seed_corr = correlations(seed.graph.edge_data());
+    let cond_corr = correlations(&conditional);
+    let ind_corr = correlations(&independent);
+
+    let mut t = Table::new(&["correlation (log scale)", "seed", "conditional", "independent"]);
+    for ((s, c), i) in seed_corr.iter().zip(cond_corr.iter()).zip(ind_corr.iter()) {
+        t.row(&[
+            s.0.clone(),
+            format!("{:.3}", s.1),
+            format!("{:.3}", c.1),
+            format!("{:.3}", i.1),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected: conditional sampling tracks the seed's cross-attribute\n\
+         correlations; independent sampling collapses them toward 0 — the\n\
+         reason the paper computes p(a | IN_BYTES) in its preliminary steps."
+    );
+}

@@ -1,0 +1,119 @@
+//! Baseline comparison (extension experiment): score the generic
+//! random-graph models the paper's Section II surveys — Erdős-Rényi,
+//! Watts-Strogatz, classic BA, Chung-Lu, SBM, R-MAT, BTER — against the
+//! seed-driven PGPBA/PGSK on the paper's degree-veracity metric, at matched
+//! sizes. Seed-driven generation should win: the baselines match at most
+//! coarse statistics (density, a prescribed degree sequence), not the seed's
+//! actual distribution shape.
+
+use csb_bench::{eng, sci, standard_seed, Table};
+use csb_core::{pgpba, pgsk, PgpbaConfig, PgskConfig};
+use csb_models::rmat::RmatParams;
+use csb_models::{barabasi_albert, bter, chung_lu, gnm, rmat, sbm, watts_strogatz, ModelGraph};
+use csb_stats::veracity::{average_euclidean_distance, ks_distance, NormalizedDistribution};
+
+fn score(seed_degrees: &NormalizedDistribution, degrees: &[u64]) -> f64 {
+    average_euclidean_distance(seed_degrees, &NormalizedDistribution::from_u64(degrees))
+}
+
+/// Size-independent shape comparison: two-sample KS on the degree samples.
+fn ks(seed_degrees: &[u64], degrees: &[u64]) -> f64 {
+    let a: Vec<f64> = seed_degrees.iter().map(|&d| d as f64).collect();
+    let b: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    ks_distance(&a, &b)
+}
+
+fn main() {
+    let seed = standard_seed();
+    let seed_graph = &seed.graph;
+    let seed_degrees: Vec<u64> = seed_graph
+        .in_degrees()
+        .iter()
+        .zip(seed_graph.out_degrees().iter())
+        .map(|(a, b)| a + b)
+        .collect();
+    let seed_dist = NormalizedDistribution::from_u64(&seed_degrees);
+
+    // Matched scale: ~8x the seed.
+    let mult = 8u64;
+    let n = seed_graph.vertex_count() as u32 * mult as u32;
+    let m = seed_graph.edge_count() * mult as usize;
+    let avg_out = (m as f64 / n as f64).round().max(1.0) as u32;
+    println!(
+        "Baseline comparison at matched scale (target ~{} vertices, ~{} edges)\n",
+        eng(n as f64),
+        eng(m as f64)
+    );
+
+    let mut t = Table::new(&["model", "vertices", "edges", "degree veracity", "degree KS"]);
+    let mut add = |name: &str, g: &ModelGraph| {
+        let degrees = g.total_degrees();
+        t.row(&[
+            name.to_string(),
+            eng(g.num_vertices as f64),
+            eng(g.edge_count() as f64),
+            sci(score(&seed_dist, &degrees)),
+            format!("{:.3}", ks(&seed_degrees, &degrees)),
+        ]);
+    };
+
+    add("Erdos-Renyi G(n,m)", &gnm(n, m, 1));
+    add("Watts-Strogatz", &watts_strogatz(n, avg_out.max(1), 0.1, 2));
+    add("classic BA", &barabasi_albert(n, avg_out.max(1), 3));
+    // Chung-Lu and BTER get the seed's degree sequence replicated, the best
+    // a sequence-driven model can be given.
+    let mut replicated: Vec<u64> = Vec::with_capacity(seed_degrees.len() * mult as usize);
+    for _ in 0..mult {
+        replicated.extend_from_slice(&seed_degrees);
+    }
+    let weights: Vec<f64> = replicated.iter().map(|&d| d as f64).collect();
+    add("Chung-Lu (seed degrees)", &chung_lu(&weights, 4));
+    add(
+        "BTER (seed degrees)",
+        &bter(&replicated, csb_models::bter::BterParams::default(), 5),
+    );
+    let half = n / 2;
+    add(
+        "SBM (2 blocks)",
+        &sbm(
+            &[half, n - half],
+            &[vec![1.5 * m as f64 / (n as f64 * n as f64), 0.5 * m as f64 / (n as f64 * n as f64)],
+                vec![0.5 * m as f64 / (n as f64 * n as f64), 1.5 * m as f64 / (n as f64 * n as f64)]],
+            6,
+        ),
+    );
+    let scale = (n as f64).log2().ceil() as u32;
+    add("R-MAT (graph500)", &rmat(scale, m, RmatParams::graph500(), 7));
+
+    // The seed-driven generators.
+    let ba = pgpba(&seed, &PgpbaConfig { desired_size: m as u64, fraction: 0.1, seed: 8 });
+    let ba_deg: Vec<u64> =
+        ba.in_degrees().iter().zip(ba.out_degrees().iter()).map(|(a, b)| a + b).collect();
+    t.row(&[
+        "PGPBA (this paper)".into(),
+        eng(ba.vertex_count() as f64),
+        eng(ba.edge_count() as f64),
+        sci(score(&seed_dist, &ba_deg)),
+        format!("{:.3}", ks(&seed_degrees, &ba_deg)),
+    ]);
+    let sk = pgsk(&seed, &PgskConfig::new(m as u64));
+    let sk_deg: Vec<u64> =
+        sk.in_degrees().iter().zip(sk.out_degrees().iter()).map(|(a, b)| a + b).collect();
+    t.row(&[
+        "PGSK (this paper)".into(),
+        eng(sk.vertex_count() as f64),
+        eng(sk.edge_count() as f64),
+        sci(score(&seed_dist, &sk_deg)),
+        format!("{:.3}", ks(&seed_degrees, &sk_deg)),
+    ]);
+
+    t.print();
+    println!(
+        "\nExpected: the seed-driven generators (and the sequence-driven\n\
+         Chung-Lu/BTER, which were handed the seed's own degree sequence)\n\
+         match the seed's distribution shape far better than the generic\n\
+         ER/WS/BA/SBM/R-MAT models — most visible on the size-independent KS\n\
+         column — and only PGPBA/PGSK also generate the nine NetFlow edge\n\
+         attributes a property-graph IDS benchmark needs."
+    );
+}

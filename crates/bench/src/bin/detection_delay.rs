@@ -1,0 +1,78 @@
+//! Time-to-detection benchmark (extension experiment): the paper motivates
+//! graph-IDS benchmarking with "threat detection time". This harness injects
+//! SYN floods of varying intensity into benign background traffic, runs the
+//! windowed streaming detector, and reports how long each attack survives
+//! before its first alarm — as a function of attack rate and window length.
+
+use csb_bench::Table;
+use csb_ids::eval::detection_delays;
+use csb_ids::{train_thresholds, StreamingDetector};
+use csb_net::assembler::FlowAssembler;
+use csb_net::packet::ip;
+use csb_net::traffic::attacks::AttackInjector;
+use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+fn main() {
+    // Train on a benign capture.
+    let train = TrafficSim::new(TrafficSimConfig {
+        duration_secs: 40.0,
+        sessions_per_sec: 25.0,
+        seed: 1,
+        ..TrafficSimConfig::default()
+    })
+    .generate();
+    let thresholds = train_thresholds(&FlowAssembler::assemble(&train.packets));
+
+    println!(
+        "Time-to-detection: SYN floods of varying rate, windowed streaming\n\
+         detection over benign background traffic\n"
+    );
+    let mut t = Table::new(&["flood pkts/s", "window s", "detected", "delay s"]);
+    for &pkts_per_sec in &[500usize, 2_000, 10_000] {
+        for &window_secs in &[1u64, 5, 10] {
+            // Fresh background + one flood starting at t = 12 s, 8 s long.
+            let sim = TrafficSim::new(TrafficSimConfig {
+                duration_secs: 40.0,
+                sessions_per_sec: 25.0,
+                seed: 2 + pkts_per_sec as u64,
+                ..TrafficSimConfig::default()
+            });
+            let mut trace = sim.generate();
+            let victim = sim.topology().servers()[0];
+            let mut inj = AttackInjector::new(3);
+            trace.merge(inj.syn_flood(
+                ip(198, 51, 100, 66),
+                victim,
+                80,
+                12_000_000,
+                8_000_000,
+                pkts_per_sec * 8,
+            ));
+            trace.sort();
+
+            let mut det = StreamingDetector::new(thresholds, window_secs * 1_000_000);
+            for p in &trace.packets {
+                det.push(p);
+            }
+            let alarms = det.finish();
+            let delays = detection_delays(&alarms, &trace.labels);
+            let d = &delays[0];
+            t.row(&[
+                pkts_per_sec.to_string(),
+                window_secs.to_string(),
+                d.delay_micros.is_some().to_string(),
+                d.delay_micros
+                    .map(|us| format!("{:.1}", us as f64 / 1e6))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nExpected shape: every flood rate above threshold is caught, and\n\
+         the delay is bounded by the streaming window (attack flows export\n\
+         on the inactive timeout, so delay ~ 2 windows − offset) — the\n\
+         latency/granularity trade a benchmark user tunes with the window\n\
+         parameter, exactly the \"threat detection time\" the paper targets."
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 12: strong-scaling speedup, 10 -> 60 nodes, at the largest sizes
+//! 10 nodes can hold (paper: 9.6B edges PGPBA / 6B edges PGSK). PGPBA is
+//! near the ideal line; PGSK scales linearly but below ideal because of its
+//! per-iteration distinct() shuffles.
+
+use csb_bench::Table;
+use csb_engine::sim::{GenAlgorithm, GenJob};
+use csb_engine::{ClusterConfig, CostModel, SimCluster};
+
+const SEED_EDGES: u64 = 1_940_814;
+const PGPBA_EDGES: u64 = 9_600_000_000;
+const PGSK_EDGES: u64 = 6_000_000_000;
+
+fn main() {
+    println!(
+        "Figure 12: strong-scaling speedup (PGPBA at 9.6B edges, PGSK at 6B)\n"
+    );
+    let model = CostModel::default();
+    let time = |alg, edges, nodes| {
+        SimCluster::new(ClusterConfig::shadow_ii(nodes), model)
+            .simulate(&GenJob { algorithm: alg, edges, seed_edges: SEED_EDGES, with_properties: true })
+            .total_secs
+    };
+    let ba10 = time(GenAlgorithm::Pgpba { fraction: 2.0 }, PGPBA_EDGES, 10);
+    let sk10 = time(GenAlgorithm::Pgsk, PGSK_EDGES, 10);
+
+    let mut t = Table::new(&["nodes", "ideal", "PGPBA speedup", "PGSK speedup"]);
+    for nodes in [10, 20, 30, 40, 50, 60] {
+        let ba = ba10 / time(GenAlgorithm::Pgpba { fraction: 2.0 }, PGPBA_EDGES, nodes);
+        let sk = sk10 / time(GenAlgorithm::Pgsk, PGSK_EDGES, nodes);
+        t.row(&[
+            nodes.to_string(),
+            format!("{:.1}", nodes as f64 / 10.0),
+            format!("{ba:.2}"),
+            format!("{sk:.2}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: PGPBA close to the ideal line; PGSK linear but\n\
+         visibly below PGPBA (paper Fig. 12)."
+    );
+}

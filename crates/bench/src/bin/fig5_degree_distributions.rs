@@ -1,0 +1,65 @@
+//! Figure 5: degree distributions of the seed vs PGPBA and PGSK synthetic
+//! graphs (normalized, log-binned), showing that all three share the same
+//! shape while the larger synthetic graphs shift down-left, and that PGSK
+//! exhibits extra spikes from Kronecker self-similarity.
+
+use csb_bench::{eng, standard_seed, Table};
+use csb_core::{pgpba, pgsk, PgpbaConfig, PgskConfig};
+use csb_graph::NetflowGraph;
+use csb_stats::LogHistogram;
+
+fn total_degrees(g: &NetflowGraph) -> Vec<u64> {
+    g.in_degrees().iter().zip(g.out_degrees().iter()).map(|(a, b)| a + b).collect()
+}
+
+/// Log2-binned normalized-degree series: (normalized degree bin center,
+/// fraction of vertices).
+fn series(g: &NetflowGraph) -> Vec<(f64, f64)> {
+    let degrees = total_degrees(g);
+    let total: u64 = degrees.iter().sum();
+    let mut hist = LogHistogram::base2();
+    for &d in &degrees {
+        hist.record(d as f64);
+    }
+    let n = degrees.len() as f64;
+    hist.bins()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (hist.bin_center(i) / total as f64, c as f64 / n))
+        .collect()
+}
+
+fn main() {
+    let seed = standard_seed();
+    // The paper grows the ~2M-edge seed to ~1.2-1.3B edges (3 orders of
+    // magnitude); we reproduce the ratio at laptop scale.
+    let target = seed.edge_count() as u64 * 100;
+    println!(
+        "Figure 5: degree distribution comparison (seed {} edges; target {} edges)\n",
+        eng(seed.edge_count() as f64),
+        eng(target as f64)
+    );
+
+    let ba = pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 0.1, seed: 5 });
+    let sk = pgsk(&seed, &PgskConfig::new(target));
+
+    for (name, g) in [("seed", &seed.graph), ("PGPBA", &ba), ("PGSK", &sk)] {
+        println!(
+            "{name}: |V| = {}, |E| = {}",
+            eng(g.vertex_count() as f64),
+            eng(g.edge_count() as f64)
+        );
+        let mut t = Table::new(&["normalized degree", "fraction of vertices"]);
+        for (x, y) in series(g) {
+            t.row(&[format!("{x:.3e}"), format!("{y:.4}")]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "Expected shape: all three series share a heavy-tailed profile; the\n\
+         synthetic series sit ~2 orders of magnitude left of the seed due to\n\
+         per-graph normalization (paper Fig. 5 commentary)."
+    );
+}

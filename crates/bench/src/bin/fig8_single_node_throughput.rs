@@ -1,0 +1,38 @@
+//! Figure 8: single-node edge-generation throughput vs
+//! `total-executor-cores` (1..=20). The paper's tuning study found the
+//! maximum at 12 cores with no benefit beyond (memory-bandwidth
+//! saturation); the calibrated cluster model reproduces that plateau.
+
+use csb_bench::{eng, Table};
+use csb_engine::sim::{GenAlgorithm, GenJob};
+use csb_engine::{ClusterConfig, CostModel, SimCluster};
+
+const SEED_EDGES: u64 = 1_940_814;
+
+fn main() {
+    println!("Figure 8: single-node throughput vs executor cores\n");
+    let model = CostModel::default();
+    let edges = 100_000_000;
+    let mut t = Table::new(&["cores", "PGPBA edges/s", "PGSK edges/s"]);
+    for cores in 1..=20 {
+        let sim = SimCluster::new(ClusterConfig::shadow_ii_single_node(cores), model);
+        let ba = sim.simulate(&GenJob {
+            algorithm: GenAlgorithm::Pgpba { fraction: 2.0 },
+            edges,
+            seed_edges: SEED_EDGES,
+            with_properties: true,
+        });
+        let sk = sim.simulate(&GenJob {
+            algorithm: GenAlgorithm::Pgsk,
+            edges,
+            seed_edges: SEED_EDGES,
+            with_properties: true,
+        });
+        t.row(&[cores.to_string(), eng(ba.throughput_eps), eng(sk.throughput_eps)]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: throughput rises with cores and plateaus at 12 of\n\
+         the 20 physical cores for both generators (paper Fig. 8)."
+    );
+}

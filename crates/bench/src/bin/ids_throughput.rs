@@ -1,0 +1,96 @@
+//! Detection-throughput benchmark (extension experiment): the paper's
+//! motivation is that "having a clear idea of the performance, in terms of
+//! threat detection time, and of the scalability of a graph-based IDS is
+//! paramount". This harness uses the suite end-to-end for exactly that:
+//! generate synthetic datasets of growing size with PGPBA, replay them as
+//! time-ordered flow streams, drive the windowed streaming detector, and
+//! measure ingest throughput and wall time — the "time-to-detection"
+//! capability the benchmark exists to quantify.
+
+use csb_bench::{eng, standard_seed, Table};
+use csb_core::{pgpba, PgpbaConfig};
+use csb_ids::{train_thresholds, Thresholds};
+use csb_workloads::replay_flows;
+use std::time::Instant;
+
+/// Drives the per-window detection pipeline over a flow stream, returning
+/// (wall seconds, windows processed, alarms).
+fn drive(
+    flows: &[csb_net::FlowRecord],
+    thresholds: &Thresholds,
+    window_micros: u64,
+) -> (f64, u64, usize) {
+    // The streaming detector consumes packets; flows replayed from a graph
+    // are already assembled, so window + detect directly per window.
+    let start = Instant::now();
+    let mut alarms = 0usize;
+    let mut windows = 0u64;
+    let mut current: Vec<csb_net::FlowRecord> = Vec::new();
+    let mut window_idx = 0u64;
+    for f in flows {
+        let w = f.first_ts_micros / window_micros;
+        if w != window_idx {
+            alarms += csb_ids::detect(&current, thresholds).len();
+            current.clear();
+            windows += 1;
+            window_idx = w;
+        }
+        current.push(*f);
+    }
+    if !current.is_empty() {
+        alarms += csb_ids::detect(&current, thresholds).len();
+        windows += 1;
+    }
+    (start.elapsed().as_secs_f64(), windows, alarms)
+}
+
+fn main() {
+    let seed = standard_seed();
+    // Thresholds trained on the benign seed trace (flows from the seed
+    // graph replayed).
+    let benign = replay_flows(&seed.graph, 60.0, 1);
+    let thresholds = train_thresholds(&benign);
+
+    println!(
+        "Streaming-detection throughput vs synthetic dataset size\n\
+         (5 s tumbling windows; thresholds trained on the seed)\n"
+    );
+    let mut t = Table::new(&["dataset", "flows", "windows", "alarms", "wall s", "flows/s"]);
+    for mult in [1u64, 4, 16, 64] {
+        let g = if mult == 1 {
+            seed.graph.clone()
+        } else {
+            pgpba(
+                &seed,
+                &PgpbaConfig {
+                    desired_size: seed.edge_count() as u64 * mult,
+                    fraction: 0.3,
+                    seed: 31,
+                },
+            )
+        };
+        // Replay over a window proportional to size so flow *rate* is
+        // constant across rows.
+        let duration = 60.0 * mult as f64;
+        let flows = replay_flows(&g, duration, 2);
+        let (wall, windows, alarms) = drive(&flows, &thresholds, 5_000_000);
+        t.row(&[
+            if mult == 1 { "seed".into() } else { format!("PGPBA x{mult}") },
+            eng(flows.len() as f64),
+            windows.to_string(),
+            alarms.to_string(),
+            format!("{wall:.3}"),
+            eng(flows.len() as f64 / wall),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: ingest throughput (flows/s) stays roughly constant\n\
+         as the dataset grows — windowed detection cost is linear in the\n\
+         stream — quantifying the detection-rate capacity of the platform\n\
+         under benchmark. Alarm counts grow with the synthetic size: PGPBA's\n\
+         preferential attachment amplifies hub fan-in beyond thresholds\n\
+         trained on the smaller seed, illustrating the paper's point that\n\
+         thresholds are network-specific and need retraining per dataset."
+    );
+}

@@ -1,0 +1,58 @@
+//! Benchmark-workload demonstration (extension experiment): run the
+//! node/edge/path/sub-graph query mix — the "typical operations executed in
+//! the cyber-security domain" the paper's introduction requires of a
+//! benchmark — against synthetic datasets of growing size, measuring query
+//! latency scaling. This is the end-to-end use the generated data exists
+//! for: quantifying a graph platform's threat-detection query performance.
+
+use csb_bench::{eng, standard_seed, Table};
+use csb_core::{pgpba, PgpbaConfig};
+use csb_workloads::{run_workload, WorkloadSpec};
+
+fn main() {
+    let seed = standard_seed();
+    println!(
+        "Cyber-security query workload vs dataset size (seed {} edges)\n",
+        eng(seed.edge_count() as f64)
+    );
+    let spec = WorkloadSpec::default();
+    let mut t = Table::new(&[
+        "dataset",
+        "edges",
+        "node us",
+        "edge us",
+        "path us",
+        "subgraph us",
+        "total qps",
+    ]);
+
+    let mut datasets = vec![("seed".to_string(), seed.graph.clone())];
+    for mult in [4u64, 16, 64] {
+        let g = pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * mult, fraction: 0.3, seed: 21 },
+        );
+        datasets.push((format!("PGPBA x{mult}"), g));
+    }
+
+    for (name, g) in &datasets {
+        let r = run_workload(g, &spec);
+        let mean = |i: usize| format!("{:.1}", r.families[i].latency_micros.mean());
+        t.row(&[
+            name.clone(),
+            eng(g.edge_count() as f64),
+            mean(0),
+            mean(1),
+            mean(2),
+            mean(3),
+            format!("{:.0}", r.qps()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: node-query latency stays ~flat (indexed lookups),\n\
+         edge scans and sub-graph patterns grow linearly with dataset size,\n\
+         path queries grow with the reachable component — the latency/size\n\
+         curves an IDS platform benchmark exists to measure."
+    );
+}

@@ -1,0 +1,146 @@
+//! # csb-bench
+//!
+//! Shared harness utilities for regenerating the paper's evaluation
+//! (Figures 5-12, Table I, and the Fig. 4 detector evaluation). Each
+//! experiment is a binary (`src/bin/fig*.rs`, `src/bin/table1*.rs`) that
+//! prints the same rows/series the paper plots; `benches/` holds the
+//! Criterion micro-benchmarks and ablations.
+//!
+//! Scale: harnesses run the real generators at laptop scale (the
+//! `CSB_SCALE` environment variable multiplies the default workload) and use
+//! the calibrated simulated cluster for paper-scale cluster axes, as
+//! documented in DESIGN.md.
+
+use csb_core::seed::{seed_from_trace, SeedBundle};
+use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+/// Reads the workload multiplier from `CSB_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("CSB_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Builds the standard seed used across the harnesses: a simulated
+/// enterprise trace standing in for the paper's SMIA 2011 capture.
+/// At scale 1.0 it yields a seed of roughly 4-6 thousand edges.
+pub fn standard_seed() -> SeedBundle {
+    standard_seed_scaled(scale())
+}
+
+/// The standard seed at an explicit scale factor.
+pub fn standard_seed_scaled(scale: f64) -> SeedBundle {
+    let cfg = TrafficSimConfig {
+        duration_secs: 60.0 * scale.max(0.05),
+        sessions_per_sec: 60.0,
+        seed: 0xC5B_5EED,
+        ..TrafficSimConfig::default()
+    };
+    seed_from_trace(&TrafficSim::new(cfg).generate())
+}
+
+/// A plain-text aligned table writer for harness output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Scientific-notation formatting used across the harnesses.
+pub fn sci(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+/// Engineering formatting for large counts.
+pub fn eng(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}B", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_seed_is_reasonable() {
+        let seed = standard_seed_scaled(0.2);
+        assert!(seed.edge_count() > 200, "seed too small: {}", seed.edge_count());
+        assert!(seed.graph.vertex_count() > 50);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("a  bbbb"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(eng(1_500.0), "1.50k");
+        assert_eq!(eng(2_000_000.0), "2.00M");
+        assert_eq!(eng(3_100_000_000.0), "3.10B");
+        assert_eq!(eng(12.0), "12");
+        assert!(sci(0.000123).starts_with("1.230e-4"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal argument parsing: `--key value` flags and positional
+//! subcommands. Hand-rolled so the tool stays dependency-free.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// First positional argument.
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (program name already stripped).
+    pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
+        let mut it = raw.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(ArgError(format!("expected subcommand, got flag {command}")));
+        }
+        let mut options = HashMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(ArgError(format!("expected --flag, got {key}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
+            if options.insert(name.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name).ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let raw = self.require(name)?;
+        raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
+    }
+
+    /// Rejects unknown flags (catches typos).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key} for `{}` (allowed: {})",
+                    self.command,
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&raw(&["generate", "--size", "1000", "--algorithm", "pgpba"]))
+            .expect("parse");
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.get("size"), Some("1000"));
+        assert_eq!(a.require("algorithm").expect("present"), "pgpba");
+        assert_eq!(a.get_or::<u64>("size", 0).expect("typed"), 1000);
+        assert_eq!(a.get_or::<u64>("missing", 7).expect("default"), 7);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(Args::parse(&raw(&["x", "--flag"])).is_err());
+        assert!(Args::parse(&raw(&["x", "--a", "1", "--a", "2"])).is_err());
+        assert!(Args::parse(&raw(&[])).is_err());
+        assert!(Args::parse(&raw(&["--oops", "1"])).is_err());
+        assert!(Args::parse(&raw(&["x", "stray"])).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors() {
+        let a = Args::parse(&raw(&["x", "--n", "abc"])).expect("parse");
+        assert!(a.get_or::<u64>("n", 1).is_err());
+        assert!(a.require_parsed::<u64>("n").is_err());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let a = Args::parse(&raw(&["x", "--sede", "1"])).expect("parse");
+        let err = a.expect_only(&["seed"]).expect_err("typo");
+        assert!(err.0.contains("--sede"));
+        let b = Args::parse(&raw(&["x", "--seed", "1"])).expect("parse");
+        assert!(b.expect_only(&["seed"]).is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! `csb` — the command-line front end of the suite, mirroring the paper's
+//! released benchmarking tool: simulate captures, build seeds, generate
+//! synthetic property-graphs, score veracity, and run the Section IV
+//! detector.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+csb — property-graph synthetic data generation for IDS benchmarking
+
+USAGE:
+    csb <COMMAND> [--flag value ...]
+
+COMMANDS:
+    simulate     Simulate an enterprise capture and write it as PCAP
+                 --out FILE [--duration SECS=60] [--rate SESSIONS/S=50]
+                 [--seed N=1] [--attacks true]
+    seed         Build the seed property-graph from a PCAP capture
+                 --pcap FILE --out FILE [--filter EXPR]
+                 (EXPR is tcpdump-like: \"tcp and dst port 80\", \"not icmp\")
+    generate     Grow a synthetic property-graph from a seed graph
+                 --seed-graph FILE --algorithm pgpba|pgsk --size EDGES
+                 --out FILE [--fraction F=0.1] [--seed N=42]
+    veracity     Score a synthetic graph against its seed
+                 --seed-graph FILE --synthetic FILE
+    detect       Run the NetFlow anomaly detector over a capture
+                 --pcap FILE [--train FILE] [--filter EXPR]
+    workload     Run the node/edge/path/sub-graph query workload on a graph
+                 --graph FILE [--node N] [--edge N] [--path N] [--subgraph N]
+    export       Replay a graph as a NetFlow v5 stream on disk
+                 --graph FILE --out FILE [--duration SECS=60] [--seed N=1]
+    cluster-sim  Project a generation job onto the simulated Shadow II cluster
+                 --algorithm pgpba|pgsk --edges N [--nodes N=60]
+                 [--fraction F=2] [--seed-edges N=1940814]
+
+Run `csb <COMMAND>` with missing flags to see what is required.
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let code = match Args::parse(&raw) {
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            2
+        }
+        Ok(args) => match commands::run(&args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,90 @@
+//! Generator configuration.
+
+/// PGPBA parameters (paper Fig. 2 inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgpbaConfig {
+    /// Target synthetic size, in edges (`desired_size`).
+    pub desired_size: u64,
+    /// New vertices per iteration as a fraction of the current edge count
+    /// (`fraction`; the paper sweeps 0.1-0.9 for veracity and uses 2 for
+    /// performance runs).
+    pub fraction: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl PgpbaConfig {
+    /// A config with the paper's default veracity fraction (0.1).
+    pub fn new(desired_size: u64) -> Self {
+        PgpbaConfig { desired_size, fraction: 0.1, seed: 0xBA }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics if `fraction <= 0` or `desired_size == 0`.
+    pub fn validate(&self) {
+        assert!(self.desired_size > 0, "desired_size must be positive");
+        assert!(
+            self.fraction > 0.0 && self.fraction.is_finite(),
+            "fraction must be positive and finite"
+        );
+    }
+}
+
+/// PGSK parameters (paper Fig. 3 inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgskConfig {
+    /// Target synthetic size, in edges.
+    pub desired_size: u64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// KronFit gradient-ascent iterations.
+    pub kronfit_iterations: usize,
+    /// Permutation-swap samples per gradient step.
+    pub kronfit_permutation_samples: usize,
+}
+
+impl PgskConfig {
+    /// Defaults tuned for laptop-scale fitting.
+    pub fn new(desired_size: u64) -> Self {
+        PgskConfig {
+            desired_size,
+            seed: 0x5C,
+            kronfit_iterations: 40,
+            kronfit_permutation_samples: 2000,
+        }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Panics
+    /// Panics if `desired_size == 0` or no fitting iterations are requested.
+    pub fn validate(&self) {
+        assert!(self.desired_size > 0, "desired_size must be positive");
+        assert!(self.kronfit_iterations > 0, "kronfit needs at least one iteration");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        PgpbaConfig::new(1000).validate();
+        PgskConfig::new(1000).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "desired_size")]
+    fn zero_size_rejected() {
+        PgpbaConfig { desired_size: 0, fraction: 0.1, seed: 0 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_rejected() {
+        PgpbaConfig { desired_size: 10, fraction: 0.0, seed: 0 }.validate();
+    }
+}

@@ -1,0 +1,185 @@
+//! The 2x2 stochastic Kronecker initiator matrix.
+
+/// A 2x2 stochastic initiator: `theta[i][j]` is the probability weight of an
+/// edge landing in quadrant `(i, j)` at each recursion level. The `k`-th
+/// Kronecker power describes a graph on `2^k` vertices with
+/// `(sum theta)^k` expected edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Initiator {
+    /// Entry probabilities in `[0, 1]`.
+    pub theta: [[f64; 2]; 2],
+}
+
+impl Initiator {
+    /// Creates an initiator, validating entries.
+    ///
+    /// # Panics
+    /// Panics if entries are outside `[0, 1]` or all zero.
+    pub fn new(theta: [[f64; 2]; 2]) -> Self {
+        for row in &theta {
+            for &t in row {
+                assert!((0.0..=1.0).contains(&t) && t.is_finite(), "initiator entries in [0,1]");
+            }
+        }
+        let init = Initiator { theta };
+        assert!(init.sum() > 0.0, "initiator must have positive mass");
+        init
+    }
+
+    /// A textbook core-periphery initiator, the usual KronFit starting point.
+    pub fn classic() -> Self {
+        Initiator::new([[0.9, 0.6], [0.6, 0.2]])
+    }
+
+    /// Sum of entries — the expected edge-count multiplier per level.
+    pub fn sum(&self) -> f64 {
+        self.theta[0][0] + self.theta[0][1] + self.theta[1][0] + self.theta[1][1]
+    }
+
+    /// Sum of squared entries (used by the KronFit likelihood approximation).
+    pub fn sum_sq(&self) -> f64 {
+        self.theta.iter().flatten().map(|t| t * t).sum()
+    }
+
+    /// Expected number of edges of the `k`-th Kronecker power.
+    pub fn expected_edges(&self, k: u32) -> f64 {
+        self.sum().powi(k as i32)
+    }
+
+    /// Number of vertices of the `k`-th power.
+    pub fn num_vertices(k: u32) -> u64 {
+        1u64 << k
+    }
+
+    /// Probability of edge `(u, v)` in the `k`-th power: the product over
+    /// recursion levels of the entry selected by the level's bit pair.
+    pub fn edge_probability(&self, u: u64, v: u64, k: u32) -> f64 {
+        debug_assert!(u < (1 << k) && v < (1 << k));
+        let c = BitCounts::of(u, v, k);
+        self.theta[0][0].powi(c.c00 as i32)
+            * self.theta[0][1].powi(c.c01 as i32)
+            * self.theta[1][0].powi(c.c10 as i32)
+            * self.theta[1][1].powi(c.c11 as i32)
+    }
+
+    /// Smallest `k` whose expected edge count reaches `target` (at least 1).
+    ///
+    /// # Panics
+    /// Panics if the expected multiplier is <= 1 (the power never grows).
+    pub fn iterations_for_edges(&self, target: f64) -> u32 {
+        let s = self.sum();
+        assert!(s > 1.0, "initiator sum {s} <= 1 cannot grow a graph");
+        if target <= s {
+            1
+        } else {
+            (target.ln() / s.ln()).ceil() as u32
+        }
+    }
+}
+
+/// Per-level bit-pair counts of a vertex pair — the sufficient statistics of
+/// `edge_probability` and of the KronFit gradient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitCounts {
+    /// Levels where both bits are 0.
+    pub c00: u32,
+    /// Levels with bits (0, 1).
+    pub c01: u32,
+    /// Levels with bits (1, 0).
+    pub c10: u32,
+    /// Levels with bits (1, 1).
+    pub c11: u32,
+}
+
+impl BitCounts {
+    /// Counts the bit pairs of `(u, v)` over the low `k` bits.
+    #[inline]
+    pub fn of(u: u64, v: u64, k: u32) -> Self {
+        let mask = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+        let (u, v) = (u & mask, v & mask);
+        let c11 = (u & v).count_ones();
+        let c10 = (u & !v).count_ones();
+        let c01 = (!u & v & mask).count_ones();
+        let c00 = k - c11 - c10 - c01;
+        BitCounts { c00, c01, c10, c11 }
+    }
+
+    /// Count for entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        match (i, j) {
+            (0, 0) => self.c00,
+            (0, 1) => self.c01,
+            (1, 0) => self.c10,
+            (1, 1) => self.c11,
+            _ => unreachable!("2x2 initiator"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_expectations() {
+        let i = Initiator::classic();
+        assert!((i.sum() - 2.3).abs() < 1e-12);
+        assert!((i.expected_edges(3) - 2.3f64.powi(3)).abs() < 1e-9);
+        assert_eq!(Initiator::num_vertices(5), 32);
+    }
+
+    #[test]
+    fn bit_counts() {
+        // u = 0b101, v = 0b011, k = 3: pairs (1,0),(0,1),(1,1).
+        let c = BitCounts::of(0b101, 0b011, 3);
+        assert_eq!(c.c11, 1);
+        assert_eq!(c.c10, 1);
+        assert_eq!(c.c01, 1);
+        assert_eq!(c.c00, 0);
+        let z = BitCounts::of(0, 0, 4);
+        assert_eq!(z.c00, 4);
+    }
+
+    #[test]
+    fn edge_probability_products() {
+        let i = Initiator::new([[0.5, 0.25], [0.2, 0.1]]);
+        // (0,0) at k=2: theta00^2.
+        assert!((i.edge_probability(0, 0, 2) - 0.25).abs() < 1e-12);
+        // u=0b10, v=0b01: level pairs (1,0) then (0,1).
+        assert!((i.edge_probability(0b10, 0b01, 2) - 0.2 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_probability_mass_is_sum_pow_k() {
+        let i = Initiator::new([[0.7, 0.4], [0.3, 0.1]]);
+        let k = 3;
+        let n = Initiator::num_vertices(k);
+        let total: f64 = (0..n)
+            .flat_map(|u| (0..n).map(move |v| (u, v)))
+            .map(|(u, v)| i.edge_probability(u, v, k))
+            .sum();
+        assert!((total - i.expected_edges(k)).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn iterations_for_edges_grows() {
+        let i = Initiator::classic(); // sum 2.3
+        assert_eq!(i.iterations_for_edges(1.0), 1);
+        let k = i.iterations_for_edges(1e6);
+        assert!(i.expected_edges(k) >= 1e6);
+        assert!(i.expected_edges(k - 1) < 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn invalid_entry_panics() {
+        let _ = Initiator::new([[1.5, 0.0], [0.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_mass_panics() {
+        let _ = Initiator::new([[0.0, 0.0], [0.0, 0.0]]);
+    }
+}

@@ -1,0 +1,331 @@
+//! KronFit: maximum-likelihood estimation of the 2x2 initiator from an
+//! observed graph (Leskovec et al., JMLR 2010, Section 5 — the paper's
+//! "Kronfit fitting procedure", Fig. 3 line 6).
+//!
+//! The likelihood of a graph under a stochastic Kronecker model depends on
+//! an unknown alignment `sigma` of graph vertices to Kronecker slots. As in
+//! the original algorithm we alternate:
+//!
+//! 1. **Permutation sampling** — Metropolis swaps of slot assignments,
+//!    scoring only the edges incident to the swapped vertices (the closed-
+//!    form non-edge term below is permutation-invariant);
+//! 2. **Gradient ascent on theta** — using the standard Taylor approximation
+//!    of the non-edge term:
+//!    `sum_{non-edges} ln(1 - p_uv) ~ -(sum theta)^k - 1/2 (sum theta^2)^k
+//!     + sum_{edges} (p_uv + 1/2 p_uv^2)`,
+//!    which makes both the log-likelihood and its gradient computable in
+//!    `O(|E| k)` instead of `O(|V|^2)`.
+
+use crate::kronecker::initiator::{BitCounts, Initiator};
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// Slot assignment state for the permutation MCMC.
+struct Alignment {
+    /// Kronecker slot of each graph vertex.
+    slot_of: Vec<u64>,
+    /// Graph vertex occupying each slot (`u32::MAX` when empty).
+    vertex_of: Vec<u32>,
+    /// Incident edge indices per vertex.
+    incident: Vec<Vec<u32>>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl Alignment {
+    fn identity(num_vertices: u32, num_slots: u64, edges: &[(u32, u32)]) -> Self {
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); num_vertices as usize];
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            incident[u as usize].push(i as u32);
+            if v != u {
+                incident[v as usize].push(i as u32);
+            }
+        }
+        Alignment {
+            slot_of: (0..num_vertices as u64).collect(),
+            vertex_of: (0..num_slots)
+                .map(|s| if s < num_vertices as u64 { s as u32 } else { EMPTY })
+                .collect(),
+            incident,
+        }
+    }
+}
+
+/// Per-edge contribution of the permutation-dependent likelihood part:
+/// `ln p + p + p^2/2`.
+#[inline]
+fn edge_ll(init: &Initiator, su: u64, sv: u64, k: u32) -> f64 {
+    let p = init.edge_probability(su, sv, k).max(1e-300);
+    p.ln() + p + 0.5 * p * p
+}
+
+/// Fast moment-matching initializer: picks a core-periphery initiator whose
+/// `k`-th power matches the graph's edge count exactly and whose skew
+/// (theta00 vs theta11 ratio) is set from the degree variance. Used as a
+/// cheap alternative to the full MLE when fitting time dominates (the
+/// `kronfit_ablation` bench compares both).
+pub fn kronfit_moments(edges: &[(u32, u32)], num_vertices: u32) -> Initiator {
+    assert!(!edges.is_empty(), "kronfit needs at least one edge");
+    assert!(num_vertices >= 1, "kronfit needs vertices");
+    let k = (num_vertices.max(2) as f64).log2().ceil() as u32;
+    // Required entry sum: s^k = |E|  =>  s = |E|^(1/k), clamped to the
+    // representable range of a [0,1] 2x2 matrix.
+    let s = (edges.len() as f64).powf(1.0 / k as f64).clamp(1.01, 3.6);
+
+    // Skew from the degree coefficient of variation: heavier tails need a
+    // larger theta00/theta11 contrast.
+    let mut degree = vec![0u64; num_vertices as usize];
+    for &(u, v) in edges {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let n = degree.len() as f64;
+    let mean = degree.iter().sum::<u64>() as f64 / n;
+    let var = degree.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    // Map cv in [0, ~3] onto a contrast ratio a/d in [1.5, 12].
+    let contrast = (1.5 + 3.5 * cv).min(12.0);
+
+    // Solve a + 2b + d = s with b = sqrt(a*d) (geometric off-diagonal) and
+    // a = contrast * d. Closed form: s = d (sqrt(contrast) + 1)^2.
+    let mut d = s / (contrast.sqrt() + 1.0).powi(2);
+    let mut a = contrast * d;
+    if a > 0.999 {
+        // Core entry saturates; re-solve 2 sqrt(a d) + d = s - a for d so
+        // the entry sum (and thus the expected edge count) is preserved.
+        a = 0.999;
+        let residual = (s - a).max(0.0);
+        let g = |d: f64| 2.0 * (a * d).sqrt() + d;
+        let (mut lo, mut hi) = (0.0f64, 0.999f64);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) < residual {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        d = 0.5 * (lo + hi);
+    }
+    let b = ((a * d).sqrt()).min(0.999);
+    Initiator::new([[a, b], [b, d.min(0.999)]])
+}
+
+/// Fits a 2x2 initiator to the given simple directed graph.
+///
+/// Indexed 0..2 loops over the 2x2 matrix are intentional (the index pair
+/// *is* the quadrant), so the needless_range_loop lint is silenced.
+///
+/// `edges` must be deduplicated (PGSK's Fig. 3 lines 1-5 do this);
+/// `num_vertices` is the vertex-universe size.
+///
+/// # Panics
+/// Panics if the graph is empty or `iterations == 0`.
+#[allow(clippy::needless_range_loop)]
+pub fn kronfit(
+    edges: &[(u32, u32)],
+    num_vertices: u32,
+    iterations: usize,
+    perm_samples: usize,
+    seed: u64,
+) -> Initiator {
+    assert!(!edges.is_empty(), "kronfit needs at least one edge");
+    assert!(num_vertices >= 1, "kronfit needs vertices");
+    assert!(iterations > 0, "kronfit needs iterations");
+    let k = (num_vertices.max(2) as f64).log2().ceil() as u32;
+    let num_slots = Initiator::num_vertices(k);
+    let mut init = Initiator::classic();
+    let mut align = Alignment::identity(num_vertices, num_slots, edges);
+    let mut rng = rng_for(seed, 0xF17);
+
+    for it in 0..iterations {
+        // --- Permutation sampling (Metropolis over slot swaps). ---
+        for _ in 0..perm_samples {
+            let a = rng.gen_range(0..num_slots);
+            let b = rng.gen_range(0..num_slots);
+            if a == b {
+                continue;
+            }
+            let va = align.vertex_of[a as usize];
+            let vb = align.vertex_of[b as usize];
+            if va == EMPTY && vb == EMPTY {
+                continue;
+            }
+            // Edges whose probability changes: incidents of va and vb.
+            let mut affected: Vec<u32> = Vec::new();
+            if va != EMPTY {
+                affected.extend_from_slice(&align.incident[va as usize]);
+            }
+            if vb != EMPTY {
+                affected.extend_from_slice(&align.incident[vb as usize]);
+            }
+            affected.sort_unstable();
+            affected.dedup();
+
+            let slot_after = |vertex: u32, align: &Alignment| -> u64 {
+                let s = align.slot_of[vertex as usize];
+                if s == a {
+                    b
+                } else if s == b {
+                    a
+                } else {
+                    s
+                }
+            };
+            let mut delta = 0.0;
+            for &e in &affected {
+                let (u, v) = edges[e as usize];
+                let before =
+                    edge_ll(&init, align.slot_of[u as usize], align.slot_of[v as usize], k);
+                let after = edge_ll(&init, slot_after(u, &align), slot_after(v, &align), k);
+                delta += after - before;
+            }
+            if delta >= 0.0 || rng.gen::<f64>() < delta.exp() {
+                if va != EMPTY {
+                    align.slot_of[va as usize] = b;
+                }
+                if vb != EMPTY {
+                    align.slot_of[vb as usize] = a;
+                }
+                align.vertex_of[a as usize] = vb;
+                align.vertex_of[b as usize] = va;
+            }
+        }
+
+        // --- Gradient ascent on theta. ---
+        let mut grad = [[0.0f64; 2]; 2];
+        for &(u, v) in edges {
+            let su = align.slot_of[u as usize];
+            let sv = align.slot_of[v as usize];
+            let c = BitCounts::of(su, sv, k);
+            let p = init.edge_probability(su, sv, k).max(1e-300);
+            let w = 1.0 + p + p * p;
+            for i in 0..2 {
+                for j in 0..2 {
+                    grad[i][j] += c.get(i, j) as f64 / init.theta[i][j].max(1e-6) * w;
+                }
+            }
+        }
+        let s = init.sum();
+        let s2 = init.sum_sq();
+        let kf = k as f64;
+        for i in 0..2 {
+            for j in 0..2 {
+                grad[i][j] -=
+                    kf * s.powi(k as i32 - 1) + kf * init.theta[i][j] * s2.powi(k as i32 - 1);
+            }
+        }
+        // Normalized step with decaying size, clamped into (0, 1).
+        let max_g = grad.iter().flatten().fold(0.0f64, |m, g| m.max(g.abs()));
+        if max_g > 0.0 {
+            let step = 0.05 * (1.0 - it as f64 / iterations as f64).max(0.1);
+            for i in 0..2 {
+                for j in 0..2 {
+                    let t = init.theta[i][j] + step * grad[i][j] / max_g;
+                    init.theta[i][j] = t.clamp(1e-3, 0.999);
+                }
+            }
+        }
+    }
+    init
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kronecker::descent::generate_edges;
+
+    /// Deduplicated planted Kronecker graph for recovery tests.
+    fn planted(k: u32, planted_init: &Initiator, seed: u64) -> (Vec<(u32, u32)>, u32) {
+        let count = planted_init.expected_edges(k).round() as usize;
+        let mut edges: Vec<(u32, u32)> = generate_edges(planted_init, k, count, seed)
+            .into_iter()
+            .map(|(u, v)| (u as u32, v as u32))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        (edges, Initiator::num_vertices(k) as u32)
+    }
+
+    #[test]
+    fn recovers_edge_density_of_planted_graph() {
+        let truth = Initiator::classic();
+        let k = 9;
+        let (edges, n) = planted(k, &truth, 42);
+        let fitted = kronfit(&edges, n, 30, 500, 1);
+        // The fitted model's expected edge count must track the observed one
+        // (the property PGSK's sizing relies on).
+        let expect = fitted.expected_edges(k);
+        let actual = edges.len() as f64;
+        let ratio = expect / actual;
+        assert!((0.5..2.0).contains(&ratio), "expected {expect} vs actual {actual}");
+    }
+
+    #[test]
+    fn recovers_core_periphery_orientation() {
+        let truth = Initiator::new([[0.9, 0.5], [0.5, 0.1]]);
+        let k = 9;
+        let (edges, n) = planted(k, &truth, 7);
+        let fitted = kronfit(&edges, n, 30, 500, 2);
+        assert!(
+            fitted.theta[0][0] > fitted.theta[1][1],
+            "core {} should exceed periphery {}",
+            fitted.theta[0][0],
+            fitted.theta[1][1]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (edges, n) = planted(7, &Initiator::classic(), 3);
+        let a = kronfit(&edges, n, 10, 200, 5);
+        let b = kronfit(&edges, n, 10, 200, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thetas_stay_in_unit_interval() {
+        let (edges, n) = planted(6, &Initiator::classic(), 9);
+        let fitted = kronfit(&edges, n, 50, 100, 6);
+        for row in &fitted.theta {
+            for &t in row {
+                assert!((1e-3..=0.999).contains(&t), "theta {t} escaped");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn empty_graph_rejected() {
+        let _ = kronfit(&[], 4, 10, 10, 0);
+    }
+
+    #[test]
+    fn moments_initializer_matches_edge_count() {
+        let truth = Initiator::classic();
+        let k = 9;
+        let (edges, n) = planted(k, &truth, 11);
+        let fitted = kronfit_moments(&edges, n);
+        let expect = fitted.expected_edges(k);
+        let ratio = expect / edges.len() as f64;
+        assert!((0.8..1.3).contains(&ratio), "expected {expect} vs {}", edges.len());
+        // Core-periphery orientation from the skew heuristic.
+        assert!(fitted.theta[0][0] > fitted.theta[1][1]);
+        // Entries valid.
+        for row in &fitted.theta {
+            for &t in row {
+                assert!((0.0..=1.0).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn moments_initializer_handles_flat_graphs() {
+        // A ring: minimal degree variance.
+        let n = 64u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let fitted = kronfit_moments(&edges, n);
+        let expect = fitted.expected_edges(6);
+        assert!((expect - 64.0).abs() < 20.0, "expected edges {expect}");
+    }
+}

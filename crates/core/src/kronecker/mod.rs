@@ -1,0 +1,11 @@
+//! Stochastic Kronecker machinery: the 2x2 initiator matrix, the KronFit
+//! estimator, and recursive-descent edge placement (Leskovec et al., JMLR
+//! 2010 — the paper's reference [20]).
+
+pub mod descent;
+pub mod initiator;
+pub mod kronfit;
+
+pub use descent::{generate_edges, place_edge};
+pub use initiator::Initiator;
+pub use kronfit::{kronfit, kronfit_moments};

@@ -1,0 +1,180 @@
+//! Raw topology representation shared by the generators.
+//!
+//! Both generators first build *structure* (vertices + directed multi-edges)
+//! and only then attach NetFlow attributes (paper Fig. 2 lines 15-20, Fig. 3
+//! lines 13-18). [`Topology`] is that intermediate: flat `src`/`dst` arrays,
+//! cheap to grow, sample from, and parallelize over.
+
+use crate::analysis::PropertyModel;
+use csb_graph::graph::VertexId;
+use csb_graph::NetflowGraph;
+use csb_stats::rng::rng_for;
+use rayon::prelude::*;
+
+/// A bare directed multigraph under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// Number of vertices (ids are `0..num_vertices`).
+    pub num_vertices: u32,
+    /// Edge sources, parallel to `dst`.
+    pub src: Vec<u32>,
+    /// Edge targets.
+    pub dst: Vec<u32>,
+}
+
+impl Topology {
+    /// Extracts the topology of an existing property-graph.
+    pub fn of_graph(g: &NetflowGraph) -> Self {
+        Topology {
+            num_vertices: g.vertex_count() as u32,
+            src: g.edge_sources().iter().map(|v| v.0).collect(),
+            dst: g.edge_targets().iter().map(|v| v.0).collect(),
+        }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Appends one edge.
+    ///
+    /// # Panics
+    /// Panics (debug) if an endpoint is out of range.
+    pub fn push_edge(&mut self, src: u32, dst: u32) {
+        debug_assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.src.push(src);
+        self.dst.push(dst);
+    }
+}
+
+/// Synthetic vertex addresses: seed vertices keep their IPs; vertices created
+/// by the generators get addresses in a reserved synthetic block so they are
+/// recognizable in exports.
+pub const SYNTHETIC_IP_BASE: u32 = 0xE000_0000;
+
+/// Materializes a [`NetflowGraph`] from a topology by sampling every edge's
+/// attributes from the seed's [`PropertyModel`] — the `O(|E| x |properties|)`
+/// final phase both generators share.
+///
+/// `seed_vertex_ips` supplies addresses for the first vertices (the ones
+/// inherited from the seed); the rest get synthetic addresses. Property
+/// sampling is parallelized in deterministic per-chunk RNG streams.
+pub fn attach_properties(
+    topo: &Topology,
+    model: &PropertyModel,
+    seed_vertex_ips: &[u32],
+    seed: u64,
+) -> NetflowGraph {
+    const CHUNK: usize = 8192;
+    let n = topo.num_vertices as usize;
+    let mut g = NetflowGraph::with_capacity(n, topo.edge_count());
+    for v in 0..n {
+        let ip = seed_vertex_ips
+            .get(v)
+            .copied()
+            .unwrap_or_else(|| SYNTHETIC_IP_BASE + (v as u32 - seed_vertex_ips.len() as u32));
+        g.add_vertex(ip);
+    }
+    // Sample all properties in parallel, then append sequentially.
+    let props: Vec<csb_graph::EdgeProperties> = (0..topo.edge_count())
+        .collect::<Vec<_>>()
+        .par_chunks(CHUNK)
+        .enumerate()
+        .flat_map_iter(|(chunk_idx, chunk)| {
+            let mut rng = rng_for(seed, 0x9_0000_0000 + chunk_idx as u64);
+            chunk.iter().map(move |_| model.sample(&mut rng)).collect::<Vec<_>>()
+        })
+        .collect();
+    for ((&s, &d), p) in topo.src.iter().zip(topo.dst.iter()).zip(props) {
+        g.add_edge(VertexId(s), VertexId(d), p);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::PropertyModel;
+    use csb_graph::graph_from_flows;
+    use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+
+    fn tiny_model() -> PropertyModel {
+        let f = FlowRecord {
+            src_ip: 1,
+            dst_ip: 2,
+            protocol: Protocol::Tcp,
+            src_port: 1000,
+            dst_port: 80,
+            duration_ms: 3,
+            out_bytes: 10,
+            in_bytes: 20,
+            out_pkts: 1,
+            in_pkts: 1,
+            state: TcpConnState::Sf,
+            syn_count: 1,
+            ack_count: 1,
+            first_ts_micros: 0,
+        };
+        PropertyModel::from_graph(&graph_from_flows(&[f]))
+    }
+
+    #[test]
+    fn of_graph_round_trips() {
+        let f = |src, dst| FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: Protocol::Udp,
+            src_port: 1,
+            dst_port: 2,
+            duration_ms: 0,
+            out_bytes: 0,
+            in_bytes: 0,
+            out_pkts: 1,
+            in_pkts: 0,
+            state: TcpConnState::Oth,
+            syn_count: 0,
+            ack_count: 0,
+            first_ts_micros: 0,
+        };
+        let g = graph_from_flows(&[f(1, 2), f(2, 3), f(1, 3)]);
+        let t = Topology::of_graph(&g);
+        assert_eq!(t.num_vertices, 3);
+        assert_eq!(t.edge_count(), 3);
+    }
+
+    #[test]
+    fn attach_properties_fills_every_edge() {
+        let mut t = Topology { num_vertices: 4, src: vec![], dst: vec![] };
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            t.push_edge(s, d);
+        }
+        let g = attach_properties(&t, &tiny_model(), &[100, 200], 7);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        // Seed vertices keep their IPs; the rest are synthetic.
+        assert_eq!(*g.vertex(VertexId(0)), 100);
+        assert_eq!(*g.vertex(VertexId(1)), 200);
+        assert_eq!(*g.vertex(VertexId(2)), SYNTHETIC_IP_BASE);
+        assert_eq!(*g.vertex(VertexId(3)), SYNTHETIC_IP_BASE + 1);
+        // The degenerate model makes every edge identical.
+        for (_, _, _, p) in g.edges() {
+            assert_eq!(p.dst_port, 80);
+            assert_eq!(p.in_bytes, 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut t = Topology { num_vertices: 2, src: vec![], dst: vec![] };
+        for _ in 0..100 {
+            t.push_edge(0, 1);
+        }
+        let m = tiny_model();
+        let a = attach_properties(&t, &m, &[], 3);
+        let b = attach_properties(&t, &m, &[], 3);
+        for (ea, eb) in a.edges().zip(b.edges()) {
+            assert_eq!(ea.3, eb.3);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The Section V-A veracity scores: how closely a synthetic graph's
+//! normalized degree and PageRank distributions track the seed's.
+//!
+//! A *lower* score means *higher* veracity. See
+//! `csb_stats::veracity` for the precise metric definition.
+
+use csb_graph::algo::{pagerank, PageRankConfig};
+use csb_graph::NetflowGraph;
+use csb_stats::veracity::{average_euclidean_distance, NormalizedDistribution};
+
+/// Both veracity scores of one synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VeracityScores {
+    /// Degree-distribution score (paper Fig. 6).
+    pub degree: f64,
+    /// PageRank-distribution score (paper Fig. 7).
+    pub pagerank: f64,
+}
+
+/// Total (in + out) degree of every vertex.
+fn total_degrees(g: &NetflowGraph) -> Vec<u64> {
+    g.in_degrees().iter().zip(g.out_degrees().iter()).map(|(a, b)| a + b).collect()
+}
+
+/// Degree veracity score of `synthetic` against `seed`.
+pub fn degree_veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> f64 {
+    average_euclidean_distance(
+        &NormalizedDistribution::from_u64(&total_degrees(seed)),
+        &NormalizedDistribution::from_u64(&total_degrees(synthetic)),
+    )
+}
+
+/// PageRank veracity score of `synthetic` against `seed`.
+pub fn pagerank_veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> f64 {
+    let cfg = PageRankConfig::default();
+    average_euclidean_distance(
+        &NormalizedDistribution::from_values(&pagerank(seed, &cfg)),
+        &NormalizedDistribution::from_values(&pagerank(synthetic, &cfg)),
+    )
+}
+
+/// Computes both scores.
+pub fn veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> VeracityScores {
+    VeracityScores {
+        degree: degree_veracity(seed, synthetic),
+        pagerank: pagerank_veracity(seed, synthetic),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PgpbaConfig, PgskConfig};
+    use crate::seed::{seed_from_trace, SeedBundle};
+    use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+    fn small_seed() -> SeedBundle {
+        let trace = TrafficSim::new(TrafficSimConfig {
+            duration_secs: 15.0,
+            sessions_per_sec: 20.0,
+            seed: 31,
+            ..TrafficSimConfig::default()
+        })
+        .generate();
+        seed_from_trace(&trace)
+    }
+
+    #[test]
+    fn self_veracity_is_zero() {
+        let seed = small_seed();
+        let v = veracity(&seed.graph, &seed.graph);
+        assert_eq!(v.degree, 0.0);
+        assert_eq!(v.pagerank, 0.0);
+    }
+
+    #[test]
+    fn pgpba_veracity_improves_with_size() {
+        // Paper Fig. 6-7: the score decreases as the synthetic graph grows.
+        let seed = small_seed();
+        let small = crate::pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * 2, fraction: 0.1, seed: 1 },
+        );
+        let large = crate::pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * 24, fraction: 0.1, seed: 1 },
+        );
+        let vs = degree_veracity(&seed.graph, &small);
+        let vl = degree_veracity(&seed.graph, &large);
+        assert!(vl < vs, "larger graph should score lower: {vl} vs {vs}");
+    }
+
+    #[test]
+    fn pagerank_scores_are_much_smaller_than_degree_scores() {
+        // Paper: degree scores ~1e-10..1e-3, PageRank ~1e-25..1e-18.
+        let seed = small_seed();
+        let synth = crate::pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * 8, fraction: 0.3, seed: 2 },
+        );
+        let v = veracity(&seed.graph, &synth);
+        assert!(v.pagerank < v.degree, "pagerank {} vs degree {}", v.pagerank, v.degree);
+    }
+
+    #[test]
+    fn both_generators_have_low_scores() {
+        // Paper Section V-A: "the veracity scores obtained in both the
+        // experiments are in general very low".
+        let seed = small_seed();
+        let target = seed.edge_count() as u64 * 4;
+        let ba = crate::pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 0.1, seed: 3 });
+        let sk = crate::pgsk(
+            &seed,
+            &PgskConfig {
+                desired_size: target,
+                seed: 3,
+                kronfit_iterations: 8,
+                kronfit_permutation_samples: 200,
+            },
+        );
+        let vba = veracity(&seed.graph, &ba);
+        let vsk = veracity(&seed.graph, &sk);
+        assert!(vba.degree < 0.05, "PGPBA degree score {}", vba.degree);
+        assert!(vsk.degree < 0.05, "PGSK degree score {}", vsk.degree);
+        assert!(vba.pagerank < 0.05);
+        assert!(vsk.pagerank < 0.05);
+    }
+}

@@ -1,0 +1,171 @@
+//! Deep invariant tests of the generators, beyond the per-module unit
+//! tests: growth-contract bounds, attribute-support membership, and
+//! robustness on degenerate seeds.
+
+use csb_core::pgpba::pgpba_topology;
+use csb_core::pgsk::pgsk_topology;
+use csb_core::topo::Topology;
+use csb_core::{pgpba, pgsk, PgpbaConfig, PgskConfig};
+use csb_core::seed::{seed_from_trace, SeedBundle};
+use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use std::collections::HashSet;
+
+fn seed(sim_seed: u64) -> SeedBundle {
+    let trace = TrafficSim::new(TrafficSimConfig {
+        duration_secs: 12.0,
+        sessions_per_sec: 15.0,
+        seed: sim_seed,
+        ..TrafficSimConfig::default()
+    })
+    .generate();
+    seed_from_trace(&trace)
+}
+
+#[test]
+fn pgpba_overshoot_is_bounded_by_one_iteration() {
+    // One iteration multiplies the edge count by at most
+    // 1 + fraction * (max_out + max_in); the overshoot can never exceed it.
+    let s = seed(1);
+    let factor = |fraction: f64| {
+        1.0 + fraction * (s.analysis.out_degree.max() + s.analysis.in_degree.max()) as f64
+    };
+    for fraction in [0.1f64, 0.5, 2.0] {
+        let target = s.edge_count() as u64 * 6;
+        let topo = pgpba_topology(
+            &Topology::of_graph(&s.graph),
+            &s.analysis,
+            &PgpbaConfig { desired_size: target, fraction, seed: 2 },
+        );
+        let got = topo.edge_count() as u64;
+        assert!(got >= target);
+        assert!(
+            (got as f64) <= target as f64 * factor(fraction),
+            "fraction {fraction}: {got} vs bound {}",
+            target as f64 * factor(fraction)
+        );
+    }
+}
+
+#[test]
+fn pgpba_every_new_edge_touches_a_new_vertex() {
+    // Structural contract of Fig. 2 within one iteration: every added edge
+    // has the iteration's new vertex as exactly one endpoint. Use a target
+    // one past the seed so exactly one iteration runs (attachment targets
+    // are then guaranteed to be seed vertices).
+    let s = seed(3);
+    let seed_topo = Topology::of_graph(&s.graph);
+    let topo = pgpba_topology(
+        &seed_topo,
+        &s.analysis,
+        &PgpbaConfig { desired_size: s.edge_count() as u64 + 1, fraction: 0.05, seed: 4 },
+    );
+    let seed_vertices = seed_topo.num_vertices;
+    for i in seed_topo.edge_count()..topo.edge_count() {
+        let (src, dst) = (topo.src[i], topo.dst[i]);
+        let new_src = src >= seed_vertices;
+        let new_dst = dst >= seed_vertices;
+        assert!(
+            new_src ^ new_dst,
+            "edge {i} ({src},{dst}) must touch exactly one new vertex"
+        );
+    }
+}
+
+#[test]
+fn pgsk_vertices_are_compact_and_touched() {
+    let s = seed(5);
+    let topo = pgsk_topology(
+        &Topology::of_graph(&s.graph),
+        &s.analysis,
+        &PgskConfig {
+            desired_size: s.edge_count() as u64 * 2,
+            seed: 6,
+            kronfit_iterations: 5,
+            kronfit_permutation_samples: 100,
+        },
+    );
+    // Every vertex id below num_vertices appears in at least one edge
+    // (Kronecker isolates were compacted away).
+    let mut touched = vec![false; topo.num_vertices as usize];
+    for (&a, &b) in topo.src.iter().zip(topo.dst.iter()) {
+        touched[a as usize] = true;
+        touched[b as usize] = true;
+    }
+    assert!(touched.iter().all(|&t| t), "compacted ids must all be used");
+}
+
+#[test]
+fn generated_attribute_tuples_stay_within_seed_marginals() {
+    let s = seed(7);
+    let g = pgpba(
+        &s,
+        &PgpbaConfig { desired_size: s.edge_count() as u64 * 3, fraction: 0.5, seed: 8 },
+    );
+    let support = |f: &dyn Fn(&csb_graph::EdgeProperties) -> u64| -> HashSet<u64> {
+        s.graph.edge_data().iter().map(f).collect()
+    };
+    let durations = support(&|p| p.duration_ms);
+    let in_bytes = support(&|p| p.in_bytes);
+    let states = support(&|p| p.state.code());
+    for p in g.edge_data() {
+        assert!(durations.contains(&p.duration_ms));
+        assert!(in_bytes.contains(&p.in_bytes));
+        assert!(states.contains(&p.state.code()));
+    }
+}
+
+#[test]
+fn single_edge_seed_still_generates() {
+    // Degenerate seed: one host pair, one flow.
+    use csb_graph::graph_from_flows;
+    use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+    let f = FlowRecord {
+        src_ip: 1,
+        dst_ip: 2,
+        protocol: Protocol::Tcp,
+        src_port: 1000,
+        dst_port: 80,
+        duration_ms: 1,
+        out_bytes: 10,
+        in_bytes: 20,
+        out_pkts: 1,
+        in_pkts: 1,
+        state: TcpConnState::Sf,
+        syn_count: 1,
+        ack_count: 1,
+        first_ts_micros: 0,
+    };
+    let graph = graph_from_flows(&[f]);
+    let analysis = csb_core::analysis::SeedAnalysis::of(&graph);
+    let bundle = SeedBundle { graph, analysis };
+    let ba = pgpba(&bundle, &PgpbaConfig { desired_size: 50, fraction: 0.5, seed: 9 });
+    assert!(ba.edge_count() >= 50);
+    let sk = pgsk(
+        &bundle,
+        &PgskConfig {
+            desired_size: 50,
+            seed: 9,
+            kronfit_iterations: 3,
+            kronfit_permutation_samples: 20,
+        },
+    );
+    assert!(sk.edge_count() >= 10);
+}
+
+#[test]
+fn different_master_seeds_give_different_graphs_same_statistics() {
+    let s = seed(11);
+    let target = s.edge_count() as u64 * 4;
+    let a = pgpba(&s, &PgpbaConfig { desired_size: target, fraction: 0.3, seed: 100 });
+    let b = pgpba(&s, &PgpbaConfig { desired_size: target, fraction: 0.3, seed: 200 });
+    // Different realizations...
+    let ea: Vec<_> = a.edge_sources().iter().map(|v| v.0).collect();
+    let eb: Vec<_> = b.edge_sources().iter().map(|v| v.0).collect();
+    assert_ne!(ea, eb, "different seeds must differ");
+    // ...from the same distribution: sizes within 25%, similar degree shape.
+    let ratio = a.edge_count() as f64 / b.edge_count() as f64;
+    assert!((0.75..1.33).contains(&ratio), "size ratio {ratio}");
+    let va = csb_core::degree_veracity(&s.graph, &a);
+    let vb = csb_core::degree_veracity(&s.graph, &b);
+    assert!(va < 0.01 && vb < 0.01, "both runs stay high-veracity ({va}, {vb})");
+}

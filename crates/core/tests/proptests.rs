@@ -1,0 +1,73 @@
+//! Property-based tests for the Kronecker machinery and generator
+//! invariants.
+
+use csb_core::kronecker::initiator::{BitCounts, Initiator};
+use csb_core::kronecker::{generate_edges, place_edge};
+use csb_stats::rng::rng_for;
+use proptest::prelude::*;
+
+/// Strategy for valid initiators with positive mass.
+fn arb_initiator() -> impl Strategy<Value = Initiator> {
+    (0.05f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(a, b, c, d)| Initiator::new([[a, b], [c, d]]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-pair counts always sum to k and match a naive per-level count.
+    #[test]
+    fn bit_counts_sum_to_k(u in any::<u64>(), v in any::<u64>(), k in 1u32..32) {
+        let c = BitCounts::of(u, v, k);
+        prop_assert_eq!(c.c00 + c.c01 + c.c10 + c.c11, k);
+        // Naive recount.
+        let (mut n00, mut n01, mut n10, mut n11) = (0u32, 0, 0, 0);
+        for level in 0..k {
+            let bu = (u >> level) & 1;
+            let bv = (v >> level) & 1;
+            match (bu, bv) {
+                (0, 0) => n00 += 1,
+                (0, 1) => n01 += 1,
+                (1, 0) => n10 += 1,
+                (1, 1) => n11 += 1,
+                _ => unreachable!(),
+            }
+        }
+        prop_assert_eq!((c.c00, c.c01, c.c10, c.c11), (n00, n01, n10, n11));
+    }
+
+    /// Edge probabilities are valid probabilities and total to sum^k.
+    #[test]
+    fn edge_probabilities_valid(init in arb_initiator(), k in 1u32..6) {
+        let n = Initiator::num_vertices(k);
+        let mut total = 0.0;
+        for u in 0..n {
+            for v in 0..n {
+                let p = init.edge_probability(u, v, k);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+                total += p;
+            }
+        }
+        prop_assert!((total - init.expected_edges(k)).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// Recursive descent always lands inside the vertex universe.
+    #[test]
+    fn descent_in_bounds(init in arb_initiator(), k in 1u32..20, seed in any::<u64>()) {
+        let mut rng = rng_for(seed, 0);
+        let n = Initiator::num_vertices(k);
+        for _ in 0..32 {
+            let (u, v) = place_edge(&init, k, &mut rng);
+            prop_assert!(u < n && v < n);
+        }
+    }
+
+    /// Batch generation is deterministic and exactly sized.
+    #[test]
+    fn batch_generation_contract(init in arb_initiator(), count in 0usize..2000, seed in any::<u64>()) {
+        let a = generate_edges(&init, 8, count, seed);
+        prop_assert_eq!(a.len(), count);
+        let b = generate_edges(&init, 8, count, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cluster descriptions.
+//!
+//! [`ClusterConfig::shadow_ii`] mirrors the paper's testbed: the Shadow II
+//! supercomputer at Mississippi State (110 nodes, 2x Intel Xeon E5-2680 v2 =
+//! 20 cores and 512 GB per node, 54 Gb/s InfiniBand), of which the paper uses
+//! 10-60 nodes with 12 executor cores per node (its Fig. 8 tuning study found
+//! no benefit past 12 of the 20 cores — memory bandwidth saturates).
+
+/// A homogeneous cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// Executor cores actually used per node (`total-executor-cores` /
+    /// nodes, in Spark terms).
+    pub executor_cores_per_node: usize,
+    /// RAM per node, GB.
+    pub memory_per_node_gb: f64,
+    /// Interconnect bandwidth per node, Gb/s.
+    pub network_gbps: f64,
+    /// Cores per node beyond which throughput no longer scales (memory
+    /// bandwidth saturation; 12 on Shadow II per the paper's Fig. 8).
+    pub saturation_cores: usize,
+}
+
+impl ClusterConfig {
+    /// One Shadow II node with the given executor-core count (the paper's
+    /// Fig. 8 single-node tuning study sweeps this 1..=20).
+    pub fn shadow_ii_single_node(executor_cores: usize) -> Self {
+        ClusterConfig { nodes: 1, executor_cores_per_node: executor_cores, ..Self::shadow_ii(1) }
+    }
+
+    /// `nodes` Shadow II nodes at the paper's production setting of 12
+    /// executor cores per node.
+    pub fn shadow_ii(nodes: usize) -> Self {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        ClusterConfig {
+            nodes,
+            cores_per_node: 20,
+            executor_cores_per_node: 12,
+            memory_per_node_gb: 512.0,
+            network_gbps: 54.0,
+            saturation_cores: 12,
+        }
+    }
+
+    /// Cores that contribute to throughput on one node.
+    pub fn effective_cores_per_node(&self) -> usize {
+        self.executor_cores_per_node.min(self.saturation_cores).min(self.cores_per_node).max(1)
+    }
+
+    /// Total effective cores across the cluster.
+    pub fn effective_cores_total(&self) -> usize {
+        self.effective_cores_per_node() * self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_ii_matches_paper_testbed() {
+        let c = ClusterConfig::shadow_ii(60);
+        assert_eq!(c.nodes, 60);
+        assert_eq!(c.cores_per_node, 20);
+        assert_eq!(c.memory_per_node_gb, 512.0);
+        assert_eq!(c.network_gbps, 54.0);
+        assert_eq!(c.effective_cores_total(), 720);
+    }
+
+    #[test]
+    fn saturation_caps_effective_cores() {
+        for cores in 1..=20 {
+            let c = ClusterConfig::shadow_ii_single_node(cores);
+            assert_eq!(c.effective_cores_per_node(), cores.min(12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = ClusterConfig::shadow_ii(0);
+    }
+}

@@ -1,0 +1,635 @@
+//! `Pdd<T>` — partitioned distributed dataset, the RDD analogue.
+//!
+//! Operators execute eagerly over real partitions on a [`ThreadPool`] and
+//! record their counts into [`JobMetrics`]. The operator set is exactly what
+//! the paper's implementations need: `sample` (PGPBA's first preferential-
+//! attachment stage uses `RDD.sample()`), `distinct` (PGSK deduplicates
+//! conflicting Kronecker descents with `RDD.distinct()`), plus the usual
+//! `map` / `flat_map` / `filter` / `union` / `reduce_by_key`.
+
+use crate::executor::ThreadPool;
+use crate::metrics::JobMetrics;
+use csb_stats::rng::rng_for;
+use rand::Rng;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A dataset split into partitions, processed in parallel.
+///
+/// ```
+/// use csb_engine::{JobMetrics, Pdd, ThreadPool};
+///
+/// let metrics = JobMetrics::new();
+/// let d = Pdd::from_vec((0u64..100).collect(), 8, ThreadPool::new(4), metrics.clone());
+/// let distinct_evens = d.map(|x| x / 2).distinct();
+/// assert_eq!(distinct_evens.count(), 50);
+/// // Every operator reported its record counts for the cluster cost model.
+/// assert!(metrics.ops().iter().any(|o| o.op == "distinct" && o.shuffled > 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pdd<T> {
+    partitions: Vec<Vec<T>>,
+    pool: ThreadPool,
+    metrics: JobMetrics,
+}
+
+impl<T: Send> Pdd<T> {
+    /// Distributes `data` round-robin over `partitions` partitions.
+    pub fn from_vec(data: Vec<T>, partitions: usize, pool: ThreadPool, metrics: JobMetrics) -> Self {
+        let nparts = partitions.max(1);
+        let mut parts: Vec<Vec<T>> = (0..nparts)
+            .map(|i| Vec::with_capacity(data.len() / nparts + usize::from(i == 0)))
+            .collect();
+        let n = data.len() as u64;
+        for (i, item) in data.into_iter().enumerate() {
+            parts[i % nparts].push(item);
+        }
+        metrics.record("parallelize", 0, n, 0);
+        Pdd { partitions: parts, pool, metrics }
+    }
+
+    /// An empty dataset with the given partitioning.
+    pub fn empty(partitions: usize, pool: ThreadPool, metrics: JobMetrics) -> Self {
+        let mut parts = Vec::with_capacity(partitions.max(1));
+        parts.resize_with(partitions.max(1), Vec::new);
+        Pdd { partitions: parts, pool, metrics }
+    }
+
+    /// Total records.
+    pub fn count(&self) -> u64 {
+        self.partitions.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The metrics accumulator this dataset reports into.
+    pub fn metrics(&self) -> &JobMetrics {
+        &self.metrics
+    }
+
+    /// Gathers all records to the caller ("driver"), draining the dataset.
+    pub fn collect(self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.count() as usize);
+        for p in self.partitions {
+            out.extend(p);
+        }
+        out
+    }
+
+    /// Per-partition record counts.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(Vec::len).collect()
+    }
+
+    /// Element-wise map.
+    pub fn map<U: Send, F>(self, f: F) -> Pdd<U>
+    where
+        F: Fn(T) -> U + Send + Sync,
+    {
+        let n_in = self.count();
+        let parts = self
+            .pool
+            .map_partitions(self.partitions, |_, part| part.into_iter().map(&f).collect::<Vec<U>>());
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("map", n_in, out.count(), 0);
+        out
+    }
+
+    /// One-to-many map.
+    pub fn flat_map<U: Send, I, F>(self, f: F) -> Pdd<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync,
+    {
+        let n_in = self.count();
+        let parts = self.pool.map_partitions(self.partitions, |_, part| {
+            part.into_iter().flat_map(&f).collect::<Vec<U>>()
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("flat_map", n_in, out.count(), 0);
+        out
+    }
+
+    /// Keeps records satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> Pdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        let n_in = self.count();
+        let parts = self.pool.map_partitions(self.partitions, |_, mut part| {
+            part.retain(|x| f(x));
+            part
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("filter", n_in, out.count(), 0);
+        out
+    }
+
+    /// Bernoulli sample of roughly `fraction` of the records —
+    /// `RDD.sample(false, fraction)`, the first stage of PGPBA's two-stage
+    /// preferential attachment.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Pdd<T>
+    where
+        T: Clone + Sync,
+    {
+        assert!((0.0..=1.0).contains(&fraction), "sample fraction must be in [0,1]");
+        let n_in = self.count();
+        let mut parts: Vec<(usize, &Vec<T>, Vec<T>)> =
+            self.partitions.iter().enumerate().map(|(i, p)| (i, p, Vec::new())).collect();
+        self.pool.for_each_partition(&mut parts, |_, slot| {
+            let (idx, input, out) = (slot.0, slot.1, &mut slot.2);
+            let mut rng = rng_for(seed, idx as u64);
+            out.extend(input.iter().filter(|_| rng.gen::<f64>() < fraction).cloned());
+        });
+        let partitions: Vec<Vec<T>> = parts.into_iter().map(|s| s.2).collect();
+        let out = Pdd { partitions, pool: self.pool, metrics: self.metrics.clone() };
+        out.metrics.record("sample", n_in, out.count(), 0);
+        out
+    }
+
+    /// Map with `(partition, index_in_partition, item)` — the hook
+    /// distributed algorithms use to derive deterministic per-record RNG
+    /// streams and globally unique ids (via per-partition offsets).
+    pub fn map_indexed<U: Send, F>(self, f: F) -> Pdd<U>
+    where
+        F: Fn(usize, usize, T) -> U + Send + Sync,
+    {
+        let n_in = self.count();
+        let parts = self.pool.map_partitions(self.partitions, |p, part| {
+            part.into_iter().enumerate().map(|(i, x)| f(p, i, x)).collect::<Vec<U>>()
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("map_indexed", n_in, out.count(), 0);
+        out
+    }
+
+    /// Flat-map with `(partition, index_in_partition, item)`.
+    pub fn flat_map_indexed<U: Send, I, F>(self, f: F) -> Pdd<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(usize, usize, T) -> I + Send + Sync,
+    {
+        let n_in = self.count();
+        let parts = self.pool.map_partitions(self.partitions, |p, part| {
+            part.into_iter().enumerate().flat_map(|(i, x)| f(p, i, x)).collect::<Vec<U>>()
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("flat_map_indexed", n_in, out.count(), 0);
+        out
+    }
+
+    /// Sample *with replacement*: each record contributes `Poisson(fraction)`
+    /// copies — `RDD.sample(true, fraction)` in Spark terms, which is what
+    /// lets PGPBA run with `fraction = 2` (the paper's performance setting).
+    pub fn sample_with_replacement(&self, fraction: f64, seed: u64) -> Pdd<T>
+    where
+        T: Clone + Sync,
+    {
+        assert!(fraction >= 0.0 && fraction.is_finite(), "fraction must be non-negative");
+        let n_in = self.count();
+        let mut parts: Vec<(usize, &Vec<T>, Vec<T>)> =
+            self.partitions.iter().enumerate().map(|(i, p)| (i, p, Vec::new())).collect();
+        self.pool.for_each_partition(&mut parts, |_, slot| {
+            let (idx, input, out) = (slot.0, slot.1, &mut slot.2);
+            let mut rng = rng_for(seed, 0x5A17 ^ idx as u64);
+            for x in input.iter() {
+                for _ in 0..poisson(fraction, &mut rng) {
+                    out.push(x.clone());
+                }
+            }
+        });
+        let partitions: Vec<Vec<T>> = parts.into_iter().map(|s| s.2).collect();
+        let out = Pdd { partitions, pool: self.pool, metrics: self.metrics.clone() };
+        out.metrics.record("sample_with_replacement", n_in, out.count(), 0);
+        out
+    }
+
+    /// Concatenates two datasets (keeps left's partition count by merging
+    /// pairwise, wrapping the extra partitions around).
+    pub fn union(mut self, other: Pdd<T>) -> Pdd<T> {
+        let n = self.partitions.len();
+        for (i, part) in other.partitions.into_iter().enumerate() {
+            self.partitions[i % n].extend(part);
+        }
+        self.metrics.record("union", 0, self.count(), 0);
+        self
+    }
+}
+
+/// Knuth's Poisson sampler — fine for the small means (fractions) used here.
+fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn hash_of<T: Hash>(x: &T) -> u64 {
+    // FxHash-style multiply-xor; cheap and adequate for partitioning.
+    struct Fx(u64);
+    impl Hasher for Fx {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fx(0xcbf2_9ce4_8422_2325);
+    x.hash(&mut h);
+    h.finish()
+}
+
+impl<T: Send + Hash + Eq + Clone> Pdd<T> {
+    /// Hash-shuffles records so equal records land in the same partition,
+    /// then deduplicates — `RDD.distinct()`, the operator PGSK relies on to
+    /// discard conflicting edges generated by independent recursive descents.
+    pub fn distinct(self) -> Pdd<T> {
+        let n_in = self.count();
+        let nparts = self.partitions.len();
+        // Shuffle write: bucket every record by hash.
+        let bucketed: Vec<Vec<Vec<T>>> = self.pool.map_partitions(self.partitions, |_, part| {
+            let mut buckets: Vec<Vec<T>> = vec![Vec::new(); nparts];
+            for x in part {
+                let b = (hash_of(&x) % nparts as u64) as usize;
+                buckets[b].push(x);
+            }
+            buckets
+        });
+        // Shuffle read: transpose.
+        let mut gathered: Vec<Vec<T>> = vec![Vec::new(); nparts];
+        let mut shuffled = 0u64;
+        for mut producer in bucketed {
+            for (b, bucket) in producer.drain(..).enumerate() {
+                shuffled += bucket.len() as u64;
+                gathered[b].extend(bucket);
+            }
+        }
+        // Per-partition dedup.
+        let parts = self.pool.map_partitions(gathered, |_, part| {
+            let mut seen = std::collections::HashSet::with_capacity(part.len());
+            let mut out = Vec::with_capacity(part.len());
+            for x in part {
+                if seen.insert(x.clone()) {
+                    out.push(x);
+                }
+            }
+            out
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("distinct", n_in, out.count(), shuffled);
+        out
+    }
+}
+
+impl<T: Send + Ord> Pdd<T> {
+    /// The `k` smallest records under `Ord` — Spark's `takeOrdered`:
+    /// per-partition top-k, then a driver-side merge, so no full shuffle.
+    pub fn take_ordered(&self, k: usize) -> Vec<T>
+    where
+        T: Clone + Sync,
+    {
+        let mut parts: Vec<(&Vec<T>, Vec<T>)> =
+            self.partitions.iter().map(|p| (p, Vec::new())).collect();
+        self.pool.for_each_partition(&mut parts, |_, slot| {
+            let (input, out) = (slot.0, &mut slot.1);
+            let mut local: Vec<T> = input.to_vec();
+            local.sort_unstable();
+            local.truncate(k);
+            *out = local;
+        });
+        let mut merged: Vec<T> = parts.into_iter().flat_map(|s| s.1).collect();
+        merged.sort_unstable();
+        merged.truncate(k);
+        self.metrics.record("take_ordered", self.count(), merged.len() as u64, 0);
+        merged
+    }
+}
+
+impl<K, V> Pdd<(K, V)>
+where
+    K: Send + Hash + Eq + Clone,
+    V: Send,
+{
+    /// Hash-shuffles by key and groups values per key.
+    pub fn group_by_key(self) -> Pdd<(K, Vec<V>)> {
+        let n_in = self.count();
+        let nparts = self.partitions.len();
+        let bucketed: Vec<Vec<Vec<(K, V)>>> =
+            self.pool.map_partitions(self.partitions, |_, part| {
+                let mut buckets: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
+                buckets.resize_with(nparts, Vec::new);
+                for kv in part {
+                    let b = (hash_of(&kv.0) % nparts as u64) as usize;
+                    buckets[b].push(kv);
+                }
+                buckets
+            });
+        let mut gathered: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
+        gathered.resize_with(nparts, Vec::new);
+        let mut shuffled = 0u64;
+        for mut producer in bucketed {
+            for (b, bucket) in producer.drain(..).enumerate() {
+                shuffled += bucket.len() as u64;
+                gathered[b].extend(bucket);
+            }
+        }
+        let parts = self.pool.map_partitions(gathered, |_, part| {
+            let mut acc: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in part {
+                acc.entry(k).or_default().push(v);
+            }
+            acc.into_iter().collect::<Vec<(K, Vec<V>)>>()
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("group_by_key", n_in, out.count(), shuffled);
+        out
+    }
+
+    /// Inner hash join: pairs every value of a key on the left with every
+    /// value of that key on the right (the vertex-attribute join GraphX
+    /// performs when materializing triplets).
+    pub fn join<W>(self, right: Pdd<(K, W)>) -> Pdd<(K, (V, W))>
+    where
+        K: Sync,
+        V: Clone,
+        W: Send + Sync + Clone,
+    {
+        let n_in = self.count() + right.count();
+        let left = self.group_by_key();
+        let shuffled_left = left.metrics().total_shuffled();
+        let right_grouped = right.group_by_key();
+        let mut rhs: HashMap<K, Vec<W>> = HashMap::new();
+        for (k, vs) in right_grouped.collect() {
+            rhs.insert(k, vs);
+        }
+        let out = left.flat_map(move |(k, vs)| {
+            let mut pairs = Vec::new();
+            if let Some(ws) = rhs.get(&k) {
+                for v in &vs {
+                    for w in ws {
+                        pairs.push((k.clone(), (v.clone(), w.clone())));
+                    }
+                }
+            }
+            pairs
+        });
+        let _ = shuffled_left;
+        out.metrics.record("join", n_in, out.count(), 0);
+        out
+    }
+
+    /// Hash-shuffles by key and reduces values per key.
+    pub fn reduce_by_key<F>(self, f: F) -> Pdd<(K, V)>
+    where
+        F: Fn(V, V) -> V + Send + Sync,
+    {
+        let n_in = self.count();
+        let nparts = self.partitions.len();
+        let bucketed: Vec<Vec<Vec<(K, V)>>> =
+            self.pool.map_partitions(self.partitions, |_, part| {
+                let mut buckets: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
+                buckets.resize_with(nparts, Vec::new);
+                for kv in part {
+                    let b = (hash_of(&kv.0) % nparts as u64) as usize;
+                    buckets[b].push(kv);
+                }
+                buckets
+            });
+        let mut gathered: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
+        gathered.resize_with(nparts, Vec::new);
+        let mut shuffled = 0u64;
+        for mut producer in bucketed {
+            for (b, bucket) in producer.drain(..).enumerate() {
+                shuffled += bucket.len() as u64;
+                gathered[b].extend(bucket);
+            }
+        }
+        let parts = self.pool.map_partitions(gathered, |_, part| {
+            let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
+            for (k, v) in part {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        let merged = f(prev, v);
+                        acc.insert(k, merged);
+                    }
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            acc.into_iter().collect::<Vec<(K, V)>>()
+        });
+        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        out.metrics.record("reduce_by_key", n_in, out.count(), shuffled);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdd(data: Vec<u64>, parts: usize) -> Pdd<u64> {
+        Pdd::from_vec(data, parts, ThreadPool::new(4), JobMetrics::new())
+    }
+
+    #[test]
+    fn count_and_collect() {
+        let d = pdd((0..100).collect(), 8);
+        assert_eq!(d.count(), 100);
+        assert_eq!(d.num_partitions(), 8);
+        let mut all = d.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let d = pdd((0..10).collect(), 3);
+        let out = d
+            .map(|x| x * 2)
+            .filter(|&x| x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1]);
+        let mut all = out.collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 4, 5, 8, 9, 12, 13, 16, 17]);
+    }
+
+    #[test]
+    fn sample_fraction_roughly_respected() {
+        let d = pdd((0..100_000).collect(), 8);
+        let s = d.sample(0.1, 42);
+        let n = s.count() as f64;
+        assert!((n - 10_000.0).abs() < 600.0, "sampled {n}");
+        // Deterministic given the seed.
+        let s2 = d.sample(0.1, 42);
+        assert_eq!(s.collect(), s2.collect());
+        // Different seeds differ.
+        let s3 = d.sample(0.1, 43);
+        assert_ne!(s3.count(), 0);
+    }
+
+    #[test]
+    fn sample_extremes() {
+        let d = pdd((0..1000).collect(), 4);
+        assert_eq!(d.sample(0.0, 1).count(), 0);
+        assert_eq!(d.sample(1.0, 1).count(), 1000);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let mut data: Vec<u64> = (0..1000).collect();
+        data.extend(0..500);
+        data.extend(0..250);
+        let d = pdd(data, 8).distinct();
+        assert_eq!(d.count(), 1000);
+        let mut all = d.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_records_shuffle_metrics() {
+        let m = JobMetrics::new();
+        let d = Pdd::from_vec(vec![1u64, 1, 2, 2, 3], 4, ThreadPool::new(2), m.clone());
+        let _ = d.distinct();
+        let ops = m.ops();
+        let distinct = ops.iter().find(|o| o.op == "distinct").expect("recorded");
+        assert_eq!(distinct.records_in, 5);
+        assert_eq!(distinct.records_out, 3);
+        assert_eq!(distinct.shuffled, 5);
+    }
+
+    #[test]
+    fn map_indexed_gives_unique_coordinates() {
+        let d = pdd((0..100).collect(), 7);
+        let coords = d.map_indexed(|p, i, _| (p, i)).collect();
+        let set: std::collections::HashSet<_> = coords.iter().collect();
+        assert_eq!(set.len(), 100, "coordinates must be unique");
+    }
+
+    #[test]
+    fn flat_map_indexed_expands() {
+        let d = pdd(vec![10, 20], 1);
+        let mut out = d.flat_map_indexed(|_, i, x| vec![x, x + i as u64]).collect();
+        out.sort_unstable();
+        assert_eq!(out, vec![10, 10, 20, 21]);
+    }
+
+    #[test]
+    fn sample_with_replacement_matches_mean() {
+        let d = pdd((0..50_000).collect(), 8);
+        for fraction in [0.5, 2.0] {
+            let n = d.sample_with_replacement(fraction, 9).count() as f64;
+            let expect = 50_000.0 * fraction;
+            assert!(
+                (n - expect).abs() < expect * 0.05,
+                "fraction {fraction}: got {n}, expected {expect}"
+            );
+        }
+        assert_eq!(d.sample_with_replacement(0.0, 1).count(), 0);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = pdd(vec![1, 2, 3], 2);
+        let b = pdd(vec![4, 5], 3);
+        let mut all = a.union(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let data: Vec<(u64, u64)> = (0..60).map(|i| (i % 6, i)).collect();
+        let d = Pdd::from_vec(data, 4, ThreadPool::new(3), JobMetrics::new());
+        let mut grouped = d.group_by_key().collect();
+        grouped.sort_unstable_by_key(|(k, _)| *k);
+        assert_eq!(grouped.len(), 6);
+        for (k, mut vs) in grouped {
+            vs.sort_unstable();
+            assert_eq!(vs.len(), 10);
+            assert!(vs.iter().all(|v| v % 6 == k));
+        }
+    }
+
+    #[test]
+    fn take_ordered_returns_global_minimums() {
+        let mut data: Vec<u64> = (0..1000).rev().collect();
+        data.push(3); // duplicate
+        let d = Pdd::from_vec(data, 8, ThreadPool::new(4), JobMetrics::new());
+        assert_eq!(d.take_ordered(5), vec![0, 1, 2, 3, 3]);
+        assert_eq!(d.take_ordered(0), Vec::<u64>::new());
+        // k larger than the dataset returns everything sorted.
+        let small = Pdd::from_vec(vec![3u64, 1, 2], 2, ThreadPool::new(2), JobMetrics::new());
+        assert_eq!(small.take_ordered(10), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let data: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, 1u64)).collect();
+        let d = Pdd::from_vec(data, 5, ThreadPool::new(4), JobMetrics::new());
+        let mut out = d.reduce_by_key(|a, b| a + b).collect();
+        out.sort_unstable();
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&(_, c)| c == 10));
+    }
+
+    #[test]
+    fn join_pairs_matching_keys() {
+        let left = Pdd::from_vec(
+            vec![(1u64, "a"), (1, "b"), (2, "c")],
+            3,
+            ThreadPool::new(2),
+            JobMetrics::new(),
+        );
+        let right = Pdd::from_vec(
+            vec![(1u64, 10u64), (2, 20), (2, 21), (3, 30)],
+            2,
+            ThreadPool::new(2),
+            JobMetrics::new(),
+        );
+        let mut out = left.join(right).collect();
+        out.sort_unstable_by_key(|&(k, (v, w))| (k, v, w));
+        assert_eq!(
+            out,
+            vec![
+                (1, ("a", 10)),
+                (1, ("b", 10)),
+                (2, ("c", 20)),
+                (2, ("c", 21)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_dataset_operations() {
+        let d: Pdd<u64> = Pdd::empty(4, ThreadPool::new(2), JobMetrics::new());
+        assert_eq!(d.count(), 0);
+        let d = d.map(|x| x + 1).filter(|_| true);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.distinct().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let d = pdd(vec![1], 1);
+        let _ = d.sample(1.5, 0);
+    }
+}

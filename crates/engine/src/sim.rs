@@ -1,0 +1,320 @@
+//! The simulated cluster: converts a generation job description into
+//! simulated wall-clock time and per-node memory using the
+//! [`CostModel`] — the layer that regenerates the paper's Figures 8-12 at
+//! paper scale on a laptop.
+
+use crate::cluster::ClusterConfig;
+use crate::costmodel::CostModel;
+use crate::metrics::JobMetrics;
+
+/// Which generator a simulated job runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenAlgorithm {
+    /// Property-Graph Parallel Barabási-Albert with the given `fraction`
+    /// parameter (new vertices per iteration as a fraction of current edges).
+    Pgpba {
+        /// The PGPBA `fraction` parameter.
+        fraction: f64,
+    },
+    /// Property-Graph Stochastic Kronecker.
+    Pgsk,
+}
+
+/// A generation job to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenJob {
+    /// Generator and parameters.
+    pub algorithm: GenAlgorithm,
+    /// Target synthetic size, edges.
+    pub edges: u64,
+    /// Seed graph size, edges (the paper's seed: 1,940,814).
+    pub seed_edges: u64,
+    /// Whether edge/vertex attributes are generated (paper Fig. 10 measures
+    /// the overhead of turning this on).
+    pub with_properties: bool,
+}
+
+/// Simulated outcome of a job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// End-to-end simulated time, seconds.
+    pub total_secs: f64,
+    /// Compute portion, seconds.
+    pub compute_secs: f64,
+    /// Shuffle (network + serialization) portion, seconds.
+    pub shuffle_secs: f64,
+    /// Synchronization-barrier portion, seconds.
+    pub barrier_secs: f64,
+    /// Per-node resident memory at peak, GB.
+    pub memory_per_node_gb: f64,
+    /// Edges per second of simulated throughput.
+    pub throughput_eps: f64,
+    /// Synchronization rounds (generator iterations).
+    pub iterations: u32,
+}
+
+/// A cluster plus cost model, ready to simulate jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCluster {
+    cluster: ClusterConfig,
+    model: CostModel,
+}
+
+impl SimCluster {
+    /// Binds a cost model to a cluster.
+    pub fn new(cluster: ClusterConfig, model: CostModel) -> Self {
+        SimCluster { cluster, model }
+    }
+
+    /// The cluster description.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Number of generator iterations (synchronization rounds) a job needs.
+    ///
+    /// * PGPBA grows the edge set by roughly `(1 + fraction)` per iteration
+    ///   (paper Section V: "12 iterations with fraction = 2" reach 9.6x10^9
+    ///   edges), so `iters = ceil(log(E/E0) / log(1 + fraction))`.
+    /// * PGSK doubles per Kronecker iteration but needs extra rounds because
+    ///   `distinct()` discards conflicting descents (paper: 30 iterations for
+    ///   6x10^9 edges): `iters = ceil(1.5 * log2(E / E_p))` with the
+    ///   deduplicated seed `E_p ~ E0 / 4`.
+    pub fn iterations(&self, job: &GenJob) -> u32 {
+        let e = job.edges.max(2) as f64;
+        match job.algorithm {
+            GenAlgorithm::Pgpba { fraction } => {
+                assert!(fraction > 0.0, "fraction must be positive");
+                let e0 = job.seed_edges.max(1) as f64;
+                if e <= e0 {
+                    1
+                } else {
+                    ((e / e0).ln() / (1.0 + fraction).ln()).ceil().max(1.0) as u32
+                }
+            }
+            GenAlgorithm::Pgsk => {
+                let ep = (job.seed_edges as f64 / 4.0).max(1.0);
+                let base = if e <= ep { 1.0 } else { (e / ep).log2() };
+                (1.5 * base).ceil().max(1.0) as u32
+            }
+        }
+    }
+
+    /// Simulates one generation job.
+    pub fn simulate(&self, job: &GenJob) -> SimReport {
+        let m = &self.model;
+        let c = &self.cluster;
+        let e = job.edges as f64;
+        let cores = c.effective_cores_total() as f64;
+        let iterations = self.iterations(job);
+
+        let gen_ns = match job.algorithm {
+            GenAlgorithm::Pgpba { .. } => m.pgpba_ns_per_edge,
+            GenAlgorithm::Pgsk => m.pgsk_ns_per_edge,
+        };
+        let prop_ns = if job.with_properties { m.property_ns_per_edge } else { 0.0 };
+        let compute_secs = e * (gen_ns + prop_ns) / 1e9 / cores;
+
+        // Only PGSK shuffles (its per-iteration distinct); PGPBA's stages are
+        // map-side only. Each node moves ~E/nodes records over its own link.
+        let shuffle_secs = match job.algorithm {
+            GenAlgorithm::Pgsk => {
+                let bytes_per_node = e * m.shuffle_bytes_per_record / c.nodes as f64;
+                let bits = bytes_per_node * 8.0;
+                bits / (c.network_gbps * 1e9)
+            }
+            GenAlgorithm::Pgpba { .. } => 0.0,
+        };
+
+        let barrier_secs = iterations as f64
+            * (m.barrier_base_secs + m.barrier_per_node_secs * c.nodes as f64);
+
+        let total_secs = m.job_overhead_secs + compute_secs + shuffle_secs + barrier_secs;
+        let memory_per_node_gb =
+            m.platform_memory_gb + e * m.memory_bytes_per_edge / c.nodes as f64 / 1e9;
+
+        SimReport {
+            total_secs,
+            compute_secs,
+            shuffle_secs,
+            barrier_secs,
+            memory_per_node_gb,
+            throughput_eps: e / total_secs,
+            iterations,
+        }
+    }
+}
+
+impl SimCluster {
+    /// Projects a *real* engine run (its recorded operator metrics) onto
+    /// this cluster: per-record compute at `ns_per_record`, shuffle volume
+    /// from the recorded shuffled-record counts, one synchronization round
+    /// per shuffling operator. Peak memory takes the largest single
+    /// operator's output as the resident dataset.
+    ///
+    /// This is the bridge between laptop-scale engine runs and paper-scale
+    /// projections: run the distributed generator small, then ask "what
+    /// would this dataflow cost on Shadow II".
+    pub fn estimate_from_metrics(&self, metrics: &JobMetrics, ns_per_record: f64) -> SimReport {
+        let m = &self.model;
+        let c = &self.cluster;
+        let ops = metrics.ops();
+        let records: u64 = ops.iter().map(|o| o.records_out).sum();
+        let shuffled: u64 = ops.iter().map(|o| o.shuffled).sum();
+        let rounds = ops.iter().filter(|o| o.shuffled > 0).count().max(1) as u32;
+        let resident = ops.iter().map(|o| o.records_out).max().unwrap_or(0);
+
+        let compute_secs =
+            records as f64 * ns_per_record / 1e9 / c.effective_cores_total() as f64;
+        let shuffle_secs = shuffled as f64 * m.shuffle_bytes_per_record * 8.0
+            / (c.nodes as f64 * c.network_gbps * 1e9);
+        let barrier_secs =
+            rounds as f64 * (m.barrier_base_secs + m.barrier_per_node_secs * c.nodes as f64);
+        let total_secs = m.job_overhead_secs + compute_secs + shuffle_secs + barrier_secs;
+        SimReport {
+            total_secs,
+            compute_secs,
+            shuffle_secs,
+            barrier_secs,
+            memory_per_node_gb: m.platform_memory_gb
+                + resident as f64 * m.memory_bytes_per_edge / c.nodes as f64 / 1e9,
+            throughput_eps: records as f64 / total_secs,
+            iterations: rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED_EDGES: u64 = 1_940_814;
+
+    fn job(algorithm: GenAlgorithm, edges: u64) -> GenJob {
+        GenJob { algorithm, edges, seed_edges: SEED_EDGES, with_properties: true }
+    }
+
+    #[test]
+    fn single_node_throughput_saturates_at_12_cores() {
+        // Paper Fig. 8: throughput rises with executor cores then flattens.
+        let model = CostModel::default();
+        let tp = |cores: usize| {
+            let sim = SimCluster::new(ClusterConfig::shadow_ii_single_node(cores), model);
+            sim.simulate(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, 100_000_000)).throughput_eps
+        };
+        assert!(tp(4) > tp(1) * 2.0);
+        assert!(tp(12) > tp(6) * 1.4);
+        let plateau = (tp(20) - tp(12)).abs() / tp(12);
+        assert!(plateau < 0.01, "throughput should plateau after 12 cores ({plateau})");
+    }
+
+    #[test]
+    fn generation_time_linear_in_edges() {
+        // Paper Fig. 9: both algorithms linear in size; PGPBA faster.
+        // In the regime where compute dominates fixed job/barrier overhead
+        // (the right-hand side of Fig. 9), quadrupling the size must roughly
+        // quadruple the time.
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+        for alg in [GenAlgorithm::Pgpba { fraction: 2.0 }, GenAlgorithm::Pgsk] {
+            let t1 = sim.simulate(&job(alg, 5_000_000_000)).total_secs;
+            let t4 = sim.simulate(&job(alg, 20_000_000_000)).total_secs;
+            let ratio = t4 / t1;
+            assert!((3.0..5.0).contains(&ratio), "{alg:?} scaling ratio {ratio}");
+        }
+        let ba = sim.simulate(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, 4_000_000_000));
+        let sk = sim.simulate(&job(GenAlgorithm::Pgsk, 4_000_000_000));
+        assert!(ba.total_secs < sk.total_secs, "PGPBA must beat PGSK");
+    }
+
+    #[test]
+    fn twenty_billion_edges_under_an_hour_on_60_nodes() {
+        // Paper abstract: billions of edges in under an hour on 60 nodes.
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+        let r = sim.simulate(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, 20_000_000_000));
+        assert!(r.total_secs < 3600.0, "took {} s", r.total_secs);
+    }
+
+    #[test]
+    fn property_overhead_matches_fig10() {
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+        let with = |alg, props| {
+            let mut j = job(alg, 10_000_000_000);
+            j.with_properties = props;
+            sim.simulate(&j).compute_secs
+        };
+        let ba_ovh = with(GenAlgorithm::Pgpba { fraction: 2.0 }, true)
+            / with(GenAlgorithm::Pgpba { fraction: 2.0 }, false)
+            - 1.0;
+        let sk_ovh = with(GenAlgorithm::Pgsk, true) / with(GenAlgorithm::Pgsk, false) - 1.0;
+        assert!((ba_ovh - 0.5).abs() < 0.02, "PGPBA property overhead {ba_ovh}");
+        assert!((sk_ovh - 0.3).abs() < 0.02, "PGSK property overhead {sk_ovh}");
+    }
+
+    #[test]
+    fn memory_flat_then_linear() {
+        // Paper Fig. 11: ~constant below 1e8 edges, linear to ~300 GB at 2e10.
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+        let mem = |e| sim.simulate(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, e)).memory_per_node_gb;
+        assert!(mem(1_000_000) < 10.0);
+        assert!((mem(100_000_000) - mem(1_000_000)) / mem(1_000_000) < 0.25);
+        let big = mem(20_000_000_000);
+        assert!((250.0..400.0).contains(&big), "memory at 2e10: {big} GB");
+    }
+
+    #[test]
+    fn strong_scaling_pgpba_near_ideal_pgsk_below() {
+        // Paper Fig. 12: fixed sizes (9.6e9 PGPBA / 6e9 PGSK), nodes 10->60.
+        let speedup = |alg, edges| {
+            let t10 = SimCluster::new(ClusterConfig::shadow_ii(10), CostModel::default())
+                .simulate(&job(alg, edges))
+                .total_secs;
+            let t60 = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default())
+                .simulate(&job(alg, edges))
+                .total_secs;
+            t10 / t60
+        };
+        let ba = speedup(GenAlgorithm::Pgpba { fraction: 2.0 }, 9_600_000_000);
+        let sk = speedup(GenAlgorithm::Pgsk, 6_000_000_000);
+        assert!(ba > 4.5, "PGPBA speedup {ba} should be near ideal 6");
+        assert!(sk < ba, "PGSK ({sk}) must scale worse than PGPBA ({ba})");
+        assert!(sk > 2.0, "PGSK should still scale, got {sk}");
+    }
+
+    #[test]
+    fn iteration_counts_in_paper_ballpark() {
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(10), CostModel::default());
+        // Paper: 12 iterations (fraction 2) for 9.6e9; 30 for PGSK at 6e9.
+        let ba = sim.iterations(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, 9_600_000_000));
+        assert!((6..=14).contains(&ba), "PGPBA iterations {ba}");
+        let sk = sim.iterations(&job(GenAlgorithm::Pgsk, 6_000_000_000));
+        assert!((20..=40).contains(&sk), "PGSK iterations {sk}");
+    }
+
+    #[test]
+    fn estimate_from_metrics_tracks_recorded_work() {
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(10), CostModel::default());
+        let small = crate::metrics::JobMetrics::new();
+        small.record("map", 1000, 1000, 0);
+        let big = crate::metrics::JobMetrics::new();
+        big.record("map", 1_000_000, 1_000_000, 0);
+        big.record("distinct", 1_000_000, 900_000, 1_000_000);
+        let rs = sim.estimate_from_metrics(&small, 30_000.0);
+        let rb = sim.estimate_from_metrics(&big, 30_000.0);
+        assert!(rb.compute_secs > rs.compute_secs * 100.0);
+        assert!(rb.shuffle_secs > 0.0);
+        assert_eq!(rs.iterations, 1);
+        assert!(rb.barrier_secs > 0.0);
+        assert!(rb.memory_per_node_gb >= rs.memory_per_node_gb);
+    }
+
+    #[test]
+    fn smaller_than_seed_is_one_iteration() {
+        let sim = SimCluster::new(ClusterConfig::shadow_ii(1), CostModel::default());
+        assert_eq!(sim.iterations(&job(GenAlgorithm::Pgpba { fraction: 0.5 }, 1000)), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests: every `Pdd` operator must agree with the obvious
+//! sequential `Vec` reference implementation, regardless of partitioning
+//! and thread count.
+
+use csb_engine::{JobMetrics, Pdd, ThreadPool};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn pdd(data: Vec<u64>, parts: usize, threads: usize) -> Pdd<u64> {
+    Pdd::from_vec(data, parts, ThreadPool::new(threads), JobMetrics::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// map/filter/flat_map match Vec semantics up to ordering.
+    #[test]
+    fn map_filter_flatmap_match_vec(
+        data in prop::collection::vec(0u64..1000, 0..300),
+        parts in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let reference: Vec<u64> = data
+            .iter()
+            .map(|x| x * 3)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        let mut expected = reference;
+        expected.sort_unstable();
+
+        let mut got = pdd(data, parts, threads)
+            .map(|x| x * 3)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// distinct matches HashSet semantics.
+    #[test]
+    fn distinct_matches_set(
+        data in prop::collection::vec(0u64..50, 0..400),
+        parts in 1usize..9,
+    ) {
+        let expected: HashSet<u64> = data.iter().copied().collect();
+        let got: HashSet<u64> = pdd(data, parts, 4).distinct().collect().into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// reduce_by_key matches a HashMap fold.
+    #[test]
+    fn reduce_by_key_matches_map(
+        data in prop::collection::vec((0u64..10, 1u64..100), 0..300),
+        parts in 1usize..9,
+    ) {
+        let mut expected = std::collections::HashMap::new();
+        for &(k, v) in &data {
+            *expected.entry(k).or_insert(0u64) += v;
+        }
+        let d = Pdd::from_vec(data, parts, ThreadPool::new(4), JobMetrics::new());
+        let got: std::collections::HashMap<u64, u64> =
+            d.reduce_by_key(|a, b| a + b).collect().into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// take_ordered matches sort + truncate.
+    #[test]
+    fn take_ordered_matches_sort(
+        data in prop::collection::vec(0u64..10_000, 0..300),
+        parts in 1usize..9,
+        k in 0usize..20,
+    ) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        expected.truncate(k);
+        let got = pdd(data, parts, 4).take_ordered(k);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Partition count never changes the multiset of records.
+    #[test]
+    fn repartitioning_is_invisible(
+        data in prop::collection::vec(0u64..1000, 0..200),
+        p1 in 1usize..9,
+        p2 in 1usize..9,
+    ) {
+        let mut a = pdd(data.clone(), p1, 2).map(|x| x ^ 7).collect();
+        let mut b = pdd(data, p2, 4).map(|x| x ^ 7).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Approximate betweenness centrality (Brandes' algorithm over sampled
+//! sources), another structural property the paper lists for future
+//! generation methods. Sampling keeps it usable on the large synthetic
+//! graphs; with `samples >= |V|` it is exact Brandes.
+
+use crate::csr::Csr;
+use crate::graph::{PropertyGraph, VertexId};
+use csb_stats::rng::rng_for;
+use rand::seq::SliceRandom;
+use std::collections::VecDeque;
+
+/// Betweenness estimated from `samples` random source vertices, scaled to
+/// extrapolate to the full sum (multiply per-source contributions by
+/// `|V| / samples`). Directed, unweighted shortest paths.
+pub fn approximate_betweenness<V, E>(
+    g: &PropertyGraph<V, E>,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = g.vertex_count();
+    let mut bc = vec![0.0f64; n];
+    if n == 0 || samples == 0 {
+        return bc;
+    }
+    let csr = Csr::out_of(g);
+    let mut sources: Vec<u32> = (0..n as u32).collect();
+    let mut rng = rng_for(seed, 0xBC);
+    sources.shuffle(&mut rng);
+    let picked = &sources[..samples.min(n)];
+    let scale = n as f64 / picked.len() as f64;
+
+    // Brandes' accumulation, one BFS per source.
+    let mut dist = vec![-1i64; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    for &s in picked {
+        dist.iter_mut().for_each(|d| *d = -1);
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        preds.iter_mut().for_each(Vec::clear);
+        order.clear();
+
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &w in csr.neighbors(VertexId(u)) {
+                let wu = w as usize;
+                if dist[wu] < 0 {
+                    dist[wu] = dist[u as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[wu] == dist[u as usize] + 1 {
+                    sigma[wu] += sigma[u as usize];
+                    preds[wu].push(u);
+                }
+            }
+        }
+        for &w in order.iter().rev() {
+            let wu = w as usize;
+            for &p in &preds[wu] {
+                let pu = p as usize;
+                delta[pu] += sigma[pu] / sigma[wu] * (1.0 + delta[wu]);
+            }
+            if w != s {
+                bc[wu] += delta[wu] * scale;
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path a -> b -> c: all shortest paths through b.
+    #[test]
+    fn path_center_has_all_betweenness() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let a = g.add_vertex(());
+        let b = g.add_vertex(());
+        let c = g.add_vertex(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let bc = approximate_betweenness(&g, 3, 0); // exact: all sources
+        assert!((bc[a.index()] - 0.0).abs() < 1e-12);
+        assert!((bc[b.index()] - 1.0).abs() < 1e-12);
+        assert!((bc[c.index()] - 0.0).abs() < 1e-12);
+    }
+
+    /// Star: hub sits on every leaf-to-leaf path.
+    #[test]
+    fn star_hub_dominates() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let hub = g.add_vertex(());
+        let leaves: Vec<_> = (0..5).map(|_| g.add_vertex(())).collect();
+        for &l in &leaves {
+            g.add_edge(hub, l, ());
+            g.add_edge(l, hub, ());
+        }
+        let bc = approximate_betweenness(&g, 6, 0);
+        // Hub: 5*4 = 20 ordered leaf pairs, each with exactly one shortest
+        // path through the hub.
+        assert!((bc[0] - 20.0).abs() < 1e-9, "hub bc {}", bc[0]);
+        for &l in &leaves {
+            assert!(bc[l.index()].abs() < 1e-9);
+        }
+    }
+
+    /// Two parallel two-hop routes split path counts evenly.
+    #[test]
+    fn split_shortest_paths() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let s = g.add_vertex(());
+        let m1 = g.add_vertex(());
+        let m2 = g.add_vertex(());
+        let t = g.add_vertex(());
+        g.add_edge(s, m1, ());
+        g.add_edge(s, m2, ());
+        g.add_edge(m1, t, ());
+        g.add_edge(m2, t, ());
+        let bc = approximate_betweenness(&g, 4, 0);
+        assert!((bc[m1.index()] - 0.5).abs() < 1e-12);
+        assert!((bc[m2.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_approximates_exact() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let v: Vec<_> = (0..60).map(|_| g.add_vertex(())).collect();
+        for _ in 0..300 {
+            let a = rng.gen_range(0..60);
+            let b = rng.gen_range(0..60);
+            if a != b {
+                g.add_edge(v[a], v[b], ());
+            }
+        }
+        let exact = approximate_betweenness(&g, 60, 1);
+        let approx = approximate_betweenness(&g, 30, 1);
+        // Spearman-ish check: the top-exact vertex should be near the top of
+        // the approximation.
+        let top_exact =
+            (0..60).max_by(|&a, &b| exact[a].partial_cmp(&exact[b]).expect("finite")).expect("n>0");
+        let mut ranked: Vec<usize> = (0..60).collect();
+        ranked.sort_by(|&a, &b| approx[b].partial_cmp(&approx[a]).expect("finite"));
+        let pos = ranked.iter().position(|&v| v == top_exact).expect("present");
+        assert!(pos < 12, "top exact vertex ranked {pos} in approximation");
+    }
+
+    #[test]
+    fn empty_and_zero_samples() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        assert!(approximate_betweenness(&g, 10, 0).is_empty());
+        let mut g2: PropertyGraph<(), ()> = PropertyGraph::new();
+        g2.add_vertex(());
+        assert_eq!(approximate_betweenness(&g2, 0, 0), vec![0.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Triangle counting and clustering coefficients on the simplified
+//! undirected skeleton of the multigraph (parallel edges and directions
+//! collapse, self-loops dropped) — the property the BTER line of work the
+//! paper surveys is built around.
+
+use crate::graph::PropertyGraph;
+use rayon::prelude::*;
+
+/// Builds a sorted, deduplicated undirected adjacency list.
+fn undirected_adjacency<V, E>(g: &PropertyGraph<V, E>) -> Vec<Vec<u32>> {
+    let n = g.vertex_count();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
+        if s != t {
+            adj[s.index()].push(t.0);
+            adj[t.index()].push(s.0);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// Number of common elements of two sorted slices.
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Counts undirected triangles (each counted once).
+pub fn triangle_count<V, E>(g: &PropertyGraph<V, E>) -> u64 {
+    let adj = undirected_adjacency(g);
+    // For each edge (u,v) with u < v, count common neighbors w > v to count
+    // each triangle exactly once.
+    adj.par_iter()
+        .enumerate()
+        .map(|(u, nu)| {
+            let mut local = 0u64;
+            for &v in nu.iter().filter(|&&v| (v as usize) > u) {
+                let nv = &adj[v as usize];
+                // Common neighbors greater than v.
+                let start_u = nu.partition_point(|&x| x <= v);
+                let start_v = nv.partition_point(|&x| x <= v);
+                local += intersection_size(&nu[start_u..], &nv[start_v..]) as u64;
+            }
+            local
+        })
+        .sum()
+}
+
+/// Average local clustering coefficient over vertices with degree >= 2.
+/// Returns 0 when no such vertex exists.
+pub fn average_clustering<V, E>(g: &PropertyGraph<V, E>) -> f64 {
+    let adj = undirected_adjacency(g);
+    let (sum, eligible) = adj
+        .par_iter()
+        .map(|nu| {
+            let d = nu.len();
+            if d < 2 {
+                return (0.0f64, 0u64);
+            }
+            let mut closed = 0u64;
+            for (i, &v) in nu.iter().enumerate() {
+                for &w in &nu[i + 1..] {
+                    // Edge between v and w?
+                    if adj[v as usize].binary_search(&w).is_ok() {
+                        closed += 1;
+                    }
+                }
+            }
+            let possible = (d * (d - 1) / 2) as f64;
+            (closed as f64 / possible, 1u64)
+        })
+        .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    if eligible == 0 {
+        0.0
+    } else {
+        sum / eligible as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+
+    fn triangle() -> PropertyGraph<(), ()> {
+        let mut g = PropertyGraph::new();
+        let v: Vec<_> = (0..3).map(|_| g.add_vertex(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[1], v[2], ());
+        g.add_edge(v[2], v[0], ());
+        g
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = triangle();
+        assert_eq!(triangle_count(&g), 1);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_edges_and_direction_do_not_double_count() {
+        let mut g = triangle();
+        // Duplicate and reverse edges must not create new triangles.
+        g.add_edge(crate::graph::VertexId(1), crate::graph::VertexId(0), ());
+        g.add_edge(crate::graph::VertexId(0), crate::graph::VertexId(1), ());
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let v: Vec<_> = (0..4).map(|_| g.add_vertex(())).collect();
+        for i in 0..4 {
+            g.add_edge(v[i], v[(i + 1) % 4], ());
+        }
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let v: Vec<_> = (0..4).map(|_| g.add_vertex(())).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(v[i], v[j], ());
+            }
+        }
+        assert_eq!(triangle_count(&g), 4);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_clustering() {
+        // Triangle plus a pendant on vertex 0:
+        // c(0) = 1/3 (neighbors 1,2,3; only (1,2) closed), c(1)=c(2)=1,
+        // c(3) undefined (degree 1) -> average over eligible = (1/3+1+1)/3.
+        let mut g = triangle();
+        let p = g.add_vertex(());
+        g.add_edge(crate::graph::VertexId(0), p, ());
+        let expect = (1.0 / 3.0 + 1.0 + 1.0) / 3.0;
+        assert!((average_clustering(&g) - expect).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = triangle();
+        g.add_edge(crate::graph::VertexId(0), crate::graph::VertexId(0), ());
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

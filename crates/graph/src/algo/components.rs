@@ -1,0 +1,142 @@
+//! Weakly connected components via union-find (path halving + union by
+//! size) — one of the additional structural properties the paper cites
+//! (Hirschberg et al.) for future generation methods.
+
+use crate::graph::PropertyGraph;
+
+/// Disjoint-set forest over `n` elements.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+}
+
+/// Component labeling of a graph's vertices (edge direction ignored).
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per vertex (ids are representative vertex indices,
+    /// relabeled densely from 0).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+/// Computes weakly connected components.
+pub fn weakly_connected_components<V, E>(g: &PropertyGraph<V, E>) -> Components {
+    let n = g.vertex_count();
+    let mut uf = UnionFind::new(n);
+    for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
+        uf.union(s.0, t.0);
+    }
+    // Dense relabeling.
+    let mut labels = vec![0u32; n];
+    let mut next = 0u32;
+    let mut map = std::collections::HashMap::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        let id = *map.entry(root).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            sizes.push(0);
+            id
+        });
+        labels[v as usize] = id;
+        sizes[id as usize] += 1;
+    }
+    Components {
+        labels,
+        count: next as usize,
+        largest: sizes.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+
+    #[test]
+    fn two_islands() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let v: Vec<_> = (0..6).map(|_| g.add_vertex(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[1], v[2], ());
+        g.add_edge(v[3], v[4], ());
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(c.largest, 3);
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_ne!(c.labels[5], c.labels[0]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let a = g.add_vertex(());
+        let b = g.add_vertex(());
+        g.add_edge(b, a, ());
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest, 0);
+
+        let mut g2: PropertyGraph<(), ()> = PropertyGraph::new();
+        g2.add_vertex(());
+        g2.add_vertex(());
+        let c2 = weakly_connected_components(&g2);
+        assert_eq!(c2.count, 2);
+        assert_eq!(c2.largest, 1);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_ne!(uf.find(0), uf.find(2));
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+}

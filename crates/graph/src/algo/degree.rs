@@ -1,0 +1,71 @@
+//! Degree distributions — the first structural property the seed analysis
+//! extracts (paper Fig. 1 "structural and attributes' properties analysis").
+
+use crate::graph::PropertyGraph;
+use csb_stats::EmpiricalDistribution;
+
+/// The in- and out-degree empirical distributions of a graph, the direct
+/// inputs of PGPBA (paper Fig. 2 takes `Distribution outDegree, inDegree`).
+#[derive(Debug, Clone)]
+pub struct DegreeDistributions {
+    /// Distribution of in-degrees over vertices.
+    pub in_degree: EmpiricalDistribution,
+    /// Distribution of out-degrees over vertices.
+    pub out_degree: EmpiricalDistribution,
+}
+
+/// Computes both degree distributions.
+///
+/// # Panics
+/// Panics on an empty graph (no distribution to extract).
+pub fn degree_distribution<V, E>(g: &PropertyGraph<V, E>) -> DegreeDistributions {
+    assert!(g.vertex_count() > 0, "degree distribution of empty graph");
+    DegreeDistributions {
+        in_degree: EmpiricalDistribution::from_samples(g.in_degrees()),
+        out_degree: EmpiricalDistribution::from_samples(g.out_degrees()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{PropertyGraph, VertexId};
+
+    #[test]
+    fn star_graph_distributions() {
+        // Hub 0 -> 1..=4: out-degrees [4,0,0,0,0], in-degrees [0,1,1,1,1].
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let hub = g.add_vertex(());
+        for _ in 0..4 {
+            let leaf = g.add_vertex(());
+            g.add_edge(hub, leaf, ());
+        }
+        let d = degree_distribution(&g);
+        assert!((d.out_degree.pmf(0) - 0.8).abs() < 1e-12);
+        assert!((d.out_degree.pmf(4) - 0.2).abs() < 1e-12);
+        assert!((d.in_degree.pmf(1) - 0.8).abs() < 1e-12);
+        assert!((d.in_degree.pmf(0) - 0.2).abs() < 1e-12);
+        let _ = VertexId(0);
+    }
+
+    #[test]
+    fn mean_degree_equals_edges_over_vertices() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let v: Vec<_> = (0..10).map(|_| g.add_vertex(())).collect();
+        for i in 0..10 {
+            for j in 0..3 {
+                g.add_edge(v[i], v[(i + j + 1) % 10], ());
+            }
+        }
+        let d = degree_distribution(&g);
+        assert!((d.out_degree.mean() - 3.0).abs() < 1e-12);
+        assert!((d.in_degree.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_panics() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let _ = degree_distribution(&g);
+    }
+}

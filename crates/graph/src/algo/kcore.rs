@@ -1,0 +1,144 @@
+//! k-core decomposition (Matula-Beck peeling) on the undirected skeleton.
+//!
+//! Core numbers locate the dense backbone of a trace graph (server farms,
+//! botnets) — a robustness statistic scale-free generators are often judged
+//! on.
+
+use crate::graph::PropertyGraph;
+
+/// Core number of every vertex: the largest `k` such that the vertex
+/// belongs to a subgraph where every vertex has (undirected) degree >= k.
+/// Parallel edges and self-loops are ignored.
+pub fn core_numbers<V, E>(g: &PropertyGraph<V, E>) -> Vec<u32> {
+    let n = g.vertex_count();
+    // Deduplicated undirected adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
+        if s != t {
+            adj[s.index()].push(t.0);
+            adj[t.index()].push(s.0);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let mut degree: Vec<u32> = adj.iter().map(|a| a.len() as u32).collect();
+
+    // Bucket-queue peel: process vertices in nondecreasing degree order.
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_degree + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d as usize].push(v as u32);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current_k = 0u32;
+    for d in 0..=max_degree {
+        let mut i = 0;
+        // Buckets grow as neighbors get demoted into them; index loop.
+        while i < buckets[d].len() {
+            let v = buckets[d][i];
+            i += 1;
+            let vu = v as usize;
+            if removed[vu] || degree[vu] as usize != d {
+                continue;
+            }
+            current_k = current_k.max(d as u32);
+            core[vu] = current_k;
+            removed[vu] = true;
+            for &w in &adj[vu] {
+                let wu = w as usize;
+                if !removed[wu] && degree[wu] > d as u32 {
+                    degree[wu] -= 1;
+                    buckets[degree[wu] as usize].push(w);
+                }
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy: the maximum core number.
+pub fn degeneracy<V, E>(g: &PropertyGraph<V, E>) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VertexId;
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> PropertyGraph<(), ()> {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex(());
+        }
+        for &(s, d) in edges {
+            g.add_edge(VertexId(s), VertexId(d), ());
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // Triangle {0,1,2} is a 2-core; pendant 3 is a 1-core.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn clique_core_is_size_minus_one() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = graph(5, &edges);
+        assert!(core_numbers(&g).iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(core_numbers(&g).iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn isolated_vertices_are_zero_core() {
+        let g = graph(3, &[(0, 1)]);
+        assert_eq!(core_numbers(&g)[2], 0);
+    }
+
+    #[test]
+    fn multi_edges_and_direction_ignored() {
+        let g = graph(3, &[(0, 1), (1, 0), (0, 1), (1, 2), (2, 0)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn clique_plus_periphery() {
+        // 4-clique {0..3} with a chain 3-4-5 hanging off.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        edges.push((3, 4));
+        edges.push((4, 5));
+        let g = graph(6, &edges);
+        let c = core_numbers(&g);
+        assert_eq!(&c[..4], &[3, 3, 3, 3]);
+        assert_eq!(&c[4..], &[1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+}

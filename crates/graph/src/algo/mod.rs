@@ -1,0 +1,26 @@
+//! Graph analytics kernels.
+//!
+//! The paper's veracity analysis uses in/out degree and PageRank
+//! ([`degree`], [`pagerank`]); betweenness centrality and connected
+//! components are named as properties "additional generation methods" could
+//! preserve, so they are provided too ([`betweenness`], [`components`]),
+//! plus clustering coefficients ([`clustering`]) used by the richer
+//! graph-model literature the paper surveys (BTER et al.).
+
+pub mod assortativity;
+pub mod betweenness;
+pub mod clustering;
+pub mod components;
+pub mod degree;
+pub mod kcore;
+pub mod pagerank;
+pub mod scc;
+
+pub use assortativity::degree_assortativity;
+pub use betweenness::approximate_betweenness;
+pub use clustering::{average_clustering, triangle_count};
+pub use components::weakly_connected_components;
+pub use degree::{degree_distribution, DegreeDistributions};
+pub use kcore::{core_numbers, degeneracy};
+pub use pagerank::{pagerank, PageRankConfig};
+pub use scc::strongly_connected_components;

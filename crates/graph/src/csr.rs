@@ -1,0 +1,147 @@
+//! Compressed sparse row adjacency index.
+//!
+//! The flat edge list is ideal for PGPBA's edge sampling but poor for
+//! traversal; kernels (PageRank, BFS, Brandes) build a [`Csr`] first:
+//! `offsets[v]..offsets[v+1]` indexes `targets` with `v`'s out-neighbors.
+
+use crate::graph::{PropertyGraph, VertexId};
+
+/// CSR adjacency over `n` vertices. Multi-edges are preserved (a neighbor
+/// appears once per parallel edge).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the *out*-adjacency of the graph.
+    pub fn out_of<V, E>(g: &PropertyGraph<V, E>) -> Self {
+        Self::build(g.vertex_count(), g.edge_sources(), g.edge_targets())
+    }
+
+    /// Builds the *in*-adjacency (reverse edges) of the graph.
+    pub fn in_of<V, E>(g: &PropertyGraph<V, E>) -> Self {
+        Self::build(g.vertex_count(), g.edge_targets(), g.edge_sources())
+    }
+
+    /// Counting-sort construction from parallel `from`/`to` arrays.
+    fn build(n: usize, from: &[VertexId], to: &[VertexId]) -> Self {
+        let mut offsets = vec![0usize; n + 1];
+        for f in from {
+            offsets[f.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; from.len()];
+        for (f, t) in from.iter().zip(to.iter()) {
+            let slot = cursor[f.index()];
+            targets[slot] = t.0;
+            cursor[f.index()] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `v` (with multiplicity).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Degree of `v` in this orientation.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// The offsets array (length `n+1`, monotone, ends at `edge_count`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PropertyGraph<(), ()> {
+        let mut g = PropertyGraph::new();
+        let v: Vec<VertexId> = (0..4).map(|_| g.add_vertex(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[0], v[2], ());
+        g.add_edge(v[0], v[1], ()); // parallel
+        g.add_edge(v[2], v[3], ());
+        g.add_edge(v[3], v[0], ());
+        g
+    }
+
+    #[test]
+    fn out_adjacency() {
+        let g = sample();
+        let csr = Csr::out_of(&g);
+        assert_eq!(csr.vertex_count(), 4);
+        assert_eq!(csr.edge_count(), 5);
+        let mut n0 = csr.neighbors(VertexId(0)).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 1, 2]);
+        assert_eq!(csr.degree(VertexId(1)), 0);
+        assert_eq!(csr.neighbors(VertexId(3)), &[0]);
+    }
+
+    #[test]
+    fn in_adjacency_is_reverse() {
+        let g = sample();
+        let csr = Csr::in_of(&g);
+        let mut n1 = csr.neighbors(VertexId(1)).to_vec();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![0, 0]);
+        assert_eq!(csr.neighbors(VertexId(0)), &[3]);
+    }
+
+    #[test]
+    fn offsets_invariants() {
+        let g = sample();
+        let csr = Csr::out_of(&g);
+        let off = csr.offsets();
+        assert_eq!(off.len(), g.vertex_count() + 1);
+        assert_eq!(off[0], 0);
+        assert_eq!(*off.last().expect("non-empty"), g.edge_count());
+        assert!(off.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn degrees_match_graph() {
+        let g = sample();
+        let out = Csr::out_of(&g);
+        let ind = Csr::in_of(&g);
+        let od = g.out_degrees();
+        let id = g.in_degrees();
+        for v in g.vertices() {
+            assert_eq!(out.degree(v) as u64, od[v.index()]);
+            assert_eq!(ind.degree(v) as u64, id[v.index()]);
+        }
+    }
+
+    #[test]
+    fn empty_graph_csr() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let csr = Csr::out_of(&g);
+        assert_eq!(csr.vertex_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+}

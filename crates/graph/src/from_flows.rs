@@ -1,0 +1,81 @@
+//! NetFlow -> property-graph mapping (paper Fig. 1, "Netflow to
+//! property-graph"): hosts become vertices, flows become edges.
+
+use crate::graph::VertexId;
+use crate::properties::EdgeProperties;
+use crate::NetflowGraph;
+use csb_net::flow::FlowRecord;
+use std::collections::HashMap;
+
+/// Builds the property-graph of a flow set. Vertices carry the host IPv4
+/// address (the paper's `Dv` is just an ID; we keep the address so flows can
+/// be traced back); every flow becomes one directed edge originator ->
+/// responder carrying the nine NetFlow attributes.
+pub fn graph_from_flows(flows: &[FlowRecord]) -> NetflowGraph {
+    let mut g = NetflowGraph::with_capacity(flows.len() / 4 + 1, flows.len());
+    let mut by_ip: HashMap<u32, VertexId> = HashMap::new();
+    for f in flows {
+        let s = *by_ip.entry(f.src_ip).or_insert_with(|| g.add_vertex(f.src_ip));
+        let d = *by_ip.entry(f.dst_ip).or_insert_with(|| g.add_vertex(f.dst_ip));
+        g.add_edge(s, d, EdgeProperties::from_flow(f));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_net::flow::{Protocol, TcpConnState};
+
+    fn flow(src: u32, dst: u32, dport: u16) -> FlowRecord {
+        FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: Protocol::Tcp,
+            src_port: 40000,
+            dst_port: dport,
+            duration_ms: 1,
+            out_bytes: 10,
+            in_bytes: 20,
+            out_pkts: 1,
+            in_pkts: 1,
+            state: TcpConnState::Sf,
+            syn_count: 1,
+            ack_count: 1,
+            first_ts_micros: 0,
+        }
+    }
+
+    #[test]
+    fn hosts_become_unique_vertices() {
+        let flows = vec![flow(1, 2, 80), flow(1, 3, 443), flow(2, 3, 22)];
+        let g = graph_from_flows(&flows);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn repeated_connections_become_multi_edges() {
+        let flows = vec![flow(1, 2, 80), flow(1, 2, 80), flow(1, 2, 8080)];
+        let g = graph_from_flows(&flows);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn edge_attributes_preserved() {
+        let g = graph_from_flows(&[flow(9, 8, 25)]);
+        let (_, s, d, props) = g.edges().next().expect("one edge");
+        assert_eq!(*g.vertex(s), 9);
+        assert_eq!(*g.vertex(d), 8);
+        assert_eq!(props.dst_port, 25);
+        assert_eq!(props.in_bytes, 20);
+    }
+
+    #[test]
+    fn empty_flows_empty_graph() {
+        let g = graph_from_flows(&[]);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

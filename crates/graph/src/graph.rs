@@ -1,0 +1,279 @@
+//! The directed property multigraph `G = (V, E, Dv, De)`.
+//!
+//! Storage is a struct-of-arrays edge list (sources, targets, edge data in
+//! parallel vectors) — the same flat representation the paper's Spark/GraphX
+//! implementation keeps in its edge RDD, and the representation PGPBA's
+//! two-stage preferential attachment samples from.
+
+/// Index of a vertex in the graph. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Index of an edge in the multi-set `E`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+impl VertexId {
+    /// The underlying index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed multigraph with vertex data `V` and edge data `E`.
+///
+/// ```
+/// use csb_graph::PropertyGraph;
+///
+/// let mut g: PropertyGraph<&str, u32> = PropertyGraph::new();
+/// let a = g.add_vertex("10.0.0.1");
+/// let b = g.add_vertex("10.0.0.2");
+/// g.add_edge(a, b, 443);
+/// g.add_edge(a, b, 443); // parallel edges are first-class
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.out_degrees(), vec![2, 0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PropertyGraph<V, E> {
+    vertex_data: Vec<V>,
+    src: Vec<VertexId>,
+    dst: Vec<VertexId>,
+    edge_data: Vec<E>,
+}
+
+impl<V, E> PropertyGraph<V, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        PropertyGraph {
+            vertex_data: Vec::new(),
+            src: Vec::new(),
+            dst: Vec::new(),
+            edge_data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with reserved capacity.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        PropertyGraph {
+            vertex_data: Vec::with_capacity(vertices),
+            src: Vec::with_capacity(edges),
+            dst: Vec::with_capacity(edges),
+            edge_data: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a vertex carrying `data` and returns its id.
+    pub fn add_vertex(&mut self, data: V) -> VertexId {
+        let id = VertexId(u32::try_from(self.vertex_data.len()).expect("vertex count exceeds u32"));
+        self.vertex_data.push(data);
+        id
+    }
+
+    /// Adds a directed edge `src -> dst` carrying `data`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, data: E) -> EdgeId {
+        assert!(src.index() < self.vertex_data.len(), "edge source out of range");
+        assert!(dst.index() < self.vertex_data.len(), "edge target out of range");
+        let id = EdgeId(self.src.len());
+        self.src.push(src);
+        self.dst.push(dst);
+        self.edge_data.push(data);
+        id
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_data.len()
+    }
+
+    /// Number of edges `|E|` (multi-edges counted individually).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Vertex data of `v`.
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> &V {
+        &self.vertex_data[v.index()]
+    }
+
+    /// Mutable vertex data of `v`.
+    #[inline]
+    pub fn vertex_mut(&mut self, v: VertexId) -> &mut V {
+        &mut self.vertex_data[v.index()]
+    }
+
+    /// Endpoints of edge `e` as `(src, dst)`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        (self.src[e.0], self.dst[e.0])
+    }
+
+    /// Edge data of `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &E {
+        &self.edge_data[e.0]
+    }
+
+    /// Mutable edge data of `e`.
+    #[inline]
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut E {
+        &mut self.edge_data[e.0]
+    }
+
+    /// Iterates vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_data.len() as u32).map(VertexId)
+    }
+
+    /// Iterates `(EdgeId, src, dst, &data)` over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, &E)> + '_ {
+        (0..self.src.len()).map(move |i| (EdgeId(i), self.src[i], self.dst[i], &self.edge_data[i]))
+    }
+
+    /// Raw edge source array (for kernels and samplers).
+    #[inline]
+    pub fn edge_sources(&self) -> &[VertexId] {
+        &self.src
+    }
+
+    /// Raw edge target array.
+    #[inline]
+    pub fn edge_targets(&self) -> &[VertexId] {
+        &self.dst
+    }
+
+    /// Raw edge data array.
+    #[inline]
+    pub fn edge_data(&self) -> &[E] {
+        &self.edge_data
+    }
+
+    /// Raw vertex data array.
+    #[inline]
+    pub fn vertex_data(&self) -> &[V] {
+        &self.vertex_data
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u64> {
+        let mut d = vec![0u64; self.vertex_count()];
+        for s in &self.src {
+            d[s.index()] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u64> {
+        let mut d = vec![0u64; self.vertex_count()];
+        for t in &self.dst {
+            d[t.index()] += 1;
+        }
+        d
+    }
+
+    /// Maps edge data, keeping topology (used to strip attributes for the
+    /// Kronecker pre-pass).
+    pub fn map_edges<F, E2>(&self, mut f: F) -> PropertyGraph<V, E2>
+    where
+        V: Clone,
+        F: FnMut(&E) -> E2,
+    {
+        PropertyGraph {
+            vertex_data: self.vertex_data.clone(),
+            src: self.src.clone(),
+            dst: self.dst.clone(),
+            edge_data: self.edge_data.iter().map(&mut f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> PropertyGraph<&'static str, u32> {
+        // a -> b, a -> c, b -> d, c -> d, plus a parallel a -> b.
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        let d = g.add_vertex("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2); // multi-edge
+        g.add_edge(a, c, 3);
+        g.add_edge(b, d, 4);
+        g.add_edge(c, d, 5);
+        g
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let g = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(*g.vertex(VertexId(2)), "c");
+        assert_eq!(g.endpoints(EdgeId(0)), (VertexId(0), VertexId(1)));
+        assert_eq!(*g.edge(EdgeId(4)), 5);
+    }
+
+    #[test]
+    fn multi_edges_are_distinct() {
+        let g = diamond();
+        let parallel: Vec<_> = g
+            .edges()
+            .filter(|&(_, s, t, _)| s == VertexId(0) && t == VertexId(1))
+            .collect();
+        assert_eq!(parallel.len(), 2);
+        assert_ne!(parallel[0].3, parallel[1].3);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degrees(), vec![3, 1, 1, 0]);
+        assert_eq!(g.in_degrees(), vec![0, 2, 1, 2]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut g = diamond();
+        *g.vertex_mut(VertexId(0)) = "z";
+        *g.edge_mut(EdgeId(0)) = 99;
+        assert_eq!(*g.vertex(VertexId(0)), "z");
+        assert_eq!(*g.edge(EdgeId(0)), 99);
+    }
+
+    #[test]
+    fn map_edges_keeps_topology() {
+        let g = diamond();
+        let h = g.map_edges(|&w| w as u64 * 10);
+        assert_eq!(h.vertex_count(), g.vertex_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert_eq!(*h.edge(EdgeId(1)), 20u64);
+        assert_eq!(h.endpoints(EdgeId(1)), g.endpoints(EdgeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_edge_panics() {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let v = g.add_vertex(());
+        g.add_edge(v, VertexId(7), ());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertices().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Text serialization of NetFlow property-graphs.
+//!
+//! A simple line-oriented format (one vertex or edge per line, tab-separated)
+//! so generated datasets can be exported for external graph platforms and
+//! reloaded — the role the paper's released suite plays as the dataset
+//! component of an IDS benchmark.
+//!
+//! ```text
+//! # csb-graph v1
+//! v <id> <ip>
+//! e <src> <dst> <proto> <sport> <dport> <dur_ms> <out_b> <in_b> <out_p> <in_p> <state>
+//! ```
+
+use crate::graph::VertexId;
+use crate::properties::EdgeProperties;
+use crate::NetflowGraph;
+use csb_net::flow::{Protocol, TcpConnState};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+const HEADER: &str = "# csb-graph v1";
+
+/// Errors from graph (de)serialization.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the input text.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph I/O error: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "graph parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Writes the graph in the text format.
+pub fn write_graph<W: Write>(mut w: W, g: &NetflowGraph) -> Result<(), GraphIoError> {
+    writeln!(w, "{HEADER}")?;
+    for v in g.vertices() {
+        writeln!(w, "v\t{}\t{}", v.0, g.vertex(v))?;
+    }
+    for (_, s, d, p) in g.edges() {
+        writeln!(
+            w,
+            "e\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.0,
+            d.0,
+            p.protocol.number(),
+            p.src_port,
+            p.dst_port,
+            p.duration_ms,
+            p.out_bytes,
+            p.in_bytes,
+            p.out_pkts,
+            p.in_pkts,
+            p.state.code()
+        )?;
+    }
+    Ok(())
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse { line, message: message.into() }
+}
+
+/// Reads a graph written by [`write_graph`]. Vertex lines must appear in id
+/// order and precede edges referencing them.
+pub fn read_graph<R: Read>(r: R) -> Result<NetflowGraph, GraphIoError> {
+    let reader = BufReader::new(r);
+    let mut g = NetflowGraph::new();
+    let mut lines = reader.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+    if first?.trim() != HEADER {
+        return Err(parse_err(1, "missing csb-graph header"));
+    }
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        match fields.next() {
+            Some("v") => {
+                let id: u32 = next_field(&mut fields, lineno, "vertex id")?;
+                let ip: u32 = next_field(&mut fields, lineno, "vertex ip")?;
+                let assigned = g.add_vertex(ip);
+                if assigned.0 != id {
+                    return Err(parse_err(lineno, format!("vertex id {id} out of order")));
+                }
+            }
+            Some("e") => {
+                let s: u32 = next_field(&mut fields, lineno, "edge src")?;
+                let d: u32 = next_field(&mut fields, lineno, "edge dst")?;
+                let proto_num: u8 = next_field(&mut fields, lineno, "protocol")?;
+                let protocol = Protocol::from_number(proto_num)
+                    .ok_or_else(|| parse_err(lineno, format!("bad protocol {proto_num}")))?;
+                let src_port: u16 = next_field(&mut fields, lineno, "src port")?;
+                let dst_port: u16 = next_field(&mut fields, lineno, "dst port")?;
+                let duration_ms: u64 = next_field(&mut fields, lineno, "duration")?;
+                let out_bytes: u64 = next_field(&mut fields, lineno, "out bytes")?;
+                let in_bytes: u64 = next_field(&mut fields, lineno, "in bytes")?;
+                let out_pkts: u64 = next_field(&mut fields, lineno, "out pkts")?;
+                let in_pkts: u64 = next_field(&mut fields, lineno, "in pkts")?;
+                let state_code: u64 = next_field(&mut fields, lineno, "state")?;
+                let state = TcpConnState::from_code(state_code)
+                    .ok_or_else(|| parse_err(lineno, format!("bad state {state_code}")))?;
+                if s as usize >= g.vertex_count() || d as usize >= g.vertex_count() {
+                    return Err(parse_err(lineno, "edge references unknown vertex"));
+                }
+                g.add_edge(
+                    VertexId(s),
+                    VertexId(d),
+                    EdgeProperties {
+                        protocol,
+                        src_port,
+                        dst_port,
+                        duration_ms,
+                        out_bytes,
+                        in_bytes,
+                        out_pkts,
+                        in_pkts,
+                        state,
+                    },
+                );
+            }
+            other => {
+                return Err(parse_err(lineno, format!("unknown record kind {other:?}")));
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn next_field<'a, T: std::str::FromStr>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, GraphIoError> {
+    let raw = fields.next().ok_or_else(|| parse_err(lineno, format!("missing {what}")))?;
+    raw.parse().map_err(|_| parse_err(lineno, format!("bad {what}: {raw:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_flows::graph_from_flows;
+    use csb_net::flow::FlowRecord;
+
+    fn sample_graph() -> NetflowGraph {
+        let mk = |src: u32, dst: u32, dport: u16, proto: Protocol, state: TcpConnState| FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: proto,
+            src_port: 41000,
+            dst_port: dport,
+            duration_ms: 77,
+            out_bytes: 123,
+            in_bytes: 4567,
+            out_pkts: 3,
+            in_pkts: 5,
+            state,
+            syn_count: 1,
+            ack_count: 4,
+            first_ts_micros: 0,
+        };
+        graph_from_flows(&[
+            mk(0x0A000001, 0x0A000002, 80, Protocol::Tcp, TcpConnState::Sf),
+            mk(0x0A000001, 0x0A000003, 53, Protocol::Udp, TcpConnState::Oth),
+            mk(0x0A000002, 0x0A000003, 22, Protocol::Tcp, TcpConnState::Rej),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).expect("write");
+        let h = read_graph(&buf[..]).expect("read");
+        assert_eq!(h.vertex_count(), g.vertex_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        for (ge, he) in g.edges().zip(h.edges()) {
+            assert_eq!(ge.1, he.1);
+            assert_eq!(ge.2, he.2);
+            assert_eq!(ge.3, he.3);
+        }
+        for v in g.vertices() {
+            assert_eq!(g.vertex(v), h.vertex(v));
+        }
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(read_graph(&b"v\t0\t1\n"[..]).is_err());
+        assert!(read_graph(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let text = format!("{HEADER}\nv\t0\t1\ne\t0\t5\t6\t1\t2\t3\t4\t5\t6\t7\t2\n");
+        let err = read_graph(text.as_bytes()).expect_err("must fail");
+        assert!(err.to_string().contains("unknown vertex"), "{err}");
+    }
+
+    #[test]
+    fn bad_protocol_rejected() {
+        let text = format!("{HEADER}\nv\t0\t1\nv\t1\t2\ne\t0\t1\t99\t1\t2\t3\t4\t5\t6\t7\t2\n");
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("{HEADER}\n\n# comment\nv\t0\t1\n");
+        let g = read_graph(text.as_bytes()).expect("read");
+        assert_eq!(g.vertex_count(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # csb-graph
+//!
+//! Directed property multigraph substrate and analytics kernels.
+//!
+//! The paper formalizes a property-graph as `G = (V, E, Dv, De)` where `E` is
+//! a *multi-set* (multiple edges between the same vertex pair represent
+//! repeated connections between the same hosts) and `Dv`/`De` attach data to
+//! vertices and edges. [`PropertyGraph`] implements exactly that, generic
+//! over the vertex and edge data types; [`NetflowGraph`] is the instantiation
+//! used throughout the suite (vertex = host, edge = NetFlow record).
+//!
+//! Analytics kernels (the "structural properties" of the paper — in/out
+//! degree, PageRank — plus the extensions it names as future work:
+//! betweenness centrality, connected components, clustering) live in
+//! [`algo`], operating on a [`csr::Csr`] index for cache-friendly traversal
+//! and parallelized with rayon.
+
+pub mod algo;
+pub mod csr;
+pub mod from_flows;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod properties;
+pub mod sample;
+
+pub use csr::Csr;
+pub use from_flows::graph_from_flows;
+pub use graph::{EdgeId, PropertyGraph, VertexId};
+pub use properties::EdgeProperties;
+
+/// The NetFlow instantiation: vertex data is the host's IPv4 address, edge
+/// data is the nine NetFlow attributes of paper Section III.
+pub type NetflowGraph = graph::PropertyGraph<u32, properties::EdgeProperties>;

@@ -1,0 +1,208 @@
+//! GraphX-style edge partitioning strategies.
+//!
+//! The paper's implementation partitions the edge RDD across executors; the
+//! strategy determines load balance and the vertex *replication factor*
+//! (how many partitions each vertex's state must be mirrored to), which
+//! drives shuffle volume. The three classic GraphX strategies are
+//! implemented plus the balance/replication metrics to compare them — used
+//! by the `partition_ablation` Criterion bench.
+
+use crate::graph::{PropertyGraph, VertexId};
+
+/// Edge partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Hash of the (src, dst) pair: balanced, high replication.
+    RandomVertexCut,
+    /// Hash of the source only: co-locates a vertex's out-edges, replication
+    /// bounded by in-edges.
+    EdgePartition1D,
+    /// Grid strategy: vertices map to a sqrt(P) x sqrt(P) grid; an edge goes
+    /// to cell (row(src), col(dst)). Replication per vertex is bounded by
+    /// `2 sqrt(P) - 1`.
+    EdgePartition2D,
+}
+
+#[inline]
+fn mix(x: u64) -> u64 {
+    // splitmix-style finalizer.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PartitionStrategy {
+    /// Partition of one edge.
+    ///
+    /// # Panics
+    /// Panics if `num_partitions == 0`.
+    pub fn partition_of(&self, src: VertexId, dst: VertexId, num_partitions: usize) -> usize {
+        assert!(num_partitions > 0, "need at least one partition");
+        let p = num_partitions as u64;
+        match self {
+            PartitionStrategy::RandomVertexCut => {
+                (mix(((src.0 as u64) << 32) | dst.0 as u64) % p) as usize
+            }
+            PartitionStrategy::EdgePartition1D => (mix(src.0 as u64) % p) as usize,
+            PartitionStrategy::EdgePartition2D => {
+                let side = (p as f64).sqrt().ceil() as u64;
+                let row = mix(src.0 as u64) % side;
+                let col = mix(dst.0 as u64) % side;
+                ((row * side + col) % p) as usize
+            }
+        }
+    }
+
+    /// Assigns every edge of a graph; returns per-edge partition ids.
+    pub fn assign<V, E>(&self, g: &PropertyGraph<V, E>, num_partitions: usize) -> Vec<usize> {
+        g.edge_sources()
+            .iter()
+            .zip(g.edge_targets().iter())
+            .map(|(&s, &d)| self.partition_of(s, d, num_partitions))
+            .collect()
+    }
+}
+
+/// Quality metrics of one partitioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionQuality {
+    /// Largest partition size divided by the mean (1.0 = perfectly even).
+    pub balance: f64,
+    /// Mean number of partitions each (non-isolated) vertex appears in.
+    pub replication_factor: f64,
+}
+
+/// Measures balance and replication of an assignment.
+///
+/// # Panics
+/// Panics if assignment length differs from the edge count.
+pub fn partition_quality<V, E>(
+    g: &PropertyGraph<V, E>,
+    assignment: &[usize],
+    num_partitions: usize,
+) -> PartitionQuality {
+    assert_eq!(assignment.len(), g.edge_count(), "assignment/edge mismatch");
+    let mut sizes = vec![0u64; num_partitions];
+    for &a in assignment {
+        sizes[a] += 1;
+    }
+    let mean = g.edge_count() as f64 / num_partitions as f64;
+    let balance =
+        if mean == 0.0 { 1.0 } else { *sizes.iter().max().expect("non-empty") as f64 / mean };
+
+    // Replication: distinct partitions per vertex.
+    let mut seen: Vec<std::collections::HashSet<usize>> =
+        vec![std::collections::HashSet::new(); g.vertex_count()];
+    for ((&s, &d), &a) in
+        g.edge_sources().iter().zip(g.edge_targets().iter()).zip(assignment.iter())
+    {
+        seen[s.index()].insert(a);
+        seen[d.index()].insert(a);
+    }
+    let active: Vec<usize> = seen.iter().map(|s| s.len()).filter(|&n| n > 0).collect();
+    let replication_factor = if active.is_empty() {
+        0.0
+    } else {
+        active.iter().sum::<usize>() as f64 / active.len() as f64
+    };
+    PartitionQuality { balance, replication_factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_stats::rng::rng_for;
+    use rand::Rng;
+
+    fn random_graph(n: u32, m: usize) -> PropertyGraph<(), ()> {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex(());
+        }
+        let mut rng = rng_for(42, 0);
+        for _ in 0..m {
+            let s = VertexId(rng.gen_range(0..n));
+            let d = VertexId(rng.gen_range(0..n));
+            g.add_edge(s, d, ());
+        }
+        g
+    }
+
+    #[test]
+    fn assignments_in_range_and_deterministic() {
+        let g = random_graph(500, 5_000);
+        for strategy in [
+            PartitionStrategy::RandomVertexCut,
+            PartitionStrategy::EdgePartition1D,
+            PartitionStrategy::EdgePartition2D,
+        ] {
+            let a = strategy.assign(&g, 16);
+            assert_eq!(a.len(), 5_000);
+            assert!(a.iter().all(|&p| p < 16));
+            assert_eq!(a, strategy.assign(&g, 16));
+        }
+    }
+
+    #[test]
+    fn random_vertex_cut_is_balanced() {
+        let g = random_graph(500, 20_000);
+        let a = PartitionStrategy::RandomVertexCut.assign(&g, 16);
+        let q = partition_quality(&g, &a, 16);
+        assert!(q.balance < 1.2, "balance {}", q.balance);
+    }
+
+    #[test]
+    fn one_d_colocates_out_edges() {
+        // A single source vertex: 1D puts all its edges in one partition.
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let hub = g.add_vertex(());
+        for _ in 0..100 {
+            let v = g.add_vertex(());
+            g.add_edge(hub, v, ());
+        }
+        let a = PartitionStrategy::EdgePartition1D.assign(&g, 8);
+        assert!(a.windows(2).all(|w| w[0] == w[1]), "1D must co-locate a source's edges");
+        // Vertex-cut spreads the same edges widely.
+        let rvc = PartitionStrategy::RandomVertexCut.assign(&g, 8);
+        let distinct: std::collections::HashSet<_> = rvc.iter().collect();
+        assert!(distinct.len() > 4);
+    }
+
+    #[test]
+    fn two_d_bounds_replication() {
+        let g = random_graph(300, 30_000);
+        let p = 16usize; // side = 4, bound = 2*4 - 1 = 7
+        let a2d = PartitionStrategy::EdgePartition2D.assign(&g, p);
+        let q2d = partition_quality(&g, &a2d, p);
+        let side = (p as f64).sqrt().ceil();
+        assert!(
+            q2d.replication_factor <= 2.0 * side - 1.0 + 1e-9,
+            "2D replication {} exceeds bound",
+            q2d.replication_factor
+        );
+        // Dense graph: vertex-cut replicates more than 2D.
+        let arvc = PartitionStrategy::RandomVertexCut.assign(&g, p);
+        let qrvc = partition_quality(&g, &arvc, p);
+        assert!(
+            qrvc.replication_factor > q2d.replication_factor,
+            "RVC {} should exceed 2D {}",
+            qrvc.replication_factor,
+            q2d.replication_factor
+        );
+    }
+
+    #[test]
+    fn quality_on_empty_graph() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let q = partition_quality(&g, &[], 4);
+        assert_eq!(q.replication_factor, 0.0);
+        assert_eq!(q.balance, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panic() {
+        PartitionStrategy::RandomVertexCut.partition_of(VertexId(0), VertexId(1), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The `De` edge-attribute set of paper Section III: the nine NetFlow
+//! attributes attached to every edge of a [`crate::NetflowGraph`].
+
+use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+
+/// NetFlow edge attributes (paper Section III's `De` list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeProperties {
+    /// PROTOCOL: transport protocol of the stream.
+    pub protocol: Protocol,
+    /// SRC_PORT: source port.
+    pub src_port: u16,
+    /// DEST_PORT: destination port.
+    pub dst_port: u16,
+    /// DURATION in milliseconds.
+    pub duration_ms: u64,
+    /// OUT_BYTES: source-to-destination bytes.
+    pub out_bytes: u64,
+    /// IN_BYTES: destination-to-source bytes.
+    pub in_bytes: u64,
+    /// OUT_PKTS: source-to-destination packets.
+    pub out_pkts: u64,
+    /// IN_PKTS: destination-to-source packets.
+    pub in_pkts: u64,
+    /// STATE: TCP connection state (OTH for UDP).
+    pub state: TcpConnState,
+}
+
+impl EdgeProperties {
+    /// Extracts the attributes from a NetFlow record.
+    pub fn from_flow(f: &FlowRecord) -> Self {
+        EdgeProperties {
+            protocol: f.protocol,
+            src_port: f.src_port,
+            dst_port: f.dst_port,
+            duration_ms: f.duration_ms,
+            out_bytes: f.out_bytes,
+            in_bytes: f.in_bytes,
+            out_pkts: f.out_pkts,
+            in_pkts: f.in_pkts,
+            state: f.state,
+        }
+    }
+
+    /// A neutral default used when properties are generated afterwards
+    /// (the generators first build topology, then fill attributes — paper
+    /// Fig. 2 lines 15-20 and Fig. 3 lines 13-18).
+    pub fn placeholder() -> Self {
+        EdgeProperties {
+            protocol: Protocol::Tcp,
+            src_port: 0,
+            dst_port: 0,
+            duration_ms: 0,
+            out_bytes: 0,
+            in_bytes: 0,
+            out_pkts: 0,
+            in_pkts: 0,
+            state: TcpConnState::Oth,
+        }
+    }
+
+    /// The attribute names, in the paper's order, for reports.
+    pub const ATTRIBUTE_NAMES: [&'static str; 9] = [
+        "PROTOCOL",
+        "SRC_PORT",
+        "DEST_PORT",
+        "DURATION",
+        "OUT_BYTES",
+        "IN_BYTES",
+        "OUT_PKTS",
+        "IN_PKTS",
+        "STATE",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flow_copies_every_attribute() {
+        let f = FlowRecord {
+            src_ip: 1,
+            dst_ip: 2,
+            protocol: Protocol::Udp,
+            src_port: 5353,
+            dst_port: 53,
+            duration_ms: 12,
+            out_bytes: 60,
+            in_bytes: 300,
+            out_pkts: 1,
+            in_pkts: 1,
+            state: TcpConnState::Oth,
+            syn_count: 0,
+            ack_count: 0,
+            first_ts_micros: 0,
+        };
+        let p = EdgeProperties::from_flow(&f);
+        assert_eq!(p.protocol, Protocol::Udp);
+        assert_eq!(p.src_port, 5353);
+        assert_eq!(p.dst_port, 53);
+        assert_eq!(p.duration_ms, 12);
+        assert_eq!(p.out_bytes, 60);
+        assert_eq!(p.in_bytes, 300);
+        assert_eq!(p.out_pkts, 1);
+        assert_eq!(p.in_pkts, 1);
+        assert_eq!(p.state, TcpConnState::Oth);
+    }
+
+    #[test]
+    fn nine_attributes_as_in_the_paper() {
+        assert_eq!(EdgeProperties::ATTRIBUTE_NAMES.len(), 9);
+    }
+
+    #[test]
+    fn placeholder_is_zeroed() {
+        let p = EdgeProperties::placeholder();
+        assert_eq!(p.out_bytes, 0);
+        assert_eq!(p.in_bytes, 0);
+        assert_eq!(p.state, TcpConnState::Oth);
+    }
+}

@@ -1,0 +1,185 @@
+//! Graph scale-*down*: random edge sampling and vertex-induced subgraphs.
+//!
+//! A benchmark needs datasets both larger (the generators) and smaller
+//! (debugging, laptop-scale platform runs) than the seed. These samplers
+//! shrink a property-graph while keeping vertex/edge data intact, with
+//! vertices re-indexed densely.
+
+use crate::graph::{PropertyGraph, VertexId};
+use csb_stats::rng::rng_for;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Keeps each edge independently with probability `fraction`; vertices that
+/// end up isolated are dropped and ids re-compacted.
+///
+/// # Panics
+/// Panics unless `0 <= fraction <= 1`.
+pub fn sample_edges<V: Clone, E: Clone>(
+    g: &PropertyGraph<V, E>,
+    fraction: f64,
+    seed: u64,
+) -> PropertyGraph<V, E> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut rng = rng_for(seed, 0x5A);
+    let kept: Vec<usize> = (0..g.edge_count()).filter(|_| rng.gen::<f64>() < fraction).collect();
+    let mut touched: Vec<bool> = vec![false; g.vertex_count()];
+    for &e in &kept {
+        let (s, d) = g.endpoints(crate::graph::EdgeId(e));
+        touched[s.index()] = true;
+        touched[d.index()] = true;
+    }
+    let mut remap: Vec<u32> = vec![u32::MAX; g.vertex_count()];
+    let mut out: PropertyGraph<V, E> = PropertyGraph::new();
+    for (v, &t) in touched.iter().enumerate() {
+        if t {
+            remap[v] = out.add_vertex(g.vertex(VertexId(v as u32)).clone()).0;
+        }
+    }
+    for &e in &kept {
+        let id = crate::graph::EdgeId(e);
+        let (s, d) = g.endpoints(id);
+        out.add_edge(
+            VertexId(remap[s.index()]),
+            VertexId(remap[d.index()]),
+            g.edge(id).clone(),
+        );
+    }
+    out
+}
+
+/// The subgraph induced by `vertices` (all edges with both endpoints in the
+/// set), re-indexed densely in the order given. Duplicate ids are ignored.
+pub fn induced_subgraph<V: Clone, E: Clone>(
+    g: &PropertyGraph<V, E>,
+    vertices: &[VertexId],
+) -> PropertyGraph<V, E> {
+    let mut remap: Vec<u32> = vec![u32::MAX; g.vertex_count()];
+    let mut out: PropertyGraph<V, E> = PropertyGraph::new();
+    for &v in vertices {
+        if remap[v.index()] == u32::MAX {
+            remap[v.index()] = out.add_vertex(g.vertex(v).clone()).0;
+        }
+    }
+    for (id, s, d, data) in g.edges() {
+        let (rs, rd) = (remap[s.index()], remap[d.index()]);
+        if rs != u32::MAX && rd != u32::MAX {
+            out.add_edge(VertexId(rs), VertexId(rd), data.clone());
+        }
+        let _ = id;
+    }
+    out
+}
+
+/// Snowball (BFS) sample: the induced subgraph of the first
+/// `target_vertices` hosts reached from `start`, following edges in either
+/// direction — the neighborhood-extraction pattern incident-response tooling
+/// uses.
+pub fn snowball_sample<V: Clone, E: Clone>(
+    g: &PropertyGraph<V, E>,
+    start: VertexId,
+    target_vertices: usize,
+) -> PropertyGraph<V, E> {
+    assert!(start.index() < g.vertex_count(), "start vertex out of range");
+    // Undirected adjacency for the crawl.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.vertex_count()];
+    for (s, d) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
+        adj[s.index()].push(d.0);
+        adj[d.index()].push(s.0);
+    }
+    let mut picked: Vec<VertexId> = Vec::with_capacity(target_vertices);
+    let mut seen = vec![false; g.vertex_count()];
+    let mut queue = VecDeque::from([start.0]);
+    seen[start.index()] = true;
+    while let Some(v) = queue.pop_front() {
+        picked.push(VertexId(v));
+        if picked.len() >= target_vertices {
+            break;
+        }
+        for &w in &adj[v as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    induced_subgraph(g, &picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32) -> PropertyGraph<u32, u32> {
+        let mut g = PropertyGraph::new();
+        for i in 0..n {
+            g.add_vertex(i * 10);
+        }
+        for i in 0..n - 1 {
+            g.add_edge(VertexId(i), VertexId(i + 1), i);
+        }
+        g
+    }
+
+    #[test]
+    fn fraction_extremes() {
+        let g = chain(20);
+        let none = sample_edges(&g, 0.0, 1);
+        assert_eq!(none.edge_count(), 0);
+        assert_eq!(none.vertex_count(), 0);
+        let all = sample_edges(&g, 1.0, 1);
+        assert_eq!(all.edge_count(), g.edge_count());
+        assert_eq!(all.vertex_count(), g.vertex_count());
+        // Data preserved through the remap.
+        assert_eq!(*all.vertex(VertexId(3)), 30);
+    }
+
+    #[test]
+    fn sampled_fraction_is_respected() {
+        let g = chain(2000);
+        let half = sample_edges(&g, 0.5, 2);
+        let kept = half.edge_count() as f64 / g.edge_count() as f64;
+        assert!((kept - 0.5).abs() < 0.05, "kept {kept}");
+        // No dangling endpoints after remap.
+        for (_, s, d, _) in half.edges() {
+            assert!(s.index() < half.vertex_count());
+            assert!(d.index() < half.vertex_count());
+        }
+        // Deterministic.
+        assert_eq!(sample_edges(&g, 0.5, 2).edge_count(), half.edge_count());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = chain(10);
+        let sub = induced_subgraph(&g, &[VertexId(2), VertexId(3), VertexId(4), VertexId(7)]);
+        assert_eq!(sub.vertex_count(), 4);
+        // Edges 2-3 and 3-4 survive; 7's edges leave the set.
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(*sub.vertex(VertexId(0)), 20);
+        // Duplicate ids ignored.
+        let dup = induced_subgraph(&g, &[VertexId(1), VertexId(1)]);
+        assert_eq!(dup.vertex_count(), 1);
+    }
+
+    #[test]
+    fn snowball_grows_a_connected_neighborhood() {
+        let g = chain(100);
+        let sub = snowball_sample(&g, VertexId(50), 7);
+        assert_eq!(sub.vertex_count(), 7);
+        // A chain neighborhood of 7 vertices has 6 internal edges.
+        assert_eq!(sub.edge_count(), 6);
+        // Requesting more than reachable returns the component.
+        let mut island = chain(3);
+        island.add_vertex(999);
+        let all = snowball_sample(&island, VertexId(0), 10);
+        assert_eq!(all.vertex_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn snowball_bad_start_panics() {
+        let g = chain(3);
+        let _ = snowball_sample(&g, VertexId(99), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! The Fig. 4 decision flow: classify traffic patterns into attacks.
+//!
+//! Destination-based patterns catch victim-centric anomalies (floods toward
+//! one host, port scans *of* one host); source-based patterns catch
+//! attacker-centric ones (network scans *from* one host). DDoS is a flood
+//! whose destination pattern shows many distinct sources.
+
+use crate::params::Thresholds;
+use crate::pattern::{destination_patterns, source_patterns, TrafficPattern};
+use csb_net::flow::{FlowRecord, Protocol};
+use csb_net::trace::AttackKind;
+
+/// One raised alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Classified attack kind.
+    pub kind: AttackKind,
+    /// The detection IP the pattern was keyed on (victim for
+    /// destination-based detections, attacker for source-based ones).
+    pub ip: u32,
+}
+
+/// Maximum robust dispersion (MAD/median of flow sizes) for the "small
+/// deviation" flood criterion. The attack's uniform junk flows dominate the
+/// flow count, so the median-based dispersion stays near 0 even when a few
+/// large benign transfers share the victim IP.
+const FLOOD_DISPERSION_MAX: f64 = 0.5;
+
+/// Classifies one destination-based pattern (victim perspective).
+fn classify_destination(ip: u32, p: &TrafficPattern, t: &Thresholds) -> Option<Detection> {
+    // Paper: "checks whether the flow size of an individual flow is small,
+    // the number of packets-per-flow is small, and whether a large number of
+    // flows appears". The typical (median) flow is used so that a handful of
+    // legitimate large transfers sharing the victim IP cannot mask the
+    // thousands of tiny attack flows.
+    // "Small" is <=: scan and flood probes (SYN+RST, ~0-40 B) sit exactly at
+    // the benign minimum the thresholds are trained to.
+    let many_small_flows =
+        p.n_flow as f64 > t.nf_t && p.median_flow_size <= t.fs_lt && p.median_npacket <= t.np_lt;
+    if many_small_flows {
+        // "If the fraction N(ACK)/N(SYN) is small and ... a small number of
+        // destination ports, the system encounters a TCP SYN flood." The
+        // port criterion is read as concentration: the flood's flows pile
+        // onto one port even when benign flows to other ports share the IP.
+        if p.ack_syn_ratio() < t.sa_t && p.top_port_share() > 0.8 {
+            let kind = if p.n_sip as f64 > t.sip_t { AttackKind::Ddos } else { AttackKind::SynFlood };
+            return Some(Detection { kind, ip });
+        }
+        // "If a small number of source IP traffic is generated and the
+        // number of destination ports is high, that traffic is assumed to be
+        // a host scanning."
+        if (p.n_sip as f64) <= t.sip_t && p.n_dport as f64 > t.dp_ht {
+            return Some(Detection { kind: AttackKind::HostScan, ip });
+        }
+    }
+    // "Most [flooding] attacks create a large total bandwidth and high total
+    // packet count ... small deviation in the packet and flow size." A flood
+    // looks either uniform (many equal-size junk flows — low CV) or like one
+    // monster stream (a single 5-tuple carrying almost all the bytes, e.g. an
+    // ICMP echo flood aggregated into one flow).
+    if p.sum_flow_size as f64 > t.fs_ht
+        && p.sum_npacket as f64 > t.np_ht
+        && (p.robust_dispersion() < FLOOD_DISPERSION_MAX || p.max_flow_share() > 0.8)
+    {
+        let kind = if p.n_sip as f64 > t.sip_t {
+            AttackKind::Ddos
+        } else {
+            match p.dominant_protocol() {
+                Protocol::Icmp => AttackKind::IcmpFlood,
+                Protocol::Udp => AttackKind::UdpFlood,
+                Protocol::Tcp => AttackKind::TcpFlood,
+            }
+        };
+        return Some(Detection { kind, ip });
+    }
+    None
+}
+
+/// Classifies one source-based pattern (attacker perspective).
+fn classify_source(ip: u32, p: &TrafficPattern, t: &Thresholds) -> Option<Detection> {
+    // "A network scanning makes many destination IP addresses"; flows are
+    // small probes. The paper notes total packets/bandwidth (and by the same
+    // token port counts, when the scanner also port-scans) "cannot be used
+    // to detect scanning", so only the fan-out and flow-shape criteria apply.
+    if p.n_dip as f64 > t.dip_t && p.median_flow_size <= t.fs_lt && p.median_npacket <= t.np_lt {
+        return Some(Detection { kind: AttackKind::NetworkScan, ip });
+    }
+    None
+}
+
+/// Runs the full Fig. 4 detection flow over a set of flows.
+///
+/// ```
+/// use csb_ids::{detect, Thresholds};
+/// use csb_net::assembler::FlowAssembler;
+/// use csb_net::packet::ip;
+/// use csb_net::trace::AttackKind;
+/// use csb_net::traffic::attacks::AttackInjector;
+///
+/// let mut trace = AttackInjector::new(1)
+///     .syn_flood(ip(1, 2, 3, 4), ip(10, 0, 0, 9), 80, 0, 1_000_000, 500);
+/// trace.sort();
+/// let flows = FlowAssembler::assemble(&trace.packets);
+/// let alarms = detect(&flows, &Thresholds::default());
+/// assert!(alarms.iter().any(|d| d.kind == AttackKind::SynFlood));
+/// ```
+pub fn detect(flows: &[FlowRecord], thresholds: &Thresholds) -> Vec<Detection> {
+    thresholds.validate();
+    let mut out = Vec::new();
+    let mut dst: Vec<(u32, TrafficPattern)> = destination_patterns(flows).into_iter().collect();
+    dst.sort_unstable_by_key(|&(ip, _)| ip);
+    for (ip, p) in &dst {
+        if let Some(d) = classify_destination(*ip, p, thresholds) {
+            out.push(d);
+        }
+    }
+    let mut src: Vec<(u32, TrafficPattern)> = source_patterns(flows).into_iter().collect();
+    src.sort_unstable_by_key(|&(ip, _)| ip);
+    for (ip, p) in &src {
+        if let Some(d) = classify_source(*ip, p, thresholds) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_net::assembler::FlowAssembler;
+    use csb_net::packet::ip;
+    use csb_net::traffic::attacks::{AttackInjector, DEFAULT_ATTACKER};
+
+    const VICTIM: u32 = ip(10, 0, 0, 9);
+
+    fn flows_of(trace: csb_net::trace::Trace) -> Vec<FlowRecord> {
+        let mut t = trace;
+        t.sort();
+        FlowAssembler::assemble(&t.packets)
+    }
+
+    #[test]
+    fn detects_syn_flood() {
+        let trace = AttackInjector::new(1).syn_flood(DEFAULT_ATTACKER, VICTIM, 80, 0, 2_000_000, 500);
+        let det = detect(&flows_of(trace), &Thresholds::default());
+        assert!(
+            det.iter().any(|d| d.kind == AttackKind::SynFlood && d.ip == VICTIM),
+            "missed SYN flood: {det:?}"
+        );
+    }
+
+    #[test]
+    fn detects_ddos_as_distributed() {
+        let bots: Vec<u32> = (0..20).map(|i| ip(198, 51, 100, i + 1)).collect();
+        let trace = AttackInjector::new(2).ddos(&bots, VICTIM, 443, 0, 2_000_000, 50);
+        let det = detect(&flows_of(trace), &Thresholds::default());
+        assert!(
+            det.iter().any(|d| d.kind == AttackKind::Ddos && d.ip == VICTIM),
+            "missed DDoS: {det:?}"
+        );
+    }
+
+    #[test]
+    fn detects_host_scan() {
+        let trace = AttackInjector::new(3).host_scan(DEFAULT_ATTACKER, VICTIM, 0, 3_000_000, 300, 60);
+        let det = detect(&flows_of(trace), &Thresholds::default());
+        assert!(
+            det.iter().any(|d| d.kind == AttackKind::HostScan && d.ip == VICTIM),
+            "missed host scan: {det:?}"
+        );
+    }
+
+    #[test]
+    fn detects_network_scan() {
+        let trace =
+            AttackInjector::new(4).network_scan(DEFAULT_ATTACKER, ip(10, 3, 0, 1), 200, 22, 0, 3_000_000);
+        let det = detect(&flows_of(trace), &Thresholds::default());
+        assert!(
+            det.iter().any(|d| d.kind == AttackKind::NetworkScan && d.ip == DEFAULT_ATTACKER),
+            "missed network scan: {det:?}"
+        );
+    }
+
+    #[test]
+    fn detects_icmp_flood() {
+        let trace = AttackInjector::new(5).icmp_flood(DEFAULT_ATTACKER, VICTIM, 0, 2_000_000, 5_000);
+        let det = detect(&flows_of(trace), &Thresholds::default());
+        assert!(
+            det.iter().any(|d| d.kind == AttackKind::IcmpFlood && d.ip == VICTIM),
+            "missed ICMP flood: {det:?}"
+        );
+    }
+
+    #[test]
+    fn detects_udp_flood() {
+        let trace = AttackInjector::new(6).udp_flood(DEFAULT_ATTACKER, VICTIM, 0, 2_000_000, 5_000);
+        let det = detect(&flows_of(trace), &Thresholds::default());
+        assert!(
+            det.iter().any(
+                |d| (d.kind == AttackKind::UdpFlood || d.kind == AttackKind::Ddos) && d.ip == VICTIM
+            ),
+            "missed UDP flood: {det:?}"
+        );
+    }
+
+    #[test]
+    fn benign_traffic_is_quiet() {
+        use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+        let trace = TrafficSim::new(TrafficSimConfig {
+            duration_secs: 30.0,
+            sessions_per_sec: 10.0,
+            seed: 7,
+            ..TrafficSimConfig::default()
+        })
+        .generate();
+        let flows = FlowAssembler::assemble(&trace.packets);
+        let trained = crate::train::train_thresholds(&flows);
+        let det = detect(&flows, &trained);
+        assert!(
+            det.len() <= 2,
+            "benign traffic should raise (almost) no alarms: {det:?}"
+        );
+    }
+
+    #[test]
+    fn empty_flows_no_detections() {
+        assert!(detect(&[], &Thresholds::default()).is_empty());
+    }
+}

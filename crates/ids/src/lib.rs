@@ -1,0 +1,25 @@
+//! # csb-ids
+//!
+//! The NetFlow-based anomaly-detection approach of paper Section IV: traffic
+//! patterns are aggregated per destination IP and per source IP, compared
+//! against trained thresholds (Table I), and classified by the Fig. 4
+//! decision flow into flooding and scanning attacks (DoS/DDoS, TCP SYN
+//! flood, ICMP/UDP/TCP floods, host scans, network scans).
+//!
+//! As the paper notes, the thresholds are network-specific, so
+//! [`train::train_thresholds`] learns them from benign traffic quantiles
+//! rather than hard-coding them.
+
+pub mod detector;
+pub mod eval;
+pub mod params;
+pub mod pattern;
+pub mod streaming;
+pub mod train;
+
+pub use detector::{detect, Detection};
+pub use eval::{evaluate, EvalReport};
+pub use params::Thresholds;
+pub use pattern::{destination_patterns, source_patterns, TrafficPattern};
+pub use streaming::{StreamingDetector, TimedDetection};
+pub use train::train_thresholds;

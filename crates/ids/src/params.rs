@@ -1,0 +1,106 @@
+//! The detection parameters and thresholds of paper Table I.
+
+/// Threshold set (Table I). Names mirror the paper's:
+/// `dip-T`, `sip-T`, `dp-LT`/`dp-HT`, `nf-T`, `fs-LT`/`fs-HT`,
+/// `np-LT`/`np-HT`, `sa-T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// `dip-T`: max normal number of distinct destination IPs per source IP.
+    pub dip_t: f64,
+    /// `sip-T`: min number of distinct source IPs (per destination) for a
+    /// flood to be considered *distributed*.
+    pub sip_t: f64,
+    /// `dp-LT`: low destination-port count (floods concentrate on few ports).
+    pub dp_lt: f64,
+    /// `dp-HT`: high destination-port count (port scans touch many).
+    pub dp_ht: f64,
+    /// `nf-T`: max normal number of flows per detection IP.
+    pub nf_t: f64,
+    /// `fs-LT`: lowest normal average flow size, bytes.
+    pub fs_lt: f64,
+    /// `fs-HT`: highest normal total flow size, bytes.
+    pub fs_ht: f64,
+    /// `np-LT`: lowest normal average packets per flow.
+    pub np_lt: f64,
+    /// `np-HT`: highest normal total packet count.
+    pub np_ht: f64,
+    /// `sa-T`: minimum normal `N(ACK)/N(SYN)` ratio (SYN floods show very
+    /// few ACKs per SYN).
+    pub sa_t: f64,
+}
+
+impl Default for Thresholds {
+    /// Conservative defaults for a small office network; production use
+    /// should train them per network ([`crate::train_thresholds`]), as the
+    /// paper prescribes.
+    fn default() -> Self {
+        Thresholds {
+            dip_t: 30.0,
+            sip_t: 5.0,
+            dp_lt: 5.0,
+            dp_ht: 50.0,
+            nf_t: 60.0,
+            fs_lt: 120.0,
+            fs_ht: 5_000_000.0,
+            np_lt: 4.0,
+            np_ht: 2_000.0,
+            sa_t: 0.5,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Sanity-checks ordering relations between low/high threshold pairs.
+    ///
+    /// # Panics
+    /// Panics if a low threshold exceeds its high counterpart or any value is
+    /// non-finite.
+    pub fn validate(&self) {
+        for (name, v) in self.named() {
+            assert!(v.is_finite() && v >= 0.0, "threshold {name} must be finite and >= 0");
+        }
+        assert!(self.dp_lt <= self.dp_ht, "dp-LT must not exceed dp-HT");
+    }
+
+    /// `(name, value)` pairs in Table I order, for reports.
+    pub fn named(&self) -> [(&'static str, f64); 10] {
+        [
+            ("dip-T", self.dip_t),
+            ("sip-T", self.sip_t),
+            ("dp-LT", self.dp_lt),
+            ("dp-HT", self.dp_ht),
+            ("nf-T", self.nf_t),
+            ("fs-LT", self.fs_lt),
+            ("fs-HT", self.fs_ht),
+            ("np-LT", self.np_lt),
+            ("np-HT", self.np_ht),
+            ("sa-T", self.sa_t),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        Thresholds::default().validate();
+    }
+
+    #[test]
+    fn named_covers_table_one() {
+        let t = Thresholds::default();
+        let names: Vec<&str> = t.named().iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec!["dip-T", "sip-T", "dp-LT", "dp-HT", "nf-T", "fs-LT", "fs-HT", "np-LT", "np-HT", "sa-T"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dp-LT")]
+    fn inverted_pair_rejected() {
+        Thresholds { dp_lt: 100.0, dp_ht: 5.0, ..Thresholds::default() }.validate();
+    }
+}

@@ -1,0 +1,394 @@
+//! Traffic-pattern aggregation: the "destination based" and "source based"
+//! pattern data of paper Section IV, computed from NetFlow records or
+//! directly from a property-graph's edges (the aggregation property-graphs
+//! make cheap, per the paper's motivation).
+
+use csb_graph::NetflowGraph;
+use csb_net::flow::{FlowRecord, Protocol};
+use std::collections::{HashMap, HashSet};
+
+/// Aggregated traffic parameters for one detection IP (Table I's measured
+/// quantities).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficPattern {
+    /// `N(D_IP)`: distinct destination IPs (source-based patterns).
+    pub n_dip: u64,
+    /// `N(S_IP)`: distinct source IPs (destination-based patterns).
+    pub n_sip: u64,
+    /// `N(D_port)`: distinct destination ports.
+    pub n_dport: u64,
+    /// `N(flow)`: number of flows.
+    pub n_flow: u64,
+    /// `Sum(flowSize)`: total bytes.
+    pub sum_flow_size: u64,
+    /// `Sum(nPacket)`: total packets.
+    pub sum_npacket: u64,
+    /// `N(SYN)`: SYN-flagged packets.
+    pub n_syn: u64,
+    /// `N(ACK)`: ACK-flagged packets.
+    pub n_ack: u64,
+    /// Per-protocol flow counts, for classifying flood type.
+    pub tcp_flows: u64,
+    /// UDP flow count.
+    pub udp_flows: u64,
+    /// ICMP flow count.
+    pub icmp_flows: u64,
+    /// Per-protocol byte totals (floods are classified by volume: an ICMP
+    /// flood is one enormous flow among many small benign UDP flows).
+    pub tcp_bytes: u64,
+    /// UDP byte total.
+    pub udp_bytes: u64,
+    /// ICMP byte total.
+    pub icmp_bytes: u64,
+    /// Median flow size, bytes (robust "typical flow" statistic — a flood's
+    /// thousands of tiny flows are not masked by one large benign transfer
+    /// sharing the detection IP).
+    pub median_flow_size: f64,
+    /// Median packets per flow.
+    pub median_npacket: f64,
+    /// Largest single flow's byte count.
+    pub max_flow_size: u64,
+    /// Flow count on the busiest destination port.
+    pub top_port_flows: u64,
+    /// Median absolute deviation of flow sizes (robust dispersion).
+    pub flow_size_mad: f64,
+    // Internal accumulators for distinct counts.
+    dips: HashSet<u32>,
+    sips: HashSet<u32>,
+    dports: HashSet<u16>,
+    port_flows: std::collections::HashMap<u16, u64>,
+    // Raw per-flow statistics for medians / deviation.
+    flow_sizes: Vec<u64>,
+    flow_pkts: Vec<u64>,
+    // For the flow-size variance ("small deviation" flood criterion).
+    sum_sq_flow_size: f64,
+}
+
+impl TrafficPattern {
+    fn add(&mut self, f: &FlowRecord) {
+        self.n_flow += 1;
+        self.sum_flow_size += f.total_bytes();
+        self.sum_npacket += f.total_pkts();
+        self.n_syn += f.syn_count as u64;
+        self.n_ack += f.ack_count as u64;
+        self.dips.insert(f.dst_ip);
+        self.sips.insert(f.src_ip);
+        self.dports.insert(f.dst_port);
+        *self.port_flows.entry(f.dst_port).or_insert(0) += 1;
+        match f.protocol {
+            Protocol::Tcp => {
+                self.tcp_flows += 1;
+                self.tcp_bytes += f.total_bytes();
+            }
+            Protocol::Udp => {
+                self.udp_flows += 1;
+                self.udp_bytes += f.total_bytes();
+            }
+            Protocol::Icmp => {
+                self.icmp_flows += 1;
+                self.icmp_bytes += f.total_bytes();
+            }
+        }
+        let s = f.total_bytes() as f64;
+        self.sum_sq_flow_size += s * s;
+        self.flow_sizes.push(f.total_bytes());
+        self.flow_pkts.push(f.total_pkts());
+        self.max_flow_size = self.max_flow_size.max(f.total_bytes());
+    }
+
+    fn seal(&mut self) {
+        self.n_dip = self.dips.len() as u64;
+        self.n_sip = self.sips.len() as u64;
+        self.n_dport = self.dports.len() as u64;
+        self.median_flow_size = median(&mut self.flow_sizes);
+        self.median_npacket = median(&mut self.flow_pkts);
+        self.top_port_flows = self.port_flows.values().copied().max().unwrap_or(0);
+        let m = self.median_flow_size;
+        let mut deviations: Vec<u64> =
+            self.flow_sizes.iter().map(|&x| (x as f64 - m).abs() as u64).collect();
+        self.flow_size_mad = median(&mut deviations);
+    }
+
+    /// `Avg(flowSize)`.
+    pub fn avg_flow_size(&self) -> f64 {
+        if self.n_flow == 0 {
+            0.0
+        } else {
+            self.sum_flow_size as f64 / self.n_flow as f64
+        }
+    }
+
+    /// `Avg(nPacket)`.
+    pub fn avg_npacket(&self) -> f64 {
+        if self.n_flow == 0 {
+            0.0
+        } else {
+            self.sum_npacket as f64 / self.n_flow as f64
+        }
+    }
+
+    /// `N(ACK) / N(SYN)` (infinite when no SYNs — i.e. nothing SYN-floody).
+    pub fn ack_syn_ratio(&self) -> f64 {
+        if self.n_syn == 0 {
+            f64::INFINITY
+        } else {
+            self.n_ack as f64 / self.n_syn as f64
+        }
+    }
+
+    /// Coefficient of variation of flow sizes (the paper's "small deviation
+    /// in the packet and flow size" flood criterion).
+    pub fn flow_size_cv(&self) -> f64 {
+        if self.n_flow < 2 {
+            return 0.0;
+        }
+        let mean = self.avg_flow_size();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = (self.sum_sq_flow_size / self.n_flow as f64 - mean * mean).max(0.0);
+        var.sqrt() / mean
+    }
+
+    /// Robust relative dispersion of flow sizes: MAD / median. Near 0 when
+    /// the typical flow is uniform (a flood's identical junk flows dominate
+    /// the count, so a few variable benign flows cannot inflate it, unlike
+    /// the coefficient of variation). 0 when the median is 0.
+    pub fn robust_dispersion(&self) -> f64 {
+        if self.median_flow_size == 0.0 {
+            0.0
+        } else {
+            self.flow_size_mad / self.median_flow_size
+        }
+    }
+
+    /// Fraction of flows aimed at the single busiest destination port — a
+    /// SYN flood concentrates its flows on one port even when benign traffic
+    /// to other ports shares the victim IP (the operational reading of the
+    /// paper's "small number of destination ports").
+    pub fn top_port_share(&self) -> f64 {
+        if self.n_flow == 0 {
+            0.0
+        } else {
+            self.top_port_flows as f64 / self.n_flow as f64
+        }
+    }
+
+    /// Fraction of total bytes carried by the single largest flow.
+    pub fn max_flow_share(&self) -> f64 {
+        if self.sum_flow_size == 0 {
+            0.0
+        } else {
+            self.max_flow_size as f64 / self.sum_flow_size as f64
+        }
+    }
+
+    /// The dominant transport among this pattern's traffic, by byte volume
+    /// (flood classification cares about where the bandwidth went).
+    pub fn dominant_protocol(&self) -> Protocol {
+        if self.icmp_bytes >= self.tcp_bytes && self.icmp_bytes >= self.udp_bytes {
+            Protocol::Icmp
+        } else if self.udp_bytes >= self.tcp_bytes {
+            Protocol::Udp
+        } else {
+            Protocol::Tcp
+        }
+    }
+}
+
+/// Median of a slice (sorts in place; 0 when empty).
+fn median(values: &mut [u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable();
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2] as f64
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) as f64 / 2.0
+    }
+}
+
+fn aggregate(flows: &[FlowRecord], key: impl Fn(&FlowRecord) -> u32) -> HashMap<u32, TrafficPattern> {
+    let mut map: HashMap<u32, TrafficPattern> = HashMap::new();
+    for f in flows {
+        map.entry(key(f)).or_default().add(f);
+    }
+    for p in map.values_mut() {
+        p.seal();
+    }
+    map
+}
+
+/// Destination-based traffic pattern data: one pattern per destination IP.
+pub fn destination_patterns(flows: &[FlowRecord]) -> HashMap<u32, TrafficPattern> {
+    aggregate(flows, |f| f.dst_ip)
+}
+
+/// Source-based traffic pattern data: one pattern per source IP.
+pub fn source_patterns(flows: &[FlowRecord]) -> HashMap<u32, TrafficPattern> {
+    aggregate(flows, |f| f.src_ip)
+}
+
+/// Rebuilds flow records from a property-graph's edges (inverse of
+/// `graph_from_flows`, minus packet-level SYN/ACK counts which the graph
+/// does not carry — they are reconstructed conservatively from the STATE
+/// attribute).
+pub fn flows_from_graph(g: &NetflowGraph) -> Vec<FlowRecord> {
+    use csb_net::flow::TcpConnState;
+    g.edges()
+        .map(|(_, s, d, p)| {
+            // Handshake-derived SYN/ACK estimates per connection state.
+            let (syn, ack) = match (p.protocol, p.state) {
+                (Protocol::Tcp, TcpConnState::S0) => (1, 0),
+                (Protocol::Tcp, TcpConnState::Rej) => (1, 1),
+                (Protocol::Tcp, TcpConnState::Sh) => (1, 0),
+                (Protocol::Tcp, _) => (2, (p.out_pkts + p.in_pkts).max(2) as u32),
+                _ => (0, 0),
+            };
+            FlowRecord {
+                src_ip: *g.vertex(s),
+                dst_ip: *g.vertex(d),
+                protocol: p.protocol,
+                src_port: p.src_port,
+                dst_port: p.dst_port,
+                duration_ms: p.duration_ms,
+                out_bytes: p.out_bytes,
+                in_bytes: p.in_bytes,
+                out_pkts: p.out_pkts,
+                in_pkts: p.in_pkts,
+                state: p.state,
+                syn_count: syn,
+                ack_count: ack,
+                first_ts_micros: 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_net::flow::TcpConnState;
+
+    fn flow(src: u32, dst: u32, dport: u16, bytes: u64, pkts: u64, syn: u32, ack: u32) -> FlowRecord {
+        FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: Protocol::Tcp,
+            src_port: 40000,
+            dst_port: dport,
+            duration_ms: 1,
+            out_bytes: bytes / 2,
+            in_bytes: bytes - bytes / 2,
+            out_pkts: pkts / 2,
+            in_pkts: pkts - pkts / 2,
+            state: TcpConnState::Sf,
+            syn_count: syn,
+            ack_count: ack,
+            first_ts_micros: 0,
+        }
+    }
+
+    #[test]
+    fn destination_aggregation() {
+        let flows = vec![
+            flow(1, 100, 80, 1000, 10, 2, 8),
+            flow(2, 100, 80, 3000, 30, 2, 28),
+            flow(3, 100, 443, 500, 5, 2, 3),
+            flow(1, 200, 22, 100, 2, 1, 1),
+        ];
+        let pats = destination_patterns(&flows);
+        assert_eq!(pats.len(), 2);
+        let p = &pats[&100];
+        assert_eq!(p.n_flow, 3);
+        assert_eq!(p.n_sip, 3);
+        assert_eq!(p.n_dport, 2);
+        assert_eq!(p.sum_flow_size, 4500);
+        assert_eq!(p.sum_npacket, 45);
+        assert_eq!(p.n_syn, 6);
+        assert_eq!(p.n_ack, 39);
+        assert!((p.avg_flow_size() - 1500.0).abs() < 1e-9);
+        assert!((p.avg_npacket() - 15.0).abs() < 1e-9);
+        assert!((p.ack_syn_ratio() - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_aggregation_counts_dips() {
+        let flows = vec![
+            flow(9, 1, 80, 100, 2, 1, 1),
+            flow(9, 2, 80, 100, 2, 1, 1),
+            flow(9, 3, 80, 100, 2, 1, 1),
+        ];
+        let pats = source_patterns(&flows);
+        assert_eq!(pats[&9].n_dip, 3);
+        assert_eq!(pats[&9].n_dport, 1);
+    }
+
+    #[test]
+    fn cv_distinguishes_uniform_from_mixed() {
+        let uniform = vec![
+            flow(1, 5, 80, 1000, 10, 1, 1),
+            flow(2, 5, 80, 1000, 10, 1, 1),
+            flow(3, 5, 80, 1000, 10, 1, 1),
+        ];
+        let mixed = vec![
+            flow(1, 5, 80, 10, 1, 1, 1),
+            flow(2, 5, 80, 100_000, 100, 1, 1),
+            flow(3, 5, 80, 1000, 10, 1, 1),
+        ];
+        let pu = &destination_patterns(&uniform)[&5];
+        let pm = &destination_patterns(&mixed)[&5];
+        assert!(pu.flow_size_cv() < 0.01);
+        assert!(pm.flow_size_cv() > 0.5);
+    }
+
+    #[test]
+    fn medians_are_robust_to_one_giant_flow() {
+        // 9 tiny flows and one huge one: the mean explodes, the median holds.
+        let mut flows: Vec<FlowRecord> = (0..9).map(|i| flow(i, 5, 80, 40, 1, 1, 0)).collect();
+        flows.push(flow(99, 5, 80, 10_000_000, 8_000, 1, 1));
+        let p = &destination_patterns(&flows)[&5];
+        assert!(p.avg_flow_size() > 100_000.0);
+        assert_eq!(p.median_flow_size, 40.0);
+        assert_eq!(p.median_npacket, 1.0);
+        assert!(p.max_flow_share() > 0.99);
+        assert_eq!(p.max_flow_size, 10_000_000);
+    }
+
+    #[test]
+    fn robust_dispersion_ignores_benign_tail() {
+        // 50 identical flood flows + 2 wildly different benign flows: the CV
+        // blows up, the robust dispersion stays ~0.
+        let mut flows: Vec<FlowRecord> = (0..50).map(|i| flow(i, 5, 9999, 1400, 1, 0, 0)).collect();
+        flows.push(flow(97, 5, 80, 5_000_000, 4_000, 1, 10));
+        flows.push(flow(98, 5, 80, 12, 1, 1, 1));
+        let p = &destination_patterns(&flows)[&5];
+        assert!(p.flow_size_cv() > 2.0, "cv {}", p.flow_size_cv());
+        assert!(p.robust_dispersion() < 0.01, "dispersion {}", p.robust_dispersion());
+    }
+
+    #[test]
+    fn ack_syn_ratio_without_syn_is_infinite() {
+        let flows = vec![flow(1, 5, 80, 10, 1, 0, 4)];
+        let p = &destination_patterns(&flows)[&5];
+        assert!(p.ack_syn_ratio().is_infinite());
+    }
+
+    #[test]
+    fn dominant_protocol_is_by_bytes() {
+        let mut p = TrafficPattern {
+            tcp_bytes: 100,
+            udp_bytes: 500,
+            icmp_bytes: 200,
+            ..TrafficPattern::default()
+        };
+        assert_eq!(p.dominant_protocol(), Protocol::Udp);
+        // One giant ICMP flow outweighs many small UDP flows.
+        p.icmp_bytes = 10_000;
+        p.udp_flows = 50;
+        p.icmp_flows = 1;
+        assert_eq!(p.dominant_protocol(), Protocol::Icmp);
+    }
+}

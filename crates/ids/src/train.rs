@@ -1,0 +1,125 @@
+//! Threshold training.
+//!
+//! The paper: "this approach uses network driven values for the threshold
+//! parameters ... training must be used to set the threshold values based on
+//! the parameters of each target network." We train each Table I threshold
+//! from quantiles of the corresponding statistic over *benign* traffic, with
+//! a safety margin.
+
+use crate::params::Thresholds;
+use crate::pattern::{destination_patterns, source_patterns};
+use csb_net::flow::FlowRecord;
+use csb_stats::summary::quantile;
+
+/// Quantile used for "maximum normal" thresholds.
+const HIGH_Q: f64 = 0.99;
+/// Multiplicative safety margin above the benign quantile.
+const MARGIN: f64 = 2.0;
+
+fn high_threshold(values: &mut [f64], floor: f64) -> f64 {
+    if values.is_empty() {
+        return floor;
+    }
+    (quantile(values, HIGH_Q) * MARGIN).max(floor)
+}
+
+/// Learns thresholds from benign flows.
+///
+/// Low thresholds (`fs-LT`, `np-LT`, `dp-LT`) bound what "suspiciously
+/// small" means and are taken from low quantiles of benign per-flow
+/// statistics; high thresholds from high quantiles of per-IP aggregates.
+pub fn train_thresholds(benign: &[FlowRecord]) -> Thresholds {
+    let defaults = Thresholds::default();
+    if benign.is_empty() {
+        return defaults;
+    }
+    let dst = destination_patterns(benign);
+    let src = source_patterns(benign);
+
+    let mut n_flow: Vec<f64> = dst.values().map(|p| p.n_flow as f64).collect();
+    let mut n_dport: Vec<f64> = dst.values().map(|p| p.n_dport as f64).collect();
+    let mut n_dip: Vec<f64> = src.values().map(|p| p.n_dip as f64).collect();
+    let mut sum_fs: Vec<f64> = dst.values().map(|p| p.sum_flow_size as f64).collect();
+    let mut sum_np: Vec<f64> = dst.values().map(|p| p.sum_npacket as f64).collect();
+    let mut n_sip: Vec<f64> = dst.values().map(|p| p.n_sip as f64).collect();
+
+    // Per-flow smallness bounds from benign per-flow statistics.
+    let mut flow_sizes: Vec<f64> = benign.iter().map(|f| f.total_bytes() as f64).collect();
+    let mut flow_pkts: Vec<f64> = benign.iter().map(|f| f.total_pkts() as f64).collect();
+    let fs_lt = quantile(&mut flow_sizes, 0.10).max(40.0);
+    let np_lt = quantile(&mut flow_pkts, 0.10).max(2.0);
+
+    // Table I describes sa-T as the *minimum normal* N(ACK)/N(SYN): benign
+    // connections carry many ACK-flagged data packets per SYN, so the benign
+    // low quantile sits well above a flood's near-zero ratio. Halve it for
+    // margin, and never go below the conservative default.
+    let mut ratios: Vec<f64> = dst
+        .values()
+        .filter(|p| p.n_syn > 0)
+        .map(|p| p.ack_syn_ratio())
+        .filter(|r| r.is_finite())
+        .collect();
+    let sa_t = if ratios.is_empty() {
+        defaults.sa_t
+    } else {
+        (quantile(&mut ratios, 0.05) * 0.5).max(defaults.sa_t)
+    };
+
+    let t = Thresholds {
+        dip_t: high_threshold(&mut n_dip, 10.0),
+        sip_t: high_threshold(&mut n_sip, 4.0),
+        dp_lt: quantile(&mut n_dport, 0.5).max(3.0),
+        dp_ht: high_threshold(&mut n_dport.clone(), 20.0),
+        nf_t: high_threshold(&mut n_flow, 20.0),
+        fs_lt,
+        fs_ht: high_threshold(&mut sum_fs, 1_000_000.0),
+        np_lt,
+        np_ht: high_threshold(&mut sum_np, 2_000.0),
+        sa_t,
+    };
+    // dp_lt could exceed dp_ht on degenerate data; keep ordering.
+    let t = if t.dp_lt > t.dp_ht { Thresholds { dp_lt: t.dp_ht / 2.0, ..t } } else { t };
+    t.validate();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_net::assembler::FlowAssembler;
+    use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+    fn benign_flows(seed: u64) -> Vec<FlowRecord> {
+        let trace = TrafficSim::new(TrafficSimConfig {
+            duration_secs: 30.0,
+            sessions_per_sec: 15.0,
+            seed,
+            ..TrafficSimConfig::default()
+        })
+        .generate();
+        FlowAssembler::assemble(&trace.packets)
+    }
+
+    #[test]
+    fn trained_thresholds_validate_and_exceed_benign_levels() {
+        let flows = benign_flows(1);
+        let t = train_thresholds(&flows);
+        t.validate();
+        // Every destination pattern in the training data must be under the
+        // flow-count threshold (that is what "maximum normal" means).
+        let dst = destination_patterns(&flows);
+        let max_flows = dst.values().map(|p| p.n_flow).max().expect("non-empty") as f64;
+        assert!(t.nf_t >= max_flows * 0.9, "nf_t {} vs max benign {max_flows}", t.nf_t);
+    }
+
+    #[test]
+    fn empty_training_falls_back_to_defaults() {
+        assert_eq!(train_thresholds(&[]), Thresholds::default());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let flows = benign_flows(2);
+        assert_eq!(train_thresholds(&flows), train_thresholds(&flows));
+    }
+}

@@ -1,0 +1,129 @@
+//! The classic *sequential* Barabási-Albert model: vertices arrive one at a
+//! time and attach `m` edges to existing vertices chosen with probability
+//! proportional to degree. Implemented with the repeated-endpoints edge
+//! list, so each preferential pick is O(1) — the same trick PGPBA
+//! parallelizes.
+
+use crate::ModelGraph;
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// Grows a BA graph to `n` vertices, attaching `m` edges per new vertex,
+/// starting from an `m`-vertex clique-ish core.
+///
+/// ```
+/// use csb_models::barabasi_albert;
+///
+/// let g = barabasi_albert(500, 2, 42);
+/// assert_eq!(g.num_vertices, 500);
+/// let degrees = g.total_degrees();
+/// let max = *degrees.iter().max().unwrap() as f64;
+/// let mean = degrees.iter().sum::<u64>() as f64 / 500.0;
+/// assert!(max > mean * 5.0, "preferential attachment grows hubs");
+/// ```
+///
+/// # Panics
+/// Panics unless `1 <= m < n`.
+pub fn barabasi_albert(n: u32, m: u32, seed: u64) -> ModelGraph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n");
+    let mut rng = rng_for(seed, 0xBA);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(((n - m) * m) as usize);
+    // Endpoint multiset: a vertex appears once per incident edge, so uniform
+    // sampling from it is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(edges.capacity() * 2);
+
+    // Seed core: a ring over the first m+1 vertices so every early vertex
+    // has degree > 0.
+    let core = m + 1;
+    for u in 0..core {
+        let v = (u + 1) % core;
+        edges.push((u, v));
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+
+    for u in core..n {
+        // Pick m distinct targets preferentially. m is small, so a Vec with
+        // a linear membership check beats a hash set and keeps iteration
+        // order deterministic.
+        let mut targets: Vec<u32> = Vec::with_capacity(m as usize);
+        let mut guard = 0;
+        while targets.len() < m as usize {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "preferential sampling stuck");
+        }
+        for t in targets {
+            edges.push((u, t));
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    ModelGraph { num_vertices: n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_stats::PowerLaw;
+
+    #[test]
+    fn sizes_are_exact() {
+        let g = barabasi_albert(100, 3, 1);
+        g.validate();
+        // Core ring (m+1 edges) + m per subsequent vertex.
+        assert_eq!(g.edge_count(), 4 + 96 * 3);
+        assert_eq!(g.num_vertices, 100);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = barabasi_albert(3_000, 2, 2);
+        let degrees = g.total_degrees();
+        let max = *degrees.iter().max().expect("non-empty") as f64;
+        let mean = degrees.iter().sum::<u64>() as f64 / degrees.len() as f64;
+        assert!(max > mean * 10.0, "no hub: max {max}, mean {mean}");
+        // MLE power-law fit lands near the theoretical alpha = 3.
+        let fit = PowerLaw::fit(degrees.iter().copied(), 6).expect("fit");
+        assert!((2.0..4.5).contains(&fit.alpha), "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let g = barabasi_albert(2_000, 2, 3);
+        let degrees = g.total_degrees();
+        let early_avg: f64 = degrees[..10].iter().sum::<u64>() as f64 / 10.0;
+        let late_avg: f64 = degrees[1990..].iter().sum::<u64>() as f64 / 10.0;
+        assert!(early_avg > late_avg * 3.0, "early {early_avg} vs late {late_avg}");
+    }
+
+    #[test]
+    fn new_vertex_edges_are_distinct() {
+        let g = barabasi_albert(200, 4, 4);
+        // For every source vertex >= core, targets are distinct.
+        let mut by_src: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for &(s, t) in &g.edges {
+            by_src.entry(s).or_default().push(t);
+        }
+        for (s, ts) in by_src {
+            if s >= 5 {
+                let set: std::collections::HashSet<_> = ts.iter().collect();
+                assert_eq!(set.len(), ts.len(), "duplicate targets from {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(300, 2, 5), barabasi_albert(300, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m < n")]
+    fn bad_m_rejected() {
+        let _ = barabasi_albert(5, 0, 0);
+    }
+}

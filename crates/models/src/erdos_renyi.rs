@@ -1,0 +1,122 @@
+//! Erdős-Rényi random graphs: `G(n, p)` (each ordered pair independently an
+//! edge with probability `p`) and `G(n, m)` (exactly `m` distinct edges
+//! uniformly at random).
+//!
+//! `G(n, p)` uses geometric skipping over the implicit pair index, so the
+//! cost is `O(m)` rather than `O(n^2)`.
+
+use crate::ModelGraph;
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// `G(n, p)` over ordered pairs (self-loops excluded).
+///
+/// # Panics
+/// Panics unless `0 <= p <= 1`.
+pub fn gnp(n: u32, p: f64, seed: u64) -> ModelGraph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut edges = Vec::new();
+    if n > 0 && p > 0.0 {
+        let mut rng = rng_for(seed, 0xE2);
+        let total = n as u64 * n as u64;
+        let mut idx: u64 = 0;
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v {
+                        edges.push((u, v));
+                    }
+                }
+            }
+        } else {
+            let log_q = (1.0 - p).ln();
+            loop {
+                // Geometric skip to the next selected pair.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (u.ln() / log_q).floor() as u64 + 1;
+                idx = match idx.checked_add(skip) {
+                    Some(i) => i,
+                    None => break,
+                };
+                if idx > total {
+                    break;
+                }
+                let pair = idx - 1;
+                let (s, t) = ((pair / n as u64) as u32, (pair % n as u64) as u32);
+                if s != t {
+                    edges.push((s, t));
+                }
+            }
+        }
+    }
+    ModelGraph { num_vertices: n, edges }
+}
+
+/// `G(n, m)`: exactly `m` distinct directed edges (no self-loops), uniform.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n*(n-1)`.
+pub fn gnm(n: u32, m: usize, seed: u64) -> ModelGraph {
+    let possible = n as u64 * (n as u64).saturating_sub(1);
+    assert!(m as u64 <= possible, "m = {m} exceeds possible edges {possible}");
+    let mut rng = rng_for(seed, 0xE3);
+    let mut set = std::collections::HashSet::with_capacity(m);
+    while set.len() < m {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s != t {
+            set.insert((s, t));
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = set.into_iter().collect();
+    edges.sort_unstable();
+    ModelGraph { num_vertices: n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 200u32;
+        let p = 0.05;
+        let g = gnp(n, p, 1);
+        g.validate();
+        let expect = (n as f64 * n as f64 - n as f64) * p;
+        let got = g.edge_count() as f64;
+        assert!((got - expect).abs() < expect * 0.15, "got {got}, expected {expect}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        let full = gnp(10, 1.0, 1);
+        assert_eq!(full.edge_count(), 90);
+        assert_eq!(gnp(0, 0.5, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_no_self_loops_and_deterministic() {
+        let g = gnp(50, 0.1, 7);
+        assert!(g.edges.iter().all(|&(s, t)| s != t));
+        assert_eq!(g, gnp(50, 0.1, 7));
+        assert_ne!(g, gnp(50, 0.1, 8));
+    }
+
+    #[test]
+    fn gnm_exact_count_and_distinct() {
+        let g = gnm(40, 300, 2);
+        g.validate();
+        assert_eq!(g.edge_count(), 300);
+        let set: std::collections::HashSet<_> = g.edges.iter().collect();
+        assert_eq!(set.len(), 300);
+        assert!(g.edges.iter().all(|&(s, t)| s != t));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds possible")]
+    fn gnm_too_many_edges() {
+        let _ = gnm(3, 10, 0);
+    }
+}

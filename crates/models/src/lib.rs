@@ -1,0 +1,99 @@
+//! # csb-models
+//!
+//! Baseline random-graph models — the generator families the paper's
+//! Section II surveys as precursors of PGPBA/PGSK:
+//!
+//! * [`erdos_renyi`] — uniform random graphs, `G(n, p)` and `G(n, m)`.
+//! * [`watts_strogatz`] — small-world ring-lattice rewiring.
+//! * [`barabasi_albert`] — the classic sequential BA preferential-attachment
+//!   model (the unparallelized ancestor of PGPBA).
+//! * [`chung_lu`] — random graphs with a prescribed expected degree
+//!   sequence (fast weighted-endpoint variant).
+//! * [`sbm`] — the stochastic block model for community structure.
+//! * [`rmat`] — the recursive matrix model (deterministic-quadrant ancestor
+//!   of the stochastic Kronecker).
+//! * [`bter`] — block two-level Erdős-Rényi, capturing degree distribution
+//!   *and* clustering.
+//!
+//! None of these are seed-driven or property-aware; the
+//! `baseline_comparison` harness in `csb-bench` scores them against
+//! PGPBA/PGSK on the paper's veracity metric to show why the seed-driven
+//! generators win for IDS benchmarking.
+//!
+//! All models emit a bare [`ModelGraph`] and are deterministic given their
+//! seed.
+
+pub mod barabasi_albert;
+pub mod bter;
+pub mod chung_lu;
+pub mod erdos_renyi;
+pub mod rmat;
+pub mod sbm;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use bter::bter;
+pub use chung_lu::chung_lu;
+pub use erdos_renyi::{gnm, gnp};
+pub use rmat::rmat;
+pub use sbm::sbm;
+pub use watts_strogatz::watts_strogatz;
+
+/// A bare directed multigraph produced by a baseline model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelGraph {
+    /// Number of vertices; ids are `0..num_vertices`.
+    pub num_vertices: u32,
+    /// Directed edges.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl ModelGraph {
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total (in + out) degree per vertex.
+    pub fn total_degrees(&self) -> Vec<u64> {
+        let mut d = vec![0u64; self.num_vertices as usize];
+        for &(s, t) in &self.edges {
+            d[s as usize] += 1;
+            d[t as usize] += 1;
+        }
+        d
+    }
+
+    /// Checks every edge endpoint is in range.
+    ///
+    /// # Panics
+    /// Panics on a dangling endpoint.
+    pub fn validate(&self) {
+        for &(s, t) in &self.edges {
+            assert!(
+                s < self.num_vertices && t < self.num_vertices,
+                "dangling edge ({s}, {t}) with {} vertices",
+                self.num_vertices
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let g = ModelGraph { num_vertices: 3, edges: vec![(0, 1), (1, 2), (0, 1)] };
+        assert_eq!(g.total_degrees(), vec![2, 3, 1]);
+        assert_eq!(g.edge_count(), 3);
+        g.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn validate_catches_dangling() {
+        ModelGraph { num_vertices: 1, edges: vec![(0, 5)] }.validate();
+    }
+}

@@ -1,0 +1,138 @@
+//! The R-MAT recursive matrix model (Chakrabarti et al.): each edge descends
+//! a 2x2 quadrant tree with probabilities `(a, b, c, d)`, with per-level
+//! multiplicative noise so repeated descents do not produce the exact
+//! self-similar artifacts of the noiseless model.
+
+use crate::ModelGraph;
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// R-MAT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Relative noise applied to `(a, b, c, d)` at each level (0 disables).
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters.
+    pub fn graph500() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 }
+    }
+
+    /// Validates that probabilities are non-negative and sum to ~1.
+    ///
+    /// # Panics
+    /// Panics otherwise.
+    pub fn validate(&self) {
+        for q in [self.a, self.b, self.c, self.d] {
+            assert!(q >= 0.0 && q.is_finite(), "quadrant probabilities must be >= 0");
+        }
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1, got {sum}");
+        assert!((0.0..1.0).contains(&self.noise), "noise must be in [0,1)");
+    }
+}
+
+/// Generates `m` R-MAT edges over `2^scale` vertices.
+///
+/// # Panics
+/// Panics on invalid parameters or `scale > 31`.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> ModelGraph {
+    params.validate();
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+    let n = 1u32 << scale;
+    let mut rng = rng_for(seed, 0x12A7);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            // Noisy copy of the quadrant probabilities for this level.
+            let jitter = |q: f64, rng: &mut rand::rngs::SmallRng| {
+                q * (1.0 + params.noise * (rng.gen::<f64>() * 2.0 - 1.0))
+            };
+            let (a, b, c, d) = (
+                jitter(params.a, &mut rng),
+                jitter(params.b, &mut rng),
+                jitter(params.c, &mut rng),
+                jitter(params.d, &mut rng),
+            );
+            let total = a + b + c + d;
+            let x = rng.gen::<f64>() * total;
+            let (i, j) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | i;
+            v = (v << 1) | j;
+        }
+        edges.push((u, v));
+    }
+    ModelGraph { num_vertices: n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_bounds() {
+        let g = rmat(10, 5_000, RmatParams::graph500(), 1);
+        g.validate();
+        assert_eq!(g.edge_count(), 5_000);
+        assert_eq!(g.num_vertices, 1024);
+    }
+
+    #[test]
+    fn skew_concentrates_in_low_ids() {
+        let g = rmat(10, 50_000, RmatParams::graph500(), 2);
+        let half = 512u32;
+        let low = g.edges.iter().filter(|&&(u, v)| u < half && v < half).count();
+        let high = g.edges.iter().filter(|&&(u, v)| u >= half && v >= half).count();
+        assert!(low > high * 3, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn uniform_params_give_uniform_quadrants() {
+        let params = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25, noise: 0.0 };
+        let g = rmat(9, 40_000, params, 3);
+        let half = 256u32;
+        let q00 = g.edges.iter().filter(|&&(u, v)| u < half && v < half).count() as f64;
+        assert!((q00 / 40_000.0 - 0.25).abs() < 0.02, "q00 fraction {}", q00 / 40_000.0);
+    }
+
+    #[test]
+    fn heavy_tail_degrees() {
+        let g = rmat(12, 80_000, RmatParams::graph500(), 4);
+        let degrees = g.total_degrees();
+        let max = *degrees.iter().max().expect("non-empty") as f64;
+        let mean =
+            degrees.iter().sum::<u64>() as f64 / degrees.iter().filter(|&&d| d > 0).count() as f64;
+        assert!(max > mean * 20.0, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams::graph500();
+        assert_eq!(rmat(8, 1000, p, 5), rmat(8, 1000, p, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_rejected() {
+        rmat(5, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5, noise: 0.0 }, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The stochastic block model: vertices are partitioned into blocks and the
+//! probability of an edge depends only on the endpoint blocks. Each block
+//! pair is an independent `G(n_a x n_b, p_ab)`, generated with geometric
+//! skipping so cost is proportional to the edges produced.
+
+use crate::ModelGraph;
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// Generates an SBM graph.
+///
+/// `block_sizes[k]` is block `k`'s vertex count; `p[a][b]` the probability of
+/// a directed edge from a block-`a` vertex to a block-`b` vertex. Self-loops
+/// excluded.
+///
+/// # Panics
+/// Panics if the probability matrix is not square of the right size or has
+/// entries outside `[0, 1]`.
+pub fn sbm(block_sizes: &[u32], p: &[Vec<f64>], seed: u64) -> ModelGraph {
+    let k = block_sizes.len();
+    assert!(k > 0, "need at least one block");
+    assert_eq!(p.len(), k, "probability matrix must be {k}x{k}");
+    for row in p {
+        assert_eq!(row.len(), k, "probability matrix must be {k}x{k}");
+        for &q in row {
+            assert!((0.0..=1.0).contains(&q), "probabilities in [0,1]");
+        }
+    }
+    let offsets: Vec<u32> = block_sizes
+        .iter()
+        .scan(0u32, |acc, &s| {
+            let o = *acc;
+            *acc += s;
+            Some(o)
+        })
+        .collect();
+    let n: u32 = block_sizes.iter().sum();
+
+    let mut edges = Vec::new();
+    let mut rng = rng_for(seed, 0x5B);
+    for a in 0..k {
+        for b in 0..k {
+            let q = p[a][b];
+            if q <= 0.0 || block_sizes[a] == 0 || block_sizes[b] == 0 {
+                continue;
+            }
+            let rows = block_sizes[a] as u64;
+            let cols = block_sizes[b] as u64;
+            let total = rows * cols;
+            let emit = |idx: u64, edges: &mut Vec<(u32, u32)>| {
+                let s = offsets[a] + (idx / cols) as u32;
+                let t = offsets[b] + (idx % cols) as u32;
+                if s != t {
+                    edges.push((s, t));
+                }
+            };
+            if q >= 1.0 {
+                for idx in 0..total {
+                    emit(idx, &mut edges);
+                }
+            } else {
+                let log_q = (1.0 - q).ln();
+                let mut idx: u64 = 0;
+                loop {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let skip = (u.ln() / log_q).floor() as u64 + 1;
+                    idx = match idx.checked_add(skip) {
+                        Some(i) => i,
+                        None => break,
+                    };
+                    if idx > total {
+                        break;
+                    }
+                    emit(idx - 1, &mut edges);
+                }
+            }
+        }
+    }
+    ModelGraph { num_vertices: n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_structure_emerges() {
+        let sizes = [100, 100];
+        let p = vec![vec![0.10, 0.005], vec![0.005, 0.10]];
+        let g = sbm(&sizes, &p, 1);
+        g.validate();
+        let within = g
+            .edges
+            .iter()
+            .filter(|&&(s, t)| (s < 100) == (t < 100))
+            .count();
+        let across = g.edge_count() - within;
+        assert!(within > across * 5, "within {within}, across {across}");
+    }
+
+    #[test]
+    fn edge_counts_near_expectation() {
+        let sizes = [200];
+        let p = vec![vec![0.02]];
+        let g = sbm(&sizes, &p, 2);
+        let expect = 200.0 * 200.0 * 0.02;
+        let got = g.edge_count() as f64;
+        assert!((got - expect).abs() < expect * 0.2, "got {got}, expected {expect}");
+    }
+
+    #[test]
+    fn asymmetric_blocks() {
+        // Directed: block 0 -> block 1 only.
+        let sizes = [50, 50];
+        let p = vec![vec![0.0, 0.2], vec![0.0, 0.0]];
+        let g = sbm(&sizes, &p, 3);
+        assert!(!g.edges.is_empty());
+        assert!(g.edges.iter().all(|&(s, t)| s < 50 && t >= 50));
+    }
+
+    #[test]
+    fn full_probability_block() {
+        let g = sbm(&[4], &[vec![1.0]], 4);
+        assert_eq!(g.edge_count(), 12); // 4*4 minus 4 self-loops
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = vec![vec![0.1, 0.02], vec![0.02, 0.1]];
+        assert_eq!(sbm(&[30, 30], &p, 5), sbm(&[30, 30], &p, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2x2")]
+    fn ragged_matrix_rejected() {
+        let _ = sbm(&[10, 10], &[vec![0.1]], 0);
+    }
+}

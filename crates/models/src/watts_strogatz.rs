@@ -1,0 +1,94 @@
+//! Watts-Strogatz small-world graphs: a ring lattice where each vertex
+//! connects to its `k` nearest clockwise neighbors, with each edge's far
+//! endpoint rewired uniformly at random with probability `beta`.
+
+use crate::ModelGraph;
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// Watts-Strogatz on `n` vertices, `k` clockwise neighbors each, rewiring
+/// probability `beta`. Produces `n * k` directed edges.
+///
+/// # Panics
+/// Panics unless `0 < k < n` and `0 <= beta <= 1`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> ModelGraph {
+    assert!(n > 0 && k > 0 && k < n, "need 0 < k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = rng_for(seed, 0x35);
+    let mut edges = Vec::with_capacity((n * k) as usize);
+    for u in 0..n {
+        for j in 1..=k {
+            let lattice_target = (u + j) % n;
+            let target = if rng.gen::<f64>() < beta {
+                // Rewire: any vertex except u.
+                let mut t = rng.gen_range(0..n - 1);
+                if t >= u {
+                    t += 1;
+                }
+                t
+            } else {
+                lattice_target
+            };
+            edges.push((u, target));
+        }
+    }
+    ModelGraph { num_vertices: n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_beta_is_pure_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, 1);
+        g.validate();
+        assert_eq!(g.edge_count(), 20);
+        for &(u, v) in &g.edges {
+            let d = (v + 10 - u) % 10;
+            assert!(d == 1 || d == 2, "non-lattice edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn out_degrees_always_k() {
+        let g = watts_strogatz(30, 3, 0.5, 2);
+        let mut out = [0u32; 30];
+        for &(u, _) in &g.edges {
+            out[u as usize] += 1;
+        }
+        assert!(out.iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn full_rewiring_breaks_lattice() {
+        let g = watts_strogatz(200, 2, 1.0, 3);
+        let lattice_edges = g
+            .edges
+            .iter()
+            .filter(|&&(u, v)| {
+                let d = (v + 200 - u) % 200;
+                d == 1 || d == 2
+            })
+            .count();
+        // Random targets rarely land back on the lattice.
+        assert!(lattice_edges < 30, "still {lattice_edges} lattice edges");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = watts_strogatz(50, 4, 0.7, 4);
+        assert!(g.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(40, 2, 0.3, 9), watts_strogatz(40, 2, 0.3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k < n")]
+    fn k_too_large() {
+        let _ = watts_strogatz(5, 5, 0.1, 0);
+    }
+}

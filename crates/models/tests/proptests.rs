@@ -1,0 +1,108 @@
+//! Property-based invariants of the baseline graph models.
+
+use csb_models::rmat::RmatParams;
+use csb_models::{barabasi_albert, bter, chung_lu, gnm, gnp, rmat, sbm, watts_strogatz};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// G(n,p): all edges in range, no self-loops, determinism.
+    #[test]
+    fn gnp_invariants(n in 2u32..150, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = gnp(n, p, seed);
+        g.validate();
+        prop_assert!(g.edges.iter().all(|&(s, t)| s != t));
+        prop_assert_eq!(g, gnp(n, p, seed));
+    }
+
+    /// G(n,m): exact edge count, distinct edges.
+    #[test]
+    fn gnm_invariants(n in 3u32..100, frac in 0.0f64..0.5, seed in any::<u64>()) {
+        let possible = (n as u64 * (n as u64 - 1)) as usize;
+        let m = (possible as f64 * frac) as usize;
+        let g = gnm(n, m, seed);
+        g.validate();
+        prop_assert_eq!(g.edge_count(), m);
+        let set: std::collections::HashSet<_> = g.edges.iter().collect();
+        prop_assert_eq!(set.len(), m);
+    }
+
+    /// Watts-Strogatz: exactly n*k edges, out-degree k everywhere, no loops.
+    #[test]
+    fn ws_invariants(n in 5u32..120, k in 1u32..4, beta in 0.0f64..1.0, seed in any::<u64>()) {
+        prop_assume!(k < n);
+        let g = watts_strogatz(n, k, beta, seed);
+        g.validate();
+        prop_assert_eq!(g.edge_count() as u32, n * k);
+        prop_assert!(g.edges.iter().all(|&(s, t)| s != t));
+        let mut out = vec![0u32; n as usize];
+        for &(s, _) in &g.edges {
+            out[s as usize] += 1;
+        }
+        prop_assert!(out.iter().all(|&d| d == k));
+    }
+
+    /// Classic BA: edge count formula, every vertex has degree >= 1.
+    #[test]
+    fn ba_invariants(n in 10u32..300, m in 1u32..4, seed in any::<u64>()) {
+        prop_assume!(m < n);
+        let g = barabasi_albert(n, m, seed);
+        g.validate();
+        let core = m + 1;
+        prop_assert_eq!(g.edge_count() as u32, core + (n - core) * m);
+        prop_assert!(g.total_degrees().iter().all(|&d| d >= 1));
+    }
+
+    /// Chung-Lu: zero-weight vertices stay isolated; edge count = sum(w)/2.
+    #[test]
+    fn cl_invariants(weights in prop::collection::vec(0.0f64..8.0, 2..120), seed in any::<u64>()) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 2.0);
+        let g = chung_lu(&weights, seed);
+        g.validate();
+        prop_assert_eq!(g.edge_count(), (total / 2.0).round() as usize);
+        let degrees = g.total_degrees();
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                prop_assert_eq!(degrees[i], 0);
+            }
+        }
+    }
+
+    /// SBM: zero-probability block pairs produce no cross edges.
+    #[test]
+    fn sbm_invariants(a in 2u32..60, b in 2u32..60, p in 0.01f64..0.3, seed in any::<u64>()) {
+        let g = sbm(&[a, b], &[vec![p, 0.0], vec![0.0, p]], seed);
+        g.validate();
+        prop_assert!(g.edges.iter().all(|&(s, t)| (s < a) == (t < a)));
+    }
+
+    /// R-MAT: exact edge count, vertices in 2^scale.
+    #[test]
+    fn rmat_invariants(scale in 3u32..12, m in 0usize..3000, seed in any::<u64>()) {
+        let g = rmat(scale, m, RmatParams::graph500(), seed);
+        g.validate();
+        prop_assert_eq!(g.edge_count(), m);
+        prop_assert_eq!(g.num_vertices, 1 << scale);
+    }
+
+    /// BTER: zero-degree vertices stay isolated, realized mean degree within
+    /// a factor of the target.
+    #[test]
+    fn bter_invariants(degs in prop::collection::vec(0u64..8, 10..120), seed in any::<u64>()) {
+        let target_total: u64 = degs.iter().sum();
+        prop_assume!(target_total > 20);
+        let g = bter(&degs, csb_models::bter::BterParams::default(), seed);
+        g.validate();
+        let realized = g.total_degrees();
+        for (i, &d) in degs.iter().enumerate() {
+            if d == 0 {
+                prop_assert_eq!(realized[i], 0);
+            }
+        }
+        let realized_total: u64 = realized.iter().sum();
+        let ratio = realized_total as f64 / target_total as f64;
+        prop_assert!((0.3..3.0).contains(&ratio), "degree mass ratio {}", ratio);
+    }
+}

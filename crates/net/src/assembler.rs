@@ -1,0 +1,389 @@
+//! The flow assembler: the Bro-IDS-equivalent stage of the paper's seed
+//! pipeline (Fig. 1, "PCAP -> Netflow").
+//!
+//! Packets are grouped into flows keyed by the 5-tuple; the first packet of a
+//! key determines the originator. TCP flows close on handshake-teardown or
+//! RST (after an idle timeout flushes stragglers); UDP/ICMP streams close on
+//! idle timeout. `finish()` flushes everything still open.
+
+use crate::flow::{FlowRecord, Protocol, TcpConnState};
+use crate::packet::{Packet, TcpFlags};
+use crate::tcp::{Direction, TcpTracker};
+use std::collections::HashMap;
+
+/// Canonical bidirectional 5-tuple key. The originator's orientation is
+/// stored in the builder; the key itself is direction-agnostic so replies
+/// find the same entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowKey {
+    lo_ip: u32,
+    hi_ip: u32,
+    lo_port: u16,
+    hi_port: u16,
+    protocol: Protocol,
+}
+
+impl FlowKey {
+    fn of(p: &Packet) -> Self {
+        // Order endpoints so both directions map to the same key.
+        if (p.src_ip, p.src_port) <= (p.dst_ip, p.dst_port) {
+            FlowKey {
+                lo_ip: p.src_ip,
+                hi_ip: p.dst_ip,
+                lo_port: p.src_port,
+                hi_port: p.dst_port,
+                protocol: p.protocol,
+            }
+        } else {
+            FlowKey {
+                lo_ip: p.dst_ip,
+                hi_ip: p.src_ip,
+                lo_port: p.dst_port,
+                hi_port: p.src_port,
+                protocol: p.protocol,
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowBuilder {
+    orig_ip: u32,
+    orig_port: u16,
+    resp_ip: u32,
+    resp_port: u16,
+    protocol: Protocol,
+    first_ts: u64,
+    last_ts: u64,
+    out_bytes: u64,
+    in_bytes: u64,
+    out_pkts: u64,
+    in_pkts: u64,
+    syn_count: u32,
+    ack_count: u32,
+    tcp: TcpTracker,
+}
+
+impl FlowBuilder {
+    fn start(p: &Packet) -> Self {
+        FlowBuilder {
+            orig_ip: p.src_ip,
+            orig_port: p.src_port,
+            resp_ip: p.dst_ip,
+            resp_port: p.dst_port,
+            protocol: p.protocol,
+            first_ts: p.ts_micros,
+            last_ts: p.ts_micros,
+            out_bytes: 0,
+            in_bytes: 0,
+            out_pkts: 0,
+            in_pkts: 0,
+            syn_count: 0,
+            ack_count: 0,
+            tcp: TcpTracker::new(),
+        }
+    }
+
+    fn add(&mut self, p: &Packet) {
+        let dir = if p.src_ip == self.orig_ip && p.src_port == self.orig_port {
+            Direction::Out
+        } else {
+            Direction::In
+        };
+        self.last_ts = self.last_ts.max(p.ts_micros);
+        match dir {
+            Direction::Out => {
+                self.out_bytes += p.payload_len as u64;
+                self.out_pkts += 1;
+            }
+            Direction::In => {
+                self.in_bytes += p.payload_len as u64;
+                self.in_pkts += 1;
+            }
+        }
+        if self.protocol == Protocol::Tcp {
+            if p.flags.contains(TcpFlags::SYN) {
+                self.syn_count += 1;
+            }
+            if p.flags.contains(TcpFlags::ACK) {
+                self.ack_count += 1;
+            }
+            self.tcp.observe(dir, p.flags);
+        }
+    }
+
+    fn is_tcp_closed(&self) -> bool {
+        matches!(
+            self.tcp.state(),
+            TcpConnState::Sf | TcpConnState::Rej | TcpConnState::Rsto | TcpConnState::Rstr
+        )
+    }
+
+    fn build(&self) -> FlowRecord {
+        let state = if self.protocol == Protocol::Tcp {
+            self.tcp.state()
+        } else {
+            TcpConnState::Oth
+        };
+        FlowRecord {
+            src_ip: self.orig_ip,
+            dst_ip: self.resp_ip,
+            protocol: self.protocol,
+            src_port: self.orig_port,
+            dst_port: self.resp_port,
+            duration_ms: (self.last_ts - self.first_ts) / 1000,
+            out_bytes: self.out_bytes,
+            in_bytes: self.in_bytes,
+            out_pkts: self.out_pkts,
+            in_pkts: self.in_pkts,
+            state,
+            syn_count: self.syn_count,
+            ack_count: self.ack_count,
+            first_ts_micros: self.first_ts,
+        }
+    }
+}
+
+/// Streaming flow assembler.
+///
+/// Feed packets in (roughly) timestamp order with [`FlowAssembler::push`];
+/// completed flows become available via [`FlowAssembler::drain_completed`];
+/// call [`FlowAssembler::finish`] at end of trace.
+#[derive(Debug)]
+pub struct FlowAssembler {
+    active: HashMap<FlowKey, FlowBuilder>,
+    completed: Vec<FlowRecord>,
+    /// Idle timeout (microseconds) after which a stream is considered over.
+    idle_timeout_micros: u64,
+    /// Time of the most recent packet, for timeout sweeps.
+    now: u64,
+    /// Packets since the last timeout sweep.
+    since_sweep: usize,
+}
+
+impl FlowAssembler {
+    /// Default idle timeout: 60 s, a common NetFlow inactive-timeout value.
+    pub const DEFAULT_IDLE_TIMEOUT_MICROS: u64 = 60_000_000;
+
+    /// Creates an assembler with the default idle timeout.
+    pub fn new() -> Self {
+        Self::with_idle_timeout(Self::DEFAULT_IDLE_TIMEOUT_MICROS)
+    }
+
+    /// Creates an assembler with a custom idle timeout in microseconds.
+    pub fn with_idle_timeout(idle_timeout_micros: u64) -> Self {
+        FlowAssembler {
+            active: HashMap::new(),
+            completed: Vec::new(),
+            idle_timeout_micros,
+            now: 0,
+            since_sweep: 0,
+        }
+    }
+
+    /// Observes one packet.
+    pub fn push(&mut self, p: &Packet) {
+        self.now = self.now.max(p.ts_micros);
+        let key = FlowKey::of(p);
+        // A packet landing on an idle-expired stream starts a new flow.
+        if let Some(existing) = self.active.get(&key) {
+            if p.ts_micros.saturating_sub(existing.last_ts) > self.idle_timeout_micros {
+                let done = self.active.remove(&key).expect("entry exists");
+                self.completed.push(done.build());
+            }
+        }
+        let entry = self.active.entry(key).or_insert_with(|| FlowBuilder::start(p));
+        entry.add(p);
+        if p.protocol == Protocol::Tcp && entry.is_tcp_closed() {
+            let done = self.active.remove(&key).expect("entry exists");
+            self.completed.push(done.build());
+        }
+        // Amortized timeout sweep so long traces do not accumulate unbounded
+        // idle UDP streams.
+        self.since_sweep += 1;
+        if self.since_sweep >= 4096 {
+            self.sweep_idle();
+            self.since_sweep = 0;
+        }
+    }
+
+    /// Processes a whole packet slice and finishes, returning all flows.
+    pub fn assemble(packets: &[Packet]) -> Vec<FlowRecord> {
+        let mut a = FlowAssembler::new();
+        for p in packets {
+            a.push(p);
+        }
+        a.finish()
+    }
+
+    /// Advances the assembler's clock to `ts_micros` (e.g. a window
+    /// boundary) and expires idle streams — the "inactive timeout" export a
+    /// real NetFlow exporter performs even when no further packets arrive
+    /// on a flow. Time never moves backwards.
+    pub fn advance_time(&mut self, ts_micros: u64) {
+        self.now = self.now.max(ts_micros);
+        self.sweep_idle();
+    }
+
+    /// Closes every active stream idle for longer than the timeout.
+    fn sweep_idle(&mut self) {
+        let cutoff = self.now.saturating_sub(self.idle_timeout_micros);
+        let expired: Vec<FlowKey> = self
+            .active
+            .iter()
+            .filter(|(_, b)| b.last_ts < cutoff)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in expired {
+            let b = self.active.remove(&k).expect("key collected above");
+            self.completed.push(b.build());
+        }
+    }
+
+    /// Takes the flows completed so far.
+    pub fn drain_completed(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Number of currently open streams.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Flushes all open streams and returns every completed flow.
+    pub fn finish(mut self) -> Vec<FlowRecord> {
+        let mut out = std::mem::take(&mut self.completed);
+        let mut rest: Vec<FlowRecord> = self.active.values().map(|b| b.build()).collect();
+        out.append(&mut rest);
+        // Deterministic order regardless of hash iteration.
+        out.sort_unstable_by_key(|f| (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port));
+        out
+    }
+}
+
+impl Default for FlowAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ip;
+
+    const A: u32 = ip(10, 0, 0, 1);
+    const B: u32 = ip(10, 0, 0, 2);
+
+    fn tcp_session(t0: u64, src: u32, sport: u16, dst: u32, dport: u16) -> Vec<Packet> {
+        vec![
+            Packet::tcp(t0, src, sport, dst, dport, TcpFlags::SYN, 0),
+            Packet::tcp(t0 + 100, dst, dport, src, sport, TcpFlags::SYN_ACK, 0),
+            Packet::tcp(t0 + 200, src, sport, dst, dport, TcpFlags::ACK, 0),
+            Packet::tcp(t0 + 300, src, sport, dst, dport, TcpFlags::PSH | TcpFlags::ACK, 120),
+            Packet::tcp(t0 + 400, dst, dport, src, sport, TcpFlags::PSH | TcpFlags::ACK, 900),
+            Packet::tcp(t0 + 500, src, sport, dst, dport, TcpFlags::FIN | TcpFlags::ACK, 0),
+            Packet::tcp(t0 + 600, dst, dport, src, sport, TcpFlags::FIN | TcpFlags::ACK, 0),
+        ]
+    }
+
+    #[test]
+    fn full_tcp_session_assembles_one_sf_flow() {
+        let flows = FlowAssembler::assemble(&tcp_session(1_000, A, 40000, B, 80));
+        assert_eq!(flows.len(), 1);
+        let f = &flows[0];
+        assert_eq!(f.src_ip, A);
+        assert_eq!(f.dst_ip, B);
+        assert_eq!(f.src_port, 40000);
+        assert_eq!(f.dst_port, 80);
+        assert_eq!(f.state, TcpConnState::Sf);
+        assert_eq!(f.out_bytes, 120);
+        assert_eq!(f.in_bytes, 900);
+        assert_eq!(f.out_pkts, 4);
+        assert_eq!(f.in_pkts, 3);
+        assert_eq!(f.syn_count, 2); // SYN + SYN-ACK both carry SYN.
+        assert_eq!(f.duration_ms, 0); // 600 us rounds down.
+        assert_eq!(f.first_ts_micros, 1_000);
+    }
+
+    #[test]
+    fn originator_is_first_sender() {
+        // B initiates toward A: flow must be oriented B -> A even though
+        // A < B in key order.
+        let flows = FlowAssembler::assemble(&tcp_session(0, B, 51000, A, 22));
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].src_ip, B);
+        assert_eq!(flows[0].dst_ip, A);
+    }
+
+    #[test]
+    fn unanswered_syn_is_s0_after_finish() {
+        let pkts = vec![Packet::tcp(0, A, 1234, B, 80, TcpFlags::SYN, 0)];
+        let flows = FlowAssembler::assemble(&pkts);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].state, TcpConnState::S0);
+    }
+
+    #[test]
+    fn rejected_connection_is_rej() {
+        let pkts = vec![
+            Packet::tcp(0, A, 1234, B, 23, TcpFlags::SYN, 0),
+            Packet::tcp(50, B, 23, A, 1234, TcpFlags::RST | TcpFlags::ACK, 0),
+        ];
+        let flows = FlowAssembler::assemble(&pkts);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].state, TcpConnState::Rej);
+    }
+
+    #[test]
+    fn udp_streams_aggregate_until_timeout() {
+        let mut pkts = vec![
+            Packet::udp(0, A, 5353, B, 53, 60),
+            Packet::udp(1_000, B, 53, A, 5353, 300),
+            Packet::udp(2_000, A, 5353, B, 53, 60),
+        ];
+        // A second stream well past the idle timeout on the same 5-tuple.
+        pkts.push(Packet::udp(120_000_000, A, 5353, B, 53, 60));
+        let mut asm = FlowAssembler::new();
+        for p in &pkts {
+            asm.push(p);
+        }
+        // Force the sweep (normally amortized) then finish.
+        asm.sweep_idle();
+        let flows = asm.finish();
+        assert_eq!(flows.len(), 2, "timeout must split the two bursts");
+        assert_eq!(flows[0].out_pkts, 2);
+        assert_eq!(flows[0].in_pkts, 1);
+        assert_eq!(flows[0].in_bytes, 300);
+        assert_eq!(flows[0].state, TcpConnState::Oth);
+    }
+
+    #[test]
+    fn two_sessions_same_endpoints_different_ports_are_distinct() {
+        let mut pkts = tcp_session(0, A, 40000, B, 80);
+        pkts.extend(tcp_session(10, A, 40001, B, 80));
+        let flows = FlowAssembler::assemble(&pkts);
+        assert_eq!(flows.len(), 2);
+    }
+
+    #[test]
+    fn packet_conservation() {
+        // Total packets across flows == packets fed in.
+        let mut pkts = tcp_session(0, A, 40000, B, 80);
+        pkts.extend(tcp_session(5_000, B, 52000, A, 443));
+        pkts.push(Packet::udp(7_000, A, 9999, B, 53, 10));
+        pkts.push(Packet::icmp(8_000, B, A, 56));
+        let n = pkts.len() as u64;
+        let flows = FlowAssembler::assemble(&pkts);
+        let total: u64 = flows.iter().map(|f| f.total_pkts()).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let mut pkts = tcp_session(100, A, 40000, B, 80);
+        pkts.extend(tcp_session(0, B, 52000, A, 443));
+        let flows = FlowAssembler::assemble(&pkts);
+        assert!(flows.windows(2).all(|w| w[0].first_ts_micros <= w[1].first_ts_micros));
+    }
+}

@@ -1,0 +1,323 @@
+//! A BPF-style packet-filter expression language.
+//!
+//! Benchmark users slice captures before seeding ("only the TCP traffic",
+//! "only flows touching the DMZ"), so the suite ships a small tcpdump-like
+//! filter DSL:
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( "or" and )*
+//! and     := unary ( "and" unary )*
+//! unary   := "not" unary | "(" expr ")" | primitive
+//! primitive :=
+//!     "tcp" | "udp" | "icmp"
+//!   | ("src" | "dst")? "host" IPV4
+//!   | ("src" | "dst")? "port" NUMBER
+//!   | ("greater" | "less") NUMBER          # payload length
+//! ```
+//!
+//! Examples: `tcp and dst port 80`, `not icmp`, `host 10.0.0.2 or greater 1000`.
+
+use crate::flow::Protocol;
+use crate::packet::Packet;
+use std::fmt;
+
+/// A compiled filter expression.
+///
+/// ```
+/// use csb_net::Filter;
+/// use csb_net::packet::{ip, Packet, TcpFlags};
+///
+/// let f = Filter::parse("tcp and dst port 80").expect("valid expression");
+/// let web = Packet::tcp(0, ip(10, 0, 0, 1), 40000, ip(10, 0, 0, 2), 80, TcpFlags::SYN, 0);
+/// let dns = Packet::udp(0, ip(10, 0, 0, 1), 5353, ip(8, 8, 8, 8), 53, 60);
+/// assert!(f.matches(&web));
+/// assert!(!f.matches(&dns));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Protocol match.
+    Proto(Protocol),
+    /// Source or destination address equals (None direction = either).
+    Host(Option<Direction>, u32),
+    /// Source or destination port equals (None direction = either).
+    Port(Option<Direction>, u16),
+    /// Payload length strictly greater than.
+    Greater(u32),
+    /// Payload length strictly less than.
+    Less(u32),
+    /// Negation.
+    Not(Box<Filter>),
+    /// Conjunction.
+    And(Box<Filter>, Box<Filter>),
+    /// Disjunction.
+    Or(Box<Filter>, Box<Filter>),
+}
+
+/// Which endpoint a host/port primitive constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Source endpoint.
+    Src,
+    /// Destination endpoint.
+    Dst,
+}
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, FilterError> {
+    Err(FilterError { message: message.into() })
+}
+
+impl Filter {
+    /// Parses a filter expression.
+    pub fn parse(input: &str) -> Result<Filter, FilterError> {
+        let tokens: Vec<&str> = input.split_whitespace().collect();
+        if tokens.is_empty() {
+            return err("empty filter expression");
+        }
+        let mut p = Parser { tokens, pos: 0 };
+        let f = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return err(format!("unexpected trailing input at {:?}", p.tokens[p.pos]));
+        }
+        Ok(f)
+    }
+
+    /// Evaluates the filter against one packet.
+    pub fn matches(&self, p: &Packet) -> bool {
+        match self {
+            Filter::Proto(proto) => p.protocol == *proto,
+            Filter::Host(dir, ip) => match dir {
+                Some(Direction::Src) => p.src_ip == *ip,
+                Some(Direction::Dst) => p.dst_ip == *ip,
+                None => p.src_ip == *ip || p.dst_ip == *ip,
+            },
+            Filter::Port(dir, port) => match dir {
+                Some(Direction::Src) => p.src_port == *port,
+                Some(Direction::Dst) => p.dst_port == *port,
+                None => p.src_port == *port || p.dst_port == *port,
+            },
+            Filter::Greater(len) => p.payload_len > *len,
+            Filter::Less(len) => p.payload_len < *len,
+            Filter::Not(inner) => !inner.matches(p),
+            Filter::And(a, b) => a.matches(p) && b.matches(p),
+            Filter::Or(a, b) => a.matches(p) || b.matches(p),
+        }
+    }
+
+    /// Filters a packet slice, keeping matches.
+    pub fn apply(&self, packets: &[Packet]) -> Vec<Packet> {
+        packets.iter().filter(|p| self.matches(p)).copied().collect()
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.tokens.get(self.pos).copied();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<Filter, FilterError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some("or") {
+            self.next();
+            let right = self.parse_and()?;
+            left = Filter::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Filter, FilterError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some("and") {
+            self.next();
+            let right = self.parse_unary()?;
+            left = Filter::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Filter, FilterError> {
+        match self.peek() {
+            Some("not") => {
+                self.next();
+                Ok(Filter::Not(Box::new(self.parse_unary()?)))
+            }
+            Some("(") => {
+                self.next();
+                let inner = self.parse_or()?;
+                match self.next() {
+                    Some(")") => Ok(inner),
+                    other => err(format!("expected ), got {other:?}")),
+                }
+            }
+            _ => self.parse_primitive(),
+        }
+    }
+
+    fn parse_primitive(&mut self) -> Result<Filter, FilterError> {
+        let Some(tok) = self.next() else {
+            return err("expected a filter primitive, got end of input");
+        };
+        match tok {
+            "tcp" => Ok(Filter::Proto(Protocol::Tcp)),
+            "udp" => Ok(Filter::Proto(Protocol::Udp)),
+            "icmp" => Ok(Filter::Proto(Protocol::Icmp)),
+            "src" | "dst" => {
+                let dir = if tok == "src" { Direction::Src } else { Direction::Dst };
+                match self.next() {
+                    Some("host") => Ok(Filter::Host(Some(dir), self.parse_ip()?)),
+                    Some("port") => Ok(Filter::Port(Some(dir), self.parse_num()? as u16)),
+                    other => err(format!("expected host/port after {tok}, got {other:?}")),
+                }
+            }
+            "host" => Ok(Filter::Host(None, self.parse_ip()?)),
+            "port" => {
+                let n = self.parse_num()?;
+                if n > u16::MAX as u32 {
+                    return err(format!("port {n} out of range"));
+                }
+                Ok(Filter::Port(None, n as u16))
+            }
+            "greater" => Ok(Filter::Greater(self.parse_num()?)),
+            "less" => Ok(Filter::Less(self.parse_num()?)),
+            other => err(format!("unknown primitive {other:?}")),
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<u32, FilterError> {
+        let Some(tok) = self.next() else {
+            return err("expected a number, got end of input");
+        };
+        tok.parse().map_err(|_| FilterError { message: format!("bad number {tok:?}") })
+    }
+
+    fn parse_ip(&mut self) -> Result<u32, FilterError> {
+        let Some(tok) = self.next() else {
+            return err("expected an IPv4 address, got end of input");
+        };
+        let parts: Vec<&str> = tok.split('.').collect();
+        if parts.len() != 4 {
+            return err(format!("bad IPv4 address {tok:?}"));
+        }
+        let mut ip = 0u32;
+        for part in parts {
+            let octet: u8 = part
+                .parse()
+                .map_err(|_| FilterError { message: format!("bad IPv4 octet {part:?}") })?;
+            ip = (ip << 8) | octet as u32;
+        }
+        Ok(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{ip, TcpFlags};
+
+    fn tcp80() -> Packet {
+        Packet::tcp(0, ip(10, 0, 0, 1), 40000, ip(10, 0, 0, 2), 80, TcpFlags::SYN, 500)
+    }
+
+    fn udp53() -> Packet {
+        Packet::udp(0, ip(10, 0, 0, 3), 5353, ip(8, 8, 8, 8), 53, 60)
+    }
+
+    #[test]
+    fn protocol_primitives() {
+        assert!(Filter::parse("tcp").expect("parse").matches(&tcp80()));
+        assert!(!Filter::parse("udp").expect("parse").matches(&tcp80()));
+        assert!(Filter::parse("udp").expect("parse").matches(&udp53()));
+    }
+
+    #[test]
+    fn host_and_port_with_directions() {
+        let p = tcp80();
+        assert!(Filter::parse("host 10.0.0.1").expect("parse").matches(&p));
+        assert!(Filter::parse("src host 10.0.0.1").expect("parse").matches(&p));
+        assert!(!Filter::parse("dst host 10.0.0.1").expect("parse").matches(&p));
+        assert!(Filter::parse("dst port 80").expect("parse").matches(&p));
+        assert!(!Filter::parse("src port 80").expect("parse").matches(&p));
+        assert!(Filter::parse("port 80").expect("parse").matches(&p));
+    }
+
+    #[test]
+    fn length_primitives() {
+        assert!(Filter::parse("greater 400").expect("parse").matches(&tcp80()));
+        assert!(!Filter::parse("greater 500").expect("parse").matches(&tcp80()));
+        assert!(Filter::parse("less 100").expect("parse").matches(&udp53()));
+    }
+
+    #[test]
+    fn boolean_combinators_and_precedence() {
+        let p = tcp80();
+        assert!(Filter::parse("tcp and dst port 80").expect("parse").matches(&p));
+        assert!(!Filter::parse("tcp and dst port 443").expect("parse").matches(&p));
+        assert!(Filter::parse("udp or dst port 80").expect("parse").matches(&p));
+        assert!(Filter::parse("not udp").expect("parse").matches(&p));
+        // and binds tighter than or: (udp and port 99) or tcp == true.
+        assert!(Filter::parse("udp and port 99 or tcp").expect("parse").matches(&p));
+        // Parentheses override: udp and (port 99 or tcp) == false.
+        assert!(!Filter::parse("udp and ( port 99 or tcp )").expect("parse").matches(&p));
+    }
+
+    #[test]
+    fn apply_filters_a_capture() {
+        let packets = vec![tcp80(), udp53(), tcp80()];
+        let out = Filter::parse("tcp").expect("parse").apply(&packets);
+        assert_eq!(out.len(), 2);
+        let out = Filter::parse("not tcp").expect("parse").apply(&packets);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in [
+            "",
+            "bogus",
+            "port",
+            "port notanumber",
+            "port 99999",
+            "host 1.2.3",
+            "host 1.2.3.999",
+            "tcp and",
+            "( tcp",
+            "tcp )",
+            "src banana 1",
+        ] {
+            assert!(Filter::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn double_negation() {
+        assert!(Filter::parse("not not tcp").expect("parse").matches(&tcp80()));
+    }
+}

@@ -1,0 +1,231 @@
+//! The NetFlow record type: one record per TCP connection or UDP/ICMP stream,
+//! carrying exactly the edge attributes of paper Section III.
+
+use std::fmt;
+
+/// Transport protocol of a flow. The paper supports TCP and UDP; ICMP is
+//  additionally modeled because the Section IV detector reasons about ICMP
+//  floods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+    /// Internet Control Message Protocol.
+    Icmp,
+}
+
+impl Protocol {
+    /// IANA protocol number, as carried in the IPv4 header.
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        }
+    }
+
+    /// Parses an IANA protocol number.
+    pub const fn from_number(n: u8) -> Option<Self> {
+        match n {
+            1 => Some(Protocol::Icmp),
+            6 => Some(Protocol::Tcp),
+            17 => Some(Protocol::Udp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => write!(f, "TCP"),
+            Protocol::Udp => write!(f, "UDP"),
+            Protocol::Icmp => write!(f, "ICMP"),
+        }
+    }
+}
+
+/// Bro-style TCP connection state, the `STATE` edge attribute.
+///
+/// Matches Bro/Zeek's `conn_state` vocabulary for the states our state
+/// machine can distinguish; non-TCP flows use [`TcpConnState::Oth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TcpConnState {
+    /// Connection attempt seen (SYN), no reply.
+    S0,
+    /// Connection established (SYN, SYN-ACK), not terminated.
+    S1,
+    /// Normal establishment and termination (FIN exchange completed).
+    Sf,
+    /// Connection attempt rejected (SYN answered by RST).
+    Rej,
+    /// Established, originator aborted with RST.
+    Rsto,
+    /// Established, responder aborted with RST.
+    Rstr,
+    /// Originator sent SYN+FIN but no responder reply ("half-open scan").
+    Sh,
+    /// Anything else (mid-stream traffic, non-TCP, no handshake seen).
+    Oth,
+}
+
+impl TcpConnState {
+    /// All distinct states, for histogramming.
+    pub const ALL: [TcpConnState; 8] = [
+        TcpConnState::S0,
+        TcpConnState::S1,
+        TcpConnState::Sf,
+        TcpConnState::Rej,
+        TcpConnState::Rsto,
+        TcpConnState::Rstr,
+        TcpConnState::Sh,
+        TcpConnState::Oth,
+    ];
+
+    /// Stable small integer code (used when states are stored as edge
+    /// property values).
+    pub const fn code(self) -> u64 {
+        match self {
+            TcpConnState::S0 => 0,
+            TcpConnState::S1 => 1,
+            TcpConnState::Sf => 2,
+            TcpConnState::Rej => 3,
+            TcpConnState::Rsto => 4,
+            TcpConnState::Rstr => 5,
+            TcpConnState::Sh => 6,
+            TcpConnState::Oth => 7,
+        }
+    }
+
+    /// Inverse of [`TcpConnState::code`].
+    pub const fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(TcpConnState::S0),
+            1 => Some(TcpConnState::S1),
+            2 => Some(TcpConnState::Sf),
+            3 => Some(TcpConnState::Rej),
+            4 => Some(TcpConnState::Rsto),
+            5 => Some(TcpConnState::Rstr),
+            6 => Some(TcpConnState::Sh),
+            7 => Some(TcpConnState::Oth),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TcpConnState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TcpConnState::S0 => "S0",
+            TcpConnState::S1 => "S1",
+            TcpConnState::Sf => "SF",
+            TcpConnState::Rej => "REJ",
+            TcpConnState::Rsto => "RSTO",
+            TcpConnState::Rstr => "RSTR",
+            TcpConnState::Sh => "SH",
+            TcpConnState::Oth => "OTH",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One NetFlow record: a TCP connection or UDP/ICMP stream between an
+/// originator (`src`) and a responder (`dst`).
+///
+/// Field names mirror the paper's `De` attribute list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Originator address.
+    pub src_ip: u32,
+    /// Responder address.
+    pub dst_ip: u32,
+    /// PROTOCOL attribute.
+    pub protocol: Protocol,
+    /// SRC_PORT attribute.
+    pub src_port: u16,
+    /// DEST_PORT attribute.
+    pub dst_port: u16,
+    /// DURATION attribute, milliseconds.
+    pub duration_ms: u64,
+    /// OUT_BYTES: bytes from originator to responder.
+    pub out_bytes: u64,
+    /// IN_BYTES: bytes from responder to originator.
+    pub in_bytes: u64,
+    /// OUT_PKTS: packets from originator to responder.
+    pub out_pkts: u64,
+    /// IN_PKTS: packets from responder to originator.
+    pub in_pkts: u64,
+    /// STATE attribute (TCP connection state; `Oth` for UDP/ICMP).
+    pub state: TcpConnState,
+    /// Number of SYN-flagged packets seen (used by the Section IV detector's
+    /// `N(SYN)` parameter).
+    pub syn_count: u32,
+    /// Number of ACK-flagged packets seen (`N(ACK)`).
+    pub ack_count: u32,
+    /// Timestamp of the first packet, microseconds since trace epoch.
+    pub first_ts_micros: u64,
+}
+
+impl FlowRecord {
+    /// Total packets in both directions.
+    pub fn total_pkts(&self) -> u64 {
+        self.out_pkts + self.in_pkts
+    }
+
+    /// Total bytes in both directions (the detector's "flow size").
+    pub fn total_bytes(&self) -> u64 {
+        self.out_bytes + self.in_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_numbers_round_trip() {
+        for p in [Protocol::Tcp, Protocol::Udp, Protocol::Icmp] {
+            assert_eq!(Protocol::from_number(p.number()), Some(p));
+        }
+        assert_eq!(Protocol::from_number(42), None);
+    }
+
+    #[test]
+    fn state_codes_round_trip() {
+        for s in TcpConnState::ALL {
+            assert_eq!(TcpConnState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(TcpConnState::from_code(99), None);
+    }
+
+    #[test]
+    fn state_display_matches_bro_vocabulary() {
+        assert_eq!(TcpConnState::Sf.to_string(), "SF");
+        assert_eq!(TcpConnState::Rej.to_string(), "REJ");
+        assert_eq!(TcpConnState::S0.to_string(), "S0");
+    }
+
+    #[test]
+    fn flow_totals() {
+        let f = FlowRecord {
+            src_ip: 1,
+            dst_ip: 2,
+            protocol: Protocol::Tcp,
+            src_port: 1000,
+            dst_port: 80,
+            duration_ms: 5,
+            out_bytes: 100,
+            in_bytes: 900,
+            out_pkts: 3,
+            in_pkts: 4,
+            state: TcpConnState::Sf,
+            syn_count: 1,
+            ack_count: 6,
+            first_ts_micros: 0,
+        };
+        assert_eq!(f.total_pkts(), 7);
+        assert_eq!(f.total_bytes(), 1000);
+    }
+}

@@ -1,0 +1,39 @@
+//! # csb-net
+//!
+//! Network-trace substrate for the `csb` generators.
+//!
+//! The paper's seed pipeline (Fig. 1) starts from a PCAP trace, extracts
+//! NetFlow records with Bro IDS, and maps those onto a property-graph. The
+//! original seed (the SMIA 2011 trace from the Swedish Department of Defense)
+//! is not available, so this crate supplies every stage from scratch:
+//!
+//! * [`packet`] — the packet model (IPv4 / TCP / UDP / ICMP headers we care
+//!   about).
+//! * [`pcap`] — reader/writer for the classic libpcap capture file format, so
+//!   traces round-trip through the on-disk format the paper consumes.
+//! * [`tcp`] — a per-connection TCP state machine yielding Bro-style
+//!   connection states (`S0`, `SF`, `REJ`, ...).
+//! * [`assembler`] — the Bro-equivalent flow assembler: packets in, NetFlow
+//!   records out (all nine edge attributes of paper Section III).
+//! * [`flow`] — the NetFlow record type.
+//! * [`traffic`] — an event-driven enterprise traffic simulator with
+//!   heavy-tailed host popularity and application mixes, plus attack
+//!   injectors (SYN flood, ICMP/UDP floods, DDoS, host/network scans) with
+//!   ground-truth labels for evaluating the Section IV detector.
+//! * [`trace`] — a captured trace: time-ordered packets plus attack labels.
+
+pub mod assembler;
+pub mod filter;
+pub mod flow;
+pub mod netflow_v5;
+pub mod packet;
+pub mod pcap;
+pub mod tcp;
+pub mod trace;
+pub mod traffic;
+
+pub use assembler::FlowAssembler;
+pub use filter::Filter;
+pub use flow::{FlowRecord, Protocol, TcpConnState};
+pub use packet::{Packet, TcpFlags};
+pub use trace::{AttackKind, AttackLabel, Trace};

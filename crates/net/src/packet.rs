@@ -1,0 +1,238 @@
+//! The packet model: the subset of IPv4/TCP/UDP/ICMP header state the flow
+//! assembler and the IDS need.
+//!
+//! Addresses are stored as raw `u32`s (host byte order) rather than
+//! `std::net::Ipv4Addr` so packets stay `Copy` and hash fast; the display
+//! helpers render dotted quads.
+
+use crate::flow::Protocol;
+use std::fmt;
+
+/// TCP flag bits, matching their on-the-wire positions in byte 13 of the TCP
+/// header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: sender is done sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: connection establishment.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: abort.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgment field valid.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// SYN|ACK as sent by a server accepting a connection.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+
+    /// Empty flag set.
+    pub const fn empty() -> Self {
+        TcpFlags(0)
+    }
+
+    /// True if every bit of `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    #[inline]
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// True for a bare SYN (no ACK) — a connection attempt.
+    #[inline]
+    pub const fn is_syn_only(self) -> bool {
+        self.0 & (Self::SYN.0 | Self::ACK.0) == Self::SYN.0
+    }
+
+    /// True for SYN+ACK — a connection acceptance.
+    #[inline]
+    pub const fn is_syn_ack(self) -> bool {
+        self.contains(Self::SYN_ACK)
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::FIN, 'F'),
+            (Self::SYN, 'S'),
+            (Self::RST, 'R'),
+            (Self::PSH, 'P'),
+            (Self::ACK, 'A'),
+        ];
+        let mut any = false;
+        for (bit, c) in names {
+            if self.contains(bit) {
+                write!(f, "{c}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+/// One captured packet (the fields a NetFlow exporter cares about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Capture timestamp in microseconds since the trace epoch.
+    pub ts_micros: u64,
+    /// Source IPv4 address (host byte order).
+    pub src_ip: u32,
+    /// Destination IPv4 address (host byte order).
+    pub dst_ip: u32,
+    /// Source port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination port (0 for ICMP).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// TCP flags (empty for non-TCP).
+    pub flags: TcpFlags,
+    /// Transport payload length in bytes.
+    pub payload_len: u32,
+}
+
+impl Packet {
+    /// Convenience constructor for a TCP packet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp(
+        ts_micros: u64,
+        src_ip: u32,
+        src_port: u16,
+        dst_ip: u32,
+        dst_port: u16,
+        flags: TcpFlags,
+        payload_len: u32,
+    ) -> Self {
+        Packet {
+            ts_micros,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+            flags,
+            payload_len,
+        }
+    }
+
+    /// Convenience constructor for a UDP packet.
+    pub fn udp(
+        ts_micros: u64,
+        src_ip: u32,
+        src_port: u16,
+        dst_ip: u32,
+        dst_port: u16,
+        payload_len: u32,
+    ) -> Self {
+        Packet {
+            ts_micros,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Udp,
+            flags: TcpFlags::empty(),
+            payload_len,
+        }
+    }
+
+    /// Convenience constructor for an ICMP packet (echo-style; ports are 0).
+    pub fn icmp(ts_micros: u64, src_ip: u32, dst_ip: u32, payload_len: u32) -> Self {
+        Packet {
+            ts_micros,
+            src_ip,
+            dst_ip,
+            src_port: 0,
+            dst_port: 0,
+            protocol: Protocol::Icmp,
+            flags: TcpFlags::empty(),
+            payload_len,
+        }
+    }
+
+    /// Total on-the-wire IPv4 packet length (IP header + transport header +
+    /// payload), as written to PCAP.
+    pub fn wire_len(&self) -> u32 {
+        let transport = match self.protocol {
+            Protocol::Tcp => 20,
+            Protocol::Udp => 8,
+            Protocol::Icmp => 8,
+        };
+        20 + transport + self.payload_len
+    }
+}
+
+/// Formats a raw `u32` address as a dotted quad.
+pub fn fmt_ip(ip: u32) -> String {
+    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff)
+}
+
+/// Builds a raw `u32` address from four octets.
+pub const fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    ((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_operations() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert!(f.is_syn_ack());
+        assert!(!f.is_syn_only());
+        assert!(TcpFlags::SYN.is_syn_only());
+    }
+
+    #[test]
+    fn flag_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SA");
+        assert_eq!(TcpFlags::empty().to_string(), ".");
+        assert_eq!((TcpFlags::FIN | TcpFlags::PSH).to_string(), "FP");
+    }
+
+    #[test]
+    fn ip_round_trip() {
+        let addr = ip(192, 168, 1, 77);
+        assert_eq!(fmt_ip(addr), "192.168.1.77");
+        assert_eq!(addr, 0xC0A8014D);
+    }
+
+    #[test]
+    fn wire_lengths() {
+        let t = Packet::tcp(0, 1, 2, 3, 4, TcpFlags::SYN, 100);
+        assert_eq!(t.wire_len(), 140);
+        let u = Packet::udp(0, 1, 2, 3, 4, 100);
+        assert_eq!(u.wire_len(), 128);
+        let i = Packet::icmp(0, 1, 3, 56);
+        assert_eq!(i.wire_len(), 84);
+    }
+
+    #[test]
+    fn constructors_set_protocol() {
+        assert_eq!(Packet::tcp(0, 1, 2, 3, 4, TcpFlags::SYN, 0).protocol, Protocol::Tcp);
+        assert_eq!(Packet::udp(0, 1, 2, 3, 4, 0).protocol, Protocol::Udp);
+        assert_eq!(Packet::icmp(0, 1, 3, 0).protocol, Protocol::Icmp);
+        assert_eq!(Packet::icmp(0, 1, 3, 0).src_port, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! TCP connection state machine.
+//!
+//! Tracks the handshake/teardown of one connection from the originator's
+//! perspective and reports a Bro-style [`TcpConnState`]. The assembler feeds
+//! it one packet at a time with the direction already resolved.
+
+use crate::flow::TcpConnState;
+use crate::packet::TcpFlags;
+
+/// Direction of a packet relative to the connection originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Originator -> responder.
+    Out,
+    /// Responder -> originator.
+    In,
+}
+
+/// Incremental TCP connection tracker.
+#[derive(Debug, Clone, Default)]
+pub struct TcpTracker {
+    syn_seen: bool,
+    syn_ack_seen: bool,
+    orig_fin: bool,
+    resp_fin: bool,
+    orig_rst: bool,
+    resp_rst: bool,
+    /// RST arrived before the handshake completed (rejection).
+    rst_pre_established: bool,
+}
+
+impl TcpTracker {
+    /// Fresh tracker (no packets observed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one packet's flags in the given direction.
+    pub fn observe(&mut self, dir: Direction, flags: TcpFlags) {
+        let established = self.syn_seen && self.syn_ack_seen;
+        match dir {
+            Direction::Out => {
+                if flags.is_syn_only() {
+                    self.syn_seen = true;
+                }
+                if flags.contains(TcpFlags::FIN) {
+                    self.orig_fin = true;
+                }
+                if flags.contains(TcpFlags::RST) {
+                    self.orig_rst = true;
+                    if !established {
+                        self.rst_pre_established = true;
+                    }
+                }
+            }
+            Direction::In => {
+                if flags.is_syn_ack() {
+                    self.syn_ack_seen = true;
+                }
+                if flags.contains(TcpFlags::FIN) {
+                    self.resp_fin = true;
+                }
+                if flags.contains(TcpFlags::RST) {
+                    self.resp_rst = true;
+                    if !established {
+                        self.rst_pre_established = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Final Bro-style connection state given everything observed so far.
+    pub fn state(&self) -> TcpConnState {
+        let established = self.syn_seen && self.syn_ack_seen;
+        if self.syn_seen && self.resp_rst && self.rst_pre_established {
+            // SYN answered by RST: rejection.
+            return TcpConnState::Rej;
+        }
+        if established {
+            if self.orig_rst {
+                return TcpConnState::Rsto;
+            }
+            if self.resp_rst {
+                return TcpConnState::Rstr;
+            }
+            if self.orig_fin && self.resp_fin {
+                return TcpConnState::Sf;
+            }
+            return TcpConnState::S1;
+        }
+        if self.syn_seen {
+            if self.orig_fin {
+                // SYN then FIN from originator with no responder activity.
+                return TcpConnState::Sh;
+            }
+            return TcpConnState::S0;
+        }
+        TcpConnState::Oth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(events: &[(Direction, TcpFlags)]) -> TcpConnState {
+        let mut t = TcpTracker::new();
+        for &(d, f) in events {
+            t.observe(d, f);
+        }
+        t.state()
+    }
+
+    #[test]
+    fn unanswered_syn_is_s0() {
+        assert_eq!(run(&[(Direction::Out, TcpFlags::SYN)]), TcpConnState::S0);
+    }
+
+    #[test]
+    fn handshake_only_is_s1() {
+        assert_eq!(
+            run(&[
+                (Direction::Out, TcpFlags::SYN),
+                (Direction::In, TcpFlags::SYN_ACK),
+                (Direction::Out, TcpFlags::ACK),
+            ]),
+            TcpConnState::S1
+        );
+    }
+
+    #[test]
+    fn full_connection_is_sf() {
+        assert_eq!(
+            run(&[
+                (Direction::Out, TcpFlags::SYN),
+                (Direction::In, TcpFlags::SYN_ACK),
+                (Direction::Out, TcpFlags::ACK),
+                (Direction::Out, TcpFlags::PSH | TcpFlags::ACK),
+                (Direction::In, TcpFlags::PSH | TcpFlags::ACK),
+                (Direction::Out, TcpFlags::FIN | TcpFlags::ACK),
+                (Direction::In, TcpFlags::FIN | TcpFlags::ACK),
+            ]),
+            TcpConnState::Sf
+        );
+    }
+
+    #[test]
+    fn syn_answered_by_rst_is_rej() {
+        assert_eq!(
+            run(&[(Direction::Out, TcpFlags::SYN), (Direction::In, TcpFlags::RST | TcpFlags::ACK)]),
+            TcpConnState::Rej
+        );
+    }
+
+    #[test]
+    fn originator_abort_is_rsto() {
+        assert_eq!(
+            run(&[
+                (Direction::Out, TcpFlags::SYN),
+                (Direction::In, TcpFlags::SYN_ACK),
+                (Direction::Out, TcpFlags::RST),
+            ]),
+            TcpConnState::Rsto
+        );
+    }
+
+    #[test]
+    fn responder_abort_is_rstr() {
+        assert_eq!(
+            run(&[
+                (Direction::Out, TcpFlags::SYN),
+                (Direction::In, TcpFlags::SYN_ACK),
+                (Direction::Out, TcpFlags::ACK),
+                (Direction::In, TcpFlags::RST),
+            ]),
+            TcpConnState::Rstr
+        );
+    }
+
+    #[test]
+    fn half_open_scan_is_sh() {
+        assert_eq!(
+            run(&[(Direction::Out, TcpFlags::SYN), (Direction::Out, TcpFlags::FIN)]),
+            TcpConnState::Sh
+        );
+    }
+
+    #[test]
+    fn midstream_traffic_is_oth() {
+        assert_eq!(run(&[(Direction::Out, TcpFlags::PSH | TcpFlags::ACK)]), TcpConnState::Oth);
+        assert_eq!(run(&[]), TcpConnState::Oth);
+    }
+}

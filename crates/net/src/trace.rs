@@ -1,0 +1,239 @@
+//! A captured trace: time-ordered packets plus ground-truth attack labels.
+
+use crate::packet::Packet;
+use self::summaries::TraceSummary;
+
+/// The category of an injected attack, mirroring the attack taxonomy of paper
+/// Section IV (flooding and scanning attacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// TCP SYN flood toward one victim port.
+    SynFlood,
+    /// ICMP echo flood.
+    IcmpFlood,
+    /// UDP datagram flood.
+    UdpFlood,
+    /// Generic TCP flood (established-looking junk traffic).
+    TcpFlood,
+    /// Distributed flood: many sources, one victim.
+    Ddos,
+    /// Port scan of a single host (many destination ports).
+    HostScan,
+    /// Sweep of many hosts on one port (many destination IPs).
+    NetworkScan,
+    /// Smurf: ICMP echo requests with the victim's spoofed source sent to a
+    /// broadcast population, whose replies flood the victim.
+    Smurf,
+    /// Fraggle: the UDP variant of Smurf (spoofed echo/chargen datagrams).
+    Fraggle,
+}
+
+impl AttackKind {
+    /// All kinds, for enumeration in tests and reports.
+    pub const ALL: [AttackKind; 9] = [
+        AttackKind::SynFlood,
+        AttackKind::IcmpFlood,
+        AttackKind::UdpFlood,
+        AttackKind::TcpFlood,
+        AttackKind::Ddos,
+        AttackKind::HostScan,
+        AttackKind::NetworkScan,
+        AttackKind::Smurf,
+        AttackKind::Fraggle,
+    ];
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AttackKind::SynFlood => "syn-flood",
+            AttackKind::IcmpFlood => "icmp-flood",
+            AttackKind::UdpFlood => "udp-flood",
+            AttackKind::TcpFlood => "tcp-flood",
+            AttackKind::Ddos => "ddos",
+            AttackKind::HostScan => "host-scan",
+            AttackKind::NetworkScan => "network-scan",
+            AttackKind::Smurf => "smurf",
+            AttackKind::Fraggle => "fraggle",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Ground truth for one injected attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackLabel {
+    /// What was injected.
+    pub kind: AttackKind,
+    /// Primary attacker address (one of them, for DDoS).
+    pub attacker: u32,
+    /// Victim address (the scanned /24 base for network scans).
+    pub victim: u32,
+    /// Attack window start, microseconds.
+    pub start_micros: u64,
+    /// Attack window end, microseconds.
+    pub end_micros: u64,
+}
+
+/// A packet trace with ground-truth labels.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Packets, kept sorted by timestamp.
+    pub packets: Vec<Packet>,
+    /// Ground-truth labels for injected attacks (empty for benign traces).
+    pub labels: Vec<AttackLabel>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts packets by timestamp (stable, so simultaneous packets keep
+    /// injection order).
+    pub fn sort(&mut self) {
+        self.packets.sort_by_key(|p| p.ts_micros);
+    }
+
+    /// Appends another trace's packets and labels (does not re-sort).
+    pub fn merge(&mut self, other: Trace) {
+        self.packets.extend(other.packets);
+        self.labels.extend(other.labels);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Duration from first to last packet, microseconds (0 when < 2 packets).
+    pub fn duration_micros(&self) -> u64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.ts_micros.saturating_sub(a.ts_micros),
+            _ => 0,
+        }
+    }
+
+    /// Computes summary statistics of the trace.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::of(self)
+    }
+}
+
+/// Summary statistics live in a sibling module to keep this one small.
+pub mod summaries {
+    use super::Trace;
+    use crate::flow::Protocol;
+    use std::collections::HashSet;
+
+    /// Aggregate characteristics of a trace.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct TraceSummary {
+        /// Total packets.
+        pub packets: usize,
+        /// Distinct hosts appearing as source or destination.
+        pub hosts: usize,
+        /// TCP packet count.
+        pub tcp: usize,
+        /// UDP packet count.
+        pub udp: usize,
+        /// ICMP packet count.
+        pub icmp: usize,
+        /// Total payload bytes.
+        pub bytes: u64,
+        /// Trace duration in seconds.
+        pub duration_secs: f64,
+    }
+
+    impl TraceSummary {
+        /// Computes the summary in one pass.
+        pub fn of(trace: &Trace) -> Self {
+            let mut hosts = HashSet::new();
+            let (mut tcp, mut udp, mut icmp) = (0usize, 0usize, 0usize);
+            let mut bytes = 0u64;
+            for p in &trace.packets {
+                hosts.insert(p.src_ip);
+                hosts.insert(p.dst_ip);
+                match p.protocol {
+                    Protocol::Tcp => tcp += 1,
+                    Protocol::Udp => udp += 1,
+                    Protocol::Icmp => icmp += 1,
+                }
+                bytes += p.payload_len as u64;
+            }
+            TraceSummary {
+                packets: trace.packets.len(),
+                hosts: hosts.len(),
+                tcp,
+                udp,
+                icmp,
+                bytes,
+                duration_secs: trace.duration_micros() as f64 / 1e6,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{ip, TcpFlags};
+
+    #[test]
+    fn sort_orders_by_timestamp() {
+        let mut t = Trace::new();
+        t.packets.push(Packet::icmp(500, ip(1, 0, 0, 1), ip(1, 0, 0, 2), 8));
+        t.packets.push(Packet::icmp(100, ip(1, 0, 0, 3), ip(1, 0, 0, 4), 8));
+        t.sort();
+        assert_eq!(t.packets[0].ts_micros, 100);
+        assert_eq!(t.duration_micros(), 400);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Trace::new();
+        a.packets.push(Packet::icmp(0, 1, 2, 8));
+        let mut b = Trace::new();
+        b.packets.push(Packet::icmp(1, 3, 4, 8));
+        b.labels.push(AttackLabel {
+            kind: AttackKind::HostScan,
+            attacker: 3,
+            victim: 4,
+            start_micros: 0,
+            end_micros: 1,
+        });
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.labels.len(), 1);
+    }
+
+    #[test]
+    fn summary_counts_protocols_and_hosts() {
+        let mut t = Trace::new();
+        t.packets.push(Packet::tcp(0, 1, 10, 2, 80, TcpFlags::SYN, 100));
+        t.packets.push(Packet::udp(1_000_000, 1, 10, 3, 53, 50));
+        t.packets.push(Packet::icmp(2_000_000, 2, 3, 8));
+        let s = t.summary();
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.hosts, 3);
+        assert_eq!(s.tcp, 1);
+        assert_eq!(s.udp, 1);
+        assert_eq!(s.icmp, 1);
+        assert_eq!(s.bytes, 158);
+        assert!((s.duration_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration_micros(), 0);
+        assert_eq!(t.summary().hosts, 0);
+    }
+}

@@ -1,0 +1,514 @@
+//! Attack traffic injectors with ground-truth labels.
+//!
+//! Each injector reproduces the traffic signature the Section IV detector
+//! keys on: SYN floods (many small SYNs to one port), ICMP/UDP/TCP floods
+//! (high bandwidth, low per-flow variance), DDoS (many sources), host scans
+//! (many destination ports, ~40-byte probes), and network scans (many
+//! destination IPs on one port).
+
+use crate::packet::{ip, Packet, TcpFlags};
+use crate::trace::{AttackKind, AttackLabel, Trace};
+use csb_stats::rng::rng_for;
+use rand::Rng;
+
+/// Builder for labeled attack traffic. All times are microseconds since the
+/// trace epoch.
+#[derive(Debug)]
+pub struct AttackInjector {
+    seed: u64,
+    stream: u64,
+}
+
+impl AttackInjector {
+    /// Creates an injector; `seed` controls all randomness.
+    pub fn new(seed: u64) -> Self {
+        AttackInjector { seed, stream: 0x4747 }
+    }
+
+    fn next_rng(&mut self) -> rand::rngs::SmallRng {
+        self.stream += 1;
+        rng_for(self.seed, self.stream)
+    }
+
+    /// TCP SYN flood: `count` bare SYNs from spoofed ephemeral ports to one
+    /// victim port; the victim answers a fraction with SYN-ACK then gives up.
+    pub fn syn_flood(
+        &mut self,
+        attacker: u32,
+        victim: u32,
+        victim_port: u16,
+        start: u64,
+        duration_micros: u64,
+        count: usize,
+    ) -> Trace {
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let step = (duration_micros / count.max(1) as u64).max(1);
+        for i in 0..count {
+            let ts = start + i as u64 * step;
+            let sport = rng.gen_range(1024..65535);
+            t.packets.push(Packet::tcp(ts, attacker, sport, victim, victim_port, TcpFlags::SYN, 0));
+            // Victim backlog answers ~10% before saturating.
+            if rng.gen::<f64>() < 0.1 {
+                t.packets.push(Packet::tcp(
+                    ts + 200,
+                    victim,
+                    victim_port,
+                    attacker,
+                    sport,
+                    TcpFlags::SYN_ACK,
+                    0,
+                ));
+            }
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::SynFlood,
+            attacker,
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// ICMP echo flood: large pings at line rate.
+    pub fn icmp_flood(
+        &mut self,
+        attacker: u32,
+        victim: u32,
+        start: u64,
+        duration_micros: u64,
+        count: usize,
+    ) -> Trace {
+        let mut t = Trace::new();
+        let step = (duration_micros / count.max(1) as u64).max(1);
+        for i in 0..count {
+            t.packets.push(Packet::icmp(start + i as u64 * step, attacker, victim, 1400));
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::IcmpFlood,
+            attacker,
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// UDP flood toward random high ports.
+    pub fn udp_flood(
+        &mut self,
+        attacker: u32,
+        victim: u32,
+        start: u64,
+        duration_micros: u64,
+        count: usize,
+    ) -> Trace {
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let step = (duration_micros / count.max(1) as u64).max(1);
+        for i in 0..count {
+            let sport = rng.gen_range(1024..65535);
+            let dport = rng.gen_range(1024..65535);
+            t.packets.push(Packet::udp(
+                start + i as u64 * step,
+                attacker,
+                sport,
+                victim,
+                dport,
+                1400,
+            ));
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::UdpFlood,
+            attacker,
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// Generic TCP flood: established-looking large segments on one port.
+    pub fn tcp_flood(
+        &mut self,
+        attacker: u32,
+        victim: u32,
+        victim_port: u16,
+        start: u64,
+        duration_micros: u64,
+        count: usize,
+    ) -> Trace {
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let step = (duration_micros / count.max(1) as u64).max(1);
+        for i in 0..count {
+            let sport = rng.gen_range(1024..65535);
+            t.packets.push(Packet::tcp(
+                start + i as u64 * step,
+                attacker,
+                sport,
+                victim,
+                victim_port,
+                TcpFlags::PSH | TcpFlags::ACK,
+                1400,
+            ));
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::TcpFlood,
+            attacker,
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// Distributed SYN flood from `bots` distinct sources. The label's
+    /// `attacker` is the first bot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ddos(
+        &mut self,
+        bots: &[u32],
+        victim: u32,
+        victim_port: u16,
+        start: u64,
+        duration_micros: u64,
+        packets_per_bot: usize,
+    ) -> Trace {
+        assert!(!bots.is_empty(), "ddos needs at least one bot");
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let total = bots.len() * packets_per_bot;
+        let step = (duration_micros / total.max(1) as u64).max(1);
+        for i in 0..total {
+            let bot = bots[i % bots.len()];
+            let sport = rng.gen_range(1024..65535);
+            t.packets.push(Packet::tcp(
+                start + i as u64 * step,
+                bot,
+                sport,
+                victim,
+                victim_port,
+                TcpFlags::SYN,
+                0,
+            ));
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::Ddos,
+            attacker: bots[0],
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// Host scan: probe `ports` consecutive ports on one victim with small
+    /// SYNs; closed ports answer RST.
+    #[allow(clippy::too_many_arguments)]
+    pub fn host_scan(
+        &mut self,
+        attacker: u32,
+        victim: u32,
+        start: u64,
+        duration_micros: u64,
+        ports: u16,
+        open_every: u16,
+    ) -> Trace {
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let step = (duration_micros / ports.max(1) as u64).max(1);
+        for i in 0..ports {
+            let ts = start + i as u64 * step;
+            let dport = 1 + i;
+            let sport = rng.gen_range(32768..61000);
+            t.packets.push(Packet::tcp(ts, attacker, sport, victim, dport, TcpFlags::SYN, 0));
+            if open_every > 0 && i % open_every == 0 {
+                t.packets.push(Packet::tcp(
+                    ts + 150,
+                    victim,
+                    dport,
+                    attacker,
+                    sport,
+                    TcpFlags::SYN_ACK,
+                    0,
+                ));
+                t.packets.push(Packet::tcp(
+                    ts + 300,
+                    attacker,
+                    sport,
+                    victim,
+                    dport,
+                    TcpFlags::RST,
+                    0,
+                ));
+            } else {
+                t.packets.push(Packet::tcp(
+                    ts + 150,
+                    victim,
+                    dport,
+                    attacker,
+                    sport,
+                    TcpFlags::RST | TcpFlags::ACK,
+                    0,
+                ));
+            }
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::HostScan,
+            attacker,
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// Smurf amplification: echo requests spoofed from the victim to every
+    /// reflector, each answering with a (larger) reply to the victim. The
+    /// trace contains both the spoofed requests and the amplified replies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn smurf(
+        &mut self,
+        victim: u32,
+        reflectors: &[u32],
+        start: u64,
+        duration_micros: u64,
+        rounds: usize,
+    ) -> Trace {
+        assert!(!reflectors.is_empty(), "smurf needs reflectors");
+        let mut t = Trace::new();
+        let total = rounds * reflectors.len();
+        let step = (duration_micros / total.max(1) as u64).max(1);
+        let mut ts = start;
+        for _ in 0..rounds {
+            for &r in reflectors {
+                // Spoofed request "from" the victim...
+                t.packets.push(Packet::icmp(ts, victim, r, 64));
+                // ...and the reflected reply flooding it.
+                t.packets.push(Packet::icmp(ts + 150, r, victim, 1400));
+                ts += step;
+            }
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::Smurf,
+            attacker: reflectors[0],
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// Fraggle: the UDP echo (port 7) variant of Smurf.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fraggle(
+        &mut self,
+        victim: u32,
+        reflectors: &[u32],
+        start: u64,
+        duration_micros: u64,
+        rounds: usize,
+    ) -> Trace {
+        assert!(!reflectors.is_empty(), "fraggle needs reflectors");
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let total = rounds * reflectors.len();
+        let step = (duration_micros / total.max(1) as u64).max(1);
+        let mut ts = start;
+        for _ in 0..rounds {
+            for &r in reflectors {
+                let sport = rng.gen_range(1024..65535);
+                t.packets.push(Packet::udp(ts, victim, sport, r, 7, 64));
+                t.packets.push(Packet::udp(ts + 150, r, 7, victim, sport, 1024));
+                ts += step;
+            }
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::Fraggle,
+            attacker: reflectors[0],
+            victim,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+
+    /// Network scan: probe one port across a /24-style range of addresses.
+    /// `subnet_base` is the first scanned address.
+    #[allow(clippy::too_many_arguments)]
+    pub fn network_scan(
+        &mut self,
+        attacker: u32,
+        subnet_base: u32,
+        hosts: u16,
+        port: u16,
+        start: u64,
+        duration_micros: u64,
+    ) -> Trace {
+        let mut rng = self.next_rng();
+        let mut t = Trace::new();
+        let step = (duration_micros / hosts.max(1) as u64).max(1);
+        for i in 0..hosts {
+            let ts = start + i as u64 * step;
+            let victim = subnet_base + i as u32;
+            let sport = rng.gen_range(32768..61000);
+            t.packets.push(Packet::tcp(ts, attacker, sport, victim, port, TcpFlags::SYN, 0));
+            // Most hosts silently drop; a few answer RST.
+            if rng.gen::<f64>() < 0.3 {
+                t.packets.push(Packet::tcp(
+                    ts + 150,
+                    victim,
+                    port,
+                    attacker,
+                    sport,
+                    TcpFlags::RST | TcpFlags::ACK,
+                    0,
+                ));
+            }
+        }
+        t.labels.push(AttackLabel {
+            kind: AttackKind::NetworkScan,
+            attacker,
+            victim: subnet_base,
+            start_micros: start,
+            end_micros: start + duration_micros,
+        });
+        t
+    }
+}
+
+/// A convenient default attacker address outside every topology class.
+pub const DEFAULT_ATTACKER: u32 = ip(198, 51, 100, 66);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::FlowAssembler;
+    use crate::flow::{Protocol, TcpConnState};
+    use std::collections::HashSet;
+
+    const V: u32 = ip(10, 0, 0, 5);
+
+    #[test]
+    fn syn_flood_produces_many_s0_flows() {
+        let mut inj = AttackInjector::new(1);
+        let mut trace = inj.syn_flood(DEFAULT_ATTACKER, V, 80, 0, 1_000_000, 500);
+        trace.sort();
+        let flows = FlowAssembler::assemble(&trace.packets);
+        let s0 = flows.iter().filter(|f| f.state == TcpConnState::S0).count();
+        assert!(s0 > 400, "expected mostly S0 flows, got {s0} of {}", flows.len());
+        assert!(flows.iter().all(|f| f.dst_port == 80 || f.src_port == 80));
+        assert_eq!(trace.labels[0].kind, AttackKind::SynFlood);
+    }
+
+    #[test]
+    fn icmp_flood_is_heavy() {
+        let mut inj = AttackInjector::new(2);
+        let trace = inj.icmp_flood(DEFAULT_ATTACKER, V, 0, 1_000_000, 300);
+        assert_eq!(trace.packets.len(), 300);
+        assert!(trace.packets.iter().all(|p| p.protocol == Protocol::Icmp));
+        assert!(trace.packets.iter().all(|p| p.payload_len == 1400));
+    }
+
+    #[test]
+    fn host_scan_covers_ports() {
+        let mut inj = AttackInjector::new(3);
+        let mut trace = inj.host_scan(DEFAULT_ATTACKER, V, 0, 2_000_000, 200, 50);
+        trace.sort();
+        let ports: HashSet<u16> = trace
+            .packets
+            .iter()
+            .filter(|p| p.src_ip == DEFAULT_ATTACKER && p.flags.is_syn_only())
+            .map(|p| p.dst_port)
+            .collect();
+        assert_eq!(ports.len(), 200);
+        let flows = FlowAssembler::assemble(&trace.packets);
+        let rej = flows.iter().filter(|f| f.state == TcpConnState::Rej).count();
+        assert!(rej > 150, "most probes should be rejected, got {rej}");
+    }
+
+    #[test]
+    fn network_scan_covers_hosts() {
+        let mut inj = AttackInjector::new(4);
+        let trace = inj.network_scan(DEFAULT_ATTACKER, ip(10, 2, 0, 1), 100, 22, 0, 1_000_000);
+        let victims: HashSet<u32> = trace
+            .packets
+            .iter()
+            .filter(|p| p.src_ip == DEFAULT_ATTACKER)
+            .map(|p| p.dst_ip)
+            .collect();
+        assert_eq!(victims.len(), 100);
+        assert!(trace
+            .packets
+            .iter()
+            .filter(|p| p.src_ip == DEFAULT_ATTACKER)
+            .all(|p| p.dst_port == 22));
+    }
+
+    #[test]
+    fn ddos_uses_all_bots() {
+        let bots: Vec<u32> = (0..10).map(|i| ip(198, 51, 100, i + 1)).collect();
+        let mut inj = AttackInjector::new(5);
+        let trace = inj.ddos(&bots, V, 443, 0, 1_000_000, 20);
+        let sources: HashSet<u32> = trace.packets.iter().map(|p| p.src_ip).collect();
+        assert_eq!(sources.len(), 10);
+        assert_eq!(trace.packets.len(), 200);
+        assert_eq!(trace.labels[0].kind, AttackKind::Ddos);
+    }
+
+    #[test]
+    fn smurf_amplifies_toward_victim() {
+        let reflectors: Vec<u32> = (0..50).map(|i| ip(10, 4, 0, i + 1)).collect();
+        let mut inj = AttackInjector::new(7);
+        let trace = inj.smurf(V, &reflectors, 0, 2_000_000, 10);
+        // Replies to the victim dwarf the spoofed requests in bytes.
+        let to_victim: u64 = trace
+            .packets
+            .iter()
+            .filter(|p| p.dst_ip == V)
+            .map(|p| p.payload_len as u64)
+            .sum();
+        let from_victim: u64 = trace
+            .packets
+            .iter()
+            .filter(|p| p.src_ip == V)
+            .map(|p| p.payload_len as u64)
+            .sum();
+        assert!(to_victim > from_victim * 10, "amplification {to_victim} vs {from_victim}");
+        assert_eq!(trace.labels[0].kind, AttackKind::Smurf);
+        assert!(trace.packets.iter().all(|p| p.protocol == Protocol::Icmp));
+    }
+
+    #[test]
+    fn fraggle_is_udp_echo() {
+        let reflectors: Vec<u32> = (0..20).map(|i| ip(10, 4, 0, i + 1)).collect();
+        let mut inj = AttackInjector::new(8);
+        let trace = inj.fraggle(V, &reflectors, 0, 1_000_000, 5);
+        assert!(trace.packets.iter().all(|p| p.protocol == Protocol::Udp));
+        assert!(trace
+            .packets
+            .iter()
+            .filter(|p| p.dst_ip != V)
+            .all(|p| p.dst_port == 7));
+        assert_eq!(trace.labels[0].kind, AttackKind::Fraggle);
+    }
+
+    #[test]
+    fn injectors_are_deterministic() {
+        let t1 = AttackInjector::new(9).syn_flood(1, 2, 80, 0, 1000, 50);
+        let t2 = AttackInjector::new(9).syn_flood(1, 2, 80, 0, 1000, 50);
+        assert_eq!(t1.packets, t2.packets);
+    }
+
+    #[test]
+    fn udp_and_tcp_floods_label_windows() {
+        let mut inj = AttackInjector::new(6);
+        let u = inj.udp_flood(DEFAULT_ATTACKER, V, 500, 1_000_000, 100);
+        assert_eq!(u.labels[0].start_micros, 500);
+        assert_eq!(u.labels[0].end_micros, 1_000_500);
+        let t = inj.tcp_flood(DEFAULT_ATTACKER, V, 80, 0, 1_000_000, 100);
+        assert!(t.packets.iter().all(|p| p.payload_len == 1400));
+    }
+}

@@ -1,0 +1,20 @@
+//! Enterprise network traffic simulator.
+//!
+//! Stands in for the unavailable SMIA 2011 seed trace: generates a
+//! PCAP-compatible packet stream whose flow-level statistics (heavy-tailed
+//! host popularity, log-normal flow sizes/durations, realistic protocol and
+//! port mixes) exercise the same seed-analysis pipeline the paper runs on the
+//! real trace. Attack injectors add labeled malicious traffic for the
+//! Section IV detector.
+//!
+//! The simulator is deterministic given its seed.
+
+pub mod attacks;
+pub mod profiles;
+pub mod sim;
+pub mod topology;
+
+pub use attacks::AttackInjector;
+pub use profiles::{AppProfile, ProfileCatalog};
+pub use sim::{TrafficSim, TrafficSimConfig};
+pub use topology::{Topology, TopologyConfig};

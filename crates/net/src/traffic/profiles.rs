@@ -1,0 +1,227 @@
+//! Application traffic profiles: per-protocol session shapes.
+//!
+//! Each profile describes one application's flow statistics (request/response
+//! sizes, duration, packet sizing) with log-normal bodies — the standard
+//! model for Internet flow sizes. The catalog mixes profiles with realistic
+//! weights.
+
+use crate::flow::Protocol;
+use csb_stats::{AliasTable, LogNormal};
+use rand::Rng;
+
+/// One application's session shape.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Human-readable name ("http", "dns", ...).
+    pub name: &'static str,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Server port.
+    pub port: u16,
+    /// Originator->responder body size distribution (bytes).
+    pub request_bytes: LogNormal,
+    /// Responder->originator body size distribution (bytes).
+    pub response_bytes: LogNormal,
+    /// Session think-time/duration distribution (milliseconds).
+    pub duration_ms: LogNormal,
+    /// Typical MSS-limited data packet payload.
+    pub segment_size: u32,
+    /// Whether the session targets an internal server (vs external host).
+    pub internal: bool,
+}
+
+/// A sampled session's concrete shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionShape {
+    /// Bytes from originator to responder.
+    pub request_bytes: u64,
+    /// Bytes from responder to originator.
+    pub response_bytes: u64,
+    /// Session duration in milliseconds (>= 1).
+    pub duration_ms: u64,
+}
+
+impl AppProfile {
+    /// Samples one session's sizes and duration.
+    pub fn sample_session<R: Rng + ?Sized>(&self, rng: &mut R) -> SessionShape {
+        SessionShape {
+            request_bytes: self.request_bytes.sample(rng).max(1.0) as u64,
+            response_bytes: self.response_bytes.sample(rng).max(1.0) as u64,
+            duration_ms: self.duration_ms.sample(rng).max(1.0) as u64,
+        }
+    }
+}
+
+/// Weighted mix of application profiles.
+#[derive(Debug, Clone)]
+pub struct ProfileCatalog {
+    profiles: Vec<AppProfile>,
+    mix: AliasTable,
+}
+
+impl ProfileCatalog {
+    /// The default enterprise mix: mostly web, plus DNS chatter, mail, SSH
+    /// and bulk transfer.
+    pub fn enterprise() -> Self {
+        let profiles = vec![
+            AppProfile {
+                name: "http",
+                protocol: Protocol::Tcp,
+                port: 80,
+                request_bytes: LogNormal::new(5.8, 0.8),   // ~330 B median
+                response_bytes: LogNormal::new(8.7, 1.6),  // ~6 KB median, heavy tail
+                duration_ms: LogNormal::new(4.6, 1.2),     // ~100 ms median
+                segment_size: 1460,
+                internal: false,
+            },
+            AppProfile {
+                name: "https",
+                protocol: Protocol::Tcp,
+                port: 443,
+                request_bytes: LogNormal::new(6.2, 0.9),
+                response_bytes: LogNormal::new(9.0, 1.7),
+                duration_ms: LogNormal::new(4.8, 1.3),
+                segment_size: 1460,
+                internal: false,
+            },
+            AppProfile {
+                name: "dns",
+                protocol: Protocol::Udp,
+                port: 53,
+                request_bytes: LogNormal::new(3.9, 0.3),   // ~50 B
+                response_bytes: LogNormal::new(4.9, 0.5),  // ~130 B
+                duration_ms: LogNormal::new(2.3, 0.8),     // ~10 ms
+                segment_size: 512,
+                internal: true,
+            },
+            AppProfile {
+                name: "smtp",
+                protocol: Protocol::Tcp,
+                port: 25,
+                request_bytes: LogNormal::new(8.5, 1.4),
+                response_bytes: LogNormal::new(5.0, 0.6),
+                duration_ms: LogNormal::new(6.0, 1.0),
+                segment_size: 1460,
+                internal: true,
+            },
+            AppProfile {
+                name: "ssh",
+                protocol: Protocol::Tcp,
+                port: 22,
+                request_bytes: LogNormal::new(7.5, 1.5),
+                response_bytes: LogNormal::new(8.0, 1.5),
+                duration_ms: LogNormal::new(9.2, 1.5),     // ~10 s median
+                segment_size: 512,
+                internal: true,
+            },
+            AppProfile {
+                name: "ftp-data",
+                protocol: Protocol::Tcp,
+                port: 20,
+                request_bytes: LogNormal::new(4.0, 0.5),
+                response_bytes: LogNormal::new(12.0, 1.8), // ~160 KB median bulk
+                duration_ms: LogNormal::new(7.5, 1.2),
+                segment_size: 1460,
+                internal: true,
+            },
+            AppProfile {
+                name: "ntp",
+                protocol: Protocol::Udp,
+                port: 123,
+                request_bytes: LogNormal::new(3.9, 0.1),
+                response_bytes: LogNormal::new(3.9, 0.1),
+                duration_ms: LogNormal::new(1.5, 0.5),
+                segment_size: 90,
+                internal: false,
+            },
+        ];
+        // Mix: web dominates enterprise egress; DNS dominates flow *count*.
+        let weights = [0.28, 0.22, 0.30, 0.05, 0.05, 0.04, 0.06];
+        assert_eq!(weights.len(), profiles.len());
+        let mix = AliasTable::new(&weights);
+        ProfileCatalog { profiles, mix }
+    }
+
+    /// Picks a profile according to the mix weights.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> &AppProfile {
+        &self.profiles[self.mix.sample(rng)]
+    }
+
+    /// All profiles.
+    pub fn profiles(&self) -> &[AppProfile] {
+        &self.profiles
+    }
+
+    /// Looks a profile up by name.
+    pub fn by_name(&self, name: &str) -> Option<&AppProfile> {
+        self.profiles.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn catalog_has_expected_apps() {
+        let c = ProfileCatalog::enterprise();
+        for name in ["http", "https", "dns", "smtp", "ssh", "ftp-data", "ntp"] {
+            assert!(c.by_name(name).is_some(), "missing {name}");
+        }
+        assert!(c.by_name("gopher").is_none());
+    }
+
+    #[test]
+    fn dns_is_udp_port_53() {
+        let c = ProfileCatalog::enterprise();
+        let dns = c.by_name("dns").expect("dns profile");
+        assert_eq!(dns.protocol, Protocol::Udp);
+        assert_eq!(dns.port, 53);
+    }
+
+    #[test]
+    fn session_shapes_are_positive() {
+        let c = ProfileCatalog::enterprise();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for p in c.profiles() {
+            for _ in 0..100 {
+                let s = p.sample_session(&mut rng);
+                assert!(s.request_bytes >= 1);
+                assert!(s.response_bytes >= 1);
+                assert!(s.duration_ms >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let c = ProfileCatalog::enterprise();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(c.pick(&mut rng).name).or_insert(0) += 1;
+        }
+        // DNS (0.30) should clearly beat ftp-data (0.04).
+        assert!(counts["dns"] > counts["ftp-data"] * 3);
+    }
+
+    #[test]
+    fn bulk_transfer_is_heavier_than_dns() {
+        let c = ProfileCatalog::enterprise();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let ftp = c.by_name("ftp-data").expect("ftp");
+        let dns = c.by_name("dns").expect("dns");
+        let ftp_avg: f64 = (0..2_000)
+            .map(|_| ftp.sample_session(&mut rng).response_bytes as f64)
+            .sum::<f64>()
+            / 2_000.0;
+        let dns_avg: f64 = (0..2_000)
+            .map(|_| dns.sample_session(&mut rng).response_bytes as f64)
+            .sum::<f64>()
+            / 2_000.0;
+        assert!(ftp_avg > dns_avg * 50.0, "ftp {ftp_avg} vs dns {dns_avg}");
+    }
+}

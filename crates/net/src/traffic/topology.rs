@@ -1,0 +1,153 @@
+//! Simulated enterprise topology: client subnets, server farm, and external
+//! hosts, with Zipf host popularity so the resulting seed graph is
+//! heavy-tailed like real network traces.
+
+use csb_stats::{zipf_weights, AliasTable};
+use rand::Rng;
+
+use crate::packet::ip;
+
+/// Topology sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyConfig {
+    /// Number of internal client hosts (10.1.x.y).
+    pub clients: usize,
+    /// Number of internal servers (10.0.0.y).
+    pub servers: usize,
+    /// Number of external hosts (simulated Internet, 203.x.y.z).
+    pub externals: usize,
+    /// Zipf exponent for server popularity (higher = more skewed).
+    pub server_zipf: f64,
+    /// Zipf exponent for external host popularity.
+    pub external_zipf: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            clients: 200,
+            servers: 20,
+            externals: 400,
+            server_zipf: 1.0,
+            external_zipf: 1.1,
+        }
+    }
+}
+
+/// The host inventory plus popularity samplers.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    clients: Vec<u32>,
+    servers: Vec<u32>,
+    externals: Vec<u32>,
+    server_table: AliasTable,
+    external_table: AliasTable,
+}
+
+impl Topology {
+    /// Builds the topology from the config.
+    ///
+    /// # Panics
+    /// Panics if any host class is empty.
+    pub fn new(cfg: &TopologyConfig) -> Self {
+        assert!(cfg.clients > 0 && cfg.servers > 0 && cfg.externals > 0, "topology host classes must be non-empty");
+        let clients = (0..cfg.clients)
+            .map(|i| ip(10, 1, (i / 250 + 1) as u8, (i % 250 + 2) as u8))
+            .collect();
+        let servers = (0..cfg.servers).map(|i| ip(10, 0, 0, (i + 2) as u8)).collect();
+        let externals = (0..cfg.externals)
+            .map(|i| ip(203, (i / 62_500) as u8, (i / 250 % 250) as u8, (i % 250 + 1) as u8))
+            .collect();
+        let server_table = AliasTable::new(&zipf_weights(cfg.servers, cfg.server_zipf));
+        let external_table = AliasTable::new(&zipf_weights(cfg.externals, cfg.external_zipf));
+        Topology { clients, servers, externals, server_table, external_table }
+    }
+
+    /// All internal client addresses.
+    pub fn clients(&self) -> &[u32] {
+        &self.clients
+    }
+
+    /// All internal server addresses.
+    pub fn servers(&self) -> &[u32] {
+        &self.servers
+    }
+
+    /// All external addresses.
+    pub fn externals(&self) -> &[u32] {
+        &self.externals
+    }
+
+    /// Picks a client uniformly (clients initiate roughly uniformly).
+    pub fn pick_client<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.clients[rng.gen_range(0..self.clients.len())]
+    }
+
+    /// Picks a server by Zipf popularity.
+    pub fn pick_server<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.servers[self.server_table.sample(rng)]
+    }
+
+    /// Picks an external host by Zipf popularity.
+    pub fn pick_external<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.externals[self.external_table.sample(rng)]
+    }
+
+    /// Total host count.
+    pub fn host_count(&self) -> usize {
+        self.clients.len() + self.servers.len() + self.externals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hosts_are_distinct() {
+        let t = Topology::new(&TopologyConfig::default());
+        let mut all: Vec<u32> = t.clients().to_vec();
+        all.extend_from_slice(t.servers());
+        all.extend_from_slice(t.externals());
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "host addresses must be unique");
+        assert_eq!(n, t.host_count());
+    }
+
+    #[test]
+    fn server_popularity_is_skewed() {
+        let t = Topology::new(&TopologyConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(t.pick_server(&mut rng)).or_insert(0) += 1;
+        }
+        let top = counts[&t.servers()[0]];
+        let tail = counts.get(&t.servers()[19]).copied().unwrap_or(0);
+        assert!(top > tail * 5, "rank-1 server ({top}) should dwarf rank-20 ({tail})");
+    }
+
+    #[test]
+    fn small_topology_works() {
+        let t = Topology::new(&TopologyConfig {
+            clients: 1,
+            servers: 1,
+            externals: 1,
+            ..TopologyConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(t.pick_client(&mut rng), t.clients()[0]);
+        assert_eq!(t.pick_server(&mut rng), t.servers()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_class_panics() {
+        let _ = Topology::new(&TopologyConfig { clients: 0, ..TopologyConfig::default() });
+    }
+}

@@ -1,0 +1,159 @@
+//! Continuous samplers used by the traffic simulator.
+//!
+//! `rand` 0.8 only ships uniform sampling without the `rand_distr` companion
+//! crate, so the handful of continuous distributions the trace simulator
+//! needs (normal, log-normal, exponential) are implemented here, plus Zipf
+//! weights for heavy-tailed host-popularity selection.
+
+use rand::Rng;
+
+/// Gaussian `N(mean, std_dev^2)` sampled with the Box-Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation (>= 0).
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite(), "normal parameters must be finite");
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; one of the pair is discarded for simplicity.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma^2))`. Flow sizes and durations in real
+/// traffic are approximately log-normal with a power-law tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given *log-space* parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal { normal: Normal::new(mu, sigma) }
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+
+    /// Median of the distribution, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.normal.mean.exp()
+    }
+}
+
+/// Exponential with the given rate `lambda` (inter-arrival times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (> 0); mean is `1/lambda`.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "rate must be positive and finite");
+        Exponential { lambda }
+    }
+
+    /// Draws one sample (inverse-CDF).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+/// Zipf weights `w_i = (i+1)^-s` for `i in 0..n`, for heavy-tailed selection
+/// via an [`crate::AliasTable`]. Rank 0 is the most popular item.
+///
+/// # Panics
+/// Panics if `n == 0` or `s < 0`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf needs at least one item");
+    assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be non-negative");
+    (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 3.0);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let s = Summary::of(&samples);
+        assert!((s.mean() - 10.0).abs() < 0.05, "mean {}", s.mean());
+        assert!((s.std_dev() - 3.0).abs() < 0.05, "sd {}", s.std_dev());
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let d = Normal::new(5.0, 0.0);
+        let mut rng = SmallRng::seed_from_u64(32);
+        for _ in 0..32 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let d = LogNormal::new(2.0, 1.0);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let med = crate::summary::quantile(&mut samples, 0.5);
+        assert!((med - d.median()).abs() / d.median() < 0.05, "median {med} vs {}", d.median());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.25);
+        let mut rng = SmallRng::seed_from_u64(34);
+        let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let s = Summary::of(&samples);
+        assert!((s.mean() - 4.0).abs() < 0.05, "mean {}", s.mean());
+        assert!(s.min() >= 0.0);
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = zipf_weights(5, 1.0);
+        assert_eq!(w.len(), 5);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        assert_eq!(w[0], 1.0);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+}

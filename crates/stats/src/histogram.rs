@@ -1,0 +1,212 @@
+//! Linear and logarithmic histograms.
+//!
+//! Degree and PageRank distributions of scale-free graphs span many orders of
+//! magnitude, so the veracity plots (paper Figs. 5-7) use logarithmic binning;
+//! attribute distributions (flow sizes, durations) use both.
+
+/// Fixed-width linear histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = ((x - self.lo) / w) as usize;
+            // Floating-point rounding can push x/w to nbins; clamp.
+            let i = i.min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Bin densities normalized so they sum to 1 over in-range mass.
+    pub fn normalized(&self) -> Vec<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+}
+
+/// Logarithmic histogram: bin `i` covers `[base^i, base^(i+1))`, with bin 0
+/// additionally absorbing values in `[0, 1)`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    base: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log histogram with the given base (> 1).
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "log base must exceed 1");
+        LogHistogram { base, bins: Vec::new(), count: 0 }
+    }
+
+    /// Base-2 log histogram, the binning used by the conditional attribute
+    /// distributions (`p(a | IN_BYTES)` buckets IN_BYTES by powers of two).
+    pub fn base2() -> Self {
+        Self::new(2.0)
+    }
+
+    /// Index of the bin holding `x` (non-negative values only).
+    pub fn bin_index(&self, x: f64) -> usize {
+        assert!(x >= 0.0 && x.is_finite(), "log histogram takes finite non-negative values");
+        if x < 1.0 {
+            0
+        } else {
+            (x.ln() / self.base.ln()).floor() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        let i = self.bin_index(x);
+        if i >= self.bins.len() {
+            self.bins.resize(i + 1, 0);
+        }
+        self.bins[i] += 1;
+        self.count += 1;
+    }
+
+    /// Raw bin counts (bin `i` covers `[base^i, base^(i+1))`).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Geometric center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.base.powf(i as f64 + 0.5)
+    }
+
+    /// Densities normalized to sum to 1.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        self.bins.iter().map(|&c| c as f64 / self.count as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.999, 10.0, 55.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn linear_bin_center() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.6, 3.9] {
+            h.record(x);
+        }
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_bin_indices() {
+        let h = LogHistogram::base2();
+        assert_eq!(h.bin_index(0.0), 0);
+        assert_eq!(h.bin_index(0.5), 0);
+        assert_eq!(h.bin_index(1.0), 0);
+        assert_eq!(h.bin_index(2.0), 1);
+        assert_eq!(h.bin_index(3.9), 1);
+        assert_eq!(h.bin_index(4.0), 2);
+        assert_eq!(h.bin_index(1024.0), 10);
+    }
+
+    #[test]
+    fn log_histogram_records_and_grows() {
+        let mut h = LogHistogram::base2();
+        for x in [0.0, 1.0, 2.0, 4.0, 4.5, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[2], 2);
+        assert_eq!(h.bins()[6], 1); // 100 in [64,128)
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # csb-stats
+//!
+//! Statistical substrate for the `csb` synthetic data generators.
+//!
+//! The paper's generators (PGPBA, PGSK) are driven entirely by *distributions*
+//! extracted from a seed property-graph: in/out-degree distributions, NetFlow
+//! attribute distributions, and the conditional distributions
+//! `p(attr | IN_BYTES)` used to generate mutually consistent edge attributes.
+//! This crate provides:
+//!
+//! * [`EmpiricalDistribution`] — discrete weighted distributions over `u64`
+//!   values with O(1) alias-method sampling ([`alias::AliasTable`]).
+//! * [`ConditionalDistribution`] — bucketed conditional empirical
+//!   distributions, the `p(a | IN_BYTES)` machinery of the paper's
+//!   "preliminary steps" (Fig. 1).
+//! * [`powerlaw`] — discrete power-law fitting (MLE) and sampling, used to
+//!   characterize and reproduce scale-free degree distributions.
+//! * [`histogram`] — linear and logarithmic binning.
+//! * [`veracity`] — the paper's veracity score: average Euclidean distance of
+//!   normalized degree / PageRank distributions, plus KS and total-variation
+//!   distances.
+//! * [`summary`] — streaming moments and quantiles.
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible bit-for-bit.
+
+pub mod alias;
+pub mod conditional;
+pub mod continuous;
+pub mod empirical;
+pub mod histogram;
+pub mod powerlaw;
+pub mod reservoir;
+pub mod rng;
+pub mod summary;
+pub mod veracity;
+
+pub use alias::AliasTable;
+pub use continuous::{zipf_weights, Exponential, LogNormal, Normal};
+pub use conditional::ConditionalDistribution;
+pub use empirical::EmpiricalDistribution;
+pub use histogram::{Histogram, LogHistogram};
+pub use powerlaw::PowerLaw;
+pub use reservoir::Reservoir;
+pub use summary::Summary;
+pub use veracity::{average_euclidean_distance, ks_distance, total_variation, NormalizedDistribution};

@@ -1,0 +1,154 @@
+//! Reservoir sampling (Vitter's Algorithm L): a uniform fixed-size sample
+//! of an unbounded stream in O(k) memory, with geometric skipping so the
+//! per-record cost is amortized O(1).
+//!
+//! Used when analyzing flow streams too large to buffer (seed analysis over
+//! multi-hour captures, on-line threshold retraining).
+
+use rand::Rng;
+
+/// A uniform `k`-sample over everything pushed so far.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: u64,
+    /// Algorithm L state: current acceptance weight.
+    w: f64,
+    /// Records to skip before the next replacement.
+    skip: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// A reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir needs positive capacity");
+        Reservoir { capacity, items: Vec::with_capacity(capacity), seen: 0, w: 1.0, skip: 0 }
+    }
+
+    /// Observes one record.
+    pub fn push<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            if self.items.len() == self.capacity {
+                // Initialize Algorithm L after the fill phase.
+                self.advance_w(rng);
+                self.schedule_skip(rng);
+            }
+            return;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        let slot = rng.gen_range(0..self.capacity);
+        self.items[slot] = item;
+        self.advance_w(rng);
+        self.schedule_skip(rng);
+    }
+
+    fn advance_w<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.w *= u.powf(1.0 / self.capacity as f64);
+    }
+
+    fn schedule_skip<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / (1.0 - self.w).ln()).floor();
+        self.skip = if skip.is_finite() && skip >= 0.0 { skip as u64 } else { u64::MAX };
+    }
+
+    /// The current sample (order unspecified).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Records observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = Reservoir::new(10);
+        let mut rng = rng_for(1, 0);
+        for i in 0..5 {
+            r.push(i, &mut rng);
+        }
+        assert_eq!(r.items().len(), 5);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut r = Reservoir::new(16);
+        let mut rng = rng_for(2, 0);
+        for i in 0..10_000u32 {
+            r.push(i, &mut rng);
+        }
+        assert_eq!(r.items().len(), 16);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Push 0..1000 into a 100-slot reservoir many times; each value's
+        // inclusion frequency should approach 0.1.
+        let mut hits = vec![0u32; 1000];
+        for trial in 0..400 {
+            let mut r = Reservoir::new(100);
+            let mut rng = rng_for(3, trial);
+            for i in 0..1000usize {
+                r.push(i, &mut rng);
+            }
+            for &i in r.items() {
+                hits[i] += 1;
+            }
+        }
+        // Early, middle, and late stream positions all near 40/400 = 10%.
+        for probe in [5usize, 500, 995] {
+            let freq = hits[probe] as f64 / 400.0;
+            assert!((freq - 0.1).abs() < 0.05, "position {probe}: freq {freq}");
+        }
+        // Aggregate bias check on stream halves.
+        let first: u32 = hits[..500].iter().sum();
+        let second: u32 = hits[500..].iter().sum();
+        let ratio = first as f64 / second as f64;
+        assert!((0.85..1.18).contains(&ratio), "half bias {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let run = |seed| {
+            let mut r = Reservoir::new(8);
+            let mut rng = rng_for(seed, 0);
+            for i in 0..500 {
+                r.push(i, &mut rng);
+            }
+            r.into_items()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _: Reservoir<u32> = Reservoir::new(0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic RNG utilities.
+//!
+//! Every stochastic component in the workspace takes an explicit `u64` seed.
+//! This module derives independent child seeds from a master seed with
+//! SplitMix64, the recommended seeding generator for xoshiro-family RNGs, so
+//! that (a) experiments are reproducible and (b) parallel partitions draw from
+//! statistically independent streams.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One step of the SplitMix64 generator. Used as a seed mixer: successive
+/// calls on an incrementing state yield well-distributed, independent seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed for a named/numbered sub-component.
+///
+/// The `stream` discriminator keeps partitions independent: partition `i` of a
+/// distributed job uses `derive_seed(master, i as u64)`.
+#[inline]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut s = master ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+    // Two rounds so that low-entropy (small-integer) inputs still diffuse.
+    let first = splitmix64(&mut s);
+    first ^ splitmix64(&mut s)
+}
+
+/// Constructs a fast, non-cryptographic RNG from a master seed and a stream id.
+#[inline]
+pub fn rng_for(master: u64, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(master, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42;
+        let mut b = 42;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_distinguishes_streams() {
+        let s0 = derive_seed(7, 0);
+        let s1 = derive_seed(7, 1);
+        let s2 = derive_seed(8, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn rng_for_reproducible() {
+        let mut r1 = rng_for(99, 3);
+        let mut r2 = rng_for(99, 3);
+        for _ in 0..16 {
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn small_seed_inputs_diffuse() {
+        // Consecutive small seeds must not produce correlated outputs in the
+        // top bits (a classic failure of naive seeding).
+        let a = derive_seed(1, 0);
+        let b = derive_seed(2, 0);
+        assert_ne!(a >> 32, b >> 32);
+    }
+}

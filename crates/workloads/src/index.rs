@@ -1,0 +1,95 @@
+//! Query index over a NetFlow property-graph: host-address lookup plus CSR
+//! adjacency, built once and shared by all queries (the role a graph
+//! database's indexes play for the platforms the benchmark targets).
+
+use csb_graph::graph::VertexId;
+use csb_graph::{Csr, NetflowGraph};
+use std::collections::HashMap;
+
+/// Prebuilt indexes for one dataset.
+pub struct GraphIndex<'g> {
+    graph: &'g NetflowGraph,
+    by_ip: HashMap<u32, VertexId>,
+    out_csr: Csr,
+    in_csr: Csr,
+}
+
+impl<'g> GraphIndex<'g> {
+    /// Builds the index in `O(|V| + |E|)`.
+    pub fn build(graph: &'g NetflowGraph) -> Self {
+        let mut by_ip = HashMap::with_capacity(graph.vertex_count());
+        for v in graph.vertices() {
+            // First writer wins: synthetic graphs can reuse an address.
+            by_ip.entry(*graph.vertex(v)).or_insert(v);
+        }
+        GraphIndex {
+            graph,
+            by_ip,
+            out_csr: Csr::out_of(graph),
+            in_csr: Csr::in_of(graph),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g NetflowGraph {
+        self.graph
+    }
+
+    /// Host lookup by IPv4 address.
+    pub fn vertex_by_ip(&self, ip: u32) -> Option<VertexId> {
+        self.by_ip.get(&ip).copied()
+    }
+
+    /// Out-adjacency.
+    pub fn out(&self) -> &Csr {
+        &self.out_csr
+    }
+
+    /// In-adjacency.
+    pub fn in_(&self) -> &Csr {
+        &self.in_csr
+    }
+
+    /// Total degree of a vertex.
+    pub fn total_degree(&self, v: VertexId) -> usize {
+        self.out_csr.degree(v) + self.in_csr.degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_graph::graph_from_flows;
+    use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+
+    pub(crate) fn flow(src: u32, dst: u32, dport: u16, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: Protocol::Tcp,
+            src_port: 40000,
+            dst_port: dport,
+            duration_ms: 5,
+            out_bytes: bytes / 4,
+            in_bytes: bytes - bytes / 4,
+            out_pkts: 2,
+            in_pkts: 3,
+            state: TcpConnState::Sf,
+            syn_count: 1,
+            ack_count: 4,
+            first_ts_micros: 0,
+        }
+    }
+
+    #[test]
+    fn lookup_and_degrees() {
+        let g = graph_from_flows(&[flow(10, 20, 80, 100), flow(10, 30, 443, 200), flow(20, 30, 22, 50)]);
+        let idx = GraphIndex::build(&g);
+        let v10 = idx.vertex_by_ip(10).expect("host 10");
+        assert_eq!(*g.vertex(v10), 10);
+        assert_eq!(idx.out().degree(v10), 2);
+        assert_eq!(idx.in_().degree(v10), 0);
+        assert_eq!(idx.total_degree(v10), 2);
+        assert!(idx.vertex_by_ip(99).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! # csb-workloads
+//!
+//! The workload component of the IDS benchmark. The paper's introduction:
+//! "to be representative from the workload perspective, the benchmark must
+//! include typical operations executed in the cyber-security domain, such as
+//! queries on **nodes**, **edges**, **paths**, and **sub-graphs**." This
+//! crate implements those four query families over [`csb_graph::NetflowGraph`]
+//! datasets (seed or synthetic) plus a deterministic workload runner that
+//! measures per-query latency and throughput — the piece a platform under
+//! benchmark would execute against the generated data.
+//!
+//! * [`queries::node`] — host lookup by address, degree profile of a host.
+//! * [`queries::edge`] — attribute scans: flows to a port, flows above a
+//!   byte threshold, per-protocol volumes.
+//! * [`queries::path`] — BFS shortest paths and k-hop reachability
+//!   (lateral-movement style questions).
+//! * [`queries::subgraph`] — pattern queries: scan-star candidates, heavy
+//!   bidirectional pairs (exfiltration-style), top-k talkers.
+//! * [`runner`] — a mixed-workload driver with deterministic argument
+//!   sampling and latency statistics.
+
+pub mod index;
+pub mod queries;
+pub mod replay;
+pub mod runner;
+
+pub use index::GraphIndex;
+pub use replay::replay_flows;
+pub use runner::{run_workload, WorkloadReport, WorkloadSpec};

@@ -1,0 +1,302 @@
+//! The four query families of the benchmark workload.
+//!
+//! ```
+//! use csb_graph::graph_from_flows;
+//! use csb_net::assembler::FlowAssembler;
+//! use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+//! use csb_workloads::queries::subgraph;
+//! use csb_workloads::GraphIndex;
+//!
+//! let trace = TrafficSim::new(TrafficSimConfig {
+//!     duration_secs: 5.0,
+//!     sessions_per_sec: 10.0,
+//!     seed: 3,
+//!     ..TrafficSimConfig::default()
+//! })
+//! .generate();
+//! let g = graph_from_flows(&FlowAssembler::assemble(&trace.packets));
+//! let idx = GraphIndex::build(&g);
+//! let top = subgraph::top_k_talkers(&idx, 3);
+//! assert_eq!(top.len(), 3);
+//! assert!(top[0].1 >= top[1].1);
+//! ```
+
+use crate::index::GraphIndex;
+use csb_graph::graph::VertexId;
+use csb_net::flow::Protocol;
+use std::collections::VecDeque;
+
+/// Node queries: host-centric lookups.
+pub mod node {
+    use super::*;
+
+    /// Degree profile of one host.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct HostProfile {
+        /// Out-going connection count.
+        pub out_degree: usize,
+        /// In-coming connection count.
+        pub in_degree: usize,
+        /// Distinct peers (either direction).
+        pub distinct_peers: usize,
+    }
+
+    /// Looks up a host and profiles its connectivity. `None` if unknown.
+    pub fn host_profile(idx: &GraphIndex<'_>, ip: u32) -> Option<HostProfile> {
+        let v = idx.vertex_by_ip(ip)?;
+        let mut peers: Vec<u32> = idx
+            .out()
+            .neighbors(v)
+            .iter()
+            .chain(idx.in_().neighbors(v).iter())
+            .copied()
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        Some(HostProfile {
+            out_degree: idx.out().degree(v),
+            in_degree: idx.in_().degree(v),
+            distinct_peers: peers.len(),
+        })
+    }
+}
+
+/// Edge queries: NetFlow attribute scans.
+pub mod edge {
+    use super::*;
+
+    /// Number of flows whose destination port is `port`.
+    pub fn flows_to_port(idx: &GraphIndex<'_>, port: u16) -> usize {
+        idx.graph().edge_data().iter().filter(|p| p.dst_port == port).count()
+    }
+
+    /// Number of flows moving more than `bytes` in either direction
+    /// (exfiltration-style volume scan).
+    pub fn heavy_flows(idx: &GraphIndex<'_>, bytes: u64) -> usize {
+        idx.graph()
+            .edge_data()
+            .iter()
+            .filter(|p| p.in_bytes + p.out_bytes > bytes)
+            .count()
+    }
+
+    /// Total bytes per protocol.
+    pub fn volume_by_protocol(idx: &GraphIndex<'_>) -> [(Protocol, u64); 3] {
+        let mut tcp = 0u64;
+        let mut udp = 0u64;
+        let mut icmp = 0u64;
+        for p in idx.graph().edge_data() {
+            let b = p.in_bytes + p.out_bytes;
+            match p.protocol {
+                Protocol::Tcp => tcp += b,
+                Protocol::Udp => udp += b,
+                Protocol::Icmp => icmp += b,
+            }
+        }
+        [(Protocol::Tcp, tcp), (Protocol::Udp, udp), (Protocol::Icmp, icmp)]
+    }
+}
+
+/// Path queries: reachability and shortest paths (lateral movement).
+pub mod path {
+    use super::*;
+
+    /// Unweighted shortest-path length (hops) between two hosts following
+    /// edge direction. `None` when unreachable.
+    pub fn shortest_path_len(idx: &GraphIndex<'_>, from: VertexId, to: VertexId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let n = idx.graph().vertex_count();
+        let mut dist = vec![u32::MAX; n];
+        dist[from.index()] = 0;
+        let mut queue = VecDeque::from([from.0]);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u as usize];
+            for &w in idx.out().neighbors(VertexId(u)) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d + 1;
+                    if w == to.0 {
+                        return Some(d + 1);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of hosts reachable within `k` hops (inclusive of the start).
+    pub fn k_hop_reach(idx: &GraphIndex<'_>, from: VertexId, k: u32) -> usize {
+        let n = idx.graph().vertex_count();
+        let mut dist = vec![u32::MAX; n];
+        dist[from.index()] = 0;
+        let mut queue = VecDeque::from([from.0]);
+        let mut count = 1usize;
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u as usize];
+            if d == k {
+                continue;
+            }
+            for &w in idx.out().neighbors(VertexId(u)) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d + 1;
+                    count += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Sub-graph pattern queries.
+pub mod subgraph {
+    use super::*;
+
+    /// Hosts that look like port scanners: more than `min_ports` distinct
+    /// destination ports across their outgoing flows (the star pattern the
+    /// Section IV detector keys on, expressed as a graph query).
+    pub fn scan_star_candidates(idx: &GraphIndex<'_>, min_ports: usize) -> Vec<VertexId> {
+        let g = idx.graph();
+        let n = g.vertex_count();
+        let mut ports: Vec<Vec<u16>> = vec![Vec::new(); n];
+        for (_, s, _, p) in g.edges() {
+            ports[s.index()].push(p.dst_port);
+        }
+        let mut out = Vec::new();
+        for (v, list) in ports.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            if list.len() > min_ports {
+                out.push(VertexId(v as u32));
+            }
+        }
+        out
+    }
+
+    /// Host pairs exchanging more than `min_bytes` in *both* directions
+    /// summed over their flows (candidate exfil/beacon channels).
+    pub fn heavy_pairs(idx: &GraphIndex<'_>, min_bytes: u64) -> Vec<(VertexId, VertexId)> {
+        use std::collections::HashMap;
+        let mut volume: HashMap<(u32, u32), u64> = HashMap::new();
+        for (_, s, d, p) in idx.graph().edges() {
+            // Canonical unordered pair.
+            let key = if s.0 <= d.0 { (s.0, d.0) } else { (d.0, s.0) };
+            *volume.entry(key).or_insert(0) += p.in_bytes + p.out_bytes;
+        }
+        let mut out: Vec<(VertexId, VertexId)> = volume
+            .into_iter()
+            .filter(|&(_, v)| v > min_bytes)
+            .map(|((a, b), _)| (VertexId(a), VertexId(b)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The `k` highest-total-degree hosts ("top talkers"), descending.
+    pub fn top_k_talkers(idx: &GraphIndex<'_>, k: usize) -> Vec<(VertexId, usize)> {
+        let mut all: Vec<(VertexId, usize)> = (0..idx.graph().vertex_count() as u32)
+            .map(|v| (VertexId(v), idx.total_degree(VertexId(v))))
+            .collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_graph::graph_from_flows;
+    use csb_graph::NetflowGraph;
+    use csb_net::flow::{FlowRecord, TcpConnState};
+
+    fn flow(src: u32, dst: u32, dport: u16, bytes: u64, proto: Protocol) -> FlowRecord {
+        FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: proto,
+            src_port: 40000,
+            dst_port: dport,
+            duration_ms: 5,
+            out_bytes: bytes / 4,
+            in_bytes: bytes - bytes / 4,
+            out_pkts: 2,
+            in_pkts: 3,
+            state: TcpConnState::Sf,
+            syn_count: 1,
+            ack_count: 4,
+            first_ts_micros: 0,
+        }
+    }
+
+    /// 1 -> 2 -> 3 -> 4 chain plus a scanner host 9 probing 2.
+    fn sample() -> NetflowGraph {
+        let mut flows = vec![
+            flow(1, 2, 80, 1_000, Protocol::Tcp),
+            flow(2, 3, 443, 2_000, Protocol::Tcp),
+            flow(3, 4, 22, 500, Protocol::Tcp),
+            flow(1, 2, 80, 9_000, Protocol::Udp),
+        ];
+        for port in 1..=30 {
+            flows.push(flow(9, 2, port, 40, Protocol::Tcp));
+        }
+        graph_from_flows(&flows)
+    }
+
+    #[test]
+    fn node_profile() {
+        let g = sample();
+        let idx = GraphIndex::build(&g);
+        let p = node::host_profile(&idx, 1).expect("host 1");
+        assert_eq!(p.out_degree, 2);
+        assert_eq!(p.in_degree, 0);
+        assert_eq!(p.distinct_peers, 1);
+        assert!(node::host_profile(&idx, 12345).is_none());
+    }
+
+    #[test]
+    fn edge_scans() {
+        let g = sample();
+        let idx = GraphIndex::build(&g);
+        assert_eq!(edge::flows_to_port(&idx, 80), 2);
+        assert_eq!(edge::flows_to_port(&idx, 443), 1);
+        assert_eq!(edge::heavy_flows(&idx, 1_500), 2); // 2000 and 9000
+        let vols = edge::volume_by_protocol(&idx);
+        assert_eq!(vols[1].1, 9_000); // UDP
+        assert_eq!(vols[2].1, 0); // ICMP
+    }
+
+    #[test]
+    fn path_queries() {
+        let g = sample();
+        let idx = GraphIndex::build(&g);
+        let v1 = idx.vertex_by_ip(1).expect("1");
+        let v4 = idx.vertex_by_ip(4).expect("4");
+        assert_eq!(path::shortest_path_len(&idx, v1, v4), Some(3));
+        assert_eq!(path::shortest_path_len(&idx, v4, v1), None); // directed
+        assert_eq!(path::shortest_path_len(&idx, v1, v1), Some(0));
+        assert_eq!(path::k_hop_reach(&idx, v1, 1), 2); // 1 + host 2
+        assert_eq!(path::k_hop_reach(&idx, v1, 3), 4); // 1,2,3,4
+    }
+
+    #[test]
+    fn subgraph_patterns() {
+        let g = sample();
+        let idx = GraphIndex::build(&g);
+        let scanners = subgraph::scan_star_candidates(&idx, 20);
+        assert_eq!(scanners.len(), 1);
+        assert_eq!(*g.vertex(scanners[0]), 9);
+
+        let pairs = subgraph::heavy_pairs(&idx, 5_000);
+        assert_eq!(pairs.len(), 1);
+        let (a, b) = pairs[0];
+        let ips = (*g.vertex(a), *g.vertex(b));
+        assert!(ips == (1, 2) || ips == (2, 1));
+
+        let top = subgraph::top_k_talkers(&idx, 2);
+        assert_eq!(*g.vertex(top[0].0), 2, "host 2 is the busiest");
+        assert!(top[0].1 >= top[1].1);
+    }
+}

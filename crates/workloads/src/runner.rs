@@ -1,0 +1,243 @@
+//! Mixed-workload driver: executes a configurable mix of the four query
+//! families against one dataset with deterministic argument sampling, and
+//! reports per-family latency statistics — what a platform-under-benchmark
+//! would be measured on once fed the synthetic data.
+
+use crate::index::GraphIndex;
+use crate::queries::{edge, node, path, subgraph};
+use csb_graph::graph::VertexId;
+use csb_graph::NetflowGraph;
+use csb_stats::rng::rng_for;
+use csb_stats::Summary;
+use rand::Rng;
+use std::time::Instant;
+
+/// How many queries of each family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Node queries (host profiles).
+    pub node_queries: usize,
+    /// Edge scans (port / volume filters).
+    pub edge_queries: usize,
+    /// Path queries (shortest path, k-hop).
+    pub path_queries: usize,
+    /// Sub-graph pattern queries.
+    pub subgraph_queries: usize,
+    /// RNG seed for argument sampling.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            node_queries: 200,
+            edge_queries: 50,
+            path_queries: 50,
+            subgraph_queries: 10,
+            seed: 0x0B5,
+        }
+    }
+}
+
+/// Latency statistics for one query family.
+#[derive(Debug, Clone)]
+pub struct FamilyStats {
+    /// Family label.
+    pub family: &'static str,
+    /// Per-query latency summary, microseconds.
+    pub latency_micros: Summary,
+    /// Sum of result cardinalities (sanity signal that queries did work; also
+    /// prevents the optimizer from discarding them).
+    pub total_results: u64,
+}
+
+/// A full workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Stats per family, in node/edge/path/subgraph order.
+    pub families: Vec<FamilyStats>,
+    /// End-to-end wall time, seconds.
+    pub total_secs: f64,
+}
+
+impl WorkloadReport {
+    /// Total queries executed.
+    pub fn total_queries(&self) -> u64 {
+        self.families.iter().map(|f| f.latency_micros.count()).sum()
+    }
+
+    /// Queries per second over the whole run.
+    pub fn qps(&self) -> f64 {
+        if self.total_secs == 0.0 {
+            0.0
+        } else {
+            self.total_queries() as f64 / self.total_secs
+        }
+    }
+}
+
+fn timed<R>(stats: &mut Summary, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let r = f();
+    stats.record(start.elapsed().as_secs_f64() * 1e6);
+    r
+}
+
+/// Runs the workload against the graph.
+///
+/// # Panics
+/// Panics on an empty graph (no arguments to sample).
+pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport {
+    assert!(graph.vertex_count() > 0, "workload needs a non-empty graph");
+    let wall = Instant::now();
+    let idx = GraphIndex::build(graph);
+    let mut rng = rng_for(spec.seed, 0);
+    let n = graph.vertex_count() as u32;
+    let random_vertex = |rng: &mut rand::rngs::SmallRng| VertexId(rng.gen_range(0..n));
+
+    // Node family.
+    let mut node_stats = Summary::new();
+    let mut node_results = 0u64;
+    for _ in 0..spec.node_queries {
+        let ip = *graph.vertex(random_vertex(&mut rng));
+        let r = timed(&mut node_stats, || node::host_profile(&idx, ip));
+        node_results += r.map(|p| p.distinct_peers as u64).unwrap_or(0);
+    }
+
+    // Edge family: alternate the three scans.
+    let mut edge_stats = Summary::new();
+    let mut edge_results = 0u64;
+    for i in 0..spec.edge_queries {
+        match i % 3 {
+            0 => {
+                let port = [80u16, 443, 53, 22, 25][i % 5];
+                edge_results += timed(&mut edge_stats, || edge::flows_to_port(&idx, port)) as u64;
+            }
+            1 => {
+                let threshold = 1u64 << (10 + i % 10);
+                edge_results += timed(&mut edge_stats, || edge::heavy_flows(&idx, threshold)) as u64;
+            }
+            _ => {
+                let vols = timed(&mut edge_stats, || edge::volume_by_protocol(&idx));
+                edge_results += u64::from(vols.iter().any(|&(_, v)| v > 0));
+            }
+        }
+    }
+
+    // Path family: alternate shortest path and k-hop.
+    let mut path_stats = Summary::new();
+    let mut path_results = 0u64;
+    for i in 0..spec.path_queries {
+        let a = random_vertex(&mut rng);
+        if i % 2 == 0 {
+            let b = random_vertex(&mut rng);
+            path_results +=
+                timed(&mut path_stats, || path::shortest_path_len(&idx, a, b)).unwrap_or(0) as u64;
+        } else {
+            path_results += timed(&mut path_stats, || path::k_hop_reach(&idx, a, 2)) as u64;
+        }
+    }
+
+    // Sub-graph family.
+    let mut sub_stats = Summary::new();
+    let mut sub_results = 0u64;
+    for i in 0..spec.subgraph_queries {
+        match i % 3 {
+            0 => {
+                sub_results +=
+                    timed(&mut sub_stats, || subgraph::scan_star_candidates(&idx, 10)).len() as u64;
+            }
+            1 => {
+                sub_results +=
+                    timed(&mut sub_stats, || subgraph::heavy_pairs(&idx, 1_000_000)).len() as u64;
+            }
+            _ => {
+                sub_results += timed(&mut sub_stats, || subgraph::top_k_talkers(&idx, 10)).len() as u64;
+            }
+        }
+    }
+
+    WorkloadReport {
+        families: vec![
+            FamilyStats { family: "node", latency_micros: node_stats, total_results: node_results },
+            FamilyStats { family: "edge", latency_micros: edge_stats, total_results: edge_results },
+            FamilyStats { family: "path", latency_micros: path_stats, total_results: path_results },
+            FamilyStats {
+                family: "subgraph",
+                latency_micros: sub_stats,
+                total_results: sub_results,
+            },
+        ],
+        total_secs: wall.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_graph::graph_from_flows;
+    use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+
+    fn graph(edges: usize) -> NetflowGraph {
+        let flows: Vec<FlowRecord> = (0..edges)
+            .map(|i| FlowRecord {
+                src_ip: (i % 50) as u32 + 1,
+                dst_ip: (i % 23) as u32 + 100,
+                protocol: Protocol::Tcp,
+                src_port: 40000,
+                dst_port: (i % 7) as u16 * 100 + 22,
+                duration_ms: 1,
+                out_bytes: (i as u64 % 900) * 100,
+                in_bytes: 100,
+                out_pkts: 1,
+                in_pkts: 1,
+                state: TcpConnState::Sf,
+                syn_count: 1,
+                ack_count: 1,
+                first_ts_micros: 0,
+            })
+            .collect();
+        graph_from_flows(&flows)
+    }
+
+    #[test]
+    fn runs_the_requested_mix() {
+        let g = graph(500);
+        let spec = WorkloadSpec {
+            node_queries: 20,
+            edge_queries: 9,
+            path_queries: 10,
+            subgraph_queries: 6,
+            seed: 1,
+        };
+        let r = run_workload(&g, &spec);
+        assert_eq!(r.total_queries(), 45);
+        assert_eq!(r.families.len(), 4);
+        assert_eq!(r.families[0].latency_micros.count(), 20);
+        assert_eq!(r.families[3].latency_micros.count(), 6);
+        assert!(r.qps() > 0.0);
+        // Queries actually touched data.
+        assert!(r.families[0].total_results > 0);
+        assert!(r.families[1].total_results > 0);
+    }
+
+    #[test]
+    fn argument_sampling_is_deterministic() {
+        // Latencies vary run to run, but result cardinalities (and thus the
+        // sampled arguments) must not.
+        let g = graph(300);
+        let spec = WorkloadSpec::default();
+        let a = run_workload(&g, &spec);
+        let b = run_workload(&g, &spec);
+        for (fa, fb) in a.families.iter().zip(b.families.iter()) {
+            assert_eq!(fa.total_results, fb.total_results, "family {}", fa.family);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_graph_rejected() {
+        let g = NetflowGraph::new();
+        let _ = run_workload(&g, &WorkloadSpec::default());
+    }
+}

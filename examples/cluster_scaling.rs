@@ -1,0 +1,74 @@
+//! Cluster-scale what-if analysis: run the distributed generators on the
+//! real dataflow engine at laptop scale, then project the same jobs onto the
+//! paper's Shadow II cluster with the calibrated cost model.
+//!
+//! Run with: `cargo run --release --example cluster_scaling`
+
+use csb::engine::sim::{GenAlgorithm, GenJob};
+use csb::engine::{ClusterConfig, CostModel, SimCluster};
+use csb::gen::distributed::{materialize, pgpba_distributed, pgsk_distributed, DistConfig};
+use csb::gen::{seed_from_trace, PgpbaConfig, PgskConfig};
+use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+fn main() {
+    // Laptop-scale run on the real engine.
+    let trace = TrafficSim::new(TrafficSimConfig {
+        duration_secs: 15.0,
+        sessions_per_sec: 20.0,
+        seed: 3,
+        ..TrafficSimConfig::default()
+    })
+    .generate();
+    let seed = seed_from_trace(&trace);
+    let dist = DistConfig { partitions: 8, threads: 4 };
+
+    let target = seed.edge_count() as u64 * 4;
+    let (ba_topo, ba_metrics) =
+        pgpba_distributed(&seed, &PgpbaConfig { desired_size: target, fraction: 0.5, seed: 4 }, &dist);
+    let ba_graph = materialize(&ba_topo, &seed, 5);
+    println!(
+        "engine PGPBA: {} edges via {} operators ({} records shuffled)",
+        ba_graph.edge_count(),
+        ba_metrics.len(),
+        ba_metrics.total_shuffled()
+    );
+
+    let (sk_topo, sk_metrics) = pgsk_distributed(
+        &seed,
+        &PgskConfig {
+            desired_size: target,
+            seed: 4,
+            kronfit_iterations: 8,
+            kronfit_permutation_samples: 200,
+        },
+        &dist,
+    );
+    println!(
+        "engine PGSK:  {} edges via {} operators ({} records shuffled)",
+        sk_topo.edge_count(),
+        sk_metrics.len(),
+        sk_metrics.total_shuffled()
+    );
+
+    // Paper-scale projection on the simulated Shadow II cluster.
+    println!("\nprojected on Shadow II (60 nodes, 12 executor cores each):");
+    let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+    for (name, alg, edges) in [
+        ("PGPBA 9.6B edges", GenAlgorithm::Pgpba { fraction: 2.0 }, 9_600_000_000u64),
+        ("PGSK  6.0B edges", GenAlgorithm::Pgsk, 6_000_000_000),
+        ("PGPBA 20B edges ", GenAlgorithm::Pgpba { fraction: 2.0 }, 20_000_000_000),
+    ] {
+        let r = sim.simulate(&GenJob {
+            algorithm: alg,
+            edges,
+            seed_edges: seed.edge_count() as u64,
+            with_properties: true,
+        });
+        println!(
+            "  {name}: {:>7.1} s total ({:.1} compute + {:.1} shuffle + {:.1} barrier), \
+             {:.0} GB/node, {} iterations",
+            r.total_secs, r.compute_secs, r.shuffle_secs, r.barrier_secs,
+            r.memory_per_node_gb, r.iterations
+        );
+    }
+}

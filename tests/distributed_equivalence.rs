@@ -1,0 +1,92 @@
+//! Integration tests for the engine-backed distributed generators: they must
+//! produce data statistically equivalent to the in-process reference
+//! implementations and record the operator mix the paper describes.
+
+use csb::gen::distributed::{materialize, pgpba_distributed, pgsk_distributed, DistConfig};
+use csb::gen::topo::Topology;
+use csb::gen::{pgpba, seed_from_trace, PgpbaConfig, PgskConfig};
+use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use csb::stats::veracity::{average_euclidean_distance, NormalizedDistribution};
+
+fn seed() -> csb::gen::SeedBundle {
+    let trace = TrafficSim::new(TrafficSimConfig {
+        duration_secs: 15.0,
+        sessions_per_sec: 20.0,
+        seed: 9,
+        ..TrafficSimConfig::default()
+    })
+    .generate();
+    seed_from_trace(&trace)
+}
+
+fn degree_shape(src: &[u32], dst: &[u32], n: u32) -> NormalizedDistribution {
+    let mut deg = vec![0u64; n as usize];
+    for &s in src {
+        deg[s as usize] += 1;
+    }
+    for &d in dst {
+        deg[d as usize] += 1;
+    }
+    NormalizedDistribution::from_u64(&deg)
+}
+
+#[test]
+fn distributed_pgpba_matches_reference_shape() {
+    let seed = seed();
+    let cfg = PgpbaConfig { desired_size: seed.edge_count() as u64 * 6, fraction: 0.4, seed: 1 };
+    let reference = pgpba(&seed, &cfg);
+    let (dist_topo, _) = pgpba_distributed(&seed, &cfg, &DistConfig { partitions: 8, threads: 4 });
+
+    // Sizes in the same class.
+    let ratio = dist_topo.edge_count() as f64 / reference.edge_count() as f64;
+    assert!((0.5..2.0).contains(&ratio), "size ratio {ratio}");
+
+    // Degree shapes nearly identical.
+    let ref_topo = Topology::of_graph(&reference);
+    let a = degree_shape(&ref_topo.src, &ref_topo.dst, ref_topo.num_vertices);
+    let b = degree_shape(&dist_topo.src, &dist_topo.dst, dist_topo.num_vertices);
+    let score = average_euclidean_distance(&a, &b);
+    assert!(score < 1e-4, "distributed vs reference degree shape {score}");
+}
+
+#[test]
+fn distributed_pgsk_uses_distinct_and_matches_size() {
+    let seed = seed();
+    let cfg = PgskConfig {
+        desired_size: seed.edge_count() as u64 * 3,
+        seed: 2,
+        kronfit_iterations: 6,
+        kronfit_permutation_samples: 100,
+    };
+    let (topo, metrics) = pgsk_distributed(&seed, &cfg, &DistConfig { partitions: 8, threads: 4 });
+    let got = topo.edge_count() as u64;
+    assert!(got >= cfg.desired_size / 2 && got <= cfg.desired_size * 2, "{got}");
+    // The paper's PGSK is shuffle-bound: distinct() must appear.
+    let ops: Vec<&str> = metrics.ops().iter().map(|o| o.op).collect();
+    assert!(ops.contains(&"distinct"), "ops: {ops:?}");
+    assert!(metrics.total_shuffled() > 0);
+}
+
+#[test]
+fn materialized_graph_has_full_attributes() {
+    let seed = seed();
+    let cfg = PgpbaConfig { desired_size: seed.edge_count() as u64 * 2, fraction: 0.5, seed: 3 };
+    let (topo, _) = pgpba_distributed(&seed, &cfg, &DistConfig::default());
+    let g = materialize(&topo, &seed, 4);
+    assert_eq!(g.edge_count(), topo.edge_count());
+    assert_eq!(g.vertex_count() as u32, topo.num_vertices);
+    // Attributes populated (duration/bytes come from the seed's model, so at
+    // least some edges carry non-zero values).
+    assert!(g.edge_data().iter().any(|p| p.in_bytes > 0));
+    assert!(g.edge_data().iter().any(|p| p.dst_port > 0));
+}
+
+#[test]
+fn partition_count_does_not_change_results_materially() {
+    let seed = seed();
+    let cfg = PgpbaConfig { desired_size: seed.edge_count() as u64 * 3, fraction: 0.5, seed: 5 };
+    let (a, _) = pgpba_distributed(&seed, &cfg, &DistConfig { partitions: 2, threads: 2 });
+    let (b, _) = pgpba_distributed(&seed, &cfg, &DistConfig { partitions: 16, threads: 4 });
+    let ratio = a.edge_count() as f64 / b.edge_count() as f64;
+    assert!((0.7..1.4).contains(&ratio), "partitioning changed size: {ratio}");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the full paper pipeline end-to-end —
+//! trace simulation -> PCAP round trip -> flow assembly -> seed graph ->
+//! generation -> veracity.
+
+use csb::gen::veracity::veracity;
+use csb::gen::{pgpba, pgsk, seed_from_packets, seed_from_trace, PgpbaConfig, PgskConfig};
+use csb::net::pcap::{read_pcap, write_pcap};
+use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+fn trace(seed: u64) -> csb::net::Trace {
+    TrafficSim::new(TrafficSimConfig {
+        duration_secs: 20.0,
+        sessions_per_sec: 25.0,
+        seed,
+        ..TrafficSimConfig::default()
+    })
+    .generate()
+}
+
+#[test]
+fn full_pipeline_pgpba() {
+    let trace = trace(1);
+    // PCAP round trip in the middle of the pipeline, as a real user would.
+    let mut bytes = Vec::new();
+    write_pcap(&mut bytes, &trace.packets).expect("write pcap");
+    let packets = read_pcap(&bytes[..]).expect("read pcap");
+    let seed = seed_from_packets(&packets);
+    assert!(seed.edge_count() > 100);
+
+    let target = seed.edge_count() as u64 * 10;
+    let g = pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 0.2, seed: 2 });
+    assert!(g.edge_count() as u64 >= target);
+
+    let v = veracity(&seed.graph, &g);
+    assert!(v.degree.is_finite() && v.degree < 0.01, "degree veracity {}", v.degree);
+    assert!(v.pagerank.is_finite() && v.pagerank < v.degree);
+}
+
+#[test]
+fn full_pipeline_pgsk() {
+    let seed = seed_from_trace(&trace(2));
+    let target = seed.edge_count() as u64 * 4;
+    let g = pgsk(
+        &seed,
+        &PgskConfig {
+            desired_size: target,
+            seed: 3,
+            kronfit_iterations: 8,
+            kronfit_permutation_samples: 200,
+        },
+    );
+    assert!(g.edge_count() as u64 >= target / 2);
+    let v = veracity(&seed.graph, &g);
+    assert!(v.degree < 0.05, "degree veracity {}", v.degree);
+}
+
+#[test]
+fn veracity_decreases_with_size_for_both_generators() {
+    // The headline trend of paper Figs. 6-7, checked end-to-end.
+    let seed = seed_from_trace(&trace(3));
+    let e0 = seed.edge_count() as u64;
+
+    // The decay is a trend (paper Fig. 6 has local noise too): compare the
+    // ends of a wide size range.
+    let ba_scores: Vec<f64> = [2u64, 16, 128]
+        .iter()
+        .map(|&m| {
+            let g = pgpba(&seed, &PgpbaConfig { desired_size: e0 * m, fraction: 0.1, seed: 4 });
+            csb::gen::degree_veracity(&seed.graph, &g)
+        })
+        .collect();
+    assert!(
+        ba_scores[0] > ba_scores[2] && ba_scores[2] < ba_scores[0] * 0.7,
+        "PGPBA scores not decreasing: {ba_scores:?}"
+    );
+
+    let sk_scores: Vec<f64> = [1u64, 4, 16]
+        .iter()
+        .map(|&m| {
+            let g = pgsk(
+                &seed,
+                &PgskConfig {
+                    desired_size: e0 * m,
+                    seed: 5,
+                    kronfit_iterations: 6,
+                    kronfit_permutation_samples: 100,
+                },
+            );
+            csb::gen::degree_veracity(&seed.graph, &g)
+        })
+        .collect();
+    assert!(
+        sk_scores[0] > sk_scores[2],
+        "PGSK scores not decreasing overall: {sk_scores:?}"
+    );
+}
+
+#[test]
+fn generated_attributes_come_from_seed_support() {
+    // Every synthetic DEST_PORT / PROTOCOL value must exist in the seed:
+    // the generators sample empirical distributions, never invent values.
+    let seed = seed_from_trace(&trace(4));
+    let g = pgpba(
+        &seed,
+        &PgpbaConfig { desired_size: seed.edge_count() as u64 * 4, fraction: 0.3, seed: 6 },
+    );
+    let seed_ports: std::collections::HashSet<u16> =
+        seed.graph.edge_data().iter().map(|p| p.dst_port).collect();
+    let seed_protocols: std::collections::HashSet<_> =
+        seed.graph.edge_data().iter().map(|p| p.protocol).collect();
+    for p in g.edge_data() {
+        assert!(seed_ports.contains(&p.dst_port), "invented port {}", p.dst_port);
+        assert!(seed_protocols.contains(&p.protocol), "invented protocol {:?}", p.protocol);
+    }
+}

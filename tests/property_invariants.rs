@@ -1,0 +1,109 @@
+//! Workspace-level property-based tests (proptest) on the core invariants
+//! that span crates.
+
+use csb::graph::graph::{PropertyGraph, VertexId};
+use csb::graph::algo::pagerank::{pagerank, PageRankConfig};
+use csb::graph::Csr;
+use csb::net::assembler::FlowAssembler;
+use csb::net::packet::{Packet, TcpFlags};
+use csb::stats::veracity::{average_euclidean_distance, NormalizedDistribution};
+use csb::stats::EmpiricalDistribution;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR round trip: degrees computed via CSR equal edge-list degrees for
+    /// arbitrary multigraphs.
+    #[test]
+    fn csr_degrees_match_edge_list(edges in prop::collection::vec((0u32..50, 0u32..50), 0..400)) {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        for _ in 0..50 {
+            g.add_vertex(());
+        }
+        for &(s, d) in &edges {
+            g.add_edge(VertexId(s), VertexId(d), ());
+        }
+        let out = Csr::out_of(&g);
+        let inn = Csr::in_of(&g);
+        let od = g.out_degrees();
+        let id = g.in_degrees();
+        for v in 0..50u32 {
+            prop_assert_eq!(out.degree(VertexId(v)) as u64, od[v as usize]);
+            prop_assert_eq!(inn.degree(VertexId(v)) as u64, id[v as usize]);
+        }
+        prop_assert_eq!(out.edge_count(), edges.len());
+    }
+
+    /// PageRank sums to 1 on arbitrary non-empty graphs.
+    #[test]
+    fn pagerank_is_a_distribution(edges in prop::collection::vec((0u32..30, 0u32..30), 1..200)) {
+        let mut g: PropertyGraph<(), ()> = PropertyGraph::new();
+        for _ in 0..30 {
+            g.add_vertex(());
+        }
+        for &(s, d) in &edges {
+            g.add_edge(VertexId(s), VertexId(d), ());
+        }
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    /// The flow assembler conserves packets and bytes.
+    #[test]
+    fn assembler_conserves_packets_and_bytes(
+        specs in prop::collection::vec((0u32..5, 0u32..5, 1024u16..1030, 0u32..2000), 1..100)
+    ) {
+        let mut packets = Vec::new();
+        for (i, &(s, d, port, len)) in specs.iter().enumerate() {
+            if s != d {
+                packets.push(Packet::udp(i as u64 * 1000, s + 1, port, d + 1, 53, len));
+            }
+        }
+        let total_bytes: u64 = packets.iter().map(|p| p.payload_len as u64).sum();
+        let n = packets.len() as u64;
+        let flows = FlowAssembler::assemble(&packets);
+        prop_assert_eq!(flows.iter().map(|f| f.total_pkts()).sum::<u64>(), n);
+        prop_assert_eq!(flows.iter().map(|f| f.total_bytes()).sum::<u64>(), total_bytes);
+    }
+
+    /// TCP flows never report more SYN packets than packets.
+    #[test]
+    fn syn_count_bounded(count in 1usize..40) {
+        let mut packets = Vec::new();
+        for i in 0..count {
+            packets.push(Packet::tcp(i as u64 * 100, 1, 1000 + i as u16, 2, 80, TcpFlags::SYN, 0));
+        }
+        let flows = FlowAssembler::assemble(&packets);
+        for f in &flows {
+            prop_assert!(u64::from(f.syn_count) <= f.total_pkts());
+        }
+    }
+
+    /// Veracity score properties: symmetric-zero on self, non-negative,
+    /// scale-invariant.
+    #[test]
+    fn veracity_score_properties(values in prop::collection::vec(0u64..10_000, 1..300), k in 1u64..50) {
+        let a = NormalizedDistribution::from_u64(&values);
+        prop_assert_eq!(average_euclidean_distance(&a, &a), 0.0);
+        let scaled: Vec<u64> = values.iter().map(|&v| v * k).collect();
+        let b = NormalizedDistribution::from_u64(&scaled);
+        prop_assert!(average_euclidean_distance(&a, &b) < 1e-12);
+    }
+
+    /// Empirical distributions only ever emit values from their support.
+    #[test]
+    fn empirical_sampling_stays_in_support(
+        values in prop::collection::vec(0u64..1000, 1..50),
+        seed in 0u64..1000
+    ) {
+        let dist = EmpiricalDistribution::from_samples(values.iter().copied());
+        let support: std::collections::HashSet<u64> = values.into_iter().collect();
+        let mut rng = csb::stats::rng::rng_for(seed, 0);
+        for _ in 0..100 {
+            prop_assert!(support.contains(&dist.sample(&mut rng)));
+        }
+    }
+}

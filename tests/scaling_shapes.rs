@@ -1,0 +1,109 @@
+//! Integration tests pinning the *shapes* of the paper's performance
+//! figures (8-12) as produced by the calibrated cluster model — the
+//! regression net for EXPERIMENTS.md.
+
+use csb::engine::sim::{GenAlgorithm, GenJob};
+use csb::engine::{ClusterConfig, CostModel, SimCluster};
+
+const SEED_EDGES: u64 = 1_940_814;
+
+fn job(algorithm: GenAlgorithm, edges: u64) -> GenJob {
+    GenJob { algorithm, edges, seed_edges: SEED_EDGES, with_properties: true }
+}
+
+fn pgpba() -> GenAlgorithm {
+    GenAlgorithm::Pgpba { fraction: 2.0 }
+}
+
+#[test]
+fn fig8_shape_monotone_then_flat_at_twelve_cores() {
+    let model = CostModel::default();
+    let tp: Vec<f64> = (1..=20)
+        .map(|cores| {
+            SimCluster::new(ClusterConfig::shadow_ii_single_node(cores), model)
+                .simulate(&job(pgpba(), 50_000_000))
+                .throughput_eps
+        })
+        .collect();
+    for i in 1..12 {
+        assert!(tp[i] > tp[i - 1], "throughput must rise through 12 cores");
+    }
+    for i in 12..20 {
+        assert!(
+            (tp[i] - tp[11]).abs() / tp[11] < 1e-9,
+            "throughput must plateau beyond 12 cores"
+        );
+    }
+}
+
+#[test]
+fn fig9_shape_linear_and_pgpba_wins_everywhere() {
+    let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+    let sizes = [4_000_000u64, 16_000_000, 64_000_000, 256_000_000, 1_024_000_000, 4_096_000_000];
+    let mut prev = (0.0, 0.0);
+    for &e in &sizes {
+        let ba = sim.simulate(&job(pgpba(), e)).total_secs;
+        let sk = sim.simulate(&job(GenAlgorithm::Pgsk, e)).total_secs;
+        assert!(ba < sk, "PGPBA must beat PGSK at {e} edges");
+        assert!(ba > prev.0 && sk > prev.1, "times must grow with size");
+        prev = (ba, sk);
+    }
+}
+
+#[test]
+fn fig10_overhead_ratios_hold_across_sizes() {
+    let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+    for &e in &[16_000_000u64, 1_000_000_000, 16_000_000_000] {
+        let with = |alg, props| {
+            let mut j = job(alg, e);
+            j.with_properties = props;
+            sim.simulate(&j).compute_secs
+        };
+        let ba = with(pgpba(), true) / with(pgpba(), false) - 1.0;
+        let sk = with(GenAlgorithm::Pgsk, true) / with(GenAlgorithm::Pgsk, false) - 1.0;
+        assert!((ba - 0.5).abs() < 0.02, "PGPBA overhead {ba} at {e}");
+        assert!((sk - 0.3).abs() < 0.02, "PGSK overhead {sk} at {e}");
+    }
+}
+
+#[test]
+fn fig11_shape_flat_below_1e8_then_linear() {
+    let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+    let mem = |e| sim.simulate(&job(pgpba(), e)).memory_per_node_gb;
+    // Flat region: two orders of magnitude change memory by < 30%.
+    assert!((mem(100_000_000) - mem(1_000_000)) / mem(1_000_000) < 0.3);
+    // Linear region: 4x edges -> ~4x incremental memory.
+    let base = mem(1_000_000);
+    let inc = |e| mem(e) - base;
+    let ratio = inc(16_000_000_000) / inc(4_000_000_000);
+    assert!((3.5..4.5).contains(&ratio), "linear-region ratio {ratio}");
+}
+
+#[test]
+fn fig12_shape_pgpba_dominates_and_both_scale() {
+    let model = CostModel::default();
+    let time = |alg, edges, nodes| {
+        SimCluster::new(ClusterConfig::shadow_ii(nodes), model).simulate(&job(alg, edges)).total_secs
+    };
+    let ba10 = time(pgpba(), 9_600_000_000, 10);
+    let sk10 = time(GenAlgorithm::Pgsk, 6_000_000_000, 10);
+    let mut prev = (1.0f64, 1.0f64);
+    for nodes in [20usize, 30, 40, 50, 60] {
+        let ba = ba10 / time(pgpba(), 9_600_000_000, nodes);
+        let sk = sk10 / time(GenAlgorithm::Pgsk, 6_000_000_000, nodes);
+        assert!(ba > prev.0 && sk > prev.1, "speedups must grow with nodes");
+        assert!(ba > sk, "PGPBA speedup must dominate PGSK at {nodes} nodes");
+        assert!(ba <= nodes as f64 / 10.0 + 1e-9, "speedup cannot beat ideal");
+        prev = (ba, sk);
+    }
+    assert!(prev.0 > 4.5, "PGPBA must approach ideal 6.0, got {}", prev.0);
+}
+
+#[test]
+fn abstract_claim_billions_under_an_hour() {
+    let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
+    for alg in [pgpba(), GenAlgorithm::Pgsk] {
+        let r = sim.simulate(&job(alg, 10_000_000_000));
+        assert!(r.total_secs < 3600.0, "{alg:?}: {} s", r.total_secs);
+    }
+}
