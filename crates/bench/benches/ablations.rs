@@ -19,9 +19,7 @@ use rand::Rng;
 
 fn bench_sampling(c: &mut Criterion) {
     // A distribution with a large, skewed support, like real degree data.
-    let dist = EmpiricalDistribution::from_weighted(
-        (1..=2_000u64).map(|v| (v, 1.0 / v as f64)),
-    );
+    let dist = EmpiricalDistribution::from_weighted((1..=2_000u64).map(|v| (v, 1.0 / v as f64)));
     let mut group = c.benchmark_group("sampling_ablation");
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("alias", |b| {

@@ -47,12 +47,7 @@ fn main() {
 
     let mut t = Table::new(&["correlation (log scale)", "seed", "conditional", "independent"]);
     for ((s, c), i) in seed_corr.iter().zip(cond_corr.iter()).zip(ind_corr.iter()) {
-        t.row(&[
-            s.0.clone(),
-            format!("{:.3}", s.1),
-            format!("{:.3}", c.1),
-            format!("{:.3}", i.1),
-        ]);
+        t.row(&[s.0.clone(), format!("{:.3}", s.1), format!("{:.3}", c.1), format!("{:.3}", i.1)]);
     }
     t.print();
     println!(

@@ -68,17 +68,22 @@ fn main() {
     }
     let weights: Vec<f64> = replicated.iter().map(|&d| d as f64).collect();
     add("Chung-Lu (seed degrees)", &chung_lu(&weights, 4));
-    add(
-        "BTER (seed degrees)",
-        &bter(&replicated, csb_models::bter::BterParams::default(), 5),
-    );
+    add("BTER (seed degrees)", &bter(&replicated, csb_models::bter::BterParams::default(), 5));
     let half = n / 2;
     add(
         "SBM (2 blocks)",
         &sbm(
             &[half, n - half],
-            &[vec![1.5 * m as f64 / (n as f64 * n as f64), 0.5 * m as f64 / (n as f64 * n as f64)],
-                vec![0.5 * m as f64 / (n as f64 * n as f64), 1.5 * m as f64 / (n as f64 * n as f64)]],
+            &[
+                vec![
+                    1.5 * m as f64 / (n as f64 * n as f64),
+                    0.5 * m as f64 / (n as f64 * n as f64),
+                ],
+                vec![
+                    0.5 * m as f64 / (n as f64 * n as f64),
+                    1.5 * m as f64 / (n as f64 * n as f64),
+                ],
+            ],
             6,
         ),
     );

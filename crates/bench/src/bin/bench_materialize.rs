@@ -1,0 +1,82 @@
+//! Timed harness for the parallel-materialization rework: runs both
+//! generators with per-phase timings ([`csb_core::PhaseTimings`]), compares
+//! the parallel attach path against the serial per-edge reference, and
+//! writes `BENCH_materialize.json` — one point of the perf trajectory per
+//! commit. `CSB_SCALE` multiplies the default ~1M-edge workload.
+
+use csb_bench::{attach_serial_reference, eng, scale, standard_seed, Table};
+use csb_core::pgpba::pgpba_topology;
+use csb_core::topo::{attach_properties, Topology};
+use csb_core::{pgpba_timed, pgsk_timed, PgpbaConfig, PgskConfig, PhaseTimings};
+use std::time::Instant;
+
+fn timing_row(table: &mut Table, t: &PhaseTimings) {
+    table.row(&[
+        t.generator.to_string(),
+        eng(t.edges as f64),
+        format!("{:.3}", t.grow.as_secs_f64()),
+        format!("{:.3}", t.inflate.as_secs_f64()),
+        format!("{:.3}", t.attach.as_secs_f64()),
+        format!("{:.3}", t.total().as_secs_f64()),
+        eng(t.edges_per_sec()),
+    ]);
+}
+
+fn main() {
+    let seed = standard_seed();
+    let target = (1_000_000.0 * scale()) as u64;
+    let pgpba_cfg = PgpbaConfig { desired_size: target, fraction: 1.0, seed: 7 };
+    let pgsk_cfg = PgskConfig {
+        desired_size: target,
+        seed: 7,
+        kronfit_iterations: 8,
+        kronfit_permutation_samples: 200,
+    };
+
+    let (_, pgpba_t) = pgpba_timed(&seed, &pgpba_cfg);
+    let (_, pgsk_t) = pgsk_timed(&seed, &pgsk_cfg);
+
+    let mut table = Table::new(&[
+        "generator",
+        "edges",
+        "grow_s",
+        "inflate_s",
+        "attach_s",
+        "total_s",
+        "edges/s",
+    ]);
+    timing_row(&mut table, &pgpba_t);
+    timing_row(&mut table, &pgsk_t);
+    table.print();
+
+    // Head-to-head: serial per-edge reference vs parallel attach on the same
+    // PGPBA topology.
+    let topo = pgpba_topology(&Topology::of_graph(&seed.graph), &seed.analysis, &pgpba_cfg);
+    let t = Instant::now();
+    let serial = attach_serial_reference(&topo, &seed.analysis.properties, 3);
+    let serial_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel = attach_properties(&topo, &seed.analysis.properties, &[], 3);
+    let parallel_secs = t.elapsed().as_secs_f64();
+    assert_eq!(serial.edge_count(), parallel.edge_count());
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    println!(
+        "\nattach {} edges: serial {serial_secs:.3}s, parallel {parallel_secs:.3}s \
+         ({speedup:.2}x, {} threads)",
+        eng(topo.edge_count() as f64),
+        rayon::current_num_threads(),
+    );
+
+    let json = format!(
+        "{{\"bench\":\"materialize\",\"status\":\"measured\",\"scale\":{},\"threads\":{},\
+         \"pgpba\":{},\"pgsk\":{},\"attach_edges\":{},\"attach_serial_secs\":{serial_secs:.6},\
+         \"attach_parallel_secs\":{parallel_secs:.6},\"attach_speedup\":{speedup:.2}}}\n",
+        scale(),
+        rayon::current_num_threads(),
+        pgpba_t.to_json(),
+        pgsk_t.to_json(),
+        topo.edge_count(),
+    );
+    std::fs::write("BENCH_materialize.json", &json).expect("write BENCH_materialize.json");
+    println!("wrote BENCH_materialize.json");
+}

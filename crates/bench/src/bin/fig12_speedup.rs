@@ -12,13 +12,16 @@ const PGPBA_EDGES: u64 = 9_600_000_000;
 const PGSK_EDGES: u64 = 6_000_000_000;
 
 fn main() {
-    println!(
-        "Figure 12: strong-scaling speedup (PGPBA at 9.6B edges, PGSK at 6B)\n"
-    );
+    println!("Figure 12: strong-scaling speedup (PGPBA at 9.6B edges, PGSK at 6B)\n");
     let model = CostModel::default();
     let time = |alg, edges, nodes| {
         SimCluster::new(ClusterConfig::shadow_ii(nodes), model)
-            .simulate(&GenJob { algorithm: alg, edges, seed_edges: SEED_EDGES, with_properties: true })
+            .simulate(&GenJob {
+                algorithm: alg,
+                edges,
+                seed_edges: SEED_EDGES,
+                with_properties: true,
+            })
             .total_secs
     };
     let ba10 = time(GenAlgorithm::Pgpba { fraction: 2.0 }, PGPBA_EDGES, 10);

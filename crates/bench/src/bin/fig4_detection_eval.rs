@@ -3,12 +3,12 @@
 //! precision / recall against ground truth.
 
 use csb_bench::Table;
+use csb_ids::{detect, evaluate, train_thresholds};
 use csb_net::assembler::FlowAssembler;
 use csb_net::packet::ip;
 use csb_net::trace::AttackKind;
 use csb_net::traffic::attacks::AttackInjector;
 use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
-use csb_ids::{detect, evaluate, train_thresholds};
 
 fn main() {
     println!("Fig. 4 detection-flow evaluation\n");

@@ -17,12 +17,7 @@ fn main() {
         let target = ((e0 as f64 * mult) as u64).max(100);
         let g = pgsk(&seed, &PgskConfig::new(target));
         let v = degree_veracity(&seed.graph, &g);
-        t.row(&[
-            "PGSK".into(),
-            "-".into(),
-            eng(g.edge_count() as f64),
-            sci(v),
-        ]);
+        t.row(&["PGSK".into(), "-".into(), eng(g.edge_count() as f64), sci(v)]);
     }
 
     for fraction in [0.1, 0.3, 0.6, 0.9] {

@@ -46,7 +46,11 @@ fn main() {
     let mut g = Table::new(&["gap", "PGPBA", "PGSK"]);
     let gb = structural_gaps(&rs, &rb);
     let gk = structural_gaps(&rs, &rk);
-    g.row(&["mean degree".into(), format!("{:.3}", gb.mean_degree), format!("{:.3}", gk.mean_degree)]);
+    g.row(&[
+        "mean degree".into(),
+        format!("{:.3}", gb.mean_degree),
+        format!("{:.3}", gk.mean_degree),
+    ]);
     g.row(&[
         "power-law alpha".into(),
         format!("{:.3}", gb.powerlaw_alpha),

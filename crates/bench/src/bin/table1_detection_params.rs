@@ -3,9 +3,9 @@
 //! network-specific training).
 
 use csb_bench::Table;
+use csb_ids::{train_thresholds, Thresholds};
 use csb_net::assembler::FlowAssembler;
 use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
-use csb_ids::{train_thresholds, Thresholds};
 
 const DESCRIPTIONS: [(&str, &str); 10] = [
     ("dip-T", "max normal number of distinct destination IPs with same source IP"),
@@ -34,11 +34,8 @@ fn main() {
     let defaults = Thresholds::default();
 
     let mut t = Table::new(&["parameter", "default", "trained", "description"]);
-    for (((name, default), (name2, trained)), (name3, desc)) in defaults
-        .named()
-        .iter()
-        .zip(trained.named().iter())
-        .zip(DESCRIPTIONS.iter())
+    for (((name, default), (name2, trained)), (name3, desc)) in
+        defaults.named().iter().zip(trained.named().iter()).zip(DESCRIPTIONS.iter())
     {
         assert_eq!(name, name2);
         assert_eq!(name, name3);

@@ -27,10 +27,7 @@ impl Args {
     /// Parses raw arguments (program name already stripped).
     pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
         let mut it = raw.iter();
-        let command = it
-            .next()
-            .ok_or_else(|| ArgError("missing subcommand".into()))?
-            .clone();
+        let command = it.next().ok_or_else(|| ArgError("missing subcommand".into()))?.clone();
         if command.starts_with("--") {
             return Err(ArgError(format!("expected subcommand, got flag {command}")));
         }
@@ -39,9 +36,8 @@ impl Args {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(ArgError(format!("expected --flag, got {key}")));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
+            let value =
+                it.next().ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
             if options.insert(name.to_string(), value.clone()).is_some() {
                 return Err(ArgError(format!("flag --{name} given twice")));
             }
@@ -63,9 +59,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
+            }
         }
     }
 

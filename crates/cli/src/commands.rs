@@ -66,7 +66,14 @@ fn simulate(args: &Args) -> Result<()> {
         trace.merge(inj.syn_flood(atk(0), servers[0], 80, horizon / 8, horizon / 8, 20_000));
         trace.merge(inj.icmp_flood(atk(1), servers[1], horizon / 3, horizon / 8, 20_000));
         trace.merge(inj.host_scan(atk(2), servers[2], horizon / 2, horizon / 8, 400, 80));
-        trace.merge(inj.network_scan(atk(3), ip(10, 9, 0, 1), 200, 22, 2 * horizon / 3, horizon / 8));
+        trace.merge(inj.network_scan(
+            atk(3),
+            ip(10, 9, 0, 1),
+            200,
+            22,
+            2 * horizon / 3,
+            horizon / 8,
+        ));
         trace.sort();
     }
     write_pcap(File::create(out)?, &trace.packets)?;
@@ -286,10 +293,26 @@ mod tests {
         run(&args(&["veracity", "--seed-graph", &seed_path, "--synthetic", &synth_path]))
             .expect("veracity");
         run(&args(&["detect", "--pcap", &pcap])).expect("detect");
-        run(&args(&["workload", "--graph", &synth_path, "--node", "20", "--edge", "5", "--path", "5", "--subgraph", "2"])).expect("workload");
+        run(&args(&[
+            "workload",
+            "--graph",
+            &synth_path,
+            "--node",
+            "20",
+            "--edge",
+            "5",
+            "--path",
+            "5",
+            "--subgraph",
+            "2",
+        ]))
+        .expect("workload");
         let nf_path = dir.join("flows.nf5").to_string_lossy().into_owned();
-        run(&args(&["export", "--graph", &synth_path, "--out", &nf_path, "--duration", "10"])).expect("export");
-        let nf_flows = csb_net::netflow_v5::read_netflow_v5(std::fs::File::open(&nf_path).expect("open")).expect("nf5 read");
+        run(&args(&["export", "--graph", &synth_path, "--out", &nf_path, "--duration", "10"]))
+            .expect("export");
+        let nf_flows =
+            csb_net::netflow_v5::read_netflow_v5(std::fs::File::open(&nf_path).expect("open"))
+                .expect("nf5 read");
         assert!(!nf_flows.is_empty());
         run(&args(&["cluster-sim", "--algorithm", "pgsk", "--edges", "1000000000"]))
             .expect("cluster-sim");

@@ -45,8 +45,7 @@ impl PropertyModel {
     pub fn from_graph(g: &NetflowGraph) -> Self {
         assert!(g.edge_count() > 0, "property model needs at least one edge");
         let props = g.edge_data();
-        let in_bytes =
-            EmpiricalDistribution::from_samples(props.iter().map(|p| p.in_bytes));
+        let in_bytes = EmpiricalDistribution::from_samples(props.iter().map(|p| p.in_bytes));
         let pairs = |f: &dyn Fn(&EdgeProperties) -> u64| {
             props.iter().map(|p| (p.in_bytes, f(p))).collect::<Vec<_>>()
         };
@@ -71,8 +70,8 @@ impl PropertyModel {
     pub fn sample_independent<R: Rng + ?Sized>(&self, rng: &mut R) -> EdgeProperties {
         let protocol = Protocol::from_number(self.protocol.marginal().sample(rng) as u8)
             .unwrap_or(Protocol::Tcp);
-        let state = TcpConnState::from_code(self.state.marginal().sample(rng))
-            .unwrap_or(TcpConnState::Oth);
+        let state =
+            TcpConnState::from_code(self.state.marginal().sample(rng)).unwrap_or(TcpConnState::Oth);
         EdgeProperties {
             protocol,
             src_port: self.src_port.marginal().sample(rng) as u16,
@@ -199,9 +198,7 @@ mod tests {
         let g = seed_graph();
         let model = PropertyModel::from_graph(&g);
         let mut rng = rng_for(2, 0);
-        let small = (0..10_000)
-            .filter(|_| model.in_bytes.sample(&mut rng) < 1000)
-            .count() as f64
+        let small = (0..10_000).filter(|_| model.in_bytes.sample(&mut rng) < 1000).count() as f64
             / 10_000.0;
         assert!((small - 0.5).abs() < 0.03, "small-flow fraction {small}");
     }

@@ -10,6 +10,93 @@ use csb_graph::algo::{
 };
 use csb_graph::NetflowGraph;
 use csb_stats::PowerLaw;
+use std::time::Duration;
+
+/// Per-phase wall-clock timings of one generator run, for the performance
+/// trajectory (`BENCH_*.json`) and the timed harness binaries.
+///
+/// Phases mirror the paper's pipeline split: **grow** (topology growth /
+/// Kronecker expansion), **inflate** (PGSK multi-edge re-inflation; zero for
+/// PGPBA, whose growth materializes edges directly), and **attach**
+/// (attribute sampling + graph assembly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTimings {
+    /// Generator name (`"pgpba"` / `"pgsk"`).
+    pub generator: &'static str,
+    /// Edges in the finished graph.
+    pub edges: usize,
+    /// Topology growth (PGPBA iterations / PGSK simplify+fit+expand).
+    pub grow: Duration,
+    /// PGSK multi-edge re-inflation (zero for PGPBA).
+    pub inflate: Duration,
+    /// Attribute sampling and bulk graph assembly.
+    pub attach: Duration,
+}
+
+impl PhaseTimings {
+    /// Starts a timing record with all phases at zero.
+    pub fn new(generator: &'static str, edges: usize) -> Self {
+        PhaseTimings {
+            generator,
+            edges,
+            grow: Duration::ZERO,
+            inflate: Duration::ZERO,
+            attach: Duration::ZERO,
+        }
+    }
+
+    /// Sets the grow-phase duration.
+    #[must_use]
+    pub fn grow(mut self, d: Duration) -> Self {
+        self.grow = d;
+        self
+    }
+
+    /// Sets the inflate-phase duration.
+    #[must_use]
+    pub fn inflate(mut self, d: Duration) -> Self {
+        self.inflate = d;
+        self
+    }
+
+    /// Sets the attach-phase duration.
+    #[must_use]
+    pub fn attach(mut self, d: Duration) -> Self {
+        self.attach = d;
+        self
+    }
+
+    /// Total wall-clock time over all phases.
+    pub fn total(&self) -> Duration {
+        self.grow + self.inflate + self.attach
+    }
+
+    /// Throughput over the whole run (0 when the total rounds to zero).
+    pub fn edges_per_sec(&self) -> f64 {
+        let secs = self.total().as_secs_f64();
+        if secs > 0.0 {
+            self.edges as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes as a JSON object (no external deps; all fields numeric
+    /// except the generator name, which contains no escapes).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"generator\":\"{}\",\"edges\":{},\"grow_secs\":{:.6},\"inflate_secs\":{:.6},\
+             \"attach_secs\":{:.6},\"total_secs\":{:.6},\"edges_per_sec\":{:.1}}}",
+            self.generator,
+            self.edges,
+            self.grow.as_secs_f64(),
+            self.inflate.as_secs_f64(),
+            self.attach.as_secs_f64(),
+            self.total().as_secs_f64(),
+            self.edges_per_sec(),
+        )
+    }
+}
 
 /// A structural fingerprint of one graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,16 +255,51 @@ mod tests {
     }
 
     #[test]
+    fn phase_timings_totals_and_json() {
+        let t = PhaseTimings::new("pgsk", 1_000_000)
+            .grow(std::time::Duration::from_millis(250))
+            .inflate(std::time::Duration::from_millis(150))
+            .attach(std::time::Duration::from_millis(100));
+        assert_eq!(t.total(), std::time::Duration::from_millis(500));
+        assert!((t.edges_per_sec() - 2_000_000.0).abs() < 1.0);
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"generator\":\"pgsk\""));
+        assert!(json.contains("\"edges\":1000000"));
+        assert!(json.contains("\"total_secs\":0.500000"));
+    }
+
+    #[test]
+    fn timed_wrappers_match_untimed_output() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 2_000, fraction: 0.4, seed: 11 };
+        let (g, t) = crate::pgpba::pgpba_timed(&seed, &cfg);
+        let plain = crate::pgpba(&seed, &cfg);
+        assert_eq!(g.edge_count(), plain.edge_count());
+        assert_eq!(t.edges, g.edge_count());
+        assert_eq!(t.inflate, std::time::Duration::ZERO);
+
+        let pcfg = crate::PgskConfig {
+            desired_size: 1_500,
+            seed: 11,
+            kronfit_iterations: 8,
+            kronfit_permutation_samples: 200,
+        };
+        let (g, t) = crate::pgsk::pgsk_timed(&seed, &pcfg);
+        let plain = crate::pgsk(&seed, &pcfg);
+        assert_eq!(g.edge_count(), plain.edge_count());
+        assert_eq!(t.edges, g.edge_count());
+    }
+
+    #[test]
     fn pgpba_keeps_structural_gaps_moderate() {
         let seed = small_seed();
         let synth = crate::pgpba(
             &seed,
             &PgpbaConfig { desired_size: seed.edge_count() as u64 * 8, fraction: 0.2, seed: 3 },
         );
-        let gaps = structural_gaps(
-            &StructuralReport::of(&seed.graph),
-            &StructuralReport::of(&synth),
-        );
+        let gaps =
+            structural_gaps(&StructuralReport::of(&seed.graph), &StructuralReport::of(&synth));
         // The generator explicitly targets degrees; these coarse structural
         // gaps should stay bounded even for untargeted statistics.
         assert!(gaps.mean_degree < 0.8, "mean degree gap {}", gaps.mean_degree);

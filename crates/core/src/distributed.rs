@@ -20,7 +20,7 @@ use crate::seed::SeedBundle;
 use crate::topo::{attach_properties, Topology};
 use csb_engine::{JobMetrics, Pdd, ThreadPool};
 use csb_graph::NetflowGraph;
-use csb_stats::rng::rng_for;
+use csb_stats::rng::{derive_seed, rng_for};
 use rand::Rng;
 
 /// Engine-level execution settings.
@@ -56,12 +56,19 @@ pub fn pgpba_distributed(
     let mut edges = Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone());
     let mut num_vertices = seed_topo.num_vertices;
     let mut iteration = 0u64;
+    // Final-iteration clamp mirroring `pgpba_topology`: cap the sampling
+    // fraction so the expected overshoot stays within one mean degree.
+    let mean_degree = (seed.analysis.out_degree.mean() + seed.analysis.in_degree.mean()).max(1.0);
 
     while edges.count() < cfg.desired_size {
         iteration += 1;
         // Stage 1: sample fraction*|E| edges (with replacement, so
         // fraction > 1 works as in the paper's performance runs).
-        let sampled = edges.sample_with_replacement(cfg.fraction, cfg.seed ^ iteration);
+        let count = edges.count();
+        let remaining = cfg.desired_size - count;
+        let needed = (remaining as f64 / mean_degree).ceil().max(1.0);
+        let fraction = cfg.fraction.min(needed / count as f64);
+        let sampled = edges.sample_with_replacement(fraction, cfg.seed ^ iteration);
         if sampled.count() == 0 {
             continue;
         }
@@ -123,8 +130,7 @@ pub fn pgsk_distributed(
     // Fig. 3 lines 1-5 on the engine: dedup the seed's edge multiset.
     let seed_pairs: Vec<(u32, u32)> =
         seed_topo.src.iter().copied().zip(seed_topo.dst.iter().copied()).collect();
-    let simple_pdd =
-        Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone()).distinct();
+    let simple_pdd = Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone()).distinct();
     let mut simple = simple_pdd.collect();
     simple.sort_unstable();
 
@@ -134,11 +140,7 @@ pub fn pgsk_distributed(
         // Expected duplication factor matches pgsk_topology's clamp.
         let d = &seed.analysis.out_degree;
         let total: f64 = d.weights().iter().sum();
-        d.support()
-            .iter()
-            .zip(d.weights().iter())
-            .map(|(&v, &w)| v.max(1) as f64 * w)
-            .sum::<f64>()
+        d.support().iter().zip(d.weights().iter()).map(|(&v, &w)| v.max(1) as f64 * w).sum::<f64>()
             / total
     };
     let target_distinct = ((cfg.desired_size as f64 / dup.max(1.0)).ceil() as u64).max(1);
@@ -149,8 +151,7 @@ pub fn pgsk_distributed(
     // Engine-side descent + distinct, batched until the target is met
     // (the paper's "parallel implementation of the recursive descent ...
     // called until the number of generated edges is equal or greater").
-    let mut distinct: Pdd<(u64, u64)> =
-        Pdd::empty(dist.partitions, pool, metrics.clone());
+    let mut distinct: Pdd<(u64, u64)> = Pdd::empty(dist.partitions, pool, metrics.clone());
     let mut round = 0u64;
     while distinct.count() < target_distinct {
         round += 1;
@@ -160,10 +161,13 @@ pub fn pgsk_distributed(
         const CHUNK: usize = 2048;
         let chunks: Vec<usize> = (0..batch.div_ceil(CHUNK)).collect();
         let gen_seed = cfg.seed ^ (0xD15C << 8) ^ round;
-        let candidates = Pdd::from_vec(chunks, dist.partitions, pool, metrics.clone())
-            .flat_map(move |c| {
+        let candidates =
+            Pdd::from_vec(chunks, dist.partitions, pool, metrics.clone()).flat_map(move |c| {
                 let n = CHUNK.min(batch - c * CHUNK);
-                generate_edges(&initiator, k, n, gen_seed.wrapping_add(c as u64))
+                // Mixed, not added: `gen_seed + c` would let chunk c of one
+                // round replay a chunk of an adjacent round (the same replay
+                // bug `pgsk::expand` had across master seeds).
+                generate_edges(&initiator, k, n, derive_seed(gen_seed, c as u64))
             });
         distinct = distinct.union(candidates).distinct();
         assert!(round < 10_000, "distributed PGSK expansion failed to converge");
@@ -261,10 +265,7 @@ mod tests {
         let seed_counts = count(&seed_pairs);
         let out_counts = count(&out_pairs);
         for (pair, &c) in &seed_counts {
-            assert!(
-                out_counts.get(pair).copied().unwrap_or(0) >= c,
-                "seed edge {pair:?} lost"
-            );
+            assert!(out_counts.get(pair).copied().unwrap_or(0) >= c, "seed edge {pair:?} lost");
         }
     }
 

@@ -34,7 +34,8 @@ pub mod veracity;
 
 pub use analysis::{PropertyModel, SeedAnalysis};
 pub use config::{PgpbaConfig, PgskConfig};
-pub use pgpba::pgpba;
-pub use pgsk::pgsk;
+pub use diagnostics::PhaseTimings;
+pub use pgpba::{pgpba, pgpba_timed};
+pub use pgsk::{pgsk, pgsk_timed};
 pub use seed::{seed_from_packets, seed_from_trace, SeedBundle};
 pub use veracity::{degree_veracity, pagerank_veracity, VeracityScores};

@@ -15,12 +15,14 @@
 
 use crate::analysis::SeedAnalysis;
 use crate::config::PgpbaConfig;
+use crate::diagnostics::PhaseTimings;
 use crate::seed::SeedBundle;
-use crate::topo::{attach_properties, Topology};
+use crate::topo::{attach_properties, edge_windows, Topology};
 use csb_graph::NetflowGraph;
 use csb_stats::rng::rng_for;
 use rand::Rng;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// One new vertex's attachment plan, computed in parallel.
 struct Attachment {
@@ -29,13 +31,29 @@ struct Attachment {
     in_edges: u64,
 }
 
+impl Attachment {
+    /// Edges this vertex will materialize.
+    fn edge_count(&self) -> usize {
+        (self.out_edges + self.in_edges) as usize
+    }
+}
+
 /// Grows the topology only (no attributes) — shared by [`pgpba`], the
 /// distributed implementation, and the Fig. 10 no-properties benchmarks.
-pub fn pgpba_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &PgpbaConfig) -> Topology {
+pub fn pgpba_topology(
+    seed_topo: &Topology,
+    analysis: &SeedAnalysis,
+    cfg: &PgpbaConfig,
+) -> Topology {
     cfg.validate();
     assert!(seed_topo.edge_count() > 0, "PGPBA needs a non-empty seed");
     let mut topo = seed_topo.clone();
     let mut iteration = 0u64;
+    // Expected edges a new vertex contributes: used to clamp the final
+    // iteration so the overshoot past `desired_size` stays within one mean
+    // degree instead of one full iteration (with fraction >= 1 an unclamped
+    // batch can multiply the edge count several-fold past the target).
+    let mean_degree = (analysis.out_degree.mean() + analysis.in_degree.mean()).max(1.0);
 
     while (topo.edge_count() as u64) < cfg.desired_size {
         iteration += 1;
@@ -43,7 +61,9 @@ pub fn pgpba_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &Pgpba
         // uniformly (with replacement, so fraction > 1 works — the paper's
         // performance runs use fraction = 2).
         let edge_count = topo.edge_count();
-        let new_vertices = ((cfg.fraction * edge_count as f64) as usize).max(1);
+        let remaining = cfg.desired_size - edge_count as u64;
+        let needed = ((remaining as f64 / mean_degree).ceil() as usize).max(1);
+        let new_vertices = ((cfg.fraction * edge_count as f64) as usize).max(1).min(needed);
 
         let attachments: Vec<Attachment> = (0..new_vertices)
             .into_par_iter()
@@ -63,19 +83,44 @@ pub fn pgpba_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &Pgpba
             })
             .collect();
 
+        // Materialize: count per attachment, prefix-sum into disjoint output
+        // windows, write every edge in parallel. Edge order is identical to
+        // the serial push_edge loop this replaces (out-edges then in-edges,
+        // in attachment order), so outputs are bit-for-bit unchanged.
         let base = topo.num_vertices;
         topo.num_vertices += new_vertices as u32;
-        for (i, a) in attachments.iter().enumerate() {
-            let v = base + i as u32;
-            for _ in 0..a.out_edges {
-                topo.push_edge(v, a.dest);
-            }
-            for _ in 0..a.in_edges {
-                topo.push_edge(a.dest, v);
-            }
-        }
+        let counts: Vec<usize> = attachments.iter().map(Attachment::edge_count).collect();
+        let total: usize = counts.iter().sum();
+        let start = topo.src.len();
+        topo.src.resize(start + total, 0);
+        topo.dst.resize(start + total, 0);
+        let windows = edge_windows(&counts, &mut topo.src[start..], &mut topo.dst[start..]);
+        windows.into_par_iter().zip(&attachments).enumerate().for_each(
+            |(i, ((win_src, win_dst), a))| {
+                let v = base + i as u32;
+                let out = a.out_edges as usize;
+                win_src[..out].fill(v);
+                win_dst[..out].fill(a.dest);
+                win_src[out..].fill(a.dest);
+                win_dst[out..].fill(v);
+            },
+        );
     }
     topo
+}
+
+/// [`pgpba`] with per-phase wall-clock timings (grow / attach, edges/sec).
+pub fn pgpba_timed(seed: &SeedBundle, cfg: &PgpbaConfig) -> (NetflowGraph, PhaseTimings) {
+    let seed_topo = Topology::of_graph(&seed.graph);
+    let t0 = Instant::now();
+    let topo = pgpba_topology(&seed_topo, &seed.analysis, cfg);
+    let grow = t0.elapsed();
+    let seed_ips: Vec<u32> = seed.graph.vertex_data().to_vec();
+    let t1 = Instant::now();
+    let g = attach_properties(&topo, &seed.analysis.properties, &seed_ips, cfg.seed ^ 0x9E37);
+    let attach = t1.elapsed();
+    let timings = PhaseTimings::new("pgpba", g.edge_count()).grow(grow).attach(attach);
+    (g, timings)
 }
 
 /// Runs the full PGPBA generator: grow the seed to `desired_size` edges,
@@ -129,11 +174,7 @@ mod tests {
         let g = pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 0.3, seed: 1 });
         assert!(g.edge_count() as u64 >= target, "{} < {target}", g.edge_count());
         // Overshoot is bounded by one iteration's worth of growth.
-        assert!(
-            (g.edge_count() as u64) < target * 3,
-            "overshoot too large: {}",
-            g.edge_count()
-        );
+        assert!((g.edge_count() as u64) < target * 3, "overshoot too large: {}", g.edge_count());
         assert!(g.vertex_count() > seed.graph.vertex_count());
     }
 
@@ -205,9 +246,21 @@ mod tests {
     fn higher_fraction_fewer_iterations_same_size_class() {
         let seed = small_seed();
         let target = seed.edge_count() as u64 * 4;
+        // The clamp bounds the final iteration at ceil(remaining / mean_deg)
+        // vertices, each adding at most max_deg edges — so overshoot stays
+        // within this data-driven bound even at fraction = 2.0, where an
+        // unclamped batch would multiply the edge count several-fold.
+        let mean_deg = (seed.analysis.out_degree.mean() + seed.analysis.in_degree.mean()).max(1.0);
+        let max_deg = (seed.analysis.out_degree.max() + seed.analysis.in_degree.max()).max(1);
+        let bound = target + (target as f64 / mean_deg).ceil() as u64 * max_deg;
         for fraction in [0.1, 0.3, 0.6, 0.9, 2.0] {
             let g = pgpba(&seed, &PgpbaConfig { desired_size: target, fraction, seed: 2 });
             assert!(g.edge_count() as u64 >= target, "fraction {fraction}");
+            assert!(
+                (g.edge_count() as u64) <= bound,
+                "fraction {fraction}: overshoot past bound: {} > {bound}",
+                g.edge_count()
+            );
         }
     }
 }

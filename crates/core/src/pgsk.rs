@@ -14,24 +14,23 @@
 
 use crate::analysis::SeedAnalysis;
 use crate::config::PgskConfig;
+use crate::diagnostics::PhaseTimings;
 use crate::kronecker::{generate_edges, kronfit, Initiator};
 use crate::seed::SeedBundle;
-use crate::topo::{attach_properties, Topology};
+use crate::topo::{attach_properties, edge_windows, Topology};
 use csb_graph::NetflowGraph;
-use csb_stats::rng::rng_for;
+use csb_stats::rng::{derive_seed, rng_for};
 use csb_stats::EmpiricalDistribution;
+use rayon::prelude::*;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Mean of `max(sample, 1)` under a distribution — the expected duplication
 /// factor of step 4 (duplication counts are clamped to >= 1 so no distinct
 /// edge disappears).
 fn mean_duplication(d: &EmpiricalDistribution) -> f64 {
     let total: f64 = d.weights().iter().sum();
-    d.support()
-        .iter()
-        .zip(d.weights().iter())
-        .map(|(&v, &w)| v.max(1) as f64 * w)
-        .sum::<f64>()
+    d.support().iter().zip(d.weights().iter()).map(|(&v, &w)| v.max(1) as f64 * w).sum::<f64>()
         / total
 }
 
@@ -59,6 +58,15 @@ pub struct KroneckerExpansion {
     pub batches: u32,
 }
 
+/// RNG stream for descent batch `batch` under `master`.
+///
+/// Mixed through [`derive_seed`] rather than added: `master + batch` would
+/// make batch `b` of master seed `s` replay batch `b-1` of master seed
+/// `s + 1`, so adjacent seeds shared most of their expansions.
+fn batch_stream(master: u64, batch: u64) -> u64 {
+    derive_seed(master, batch)
+}
+
 /// Runs steps 1-3: fit and expand until `target_distinct` distinct edges
 /// exist (or the space is exhausted).
 pub fn expand(
@@ -84,7 +92,7 @@ pub fn expand(
         let remaining = target_distinct - distinct.len() as u64;
         // Oversample slightly: some placements collide.
         let batch = (remaining as usize * 5 / 4).max(64);
-        for e in generate_edges(&initiator, k, batch, cfg.seed.wrapping_add(batches as u64)) {
+        for e in generate_edges(&initiator, k, batch, batch_stream(cfg.seed, batches as u64)) {
             distinct.insert(e);
         }
         assert!(
@@ -98,19 +106,33 @@ pub fn expand(
     KroneckerExpansion { initiator, k, edges, batches }
 }
 
-/// Grows the topology only (steps 1-4) — shared with the distributed
-/// implementation and the no-properties benchmarks.
-pub fn pgsk_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &PgskConfig) -> Topology {
-    cfg.validate();
-    assert!(seed_topo.edge_count() > 0, "PGSK needs a non-empty seed");
+/// Steps 1-3 for a seed topology: simplify, fit, expand to the distinct-edge
+/// target implied by `desired_size` and the seed's duplication factor.
+fn expansion_for(
+    seed_topo: &Topology,
+    analysis: &SeedAnalysis,
+    cfg: &PgskConfig,
+) -> KroneckerExpansion {
     let simple = simplify(seed_topo);
     let dup = mean_duplication(&analysis.out_degree).max(1.0);
     let target_distinct = ((cfg.desired_size as f64 / dup).ceil() as u64).max(1);
-    let expansion = expand(&simple, seed_topo.num_vertices, target_distinct, cfg);
+    expand(&simple, seed_topo.num_vertices, target_distinct, cfg)
+}
 
-    // Compact vertex ids: only vertices touched by edges get ids, so the
-    // output is not dominated by the 2^k - |touched| isolated slots.
-    let mut remap: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+/// Distinct edges per deterministic RNG stream in [`inflate`].
+const INFLATE_CHUNK: usize = 4096;
+
+/// Step 4, multi-edge re-inflation: compact the Kronecker vertex slots to
+/// dense ids, sample each distinct edge's copy count, and materialize the
+/// copies through the count → prefix-sum → parallel-write scheme. Copy
+/// counts come from one deterministic RNG stream per [`INFLATE_CHUNK`]
+/// distinct edges, so the output is independent of the worker count.
+fn inflate(expansion: &KroneckerExpansion, analysis: &SeedAnalysis, cfg: &PgskConfig) -> Topology {
+    // Compact vertex ids (serial first-touch order, no RNG): only vertices
+    // touched by edges get ids, so the output is not dominated by the
+    // 2^k - |touched| isolated slots.
+    let mut remap: std::collections::HashMap<u64, u32> =
+        std::collections::HashMap::with_capacity(expansion.edges.len());
     let mut next = 0u32;
     let mut id_of = |slot: u64, remap: &mut std::collections::HashMap<u64, u32>| -> u32 {
         *remap.entry(slot).or_insert_with(|| {
@@ -119,24 +141,46 @@ pub fn pgsk_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &PgskCo
             id
         })
     };
+    let remapped: Vec<(u32, u32)> = expansion
+        .edges
+        .iter()
+        .map(|&(u, v)| {
+            let su = id_of(u, &mut remap);
+            let sv = id_of(v, &mut remap);
+            (su, sv)
+        })
+        .collect();
 
-    let mut topo = Topology::default();
-    let mut rng = rng_for(cfg.seed, 0xD0B);
-    let mut src = Vec::with_capacity(cfg.desired_size as usize);
-    let mut dst = Vec::with_capacity(cfg.desired_size as usize);
-    for &(u, v) in &expansion.edges {
-        let su = id_of(u, &mut remap);
-        let sv = id_of(v, &mut remap);
-        let copies = analysis.out_degree.sample(&mut rng).max(1);
-        for _ in 0..copies {
-            src.push(su);
-            dst.push(sv);
-        }
-    }
-    topo.num_vertices = next;
-    topo.src = src;
-    topo.dst = dst;
-    topo
+    let counts: Vec<usize> = remapped
+        .par_chunks(INFLATE_CHUNK)
+        .enumerate()
+        .flat_map_iter(|(chunk_idx, chunk)| {
+            let mut rng = rng_for(cfg.seed, 0xD0B_0000_0000 + chunk_idx as u64);
+            chunk
+                .iter()
+                .map(move |_| analysis.out_degree.sample(&mut rng).max(1) as usize)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let total: usize = counts.iter().sum();
+    let mut src = vec![0u32; total];
+    let mut dst = vec![0u32; total];
+    let windows = edge_windows(&counts, &mut src, &mut dst);
+    windows.into_par_iter().zip(&remapped).for_each(|((win_src, win_dst), &(su, sv))| {
+        win_src.fill(su);
+        win_dst.fill(sv);
+    });
+    Topology { num_vertices: next, src, dst }
+}
+
+/// Grows the topology only (steps 1-4) — shared with the distributed
+/// implementation and the no-properties benchmarks.
+pub fn pgsk_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &PgskConfig) -> Topology {
+    cfg.validate();
+    assert!(seed_topo.edge_count() > 0, "PGSK needs a non-empty seed");
+    let expansion = expansion_for(seed_topo, analysis, cfg);
+    inflate(&expansion, analysis, cfg)
 }
 
 /// Runs the full PGSK generator.
@@ -146,6 +190,25 @@ pub fn pgsk(seed: &SeedBundle, cfg: &PgskConfig) -> NetflowGraph {
     // Kronecker vertices have no correspondence with seed hosts; all get
     // synthetic addresses.
     attach_properties(&topo, &seed.analysis.properties, &[], cfg.seed ^ 0x5EED)
+}
+
+/// [`pgsk`] with per-phase wall-clock timings (grow / inflate / attach).
+pub fn pgsk_timed(seed: &SeedBundle, cfg: &PgskConfig) -> (NetflowGraph, PhaseTimings) {
+    cfg.validate();
+    let seed_topo = Topology::of_graph(&seed.graph);
+    assert!(seed_topo.edge_count() > 0, "PGSK needs a non-empty seed");
+    let t0 = Instant::now();
+    let expansion = expansion_for(&seed_topo, &seed.analysis, cfg);
+    let grow = t0.elapsed();
+    let t1 = Instant::now();
+    let topo = inflate(&expansion, &seed.analysis, cfg);
+    let inflated = t1.elapsed();
+    let t2 = Instant::now();
+    let g = attach_properties(&topo, &seed.analysis.properties, &[], cfg.seed ^ 0x5EED);
+    let attach = t2.elapsed();
+    let timings =
+        PhaseTimings::new("pgsk", g.edge_count()).grow(grow).inflate(inflated).attach(attach);
+    (g, timings)
 }
 
 #[cfg(test)]
@@ -166,12 +229,7 @@ mod tests {
     }
 
     fn fast_cfg(desired_size: u64, seed: u64) -> PgskConfig {
-        PgskConfig {
-            desired_size,
-            seed,
-            kronfit_iterations: 8,
-            kronfit_permutation_samples: 200,
-        }
+        PgskConfig { desired_size, seed, kronfit_iterations: 8, kronfit_permutation_samples: 200 }
     }
 
     #[test]
@@ -230,10 +288,23 @@ mod tests {
         for (_, s, d, _) in g.edges() {
             *pairs.entry((s.0, d.0)).or_insert(0) += 1;
         }
-        assert!(
-            pairs.values().any(|&c| c > 1),
-            "re-inflation must produce multi-edges"
-        );
+        assert!(pairs.values().any(|&c| c > 1), "re-inflation must produce multi-edges");
+    }
+
+    #[test]
+    fn adjacent_master_seeds_produce_disjoint_expansions() {
+        // Regression: the batch stream used to be `master + batch`, so batch
+        // b of master seed s replayed batch b-1 of master seed s+1 and
+        // adjacent seeds shared most of their expansion edges.
+        for s in [0u64, 9, 1234] {
+            for b in 1..6u64 {
+                assert_ne!(batch_stream(s, b), batch_stream(s + 1, b - 1));
+            }
+        }
+        let init = Initiator::classic();
+        let a = generate_edges(&init, 8, 512, batch_stream(42, 2));
+        let b = generate_edges(&init, 8, 512, batch_stream(43, 1));
+        assert_ne!(a, b, "adjacent master seeds must not replay each other's batches");
     }
 
     #[test]

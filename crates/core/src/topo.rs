@@ -53,43 +53,70 @@ impl Topology {
 /// recognizable in exports.
 pub const SYNTHETIC_IP_BASE: u32 = 0xE000_0000;
 
+/// Splits preallocated `src`/`dst` columns into disjoint per-plan windows:
+/// window `i` starts at the exclusive prefix sum of `counts[..i]` and spans
+/// `counts[i]` slots in both columns. The windows borrow disjoint regions,
+/// so callers can fill them with `into_par_iter` — this is the write side of
+/// the count → prefix-sum → parallel-write scheme both generators use.
+///
+/// # Panics
+/// Panics (debug) if `counts` does not sum to the column length.
+pub(crate) fn edge_windows<'a>(
+    counts: &[usize],
+    mut src: &'a mut [u32],
+    mut dst: &'a mut [u32],
+) -> Vec<(&'a mut [u32], &'a mut [u32])> {
+    debug_assert_eq!(counts.iter().sum::<usize>(), src.len(), "counts must cover the columns");
+    debug_assert_eq!(src.len(), dst.len());
+    let mut windows = Vec::with_capacity(counts.len());
+    for &c in counts {
+        let (s, rest_s) = src.split_at_mut(c);
+        let (d, rest_d) = dst.split_at_mut(c);
+        src = rest_s;
+        dst = rest_d;
+        windows.push((s, d));
+    }
+    windows
+}
+
+/// Number of edges per deterministic RNG stream in [`attach_properties`].
+const ATTACH_CHUNK: usize = 8192;
+
 /// Materializes a [`NetflowGraph`] from a topology by sampling every edge's
 /// attributes from the seed's [`PropertyModel`] — the `O(|E| x |properties|)`
 /// final phase both generators share.
 ///
 /// `seed_vertex_ips` supplies addresses for the first vertices (the ones
-/// inherited from the seed); the rest get synthetic addresses. Property
-/// sampling is parallelized in deterministic per-chunk RNG streams.
+/// inherited from the seed); the rest get synthetic addresses. Surplus seed
+/// IPs (callers passing more addresses than `topo.num_vertices`, e.g. a
+/// compacted Kronecker topology smaller than its seed) are ignored. Property
+/// sampling is parallelized in deterministic per-chunk RNG streams and the
+/// graph is assembled with the bulk [`NetflowGraph::from_parts`] constructor
+/// — no per-edge `add_edge` calls, no index vector.
 pub fn attach_properties(
     topo: &Topology,
     model: &PropertyModel,
     seed_vertex_ips: &[u32],
     seed: u64,
 ) -> NetflowGraph {
-    const CHUNK: usize = 8192;
     let n = topo.num_vertices as usize;
-    let mut g = NetflowGraph::with_capacity(n, topo.edge_count());
-    for v in 0..n {
-        let ip = seed_vertex_ips
-            .get(v)
-            .copied()
-            .unwrap_or_else(|| SYNTHETIC_IP_BASE + (v as u32 - seed_vertex_ips.len() as u32));
-        g.add_vertex(ip);
-    }
-    // Sample all properties in parallel, then append sequentially.
-    let props: Vec<csb_graph::EdgeProperties> = (0..topo.edge_count())
-        .collect::<Vec<_>>()
-        .par_chunks(CHUNK)
-        .enumerate()
-        .flat_map_iter(|(chunk_idx, chunk)| {
+    let edge_count = topo.edge_count();
+    let seed_n = seed_vertex_ips.len().min(n);
+    let mut ips = seed_vertex_ips[..seed_n].to_vec();
+    ips.extend((0..(n - seed_n) as u32).map(|i| SYNTHETIC_IP_BASE + i));
+    // One deterministic RNG stream per fixed-size chunk of edges: the stream
+    // layout (and thus the output) is independent of the worker count.
+    let props: Vec<csb_graph::EdgeProperties> = (0..edge_count.div_ceil(ATTACH_CHUNK))
+        .into_par_iter()
+        .flat_map_iter(|chunk_idx| {
             let mut rng = rng_for(seed, 0x9_0000_0000 + chunk_idx as u64);
-            chunk.iter().map(move |_| model.sample(&mut rng)).collect::<Vec<_>>()
+            let len = ATTACH_CHUNK.min(edge_count - chunk_idx * ATTACH_CHUNK);
+            (0..len).map(move |_| model.sample(&mut rng)).collect::<Vec<_>>()
         })
         .collect();
-    for ((&s, &d), p) in topo.src.iter().zip(topo.dst.iter()).zip(props) {
-        g.add_edge(VertexId(s), VertexId(d), p);
-    }
-    g
+    let src: Vec<VertexId> = topo.src.par_iter().map(|&s| VertexId(s)).collect();
+    let dst: Vec<VertexId> = topo.dst.par_iter().map(|&d| VertexId(d)).collect();
+    NetflowGraph::from_parts(ips, src, dst, props)
 }
 
 #[cfg(test)]
@@ -162,6 +189,36 @@ mod tests {
             assert_eq!(p.dst_port, 80);
             assert_eq!(p.in_bytes, 20);
         }
+    }
+
+    #[test]
+    fn surplus_seed_ips_are_ignored() {
+        // Regression: a compacted topology can have fewer vertices than the
+        // caller has seed IPs (e.g. distributed PGSK); the surplus must be
+        // dropped instead of wrapping the synthetic-address offset around.
+        let mut t = Topology { num_vertices: 2, src: vec![], dst: vec![] };
+        t.push_edge(0, 1);
+        let g = attach_properties(&t, &tiny_model(), &[10, 20, 30, 40, 50], 7);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(*g.vertex(VertexId(0)), 10);
+        assert_eq!(*g.vertex(VertexId(1)), 20);
+    }
+
+    #[test]
+    fn edge_windows_partition_the_columns() {
+        let counts = [2usize, 0, 3, 1];
+        let mut src = [0u32; 6];
+        let mut dst = [0u32; 6];
+        let windows = edge_windows(&counts, &mut src, &mut dst);
+        assert_eq!(windows.len(), 4);
+        for (i, (ws, wd)) in windows.into_iter().enumerate() {
+            assert_eq!(ws.len(), counts[i]);
+            assert_eq!(wd.len(), counts[i]);
+            ws.fill(i as u32);
+            wd.fill(10 + i as u32);
+        }
+        assert_eq!(src, [0, 0, 2, 2, 2, 3]);
+        assert_eq!(dst, [10, 10, 12, 12, 12, 13]);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use csb_core::pgpba::pgpba_topology;
 use csb_core::pgsk::pgsk_topology;
+use csb_core::seed::{seed_from_trace, SeedBundle};
 use csb_core::topo::Topology;
 use csb_core::{pgpba, pgsk, PgpbaConfig, PgskConfig};
-use csb_core::seed::{seed_from_trace, SeedBundle};
 use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
 use std::collections::HashSet;
 
@@ -64,10 +64,7 @@ fn pgpba_every_new_edge_touches_a_new_vertex() {
         let (src, dst) = (topo.src[i], topo.dst[i]);
         let new_src = src >= seed_vertices;
         let new_dst = dst >= seed_vertices;
-        assert!(
-            new_src ^ new_dst,
-            "edge {i} ({src},{dst}) must touch exactly one new vertex"
-        );
+        assert!(new_src ^ new_dst, "edge {i} ({src},{dst}) must touch exactly one new vertex");
     }
 }
 
@@ -97,10 +94,8 @@ fn pgsk_vertices_are_compact_and_touched() {
 #[test]
 fn generated_attribute_tuples_stay_within_seed_marginals() {
     let s = seed(7);
-    let g = pgpba(
-        &s,
-        &PgpbaConfig { desired_size: s.edge_count() as u64 * 3, fraction: 0.5, seed: 8 },
-    );
+    let g =
+        pgpba(&s, &PgpbaConfig { desired_size: s.edge_count() as u64 * 3, fraction: 0.5, seed: 8 });
     let support = |f: &dyn Fn(&csb_graph::EdgeProperties) -> u64| -> HashSet<u64> {
         s.graph.edge_data().iter().map(f).collect()
     };

@@ -1,0 +1,125 @@
+//! Golden determinism tests for the generators.
+//!
+//! Both generators promise bit-for-bit reproducibility for a fixed master
+//! seed, independent of the rayon worker count — the property the parallel
+//! materialization scheme (count → prefix-sum → parallel-write, per-chunk
+//! RNG streams) was built to preserve. These tests pin it three ways:
+//!
+//! 1. repeated same-seed runs hash identically,
+//! 2. a 1-thread pool and a 7-thread pool hash identically,
+//! 3. hashes match a snapshot file, blessed on first run and compared on
+//!    every run after (delete the snapshot to re-bless after an intentional
+//!    RNG-stream change).
+
+use csb_core::{pgpba, pgsk, seed_from_trace, PgpbaConfig, PgskConfig, SeedBundle};
+use csb_graph::NetflowGraph;
+use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use std::path::PathBuf;
+
+fn golden_seed() -> SeedBundle {
+    let trace = TrafficSim::new(TrafficSimConfig {
+        duration_secs: 15.0,
+        sessions_per_sec: 20.0,
+        seed: 1701,
+        ..TrafficSimConfig::default()
+    })
+    .generate();
+    seed_from_trace(&trace)
+}
+
+fn pgpba_cfg() -> PgpbaConfig {
+    PgpbaConfig { desired_size: 4_000, fraction: 0.5, seed: 31337 }
+}
+
+fn pgsk_cfg() -> PgskConfig {
+    PgskConfig {
+        desired_size: 3_000,
+        seed: 424242,
+        kronfit_iterations: 8,
+        kronfit_permutation_samples: 200,
+    }
+}
+
+/// FNV-1a over the full graph: vertex IPs, edge endpoints, and every
+/// property field. Any single-bit change anywhere in the output moves it.
+fn graph_fingerprint(g: &NetflowGraph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(g.vertex_count() as u64);
+    mix(g.edge_count() as u64);
+    for &ip in g.vertex_data() {
+        mix(ip as u64);
+    }
+    for (_, s, d, p) in g.edges() {
+        mix(s.0 as u64);
+        mix(d.0 as u64);
+        mix(p.protocol.number() as u64);
+        mix(p.src_port as u64);
+        mix(p.dst_port as u64);
+        mix(p.duration_ms);
+        mix(p.out_bytes);
+        mix(p.in_bytes);
+        mix(p.out_pkts);
+        mix(p.in_pkts);
+        mix(p.state.code());
+    }
+    h
+}
+
+fn fingerprints() -> (u64, u64) {
+    let seed = golden_seed();
+    let a = graph_fingerprint(&pgpba(&seed, &pgpba_cfg()));
+    let b = graph_fingerprint(&pgsk(&seed, &pgsk_cfg()));
+    (a, b)
+}
+
+#[test]
+fn repeated_runs_hash_identically() {
+    let first = fingerprints();
+    let second = fingerprints();
+    assert_eq!(first, second, "same-seed reruns must be bit-identical");
+}
+
+#[test]
+fn output_is_independent_of_worker_count() {
+    let run_with = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool")
+            .install(fingerprints)
+    };
+    let single = run_with(1);
+    let seven = run_with(7);
+    assert_eq!(single, seven, "per-chunk RNG streams must make output worker-count independent");
+}
+
+#[test]
+fn hashes_match_snapshot() {
+    let (pgpba_hash, pgsk_hash) = fingerprints();
+    let current = format!("pgpba {pgpba_hash:016x}\npgsk {pgsk_hash:016x}\n");
+    let path: PathBuf =
+        [env!("CARGO_MANIFEST_DIR"), "tests", "snapshots", "golden_hashes.txt"].iter().collect();
+    match std::fs::read_to_string(&path) {
+        Ok(blessed) => assert_eq!(
+            blessed,
+            current,
+            "generator output changed for a fixed seed; if intentional \
+             (an RNG-stream change), delete {} and rerun to re-bless",
+            path.display()
+        ),
+        Err(_) => {
+            // First run on this checkout: bless the snapshot.
+            std::fs::create_dir_all(path.parent().expect("parent")).expect("snapshot dir");
+            std::fs::write(&path, &current).expect("write snapshot");
+            eprintln!("blessed golden snapshot at {}", path.display());
+        }
+    }
+}

@@ -35,7 +35,12 @@ pub struct Pdd<T> {
 
 impl<T: Send> Pdd<T> {
     /// Distributes `data` round-robin over `partitions` partitions.
-    pub fn from_vec(data: Vec<T>, partitions: usize, pool: ThreadPool, metrics: JobMetrics) -> Self {
+    pub fn from_vec(
+        data: Vec<T>,
+        partitions: usize,
+        pool: ThreadPool,
+        metrics: JobMetrics,
+    ) -> Self {
         let nparts = partitions.max(1);
         let mut parts: Vec<Vec<T>> = (0..nparts)
             .map(|i| Vec::with_capacity(data.len() / nparts + usize::from(i == 0)))
@@ -90,9 +95,9 @@ impl<T: Send> Pdd<T> {
         F: Fn(T) -> U + Send + Sync,
     {
         let n_in = self.count();
-        let parts = self
-            .pool
-            .map_partitions(self.partitions, |_, part| part.into_iter().map(&f).collect::<Vec<U>>());
+        let parts = self.pool.map_partitions(self.partitions, |_, part| {
+            part.into_iter().map(&f).collect::<Vec<U>>()
+        });
         let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
         out.metrics.record("map", n_in, out.count(), 0);
         out
@@ -461,10 +466,7 @@ mod tests {
     #[test]
     fn map_filter_flat_map() {
         let d = pdd((0..10).collect(), 3);
-        let out = d
-            .map(|x| x * 2)
-            .filter(|&x| x % 4 == 0)
-            .flat_map(|x| vec![x, x + 1]);
+        let out = d.map(|x| x * 2).filter(|&x| x % 4 == 0).flat_map(|x| vec![x, x + 1]);
         let mut all = out.collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 4, 5, 8, 9, 12, 13, 16, 17]);
@@ -606,15 +608,7 @@ mod tests {
         );
         let mut out = left.join(right).collect();
         out.sort_unstable_by_key(|&(k, (v, w))| (k, v, w));
-        assert_eq!(
-            out,
-            vec![
-                (1, ("a", 10)),
-                (1, ("b", 10)),
-                (2, ("c", 20)),
-                (2, ("c", 21)),
-            ]
-        );
+        assert_eq!(out, vec![(1, ("a", 10)), (1, ("b", 10)), (2, ("c", 20)), (2, ("c", 21)),]);
     }
 
     #[test]

@@ -131,8 +131,8 @@ impl SimCluster {
             GenAlgorithm::Pgpba { .. } => 0.0,
         };
 
-        let barrier_secs = iterations as f64
-            * (m.barrier_base_secs + m.barrier_per_node_secs * c.nodes as f64);
+        let barrier_secs =
+            iterations as f64 * (m.barrier_base_secs + m.barrier_per_node_secs * c.nodes as f64);
 
         let total_secs = m.job_overhead_secs + compute_secs + shuffle_secs + barrier_secs;
         let memory_per_node_gb =
@@ -169,8 +169,7 @@ impl SimCluster {
         let rounds = ops.iter().filter(|o| o.shuffled > 0).count().max(1) as u32;
         let resident = ops.iter().map(|o| o.records_out).max().unwrap_or(0);
 
-        let compute_secs =
-            records as f64 * ns_per_record / 1e9 / c.effective_cores_total() as f64;
+        let compute_secs = records as f64 * ns_per_record / 1e9 / c.effective_cores_total() as f64;
         let shuffle_secs = shuffled as f64 * m.shuffle_bytes_per_record * 8.0
             / (c.nodes as f64 * c.network_gbps * 1e9);
         let barrier_secs =
@@ -259,7 +258,8 @@ mod tests {
     fn memory_flat_then_linear() {
         // Paper Fig. 11: ~constant below 1e8 edges, linear to ~300 GB at 2e10.
         let sim = SimCluster::new(ClusterConfig::shadow_ii(60), CostModel::default());
-        let mem = |e| sim.simulate(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, e)).memory_per_node_gb;
+        let mem =
+            |e| sim.simulate(&job(GenAlgorithm::Pgpba { fraction: 2.0 }, e)).memory_per_node_gb;
         assert!(mem(1_000_000) < 10.0);
         assert!((mem(100_000_000) - mem(1_000_000)) / mem(1_000_000) < 0.25);
         let big = mem(20_000_000_000);

@@ -76,11 +76,7 @@ pub fn weakly_connected_components<V, E>(g: &PropertyGraph<V, E>) -> Components 
         labels[v as usize] = id;
         sizes[id as usize] += 1;
     }
-    Components {
-        labels,
-        count: next as usize,
-        largest: sizes.iter().copied().max().unwrap_or(0),
-    }
+    Components { labels, count: next as usize, largest: sizes.iter().copied().max().unwrap_or(0) }
 }
 
 #[cfg(test)]

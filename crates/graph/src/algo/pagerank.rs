@@ -59,8 +59,7 @@ pub fn pagerank<V, E>(g: &PropertyGraph<V, E>, cfg: &PageRankConfig) -> Vec<f64>
             *slot = base + cfg.damping * gathered;
         });
 
-        let delta: f64 =
-            rank.par_iter().zip(next.par_iter()).map(|(&a, &b)| (a - b).abs()).sum();
+        let delta: f64 = rank.par_iter().zip(next.par_iter()).map(|(&a, &b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < cfg.tolerance {
             break;

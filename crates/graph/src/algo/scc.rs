@@ -91,11 +91,7 @@ pub fn strongly_connected_components<V, E>(g: &PropertyGraph<V, E>) -> Sccs {
             }
         }
     }
-    Sccs {
-        labels,
-        count: comp_count as usize,
-        largest: sizes.iter().copied().max().unwrap_or(0),
-    }
+    Sccs { labels, count: comp_count as usize, largest: sizes.iter().copied().max().unwrap_or(0) }
 }
 
 #[cfg(test)]

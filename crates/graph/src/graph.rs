@@ -63,6 +63,30 @@ impl<V, E> PropertyGraph<V, E> {
         }
     }
 
+    /// Builds a graph directly from its column arrays, validating once in
+    /// bulk instead of per-call — the allocation-lean path the generators use
+    /// to materialize millions of edges (`attach_properties` feeds buffers
+    /// produced by parallel prefix-sum writes straight into this).
+    ///
+    /// # Panics
+    /// Panics if the edge arrays disagree in length, the vertex count
+    /// exceeds `u32`, or any endpoint is out of range.
+    pub fn from_parts(
+        vertex_data: Vec<V>,
+        src: Vec<VertexId>,
+        dst: Vec<VertexId>,
+        edge_data: Vec<E>,
+    ) -> Self {
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        assert_eq!(src.len(), edge_data.len(), "edge data length mismatch");
+        let n = vertex_data.len();
+        assert!(u32::try_from(n).is_ok(), "vertex count exceeds u32");
+        let in_range = |col: &[VertexId]| col.iter().all(|v| v.index() < n);
+        assert!(in_range(&src), "edge source out of range");
+        assert!(in_range(&dst), "edge target out of range");
+        PropertyGraph { vertex_data, src, dst, edge_data }
+    }
+
     /// Adds a vertex carrying `data` and returns its id.
     pub fn add_vertex(&mut self, data: V) -> VertexId {
         let id = VertexId(u32::try_from(self.vertex_data.len()).expect("vertex count exceeds u32"));
@@ -226,10 +250,8 @@ mod tests {
     #[test]
     fn multi_edges_are_distinct() {
         let g = diamond();
-        let parallel: Vec<_> = g
-            .edges()
-            .filter(|&(_, s, t, _)| s == VertexId(0) && t == VertexId(1))
-            .collect();
+        let parallel: Vec<_> =
+            g.edges().filter(|&(_, s, t, _)| s == VertexId(0) && t == VertexId(1)).collect();
         assert_eq!(parallel.len(), 2);
         assert_ne!(parallel[0].3, parallel[1].3);
     }
@@ -258,6 +280,41 @@ mod tests {
         assert_eq!(h.edge_count(), g.edge_count());
         assert_eq!(*h.edge(EdgeId(1)), 20u64);
         assert_eq!(h.endpoints(EdgeId(1)), g.endpoints(EdgeId(1)));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let g = diamond();
+        let h: PropertyGraph<&str, u32> = PropertyGraph::from_parts(
+            g.vertex_data().to_vec(),
+            g.edge_sources().to_vec(),
+            g.edge_targets().to_vec(),
+            g.edge_data().to_vec(),
+        );
+        assert_eq!(h.vertex_count(), g.vertex_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        for (a, b) in g.edges().zip(h.edges()) {
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2, b.2);
+            assert_eq!(a.3, b.3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_dangling_edges() {
+        let _ = PropertyGraph::from_parts(
+            vec![(), ()],
+            vec![VertexId(0)],
+            vec![VertexId(7)],
+            vec![1u8],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_rejects_ragged_columns() {
+        let _ = PropertyGraph::from_parts(vec![()], vec![VertexId(0)], vec![], vec![1u8]);
     }
 
     #[test]

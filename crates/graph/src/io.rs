@@ -163,22 +163,23 @@ mod tests {
     use csb_net::flow::FlowRecord;
 
     fn sample_graph() -> NetflowGraph {
-        let mk = |src: u32, dst: u32, dport: u16, proto: Protocol, state: TcpConnState| FlowRecord {
-            src_ip: src,
-            dst_ip: dst,
-            protocol: proto,
-            src_port: 41000,
-            dst_port: dport,
-            duration_ms: 77,
-            out_bytes: 123,
-            in_bytes: 4567,
-            out_pkts: 3,
-            in_pkts: 5,
-            state,
-            syn_count: 1,
-            ack_count: 4,
-            first_ts_micros: 0,
-        };
+        let mk =
+            |src: u32, dst: u32, dport: u16, proto: Protocol, state: TcpConnState| FlowRecord {
+                src_ip: src,
+                dst_ip: dst,
+                protocol: proto,
+                src_port: 41000,
+                dst_port: dport,
+                duration_ms: 77,
+                out_bytes: 123,
+                in_bytes: 4567,
+                out_pkts: 3,
+                in_pkts: 5,
+                state,
+                syn_count: 1,
+                ack_count: 4,
+                first_ts_micros: 0,
+            };
         graph_from_flows(&[
             mk(0x0A000001, 0x0A000002, 80, Protocol::Tcp, TcpConnState::Sf),
             mk(0x0A000001, 0x0A000003, 53, Protocol::Udp, TcpConnState::Oth),

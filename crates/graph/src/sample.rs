@@ -39,11 +39,7 @@ pub fn sample_edges<V: Clone, E: Clone>(
     for &e in &kept {
         let id = crate::graph::EdgeId(e);
         let (s, d) = g.endpoints(id);
-        out.add_edge(
-            VertexId(remap[s.index()]),
-            VertexId(remap[d.index()]),
-            g.edge(id).clone(),
-        );
+        out.add_edge(VertexId(remap[s.index()]), VertexId(remap[d.index()]), g.edge(id).clone());
     }
     out
 }

@@ -43,7 +43,8 @@ fn classify_destination(ip: u32, p: &TrafficPattern, t: &Thresholds) -> Option<D
         // port criterion is read as concentration: the flood's flows pile
         // onto one port even when benign flows to other ports share the IP.
         if p.ack_syn_ratio() < t.sa_t && p.top_port_share() > 0.8 {
-            let kind = if p.n_sip as f64 > t.sip_t { AttackKind::Ddos } else { AttackKind::SynFlood };
+            let kind =
+                if p.n_sip as f64 > t.sip_t { AttackKind::Ddos } else { AttackKind::SynFlood };
             return Some(Detection { kind, ip });
         }
         // "If a small number of source IP traffic is generated and the
@@ -141,7 +142,8 @@ mod tests {
 
     #[test]
     fn detects_syn_flood() {
-        let trace = AttackInjector::new(1).syn_flood(DEFAULT_ATTACKER, VICTIM, 80, 0, 2_000_000, 500);
+        let trace =
+            AttackInjector::new(1).syn_flood(DEFAULT_ATTACKER, VICTIM, 80, 0, 2_000_000, 500);
         let det = detect(&flows_of(trace), &Thresholds::default());
         assert!(
             det.iter().any(|d| d.kind == AttackKind::SynFlood && d.ip == VICTIM),
@@ -162,7 +164,8 @@ mod tests {
 
     #[test]
     fn detects_host_scan() {
-        let trace = AttackInjector::new(3).host_scan(DEFAULT_ATTACKER, VICTIM, 0, 3_000_000, 300, 60);
+        let trace =
+            AttackInjector::new(3).host_scan(DEFAULT_ATTACKER, VICTIM, 0, 3_000_000, 300, 60);
         let det = detect(&flows_of(trace), &Thresholds::default());
         assert!(
             det.iter().any(|d| d.kind == AttackKind::HostScan && d.ip == VICTIM),
@@ -172,8 +175,14 @@ mod tests {
 
     #[test]
     fn detects_network_scan() {
-        let trace =
-            AttackInjector::new(4).network_scan(DEFAULT_ATTACKER, ip(10, 3, 0, 1), 200, 22, 0, 3_000_000);
+        let trace = AttackInjector::new(4).network_scan(
+            DEFAULT_ATTACKER,
+            ip(10, 3, 0, 1),
+            200,
+            22,
+            0,
+            3_000_000,
+        );
         let det = detect(&flows_of(trace), &Thresholds::default());
         assert!(
             det.iter().any(|d| d.kind == AttackKind::NetworkScan && d.ip == DEFAULT_ATTACKER),
@@ -183,7 +192,8 @@ mod tests {
 
     #[test]
     fn detects_icmp_flood() {
-        let trace = AttackInjector::new(5).icmp_flood(DEFAULT_ATTACKER, VICTIM, 0, 2_000_000, 5_000);
+        let trace =
+            AttackInjector::new(5).icmp_flood(DEFAULT_ATTACKER, VICTIM, 0, 2_000_000, 5_000);
         let det = detect(&flows_of(trace), &Thresholds::default());
         assert!(
             det.iter().any(|d| d.kind == AttackKind::IcmpFlood && d.ip == VICTIM),
@@ -196,9 +206,8 @@ mod tests {
         let trace = AttackInjector::new(6).udp_flood(DEFAULT_ATTACKER, VICTIM, 0, 2_000_000, 5_000);
         let det = detect(&flows_of(trace), &Thresholds::default());
         assert!(
-            det.iter().any(
-                |d| (d.kind == AttackKind::UdpFlood || d.kind == AttackKind::Ddos) && d.ip == VICTIM
-            ),
+            det.iter().any(|d| (d.kind == AttackKind::UdpFlood || d.kind == AttackKind::Ddos)
+                && d.ip == VICTIM),
             "missed UDP flood: {det:?}"
         );
     }
@@ -216,10 +225,7 @@ mod tests {
         let flows = FlowAssembler::assemble(&trace.packets);
         let trained = crate::train::train_thresholds(&flows);
         let det = detect(&flows, &trained);
-        assert!(
-            det.len() <= 2,
-            "benign traffic should raise (almost) no alarms: {det:?}"
-        );
+        assert!(det.len() <= 2, "benign traffic should raise (almost) no alarms: {det:?}");
     }
 
     #[test]

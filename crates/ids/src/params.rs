@@ -94,7 +94,10 @@ mod tests {
         let names: Vec<&str> = t.named().iter().map(|&(n, _)| n).collect();
         assert_eq!(
             names,
-            vec!["dip-T", "sip-T", "dp-LT", "dp-HT", "nf-T", "fs-LT", "fs-HT", "np-LT", "np-HT", "sa-T"]
+            vec![
+                "dip-T", "sip-T", "dp-LT", "dp-HT", "nf-T", "fs-LT", "fs-HT", "np-LT", "np-HT",
+                "sa-T"
+            ]
         );
     }
 

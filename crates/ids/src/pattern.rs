@@ -210,7 +210,10 @@ fn median(values: &mut [u64]) -> f64 {
     }
 }
 
-fn aggregate(flows: &[FlowRecord], key: impl Fn(&FlowRecord) -> u32) -> HashMap<u32, TrafficPattern> {
+fn aggregate(
+    flows: &[FlowRecord],
+    key: impl Fn(&FlowRecord) -> u32,
+) -> HashMap<u32, TrafficPattern> {
     let mut map: HashMap<u32, TrafficPattern> = HashMap::new();
     for f in flows {
         map.entry(key(f)).or_default().add(f);
@@ -272,7 +275,15 @@ mod tests {
     use super::*;
     use csb_net::flow::TcpConnState;
 
-    fn flow(src: u32, dst: u32, dport: u16, bytes: u64, pkts: u64, syn: u32, ack: u32) -> FlowRecord {
+    fn flow(
+        src: u32,
+        dst: u32,
+        dport: u16,
+        bytes: u64,
+        pkts: u64,
+        syn: u32,
+        ack: u32,
+    ) -> FlowRecord {
         FlowRecord {
             src_ip: src,
             dst_ip: dst,

@@ -130,14 +130,8 @@ mod tests {
     #[test]
     fn detects_flood_in_the_right_window() {
         // SYN flood entirely inside window 2 ([10s, 15s)).
-        let mut trace = AttackInjector::new(1).syn_flood(
-            ATTACKER,
-            VICTIM,
-            80,
-            10_500_000,
-            3_000_000,
-            2_000,
-        );
+        let mut trace =
+            AttackInjector::new(1).syn_flood(ATTACKER, VICTIM, 80, 10_500_000, 3_000_000, 2_000);
         trace.sort();
         let mut det = StreamingDetector::new(Thresholds::default(), WINDOW);
         for p in &trace.packets {

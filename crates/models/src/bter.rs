@@ -131,10 +131,7 @@ mod tests {
         let g_cl = chung_lu(&w, 2);
         let t_bter = triangles(&g_bter);
         let t_cl = triangles(&g_cl).max(1);
-        assert!(
-            t_bter > t_cl * 3,
-            "BTER triangles {t_bter} should dwarf CL {t_cl}"
-        );
+        assert!(t_bter > t_cl * 3, "BTER triangles {t_bter} should dwarf CL {t_cl}");
     }
 
     #[test]

@@ -58,8 +58,7 @@ mod tests {
         w[0] = 20.0;
         let g = chung_lu(&w, 2);
         let degrees = g.total_degrees();
-        let avg_rest: f64 =
-            degrees[1..].iter().sum::<u64>() as f64 / (degrees.len() - 1) as f64;
+        let avg_rest: f64 = degrees[1..].iter().sum::<u64>() as f64 / (degrees.len() - 1) as f64;
         let d0 = degrees[0] as f64;
         assert!(
             (5.0..20.0).contains(&(d0 / avg_rest)),

@@ -89,11 +89,7 @@ mod tests {
         let p = vec![vec![0.10, 0.005], vec![0.005, 0.10]];
         let g = sbm(&sizes, &p, 1);
         g.validate();
-        let within = g
-            .edges
-            .iter()
-            .filter(|&&(s, t)| (s < 100) == (t < 100))
-            .count();
+        let within = g.edges.iter().filter(|&&(s, t)| (s < 100) == (t < 100)).count();
         let across = g.edge_count() - within;
         assert!(within > across * 5, "within {within}, across {across}");
     }

@@ -120,11 +120,8 @@ impl FlowBuilder {
     }
 
     fn build(&self) -> FlowRecord {
-        let state = if self.protocol == Protocol::Tcp {
-            self.tcp.state()
-        } else {
-            TcpConnState::Oth
-        };
+        let state =
+            if self.protocol == Protocol::Tcp { self.tcp.state() } else { TcpConnState::Oth };
         FlowRecord {
             src_ip: self.orig_ip,
             dst_ip: self.resp_ip,
@@ -228,12 +225,8 @@ impl FlowAssembler {
     /// Closes every active stream idle for longer than the timeout.
     fn sweep_idle(&mut self) {
         let cutoff = self.now.saturating_sub(self.idle_timeout_micros);
-        let expired: Vec<FlowKey> = self
-            .active
-            .iter()
-            .filter(|(_, b)| b.last_ts < cutoff)
-            .map(|(&k, _)| k)
-            .collect();
+        let expired: Vec<FlowKey> =
+            self.active.iter().filter(|(_, b)| b.last_ts < cutoff).map(|(&k, _)| k).collect();
         for k in expired {
             let b = self.active.remove(&k).expect("key collected above");
             self.completed.push(b.build());
@@ -256,7 +249,9 @@ impl FlowAssembler {
         let mut rest: Vec<FlowRecord> = self.active.values().map(|b| b.build()).collect();
         out.append(&mut rest);
         // Deterministic order regardless of hash iteration.
-        out.sort_unstable_by_key(|f| (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port));
+        out.sort_unstable_by_key(|f| {
+            (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port)
+        });
         out
     }
 }

@@ -70,10 +70,10 @@ fn flow_to_records(f: &FlowRecord) -> Vec<V5Record> {
     // Rough TCP flag summary for the forward direction.
     let tcp_flags = if f.protocol == Protocol::Tcp {
         match f.state {
-            TcpConnState::S0 | TcpConnState::Sh => 0x02,        // SYN
-            TcpConnState::Rej => 0x06,                          // SYN|RST
-            TcpConnState::Sf => 0x13,                           // SYN|ACK|FIN
-            TcpConnState::Rsto | TcpConnState::Rstr => 0x16,    // SYN|ACK|RST
+            TcpConnState::S0 | TcpConnState::Sh => 0x02,     // SYN
+            TcpConnState::Rej => 0x06,                       // SYN|RST
+            TcpConnState::Sf => 0x13,                        // SYN|ACK|FIN
+            TcpConnState::Rsto | TcpConnState::Rstr => 0x16, // SYN|ACK|RST
             _ => 0x10,
         }
     } else {

@@ -293,15 +293,8 @@ mod tests {
 
     #[test]
     fn large_payload_survives_snaplen() {
-        let p = vec![Packet::tcp(
-            0,
-            ip(1, 1, 1, 1),
-            1,
-            ip(2, 2, 2, 2),
-            2,
-            TcpFlags::ACK,
-            1_000_000,
-        )];
+        let p =
+            vec![Packet::tcp(0, ip(1, 1, 1, 1), 1, ip(2, 2, 2, 2), 2, TcpFlags::ACK, 1_000_000)];
         let mut bytes = Vec::new();
         write_pcap(&mut bytes, &p).expect("write");
         let parsed = read_pcap(&bytes[..]).expect("read");

@@ -1,7 +1,7 @@
 //! A captured trace: time-ordered packets plus ground-truth attack labels.
 
-use crate::packet::Packet;
 use self::summaries::TraceSummary;
+use crate::packet::Packet;
 
 /// The category of an injected attack, mirroring the attack taxonomy of paper
 /// Section IV (flooding and scanning attacks).

@@ -464,18 +464,10 @@ mod tests {
         let mut inj = AttackInjector::new(7);
         let trace = inj.smurf(V, &reflectors, 0, 2_000_000, 10);
         // Replies to the victim dwarf the spoofed requests in bytes.
-        let to_victim: u64 = trace
-            .packets
-            .iter()
-            .filter(|p| p.dst_ip == V)
-            .map(|p| p.payload_len as u64)
-            .sum();
-        let from_victim: u64 = trace
-            .packets
-            .iter()
-            .filter(|p| p.src_ip == V)
-            .map(|p| p.payload_len as u64)
-            .sum();
+        let to_victim: u64 =
+            trace.packets.iter().filter(|p| p.dst_ip == V).map(|p| p.payload_len as u64).sum();
+        let from_victim: u64 =
+            trace.packets.iter().filter(|p| p.src_ip == V).map(|p| p.payload_len as u64).sum();
         assert!(to_victim > from_victim * 10, "amplification {to_victim} vs {from_victim}");
         assert_eq!(trace.labels[0].kind, AttackKind::Smurf);
         assert!(trace.packets.iter().all(|p| p.protocol == Protocol::Icmp));
@@ -487,11 +479,7 @@ mod tests {
         let mut inj = AttackInjector::new(8);
         let trace = inj.fraggle(V, &reflectors, 0, 1_000_000, 5);
         assert!(trace.packets.iter().all(|p| p.protocol == Protocol::Udp));
-        assert!(trace
-            .packets
-            .iter()
-            .filter(|p| p.dst_ip != V)
-            .all(|p| p.dst_port == 7));
+        assert!(trace.packets.iter().filter(|p| p.dst_ip != V).all(|p| p.dst_port == 7));
         assert_eq!(trace.labels[0].kind, AttackKind::Fraggle);
     }
 

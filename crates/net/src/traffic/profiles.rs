@@ -68,9 +68,9 @@ impl ProfileCatalog {
                 name: "http",
                 protocol: Protocol::Tcp,
                 port: 80,
-                request_bytes: LogNormal::new(5.8, 0.8),   // ~330 B median
-                response_bytes: LogNormal::new(8.7, 1.6),  // ~6 KB median, heavy tail
-                duration_ms: LogNormal::new(4.6, 1.2),     // ~100 ms median
+                request_bytes: LogNormal::new(5.8, 0.8), // ~330 B median
+                response_bytes: LogNormal::new(8.7, 1.6), // ~6 KB median, heavy tail
+                duration_ms: LogNormal::new(4.6, 1.2),   // ~100 ms median
                 segment_size: 1460,
                 internal: false,
             },
@@ -88,9 +88,9 @@ impl ProfileCatalog {
                 name: "dns",
                 protocol: Protocol::Udp,
                 port: 53,
-                request_bytes: LogNormal::new(3.9, 0.3),   // ~50 B
-                response_bytes: LogNormal::new(4.9, 0.5),  // ~130 B
-                duration_ms: LogNormal::new(2.3, 0.8),     // ~10 ms
+                request_bytes: LogNormal::new(3.9, 0.3), // ~50 B
+                response_bytes: LogNormal::new(4.9, 0.5), // ~130 B
+                duration_ms: LogNormal::new(2.3, 0.8),   // ~10 ms
                 segment_size: 512,
                 internal: true,
             },
@@ -110,7 +110,7 @@ impl ProfileCatalog {
                 port: 22,
                 request_bytes: LogNormal::new(7.5, 1.5),
                 response_bytes: LogNormal::new(8.0, 1.5),
-                duration_ms: LogNormal::new(9.2, 1.5),     // ~10 s median
+                duration_ms: LogNormal::new(9.2, 1.5), // ~10 s median
                 segment_size: 512,
                 internal: true,
             },
@@ -214,14 +214,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         let ftp = c.by_name("ftp-data").expect("ftp");
         let dns = c.by_name("dns").expect("dns");
-        let ftp_avg: f64 = (0..2_000)
-            .map(|_| ftp.sample_session(&mut rng).response_bytes as f64)
-            .sum::<f64>()
-            / 2_000.0;
-        let dns_avg: f64 = (0..2_000)
-            .map(|_| dns.sample_session(&mut rng).response_bytes as f64)
-            .sum::<f64>()
-            / 2_000.0;
+        let ftp_avg: f64 =
+            (0..2_000).map(|_| ftp.sample_session(&mut rng).response_bytes as f64).sum::<f64>()
+                / 2_000.0;
+        let dns_avg: f64 =
+            (0..2_000).map(|_| dns.sample_session(&mut rng).response_bytes as f64).sum::<f64>()
+                / 2_000.0;
         assert!(ftp_avg > dns_avg * 50.0, "ftp {ftp_avg} vs dns {dns_avg}");
     }
 }

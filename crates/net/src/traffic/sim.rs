@@ -243,18 +243,28 @@ pub fn emit_flow_packets(
             for _ in 0..req_pkts {
                 let chunk = remaining.min(seg as u64) as u32;
                 remaining -= chunk as u64;
-                trace
-                    .packets
-                    .push(Packet::udp(t, client, client_port, server, profile.port, chunk));
+                trace.packets.push(Packet::udp(
+                    t,
+                    client,
+                    client_port,
+                    server,
+                    profile.port,
+                    chunk,
+                ));
                 t += step;
             }
             let mut remaining = shape.response_bytes;
             for _ in 0..resp_pkts {
                 let chunk = remaining.min(seg as u64) as u32;
                 remaining -= chunk as u64;
-                trace
-                    .packets
-                    .push(Packet::udp(t, server, profile.port, client, client_port, chunk));
+                trace.packets.push(Packet::udp(
+                    t,
+                    server,
+                    profile.port,
+                    client,
+                    client_port,
+                    chunk,
+                ));
                 t += step;
             }
         }
@@ -359,20 +369,13 @@ mod tests {
         };
         let t = TrafficSim::new(cfg).generate();
         // Count TCP SYNs as session starts.
-        let starts: Vec<u64> = t
-            .packets
-            .iter()
-            .filter(|p| p.flags.is_syn_only())
-            .map(|p| p.ts_micros)
-            .collect();
+        let starts: Vec<u64> =
+            t.packets.iter().filter(|p| p.flags.is_syn_only()).map(|p| p.ts_micros).collect();
         assert!(starts.len() > 500, "need enough sessions, got {}", starts.len());
         let half = 50_000_000u64;
         let first = starts.iter().filter(|&&ts| ts < half).count();
         let second = starts.len() - first;
-        assert!(
-            first as f64 > second as f64 * 1.5,
-            "peak half {first} vs trough half {second}"
-        );
+        assert!(first as f64 > second as f64 * 1.5, "peak half {first} vs trough half {second}");
     }
 
     #[test]

@@ -50,10 +50,12 @@ impl Topology {
     /// # Panics
     /// Panics if any host class is empty.
     pub fn new(cfg: &TopologyConfig) -> Self {
-        assert!(cfg.clients > 0 && cfg.servers > 0 && cfg.externals > 0, "topology host classes must be non-empty");
-        let clients = (0..cfg.clients)
-            .map(|i| ip(10, 1, (i / 250 + 1) as u8, (i % 250 + 2) as u8))
-            .collect();
+        assert!(
+            cfg.clients > 0 && cfg.servers > 0 && cfg.externals > 0,
+            "topology host classes must be non-empty"
+        );
+        let clients =
+            (0..cfg.clients).map(|i| ip(10, 1, (i / 250 + 1) as u8, (i % 250 + 2) as u8)).collect();
         let servers = (0..cfg.servers).map(|i| ip(10, 0, 0, (i + 2) as u8)).collect();
         let externals = (0..cfg.externals)
             .map(|i| ip(203, (i / 62_500) as u8, (i / 250 % 250) as u8, (i % 250 + 1) as u8))

@@ -26,10 +26,7 @@ impl AliasTable {
     /// or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "alias table needs at least one outcome");
-        assert!(
-            weights.len() <= u32::MAX as usize,
-            "alias table limited to u32 outcome indices"
-        );
+        assert!(weights.len() <= u32::MAX as usize, "alias table limited to u32 outcome indices");
         let total: f64 = weights
             .iter()
             .map(|&w| {

@@ -86,9 +86,7 @@ mod tests {
     #[test]
     fn conditions_on_bucket() {
         // conditioner < 2 -> target 10; conditioner in [1024, 2048) -> target 99.
-        let pairs = (0..50)
-            .map(|_| (1u64, 10u64))
-            .chain((0..50).map(|_| (1500u64, 99u64)));
+        let pairs = (0..50).map(|_| (1u64, 10u64)).chain((0..50).map(|_| (1500u64, 99u64)));
         let d = ConditionalDistribution::from_pairs(pairs);
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
@@ -113,9 +111,7 @@ mod tests {
 
     #[test]
     fn marginal_mixes_all_targets() {
-        let pairs = (0..500)
-            .map(|_| (1u64, 0u64))
-            .chain((0..500).map(|_| (4096u64, 1u64)));
+        let pairs = (0..500).map(|_| (1u64, 0u64)).chain((0..500).map(|_| (4096u64, 1u64)));
         let d = ConditionalDistribution::from_pairs(pairs);
         assert!((d.marginal().pmf(0) - 0.5).abs() < 1e-12);
         assert!((d.marginal().pmf(1) - 0.5).abs() < 1e-12);

@@ -112,11 +112,7 @@ impl EmpiricalDistribution {
 
     /// Expected value.
     pub fn mean(&self) -> f64 {
-        self.values
-            .iter()
-            .zip(self.weights.iter())
-            .map(|(&v, &w)| v as f64 * w)
-            .sum::<f64>()
+        self.values.iter().zip(self.weights.iter()).map(|(&v, &w)| v as f64 * w).sum::<f64>()
             / self.total_weight
     }
 

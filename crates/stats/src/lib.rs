@@ -35,11 +35,13 @@ pub mod summary;
 pub mod veracity;
 
 pub use alias::AliasTable;
-pub use continuous::{zipf_weights, Exponential, LogNormal, Normal};
 pub use conditional::ConditionalDistribution;
+pub use continuous::{zipf_weights, Exponential, LogNormal, Normal};
 pub use empirical::EmpiricalDistribution;
 pub use histogram::{Histogram, LogHistogram};
 pub use powerlaw::PowerLaw;
 pub use reservoir::Reservoir;
 pub use summary::Summary;
-pub use veracity::{average_euclidean_distance, ks_distance, total_variation, NormalizedDistribution};
+pub use veracity::{
+    average_euclidean_distance, ks_distance, total_variation, NormalizedDistribution,
+};

@@ -22,12 +22,7 @@ impl<'g> GraphIndex<'g> {
             // First writer wins: synthetic graphs can reuse an address.
             by_ip.entry(*graph.vertex(v)).or_insert(v);
         }
-        GraphIndex {
-            graph,
-            by_ip,
-            out_csr: Csr::out_of(graph),
-            in_csr: Csr::in_of(graph),
-        }
+        GraphIndex { graph, by_ip, out_csr: Csr::out_of(graph), in_csr: Csr::in_of(graph) }
     }
 
     /// The underlying graph.
@@ -83,7 +78,11 @@ mod tests {
 
     #[test]
     fn lookup_and_degrees() {
-        let g = graph_from_flows(&[flow(10, 20, 80, 100), flow(10, 30, 443, 200), flow(20, 30, 22, 50)]);
+        let g = graph_from_flows(&[
+            flow(10, 20, 80, 100),
+            flow(10, 30, 443, 200),
+            flow(20, 30, 22, 50),
+        ]);
         let idx = GraphIndex::build(&g);
         let v10 = idx.vertex_by_ip(10).expect("host 10");
         assert_eq!(*g.vertex(v10), 10);

@@ -44,13 +44,8 @@ pub mod node {
     /// Looks up a host and profiles its connectivity. `None` if unknown.
     pub fn host_profile(idx: &GraphIndex<'_>, ip: u32) -> Option<HostProfile> {
         let v = idx.vertex_by_ip(ip)?;
-        let mut peers: Vec<u32> = idx
-            .out()
-            .neighbors(v)
-            .iter()
-            .chain(idx.in_().neighbors(v).iter())
-            .copied()
-            .collect();
+        let mut peers: Vec<u32> =
+            idx.out().neighbors(v).iter().chain(idx.in_().neighbors(v).iter()).copied().collect();
         peers.sort_unstable();
         peers.dedup();
         Some(HostProfile {
@@ -73,11 +68,7 @@ pub mod edge {
     /// Number of flows moving more than `bytes` in either direction
     /// (exfiltration-style volume scan).
     pub fn heavy_flows(idx: &GraphIndex<'_>, bytes: u64) -> usize {
-        idx.graph()
-            .edge_data()
-            .iter()
-            .filter(|p| p.in_bytes + p.out_bytes > bytes)
-            .count()
+        idx.graph().edge_data().iter().filter(|p| p.in_bytes + p.out_bytes > bytes).count()
     }
 
     /// Total bytes per protocol.

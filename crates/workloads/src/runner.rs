@@ -115,7 +115,8 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
             }
             1 => {
                 let threshold = 1u64 << (10 + i % 10);
-                edge_results += timed(&mut edge_stats, || edge::heavy_flows(&idx, threshold)) as u64;
+                edge_results +=
+                    timed(&mut edge_stats, || edge::heavy_flows(&idx, threshold)) as u64;
             }
             _ => {
                 let vols = timed(&mut edge_stats, || edge::volume_by_protocol(&idx));
@@ -152,7 +153,8 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
                     timed(&mut sub_stats, || subgraph::heavy_pairs(&idx, 1_000_000)).len() as u64;
             }
             _ => {
-                sub_results += timed(&mut sub_stats, || subgraph::top_k_talkers(&idx, 10)).len() as u64;
+                sub_results +=
+                    timed(&mut sub_stats, || subgraph::top_k_talkers(&idx, 10)).len() as u64;
             }
         }
     }

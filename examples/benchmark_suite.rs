@@ -29,11 +29,7 @@ fn main() {
     })
     .generate();
     let seed = seed_from_trace(&trace);
-    println!(
-        "seed: {} vertices / {} edges",
-        seed.graph.vertex_count(),
-        seed.graph.edge_count()
-    );
+    println!("seed: {} vertices / {} edges", seed.graph.vertex_count(), seed.graph.edge_count());
 
     // 2. Scale up 30x.
     let synth = pgpba(
@@ -53,9 +49,7 @@ fn main() {
     // 4. Query workload on all three.
     println!("\nquery workload (mean latency per family):");
     let spec = WorkloadSpec::default();
-    for (name, g) in
-        [("seed", &seed.graph), ("synthetic", &synth), ("debug slice", &debug_slice)]
-    {
+    for (name, g) in [("seed", &seed.graph), ("synthetic", &synth), ("debug slice", &debug_slice)] {
         let r = run_workload(g, &spec);
         println!(
             "  {name:>12}: node {:>7.1} us | edge {:>8.1} us | path {:>8.1} us | subgraph {:>9.1} us",

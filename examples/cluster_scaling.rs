@@ -23,8 +23,11 @@ fn main() {
     let dist = DistConfig { partitions: 8, threads: 4 };
 
     let target = seed.edge_count() as u64 * 4;
-    let (ba_topo, ba_metrics) =
-        pgpba_distributed(&seed, &PgpbaConfig { desired_size: target, fraction: 0.5, seed: 4 }, &dist);
+    let (ba_topo, ba_metrics) = pgpba_distributed(
+        &seed,
+        &PgpbaConfig { desired_size: target, fraction: 0.5, seed: 4 },
+        &dist,
+    );
     let ba_graph = materialize(&ba_topo, &seed, 5);
     println!(
         "engine PGPBA: {} edges via {} operators ({} records shuffled)",
@@ -67,8 +70,12 @@ fn main() {
         println!(
             "  {name}: {:>7.1} s total ({:.1} compute + {:.1} shuffle + {:.1} barrier), \
              {:.0} GB/node, {} iterations",
-            r.total_secs, r.compute_secs, r.shuffle_secs, r.barrier_secs,
-            r.memory_per_node_gb, r.iterations
+            r.total_secs,
+            r.compute_secs,
+            r.shuffle_secs,
+            r.barrier_secs,
+            r.memory_per_node_gb,
+            r.iterations
         );
     }
 }

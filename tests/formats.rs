@@ -2,13 +2,13 @@
 //! PCAP -> filter -> flows -> graph -> graph-text and NetFlow v5 exports,
 //! with every stage consistent with the previous one.
 
-use csb::graph::io::{read_graph, write_graph};
 use csb::graph::graph_from_flows;
+use csb::graph::io::{read_graph, write_graph};
 use csb::net::assembler::FlowAssembler;
 use csb::net::netflow_v5::{read_netflow_v5, write_netflow_v5};
 use csb::net::pcap::{read_pcap, write_pcap};
-use csb::net::Filter;
 use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use csb::net::Filter;
 
 fn capture() -> csb::net::Trace {
     TrafficSim::new(TrafficSimConfig {

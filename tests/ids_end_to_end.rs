@@ -43,15 +43,9 @@ fn detects_attacks_in_background_traffic() {
     let detections = detect(&graph_flows, &thresholds);
 
     // All three attack kinds found at the right hosts.
-    assert!(detections
-        .iter()
-        .any(|d| d.kind == AttackKind::SynFlood && d.ip == servers[0]));
-    assert!(detections
-        .iter()
-        .any(|d| d.kind == AttackKind::HostScan && d.ip == servers[1]));
-    assert!(detections
-        .iter()
-        .any(|d| d.kind == AttackKind::NetworkScan && d.ip == attacker));
+    assert!(detections.iter().any(|d| d.kind == AttackKind::SynFlood && d.ip == servers[0]));
+    assert!(detections.iter().any(|d| d.kind == AttackKind::HostScan && d.ip == servers[1]));
+    assert!(detections.iter().any(|d| d.kind == AttackKind::NetworkScan && d.ip == attacker));
 
     // Reasonable aggregate quality: perfect recall, few false alarms.
     let report = evaluate(&detections, &trace.labels);

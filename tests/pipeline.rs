@@ -89,10 +89,7 @@ fn veracity_decreases_with_size_for_both_generators() {
             csb::gen::degree_veracity(&seed.graph, &g)
         })
         .collect();
-    assert!(
-        sk_scores[0] > sk_scores[2],
-        "PGSK scores not decreasing overall: {sk_scores:?}"
-    );
+    assert!(sk_scores[0] > sk_scores[2], "PGSK scores not decreasing overall: {sk_scores:?}");
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Workspace-level property-based tests (proptest) on the core invariants
 //! that span crates.
 
-use csb::graph::graph::{PropertyGraph, VertexId};
 use csb::graph::algo::pagerank::{pagerank, PageRankConfig};
+use csb::graph::graph::{PropertyGraph, VertexId};
 use csb::graph::Csr;
 use csb::net::assembler::FlowAssembler;
 use csb::net::packet::{Packet, TcpFlags};

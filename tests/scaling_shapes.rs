@@ -29,10 +29,7 @@ fn fig8_shape_monotone_then_flat_at_twelve_cores() {
         assert!(tp[i] > tp[i - 1], "throughput must rise through 12 cores");
     }
     for i in 12..20 {
-        assert!(
-            (tp[i] - tp[11]).abs() / tp[11] < 1e-9,
-            "throughput must plateau beyond 12 cores"
-        );
+        assert!((tp[i] - tp[11]).abs() / tp[11] < 1e-9, "throughput must plateau beyond 12 cores");
     }
 }
 
@@ -83,7 +80,9 @@ fn fig11_shape_flat_below_1e8_then_linear() {
 fn fig12_shape_pgpba_dominates_and_both_scale() {
     let model = CostModel::default();
     let time = |alg, edges, nodes| {
-        SimCluster::new(ClusterConfig::shadow_ii(nodes), model).simulate(&job(alg, edges)).total_secs
+        SimCluster::new(ClusterConfig::shadow_ii(nodes), model)
+            .simulate(&job(alg, edges))
+            .total_secs
     };
     let ba10 = time(pgpba(), 9_600_000_000, 10);
     let sk10 = time(GenAlgorithm::Pgsk, 6_000_000_000, 10);
