@@ -8,6 +8,8 @@ use csb_bench::{attach_serial_reference, eng, scale, standard_seed, Table};
 use csb_core::pgpba::pgpba_topology;
 use csb_core::topo::{attach_properties, Topology};
 use csb_core::{pgpba_timed, pgsk_timed, PgpbaConfig, PgskConfig, PhaseTimings};
+use csb_obs::json::JsonObject;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn timing_row(table: &mut Table, t: &PhaseTimings) {
@@ -23,6 +25,10 @@ fn timing_row(table: &mut Table, t: &PhaseTimings) {
 }
 
 fn main() {
+    // Collect spans over the whole harness so the JSON carries a per-phase
+    // breakdown alongside the wall-clock PhaseTimings.
+    csb_obs::reset();
+    csb_obs::enable();
     let seed = standard_seed();
     let target = (1_000_000.0 * scale()) as u64;
     let pgpba_cfg = PgpbaConfig { desired_size: target, fraction: 1.0, seed: 7 };
@@ -67,16 +73,39 @@ fn main() {
         rayon::current_num_threads(),
     );
 
-    let json = format!(
-        "{{\"bench\":\"materialize\",\"status\":\"measured\",\"scale\":{},\"threads\":{},\
-         \"pgpba\":{},\"pgsk\":{},\"attach_edges\":{},\"attach_serial_secs\":{serial_secs:.6},\
-         \"attach_parallel_secs\":{parallel_secs:.6},\"attach_speedup\":{speedup:.2}}}\n",
-        scale(),
-        rayon::current_num_threads(),
-        pgpba_t.to_json(),
-        pgsk_t.to_json(),
-        topo.edge_count(),
-    );
+    csb_obs::disable();
+    // Aggregate the collected spans per name: count + total busy time.
+    let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for s in csb_obs::flush_spans() {
+        let e = agg.entry(s.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.dur_micros;
+    }
+    let mut spans = JsonObject::new();
+    for (name, (count, total_micros)) in agg {
+        let mut o = JsonObject::new();
+        o.u64("count", count).u64("total_micros", total_micros);
+        spans.raw(name, &o.finish());
+    }
+
+    // See the `BENCH_materialize.json` schema note in crates/bench/src/lib.rs.
+    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".to_string());
+    let mut root = JsonObject::new();
+    root.str("bench", "materialize")
+        .str("status", "measured")
+        .f64("scale", scale(), 3)
+        .u64("threads", rayon::current_num_threads() as u64)
+        .str("os", std::env::consts::OS)
+        .str("git_rev", &git_rev)
+        .raw("pgpba", &pgpba_t.to_json())
+        .raw("pgsk", &pgsk_t.to_json())
+        .u64("attach_edges", topo.edge_count() as u64)
+        .f64("attach_serial_secs", serial_secs, 6)
+        .f64("attach_parallel_secs", parallel_secs, 6)
+        .f64("attach_speedup", speedup, 2)
+        .raw("spans", &spans.finish());
+    let mut json = root.finish();
+    json.push('\n');
     std::fs::write("BENCH_materialize.json", &json).expect("write BENCH_materialize.json");
     println!("wrote BENCH_materialize.json");
 }

@@ -10,6 +10,27 @@
 //! `CSB_SCALE` environment variable multiplies the default workload) and use
 //! the calibrated simulated cluster for paper-scale cluster axes, as
 //! documented in DESIGN.md.
+//!
+//! ## `BENCH_materialize.json` schema
+//!
+//! One object per run, written by `bench_materialize` through the shared
+//! `csb-obs` JSON writer:
+//!
+//! ```text
+//! { "bench":"materialize", "status":"measured", "scale":F,
+//!   "threads":N, "os":S, "git_rev":S,
+//!   "pgpba":PhaseTimings, "pgsk":PhaseTimings,
+//!   "attach_edges":N, "attach_serial_secs":F, "attach_parallel_secs":F,
+//!   "attach_speedup":F,
+//!   "spans": { name: {"count":N, "total_micros":N}, ... } }
+//! ```
+//!
+//! `PhaseTimings` is [`csb_core::PhaseTimings::to_json`]; `spans` aggregates
+//! the csb-obs span stream per name. Provenance fields are best-effort:
+//! `threads` is the rayon pool width, `os` is `std::env::consts::OS`, and
+//! `git_rev` is stamped from the `GIT_REV` environment variable (set by CI);
+//! `"unknown"` is a deliberate placeholder when the variable is absent, so
+//! locally produced files are recognizable as unprovenanced.
 
 use csb_core::seed::{seed_from_trace, SeedBundle};
 use csb_core::topo::{Topology, SYNTHETIC_IP_BASE};

@@ -113,7 +113,24 @@ fn seed(args: &Args) -> Result<()> {
 }
 
 fn generate(args: &Args) -> Result<()> {
-    args.expect_only(&["seed-graph", "algorithm", "size", "out", "fraction", "seed"])?;
+    args.expect_only(&[
+        "seed-graph",
+        "algorithm",
+        "size",
+        "out",
+        "fraction",
+        "seed",
+        "trace-out",
+        "metrics-out",
+    ])?;
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
+    // Instrumentation is collected only when an export was requested; the
+    // disabled path is a single relaxed atomic load per probe.
+    if trace_out.is_some() || metrics_out.is_some() {
+        csb_obs::reset();
+        csb_obs::enable();
+    }
     let bundle = load_seed(args.require("seed-graph")?)?;
     let size: u64 = args.require_parsed("size")?;
     let out = args.require("out")?;
@@ -127,6 +144,17 @@ fn generate(args: &Args) -> Result<()> {
         other => return Err(Box::new(ArgError(format!("unknown algorithm {other}")))),
     };
     write_graph(File::create(out)?, &graph)?;
+    if trace_out.is_some() || metrics_out.is_some() {
+        csb_obs::disable();
+        if let Some(path) = trace_out {
+            csb_obs::export::write_chrome_trace(path)?;
+            println!("wrote Chrome trace to {path} (load at https://ui.perfetto.dev)");
+        }
+        if let Some(path) = metrics_out {
+            csb_obs::export::write_metrics_summary(path)?;
+            println!("wrote metrics summary to {path}");
+        }
+    }
     println!(
         "generated {out}: {} vertices, {} edges (target {size})",
         graph.vertex_count(),
@@ -320,6 +348,48 @@ mod tests {
         // Generated artifacts exist and round-trip.
         let g = load_graph(&synth_path).expect("load synth");
         assert!(g.edge_count() >= 2000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_writes_trace_and_metrics() {
+        let _guard = csb_obs::span::test_lock();
+        let dir = std::env::temp_dir().join(format!("csb-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let synth_path = dir.join("synth.graph").to_string_lossy().into_owned();
+        let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+        let metrics_path = dir.join("metrics.json").to_string_lossy().into_owned();
+
+        run(&args(&["simulate", "--out", &pcap, "--duration", "8", "--rate", "15"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "2000",
+            "--out",
+            &synth_path,
+            "--trace-out",
+            &trace_path,
+            "--metrics-out",
+            &metrics_path,
+        ]))
+        .expect("generate with exports");
+
+        let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+        csb_obs::json::validate_json(&trace).expect("trace is valid JSON");
+        assert!(trace.contains("\"name\":\"pgpba.grow\""), "grow span present");
+        assert!(trace.contains("\"name\":\"attach\""), "attach span present");
+        assert!(trace.contains("\"name\":\"attach.chunk\""), "per-worker spans present");
+        let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+        csb_obs::json::validate_json(&metrics).expect("metrics are valid JSON");
+        assert!(metrics.contains("\"attach.edges\""), "attach counter exported");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,6 +24,9 @@ COMMANDS:
     generate     Grow a synthetic property-graph from a seed graph
                  --seed-graph FILE --algorithm pgpba|pgsk --size EDGES
                  --out FILE [--fraction F=0.1] [--seed N=42]
+                 [--trace-out FILE] [--metrics-out FILE]
+                 (trace-out writes a Chrome trace-event JSON for Perfetto;
+                 metrics-out writes the csb-obs counter/histogram summary)
     veracity     Score a synthetic graph against its seed
                  --seed-graph FILE --synthetic FILE
     detect       Run the NetFlow anomaly detector over a capture
@@ -35,6 +38,9 @@ COMMANDS:
     cluster-sim  Project a generation job onto the simulated Shadow II cluster
                  --algorithm pgpba|pgsk --edges N [--nodes N=60]
                  [--fraction F=2] [--seed-edges N=1940814]
+
+Set CSB_LOG=warn|info|debug for leveled diagnostics on stderr (silent when
+unset).
 
 Run `csb <COMMAND>` with missing flags to see what is required.
 ";

@@ -81,20 +81,19 @@ impl PhaseTimings {
         }
     }
 
-    /// Serializes as a JSON object (no external deps; all fields numeric
-    /// except the generator name, which contains no escapes).
+    /// Serializes as a JSON object through the shared `csb-obs` writer
+    /// (field names and numeric formatting are part of the
+    /// `BENCH_*.json` schema — see `csb-bench`).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"generator\":\"{}\",\"edges\":{},\"grow_secs\":{:.6},\"inflate_secs\":{:.6},\
-             \"attach_secs\":{:.6},\"total_secs\":{:.6},\"edges_per_sec\":{:.1}}}",
-            self.generator,
-            self.edges,
-            self.grow.as_secs_f64(),
-            self.inflate.as_secs_f64(),
-            self.attach.as_secs_f64(),
-            self.total().as_secs_f64(),
-            self.edges_per_sec(),
-        )
+        let mut o = csb_obs::json::JsonObject::new();
+        o.str("generator", self.generator)
+            .u64("edges", self.edges as u64)
+            .f64("grow_secs", self.grow.as_secs_f64(), 6)
+            .f64("inflate_secs", self.inflate.as_secs_f64(), 6)
+            .f64("attach_secs", self.attach.as_secs_f64(), 6)
+            .f64("total_secs", self.total().as_secs_f64(), 6)
+            .f64("edges_per_sec", self.edges_per_sec(), 1);
+        o.finish()
     }
 }
 
@@ -263,6 +262,7 @@ mod tests {
         assert_eq!(t.total(), std::time::Duration::from_millis(500));
         assert!((t.edges_per_sec() - 2_000_000.0).abs() < 1.0);
         let json = t.to_json();
+        csb_obs::json::validate_json(&json).expect("PhaseTimings::to_json must be valid JSON");
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"generator\":\"pgsk\""));
         assert!(json.contains("\"edges\":1000000"));

@@ -47,6 +47,13 @@ pub fn pgpba_distributed(
     dist: &DistConfig,
 ) -> (Topology, JobMetrics) {
     cfg.validate();
+    let _span = csb_obs::span_cat("pgpba.distributed", "engine");
+    csb_obs::obs_info!(
+        "distributed PGPBA: target {} edges on {} partitions / {} threads",
+        cfg.desired_size,
+        dist.partitions,
+        dist.threads
+    );
     let metrics = JobMetrics::new();
     let pool = ThreadPool::new(dist.threads);
     let seed_topo = Topology::of_graph(&seed.graph);
@@ -105,6 +112,7 @@ pub fn pgpba_distributed(
             out
         });
         edges = edges.union(new_edges);
+        csb_obs::obs_debug!("distributed PGPBA iteration {iteration}: {} edges", edges.count());
     }
 
     let pairs = edges.collect();
@@ -123,6 +131,13 @@ pub fn pgsk_distributed(
     dist: &DistConfig,
 ) -> (Topology, JobMetrics) {
     cfg.validate();
+    let _span = csb_obs::span_cat("pgsk.distributed", "engine");
+    csb_obs::obs_info!(
+        "distributed PGSK: target {} edges on {} partitions / {} threads",
+        cfg.desired_size,
+        dist.partitions,
+        dist.threads
+    );
     let metrics = JobMetrics::new();
     let pool = ThreadPool::new(dist.threads);
     let seed_topo = Topology::of_graph(&seed.graph);
@@ -170,6 +185,10 @@ pub fn pgsk_distributed(
                 generate_edges(&initiator, k, n, derive_seed(gen_seed, c as u64))
             });
         distinct = distinct.union(candidates).distinct();
+        csb_obs::obs_debug!(
+            "distributed PGSK round {round}: {} of {target_distinct} distinct edges",
+            distinct.count()
+        );
         assert!(round < 10_000, "distributed PGSK expansion failed to converge");
     }
 

@@ -47,6 +47,7 @@ pub fn pgpba_topology(
 ) -> Topology {
     cfg.validate();
     assert!(seed_topo.edge_count() > 0, "PGPBA needs a non-empty seed");
+    let _grow = csb_obs::span_cat("pgpba.grow", "gen");
     let mut topo = seed_topo.clone();
     let mut iteration = 0u64;
     // Expected edges a new vertex contributes: used to clamp the final
@@ -87,6 +88,7 @@ pub fn pgpba_topology(
         // windows, write every edge in parallel. Edge order is identical to
         // the serial push_edge loop this replaces (out-edges then in-edges,
         // in attachment order), so outputs are bit-for-bit unchanged.
+        let _mat = csb_obs::span_cat("pgpba.materialize", "gen");
         let base = topo.num_vertices;
         topo.num_vertices += new_vertices as u32;
         let counts: Vec<usize> = attachments.iter().map(Attachment::edge_count).collect();
@@ -104,6 +106,15 @@ pub fn pgpba_topology(
                 win_src[out..].fill(a.dest);
                 win_dst[out..].fill(v);
             },
+        );
+        drop(_mat);
+        csb_obs::counter_add("pgpba.iterations", 1);
+        csb_obs::counter_add("pgpba.edges_materialized", total as u64);
+        csb_obs::histogram_record("pgpba.batch_vertices", new_vertices as u64);
+        csb_obs::obs_debug!(
+            "pgpba iteration {iteration}: +{new_vertices} vertices, +{total} edges \
+             ({} total)",
+            topo.edge_count()
         );
     }
     topo

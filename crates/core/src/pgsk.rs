@@ -113,10 +113,20 @@ fn expansion_for(
     analysis: &SeedAnalysis,
     cfg: &PgskConfig,
 ) -> KroneckerExpansion {
+    let _grow = csb_obs::span_cat("pgsk.grow", "gen");
     let simple = simplify(seed_topo);
     let dup = mean_duplication(&analysis.out_degree).max(1.0);
     let target_distinct = ((cfg.desired_size as f64 / dup).ceil() as u64).max(1);
-    expand(&simple, seed_topo.num_vertices, target_distinct, cfg)
+    let expansion = expand(&simple, seed_topo.num_vertices, target_distinct, cfg);
+    csb_obs::counter_add("pgsk.expansion_batches", expansion.batches as u64);
+    csb_obs::counter_add("pgsk.distinct_edges", expansion.edges.len() as u64);
+    csb_obs::obs_debug!(
+        "pgsk expansion: k={}, {} distinct edges in {} batches",
+        expansion.k,
+        expansion.edges.len(),
+        expansion.batches
+    );
+    expansion
 }
 
 /// Distinct edges per deterministic RNG stream in [`inflate`].
@@ -128,6 +138,7 @@ const INFLATE_CHUNK: usize = 4096;
 /// counts come from one deterministic RNG stream per [`INFLATE_CHUNK`]
 /// distinct edges, so the output is independent of the worker count.
 fn inflate(expansion: &KroneckerExpansion, analysis: &SeedAnalysis, cfg: &PgskConfig) -> Topology {
+    let _inflate = csb_obs::span_cat("pgsk.inflate", "gen");
     // Compact vertex ids (serial first-touch order, no RNG): only vertices
     // touched by edges get ids, so the output is not dominated by the
     // 2^k - |touched| isolated slots.
@@ -171,6 +182,7 @@ fn inflate(expansion: &KroneckerExpansion, analysis: &SeedAnalysis, cfg: &PgskCo
         win_src.fill(su);
         win_dst.fill(sv);
     });
+    csb_obs::counter_add("pgsk.edges_inflated", total as u64);
     Topology { num_vertices: next, src, dst }
 }
 

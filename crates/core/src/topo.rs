@@ -99,16 +99,20 @@ pub fn attach_properties(
     seed_vertex_ips: &[u32],
     seed: u64,
 ) -> NetflowGraph {
+    let _attach = csb_obs::span_cat("attach", "gen");
     let n = topo.num_vertices as usize;
     let edge_count = topo.edge_count();
     let seed_n = seed_vertex_ips.len().min(n);
     let mut ips = seed_vertex_ips[..seed_n].to_vec();
     ips.extend((0..(n - seed_n) as u32).map(|i| SYNTHETIC_IP_BASE + i));
     // One deterministic RNG stream per fixed-size chunk of edges: the stream
-    // layout (and thus the output) is independent of the worker count.
+    // layout (and thus the output) is independent of the worker count. Each
+    // chunk opens its own span on whichever worker thread runs it, so the
+    // trace shows the materialization fan-out per worker.
     let props: Vec<csb_graph::EdgeProperties> = (0..edge_count.div_ceil(ATTACH_CHUNK))
         .into_par_iter()
         .flat_map_iter(|chunk_idx| {
+            let _chunk = csb_obs::span_cat("attach.chunk", "gen");
             let mut rng = rng_for(seed, 0x9_0000_0000 + chunk_idx as u64);
             let len = ATTACH_CHUNK.min(edge_count - chunk_idx * ATTACH_CHUNK);
             (0..len).map(move |_| model.sample(&mut rng)).collect::<Vec<_>>()
@@ -116,6 +120,7 @@ pub fn attach_properties(
         .collect();
     let src: Vec<VertexId> = topo.src.par_iter().map(|&s| VertexId(s)).collect();
     let dst: Vec<VertexId> = topo.dst.par_iter().map(|&d| VertexId(d)).collect();
+    csb_obs::counter_add("attach.edges", edge_count as u64);
     NetflowGraph::from_parts(ips, src, dst, props)
 }
 

@@ -1,0 +1,117 @@
+//! Instrumentation must be a pure observer: collecting spans/counters may
+//! never perturb generator output (the probes touch no RNG stream), and a
+//! disabled collector must cost no more than a relaxed atomic load per site.
+
+use csb_core::{pgpba, pgpba_timed, pgsk, seed_from_trace, PgpbaConfig, PgskConfig, SeedBundle};
+use csb_graph::NetflowGraph;
+use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use std::time::{Duration, Instant};
+
+fn small_seed() -> SeedBundle {
+    let trace = TrafficSim::new(TrafficSimConfig {
+        duration_secs: 12.0,
+        sessions_per_sec: 18.0,
+        seed: 2024,
+        ..TrafficSimConfig::default()
+    })
+    .generate();
+    seed_from_trace(&trace)
+}
+
+fn pgpba_cfg() -> PgpbaConfig {
+    PgpbaConfig { desired_size: 4_000, fraction: 0.5, seed: 97 }
+}
+
+/// FNV-1a over vertices, endpoints, and every property field.
+fn fingerprint(g: &NetflowGraph) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(g.vertex_count() as u64);
+    for &ip in g.vertex_data() {
+        mix(ip as u64);
+    }
+    for (_, s, d, p) in g.edges() {
+        mix(s.0 as u64);
+        mix(d.0 as u64);
+        mix(p.src_port as u64);
+        mix(p.dst_port as u64);
+        mix(p.out_bytes);
+        mix(p.in_bytes);
+        mix(p.duration_ms);
+    }
+    h
+}
+
+#[test]
+fn instrumented_output_is_bit_identical_to_uninstrumented() {
+    let _guard = csb_obs::span::test_lock();
+    let seed = small_seed();
+    let pgsk_cfg = PgskConfig {
+        desired_size: 3_000,
+        seed: 11,
+        kronfit_iterations: 8,
+        kronfit_permutation_samples: 200,
+    };
+
+    csb_obs::reset();
+    csb_obs::disable();
+    let off = (fingerprint(&pgpba(&seed, &pgpba_cfg())), fingerprint(&pgsk(&seed, &pgsk_cfg)));
+    assert!(csb_obs::flush_spans().is_empty(), "disabled collector must record nothing");
+
+    csb_obs::enable();
+    let on = (fingerprint(&pgpba(&seed, &pgpba_cfg())), fingerprint(&pgsk(&seed, &pgsk_cfg)));
+    let spans = csb_obs::flush_spans();
+    csb_obs::disable();
+    csb_obs::reset();
+
+    assert_eq!(off, on, "collector state must not change generator output");
+    assert!(spans.iter().any(|s| s.name == "pgpba.grow"), "grow span collected");
+    assert!(spans.iter().any(|s| s.name == "attach"), "attach span collected");
+    assert!(spans.iter().any(|s| s.name == "attach.chunk"), "per-worker spans collected");
+}
+
+#[test]
+fn disabled_collector_overhead_smoke() {
+    let _guard = csb_obs::span::test_lock();
+    let seed = small_seed();
+    let cfg = pgpba_cfg();
+    let best_of = |runs: usize, f: &dyn Fn()| {
+        let mut best = Duration::MAX;
+        for _ in 0..runs {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed());
+        }
+        best
+    };
+
+    csb_obs::reset();
+    csb_obs::disable();
+    let disabled = best_of(3, &|| {
+        let (g, t) = pgpba_timed(&seed, &cfg);
+        assert!(g.edge_count() >= 4_000);
+        assert!(t.total() > Duration::ZERO);
+    });
+    assert!(csb_obs::flush_spans().is_empty());
+
+    csb_obs::enable();
+    let enabled = best_of(3, &|| {
+        let (g, _) = pgpba_timed(&seed, &cfg);
+        assert!(g.edge_count() >= 4_000);
+    });
+    csb_obs::disable();
+    csb_obs::reset();
+
+    // Smoke bound, deliberately loose for CI noise: the disabled path (one
+    // relaxed load per probe) must not be meaningfully slower than the
+    // enabled path, which does strictly more work. The tight <2% bound is
+    // checked on the criterion `materialize` bench, not here.
+    assert!(
+        disabled < enabled * 2 + Duration::from_millis(250),
+        "disabled collector should be at least as fast: disabled {disabled:?} vs enabled {enabled:?}"
+    );
+}

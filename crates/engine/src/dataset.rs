@@ -296,7 +296,9 @@ impl<T: Send + Hash + Eq + Clone> Pdd<T> {
             out
         });
         let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
-        out.metrics.record("distinct", n_in, out.count(), shuffled);
+        let n_out = out.count();
+        out.metrics.record("distinct", n_in, n_out, shuffled);
+        csb_obs::obs_debug!("distinct: {n_in} in, {n_out} out, {shuffled} shuffled");
         out
     }
 }
@@ -361,7 +363,9 @@ where
             acc.into_iter().collect::<Vec<(K, Vec<V>)>>()
         });
         let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
-        out.metrics.record("group_by_key", n_in, out.count(), shuffled);
+        let n_out = out.count();
+        out.metrics.record("group_by_key", n_in, n_out, shuffled);
+        csb_obs::obs_debug!("group_by_key: {n_in} in, {n_out} keys, {shuffled} shuffled");
         out
     }
 
@@ -440,7 +444,9 @@ where
             acc.into_iter().collect::<Vec<(K, V)>>()
         });
         let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
-        out.metrics.record("reduce_by_key", n_in, out.count(), shuffled);
+        let n_out = out.count();
+        out.metrics.record("reduce_by_key", n_in, n_out, shuffled);
+        csb_obs::obs_debug!("reduce_by_key: {n_in} in, {n_out} keys, {shuffled} shuffled");
         out
     }
 }

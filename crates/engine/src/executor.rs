@@ -40,10 +40,12 @@ impl ThreadPool {
         if partitions.is_empty() {
             return;
         }
+        let _job = csb_obs::span_cat("engine.for_each_partition", "engine");
         let n = partitions.len();
         let workers = self.threads.min(n);
         if workers <= 1 {
             for (i, p) in partitions.iter_mut().enumerate() {
+                let _part = csb_obs::span_cat("engine.partition", "engine");
                 f(i, p);
             }
             return;
@@ -64,6 +66,9 @@ impl ThreadPool {
                     // element; the scope guarantees the slice outlives the
                     // workers.
                     let item = unsafe { &mut *(base as *mut T).add(i) };
+                    // Per-partition span on the claiming worker's thread, so
+                    // a trace shows how partitions spread over the pool.
+                    let _part = csb_obs::span_cat("engine.partition", "engine");
                     f(i, item);
                 });
             }

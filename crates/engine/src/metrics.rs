@@ -35,8 +35,18 @@ impl JobMetrics {
     }
 
     /// Records one operator's counts.
+    ///
+    /// Besides the per-operator log consumed by the cluster cost model, the
+    /// aggregate totals are mirrored into the shared `csb-obs` registry
+    /// (`engine.ops` / `engine.records_in` / `engine.records_out` /
+    /// `engine.shuffled`), so `--metrics-out` exports engine work alongside
+    /// generator counters.
     pub fn record(&self, op: &'static str, records_in: u64, records_out: u64, shuffled: u64) {
         self.inner.lock().push(OpMetrics { op, records_in, records_out, shuffled });
+        csb_obs::counter_add("engine.ops", 1);
+        csb_obs::counter_add("engine.records_in", records_in);
+        csb_obs::counter_add("engine.records_out", records_out);
+        csb_obs::counter_add("engine.shuffled", shuffled);
     }
 
     /// Snapshot of all operator records so far.

@@ -107,6 +107,7 @@ impl SimCluster {
 
     /// Simulates one generation job.
     pub fn simulate(&self, job: &GenJob) -> SimReport {
+        let _span = csb_obs::span_cat("sim.simulate", "engine");
         let m = &self.model;
         let c = &self.cluster;
         let e = job.edges as f64;
@@ -137,6 +138,12 @@ impl SimCluster {
         let total_secs = m.job_overhead_secs + compute_secs + shuffle_secs + barrier_secs;
         let memory_per_node_gb =
             m.platform_memory_gb + e * m.memory_bytes_per_edge / c.nodes as f64 / 1e9;
+        csb_obs::obs_debug!(
+            "simulated {:?} at {} edges on {} nodes: {total_secs:.1}s, {iterations} iterations",
+            job.algorithm,
+            job.edges,
+            c.nodes
+        );
 
         SimReport {
             total_secs,
@@ -161,6 +168,7 @@ impl SimCluster {
     /// projections: run the distributed generator small, then ask "what
     /// would this dataflow cost on Shadow II".
     pub fn estimate_from_metrics(&self, metrics: &JobMetrics, ns_per_record: f64) -> SimReport {
+        let _span = csb_obs::span_cat("sim.estimate_from_metrics", "engine");
         let m = &self.model;
         let c = &self.cluster;
         let ops = metrics.ops();

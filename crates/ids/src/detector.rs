@@ -106,6 +106,7 @@ fn classify_source(ip: u32, p: &TrafficPattern, t: &Thresholds) -> Option<Detect
 /// assert!(alarms.iter().any(|d| d.kind == AttackKind::SynFlood));
 /// ```
 pub fn detect(flows: &[FlowRecord], thresholds: &Thresholds) -> Vec<Detection> {
+    let _span = csb_obs::span_cat("ids.detect", "ids");
     thresholds.validate();
     let mut out = Vec::new();
     let mut dst: Vec<(u32, TrafficPattern)> = destination_patterns(flows).into_iter().collect();
@@ -122,6 +123,9 @@ pub fn detect(flows: &[FlowRecord], thresholds: &Thresholds) -> Vec<Detection> {
             out.push(d);
         }
     }
+    csb_obs::counter_add("ids.flows_scanned", flows.len() as u64);
+    csb_obs::counter_add("ids.detections", out.len() as u64);
+    csb_obs::obs_debug!("ids: {} detections over {} flows", out.len(), flows.len());
     out
 }
 

@@ -73,10 +73,12 @@ impl StreamingDetector {
     /// Closes the current window: expires idle flows up to the boundary and
     /// detects over everything completed.
     fn close_window(&mut self) {
+        let _span = csb_obs::span_cat("ids.window", "ids");
         let start = self.current_window * self.window_micros;
         let end = start + self.window_micros;
         self.assembler.advance_time(end);
         let flows = self.assembler.drain_completed();
+        csb_obs::counter_add("ids.windows_closed", 1);
         for detection in detect(&flows, &self.thresholds) {
             self.alarms.push(TimedDetection {
                 detection,

@@ -206,6 +206,7 @@ impl FlowAssembler {
 
     /// Processes a whole packet slice and finishes, returning all flows.
     pub fn assemble(packets: &[Packet]) -> Vec<FlowRecord> {
+        let _span = csb_obs::span_cat("assembler.assemble", "net");
         let mut a = FlowAssembler::new();
         for p in packets {
             a.push(p);
@@ -245,6 +246,7 @@ impl FlowAssembler {
 
     /// Flushes all open streams and returns every completed flow.
     pub fn finish(mut self) -> Vec<FlowRecord> {
+        let _span = csb_obs::span_cat("assembler.finish", "net");
         let mut out = std::mem::take(&mut self.completed);
         let mut rest: Vec<FlowRecord> = self.active.values().map(|b| b.build()).collect();
         out.append(&mut rest);
@@ -252,6 +254,8 @@ impl FlowAssembler {
         out.sort_unstable_by_key(|f| {
             (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port)
         });
+        csb_obs::counter_add("assembler.flows", out.len() as u64);
+        csb_obs::obs_debug!("assembler: {} flows finished", out.len());
         out
     }
 }

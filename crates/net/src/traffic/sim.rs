@@ -98,6 +98,7 @@ impl TrafficSim {
     /// Generates the benign trace. Non-constant rate profiles are realized
     /// by thinning a homogeneous Poisson process at the peak rate.
     pub fn generate(&self) -> Trace {
+        let _span = csb_obs::span_cat("traffic.generate", "net");
         let mut trace = Trace::new();
         let mut rng = rng_for(self.cfg.seed, 0);
         let peak = match self.cfg.rate_profile {
@@ -128,6 +129,14 @@ impl TrafficSim {
             self.emit_session(start, &mut session_rng, &mut trace);
         }
         trace.sort();
+        csb_obs::counter_add("traffic.sessions", session_idx - 1);
+        csb_obs::counter_add("traffic.packets", trace.packets.len() as u64);
+        csb_obs::obs_debug!(
+            "traffic: {} sessions, {} packets over {:.0}s",
+            session_idx - 1,
+            trace.packets.len(),
+            self.cfg.duration_secs
+        );
         trace
     }
 

@@ -1,0 +1,127 @@
+//! Leveled diagnostic events, gated by the `CSB_LOG` environment variable.
+//!
+//! `CSB_LOG` is read once per process: unset (or unparsable) means **off** —
+//! the library crates stay silent by default. `CSB_LOG=warn|info|debug`
+//! enables that level and everything above it. Events go to stderr as
+//! `[csb <level> <module>] message`, keeping stdout for command output.
+//!
+//! Use through the macros:
+//!
+//! ```
+//! csb_obs::obs_info!("generated {} edges", 42);
+//! csb_obs::obs_debug!("chunk {} of {}", 1, 8);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Event severity, ordered most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unexpected-but-survivable conditions.
+    Warn,
+    /// Milestones of a run (phase completions, output sizes).
+    Info,
+    /// Per-round / per-batch detail.
+    Debug,
+}
+
+impl Level {
+    /// Lowercase name, as spelled in `CSB_LOG` and in the output prefix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a `CSB_LOG` value. Anything unrecognized (including empty) is
+/// treated as off so a typo can never make a run noisy.
+fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+fn max_level() -> Option<Level> {
+    static LEVEL: OnceLock<Option<Level>> = OnceLock::new();
+    *LEVEL.get_or_init(|| std::env::var("CSB_LOG").ok().as_deref().and_then(parse_level))
+}
+
+/// Whether events at `level` are emitted under the current `CSB_LOG`.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Emits one event line to stderr. Callers should gate on
+/// [`level_enabled`] first (the macros do) so disabled events never pay for
+/// argument formatting.
+pub fn emit(level: Level, module: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("[csb {} {}] {}", level.as_str(), module, args);
+}
+
+/// Emits a `warn`-level event when `CSB_LOG` is `warn` or lower.
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        if $crate::event::level_enabled($crate::event::Level::Warn) {
+            $crate::event::emit($crate::event::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Emits an `info`-level event when `CSB_LOG` is `info` or `debug`.
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        if $crate::event::level_enabled($crate::event::Level::Info) {
+            $crate::event::emit($crate::event::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Emits a `debug`-level event when `CSB_LOG` is `debug`.
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        if $crate::event::level_enabled($crate::event::Level::Debug) {
+            $crate::event::emit($crate::event::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_levels_case_insensitively() {
+        assert_eq!(parse_level("warn"), Some(Level::Warn));
+        assert_eq!(parse_level("WARNING"), Some(Level::Warn));
+        assert_eq!(parse_level(" Info "), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level(""), None);
+        assert_eq!(parse_level("verbose"), None);
+        assert_eq!(parse_level("1"), None);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn macros_compile_and_are_silent_without_csb_log() {
+        // CSB_LOG is not set in the test environment, so these must be
+        // no-ops (and, critically, must not panic or print to stdout).
+        crate::obs_warn!("warn {}", 1);
+        crate::obs_info!("info {}", 2);
+        crate::obs_debug!("debug {}", 3);
+    }
+}

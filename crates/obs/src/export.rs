@@ -1,0 +1,167 @@
+//! Exporters over flushed spans and metric snapshots:
+//!
+//! * [`chrome_trace_json`] — Chrome trace-event format (`ph:"X"` complete
+//!   events), loadable in Perfetto (<https://ui.perfetto.dev>) and
+//!   `chrome://tracing`.
+//! * [`events_jsonl`] — one JSON object per line per span, for `jq`-style
+//!   stream processing.
+//! * [`metrics_summary_json`] — the whole metrics registry as one JSON
+//!   object.
+
+use crate::json::{array_of, JsonObject};
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+
+fn span_object(s: &SpanRecord) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.str("name", s.name)
+        .str("cat", s.cat)
+        .str("ph", "X")
+        .u64("ts", s.start_micros)
+        .u64("dur", s.dur_micros)
+        .u64("pid", 1)
+        .u64("tid", s.thread);
+    o
+}
+
+/// Serializes spans in Chrome trace-event JSON (the object form, with a
+/// `traceEvents` array of complete events and a microsecond display unit).
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let events = array_of(spans.iter().map(|s| span_object(s).finish()));
+    let mut root = JsonObject::new();
+    root.raw("traceEvents", &events).str("displayTimeUnit", "ms");
+    root.finish()
+}
+
+/// Serializes spans as one JSON object per line (JSONL). Each line validates
+/// independently; the stream ends with a trailing newline when non-empty.
+pub fn events_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let mut o = JsonObject::new();
+        o.str("event", "span")
+            .str("name", s.name)
+            .str("cat", s.cat)
+            .u64("start_micros", s.start_micros)
+            .u64("dur_micros", s.dur_micros)
+            .u64("thread", s.thread);
+        out.push_str(&o.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a metrics snapshot as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,buckets}}}`.
+/// Histogram buckets serialize sparsely as `[[bucket_index, count], ...]`.
+pub fn metrics_summary_json(snap: &MetricsSnapshot) -> String {
+    let mut counters = JsonObject::new();
+    for &(name, v) in &snap.counters {
+        counters.u64(name, v);
+    }
+    let mut gauges = JsonObject::new();
+    for &(name, v) in &snap.gauges {
+        gauges.i64(name, v);
+    }
+    let mut histograms = JsonObject::new();
+    for (name, h) in &snap.histograms {
+        let buckets = array_of(
+            h.buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| format!("[{i},{c}]")),
+        );
+        let mut o = JsonObject::new();
+        o.u64("count", h.count)
+            .u64("sum", h.sum)
+            .f64("mean", h.mean(), 3)
+            .raw("log2_buckets", &buckets);
+        histograms.raw(name, &o.finish());
+    }
+    let mut root = JsonObject::new();
+    root.raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &histograms.finish());
+    root.finish()
+}
+
+/// Flushes buffered spans and writes the Chrome trace to `path`.
+pub fn write_chrome_trace(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json(&crate::flush_spans()))
+}
+
+/// Snapshots the registry and writes the metrics summary to `path`.
+pub fn write_metrics_summary(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, metrics_summary_json(&crate::snapshot_metrics()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord { name: "grow", cat: "gen", start_micros: 0, dur_micros: 120, thread: 0 },
+            SpanRecord {
+                name: "attach.chunk",
+                cat: "gen",
+                start_micros: 40,
+                dur_micros: 10,
+                thread: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let s = chrome_trace_json(&sample_spans());
+        validate_json(&s).expect("chrome trace must validate");
+        assert!(s.contains("\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"name\":\"grow\""));
+        assert!(s.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn empty_trace_still_validates() {
+        let s = chrome_trace_json(&[]);
+        validate_json(&s).unwrap();
+        assert!(s.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn jsonl_lines_validate_independently() {
+        let out = events_jsonl(&sample_spans());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_json(line).expect("each JSONL line must validate");
+        }
+        assert!(out.ends_with('\n'));
+        assert!(events_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn metrics_summary_shape() {
+        let mut h = HistogramSnapshot {
+            buckets: [0; crate::metrics::HISTOGRAM_BUCKETS],
+            count: 3,
+            sum: 1027,
+        };
+        h.buckets[0] = 2;
+        h.buckets[10] = 1;
+        let snap = MetricsSnapshot {
+            counters: vec![("edges", 100)],
+            gauges: vec![("depth", -2)],
+            histograms: vec![("latency", h)],
+        };
+        let s = metrics_summary_json(&snap);
+        validate_json(&s).expect("metrics summary must validate");
+        assert!(s.contains("\"edges\":100"));
+        assert!(s.contains("\"depth\":-2"));
+        assert!(s.contains("\"log2_buckets\":[[0,2],[10,1]]"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Minimal hand-rolled JSON support: an escaping object/array writer used by
+//! every exporter (and by `csb_core::PhaseTimings::to_json`), plus a strict
+//! validator the tests use to check exporter output without a JSON parser
+//! dependency.
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental JSON object writer. Fields appear in insertion order;
+/// [`JsonObject::finish`] closes the object and returns the string.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, k: &str) -> &mut Self {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field with fixed decimal places (non-finite values
+    /// serialize as `null`, which JSON requires).
+    pub fn f64(&mut self, k: &str, v: f64, decimals: usize) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v:.decimals$}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serializes an iterator of already-serialized JSON values as an array.
+pub fn array_of<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Validates that `s` is exactly one well-formed JSON value (RFC 8259
+/// grammar; rejects trailing garbage). Errors name the byte offset of the
+/// first problem. Plain recursive descent: stack depth tracks the value
+/// nesting, which is ≤ 4 for every exporter in this crate.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                let esc = *b.get(*pos + 1).ok_or("escape at end of input")?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *pos += 2,
+                    b'u' => {
+                        let hex = b.get(*pos + 2..*pos + 6).ok_or("short \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1F => return Err(format!("raw control byte at {pos}", pos = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("number without digits at byte {start}"));
+    }
+    // JSON forbids leading zeros on multi-digit integer parts.
+    if int_digits > 1 && b[start + usize::from(b[start] == b'-')] == b'0' {
+        return Err(format!("leading zero at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("missing fraction digits at byte {pos}", pos = *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("missing exponent digits at byte {pos}", pos = *pos));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_escaped_objects() {
+        let mut o = JsonObject::new();
+        o.str("name", "a\"b\\c\nd").u64("n", 42).i64("i", -7).f64("f", 0.5, 6);
+        o.raw("nested", "{\"x\":1}");
+        let s = o.finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":42,\"i\":-7,\"f\":0.500000,\"nested\":{\"x\":1}}"
+        );
+        validate_json(&s).expect("writer output must validate");
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array_of(Vec::new()), "[]");
+        validate_json("{}").unwrap();
+        validate_json("[]").unwrap();
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObject::new();
+        o.f64("x", f64::NAN, 3);
+        let s = o.finish();
+        assert_eq!(s, "{\"x\":null}");
+        validate_json(&s).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_good_json() {
+        for good in [
+            "0",
+            "-1.5e10",
+            "\"hi\\u00e9\"",
+            "true",
+            "[1,2,3]",
+            "{\"a\":[{\"b\":null}],\"c\":false}",
+            "  { \"k\" : \"v\" }  ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "01",
+            "1.",
+            "nul",
+            "\"unterminated",
+            "{}{}",
+            "{\"a\":1} trailing",
+            "NaN",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn array_of_joins_values() {
+        let s = array_of(vec!["1".to_string(), "{\"a\":2}".to_string()]);
+        assert_eq!(s, "[1,{\"a\":2}]");
+        validate_json(&s).unwrap();
+    }
+}

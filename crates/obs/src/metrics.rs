@@ -1,0 +1,286 @@
+//! Global metrics registry: named atomic counters, gauges, and
+//! log₂-bucketed histograms. Handles are `Arc`s into the registry, so the
+//! per-update cost after the first lookup is a single atomic RMW; the
+//! convenience free functions ([`counter_add`] and friends) look the name up
+//! each call and are for cold-to-warm paths, not per-record inner loops.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ buckets: bucket `i` counts values `v` with
+/// `floor(log2(max(v,1))) == i`, which covers the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram with exact count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket covering `v`: `floor(log2(max(v, 1)))`.
+    pub fn bucket_of(v: u64) -> usize {
+        (63 - v.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram's values at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observed values (wrapping at `u64::MAX`).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The registry: name → metric. `BTreeMap` so snapshots and exports are
+/// deterministically ordered.
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock();
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Registers (or fetches) a counter handle. Hold the handle across a hot
+/// loop to skip the name lookup per update.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    with_registry(|r| Arc::clone(r.counters.entry(name).or_default()))
+}
+
+/// Registers (or fetches) a gauge handle.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    with_registry(|r| Arc::clone(r.gauges.entry(name).or_default()))
+}
+
+/// Registers (or fetches) a histogram handle.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    with_registry(|r| Arc::clone(r.histograms.entry(name).or_default()))
+}
+
+/// Adds to a named counter when the collector is enabled.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    if crate::enabled() {
+        counter(name).add(v);
+    }
+}
+
+/// Sets a named gauge when the collector is enabled.
+#[inline]
+pub fn gauge_set(name: &'static str, v: i64) {
+    if crate::enabled() {
+        gauge(name).set(v);
+    }
+}
+
+/// Records into a named histogram when the collector is enabled.
+#[inline]
+pub fn histogram_record(name: &'static str, v: u64) {
+    if crate::enabled() {
+        histogram(name).record(v);
+    }
+}
+
+/// Every registered metric's value at one instant, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// Snapshots the whole registry.
+pub fn snapshot_metrics() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r.counters.iter().map(|(&n, c)| (n, c.get())).collect(),
+        gauges: r.gauges.iter().map(|(&n, g)| (n, g.get())).collect(),
+        histograms: r.histograms.iter().map(|(&n, h)| (n, h.snapshot())).collect(),
+    })
+}
+
+/// Zeroes every registered metric (handles stay valid) and forgets names
+/// that have no outstanding handles.
+pub(crate) fn clear() {
+    with_registry(|r| {
+        for c in r.counters.values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for g in r.gauges.values() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for h in r.histograms.values() {
+            h.clear();
+        }
+        r.counters.retain(|_, c| Arc::strong_count(c) > 1);
+        r.gauges.retain(|_, g| Arc::strong_count(g) > 1);
+        r.histograms.retain(|_, h| Arc::strong_count(h) > 1);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 1024, 1025] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 2055);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[10], 2);
+        assert!((s.mean() - 411.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_share_state_with_named_updates() {
+        let _l = crate::span::test_lock();
+        crate::reset();
+        crate::enable();
+        let c = counter("test.metrics.shared");
+        counter_add("test.metrics.shared", 7);
+        c.add(3);
+        assert_eq!(c.get(), 10);
+        let snap = snapshot_metrics();
+        assert!(snap.counters.contains(&("test.metrics.shared", 10)));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = gauge("test.metrics.gauge");
+        g.set(5);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let _l = crate::span::test_lock();
+        crate::reset();
+        crate::enable();
+        counter_add("test.sort.b", 1);
+        counter_add("test.sort.a", 1);
+        let snap = snapshot_metrics();
+        let names: Vec<&str> = snap.counters.iter().map(|&(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        crate::disable();
+        crate::reset();
+    }
+}

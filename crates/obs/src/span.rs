@@ -1,0 +1,171 @@
+//! Scoped spans: RAII guards that record name, category, start offset,
+//! duration, and thread id into a thread-local buffer. Buffers register
+//! themselves with a global sink on first use, so [`flush_spans`] can drain
+//! every thread's records without any per-span cross-thread traffic.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`"pgpba.grow"`, `"attach.chunk"`, ...).
+    pub name: &'static str,
+    /// Category — the crate or subsystem (`"gen"`, `"engine"`, `"net"`).
+    pub cat: &'static str,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_micros: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_micros: u64,
+    /// Dense per-process thread id (assigned in first-use order).
+    pub thread: u64,
+}
+
+/// The trace epoch: timestamp zero for every span. Pinned by the first
+/// [`crate::enable`] (or first span, whichever comes first).
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Registry of every thread's span buffer.
+static SINK: Mutex<Vec<Arc<Mutex<Vec<SpanRecord>>>>> = Mutex::new(Vec::new());
+
+/// Next dense thread id.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL: (Arc<Mutex<Vec<SpanRecord>>>, u64) = {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        SINK.lock().push(Arc::clone(&buf));
+        (buf, NEXT_THREAD.fetch_add(1, Ordering::Relaxed))
+    };
+}
+
+/// RAII span guard: records on drop. A disabled collector yields an inert
+/// guard whose construction and drop are both branch-on-a-relaxed-load cheap.
+#[must_use = "a span measures the scope it is bound to; an unbound guard drops immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<(&'static str, &'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, cat, start)) = self.live.take() {
+            let dur_micros = start.elapsed().as_micros() as u64;
+            let start_micros = start.duration_since(epoch()).as_micros() as u64;
+            LOCAL.with(|(buf, tid)| {
+                buf.lock().push(SpanRecord { name, cat, start_micros, dur_micros, thread: *tid });
+            });
+        }
+    }
+}
+
+/// Opens a span in the default `"csb"` category.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "csb")
+}
+
+/// Opens a span with an explicit category (the Chrome trace `cat` field,
+/// which Perfetto uses for filtering).
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
+    if crate::enabled() {
+        SpanGuard { live: Some((name, cat, Instant::now())) }
+    } else {
+        SpanGuard { live: None }
+    }
+}
+
+/// Drains every thread's buffered spans, sorted by start time. Spans from
+/// threads that have exited are still drained: the sink keeps each buffer
+/// alive independently of its thread.
+pub fn flush_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for buf in SINK.lock().iter() {
+        out.append(&mut buf.lock());
+    }
+    out.sort_by_key(|s| (s.start_micros, s.thread));
+    out
+}
+
+/// Discards all buffered spans.
+pub(crate) fn clear() {
+    for buf in SINK.lock().iter() {
+        buf.lock().clear();
+    }
+}
+
+/// Serializes tests that toggle the process-global collector.
+pub fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_and_order() {
+        let _l = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _outer = span_cat("outer", "test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = span_cat("inner", "test");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::disable();
+        let spans = flush_spans();
+        assert_eq!(spans.len(), 2);
+        // Sorted by start: outer opened first.
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[1].name, "inner");
+        assert!(spans[0].dur_micros >= spans[1].dur_micros);
+        assert!(spans[1].start_micros >= spans[0].start_micros);
+        crate::reset();
+    }
+
+    #[test]
+    fn spans_from_other_threads_are_flushed() {
+        let _l = test_lock();
+        crate::reset();
+        crate::enable();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _g = span("worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        crate::disable();
+        let spans = flush_spans();
+        assert_eq!(spans.len(), 4);
+        let tids: std::collections::HashSet<u64> = spans.iter().map(|s| s.thread).collect();
+        assert_eq!(tids.len(), 4, "each worker thread gets its own id");
+        crate::reset();
+    }
+
+    #[test]
+    fn flush_drains() {
+        let _l = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _g = span("drained");
+        }
+        crate::disable();
+        assert_eq!(flush_spans().len(), 1);
+        assert!(flush_spans().is_empty(), "flush must drain");
+        crate::reset();
+    }
+}

@@ -1,0 +1,75 @@
+//! Concurrency tests: counter / histogram updates issued from a rayon pool
+//! must sum exactly (no lost updates), and exported artifacts over spans
+//! recorded from many threads must validate as JSON.
+
+use csb_obs::json::validate_json;
+use csb_obs::metrics::{counter, histogram};
+use rayon::prelude::*;
+
+/// One process-global collector means one test exercising it end to end:
+/// splitting these phases into separate `#[test]`s would race on
+/// enable/reset across the harness's test threads.
+#[test]
+fn concurrent_updates_sum_exactly_and_exports_validate() {
+    let _serial = csb_obs::span::test_lock();
+    csb_obs::reset();
+    csb_obs::enable();
+
+    // Counter and histogram hammered from a parallel iterator: every update
+    // must land. Sum over 1..=N has a closed form to check against.
+    const N: u64 = 10_000;
+    let c = counter("test.concurrency.counter");
+    let h = histogram("test.concurrency.histogram");
+    (1..=N).into_par_iter().for_each(|v| {
+        c.add(v);
+        h.record(v);
+    });
+    let expected_sum = N * (N + 1) / 2;
+    assert_eq!(c.get(), expected_sum);
+    let hs = h.snapshot();
+    assert_eq!(hs.count, N);
+    assert_eq!(hs.sum, expected_sum);
+    assert_eq!(hs.buckets.iter().sum::<u64>(), N);
+    // log2 buckets partition 1..=N: bucket i holds 2^i values (clipped at N).
+    assert_eq!(hs.buckets[0], 1, "values {{1}}");
+    assert_eq!(hs.buckets[1], 2, "values {{2,3}}");
+    assert_eq!(hs.buckets[13], N - 8192 + 1, "values 8192..=N");
+
+    // Spans recorded from the same pool: all flushed, all exported, all
+    // valid JSON.
+    (0..64u32).into_par_iter().for_each(|_| {
+        let _g = csb_obs::span_cat("pool.work", "test");
+    });
+    csb_obs::disable();
+    let spans = csb_obs::flush_spans();
+    assert_eq!(spans.len(), 64);
+
+    let trace = csb_obs::export::chrome_trace_json(&spans);
+    validate_json(&trace).expect("chrome trace from pooled spans must validate");
+    let jsonl = csb_obs::export::events_jsonl(&spans);
+    assert_eq!(jsonl.lines().count(), 64);
+    for line in jsonl.lines() {
+        validate_json(line).expect("every JSONL line must validate");
+    }
+    let metrics = csb_obs::export::metrics_summary_json(&csb_obs::snapshot_metrics());
+    validate_json(&metrics).expect("metrics summary must validate");
+    assert!(metrics.contains(&format!("\"test.concurrency.counter\":{expected_sum}")));
+
+    csb_obs::reset();
+}
+
+#[test]
+fn disabled_span_overhead_is_negligible() {
+    // Smoke bound, not a benchmark: a disabled span is one relaxed load and
+    // an inert guard, so even debug builds finish 100k of them in well under
+    // a generous wall-clock budget.
+    let _serial = csb_obs::span::test_lock();
+    assert!(!csb_obs::enabled());
+    let start = std::time::Instant::now();
+    for _ in 0..100_000 {
+        let _g = csb_obs::span("disabled.smoke");
+        csb_obs::counter_add("disabled.smoke.counter", 1);
+    }
+    let elapsed = start.elapsed();
+    assert!(elapsed.as_millis() < 500, "100k disabled spans took {elapsed:?}");
+}

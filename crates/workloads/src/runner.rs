@@ -89,8 +89,12 @@ fn timed<R>(stats: &mut Summary, f: impl FnOnce() -> R) -> R {
 /// Panics on an empty graph (no arguments to sample).
 pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport {
     assert!(graph.vertex_count() > 0, "workload needs a non-empty graph");
+    let _span = csb_obs::span_cat("workload.run", "workloads");
     let wall = Instant::now();
-    let idx = GraphIndex::build(graph);
+    let idx = {
+        let _build = csb_obs::span_cat("workload.index_build", "workloads");
+        GraphIndex::build(graph)
+    };
     let mut rng = rng_for(spec.seed, 0);
     let n = graph.vertex_count() as u32;
     let random_vertex = |rng: &mut rand::rngs::SmallRng| VertexId(rng.gen_range(0..n));
@@ -98,6 +102,7 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
     // Node family.
     let mut node_stats = Summary::new();
     let mut node_results = 0u64;
+    let fam = csb_obs::span_cat("workload.node", "workloads");
     for _ in 0..spec.node_queries {
         let ip = *graph.vertex(random_vertex(&mut rng));
         let r = timed(&mut node_stats, || node::host_profile(&idx, ip));
@@ -105,8 +110,10 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
     }
 
     // Edge family: alternate the three scans.
+    drop(fam);
     let mut edge_stats = Summary::new();
     let mut edge_results = 0u64;
+    let fam = csb_obs::span_cat("workload.edge", "workloads");
     for i in 0..spec.edge_queries {
         match i % 3 {
             0 => {
@@ -126,8 +133,10 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
     }
 
     // Path family: alternate shortest path and k-hop.
+    drop(fam);
     let mut path_stats = Summary::new();
     let mut path_results = 0u64;
+    let fam = csb_obs::span_cat("workload.path", "workloads");
     for i in 0..spec.path_queries {
         let a = random_vertex(&mut rng);
         if i % 2 == 0 {
@@ -140,8 +149,10 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
     }
 
     // Sub-graph family.
+    drop(fam);
     let mut sub_stats = Summary::new();
     let mut sub_results = 0u64;
+    let fam = csb_obs::span_cat("workload.subgraph", "workloads");
     for i in 0..spec.subgraph_queries {
         match i % 3 {
             0 => {
@@ -159,6 +170,15 @@ pub fn run_workload(graph: &NetflowGraph, spec: &WorkloadSpec) -> WorkloadReport
         }
     }
 
+    drop(fam);
+    let total_queries =
+        (spec.node_queries + spec.edge_queries + spec.path_queries + spec.subgraph_queries) as u64;
+    csb_obs::counter_add("workload.queries", total_queries);
+    csb_obs::obs_debug!(
+        "workload: {total_queries} queries over {} vertices / {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
     WorkloadReport {
         families: vec![
             FamilyStats { family: "node", latency_micros: node_stats, total_results: node_results },
