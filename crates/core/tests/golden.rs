@@ -14,6 +14,8 @@
 use csb_core::{pgpba, pgsk, seed_from_trace, PgpbaConfig, PgskConfig, SeedBundle};
 use csb_graph::NetflowGraph;
 use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 use std::path::PathBuf;
 
 fn golden_seed() -> SeedBundle {
@@ -73,6 +75,27 @@ fn graph_fingerprint(g: &NetflowGraph) -> u64 {
     h
 }
 
+/// Fingerprint of the `rand` implementation itself: FNV-1a over the first 16
+/// draws of a fixed-seed `SmallRng`. The workspace may be built against real
+/// crates.io `rand` or against an offline stub whose output is deterministic
+/// but not bit-identical to upstream, so generator hashes are only comparable
+/// between runs whose probe matches. The probe is recorded in the snapshot so
+/// a provenance change fails with its own message instead of masquerading as
+/// a generator regression.
+fn rng_provenance() -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut rng = SmallRng::seed_from_u64(0x0c5b_6010_d3e9);
+    let mut h = OFFSET;
+    for _ in 0..16 {
+        for b in rng.next_u64().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
 fn fingerprints() -> (u64, u64) {
     let seed = golden_seed();
     let a = graph_fingerprint(&pgpba(&seed, &pgpba_cfg()));
@@ -103,20 +126,36 @@ fn output_is_independent_of_worker_count() {
 
 #[test]
 fn hashes_match_snapshot() {
+    let probe = rng_provenance();
     let (pgpba_hash, pgsk_hash) = fingerprints();
-    let current = format!("pgpba {pgpba_hash:016x}\npgsk {pgsk_hash:016x}\n");
+    let current =
+        format!("rand-probe {probe:016x}\npgpba {pgpba_hash:016x}\npgsk {pgsk_hash:016x}\n");
     let path: PathBuf =
         [env!("CARGO_MANIFEST_DIR"), "tests", "snapshots", "golden_hashes.txt"].iter().collect();
     match std::fs::read_to_string(&path) {
-        Ok(blessed) => assert_eq!(
-            blessed,
-            current,
-            "generator output changed for a fixed seed; if intentional \
-             (an RNG-stream change), delete {} and rerun to re-bless",
-            path.display()
-        ),
+        Ok(blessed) => {
+            let blessed_probe = blessed.lines().find_map(|l| l.strip_prefix("rand-probe "));
+            assert_eq!(
+                blessed_probe,
+                Some(format!("{probe:016x}").as_str()),
+                "snapshot {} was blessed under a different `rand` implementation \
+                 (provenance probe mismatch, e.g. stub vs. real crates.io rand); \
+                 this is a dependency-provenance change, not a generator regression — \
+                 delete the file and rerun to re-bless on this toolchain",
+                path.display()
+            );
+            assert_eq!(
+                blessed,
+                current,
+                "generator output changed for a fixed seed; if intentional \
+                 (an RNG-stream change), delete {} and rerun to re-bless",
+                path.display()
+            );
+        }
         Err(_) => {
-            // First run on this checkout: bless the snapshot.
+            // First run on this checkout: bless the snapshot. The file is
+            // machine-local (gitignored) because the hashes depend on the
+            // `rand` provenance recorded above.
             std::fs::create_dir_all(path.parent().expect("parent")).expect("snapshot dir");
             std::fs::write(&path, &current).expect("write snapshot");
             eprintln!("blessed golden snapshot at {}", path.display());
