@@ -89,7 +89,7 @@ fn main() {
     }
 
     // See the `BENCH_materialize.json` schema note in crates/bench/src/lib.rs.
-    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".to_string());
+    let git_rev = csb_bench::git_rev();
     let mut root = JsonObject::new();
     root.str("bench", "materialize")
         .str("status", "measured")

@@ -28,6 +28,7 @@ pub fn run(args: &Args) -> Result<()> {
         "detect" => detect_cmd(args),
         "workload" => workload_cmd(args),
         "export" => export_cmd(args),
+        "import" => import_cmd(args),
         "cluster-sim" => cluster_sim(args),
         other => Err(Box::new(ArgError(format!("unknown command `{other}` (try `csb help`)")))),
     }
@@ -146,13 +147,21 @@ fn generate(args: &Args) -> Result<()> {
     write_graph(File::create(out)?, &graph)?;
     if trace_out.is_some() || metrics_out.is_some() {
         csb_obs::disable();
+        // Instrumentation export is best-effort: a full disk at --trace-out
+        // must not discard the generated graph that was already written.
         if let Some(path) = trace_out {
-            csb_obs::export::write_chrome_trace(path)?;
-            println!("wrote Chrome trace to {path} (load at https://ui.perfetto.dev)");
+            match csb_obs::export::write_chrome_trace(path) {
+                Ok(()) => {
+                    println!("wrote Chrome trace to {path} (load at https://ui.perfetto.dev)")
+                }
+                Err(e) => eprintln!("warning: could not write Chrome trace to {path}: {e}"),
+            }
         }
         if let Some(path) = metrics_out {
-            csb_obs::export::write_metrics_summary(path)?;
-            println!("wrote metrics summary to {path}");
+            match csb_obs::export::write_metrics_summary(path) {
+                Ok(()) => println!("wrote metrics summary to {path}"),
+                Err(e) => eprintln!("warning: could not write metrics summary to {path}: {e}"),
+            }
         }
     }
     println!(
@@ -238,16 +247,68 @@ fn workload_cmd(args: &Args) -> Result<()> {
 }
 
 fn export_cmd(args: &Args) -> Result<()> {
-    args.expect_only(&["graph", "out", "duration", "seed"])?;
+    args.expect_only(&["graph", "out", "duration", "seed", "format"])?;
     let graph = load_graph(args.require("graph")?)?;
     let out = args.require("out")?;
     let duration: f64 = args.get_or("duration", 60.0)?;
     let seed: u64 = args.get_or("seed", 1)?;
-    let flows = csb_workloads::replay_flows(&graph, duration, seed);
-    csb_net::netflow_v5::write_netflow_v5(File::create(out)?, &flows)?;
+    match args.get("format").unwrap_or("nf5") {
+        "nf5" => {
+            let flows = csb_workloads::replay_flows(&graph, duration, seed);
+            csb_net::netflow_v5::write_netflow_v5(File::create(out)?, &flows)?;
+            println!(
+                "exported {} flows over a {duration:.0} s replay window to {out} (NetFlow v5)",
+                flows.len()
+            );
+        }
+        "store" => {
+            csb_store::save_graph(out, &graph)?;
+            println!(
+                "exported {} vertices, {} edges to {out} (csb-store graph)",
+                graph.vertex_count(),
+                graph.edge_count()
+            );
+        }
+        "store-flows" => {
+            let flows = csb_workloads::replay_flows(&graph, duration, seed);
+            csb_store::save_flows(out, &flows)?;
+            println!(
+                "exported {} flows over a {duration:.0} s replay window to {out} (csb-store)",
+                flows.len()
+            );
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown export format `{other}` (expected nf5, store, or store-flows)"
+            ))))
+        }
+    }
+    Ok(())
+}
+
+fn import_cmd(args: &Args) -> Result<()> {
+    args.expect_only(&["store", "out", "expect"])?;
+    let store_path = args.require("store")?;
+    let out = args.require("out")?;
+    let graph = csb_store::load_graph(store_path)?;
+    if let Some(expect_path) = args.get("expect") {
+        let expected = load_graph(expect_path)?;
+        let same = expected.vertex_data() == graph.vertex_data()
+            && expected.edge_sources() == graph.edge_sources()
+            && expected.edge_targets() == graph.edge_targets()
+            && expected.edge_data() == graph.edge_data();
+        if !same {
+            return Err(Box::new(ArgError(format!(
+                "store {store_path} does not match {expect_path}"
+            ))));
+        }
+        println!("store matches {expect_path}");
+    }
+    write_graph(File::create(out)?, &graph)?;
     println!(
-        "exported {} flows over a {duration:.0} s replay window to {out} (NetFlow v5)",
-        flows.len()
+        "imported {} vertices, {} edges from {store_path} to {out}",
+        graph.vertex_count(),
+        graph.edge_count()
     );
     Ok(())
 }
@@ -391,6 +452,83 @@ mod tests {
         csb_obs::json::validate_json(&metrics).expect("metrics are valid JSON");
         assert!(metrics.contains("\"attach.edges\""), "attach counter exported");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_store_import_round_trips() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let store_path = dir.join("seed.csbstore").to_string_lossy().into_owned();
+        let back_path = dir.join("back.graph").to_string_lossy().into_owned();
+
+        run(&args(&["simulate", "--out", &pcap, "--duration", "6", "--rate", "12"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        run(&args(&["export", "--graph", &seed_path, "--out", &store_path, "--format", "store"]))
+            .expect("export store");
+        // Import verifies equality against the original and writes it back
+        // as a text graph; the text graphs must then be identical files.
+        run(&args(&[
+            "import",
+            "--store",
+            &store_path,
+            "--out",
+            &back_path,
+            "--expect",
+            &seed_path,
+        ]))
+        .expect("import");
+        let original = std::fs::read_to_string(&seed_path).expect("read original");
+        let back = std::fs::read_to_string(&back_path).expect("read imported");
+        assert_eq!(original, back, "store round trip must preserve the text graph");
+
+        // Flow-store export round-trips through the reader too.
+        let flows_path = dir.join("flows.csbstore").to_string_lossy().into_owned();
+        run(&args(&[
+            "export",
+            "--graph",
+            &seed_path,
+            "--out",
+            &flows_path,
+            "--format",
+            "store-flows",
+            "--duration",
+            "5",
+        ]))
+        .expect("export store-flows");
+        let flows = csb_store::load_flows(&flows_path).expect("load flows");
+        assert!(!flows.is_empty());
+
+        // Mismatched --expect is an error.
+        let err = run(&args(&[
+            "import",
+            "--store",
+            &store_path,
+            "--out",
+            &back_path,
+            "--expect",
+            &back_path,
+        ]));
+        assert!(err.is_ok(), "identical graph under a different name still matches");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_rejects_unknown_format() {
+        let err = run(&args(&[
+            "export",
+            "--graph",
+            "/nonexistent",
+            "--out",
+            "/dev/null",
+            "--format",
+            "parquet",
+        ]))
+        .expect_err("bad format or missing file");
+        let msg = err.to_string();
+        assert!(msg.contains("parquet") || msg.contains("No such file"), "got: {msg}");
     }
 
     #[test]

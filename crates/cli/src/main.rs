@@ -33,8 +33,14 @@ COMMANDS:
                  --pcap FILE [--train FILE] [--filter EXPR]
     workload     Run the node/edge/path/sub-graph query workload on a graph
                  --graph FILE [--node N] [--edge N] [--path N] [--subgraph N]
-    export       Replay a graph as a NetFlow v5 stream on disk
-                 --graph FILE --out FILE [--duration SECS=60] [--seed N=1]
+    export       Export a graph: replayed NetFlow v5 stream or binary store
+                 --graph FILE --out FILE [--format nf5|store|store-flows]
+                 [--duration SECS=60] [--seed N=1]
+                 (nf5 and store-flows replay the graph as flows; store writes
+                 the chunked columnar graph format `csb import` reads back)
+    import       Load a csb-store graph file and write it as a text graph
+                 --store FILE --out FILE [--expect FILE]
+                 (--expect verifies the store matches an existing text graph)
     cluster-sim  Project a generation job onto the simulated Shadow II cluster
                  --algorithm pgpba|pgsk --edges N [--nodes N=60]
                  [--fraction F=2] [--seed-edges N=1940814]

@@ -29,6 +29,7 @@ pub mod kronecker;
 pub mod pgpba;
 pub mod pgsk;
 pub mod seed;
+pub mod stream;
 pub mod topo;
 pub mod veracity;
 
@@ -38,4 +39,5 @@ pub use diagnostics::PhaseTimings;
 pub use pgpba::{pgpba, pgpba_timed};
 pub use pgsk::{pgsk, pgsk_timed};
 pub use seed::{seed_from_packets, seed_from_trace, SeedBundle};
+pub use stream::{attach_properties_to_sink, pgpba_to_sink, pgsk_to_sink};
 pub use veracity::{degree_veracity, pagerank_veracity, VeracityScores};

@@ -79,8 +79,10 @@ pub(crate) fn edge_windows<'a>(
     windows
 }
 
-/// Number of edges per deterministic RNG stream in [`attach_properties`].
-const ATTACH_CHUNK: usize = 8192;
+/// Number of edges per deterministic RNG stream in [`attach_properties`]
+/// (shared by `stream::attach_properties_to_sink`, which must replay the
+/// exact same RNG stream layout to produce identical edges).
+pub(crate) const ATTACH_CHUNK: usize = 8192;
 
 /// Materializes a [`NetflowGraph`] from a topology by sampling every edge's
 /// attributes from the seed's [`PropertyModel`] — the `O(|E| x |properties|)`

@@ -6,13 +6,58 @@
 //! attachment stage uses `RDD.sample()`), `distinct` (PGSK deduplicates
 //! conflicting Kronecker descents with `RDD.distinct()`), plus the usual
 //! `map` / `flat_map` / `filter` / `union` / `reduce_by_key`.
+//!
+//! Hash shuffles (`distinct`, `group_by_key`, `reduce_by_key`) can spill to
+//! disk: when the estimated shuffle volume exceeds [`SpillConfig::
+//! budget_bytes`], producers write bucketed `csb-store` spill files instead
+//! of holding every bucket in memory, and consumers read their bucket back
+//! from each producer in order — the same gathered record order as the
+//! in-memory transpose, so results are identical either way.
 
+use crate::costmodel::CostModel;
 use crate::executor::ThreadPool;
 use crate::metrics::JobMetrics;
 use csb_stats::rng::rng_for;
+use csb_store::{SpillCodec, SpillFile, SpillWriter};
 use rand::Rng;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+
+/// When and where a shuffle spills to disk.
+///
+/// The estimated shuffle volume is `records × bytes_per_record`; when it
+/// exceeds `budget_bytes` the shuffle goes through `csb-store` spill files
+/// in `dir`. The default budget is unlimited (never spill), matching the
+/// previous all-in-memory behaviour.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// In-memory shuffle budget in bytes; `u64::MAX` disables spilling.
+    pub budget_bytes: u64,
+    /// Estimated serialized size of one shuffled record; defaults to the
+    /// cluster cost model's `shuffle_bytes_per_record` so the gate and the
+    /// simulated-cluster accounting agree on shuffle volume.
+    pub bytes_per_record: f64,
+    /// Directory spill files are created in (deleted when the shuffle ends).
+    pub dir: PathBuf,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            budget_bytes: u64::MAX,
+            bytes_per_record: CostModel::default().shuffle_bytes_per_record,
+            dir: std::env::temp_dir(),
+        }
+    }
+}
+
+impl SpillConfig {
+    /// True when shuffling `records` records should go through disk.
+    fn should_spill(&self, records: u64) -> bool {
+        records as f64 * self.bytes_per_record > self.budget_bytes as f64
+    }
+}
 
 /// A dataset split into partitions, processed in parallel.
 ///
@@ -31,6 +76,7 @@ pub struct Pdd<T> {
     partitions: Vec<Vec<T>>,
     pool: ThreadPool,
     metrics: JobMetrics,
+    spill: SpillConfig,
 }
 
 impl<T: Send> Pdd<T> {
@@ -50,14 +96,25 @@ impl<T: Send> Pdd<T> {
             parts[i % nparts].push(item);
         }
         metrics.record("parallelize", 0, n, 0);
-        Pdd { partitions: parts, pool, metrics }
+        Pdd { partitions: parts, pool, metrics, spill: SpillConfig::default() }
     }
 
     /// An empty dataset with the given partitioning.
     pub fn empty(partitions: usize, pool: ThreadPool, metrics: JobMetrics) -> Self {
         let mut parts = Vec::with_capacity(partitions.max(1));
         parts.resize_with(partitions.max(1), Vec::new);
-        Pdd { partitions: parts, pool, metrics }
+        Pdd { partitions: parts, pool, metrics, spill: SpillConfig::default() }
+    }
+
+    /// Replaces the spill configuration; downstream datasets inherit it.
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// The spill configuration shuffles on this dataset use.
+    pub fn spill_config(&self) -> &SpillConfig {
+        &self.spill
     }
 
     /// Total records.
@@ -98,7 +155,8 @@ impl<T: Send> Pdd<T> {
         let parts = self.pool.map_partitions(self.partitions, |_, part| {
             part.into_iter().map(&f).collect::<Vec<U>>()
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         out.metrics.record("map", n_in, out.count(), 0);
         out
     }
@@ -113,7 +171,8 @@ impl<T: Send> Pdd<T> {
         let parts = self.pool.map_partitions(self.partitions, |_, part| {
             part.into_iter().flat_map(&f).collect::<Vec<U>>()
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         out.metrics.record("flat_map", n_in, out.count(), 0);
         out
     }
@@ -128,7 +187,8 @@ impl<T: Send> Pdd<T> {
             part.retain(|x| f(x));
             part
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         out.metrics.record("filter", n_in, out.count(), 0);
         out
     }
@@ -150,7 +210,12 @@ impl<T: Send> Pdd<T> {
             out.extend(input.iter().filter(|_| rng.gen::<f64>() < fraction).cloned());
         });
         let partitions: Vec<Vec<T>> = parts.into_iter().map(|s| s.2).collect();
-        let out = Pdd { partitions, pool: self.pool, metrics: self.metrics.clone() };
+        let out = Pdd {
+            partitions,
+            pool: self.pool,
+            metrics: self.metrics.clone(),
+            spill: self.spill.clone(),
+        };
         out.metrics.record("sample", n_in, out.count(), 0);
         out
     }
@@ -166,7 +231,8 @@ impl<T: Send> Pdd<T> {
         let parts = self.pool.map_partitions(self.partitions, |p, part| {
             part.into_iter().enumerate().map(|(i, x)| f(p, i, x)).collect::<Vec<U>>()
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         out.metrics.record("map_indexed", n_in, out.count(), 0);
         out
     }
@@ -181,7 +247,8 @@ impl<T: Send> Pdd<T> {
         let parts = self.pool.map_partitions(self.partitions, |p, part| {
             part.into_iter().enumerate().flat_map(|(i, x)| f(p, i, x)).collect::<Vec<U>>()
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         out.metrics.record("flat_map_indexed", n_in, out.count(), 0);
         out
     }
@@ -207,7 +274,12 @@ impl<T: Send> Pdd<T> {
             }
         });
         let partitions: Vec<Vec<T>> = parts.into_iter().map(|s| s.2).collect();
-        let out = Pdd { partitions, pool: self.pool, metrics: self.metrics.clone() };
+        let out = Pdd {
+            partitions,
+            pool: self.pool,
+            metrics: self.metrics.clone(),
+            spill: self.spill.clone(),
+        };
         out.metrics.record("sample_with_replacement", n_in, out.count(), 0);
         out
     }
@@ -259,24 +331,39 @@ fn hash_of<T: Hash>(x: &T) -> u64 {
     h.finish()
 }
 
-impl<T: Send + Hash + Eq + Clone> Pdd<T> {
-    /// Hash-shuffles records so equal records land in the same partition,
-    /// then deduplicates — `RDD.distinct()`, the operator PGSK relies on to
-    /// discard conflicting edges generated by independent recursive descents.
-    pub fn distinct(self) -> Pdd<T> {
-        let n_in = self.count();
-        let nparts = self.partitions.len();
+/// Hash shuffle shared by `distinct` / `group_by_key` / `reduce_by_key`:
+/// routes every record to the partition `bucket_of` names and returns the
+/// gathered partitions plus the shuffled record count.
+///
+/// Below the spill budget this is the in-memory transpose; above it each
+/// producer writes its buckets to a `csb-store` spill file and each consumer
+/// reads its bucket back from every producer *in producer order* — the same
+/// gathered order as the transpose, so downstream results are identical.
+fn hash_shuffle<T, F>(
+    pool: &ThreadPool,
+    spill: &SpillConfig,
+    partitions: Vec<Vec<T>>,
+    bucket_of: F,
+) -> (Vec<Vec<T>>, u64)
+where
+    T: Send + SpillCodec,
+    F: Fn(&T) -> usize + Send + Sync,
+{
+    let nparts = partitions.len();
+    let n_in: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    if !spill.should_spill(n_in) {
         // Shuffle write: bucket every record by hash.
-        let bucketed: Vec<Vec<Vec<T>>> = self.pool.map_partitions(self.partitions, |_, part| {
-            let mut buckets: Vec<Vec<T>> = vec![Vec::new(); nparts];
+        let bucketed: Vec<Vec<Vec<T>>> = pool.map_partitions(partitions, |_, part| {
+            let mut buckets: Vec<Vec<T>> = Vec::with_capacity(nparts);
+            buckets.resize_with(nparts, Vec::new);
             for x in part {
-                let b = (hash_of(&x) % nparts as u64) as usize;
-                buckets[b].push(x);
+                buckets[bucket_of(&x)].push(x);
             }
             buckets
         });
         // Shuffle read: transpose.
-        let mut gathered: Vec<Vec<T>> = vec![Vec::new(); nparts];
+        let mut gathered: Vec<Vec<T>> = Vec::with_capacity(nparts);
+        gathered.resize_with(nparts, Vec::new);
         let mut shuffled = 0u64;
         for mut producer in bucketed {
             for (b, bucket) in producer.drain(..).enumerate() {
@@ -284,6 +371,54 @@ impl<T: Send + Hash + Eq + Clone> Pdd<T> {
                 gathered[b].extend(bucket);
             }
         }
+        return (gathered, shuffled);
+    }
+
+    // Spill path: same bucketing, but each producer streams its buckets to
+    // a spill file. I/O failure has no recovery story mid-shuffle, so it
+    // panics with context rather than silently corrupting the dataset.
+    let _span = csb_obs::span_cat("engine.spill", "engine");
+    csb_obs::counter_add("engine.spills", 1);
+    csb_obs::obs_debug!(
+        "shuffle of {n_in} records exceeds spill budget of {} bytes, spilling to {}",
+        spill.budget_bytes,
+        spill.dir.display()
+    );
+    let dir = spill.dir.clone();
+    let files: Vec<SpillFile> = pool.map_partitions(partitions, move |_, part| {
+        let mut buckets: Vec<Vec<T>> = Vec::with_capacity(nparts);
+        buckets.resize_with(nparts, Vec::new);
+        for x in part {
+            buckets[bucket_of(&x)].push(x);
+        }
+        let mut w = SpillWriter::create_in(&dir).expect("create shuffle spill file");
+        for (b, bucket) in buckets.iter().enumerate() {
+            w.write_bucket(b, bucket).expect("write shuffle spill bucket");
+        }
+        w.finish().expect("seal shuffle spill file")
+    });
+    let shuffled: u64 = files.iter().map(|f| f.total_records() as u64).sum();
+    let files = &files;
+    let gathered: Vec<Vec<T>> = pool.map_partitions((0..nparts).collect(), |_, b: usize| {
+        let mut out = Vec::new();
+        for f in files {
+            out.extend(f.read_bucket::<T>(b).expect("read shuffle spill bucket"));
+        }
+        out
+    });
+    (gathered, shuffled)
+}
+
+impl<T: Send + Hash + Eq + Clone + SpillCodec> Pdd<T> {
+    /// Hash-shuffles records so equal records land in the same partition,
+    /// then deduplicates — `RDD.distinct()`, the operator PGSK relies on to
+    /// discard conflicting edges generated by independent recursive descents.
+    pub fn distinct(self) -> Pdd<T> {
+        let n_in = self.count();
+        let nparts = self.partitions.len();
+        let (gathered, shuffled) = hash_shuffle(&self.pool, &self.spill, self.partitions, |x| {
+            (hash_of(x) % nparts as u64) as usize
+        });
         // Per-partition dedup.
         let parts = self.pool.map_partitions(gathered, |_, part| {
             let mut seen = std::collections::HashSet::with_capacity(part.len());
@@ -295,7 +430,8 @@ impl<T: Send + Hash + Eq + Clone> Pdd<T> {
             }
             out
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         let n_out = out.count();
         out.metrics.record("distinct", n_in, n_out, shuffled);
         csb_obs::obs_debug!("distinct: {n_in} in, {n_out} out, {shuffled} shuffled");
@@ -329,32 +465,17 @@ impl<T: Send + Ord> Pdd<T> {
 
 impl<K, V> Pdd<(K, V)>
 where
-    K: Send + Hash + Eq + Clone,
-    V: Send,
+    K: Send + Hash + Eq + Clone + SpillCodec,
+    V: Send + SpillCodec,
 {
     /// Hash-shuffles by key and groups values per key.
     pub fn group_by_key(self) -> Pdd<(K, Vec<V>)> {
         let n_in = self.count();
         let nparts = self.partitions.len();
-        let bucketed: Vec<Vec<Vec<(K, V)>>> =
-            self.pool.map_partitions(self.partitions, |_, part| {
-                let mut buckets: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
-                buckets.resize_with(nparts, Vec::new);
-                for kv in part {
-                    let b = (hash_of(&kv.0) % nparts as u64) as usize;
-                    buckets[b].push(kv);
-                }
-                buckets
+        let (gathered, shuffled) =
+            hash_shuffle(&self.pool, &self.spill, self.partitions, |kv: &(K, V)| {
+                (hash_of(&kv.0) % nparts as u64) as usize
             });
-        let mut gathered: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
-        gathered.resize_with(nparts, Vec::new);
-        let mut shuffled = 0u64;
-        for mut producer in bucketed {
-            for (b, bucket) in producer.drain(..).enumerate() {
-                shuffled += bucket.len() as u64;
-                gathered[b].extend(bucket);
-            }
-        }
         let parts = self.pool.map_partitions(gathered, |_, part| {
             let mut acc: HashMap<K, Vec<V>> = HashMap::new();
             for (k, v) in part {
@@ -362,7 +483,8 @@ where
             }
             acc.into_iter().collect::<Vec<(K, Vec<V>)>>()
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         let n_out = out.count();
         out.metrics.record("group_by_key", n_in, n_out, shuffled);
         csb_obs::obs_debug!("group_by_key: {n_in} in, {n_out} keys, {shuffled} shuffled");
@@ -376,7 +498,7 @@ where
     where
         K: Sync,
         V: Clone,
-        W: Send + Sync + Clone,
+        W: Send + Sync + Clone + SpillCodec,
     {
         let n_in = self.count() + right.count();
         let left = self.group_by_key();
@@ -409,25 +531,10 @@ where
     {
         let n_in = self.count();
         let nparts = self.partitions.len();
-        let bucketed: Vec<Vec<Vec<(K, V)>>> =
-            self.pool.map_partitions(self.partitions, |_, part| {
-                let mut buckets: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
-                buckets.resize_with(nparts, Vec::new);
-                for kv in part {
-                    let b = (hash_of(&kv.0) % nparts as u64) as usize;
-                    buckets[b].push(kv);
-                }
-                buckets
+        let (gathered, shuffled) =
+            hash_shuffle(&self.pool, &self.spill, self.partitions, |kv: &(K, V)| {
+                (hash_of(&kv.0) % nparts as u64) as usize
             });
-        let mut gathered: Vec<Vec<(K, V)>> = Vec::with_capacity(nparts);
-        gathered.resize_with(nparts, Vec::new);
-        let mut shuffled = 0u64;
-        for mut producer in bucketed {
-            for (b, bucket) in producer.drain(..).enumerate() {
-                shuffled += bucket.len() as u64;
-                gathered[b].extend(bucket);
-            }
-        }
         let parts = self.pool.map_partitions(gathered, |_, part| {
             let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
             for (k, v) in part {
@@ -443,7 +550,8 @@ where
             }
             acc.into_iter().collect::<Vec<(K, V)>>()
         });
-        let out = Pdd { partitions: parts, pool: self.pool, metrics: self.metrics };
+        let out =
+            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
         let n_out = out.count();
         out.metrics.record("reduce_by_key", n_in, n_out, shuffled);
         csb_obs::obs_debug!("reduce_by_key: {n_in} in, {n_out} keys, {shuffled} shuffled");
@@ -601,7 +709,7 @@ mod tests {
     #[test]
     fn join_pairs_matching_keys() {
         let left = Pdd::from_vec(
-            vec![(1u64, "a"), (1, "b"), (2, "c")],
+            vec![(1u64, "a".to_string()), (1, "b".to_string()), (2, "c".to_string())],
             3,
             ThreadPool::new(2),
             JobMetrics::new(),
@@ -613,8 +721,14 @@ mod tests {
             JobMetrics::new(),
         );
         let mut out = left.join(right).collect();
-        out.sort_unstable_by_key(|&(k, (v, w))| (k, v, w));
-        assert_eq!(out, vec![(1, ("a", 10)), (1, ("b", 10)), (2, ("c", 20)), (2, ("c", 21)),]);
+        out.sort_unstable_by_key(|(k, (v, w))| (*k, v.clone(), *w));
+        let expect: Vec<(u64, (String, u64))> = vec![
+            (1, ("a".to_string(), 10)),
+            (1, ("b".to_string(), 10)),
+            (2, ("c".to_string(), 20)),
+            (2, ("c".to_string(), 21)),
+        ];
+        assert_eq!(out, expect);
     }
 
     #[test]
@@ -631,5 +745,82 @@ mod tests {
     fn bad_fraction_panics() {
         let d = pdd(vec![1], 1);
         let _ = d.sample(1.5, 0);
+    }
+
+    /// Forces every shuffle through disk.
+    fn always_spill() -> SpillConfig {
+        SpillConfig { budget_bytes: 0, ..SpillConfig::default() }
+    }
+
+    #[test]
+    fn distinct_is_identical_with_and_without_spill() {
+        let mut data: Vec<u64> = (0..2000).map(|i| i % 700).collect();
+        data.extend(0..100);
+        let in_mem = pdd(data.clone(), 8).distinct().collect();
+        let spilled = pdd(data, 8).with_spill(always_spill()).distinct().collect();
+        assert_eq!(in_mem, spilled, "spill must not change results or their order");
+    }
+
+    #[test]
+    fn group_by_key_is_identical_with_and_without_spill() {
+        let data: Vec<(u64, u64)> = (0..500).map(|i| (i % 17, i)).collect();
+        let make = || Pdd::from_vec(data.clone(), 6, ThreadPool::new(3), JobMetrics::new());
+        let mut in_mem = make().group_by_key().collect();
+        let mut spilled = make().with_spill(always_spill()).group_by_key().collect();
+        in_mem.sort_unstable();
+        spilled.sort_unstable();
+        assert_eq!(in_mem, spilled);
+    }
+
+    #[test]
+    fn reduce_by_key_is_identical_with_and_without_spill() {
+        let data: Vec<(u64, u64)> = (0..300).map(|i| (i % 11, 1)).collect();
+        let make = || Pdd::from_vec(data.clone(), 4, ThreadPool::new(2), JobMetrics::new());
+        let mut in_mem = make().reduce_by_key(|a, b| a + b).collect();
+        let mut spilled = make().with_spill(always_spill()).reduce_by_key(|a, b| a + b).collect();
+        in_mem.sort_unstable();
+        spilled.sort_unstable();
+        assert_eq!(in_mem, spilled);
+    }
+
+    #[test]
+    fn spilled_shuffle_reports_the_same_metrics() {
+        let data: Vec<u64> = vec![1, 1, 2, 2, 3];
+        let m = JobMetrics::new();
+        let d = Pdd::from_vec(data, 4, ThreadPool::new(2), m.clone()).with_spill(always_spill());
+        let _ = d.distinct();
+        let distinct = m.ops().into_iter().find(|o| o.op == "distinct").expect("recorded");
+        assert_eq!(distinct.records_in, 5);
+        assert_eq!(distinct.records_out, 3);
+        assert_eq!(distinct.shuffled, 5, "spilled shuffle must count like the in-memory one");
+    }
+
+    #[test]
+    fn spill_emits_span_and_counter() {
+        let _guard = csb_obs::span::test_lock();
+        csb_obs::reset();
+        csb_obs::enable();
+        let d = pdd((0..100).collect(), 4).with_spill(always_spill());
+        let _ = d.distinct();
+        csb_obs::disable();
+        let spans = csb_obs::span::flush_spans();
+        assert!(
+            spans.iter().any(|s| s.name == "engine.spill"),
+            "spill must be visible as an engine.spill span"
+        );
+        let counters = csb_obs::snapshot_metrics().counters;
+        let get = |name: &str| counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v);
+        assert!(get("engine.spills") >= 1);
+        assert!(get("engine.spill_bytes_written") > 0);
+        assert!(get("engine.spill_bytes_read") > 0);
+    }
+
+    #[test]
+    fn spill_budget_gate_uses_bytes_per_record() {
+        let spill =
+            SpillConfig { budget_bytes: 480, bytes_per_record: 48.0, ..SpillConfig::default() };
+        assert!(!spill.should_spill(10), "exactly at budget stays in memory");
+        assert!(spill.should_spill(11));
+        assert!(!SpillConfig::default().should_spill(1 << 40), "default budget never spills");
     }
 }

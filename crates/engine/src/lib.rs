@@ -29,7 +29,7 @@ pub mod sim;
 
 pub use cluster::ClusterConfig;
 pub use costmodel::CostModel;
-pub use dataset::Pdd;
+pub use dataset::{Pdd, SpillConfig};
 pub use executor::ThreadPool;
 pub use metrics::JobMetrics;
 pub use sim::{SimCluster, SimReport};

@@ -15,7 +15,7 @@ use crate::graph::VertexId;
 use crate::properties::EdgeProperties;
 use crate::NetflowGraph;
 use csb_net::flow::{Protocol, TcpConnState};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 const HEADER: &str = "# csb-graph v1";
 
@@ -48,7 +48,12 @@ impl From<io::Error> for GraphIoError {
 }
 
 /// Writes the graph in the text format.
-pub fn write_graph<W: Write>(mut w: W, g: &NetflowGraph) -> Result<(), GraphIoError> {
+///
+/// The writer is buffered internally (one `writeln!` per vertex/edge would
+/// otherwise issue one syscall per line on a raw `File`), so callers can
+/// pass an unbuffered writer directly.
+pub fn write_graph<W: Write>(w: W, g: &NetflowGraph) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(w);
     writeln!(w, "{HEADER}")?;
     for v in g.vertices() {
         writeln!(w, "v\t{}\t{}", v.0, g.vertex(v))?;
@@ -70,6 +75,7 @@ pub fn write_graph<W: Write>(mut w: W, g: &NetflowGraph) -> Result<(), GraphIoEr
             p.state.code()
         )?;
     }
+    w.flush()?;
     Ok(())
 }
 
@@ -203,6 +209,47 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(g.vertex(v), h.vertex(v));
         }
+    }
+
+    #[test]
+    fn large_graph_round_trips_through_a_file() {
+        // Regression for unbuffered writes: 100k+ edges through a real File
+        // (one syscall per line without the internal BufWriter) and back.
+        let n_vertices = 1000u32;
+        let n_edges = 120_000usize;
+        let mut g = NetflowGraph::with_capacity(n_vertices as usize, n_edges);
+        for i in 0..n_vertices {
+            g.add_vertex(0x0A00_0000 + i);
+        }
+        for i in 0..n_edges {
+            let s = (i as u32 * 7) % n_vertices;
+            let d = (i as u32 * 13 + 1) % n_vertices;
+            g.add_edge(
+                VertexId(s),
+                VertexId(d),
+                EdgeProperties {
+                    protocol: Protocol::Tcp,
+                    src_port: (i % 60_000) as u16,
+                    dst_port: 443,
+                    duration_ms: i as u64,
+                    out_bytes: i as u64 * 3,
+                    in_bytes: i as u64 * 5,
+                    out_pkts: 2,
+                    in_pkts: 4,
+                    state: TcpConnState::Sf,
+                },
+            );
+        }
+        let path = std::env::temp_dir().join(format!("csb-io-large-{}.graph", std::process::id()));
+        write_graph(std::fs::File::create(&path).expect("create"), &g).expect("write");
+        let h = read_graph(std::fs::File::open(&path).expect("open")).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(h.vertex_count(), g.vertex_count());
+        assert_eq!(h.edge_count(), n_edges);
+        assert_eq!(g.vertex_data(), h.vertex_data());
+        assert_eq!(g.edge_sources(), h.edge_sources());
+        assert_eq!(g.edge_targets(), h.edge_targets());
+        assert_eq!(g.edge_data(), h.edge_data());
     }
 
     #[test]

@@ -324,6 +324,54 @@ mod tests {
     }
 
     #[test]
+    fn record_fields_sit_at_their_v5_offsets_in_big_endian() {
+        // Pin the wire layout byte-for-byte: every multi-byte field is
+        // network order (big-endian) at the offset rfc'd for v5. The store
+        // crate's little-endian flow columns share these tests through
+        // `tests/formats.rs`, so a drift in either format shows up.
+        let mut f = flow(0x0A01_0203, 0xC0A8_0001, 0x1F90, (0x0001_E240, 0x1234), (0, 0));
+        f.src_port = 0xABCD;
+        f.first_ts_micros = 5_000_000; // first_ms = 5000, last_ms = 6500
+        let mut bytes = Vec::new();
+        write_netflow_v5(&mut bytes, &[f]).expect("write");
+        assert_eq!(bytes.len(), HEADER_LEN + RECORD_LEN);
+
+        // Header: version, count, then the sequence number at offset 16.
+        assert_eq!(&bytes[0..2], &5u16.to_be_bytes());
+        assert_eq!(&bytes[2..4], &1u16.to_be_bytes());
+        assert_eq!(&bytes[16..20], &0u32.to_be_bytes());
+
+        let r = &bytes[HEADER_LEN..];
+        assert_eq!(&r[0..4], &0x0A01_0203u32.to_be_bytes(), "src ip");
+        assert_eq!(&r[4..8], &0xC0A8_0001u32.to_be_bytes(), "dst ip");
+        assert_eq!(&r[8..12], &0u32.to_be_bytes(), "next hop");
+        assert_eq!(&r[12..16], &[0u8; 4], "ifaces");
+        assert_eq!(&r[16..20], &0x1234u32.to_be_bytes(), "packets");
+        assert_eq!(&r[20..24], &0x0001_E240u32.to_be_bytes(), "bytes");
+        assert_eq!(&r[24..28], &5000u32.to_be_bytes(), "first ms");
+        assert_eq!(&r[28..32], &6500u32.to_be_bytes(), "last ms");
+        assert_eq!(&r[32..34], &0xABCDu16.to_be_bytes(), "src port");
+        assert_eq!(&r[34..36], &0x1F90u16.to_be_bytes(), "dst port");
+        assert_eq!(r[36], 0, "pad");
+        assert_eq!(r[37], 0x13, "tcp flags for Sf");
+        assert_eq!(r[38], 6, "protocol");
+        assert_eq!(&r[39..48], &[0u8; 9], "tos/AS/masks/pad");
+    }
+
+    #[test]
+    fn sequence_number_counts_records_across_datagrams() {
+        let flows: Vec<FlowRecord> =
+            (0..40).map(|i| flow(i + 1, 1000 + i, 80, (10, 1), (0, 0))).collect();
+        let mut bytes = Vec::new();
+        write_netflow_v5(&mut bytes, &flows).expect("write");
+        // 40 one-directional records -> datagrams of 30 and 10; the second
+        // header's sequence field carries the running record count.
+        let second = HEADER_LEN + 30 * RECORD_LEN;
+        assert_eq!(&bytes[second + 2..second + 4], &10u16.to_be_bytes());
+        assert_eq!(&bytes[second + 16..second + 20], &30u32.to_be_bytes());
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(read_netflow_v5(&b"nonsense"[..]).is_err());
         let mut bad_version = Vec::new();

@@ -11,6 +11,7 @@
 use crate::json::{array_of, JsonObject};
 use crate::metrics::MetricsSnapshot;
 use crate::span::SpanRecord;
+use std::io::Write;
 
 fn span_object(s: &SpanRecord) -> JsonObject {
     let mut o = JsonObject::new();
@@ -86,14 +87,40 @@ pub fn metrics_summary_json(snap: &MetricsSnapshot) -> String {
     root.finish()
 }
 
+/// Streams the Chrome trace for `spans` into `w`, one event at a time.
+///
+/// Identical output to [`chrome_trace_json`], but incremental: a failure on
+/// the underlying writer (full disk, closed pipe) surfaces as `Err` at the
+/// event where it happened instead of after the whole document was built.
+pub fn write_chrome_trace_to<W: Write>(mut w: W, spans: &[SpanRecord]) -> std::io::Result<()> {
+    w.write_all(b"{\"traceEvents\":[")?;
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        w.write_all(span_object(s).finish().as_bytes())?;
+    }
+    w.write_all(b"],\"displayTimeUnit\":\"ms\"}")?;
+    w.flush()
+}
+
+/// Streams the metrics summary for `snap` into `w`. Same output as
+/// [`metrics_summary_json`], with the same error behavior as
+/// [`write_chrome_trace_to`].
+pub fn write_metrics_summary_to<W: Write>(mut w: W, snap: &MetricsSnapshot) -> std::io::Result<()> {
+    w.write_all(metrics_summary_json(snap).as_bytes())?;
+    w.flush()
+}
+
 /// Flushes buffered spans and writes the Chrome trace to `path`.
 pub fn write_chrome_trace(path: &str) -> std::io::Result<()> {
-    std::fs::write(path, chrome_trace_json(&crate::flush_spans()))
+    let file = std::fs::File::create(path)?;
+    write_chrome_trace_to(std::io::BufWriter::new(file), &crate::flush_spans())
 }
 
 /// Snapshots the registry and writes the metrics summary to `path`.
 pub fn write_metrics_summary(path: &str) -> std::io::Result<()> {
-    std::fs::write(path, metrics_summary_json(&crate::snapshot_metrics()))
+    write_metrics_summary_to(std::fs::File::create(path)?, &crate::snapshot_metrics())
 }
 
 #[cfg(test)]
@@ -142,6 +169,66 @@ mod tests {
         }
         assert!(out.ends_with('\n'));
         assert!(events_jsonl(&[]).is_empty());
+    }
+
+    /// Writer that accepts `capacity` bytes and then fails, like a disk
+    /// filling up partway through an export.
+    struct FullDisk {
+        capacity: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for FullDisk {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written.len() + buf.len() > self.capacity {
+                return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "disk full"));
+            }
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streamed_trace_matches_the_string_exporter() {
+        let spans = sample_spans();
+        let mut buf = Vec::new();
+        write_chrome_trace_to(&mut buf, &spans).expect("write to Vec");
+        assert_eq!(String::from_utf8(buf).unwrap(), chrome_trace_json(&spans));
+
+        let mut empty = Vec::new();
+        write_chrome_trace_to(&mut empty, &[]).expect("write empty trace");
+        assert_eq!(String::from_utf8(empty).unwrap(), chrome_trace_json(&[]));
+    }
+
+    #[test]
+    fn exporters_report_write_failures_instead_of_panicking() {
+        let spans = sample_spans();
+        for capacity in [0, 10, 40] {
+            let err = write_chrome_trace_to(FullDisk { capacity, written: Vec::new() }, &spans)
+                .expect_err("short writer must error");
+            assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+        }
+        let snap =
+            MetricsSnapshot { counters: vec![("edges", 100)], gauges: vec![], histograms: vec![] };
+        let err = write_metrics_summary_to(FullDisk { capacity: 4, written: Vec::new() }, &snap)
+            .expect_err("short writer must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn streamed_metrics_summary_matches_the_string_exporter() {
+        let snap = MetricsSnapshot {
+            counters: vec![("edges", 100)],
+            gauges: vec![("depth", -2)],
+            histograms: vec![],
+        };
+        let mut buf = Vec::new();
+        write_metrics_summary_to(&mut buf, &snap).expect("write to Vec");
+        assert_eq!(String::from_utf8(buf).unwrap(), metrics_summary_json(&snap));
     }
 
     #[test]

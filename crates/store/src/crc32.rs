@@ -1,0 +1,87 @@
+//! CRC32 (IEEE 802.3, the zlib/PNG polynomial) with a compile-time table.
+//! Hand-rolled because the store must stay dependency-free; one table lookup
+//! per byte is plenty for chunk-sized payloads.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Streaming CRC32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_ieee_check_value() {
+        // The standard check vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_incremental() {
+        assert_eq!(crc32(b""), 0);
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 256];
+        let good = crc32(&data);
+        data[100] ^= 0x01;
+        assert_ne!(crc32(&data), good);
+    }
+}

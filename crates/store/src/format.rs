@@ -1,0 +1,251 @@
+//! On-disk layout of the csb store format, version 1.
+//!
+//! A store file is, in order:
+//!
+//! ```text
+//! file header   magic "CSBSTOR1" (8) | version u32 | kind u8 | 3 reserved     16 bytes
+//! chunk*        chunk header (28) | column payload                            variable
+//! footer        one index entry per chunk                                     32 bytes each
+//! trailer       chunk count u64 | footer offset u64 | magic "CSBEND01"        24 bytes
+//! ```
+//!
+//! All integers are **little-endian**. Each chunk's payload is column-major:
+//! the columns of [`EDGE_COLUMNS`] / [`FLOW_COLUMNS`] (or the single vertex
+//! ip column) concatenated, each `records x width` bytes, so a reader can
+//! project a single column by seeking to its offset without touching the
+//! other eight attributes. The chunk header carries a CRC32 (IEEE) of the
+//! payload; the trailing footer index makes chunk discovery O(1) from the
+//! end of the file without scanning.
+
+use std::io;
+
+/// File magic, first 8 bytes.
+pub const FILE_MAGIC: [u8; 8] = *b"CSBSTOR1";
+/// Trailer magic, last 8 bytes.
+pub const TRAILER_MAGIC: [u8; 8] = *b"CSBEND01";
+/// Chunk header magic ("CHNK" in LE byte order).
+pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"CHNK");
+/// Format version written by this crate.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File header length in bytes.
+pub const FILE_HEADER_LEN: u64 = 16;
+/// Chunk header length in bytes (magic + kind + pad + count + len + crc).
+pub const CHUNK_HEADER_LEN: u64 = 28;
+/// Footer index entry length in bytes.
+pub const FOOTER_ENTRY_LEN: u64 = 32;
+/// Trailer length in bytes.
+pub const TRAILER_LEN: u64 = 24;
+
+/// What a store file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Vertex + edge chunks of a property graph.
+    Graph,
+    /// Flow chunks of a NetFlow record stream.
+    Flows,
+}
+
+impl FileKind {
+    /// Stable byte code.
+    pub const fn code(self) -> u8 {
+        match self {
+            FileKind::Graph => 0,
+            FileKind::Flows => 1,
+        }
+    }
+
+    /// Inverse of [`FileKind::code`].
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(FileKind::Graph),
+            1 => Some(FileKind::Flows),
+            _ => None,
+        }
+    }
+}
+
+/// What one chunk holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Vertex ip column.
+    Vertex,
+    /// Edge columns ([`EDGE_COLUMNS`]).
+    Edge,
+    /// Flow columns ([`FLOW_COLUMNS`]).
+    Flow,
+}
+
+impl ChunkKind {
+    /// Stable byte code.
+    pub const fn code(self) -> u8 {
+        match self {
+            ChunkKind::Vertex => 0,
+            ChunkKind::Edge => 1,
+            ChunkKind::Flow => 2,
+        }
+    }
+
+    /// Inverse of [`ChunkKind::code`].
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ChunkKind::Vertex),
+            1 => Some(ChunkKind::Edge),
+            2 => Some(ChunkKind::Flow),
+            _ => None,
+        }
+    }
+
+    /// Payload bytes per record of this chunk kind.
+    pub fn record_width(self) -> usize {
+        match self {
+            ChunkKind::Vertex => 4,
+            ChunkKind::Edge => EDGE_COLUMNS.iter().map(|c| c.width).sum(),
+            ChunkKind::Flow => FLOW_COLUMNS.iter().map(|c| c.width).sum(),
+        }
+    }
+}
+
+/// One fixed-width column of a chunk schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (matches the paper's attribute vocabulary where one
+    /// exists).
+    pub name: &'static str,
+    /// Bytes per record.
+    pub width: usize,
+}
+
+const fn col(name: &'static str, width: usize) -> Column {
+    Column { name, width }
+}
+
+/// Edge chunk schema: endpoints plus the nine NetFlow attributes, in the
+/// order of `csb_graph::EdgeProperties`.
+pub const EDGE_COLUMNS: [Column; 11] = [
+    col("SRC", 4),
+    col("DST", 4),
+    col("PROTOCOL", 1),
+    col("SRC_PORT", 2),
+    col("DEST_PORT", 2),
+    col("DURATION", 8),
+    col("OUT_BYTES", 8),
+    col("IN_BYTES", 8),
+    col("OUT_PKTS", 8),
+    col("IN_PKTS", 8),
+    col("STATE", 1),
+];
+
+/// Flow chunk schema: the edge schema keyed by address instead of vertex id,
+/// plus the detector fields (`syn_count`, `ack_count`, `first_ts_micros`).
+pub const FLOW_COLUMNS: [Column; 14] = [
+    col("SRC_IP", 4),
+    col("DST_IP", 4),
+    col("PROTOCOL", 1),
+    col("SRC_PORT", 2),
+    col("DEST_PORT", 2),
+    col("DURATION", 8),
+    col("OUT_BYTES", 8),
+    col("IN_BYTES", 8),
+    col("OUT_PKTS", 8),
+    col("IN_PKTS", 8),
+    col("STATE", 1),
+    col("SYN_COUNT", 4),
+    col("ACK_COUNT", 4),
+    col("FIRST_TS_MICROS", 8),
+];
+
+/// Byte offset of column `index` inside a chunk payload of `records` records.
+pub fn column_offset(schema: &[Column], index: usize, records: usize) -> usize {
+    schema[..index].iter().map(|c| c.width * records).sum()
+}
+
+/// Footer index entry describing one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Chunk kind.
+    pub kind: ChunkKind,
+    /// Records in the chunk.
+    pub records: u64,
+    /// File offset of the chunk header.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// CRC32 (IEEE) of the payload.
+    pub crc32: u32,
+}
+
+/// Errors from store (de)serialization.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Corrupt {
+        /// File offset of the problem (best effort).
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { offset, message } => {
+                write!(f, "corrupt store at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+pub(crate) fn corrupt(offset: u64, message: impl Into<String>) -> StoreError {
+    StoreError::Corrupt { offset, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [FileKind::Graph, FileKind::Flows] {
+            assert_eq!(FileKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(FileKind::from_code(9), None);
+        for k in [ChunkKind::Vertex, ChunkKind::Edge, ChunkKind::Flow] {
+            assert_eq!(ChunkKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ChunkKind::from_code(9), None);
+    }
+
+    #[test]
+    fn record_widths_sum_the_schemas() {
+        assert_eq!(ChunkKind::Vertex.record_width(), 4);
+        assert_eq!(ChunkKind::Edge.record_width(), 54);
+        assert_eq!(ChunkKind::Flow.record_width(), 70);
+    }
+
+    #[test]
+    fn column_offsets_are_exclusive_prefix_sums() {
+        assert_eq!(column_offset(&EDGE_COLUMNS, 0, 10), 0);
+        assert_eq!(column_offset(&EDGE_COLUMNS, 1, 10), 40);
+        assert_eq!(column_offset(&EDGE_COLUMNS, 2, 10), 80);
+        assert_eq!(column_offset(&EDGE_COLUMNS, 10, 10), 530);
+    }
+
+    #[test]
+    fn edge_schema_covers_the_nine_attributes() {
+        let names: Vec<&str> = EDGE_COLUMNS.iter().skip(2).map(|c| c.name).collect();
+        assert_eq!(names, csb_graph::EdgeProperties::ATTRIBUTE_NAMES);
+    }
+}

@@ -1,0 +1,54 @@
+//! # csb-store
+//!
+//! The storage layer of the suite: a chunked, columnar, little-endian binary
+//! format for property graphs and NetFlow records, plus the spill files that
+//! back `csb-engine`'s out-of-core shuffles.
+//!
+//! The paper's generators run on Spark precisely because their targets
+//! (2x10^10 edges) exceed one node's memory; this crate is the moral
+//! equivalent of Spark's saved RDDs and shuffle files for our single-node
+//! reproduction. Three layers:
+//!
+//! * [`format`] / [`write`] / [`read`] — the chunk format: fixed-width
+//!   columns per edge attribute, per-chunk CRC32, a trailing footer index,
+//!   and a reader with single-column projection ([`read::StoreReader::
+//!   read_column`]) and a bulk [`read::StoreReader::load_graph`] path through
+//!   `PropertyGraph::from_parts`.
+//! * [`sink`] — streaming [`sink::EdgeSink`] / [`sink::FlowSink`] writers so
+//!   generators and the traffic simulator emit chunks as they produce
+//!   records, never holding the full dataset.
+//! * [`spill`] — bucketed spill files ([`spill::SpillWriter`] /
+//!   [`spill::SpillFile`]) with a compact [`spill::SpillCodec`] record
+//!   encoding, used by `csb-engine` when a shuffle exceeds its memory
+//!   budget.
+//!
+//! Every store operation is instrumented with `csb-obs` spans
+//! (`store.write_chunk`, `store.read_chunk`) and counters
+//! (`store.bytes_written`, `store.bytes_read`, `store.chunks_written`,
+//! `store.chunks_read`).
+//!
+//! ```
+//! use csb_store::sink::{save_graph_to, MemoryGraphSink};
+//! use csb_store::read::StoreReader;
+//!
+//! let g = csb_graph::NetflowGraph::new();
+//! let bytes = save_graph_to(Vec::new(), &g).unwrap();
+//! let h = StoreReader::new(std::io::Cursor::new(bytes)).unwrap().load_graph().unwrap();
+//! assert_eq!(h.vertex_count(), 0);
+//! ```
+
+pub mod crc32;
+pub mod format;
+pub mod read;
+pub mod sink;
+pub mod spill;
+pub mod write;
+
+pub use format::{ChunkEntry, ChunkKind, Column, FileKind, StoreError};
+pub use read::{EdgeBatch, StoreReader};
+pub use sink::{
+    load_flows, load_graph, push_graph, save_flows, save_graph, save_graph_to, EdgeSink, FlowSink,
+    FlowStoreSink, GraphStoreSink, MemoryGraphSink,
+};
+pub use spill::{SpillCodec, SpillFile, SpillWriter};
+pub use write::StoreWriter;

@@ -1,0 +1,341 @@
+//! The chunk reader: opens a sealed store file, parses the trailer + footer
+//! index, and serves whole chunks, projected single columns, or a fully
+//! reconstructed [`NetflowGraph`] / flow list.
+
+use crate::crc32::crc32;
+use crate::format::{
+    column_offset, corrupt, ChunkEntry, ChunkKind, Column, FileKind, StoreError, CHUNK_MAGIC,
+    EDGE_COLUMNS, FILE_MAGIC, FLOW_COLUMNS, FORMAT_VERSION, TRAILER_LEN, TRAILER_MAGIC,
+};
+use csb_graph::graph::VertexId;
+use csb_graph::{EdgeProperties, NetflowGraph};
+use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// One decoded edge chunk, column-major.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeBatch {
+    /// Edge sources.
+    pub src: Vec<u32>,
+    /// Edge targets.
+    pub dst: Vec<u32>,
+    /// The nine NetFlow attributes per edge.
+    pub props: Vec<EdgeProperties>,
+}
+
+/// Reads a sealed store file.
+#[derive(Debug)]
+pub struct StoreReader<R: Read + Seek> {
+    r: R,
+    kind: FileKind,
+    chunks: Vec<ChunkEntry>,
+}
+
+impl StoreReader<BufReader<File>> {
+    /// Opens the store file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        StoreReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Parses the header, trailer, and footer index of `r`.
+    pub fn new(mut r: R) -> Result<Self, StoreError> {
+        let len = r.seek(SeekFrom::End(0))?;
+        if len < 16 + TRAILER_LEN {
+            return Err(corrupt(0, format!("file too short ({len} bytes)")));
+        }
+        let mut header = [0u8; 16];
+        r.seek(SeekFrom::Start(0))?;
+        r.read_exact(&mut header)?;
+        if header[..8] != FILE_MAGIC {
+            return Err(corrupt(0, "bad file magic"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(corrupt(8, format!("unsupported version {version}")));
+        }
+        let kind = FileKind::from_code(header[12])
+            .ok_or_else(|| corrupt(12, format!("bad file kind {}", header[12])))?;
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        r.seek(SeekFrom::Start(len - TRAILER_LEN))?;
+        r.read_exact(&mut trailer)?;
+        if trailer[16..24] != TRAILER_MAGIC {
+            return Err(corrupt(len - 8, "bad trailer magic (file not sealed?)"));
+        }
+        let chunk_count = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+        let footer_offset = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+        let footer_len = chunk_count
+            .checked_mul(32)
+            .filter(|&fl| footer_offset.checked_add(fl + TRAILER_LEN) == Some(len))
+            .ok_or_else(|| corrupt(len - TRAILER_LEN, "footer does not tile the file"))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        r.seek(SeekFrom::Start(footer_offset))?;
+        r.read_exact(&mut footer)?;
+        let mut chunks = Vec::with_capacity(chunk_count as usize);
+        for (i, e) in footer.chunks_exact(32).enumerate() {
+            let at = footer_offset + i as u64 * 32;
+            let kind = ChunkKind::from_code(e[0])
+                .ok_or_else(|| corrupt(at, format!("bad chunk kind {}", e[0])))?;
+            chunks.push(ChunkEntry {
+                kind,
+                records: u64::from_le_bytes(e[4..12].try_into().unwrap()),
+                offset: u64::from_le_bytes(e[12..20].try_into().unwrap()),
+                payload_len: u64::from_le_bytes(e[20..28].try_into().unwrap()),
+                crc32: u32::from_le_bytes(e[28..32].try_into().unwrap()),
+            });
+        }
+        Ok(StoreReader { r, kind, chunks })
+    }
+
+    /// What this file holds.
+    pub fn kind(&self) -> FileKind {
+        self.kind
+    }
+
+    /// The footer index.
+    pub fn chunks(&self) -> &[ChunkEntry] {
+        &self.chunks
+    }
+
+    /// Total records across chunks of `kind`.
+    pub fn record_count(&self, kind: ChunkKind) -> u64 {
+        self.chunks.iter().filter(|c| c.kind == kind).map(|c| c.records).sum()
+    }
+
+    /// Reads chunk `idx`'s payload, verifying the chunk header against the
+    /// footer entry and the payload against its CRC32.
+    pub fn read_chunk_payload(&mut self, idx: usize) -> Result<Vec<u8>, StoreError> {
+        let _span = csb_obs::span_cat("store.read_chunk", "store");
+        let entry = self.chunks[idx];
+        let mut header = [0u8; 28];
+        self.r.seek(SeekFrom::Start(entry.offset))?;
+        self.r.read_exact(&mut header)?;
+        if u32::from_le_bytes(header[0..4].try_into().unwrap()) != CHUNK_MAGIC {
+            return Err(corrupt(entry.offset, "bad chunk magic"));
+        }
+        let records = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if header[4] != entry.kind.code()
+            || records != entry.records
+            || payload_len != entry.payload_len
+        {
+            return Err(corrupt(entry.offset, "chunk header disagrees with footer index"));
+        }
+        let mut payload = vec![0u8; entry.payload_len as usize];
+        self.r.read_exact(&mut payload)?;
+        if crc32(&payload) != entry.crc32 {
+            return Err(corrupt(entry.offset + 28, "chunk payload CRC mismatch"));
+        }
+        csb_obs::counter_add("store.chunks_read", 1);
+        csb_obs::counter_add("store.bytes_read", 28 + entry.payload_len);
+        Ok(payload)
+    }
+
+    fn expect_kind(&self, idx: usize, kind: ChunkKind) -> Result<ChunkEntry, StoreError> {
+        let entry = self.chunks[idx];
+        if entry.kind != kind {
+            return Err(corrupt(entry.offset, format!("chunk {idx} is not a {kind:?} chunk")));
+        }
+        Ok(entry)
+    }
+
+    /// Decodes vertex chunk `idx` into its ip column.
+    pub fn read_vertex_batch(&mut self, idx: usize) -> Result<Vec<u32>, StoreError> {
+        let entry = self.expect_kind(idx, ChunkKind::Vertex)?;
+        let payload = self.read_chunk_payload(idx)?;
+        Ok(u32_col(&payload, 0, entry.records as usize))
+    }
+
+    /// Decodes edge chunk `idx` into all eleven columns.
+    pub fn read_edge_batch(&mut self, idx: usize) -> Result<EdgeBatch, StoreError> {
+        let entry = self.expect_kind(idx, ChunkKind::Edge)?;
+        let payload = self.read_chunk_payload(idx)?;
+        let n = entry.records as usize;
+        let at = |i| column_offset(&EDGE_COLUMNS, i, n);
+        let protocol = decode_protocols(&payload[at(2)..], n, entry.offset)?;
+        let src_port = u16_col(&payload, at(3), n);
+        let dst_port = u16_col(&payload, at(4), n);
+        let duration_ms = u64_col(&payload, at(5), n);
+        let out_bytes = u64_col(&payload, at(6), n);
+        let in_bytes = u64_col(&payload, at(7), n);
+        let out_pkts = u64_col(&payload, at(8), n);
+        let in_pkts = u64_col(&payload, at(9), n);
+        let state = decode_states(&payload[at(10)..], n, entry.offset)?;
+        let props = (0..n)
+            .map(|i| EdgeProperties {
+                protocol: protocol[i],
+                src_port: src_port[i],
+                dst_port: dst_port[i],
+                duration_ms: duration_ms[i],
+                out_bytes: out_bytes[i],
+                in_bytes: in_bytes[i],
+                out_pkts: out_pkts[i],
+                in_pkts: in_pkts[i],
+                state: state[i],
+            })
+            .collect();
+        Ok(EdgeBatch { src: u32_col(&payload, at(0), n), dst: u32_col(&payload, at(1), n), props })
+    }
+
+    /// Decodes flow chunk `idx` into [`FlowRecord`]s.
+    pub fn read_flow_batch(&mut self, idx: usize) -> Result<Vec<FlowRecord>, StoreError> {
+        let entry = self.expect_kind(idx, ChunkKind::Flow)?;
+        let payload = self.read_chunk_payload(idx)?;
+        let n = entry.records as usize;
+        let at = |i| column_offset(&FLOW_COLUMNS, i, n);
+        let src_ip = u32_col(&payload, at(0), n);
+        let dst_ip = u32_col(&payload, at(1), n);
+        let protocol = decode_protocols(&payload[at(2)..], n, entry.offset)?;
+        let src_port = u16_col(&payload, at(3), n);
+        let dst_port = u16_col(&payload, at(4), n);
+        let duration_ms = u64_col(&payload, at(5), n);
+        let out_bytes = u64_col(&payload, at(6), n);
+        let in_bytes = u64_col(&payload, at(7), n);
+        let out_pkts = u64_col(&payload, at(8), n);
+        let in_pkts = u64_col(&payload, at(9), n);
+        let state = decode_states(&payload[at(10)..], n, entry.offset)?;
+        let syn_count = u32_col(&payload, at(11), n);
+        let ack_count = u32_col(&payload, at(12), n);
+        let first_ts = u64_col(&payload, at(13), n);
+        Ok((0..n)
+            .map(|i| FlowRecord {
+                src_ip: src_ip[i],
+                dst_ip: dst_ip[i],
+                protocol: protocol[i],
+                src_port: src_port[i],
+                dst_port: dst_port[i],
+                duration_ms: duration_ms[i],
+                out_bytes: out_bytes[i],
+                in_bytes: in_bytes[i],
+                out_pkts: out_pkts[i],
+                in_pkts: in_pkts[i],
+                state: state[i],
+                syn_count: syn_count[i],
+                ack_count: ack_count[i],
+                first_ts_micros: first_ts[i],
+            })
+            .collect())
+    }
+
+    /// Projects one column of an edge or flow chunk by name, widened to
+    /// `u64`. Seeks straight to the column, reading `records x width` bytes
+    /// instead of the whole chunk; the projection path skips the CRC (which
+    /// covers the full payload) in exchange — use [`read_chunk_payload`]
+    /// first when integrity matters more than speed.
+    ///
+    /// [`read_chunk_payload`]: StoreReader::read_chunk_payload
+    pub fn read_column(&mut self, idx: usize, name: &str) -> Result<Vec<u64>, StoreError> {
+        let _span = csb_obs::span_cat("store.read_chunk", "store");
+        let entry = self.chunks[idx];
+        let schema: &[Column] = match entry.kind {
+            ChunkKind::Edge => &EDGE_COLUMNS,
+            ChunkKind::Flow => &FLOW_COLUMNS,
+            ChunkKind::Vertex => {
+                return Err(corrupt(entry.offset, "vertex chunks have no named columns"))
+            }
+        };
+        let col = schema
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| corrupt(entry.offset, format!("no column named {name}")))?;
+        let n = entry.records as usize;
+        let width = schema[col].width;
+        let start = entry.offset + 28 + column_offset(schema, col, n) as u64;
+        let mut raw = vec![0u8; n * width];
+        self.r.seek(SeekFrom::Start(start))?;
+        self.r.read_exact(&mut raw)?;
+        csb_obs::counter_add("store.bytes_read", raw.len() as u64);
+        Ok(match width {
+            1 => raw.iter().map(|&b| b as u64).collect(),
+            2 => raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]]) as u64).collect(),
+            4 => u32_col(&raw, 0, n).into_iter().map(u64::from).collect(),
+            _ => u64_col(&raw, 0, n),
+        })
+    }
+
+    /// Reconstructs the property graph from every vertex and edge chunk, in
+    /// file order, through the bulk `from_parts` constructor.
+    pub fn load_graph(&mut self) -> Result<NetflowGraph, StoreError> {
+        if self.kind != FileKind::Graph {
+            return Err(corrupt(12, "not a graph store"));
+        }
+        let mut ips: Vec<u32> = Vec::new();
+        let mut src: Vec<VertexId> = Vec::new();
+        let mut dst: Vec<VertexId> = Vec::new();
+        let mut props: Vec<EdgeProperties> = Vec::new();
+        for idx in 0..self.chunks.len() {
+            match self.chunks[idx].kind {
+                ChunkKind::Vertex => ips.extend(self.read_vertex_batch(idx)?),
+                ChunkKind::Edge => {
+                    let batch = self.read_edge_batch(idx)?;
+                    src.extend(batch.src.into_iter().map(VertexId));
+                    dst.extend(batch.dst.into_iter().map(VertexId));
+                    props.extend(batch.props);
+                }
+                ChunkKind::Flow => {
+                    return Err(corrupt(self.chunks[idx].offset, "flow chunk in a graph store"))
+                }
+            }
+        }
+        let n = ips.len();
+        if src.iter().chain(dst.iter()).any(|v| v.index() >= n) {
+            return Err(corrupt(0, "edge endpoint out of vertex range"));
+        }
+        Ok(NetflowGraph::from_parts(ips, src, dst, props))
+    }
+
+    /// Reconstructs the flow list from every flow chunk, in file order.
+    pub fn load_flows(&mut self) -> Result<Vec<FlowRecord>, StoreError> {
+        if self.kind != FileKind::Flows {
+            return Err(corrupt(12, "not a flow store"));
+        }
+        let mut flows = Vec::with_capacity(self.record_count(ChunkKind::Flow) as usize);
+        for idx in 0..self.chunks.len() {
+            flows.extend(self.read_flow_batch(idx)?);
+        }
+        Ok(flows)
+    }
+}
+
+fn u32_col(payload: &[u8], offset: usize, n: usize) -> Vec<u32> {
+    payload[offset..offset + n * 4]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn u16_col(payload: &[u8], offset: usize, n: usize) -> Vec<u16> {
+    payload[offset..offset + n * 2]
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect()
+}
+
+fn u64_col(payload: &[u8], offset: usize, n: usize) -> Vec<u64> {
+    payload[offset..offset + n * 8]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn decode_protocols(raw: &[u8], n: usize, chunk_at: u64) -> Result<Vec<Protocol>, StoreError> {
+    raw[..n]
+        .iter()
+        .map(|&b| {
+            Protocol::from_number(b).ok_or_else(|| corrupt(chunk_at, format!("bad protocol {b}")))
+        })
+        .collect()
+}
+
+fn decode_states(raw: &[u8], n: usize, chunk_at: u64) -> Result<Vec<TcpConnState>, StoreError> {
+    raw[..n]
+        .iter()
+        .map(|&b| {
+            TcpConnState::from_code(b as u64)
+                .ok_or_else(|| corrupt(chunk_at, format!("bad state {b}")))
+        })
+        .collect()
+}

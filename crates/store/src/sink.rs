@@ -1,0 +1,356 @@
+//! Streaming sinks: push vertices/edges/flows in whatever granularity the
+//! producer emits them; the sink re-chunks into fixed-size store chunks, so
+//! the file layout depends only on the record stream — a generator pushing
+//! edge-by-edge and one pushing 8192-edge batches produce byte-identical
+//! files.
+
+use crate::format::{ChunkKind, FileKind, StoreError, EDGE_COLUMNS, FLOW_COLUMNS};
+use crate::read::StoreReader;
+use crate::write::StoreWriter;
+use csb_graph::graph::VertexId;
+use csb_graph::{EdgeProperties, NetflowGraph};
+use csb_net::flow::FlowRecord;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Records per store chunk (64 Ki): ~3.4 MB edge chunks, small enough to
+/// buffer, large enough that header overhead vanishes.
+pub const CHUNK_RECORDS: usize = 65_536;
+
+/// Receives a property graph as a stream of vertex and edge batches.
+pub trait EdgeSink {
+    /// Appends vertices (ids are assigned densely in push order).
+    fn push_vertices(&mut self, ips: &[u32]) -> Result<(), StoreError>;
+    /// Appends edges; the three slices must be equally long.
+    fn push_edges(
+        &mut self,
+        src: &[u32],
+        dst: &[u32],
+        props: &[EdgeProperties],
+    ) -> Result<(), StoreError>;
+}
+
+/// Receives NetFlow records as a stream of batches.
+pub trait FlowSink {
+    /// Appends flow records.
+    fn push_flows(&mut self, flows: &[FlowRecord]) -> Result<(), StoreError>;
+}
+
+fn encode_edge_chunk(src: &[u32], dst: &[u32], props: &[EdgeProperties]) -> Vec<u8> {
+    let n = src.len();
+    let mut payload = Vec::with_capacity(n * ChunkKind::Edge.record_width());
+    debug_assert_eq!(EDGE_COLUMNS.len(), 11);
+    for &s in src {
+        payload.extend_from_slice(&s.to_le_bytes());
+    }
+    for &d in dst {
+        payload.extend_from_slice(&d.to_le_bytes());
+    }
+    payload.extend(props.iter().map(|p| p.protocol.number()));
+    for p in props {
+        payload.extend_from_slice(&p.src_port.to_le_bytes());
+    }
+    for p in props {
+        payload.extend_from_slice(&p.dst_port.to_le_bytes());
+    }
+    for p in props {
+        payload.extend_from_slice(&p.duration_ms.to_le_bytes());
+    }
+    for p in props {
+        payload.extend_from_slice(&p.out_bytes.to_le_bytes());
+    }
+    for p in props {
+        payload.extend_from_slice(&p.in_bytes.to_le_bytes());
+    }
+    for p in props {
+        payload.extend_from_slice(&p.out_pkts.to_le_bytes());
+    }
+    for p in props {
+        payload.extend_from_slice(&p.in_pkts.to_le_bytes());
+    }
+    payload.extend(props.iter().map(|p| p.state.code() as u8));
+    payload
+}
+
+fn encode_flow_chunk(flows: &[FlowRecord]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(flows.len() * ChunkKind::Flow.record_width());
+    debug_assert_eq!(FLOW_COLUMNS.len(), 14);
+    for f in flows {
+        payload.extend_from_slice(&f.src_ip.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.dst_ip.to_le_bytes());
+    }
+    payload.extend(flows.iter().map(|f| f.protocol.number()));
+    for f in flows {
+        payload.extend_from_slice(&f.src_port.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.dst_port.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.duration_ms.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.out_bytes.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.in_bytes.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.out_pkts.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.in_pkts.to_le_bytes());
+    }
+    payload.extend(flows.iter().map(|f| f.state.code() as u8));
+    for f in flows {
+        payload.extend_from_slice(&f.syn_count.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.ack_count.to_le_bytes());
+    }
+    for f in flows {
+        payload.extend_from_slice(&f.first_ts_micros.to_le_bytes());
+    }
+    payload
+}
+
+/// An [`EdgeSink`] writing store chunks to `W`.
+#[derive(Debug)]
+pub struct GraphStoreSink<W: Write> {
+    writer: StoreWriter<W>,
+    chunk_records: usize,
+    vertices: Vec<u32>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    props: Vec<EdgeProperties>,
+}
+
+impl GraphStoreSink<BufWriter<File>> {
+    /// Creates a graph store file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(GraphStoreSink::from_writer(StoreWriter::create(path, FileKind::Graph)?))
+    }
+}
+
+impl<W: Write> GraphStoreSink<W> {
+    /// Starts a graph store stream on `w`.
+    pub fn new(w: W) -> Result<Self, StoreError> {
+        Ok(GraphStoreSink::from_writer(StoreWriter::new(w, FileKind::Graph)?))
+    }
+
+    fn from_writer(writer: StoreWriter<W>) -> Self {
+        GraphStoreSink {
+            writer,
+            chunk_records: CHUNK_RECORDS,
+            vertices: Vec::new(),
+            src: Vec::new(),
+            dst: Vec::new(),
+            props: Vec::new(),
+        }
+    }
+
+    /// Overrides the chunk size (tests use small chunks to exercise the
+    /// multi-chunk paths cheaply).
+    pub fn with_chunk_records(mut self, records: usize) -> Self {
+        self.chunk_records = records.max(1);
+        self
+    }
+
+    fn flush_full_vertex_chunks(&mut self) -> Result<(), StoreError> {
+        while self.vertices.len() >= self.chunk_records {
+            let rest = self.vertices.split_off(self.chunk_records);
+            let chunk = std::mem::replace(&mut self.vertices, rest);
+            let payload: Vec<u8> = chunk.iter().flat_map(|ip| ip.to_le_bytes()).collect();
+            self.writer.write_chunk(ChunkKind::Vertex, chunk.len() as u64, &payload)?;
+        }
+        Ok(())
+    }
+
+    fn flush_full_edge_chunks(&mut self) -> Result<(), StoreError> {
+        while self.src.len() >= self.chunk_records {
+            let rest_src = self.src.split_off(self.chunk_records);
+            let rest_dst = self.dst.split_off(self.chunk_records);
+            let rest_props = self.props.split_off(self.chunk_records);
+            let src = std::mem::replace(&mut self.src, rest_src);
+            let dst = std::mem::replace(&mut self.dst, rest_dst);
+            let props = std::mem::replace(&mut self.props, rest_props);
+            let payload = encode_edge_chunk(&src, &dst, &props);
+            self.writer.write_chunk(ChunkKind::Edge, src.len() as u64, &payload)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the partial buffers and seals the file, returning the inner
+    /// writer.
+    pub fn finish(mut self) -> Result<W, StoreError> {
+        if !self.vertices.is_empty() {
+            let payload: Vec<u8> = self.vertices.iter().flat_map(|ip| ip.to_le_bytes()).collect();
+            self.writer.write_chunk(ChunkKind::Vertex, self.vertices.len() as u64, &payload)?;
+        }
+        if !self.src.is_empty() {
+            let payload = encode_edge_chunk(&self.src, &self.dst, &self.props);
+            self.writer.write_chunk(ChunkKind::Edge, self.src.len() as u64, &payload)?;
+        }
+        self.writer.finish()
+    }
+}
+
+impl<W: Write> EdgeSink for GraphStoreSink<W> {
+    fn push_vertices(&mut self, ips: &[u32]) -> Result<(), StoreError> {
+        self.vertices.extend_from_slice(ips);
+        self.flush_full_vertex_chunks()
+    }
+
+    fn push_edges(
+        &mut self,
+        src: &[u32],
+        dst: &[u32],
+        props: &[EdgeProperties],
+    ) -> Result<(), StoreError> {
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        assert_eq!(src.len(), props.len(), "props length mismatch");
+        self.src.extend_from_slice(src);
+        self.dst.extend_from_slice(dst);
+        self.props.extend_from_slice(props);
+        self.flush_full_edge_chunks()
+    }
+}
+
+/// A [`FlowSink`] writing store chunks to `W`.
+#[derive(Debug)]
+pub struct FlowStoreSink<W: Write> {
+    writer: StoreWriter<W>,
+    chunk_records: usize,
+    flows: Vec<FlowRecord>,
+}
+
+impl FlowStoreSink<BufWriter<File>> {
+    /// Creates a flow store file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let writer = StoreWriter::create(path, FileKind::Flows)?;
+        Ok(FlowStoreSink { writer, chunk_records: CHUNK_RECORDS, flows: Vec::new() })
+    }
+}
+
+impl<W: Write> FlowStoreSink<W> {
+    /// Starts a flow store stream on `w`.
+    pub fn new(w: W) -> Result<Self, StoreError> {
+        let writer = StoreWriter::new(w, FileKind::Flows)?;
+        Ok(FlowStoreSink { writer, chunk_records: CHUNK_RECORDS, flows: Vec::new() })
+    }
+
+    /// Overrides the chunk size.
+    pub fn with_chunk_records(mut self, records: usize) -> Self {
+        self.chunk_records = records.max(1);
+        self
+    }
+
+    /// Flushes the partial buffer and seals the file.
+    pub fn finish(mut self) -> Result<W, StoreError> {
+        if !self.flows.is_empty() {
+            let payload = encode_flow_chunk(&self.flows);
+            self.writer.write_chunk(ChunkKind::Flow, self.flows.len() as u64, &payload)?;
+        }
+        self.writer.finish()
+    }
+}
+
+impl<W: Write> FlowSink for FlowStoreSink<W> {
+    fn push_flows(&mut self, flows: &[FlowRecord]) -> Result<(), StoreError> {
+        self.flows.extend_from_slice(flows);
+        while self.flows.len() >= self.chunk_records {
+            let rest = self.flows.split_off(self.chunk_records);
+            let chunk = std::mem::replace(&mut self.flows, rest);
+            let payload = encode_flow_chunk(&chunk);
+            self.writer.write_chunk(ChunkKind::Flow, chunk.len() as u64, &payload)?;
+        }
+        Ok(())
+    }
+}
+
+/// An [`EdgeSink`] accumulating in memory — the reference target the store
+/// sinks are tested against, and the adapter that lets streaming generators
+/// serve callers who want a [`NetflowGraph`].
+#[derive(Debug, Default)]
+pub struct MemoryGraphSink {
+    ips: Vec<u32>,
+    src: Vec<VertexId>,
+    dst: Vec<VertexId>,
+    props: Vec<EdgeProperties>,
+}
+
+impl MemoryGraphSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemoryGraphSink::default()
+    }
+
+    /// Builds the graph via the bulk constructor.
+    ///
+    /// # Panics
+    /// Panics if any pushed edge references a vertex that was never pushed.
+    pub fn into_graph(self) -> NetflowGraph {
+        NetflowGraph::from_parts(self.ips, self.src, self.dst, self.props)
+    }
+}
+
+impl EdgeSink for MemoryGraphSink {
+    fn push_vertices(&mut self, ips: &[u32]) -> Result<(), StoreError> {
+        self.ips.extend_from_slice(ips);
+        Ok(())
+    }
+
+    fn push_edges(
+        &mut self,
+        src: &[u32],
+        dst: &[u32],
+        props: &[EdgeProperties],
+    ) -> Result<(), StoreError> {
+        self.src.extend(src.iter().map(|&s| VertexId(s)));
+        self.dst.extend(dst.iter().map(|&d| VertexId(d)));
+        self.props.extend_from_slice(props);
+        Ok(())
+    }
+}
+
+/// Writes `g` as a graph store file at `path`.
+pub fn save_graph(path: impl AsRef<Path>, g: &NetflowGraph) -> Result<(), StoreError> {
+    save_graph_to(BufWriter::new(File::create(path)?), g)?;
+    Ok(())
+}
+
+/// Writes `g` as a graph store stream on `w`, returning the writer.
+pub fn save_graph_to<W: Write>(w: W, g: &NetflowGraph) -> Result<W, StoreError> {
+    let mut sink = GraphStoreSink::new(w)?;
+    push_graph(&mut sink, g)?;
+    sink.finish()
+}
+
+/// Streams an in-memory graph into any [`EdgeSink`].
+pub fn push_graph(sink: &mut impl EdgeSink, g: &NetflowGraph) -> Result<(), StoreError> {
+    sink.push_vertices(g.vertex_data())?;
+    let src: Vec<u32> = g.edge_sources().iter().map(|v| v.0).collect();
+    let dst: Vec<u32> = g.edge_targets().iter().map(|v| v.0).collect();
+    sink.push_edges(&src, &dst, g.edge_data())
+}
+
+/// Loads the graph store file at `path`.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<NetflowGraph, StoreError> {
+    StoreReader::open(path)?.load_graph()
+}
+
+/// Writes `flows` as a flow store file at `path`.
+pub fn save_flows(path: impl AsRef<Path>, flows: &[FlowRecord]) -> Result<(), StoreError> {
+    let mut sink = FlowStoreSink::create(path)?;
+    sink.push_flows(flows)?;
+    sink.finish()?;
+    Ok(())
+}
+
+/// Loads the flow store file at `path`.
+pub fn load_flows(path: impl AsRef<Path>) -> Result<Vec<FlowRecord>, StoreError> {
+    StoreReader::open(path)?.load_flows()
+}

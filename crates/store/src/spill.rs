@@ -1,0 +1,275 @@
+//! Spill files: the disk backing for hash shuffles whose working set exceeds
+//! the engine's in-memory budget — the moral equivalent of Spark's shuffle
+//! files. A producer writes its records bucketed by destination partition;
+//! each destination then reads its bucket from every producer's file, in
+//! producer order, so the gathered record order is identical to the
+//! in-memory transpose it replaces.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-width/length-prefixed encoding for records crossing a spill file.
+///
+/// Implemented for the primitive types and small tuples the engine shuffles;
+/// `decode` is the exact inverse of `encode` and advances the input slice.
+pub trait SpillCodec: Sized {
+    /// Appends this record's bytes to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Reads one record back, advancing `input`. `None` on truncated input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl SpillCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                let (head, rest) = input.split_first_chunk::<N>()?;
+                *input = rest;
+                Some(<$t>::from_le_bytes(*head))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i64);
+
+impl SpillCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        if input.len() < len {
+            return None;
+        }
+        let (head, rest) = input.split_at(len);
+        let s = std::str::from_utf8(head).ok()?.to_string();
+        *input = rest;
+        Some(s)
+    }
+}
+
+impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<A: SpillCodec, B: SpillCodec, C: SpillCodec> SpillCodec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?, C::decode(input)?))
+    }
+}
+
+/// One bucket's contiguous segment inside a spill file.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    bucket: usize,
+    records: usize,
+    offset: u64,
+    len: u64,
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes one producer's bucketed records to a uniquely named file in a
+/// spill directory.
+#[derive(Debug)]
+pub struct SpillWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    offset: u64,
+    segments: Vec<Segment>,
+}
+
+impl SpillWriter {
+    /// Creates a uniquely named spill file under `dir`.
+    pub fn create_in(dir: &Path) -> io::Result<Self> {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("csb-spill-{}-{seq}.bin", std::process::id()));
+        let file = BufWriter::new(File::create(&path)?);
+        Ok(SpillWriter { file, path, offset: 0, segments: Vec::new() })
+    }
+
+    /// Appends one bucket's records as a segment. Empty buckets write
+    /// nothing.
+    pub fn write_bucket<T: SpillCodec>(&mut self, bucket: usize, records: &[T]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        for r in records {
+            r.encode(&mut buf);
+        }
+        self.file.write_all(&buf)?;
+        self.segments.push(Segment {
+            bucket,
+            records: records.len(),
+            offset: self.offset,
+            len: buf.len() as u64,
+        });
+        self.offset += buf.len() as u64;
+        csb_obs::counter_add("engine.spill_bytes_written", buf.len() as u64);
+        Ok(())
+    }
+
+    /// Flushes and seals the file for reading.
+    pub fn finish(mut self) -> io::Result<SpillFile> {
+        self.file.flush()?;
+        Ok(SpillFile { path: self.path, segments: self.segments })
+    }
+}
+
+/// A sealed spill file; buckets can be read back concurrently (`&self`).
+/// The file is deleted on drop.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    segments: Vec<Segment>,
+}
+
+impl SpillFile {
+    /// Records this producer wrote into `bucket`.
+    pub fn bucket_records(&self, bucket: usize) -> usize {
+        self.segments.iter().filter(|s| s.bucket == bucket).map(|s| s.records).sum()
+    }
+
+    /// Total records across all buckets.
+    pub fn total_records(&self) -> usize {
+        self.segments.iter().map(|s| s.records).sum()
+    }
+
+    /// Reads every record of `bucket` back, in write order.
+    pub fn read_bucket<T: SpillCodec>(&self, bucket: usize) -> io::Result<Vec<T>> {
+        let mut out = Vec::with_capacity(self.bucket_records(bucket));
+        let mut file: Option<File> = None;
+        for seg in self.segments.iter().filter(|s| s.bucket == bucket) {
+            let f = match &mut file {
+                Some(f) => f,
+                None => file.insert(File::open(&self.path)?),
+            };
+            let mut raw = vec![0u8; seg.len as usize];
+            f.seek(SeekFrom::Start(seg.offset))?;
+            f.read_exact(&mut raw)?;
+            csb_obs::counter_add("engine.spill_bytes_read", raw.len() as u64);
+            let mut input = &raw[..];
+            for _ in 0..seg.records {
+                out.push(T::decode(&mut input).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "truncated spill segment")
+                })?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: SpillCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut input = &buf[..];
+        assert_eq!(T::decode(&mut input), Some(v));
+        assert!(input.is_empty(), "decode must consume exactly what encode wrote");
+    }
+
+    #[test]
+    fn codecs_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(String::from("héllo\tworld"));
+        round_trip(String::new());
+        round_trip((7u32, 9u64));
+        round_trip((1u64, String::from("x"), 3u64));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        (0xABCD_EF01u32, 7u64).encode(&mut buf);
+        let mut short = &buf[..buf.len() - 1];
+        assert_eq!(<(u32, u64)>::decode(&mut short), None);
+        let mut sbuf = Vec::new();
+        String::from("hello").encode(&mut sbuf);
+        let mut short = &sbuf[..3];
+        assert_eq!(String::decode(&mut short), None);
+    }
+
+    #[test]
+    fn spill_file_round_trips_buckets_in_write_order() {
+        let dir = std::env::temp_dir();
+        let mut w = SpillWriter::create_in(&dir).expect("create");
+        w.write_bucket(0, &[1u64, 2, 3]).expect("b0");
+        w.write_bucket(2, &[10u64]).expect("b2");
+        w.write_bucket(0, &[4u64, 5]).expect("b0 again");
+        w.write_bucket(1, &[] as &[u64]).expect("empty");
+        let f = w.finish().expect("finish");
+        assert_eq!(f.total_records(), 6);
+        assert_eq!(f.read_bucket::<u64>(0).expect("read"), vec![1, 2, 3, 4, 5]);
+        assert_eq!(f.read_bucket::<u64>(1).expect("read"), Vec::<u64>::new());
+        assert_eq!(f.read_bucket::<u64>(2).expect("read"), vec![10]);
+    }
+
+    #[test]
+    fn spill_file_is_deleted_on_drop() {
+        let dir = std::env::temp_dir();
+        let mut w = SpillWriter::create_in(&dir).expect("create");
+        w.write_bucket(0, &[1u32]).expect("write");
+        let f = w.finish().expect("finish");
+        let path = f.path.clone();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists(), "spill file must be removed on drop");
+    }
+
+    #[test]
+    fn concurrent_bucket_reads() {
+        let dir = std::env::temp_dir();
+        let mut w = SpillWriter::create_in(&dir).expect("create");
+        for b in 0..8usize {
+            let data: Vec<u64> = (0..100).map(|i| (b * 1000 + i) as u64).collect();
+            w.write_bucket(b, &data).expect("write");
+        }
+        let f = w.finish().expect("finish");
+        std::thread::scope(|s| {
+            for b in 0..8usize {
+                let f = &f;
+                s.spawn(move || {
+                    let got = f.read_bucket::<u64>(b).expect("read");
+                    assert_eq!(got.len(), 100);
+                    assert_eq!(got[0], b as u64 * 1000);
+                });
+            }
+        });
+    }
+}

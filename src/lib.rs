@@ -17,6 +17,9 @@
 //!   BTER) for comparison.
 //! * [`workloads`] — the benchmark's query workloads (node / edge / path /
 //!   sub-graph).
+//! * [`store`] — the chunked columnar binary store for graphs and flows,
+//!   with streaming sinks and the spill primitives the engine shuffles use.
+//! * [`obs`] — zero-dependency spans, metrics, and trace/metrics exporters.
 
 pub use csb_core as gen;
 pub use csb_engine as engine;
@@ -24,5 +27,7 @@ pub use csb_graph as graph;
 pub use csb_ids as ids;
 pub use csb_models as models;
 pub use csb_net as net;
+pub use csb_obs as obs;
 pub use csb_stats as stats;
+pub use csb_store as store;
 pub use csb_workloads as workloads;
