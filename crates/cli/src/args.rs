@@ -23,6 +23,12 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+impl From<ArgError> for csb_store::CsbError {
+    fn from(e: ArgError) -> Self {
+        csb_store::CsbError::Config(e.0)
+    }
+}
+
 impl Args {
     /// Parses raw arguments (program name already stripped).
     pub fn parse(raw: &[String]) -> Result<Args, ArgError> {

@@ -1,10 +1,10 @@
 //! Subcommand implementations.
 
-use crate::args::{ArgError, Args};
-use csb_core::veracity::veracity;
-use csb_core::{pgpba, pgsk, seed_from_packets, PgpbaConfig, PgskConfig, SeedBundle};
-use csb_engine::sim::{GenAlgorithm, GenJob};
+use crate::args::Args;
+use csb_core::{seed_from_packets, veracity_with, GenJob, PgpbaConfig, PgskConfig, SeedBundle};
+use csb_engine::sim::{GenAlgorithm, GenJob as SimGenJob};
 use csb_engine::{ClusterConfig, CostModel, SimCluster};
+use csb_graph::algo::PageRankConfig;
 use csb_graph::io::{read_graph, write_graph};
 use csb_graph::NetflowGraph;
 use csb_ids::{detect, evaluate, train_thresholds};
@@ -13,10 +13,14 @@ use csb_net::packet::{fmt_ip, ip};
 use csb_net::pcap::{read_pcap, write_pcap};
 use csb_net::traffic::attacks::AttackInjector;
 use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
-use std::error::Error;
+use csb_store::CsbError;
 use std::fs::File;
 
-type Result<T> = std::result::Result<T, Box<dyn Error>>;
+type Result<T> = std::result::Result<T, CsbError>;
+
+fn arg_err(message: impl Into<String>) -> CsbError {
+    CsbError::Config(message.into())
+}
 
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> Result<()> {
@@ -30,7 +34,7 @@ pub fn run(args: &Args) -> Result<()> {
         "export" => export_cmd(args),
         "import" => import_cmd(args),
         "cluster-sim" => cluster_sim(args),
-        other => Err(Box::new(ArgError(format!("unknown command `{other}` (try `csb help`)")))),
+        other => Err(arg_err(format!("unknown command `{other}` (try `csb help`)"))),
     }
 }
 
@@ -123,6 +127,10 @@ fn generate(args: &Args) -> Result<()> {
         "seed",
         "trace-out",
         "metrics-out",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "resume",
+        "kill-after-chunks",
     ])?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
@@ -136,15 +144,45 @@ fn generate(args: &Args) -> Result<()> {
     let size: u64 = args.require_parsed("size")?;
     let out = args.require("out")?;
     let rng_seed: u64 = args.get_or("seed", 42)?;
-    let graph = match args.require("algorithm")? {
+    let job = match args.require("algorithm")? {
         "pgpba" => {
             let fraction: f64 = args.get_or("fraction", 0.1)?;
-            pgpba(&bundle, &PgpbaConfig { desired_size: size, fraction, seed: rng_seed })
+            GenJob::pgpba(&bundle, PgpbaConfig { desired_size: size, fraction, seed: rng_seed })
         }
-        "pgsk" => pgsk(&bundle, &PgskConfig { seed: rng_seed, ..PgskConfig::new(size) }),
-        other => return Err(Box::new(ArgError(format!("unknown algorithm {other}")))),
+        "pgsk" => GenJob::pgsk(&bundle, PgskConfig { seed: rng_seed, ..PgskConfig::new(size) }),
+        other => return Err(arg_err(format!("unknown algorithm {other}"))),
     };
-    write_graph(File::create(out)?, &graph)?;
+    let graph = match args.get("checkpoint-dir") {
+        // Checkpointed runs write the binary store format directly (the text
+        // writer has no durable barriers to resume from).
+        Some(dir) => {
+            let mut job = job.store(out).checkpoint(dir);
+            job = job.checkpoint_every(args.get_or("checkpoint-every", 8)?);
+            if args.get_or("resume", false)? {
+                job = job.resume();
+            }
+            if let Some(n) = args.get("kill-after-chunks") {
+                let n: u64 =
+                    n.parse().map_err(|_| arg_err("flag --kill-after-chunks: not a number"))?;
+                // The CLI kill hook exists for crash-recovery smoke tests: it
+                // takes the whole process down, exactly like a real crash.
+                job = job.kill_after_chunks(n, true);
+            }
+            let run = job.run()?;
+            println!(
+                "generated {out}: {} edges (csb-store format, target {size}; \
+                 checkpoints in {dir})",
+                run.edges
+            );
+            None
+        }
+        None => {
+            let run = job.run()?;
+            let graph = run.graph.expect("memory runs hold the graph");
+            write_graph(File::create(out)?, &graph)?;
+            Some(graph)
+        }
+    };
     if trace_out.is_some() || metrics_out.is_some() {
         csb_obs::disable();
         // Instrumentation export is best-effort: a full disk at --trace-out
@@ -164,19 +202,27 @@ fn generate(args: &Args) -> Result<()> {
             }
         }
     }
-    println!(
-        "generated {out}: {} vertices, {} edges (target {size})",
-        graph.vertex_count(),
-        graph.edge_count()
-    );
+    if let Some(graph) = graph {
+        println!(
+            "generated {out}: {} vertices, {} edges (target {size})",
+            graph.vertex_count(),
+            graph.edge_count()
+        );
+    }
     Ok(())
 }
 
 fn veracity_cmd(args: &Args) -> Result<()> {
-    args.expect_only(&["seed-graph", "synthetic"])?;
+    args.expect_only(&["seed-graph", "synthetic", "damping", "max-iters", "tolerance"])?;
     let seed = load_graph(args.require("seed-graph")?)?;
     let synth = load_graph(args.require("synthetic")?)?;
-    let v = veracity(&seed, &synth);
+    let defaults = PageRankConfig::default();
+    let pr = PageRankConfig {
+        damping: args.get_or("damping", defaults.damping)?,
+        max_iters: args.get_or("max-iters", defaults.max_iters)?,
+        tolerance: args.get_or("tolerance", defaults.tolerance)?,
+    };
+    let v = veracity_with(&seed, &synth, &pr);
     println!(
         "seed {}v/{}e vs synthetic {}v/{}e",
         seed.vertex_count(),
@@ -278,9 +324,9 @@ fn export_cmd(args: &Args) -> Result<()> {
             );
         }
         other => {
-            return Err(Box::new(ArgError(format!(
+            return Err(arg_err(format!(
                 "unknown export format `{other}` (expected nf5, store, or store-flows)"
-            ))))
+            )))
         }
     }
     Ok(())
@@ -298,9 +344,9 @@ fn import_cmd(args: &Args) -> Result<()> {
             && expected.edge_targets() == graph.edge_targets()
             && expected.edge_data() == graph.edge_data();
         if !same {
-            return Err(Box::new(ArgError(format!(
+            return Err(CsbError::Mismatch(format!(
                 "store {store_path} does not match {expect_path}"
-            ))));
+            )));
         }
         println!("store matches {expect_path}");
     }
@@ -321,10 +367,10 @@ fn cluster_sim(args: &Args) -> Result<()> {
     let algorithm = match args.require("algorithm")? {
         "pgpba" => GenAlgorithm::Pgpba { fraction: args.get_or("fraction", 2.0)? },
         "pgsk" => GenAlgorithm::Pgsk,
-        other => return Err(Box::new(ArgError(format!("unknown algorithm {other}")))),
+        other => return Err(arg_err(format!("unknown algorithm {other}"))),
     };
     let sim = SimCluster::new(ClusterConfig::shadow_ii(nodes), CostModel::default());
-    let r = sim.simulate(&GenJob { algorithm, edges, seed_edges, with_properties: true });
+    let r = sim.simulate(&SimGenJob { algorithm, edges, seed_edges, with_properties: true });
     println!("cluster: {nodes} Shadow II nodes (12 executor cores each)");
     println!(
         "total {:.1} s = compute {:.1} + shuffle {:.1} + barriers {:.1} (+{:.0} s job overhead)",
@@ -560,5 +606,131 @@ mod tests {
     fn typo_flags_are_rejected() {
         let err = run(&args(&["simulate", "--otu", "x"])).expect_err("typo");
         assert!(err.to_string().contains("--otu"));
+    }
+
+    #[test]
+    fn checkpointed_generate_matches_plain_store_export() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let synth_path = dir.join("synth.graph").to_string_lossy().into_owned();
+        let plain_store = dir.join("plain.csbstore").to_string_lossy().into_owned();
+        let ckpt_store = dir.join("ckpt.csbstore").to_string_lossy().into_owned();
+        let ckpt_dir = dir.join("ckpt").to_string_lossy().into_owned();
+
+        run(&args(&["simulate", "--out", &pcap, "--duration", "8", "--rate", "15"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        // Reference bytes: in-memory generate, then export as a store file.
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "3000",
+            "--out",
+            &synth_path,
+        ]))
+        .expect("generate");
+        run(&args(&["export", "--graph", &synth_path, "--out", &plain_store, "--format", "store"]))
+            .expect("export store");
+        // Checkpointed generate writes the store format directly.
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "3000",
+            "--out",
+            &ckpt_store,
+            "--checkpoint-dir",
+            &ckpt_dir,
+            "--checkpoint-every",
+            "1",
+        ]))
+        .expect("checkpointed generate");
+        assert_eq!(
+            std::fs::read(&plain_store).expect("read plain"),
+            std::fs::read(&ckpt_store).expect("read checkpointed"),
+            "checkpointed store bytes must match the export path"
+        );
+        // A completed run leaves no manifest, so --resume falls back to a
+        // fresh (and therefore identical) run.
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "3000",
+            "--out",
+            &ckpt_store,
+            "--checkpoint-dir",
+            &ckpt_dir,
+            "--resume",
+            "true",
+        ]))
+        .expect("resume without a manifest");
+        assert_eq!(
+            std::fs::read(&plain_store).expect("read plain"),
+            std::fs::read(&ckpt_store).expect("read re-run"),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn veracity_honors_pagerank_flags() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let synth_path = dir.join("synth.graph").to_string_lossy().into_owned();
+        run(&args(&["simulate", "--out", &pcap, "--duration", "8", "--rate", "15"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "2000",
+            "--out",
+            &synth_path,
+        ]))
+        .expect("generate");
+        run(&args(&[
+            "veracity",
+            "--seed-graph",
+            &seed_path,
+            "--synthetic",
+            &synth_path,
+            "--damping",
+            "0.5",
+            "--max-iters",
+            "40",
+            "--tolerance",
+            "1e-7",
+        ]))
+        .expect("veracity with PageRank flags");
+        let err = run(&args(&[
+            "veracity",
+            "--seed-graph",
+            &seed_path,
+            "--synthetic",
+            &synth_path,
+            "--damping",
+            "not-a-number",
+        ]))
+        .expect_err("bad damping");
+        assert!(err.to_string().contains("damping"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

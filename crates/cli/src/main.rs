@@ -25,10 +25,19 @@ COMMANDS:
                  --seed-graph FILE --algorithm pgpba|pgsk --size EDGES
                  --out FILE [--fraction F=0.1] [--seed N=42]
                  [--trace-out FILE] [--metrics-out FILE]
+                 [--checkpoint-dir DIR] [--checkpoint-every CHUNKS=8]
+                 [--resume true] [--kill-after-chunks N]
                  (trace-out writes a Chrome trace-event JSON for Perfetto;
-                 metrics-out writes the csb-obs counter/histogram summary)
+                 metrics-out writes the csb-obs counter/histogram summary;
+                 checkpoint-dir writes --out in the binary csb-store format
+                 with durable barriers — a killed run re-invoked with
+                 --resume true continues from the last barrier and produces
+                 a byte-identical file; kill-after-chunks aborts the process
+                 after N store chunks, for crash-recovery testing)
     veracity     Score a synthetic graph against its seed
                  --seed-graph FILE --synthetic FILE
+                 [--damping F=0.85] [--max-iters N=100] [--tolerance F]
+                 (the PageRank knobs used by the pagerank veracity score)
     detect       Run the NetFlow anomaly detector over a capture
                  --pcap FILE [--train FILE] [--filter EXPR]
     workload     Run the node/edge/path/sub-graph query workload on a graph

@@ -18,24 +18,27 @@ use crate::kronecker::{generate_edges, Initiator};
 use crate::pgsk::expand;
 use crate::seed::SeedBundle;
 use crate::topo::{attach_properties, Topology};
-use csb_engine::{JobMetrics, Pdd, ThreadPool};
+use csb_engine::{JobMetrics, Pdd, TaskPolicy, ThreadPool};
 use csb_graph::NetflowGraph;
 use csb_stats::rng::{derive_seed, rng_for};
 use rand::Rng;
 
 /// Engine-level execution settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DistConfig {
     /// Number of dataset partitions (the paper tunes this to 2-4x the
     /// executor cores).
     pub partitions: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Task retry/fault policy the engine runs every partition task under
+    /// (retries with deterministic backoff; optional fault injection).
+    pub tasks: TaskPolicy,
 }
 
 impl Default for DistConfig {
     fn default() -> Self {
-        DistConfig { partitions: 8, threads: 4 }
+        DistConfig { partitions: 8, threads: 4, tasks: TaskPolicy::default() }
     }
 }
 
@@ -60,7 +63,8 @@ pub fn pgpba_distributed(
     let seed_pairs: Vec<(u32, u32)> =
         seed_topo.src.iter().copied().zip(seed_topo.dst.iter().copied()).collect();
 
-    let mut edges = Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone());
+    let mut edges = Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone())
+        .with_tasks(dist.tasks.clone());
     let mut num_vertices = seed_topo.num_vertices;
     let mut iteration = 0u64;
     // Final-iteration clamp mirroring `pgpba_topology`: cap the sampling
@@ -145,7 +149,9 @@ pub fn pgsk_distributed(
     // Fig. 3 lines 1-5 on the engine: dedup the seed's edge multiset.
     let seed_pairs: Vec<(u32, u32)> =
         seed_topo.src.iter().copied().zip(seed_topo.dst.iter().copied()).collect();
-    let simple_pdd = Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone()).distinct();
+    let simple_pdd = Pdd::from_vec(seed_pairs, dist.partitions, pool, metrics.clone())
+        .with_tasks(dist.tasks.clone())
+        .distinct();
     let mut simple = simple_pdd.collect();
     simple.sort_unstable();
 
@@ -166,7 +172,8 @@ pub fn pgsk_distributed(
     // Engine-side descent + distinct, batched until the target is met
     // (the paper's "parallel implementation of the recursive descent ...
     // called until the number of generated edges is equal or greater").
-    let mut distinct: Pdd<(u64, u64)> = Pdd::empty(dist.partitions, pool, metrics.clone());
+    let mut distinct: Pdd<(u64, u64)> =
+        Pdd::empty(dist.partitions, pool, metrics.clone()).with_tasks(dist.tasks.clone());
     let mut round = 0u64;
     while distinct.count() < target_distinct {
         round += 1;
@@ -176,8 +183,9 @@ pub fn pgsk_distributed(
         const CHUNK: usize = 2048;
         let chunks: Vec<usize> = (0..batch.div_ceil(CHUNK)).collect();
         let gen_seed = cfg.seed ^ (0xD15C << 8) ^ round;
-        let candidates =
-            Pdd::from_vec(chunks, dist.partitions, pool, metrics.clone()).flat_map(move |c| {
+        let candidates = Pdd::from_vec(chunks, dist.partitions, pool, metrics.clone())
+            .with_tasks(dist.tasks.clone())
+            .flat_map(move |c| {
                 let n = CHUNK.min(batch - c * CHUNK);
                 // Mixed, not added: `gen_seed + c` would let chunk c of one
                 // round replay a chunk of an adjacent round (the same replay

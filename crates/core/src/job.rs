@@ -1,0 +1,673 @@
+//! `GenJob` — the unified entry point for generation runs.
+//!
+//! The generators accumulated eight entry points (`pgpba`, `pgsk`, the
+//! `*_timed` variants, the `*_to_sink` streamers, and the distributed
+//! implementations), each a different combination of the same three
+//! orthogonal choices: *which generator*, *where the output goes*, and *what
+//! extras to record*. `GenJob` makes the combination explicit:
+//!
+//! ```no_run
+//! use csb_core::{GenJob, PgpbaConfig};
+//! # let seed: csb_core::SeedBundle = unimplemented!();
+//! // In-memory graph with phase timings:
+//! let run = GenJob::pgpba(&seed, PgpbaConfig::new(100_000)).timed().run().unwrap();
+//! let graph = run.graph.unwrap();
+//!
+//! // Straight to a store file, checkpointing every 4 chunks, resuming a
+//! // previous kill if a manifest exists:
+//! let run = GenJob::pgpba(&seed, PgpbaConfig::new(100_000))
+//!     .store("graph.csbstore")
+//!     .checkpoint("ckpt-dir")
+//!     .checkpoint_every(4)
+//!     .resume()
+//!     .run()
+//!     .unwrap();
+//! assert!(run.graph.is_none(), "store runs never hold the graph in memory");
+//! ```
+//!
+//! The old free functions remain as thin wrappers and keep compiling, but
+//! new call sites should use `GenJob`.
+//!
+//! # Checkpointed runs and crash recovery
+//!
+//! A `.store(..).checkpoint(dir)` run writes a durable
+//! [`CheckpointManifest`] every `checkpoint_every` store chunks. If the
+//! process dies, re-running the same job with `.resume()` validates the
+//! manifest (generator, config hash, master seed), truncates the partial
+//! store file back to the last barrier, regrows the (deterministic)
+//! topology, and replays attribute attachment only from the first
+//! non-durable chunk — producing a file **byte-identical** to an
+//! uninterrupted run. With `.retry(policy)` the restart happens in-process:
+//! a transient failure mid-write triggers an automatic resume (counted in
+//! the `job.restarts` metric) instead of surfacing to the caller.
+
+use crate::config::{PgpbaConfig, PgskConfig};
+use crate::diagnostics::PhaseTimings;
+use crate::distributed::{pgpba_distributed, pgsk_distributed, DistConfig};
+use crate::pgpba::pgpba_topology;
+use crate::pgsk::pgsk_topology;
+use crate::seed::SeedBundle;
+use crate::stream::attach_properties_to_sink;
+use crate::topo::{attach_properties, Topology};
+use csb_engine::{JobMetrics, RetryPolicy};
+use csb_graph::NetflowGraph;
+use csb_stats::rng::derive_seed;
+use csb_store::checkpoint::{CheckpointIdentity, CheckpointManifest, CheckpointedGraphSink};
+use csb_store::sink::GraphStoreSink;
+use csb_store::{CsbError, EdgeSink};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which generator a job runs, with its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenConfig {
+    /// Property-Graph Parallel Barabási-Albert.
+    Pgpba(PgpbaConfig),
+    /// Property-Graph Stochastic Kronecker.
+    Pgsk(PgskConfig),
+}
+
+impl GenConfig {
+    /// Generator name as recorded in checkpoint manifests and CLI flags.
+    pub fn generator_name(&self) -> &'static str {
+        match self {
+            GenConfig::Pgpba(_) => "pgpba",
+            GenConfig::Pgsk(_) => "pgsk",
+        }
+    }
+
+    /// Master RNG seed of the run.
+    pub fn master_seed(&self) -> u64 {
+        match self {
+            GenConfig::Pgpba(c) => c.seed,
+            GenConfig::Pgsk(c) => c.seed,
+        }
+    }
+
+    /// Deterministic hash of every config field *except* the seed (the
+    /// checkpoint identity records the seed separately). Two jobs with the
+    /// same hash, generator, and seed produce the same record stream, which
+    /// is exactly the condition under which resuming is sound.
+    pub fn config_hash(&self) -> u64 {
+        match self {
+            GenConfig::Pgpba(c) => {
+                let mut h = derive_seed(0xC0F1_6BA0, c.desired_size);
+                h = derive_seed(h, c.fraction.to_bits());
+                h
+            }
+            GenConfig::Pgsk(c) => {
+                let mut h = derive_seed(0xC0F1_65C0, c.desired_size);
+                h = derive_seed(h, c.kronfit_iterations as u64);
+                h = derive_seed(h, c.kronfit_permutation_samples as u64);
+                h
+            }
+        }
+    }
+
+    fn identity(&self) -> CheckpointIdentity {
+        CheckpointIdentity {
+            generator: self.generator_name().to_string(),
+            config_hash: self.config_hash(),
+            master_seed: self.master_seed(),
+        }
+    }
+}
+
+/// Where a job's output goes.
+enum Output<'s> {
+    /// Materialize a [`NetflowGraph`] in memory (the classic API).
+    Memory,
+    /// Stream into a caller-provided sink.
+    Sink(&'s mut dyn EdgeSink),
+    /// Write a store file, optionally with checkpoint barriers.
+    Store(PathBuf),
+}
+
+/// Checkpointing options of a `.store()` run.
+#[derive(Debug, Clone, Default)]
+struct CheckpointOpts {
+    dir: Option<PathBuf>,
+    every: Option<u64>,
+    resume: bool,
+    chunk_records: Option<usize>,
+    kill_after_chunks: Option<(u64, bool)>,
+}
+
+/// A configured generation run. Build with [`GenJob::pgpba`] /
+/// [`GenJob::pgsk`], refine with the builder methods, execute with
+/// [`GenJob::run`].
+pub struct GenJob<'a, 's> {
+    seed: &'a SeedBundle,
+    config: GenConfig,
+    timed: bool,
+    distributed: Option<DistConfig>,
+    retry: RetryPolicy,
+    output: Output<'s>,
+    ckpt: CheckpointOpts,
+}
+
+/// What a [`GenJob`] produced.
+#[derive(Debug)]
+pub struct GenRun {
+    /// The synthetic graph — `Some` only for in-memory runs.
+    pub graph: Option<NetflowGraph>,
+    /// Edges generated (for resumed runs: the full logical edge count, not
+    /// just the replayed suffix).
+    pub edges: u64,
+    /// Per-phase wall-clock timings when [`GenJob::timed`] was requested.
+    pub timings: Option<PhaseTimings>,
+    /// Engine operator metrics when [`GenJob::distributed`] was requested.
+    pub metrics: Option<JobMetrics>,
+}
+
+impl<'a, 's> GenJob<'a, 's> {
+    fn new(seed: &'a SeedBundle, config: GenConfig) -> Self {
+        GenJob {
+            seed,
+            config,
+            timed: false,
+            distributed: None,
+            retry: RetryPolicy::none(),
+            output: Output::Memory,
+            ckpt: CheckpointOpts::default(),
+        }
+    }
+
+    /// A PGPBA job.
+    pub fn pgpba(seed: &'a SeedBundle, cfg: PgpbaConfig) -> Self {
+        GenJob::new(seed, GenConfig::Pgpba(cfg))
+    }
+
+    /// A PGSK job.
+    pub fn pgsk(seed: &'a SeedBundle, cfg: PgskConfig) -> Self {
+        GenJob::new(seed, GenConfig::Pgsk(cfg))
+    }
+
+    /// Records per-phase wall-clock timings into [`GenRun::timings`].
+    pub fn timed(mut self) -> Self {
+        self.timed = true;
+        self
+    }
+
+    /// Grows the topology on the `csb-engine` dataflow (the paper's
+    /// Spark-mirroring path) instead of in-process; operator metrics land in
+    /// [`GenRun::metrics`]. The engine's per-task retry/fault policy rides
+    /// in [`DistConfig::tasks`].
+    pub fn distributed(mut self, dist: DistConfig) -> Self {
+        self.distributed = Some(dist);
+        self
+    }
+
+    /// Streams output into `sink` instead of materializing a graph.
+    pub fn sink(mut self, sink: &'s mut dyn EdgeSink) -> Self {
+        self.output = Output::Sink(sink);
+        self
+    }
+
+    /// Writes output to a graph store file at `path`.
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.output = Output::Store(path.into());
+        self
+    }
+
+    /// Enables checkpoint barriers (manifest in `dir`) on a `.store()` run.
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.ckpt.dir = Some(dir.into());
+        self
+    }
+
+    /// Store chunks between checkpoint barriers (default
+    /// [`csb_store::checkpoint::DEFAULT_CHECKPOINT_EVERY`]).
+    pub fn checkpoint_every(mut self, chunks: u64) -> Self {
+        self.ckpt.every = Some(chunks.max(1));
+        self
+    }
+
+    /// Resumes from the checkpoint manifest if one exists (fresh start
+    /// otherwise). The manifest's identity must match this job.
+    pub fn resume(mut self) -> Self {
+        self.ckpt.resume = true;
+        self
+    }
+
+    /// Job-level restarts: when a checkpointed `.store()` run fails
+    /// transiently, resume it in-process up to `policy.max_retries` times
+    /// (deterministic backoff) before surfacing the error.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Overrides the store chunk size (tests use small chunks to exercise
+    /// multi-chunk and checkpoint paths cheaply).
+    pub fn chunk_records(mut self, records: usize) -> Self {
+        self.ckpt.chunk_records = Some(records.max(1));
+        self
+    }
+
+    /// Fault-injection hook for checkpointed store runs: the run dies before
+    /// writing chunk `n + 1`. With `abort_process` the whole process exits
+    /// via [`std::process::abort`] (what the CI kill-and-resume smoke uses);
+    /// otherwise a transient error surfaces (or triggers [`GenJob::retry`]).
+    /// The hook applies to the *first* attempt only, so a retrying job
+    /// recovers instead of dying again.
+    pub fn kill_after_chunks(mut self, n: u64, abort_process: bool) -> Self {
+        self.ckpt.kill_after_chunks = Some((n, abort_process));
+        self
+    }
+
+    /// Grows the topology (in-process or on the engine), returning it with
+    /// the grow duration and any engine metrics.
+    fn grow(&self) -> (Topology, Option<JobMetrics>, std::time::Duration) {
+        let t0 = Instant::now();
+        match (&self.config, &self.distributed) {
+            (GenConfig::Pgpba(cfg), None) => {
+                let seed_topo = Topology::of_graph(&self.seed.graph);
+                (pgpba_topology(&seed_topo, &self.seed.analysis, cfg), None, t0.elapsed())
+            }
+            (GenConfig::Pgsk(cfg), None) => {
+                let seed_topo = Topology::of_graph(&self.seed.graph);
+                (pgsk_topology(&seed_topo, &self.seed.analysis, cfg), None, t0.elapsed())
+            }
+            (GenConfig::Pgpba(cfg), Some(dist)) => {
+                let (topo, metrics) = pgpba_distributed(self.seed, cfg, dist);
+                (topo, Some(metrics), t0.elapsed())
+            }
+            (GenConfig::Pgsk(cfg), Some(dist)) => {
+                let (topo, metrics) = pgsk_distributed(self.seed, cfg, dist);
+                (topo, Some(metrics), t0.elapsed())
+            }
+        }
+    }
+
+    /// The attach conventions the in-process generators established: PGPBA
+    /// keeps seed host addresses and streams under `seed ^ 0x9E37`; PGSK
+    /// vertices have no seed correspondence (`seed ^ 0x5EED`, all-synthetic
+    /// addresses).
+    fn attach_params(&self) -> (Vec<u32>, u64) {
+        match &self.config {
+            GenConfig::Pgpba(cfg) => (self.seed.graph.vertex_data().to_vec(), cfg.seed ^ 0x9E37),
+            GenConfig::Pgsk(cfg) => (Vec::new(), cfg.seed ^ 0x5EED),
+        }
+    }
+
+    /// Runs the job.
+    pub fn run(self) -> Result<GenRun, CsbError> {
+        let _span = csb_obs::span_cat("genjob.run", "gen");
+        if self.ckpt.kill_after_chunks.is_some() && self.ckpt.dir.is_none() {
+            return Err(CsbError::Config(
+                "kill_after_chunks requires a checkpoint directory".into(),
+            ));
+        }
+        if (self.ckpt.dir.is_some() || self.ckpt.resume) && !matches!(self.output, Output::Store(_))
+        {
+            return Err(CsbError::Config(
+                "checkpoint/resume apply only to store-backed runs (use .store(path))".into(),
+            ));
+        }
+        match self.output {
+            Output::Memory => self.run_memory(),
+            Output::Sink(_) => self.run_sink(),
+            Output::Store(_) => self.run_store(),
+        }
+    }
+
+    fn run_memory(self) -> Result<GenRun, CsbError> {
+        // In-process timed runs keep the fine-grained phase splits of the
+        // original timed implementations (PGSK reports grow and inflate
+        // separately, which the generic grow() cannot observe).
+        if self.timed && self.distributed.is_none() {
+            let (g, timings) = match &self.config {
+                GenConfig::Pgpba(cfg) => crate::pgpba::pgpba_timed(self.seed, cfg),
+                GenConfig::Pgsk(cfg) => crate::pgsk::pgsk_timed(self.seed, cfg),
+            };
+            let edges = g.edge_count() as u64;
+            return Ok(GenRun { graph: Some(g), edges, timings: Some(timings), metrics: None });
+        }
+        let generator = self.config.generator_name();
+        let (topo, metrics, grow) = self.grow();
+        let (ips, attach_seed) = self.attach_params();
+        let t1 = Instant::now();
+        let g = attach_properties(&topo, &self.seed.analysis.properties, &ips, attach_seed);
+        let attach = t1.elapsed();
+        let edges = g.edge_count() as u64;
+        let timings = self
+            .timed
+            .then(|| PhaseTimings::new(generator, g.edge_count()).grow(grow).attach(attach));
+        Ok(GenRun { graph: Some(g), edges, timings, metrics })
+    }
+
+    fn run_sink(self) -> Result<GenRun, CsbError> {
+        let generator = self.config.generator_name();
+        let timed = self.timed;
+        let (topo, metrics, grow) = self.grow();
+        let (ips, attach_seed) = self.attach_params();
+        let Output::Sink(sink) = self.output else { unreachable!("run_sink on non-sink output") };
+        let t1 = Instant::now();
+        let edges = attach_properties_to_sink(
+            &topo,
+            &self.seed.analysis.properties,
+            &ips,
+            attach_seed,
+            sink,
+        )?;
+        let attach = t1.elapsed();
+        let timings =
+            timed.then(|| PhaseTimings::new(generator, edges as usize).grow(grow).attach(attach));
+        Ok(GenRun { graph: None, edges, timings, metrics })
+    }
+
+    fn run_store(self) -> Result<GenRun, CsbError> {
+        let Output::Store(path) = &self.output else {
+            unreachable!("run_store on non-store output")
+        };
+        let path = path.clone();
+        let generator = self.config.generator_name();
+        let identity = self.config.identity();
+        let checkpointing = self.ckpt.dir.is_some();
+        let retry = self.retry;
+        let job_seed = derive_seed(self.config.master_seed(), 0x10B);
+
+        let mut resume = self.ckpt.resume;
+        let mut kill = self.ckpt.kill_after_chunks;
+        let mut attempt = 0u32;
+        loop {
+            let result = self.run_store_once(&path, &identity, resume, kill);
+            match result {
+                Ok(run) => return Ok(run),
+                Err(e) if e.is_transient() && checkpointing && attempt < retry.max_retries => {
+                    csb_obs::counter_add("job.restarts", 1);
+                    csb_obs::obs_info!(
+                        "{generator} store run failed transiently ({e}); resuming from the last \
+                         checkpoint (restart {})",
+                        attempt + 1
+                    );
+                    let delay = retry.backoff_ms(attempt, job_seed);
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                    attempt += 1;
+                    resume = true;
+                    kill = None; // the fault hook models one crash, not a crash loop
+                }
+                Err(e) if e.is_transient() && checkpointing && retry.max_retries > 0 => {
+                    return Err(CsbError::RetryExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(e),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn run_store_once(
+        &self,
+        path: &std::path::Path,
+        identity: &CheckpointIdentity,
+        resume: bool,
+        kill: Option<(u64, bool)>,
+    ) -> Result<GenRun, CsbError> {
+        let generator = self.config.generator_name();
+        let (topo, metrics, grow) = self.grow();
+        let (ips, attach_seed) = self.attach_params();
+        let model = &self.seed.analysis.properties;
+
+        let (edges, attach) = match &self.ckpt.dir {
+            None => {
+                let mut sink = match self.ckpt.chunk_records {
+                    Some(n) => GraphStoreSink::create(path)?.with_chunk_records(n),
+                    None => GraphStoreSink::create(path)?,
+                };
+                let t1 = Instant::now();
+                let edges = attach_properties_to_sink(&topo, model, &ips, attach_seed, &mut sink)?;
+                sink.finish()?;
+                (edges, t1.elapsed())
+            }
+            Some(dir) => {
+                let resuming = resume && CheckpointManifest::exists(dir);
+                let mut sink = if resuming {
+                    CheckpointedGraphSink::resume(path, dir, identity.clone())?
+                } else {
+                    let mut s = CheckpointedGraphSink::create(path, dir, identity.clone())?;
+                    if let Some(n) = self.ckpt.chunk_records {
+                        s = s.with_chunk_records(n);
+                    }
+                    s
+                };
+                if let Some(every) = self.ckpt.every {
+                    sink = sink.with_checkpoint_every(every);
+                }
+                if let Some((n, abort)) = kill {
+                    sink = sink.with_kill_after_chunks(n, abort);
+                }
+                let _replay = resuming.then(|| csb_obs::span_cat("resume.replay", "gen"));
+                let t1 = Instant::now();
+                let edges = attach_properties_to_sink(&topo, model, &ips, attach_seed, &mut sink)?;
+                sink.finish()?;
+                (edges, t1.elapsed())
+            }
+        };
+        let timings = self
+            .timed
+            .then(|| PhaseTimings::new(generator, edges as usize).grow(grow).attach(attach));
+        Ok(GenRun { graph: None, edges, timings, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pgpba::{pgpba, pgpba_timed};
+    use crate::pgsk::pgsk;
+    use crate::seed::seed_from_trace;
+    use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+    use csb_store::sink::{save_graph_to, MemoryGraphSink};
+
+    fn small_seed() -> SeedBundle {
+        let trace = TrafficSim::new(TrafficSimConfig {
+            duration_secs: 5.0,
+            sessions_per_sec: 10.0,
+            seed: 11,
+            ..TrafficSimConfig::default()
+        })
+        .generate();
+        seed_from_trace(&trace)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("csb-genjob-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn assert_graphs_equal(a: &NetflowGraph, b: &NetflowGraph) {
+        assert_eq!(a.vertex_data(), b.vertex_data());
+        assert_eq!(a.edge_sources(), b.edge_sources());
+        assert_eq!(a.edge_targets(), b.edge_targets());
+        assert_eq!(a.edge_data(), b.edge_data());
+    }
+
+    #[test]
+    fn memory_run_matches_the_free_functions() {
+        let seed = small_seed();
+        let ba_cfg = PgpbaConfig { desired_size: 6000, fraction: 0.5, seed: 42 };
+        let run = GenJob::pgpba(&seed, ba_cfg).run().expect("run");
+        assert_graphs_equal(run.graph.as_ref().expect("graph"), &pgpba(&seed, &ba_cfg));
+        assert!(run.timings.is_none() && run.metrics.is_none());
+
+        let sk_cfg = PgskConfig { seed: 7, ..PgskConfig::new(2000) };
+        let run = GenJob::pgsk(&seed, sk_cfg).run().expect("run");
+        assert_graphs_equal(run.graph.as_ref().expect("graph"), &pgsk(&seed, &sk_cfg));
+    }
+
+    #[test]
+    fn timed_run_reports_phase_timings() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 6000, fraction: 0.5, seed: 42 };
+        let run = GenJob::pgpba(&seed, cfg).timed().run().expect("run");
+        let timings = run.timings.expect("timings");
+        let (reference, ref_timings) = pgpba_timed(&seed, &cfg);
+        assert_eq!(timings.generator, ref_timings.generator);
+        assert_eq!(timings.edges, reference.edge_count());
+        assert_graphs_equal(run.graph.as_ref().expect("graph"), &reference);
+    }
+
+    #[test]
+    fn sink_run_streams_the_same_graph() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 6000, fraction: 0.5, seed: 42 };
+        let mut sink = MemoryGraphSink::new();
+        let run = GenJob::pgpba(&seed, cfg).sink(&mut sink).run().expect("run");
+        assert!(run.graph.is_none());
+        let streamed = sink.into_graph();
+        assert_eq!(run.edges as usize, streamed.edge_count());
+        assert_graphs_equal(&streamed, &pgpba(&seed, &cfg));
+    }
+
+    #[test]
+    fn distributed_run_returns_metrics() {
+        let seed = small_seed();
+        let cfg =
+            PgpbaConfig { desired_size: seed.edge_count() as u64 * 2, fraction: 0.4, seed: 7 };
+        let run = GenJob::pgpba(&seed, cfg).distributed(DistConfig::default()).run().expect("run");
+        assert!(run.graph.is_some());
+        assert!(!run.metrics.expect("metrics").is_empty());
+    }
+
+    #[test]
+    fn store_run_is_byte_identical_to_the_sink_path() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 6000, fraction: 0.5, seed: 42 };
+        let want = save_graph_to(Vec::new(), &pgpba(&seed, &cfg)).expect("save");
+        let dir = temp_dir("store");
+        let path = dir.join("g.csbstore");
+        let run = GenJob::pgpba(&seed, cfg).store(&path).run().expect("run");
+        assert!(run.edges > 0);
+        assert_eq!(std::fs::read(&path).expect("read"), want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_kill_then_retry_resumes_to_identical_bytes() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 12_000, fraction: 0.5, seed: 42 };
+        let dir = temp_dir("killretry");
+        let clean = dir.join("clean.csbstore");
+        GenJob::pgpba(&seed, cfg).store(&clean).chunk_records(1024).run().expect("clean run");
+
+        // One in-process job: dies after 3 chunks, restarts itself from the
+        // checkpoint, finishes — bytes must match the uninterrupted run.
+        let crashy = dir.join("crashy.csbstore");
+        let ckpt = dir.join("ckpt");
+        let run = GenJob::pgpba(&seed, cfg)
+            .store(&crashy)
+            .chunk_records(1024)
+            .checkpoint(&ckpt)
+            .checkpoint_every(1)
+            .kill_after_chunks(3, false)
+            .retry(RetryPolicy { max_retries: 2, base_delay_ms: 0, max_delay_ms: 0 })
+            .run()
+            .expect("job must survive the injected crash");
+        assert!(run.edges > 0);
+        assert_eq!(
+            std::fs::read(&crashy).expect("read"),
+            std::fs::read(&clean).expect("read"),
+            "restarted store file must be byte-identical"
+        );
+        assert!(!CheckpointManifest::exists(&ckpt), "completed run must clear its manifest");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_without_retry_surfaces_transient_and_explicit_resume_completes() {
+        let seed = small_seed();
+        let cfg = PgskConfig { seed: 7, ..PgskConfig::new(4000) };
+        let dir = temp_dir("tworuns");
+        let clean = dir.join("clean.csbstore");
+        GenJob::pgsk(&seed, cfg).store(&clean).chunk_records(512).run().expect("clean run");
+
+        let crashy = dir.join("crashy.csbstore");
+        let ckpt = dir.join("ckpt");
+        let err = GenJob::pgsk(&seed, cfg)
+            .store(&crashy)
+            .chunk_records(512)
+            .checkpoint(&ckpt)
+            .checkpoint_every(1)
+            .kill_after_chunks(4, false)
+            .run()
+            .expect_err("the injected kill must surface without a retry budget");
+        assert!(err.is_transient(), "got {err}");
+        assert!(CheckpointManifest::exists(&ckpt), "manifest must survive the crash");
+
+        // Second process: same job + .resume().
+        let run = GenJob::pgsk(&seed, cfg)
+            .store(&crashy)
+            .chunk_records(512)
+            .checkpoint(&ckpt)
+            .checkpoint_every(1)
+            .resume()
+            .run()
+            .expect("resume");
+        assert!(run.edges > 0);
+        assert_eq!(
+            std::fs::read(&crashy).expect("read"),
+            std::fs::read(&clean).expect("read"),
+            "resumed store file must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_a_different_config_is_rejected() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 9000, fraction: 0.5, seed: 42 };
+        let dir = temp_dir("wrongcfg");
+        let store = dir.join("g.csbstore");
+        let ckpt = dir.join("ckpt");
+        GenJob::pgpba(&seed, cfg)
+            .store(&store)
+            .chunk_records(512)
+            .checkpoint(&ckpt)
+            .checkpoint_every(1)
+            .kill_after_chunks(3, false)
+            .run()
+            .expect_err("killed");
+
+        let other = PgpbaConfig { desired_size: 9000, fraction: 0.7, seed: 42 };
+        let err = GenJob::pgpba(&seed, other)
+            .store(&store)
+            .chunk_records(512)
+            .checkpoint(&ckpt)
+            .resume()
+            .run()
+            .expect_err("different fraction must not resume");
+        assert!(matches!(err, CsbError::Mismatch(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_hash_separates_configs_but_not_seeds() {
+        let a = GenConfig::Pgpba(PgpbaConfig { desired_size: 100, fraction: 0.1, seed: 1 });
+        let b = GenConfig::Pgpba(PgpbaConfig { desired_size: 100, fraction: 0.1, seed: 2 });
+        let c = GenConfig::Pgpba(PgpbaConfig { desired_size: 100, fraction: 0.2, seed: 1 });
+        let d = GenConfig::Pgsk(PgskConfig::new(100));
+        assert_eq!(a.config_hash(), b.config_hash(), "seed lives in the identity, not the hash");
+        assert_ne!(a.config_hash(), c.config_hash());
+        assert_ne!(a.config_hash(), d.config_hash());
+    }
+
+    #[test]
+    fn invalid_combinations_are_config_errors() {
+        let seed = small_seed();
+        let cfg = PgpbaConfig { desired_size: 1000, fraction: 0.5, seed: 1 };
+        let err = GenJob::pgpba(&seed, cfg).checkpoint("/tmp/nope").run().expect_err("no store");
+        assert!(matches!(err, CsbError::Config(_)), "got {err}");
+        let err = GenJob::pgpba(&seed, cfg)
+            .store("/tmp/nope.csbstore")
+            .kill_after_chunks(1, false)
+            .run()
+            .expect_err("kill hook needs checkpointing");
+        assert!(matches!(err, CsbError::Config(_)), "got {err}");
+    }
+}

@@ -14,6 +14,12 @@
 //!   edge placement, re-inflates multi-edges from the seed out-degree
 //!   distribution, and samples attributes.
 //!
+//! Both generators are fronted by [`GenJob`], a single builder covering the
+//! in-memory, timed, distributed, sink-streaming, and checkpointed-store
+//! execution paths (the free functions remain as thin compatibility
+//! wrappers). Checkpointed store runs survive crashes: killed mid-write,
+//! they resume from the last durable barrier to a byte-identical file.
+//!
 //! Supporting modules: [`seed`] (the Fig. 1 preliminary pipeline: PCAP ->
 //! NetFlow -> property-graph -> analysis), [`analysis`] (degree and
 //! conditional attribute distributions, `p(a | IN_BYTES)`), [`veracity`]
@@ -25,6 +31,7 @@ pub mod analysis;
 pub mod config;
 pub mod diagnostics;
 pub mod distributed;
+pub mod job;
 pub mod kronecker;
 pub mod pgpba;
 pub mod pgsk;
@@ -36,8 +43,13 @@ pub mod veracity;
 pub use analysis::{PropertyModel, SeedAnalysis};
 pub use config::{PgpbaConfig, PgskConfig};
 pub use diagnostics::PhaseTimings;
+pub use distributed::DistConfig;
+pub use job::{GenConfig, GenJob, GenRun};
 pub use pgpba::{pgpba, pgpba_timed};
 pub use pgsk::{pgsk, pgsk_timed};
 pub use seed::{seed_from_packets, seed_from_trace, SeedBundle};
 pub use stream::{attach_properties_to_sink, pgpba_to_sink, pgsk_to_sink};
-pub use veracity::{degree_veracity, pagerank_veracity, VeracityScores};
+pub use veracity::{
+    degree_veracity, pagerank_veracity, pagerank_veracity_with, veracity, veracity_with,
+    VeracityScores,
+};

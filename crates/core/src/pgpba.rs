@@ -121,6 +121,9 @@ pub fn pgpba_topology(
 }
 
 /// [`pgpba`] with per-phase wall-clock timings (grow / attach, edges/sec).
+///
+/// Compatibility wrapper: prefer
+/// [`GenJob::pgpba(..).timed()`](crate::GenJob::timed).
 pub fn pgpba_timed(seed: &SeedBundle, cfg: &PgpbaConfig) -> (NetflowGraph, PhaseTimings) {
     let seed_topo = Topology::of_graph(&seed.graph);
     let t0 = Instant::now();
@@ -153,11 +156,13 @@ pub fn pgpba_timed(seed: &SeedBundle, cfg: &PgpbaConfig) -> (NetflowGraph, Phase
 /// let synthetic = pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 0.3, seed: 2 });
 /// assert!(synthetic.edge_count() as u64 >= target);
 /// ```
+///
+/// Compatibility wrapper: prefer [`GenJob::pgpba`](crate::GenJob::pgpba),
+/// which also covers the timed, distributed, sink, and checkpointed-store
+/// execution paths.
 pub fn pgpba(seed: &SeedBundle, cfg: &PgpbaConfig) -> NetflowGraph {
-    let seed_topo = Topology::of_graph(&seed.graph);
-    let topo = pgpba_topology(&seed_topo, &seed.analysis, cfg);
-    let seed_ips: Vec<u32> = seed.graph.vertex_data().to_vec();
-    attach_properties(&topo, &seed.analysis.properties, &seed_ips, cfg.seed ^ 0x9E37)
+    let run = crate::GenJob::pgpba(seed, *cfg).run().expect("in-memory runs cannot fail");
+    run.graph.expect("memory output always holds the graph")
 }
 
 #[cfg(test)]

@@ -196,15 +196,19 @@ pub fn pgsk_topology(seed_topo: &Topology, analysis: &SeedAnalysis, cfg: &PgskCo
 }
 
 /// Runs the full PGSK generator.
+///
+/// Compatibility wrapper: prefer [`GenJob::pgsk`](crate::GenJob::pgsk),
+/// which also covers the timed, distributed, sink, and checkpointed-store
+/// execution paths.
 pub fn pgsk(seed: &SeedBundle, cfg: &PgskConfig) -> NetflowGraph {
-    let seed_topo = Topology::of_graph(&seed.graph);
-    let topo = pgsk_topology(&seed_topo, &seed.analysis, cfg);
-    // Kronecker vertices have no correspondence with seed hosts; all get
-    // synthetic addresses.
-    attach_properties(&topo, &seed.analysis.properties, &[], cfg.seed ^ 0x5EED)
+    let run = crate::GenJob::pgsk(seed, *cfg).run().expect("in-memory runs cannot fail");
+    run.graph.expect("memory output always holds the graph")
 }
 
 /// [`pgsk`] with per-phase wall-clock timings (grow / inflate / attach).
+///
+/// Compatibility wrapper: prefer
+/// [`GenJob::pgsk(..).timed()`](crate::GenJob::timed).
 pub fn pgsk_timed(seed: &SeedBundle, cfg: &PgskConfig) -> (NetflowGraph, PhaseTimings) {
     cfg.validate();
     let seed_topo = Topology::of_graph(&seed.graph);

@@ -11,8 +11,6 @@
 
 use crate::analysis::PropertyModel;
 use crate::config::{PgpbaConfig, PgskConfig};
-use crate::pgpba::pgpba_topology;
-use crate::pgsk::pgsk_topology;
 use crate::seed::SeedBundle;
 use crate::topo::{Topology, ATTACH_CHUNK, SYNTHETIC_IP_BASE};
 use csb_graph::EdgeProperties;
@@ -22,7 +20,7 @@ use csb_store::{EdgeSink, StoreError};
 /// Streams the attribute-attachment phase into `sink`: vertices first, then
 /// edges in [`ATTACH_CHUNK`]-sized batches with per-chunk RNG streams
 /// identical to the parallel in-memory path. Returns the edge count.
-pub fn attach_properties_to_sink<S: EdgeSink>(
+pub fn attach_properties_to_sink<S: EdgeSink + ?Sized>(
     topo: &Topology,
     model: &PropertyModel,
     seed_vertex_ips: &[u32],
@@ -36,7 +34,16 @@ pub fn attach_properties_to_sink<S: EdgeSink>(
     let mut ips = seed_vertex_ips[..seed_n].to_vec();
     ips.extend((0..(n - seed_n) as u32).map(|i| SYNTHETIC_IP_BASE + i));
     sink.push_vertices(&ips)?;
-    for chunk_idx in 0..edge_count.div_ceil(ATTACH_CHUNK) {
+    // Resume fast path: whole ATTACH_CHUNKs already durable in the sink need
+    // no regeneration — tell the sink, then replay only from the chunk
+    // containing the first non-durable edge (its durable prefix is dropped
+    // by the sink's skip counter).
+    let first_chunk = sink.resume_skip_edges() as usize / ATTACH_CHUNK;
+    if first_chunk > 0 {
+        sink.note_skipped_edges((first_chunk * ATTACH_CHUNK) as u64);
+        csb_obs::counter_add("resume.chunks_skipped", first_chunk as u64);
+    }
+    for chunk_idx in first_chunk..edge_count.div_ceil(ATTACH_CHUNK) {
         let _chunk = csb_obs::span_cat("attach.chunk", "gen");
         let mut rng = rng_for(seed, 0x9_0000_0000 + chunk_idx as u64);
         let start = chunk_idx * ATTACH_CHUNK;
@@ -51,26 +58,27 @@ pub fn attach_properties_to_sink<S: EdgeSink>(
 /// [`pgpba`](crate::pgpba::pgpba), streamed: grows the topology in memory
 /// (it is a fraction of the final property volume), then streams attributed
 /// edges into `sink`. Returns the edge count.
+///
+/// Compatibility wrapper: prefer
+/// [`GenJob::pgpba(..).sink(..)`](crate::GenJob::sink).
 pub fn pgpba_to_sink<S: EdgeSink>(
     seed: &SeedBundle,
     cfg: &PgpbaConfig,
     sink: &mut S,
 ) -> Result<u64, StoreError> {
-    let seed_topo = Topology::of_graph(&seed.graph);
-    let topo = pgpba_topology(&seed_topo, &seed.analysis, cfg);
-    let seed_ips: Vec<u32> = seed.graph.vertex_data().to_vec();
-    attach_properties_to_sink(&topo, &seed.analysis.properties, &seed_ips, cfg.seed ^ 0x9E37, sink)
+    crate::GenJob::pgpba(seed, *cfg).sink(sink).run().map(|run| run.edges)
 }
 
 /// [`pgsk`](crate::pgsk::pgsk), streamed. Returns the edge count.
+///
+/// Compatibility wrapper: prefer
+/// [`GenJob::pgsk(..).sink(..)`](crate::GenJob::sink).
 pub fn pgsk_to_sink<S: EdgeSink>(
     seed: &SeedBundle,
     cfg: &PgskConfig,
     sink: &mut S,
 ) -> Result<u64, StoreError> {
-    let seed_topo = Topology::of_graph(&seed.graph);
-    let topo = pgsk_topology(&seed_topo, &seed.analysis, cfg);
-    attach_properties_to_sink(&topo, &seed.analysis.properties, &[], cfg.seed ^ 0x5EED, sink)
+    crate::GenJob::pgsk(seed, *cfg).sink(sink).run().map(|run| run.edges)
 }
 
 #[cfg(test)]

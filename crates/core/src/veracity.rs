@@ -30,21 +30,40 @@ pub fn degree_veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> f64 {
     )
 }
 
-/// PageRank veracity score of `synthetic` against `seed`.
-pub fn pagerank_veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> f64 {
-    let cfg = PageRankConfig::default();
+/// PageRank veracity score of `synthetic` against `seed`, with an explicit
+/// PageRank configuration (damping, iteration cap, tolerance).
+pub fn pagerank_veracity_with(
+    seed: &NetflowGraph,
+    synthetic: &NetflowGraph,
+    cfg: &PageRankConfig,
+) -> f64 {
     average_euclidean_distance(
-        &NormalizedDistribution::from_values(&pagerank(seed, &cfg)),
-        &NormalizedDistribution::from_values(&pagerank(synthetic, &cfg)),
+        &NormalizedDistribution::from_values(&pagerank(seed, cfg)),
+        &NormalizedDistribution::from_values(&pagerank(synthetic, cfg)),
     )
 }
 
-/// Computes both scores.
-pub fn veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> VeracityScores {
+/// PageRank veracity score of `synthetic` against `seed` under the default
+/// PageRank configuration.
+pub fn pagerank_veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> f64 {
+    pagerank_veracity_with(seed, synthetic, &PageRankConfig::default())
+}
+
+/// Computes both scores with an explicit PageRank configuration.
+pub fn veracity_with(
+    seed: &NetflowGraph,
+    synthetic: &NetflowGraph,
+    cfg: &PageRankConfig,
+) -> VeracityScores {
     VeracityScores {
         degree: degree_veracity(seed, synthetic),
-        pagerank: pagerank_veracity(seed, synthetic),
+        pagerank: pagerank_veracity_with(seed, synthetic, cfg),
     }
+}
+
+/// Computes both scores under the default PageRank configuration.
+pub fn veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> VeracityScores {
+    veracity_with(seed, synthetic, &PageRankConfig::default())
 }
 
 #[cfg(test)]
@@ -100,6 +119,29 @@ mod tests {
         );
         let v = veracity(&seed.graph, &synth);
         assert!(v.pagerank < v.degree, "pagerank {} vs degree {}", v.pagerank, v.degree);
+    }
+
+    #[test]
+    fn explicit_pagerank_config_is_honored() {
+        let seed = small_seed();
+        let synth = crate::pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * 4, fraction: 0.3, seed: 2 },
+        );
+        let v_default = pagerank_veracity(&seed.graph, &synth);
+        assert_eq!(
+            v_default,
+            pagerank_veracity_with(&seed.graph, &synth, &PageRankConfig::default()),
+            "default-config variant must agree with the wrapper"
+        );
+        let low_damping = PageRankConfig { damping: 0.5, ..PageRankConfig::default() };
+        assert_ne!(
+            v_default,
+            pagerank_veracity_with(&seed.graph, &synth, &low_damping),
+            "damping must flow through to the PageRank computation"
+        );
+        let both = veracity_with(&seed.graph, &synth, &low_damping);
+        assert_eq!(both.degree, degree_veracity(&seed.graph, &synth));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::costmodel::CostModel;
 use crate::executor::ThreadPool;
 use crate::metrics::JobMetrics;
+use crate::retry::TaskPolicy;
 use csb_stats::rng::rng_for;
 use csb_store::{SpillCodec, SpillFile, SpillWriter};
 use rand::Rng;
@@ -77,6 +78,7 @@ pub struct Pdd<T> {
     pool: ThreadPool,
     metrics: JobMetrics,
     spill: SpillConfig,
+    tasks: TaskPolicy,
 }
 
 impl<T: Send> Pdd<T> {
@@ -96,14 +98,26 @@ impl<T: Send> Pdd<T> {
             parts[i % nparts].push(item);
         }
         metrics.record("parallelize", 0, n, 0);
-        Pdd { partitions: parts, pool, metrics, spill: SpillConfig::default() }
+        Pdd {
+            partitions: parts,
+            pool,
+            metrics,
+            spill: SpillConfig::default(),
+            tasks: TaskPolicy::default(),
+        }
     }
 
     /// An empty dataset with the given partitioning.
     pub fn empty(partitions: usize, pool: ThreadPool, metrics: JobMetrics) -> Self {
         let mut parts = Vec::with_capacity(partitions.max(1));
         parts.resize_with(partitions.max(1), Vec::new);
-        Pdd { partitions: parts, pool, metrics, spill: SpillConfig::default() }
+        Pdd {
+            partitions: parts,
+            pool,
+            metrics,
+            spill: SpillConfig::default(),
+            tasks: TaskPolicy::default(),
+        }
     }
 
     /// Replaces the spill configuration; downstream datasets inherit it.
@@ -115,6 +129,17 @@ impl<T: Send> Pdd<T> {
     /// The spill configuration shuffles on this dataset use.
     pub fn spill_config(&self) -> &SpillConfig {
         &self.spill
+    }
+
+    /// Replaces the task retry/fault policy; downstream datasets inherit it.
+    pub fn with_tasks(mut self, tasks: TaskPolicy) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// The task retry/fault policy this dataset's operators run under.
+    pub fn task_policy(&self) -> &TaskPolicy {
+        &self.tasks
     }
 
     /// Total records.
@@ -152,11 +177,19 @@ impl<T: Send> Pdd<T> {
         F: Fn(T) -> U + Send + Sync,
     {
         let n_in = self.count();
-        let parts = self.pool.map_partitions(self.partitions, |_, part| {
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
+        let parts = self.pool.map_partitions(self.partitions, |p, part| {
+            tasks.gate(op, p);
             part.into_iter().map(&f).collect::<Vec<U>>()
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         out.metrics.record("map", n_in, out.count(), 0);
         out
     }
@@ -168,11 +201,19 @@ impl<T: Send> Pdd<T> {
         F: Fn(T) -> I + Send + Sync,
     {
         let n_in = self.count();
-        let parts = self.pool.map_partitions(self.partitions, |_, part| {
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
+        let parts = self.pool.map_partitions(self.partitions, |p, part| {
+            tasks.gate(op, p);
             part.into_iter().flat_map(&f).collect::<Vec<U>>()
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         out.metrics.record("flat_map", n_in, out.count(), 0);
         out
     }
@@ -183,12 +224,20 @@ impl<T: Send> Pdd<T> {
         F: Fn(&T) -> bool + Send + Sync,
     {
         let n_in = self.count();
-        let parts = self.pool.map_partitions(self.partitions, |_, mut part| {
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
+        let parts = self.pool.map_partitions(self.partitions, |p, mut part| {
+            tasks.gate(op, p);
             part.retain(|x| f(x));
             part
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         out.metrics.record("filter", n_in, out.count(), 0);
         out
     }
@@ -202,10 +251,13 @@ impl<T: Send> Pdd<T> {
     {
         assert!((0.0..=1.0).contains(&fraction), "sample fraction must be in [0,1]");
         let n_in = self.count();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks.clone();
         let mut parts: Vec<(usize, &Vec<T>, Vec<T>)> =
             self.partitions.iter().enumerate().map(|(i, p)| (i, p, Vec::new())).collect();
         self.pool.for_each_partition(&mut parts, |_, slot| {
             let (idx, input, out) = (slot.0, slot.1, &mut slot.2);
+            tasks.gate(op, idx);
             let mut rng = rng_for(seed, idx as u64);
             out.extend(input.iter().filter(|_| rng.gen::<f64>() < fraction).cloned());
         });
@@ -215,6 +267,7 @@ impl<T: Send> Pdd<T> {
             pool: self.pool,
             metrics: self.metrics.clone(),
             spill: self.spill.clone(),
+            tasks,
         };
         out.metrics.record("sample", n_in, out.count(), 0);
         out
@@ -228,11 +281,19 @@ impl<T: Send> Pdd<T> {
         F: Fn(usize, usize, T) -> U + Send + Sync,
     {
         let n_in = self.count();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
         let parts = self.pool.map_partitions(self.partitions, |p, part| {
+            tasks.gate(op, p);
             part.into_iter().enumerate().map(|(i, x)| f(p, i, x)).collect::<Vec<U>>()
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         out.metrics.record("map_indexed", n_in, out.count(), 0);
         out
     }
@@ -244,11 +305,19 @@ impl<T: Send> Pdd<T> {
         F: Fn(usize, usize, T) -> I + Send + Sync,
     {
         let n_in = self.count();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
         let parts = self.pool.map_partitions(self.partitions, |p, part| {
+            tasks.gate(op, p);
             part.into_iter().enumerate().flat_map(|(i, x)| f(p, i, x)).collect::<Vec<U>>()
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         out.metrics.record("flat_map_indexed", n_in, out.count(), 0);
         out
     }
@@ -262,10 +331,13 @@ impl<T: Send> Pdd<T> {
     {
         assert!(fraction >= 0.0 && fraction.is_finite(), "fraction must be non-negative");
         let n_in = self.count();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks.clone();
         let mut parts: Vec<(usize, &Vec<T>, Vec<T>)> =
             self.partitions.iter().enumerate().map(|(i, p)| (i, p, Vec::new())).collect();
         self.pool.for_each_partition(&mut parts, |_, slot| {
             let (idx, input, out) = (slot.0, slot.1, &mut slot.2);
+            tasks.gate(op, idx);
             let mut rng = rng_for(seed, 0x5A17 ^ idx as u64);
             for x in input.iter() {
                 for _ in 0..poisson(fraction, &mut rng) {
@@ -279,6 +351,7 @@ impl<T: Send> Pdd<T> {
             pool: self.pool,
             metrics: self.metrics.clone(),
             spill: self.spill.clone(),
+            tasks,
         };
         out.metrics.record("sample_with_replacement", n_in, out.count(), 0);
         out
@@ -416,11 +489,14 @@ impl<T: Send + Hash + Eq + Clone + SpillCodec> Pdd<T> {
     pub fn distinct(self) -> Pdd<T> {
         let n_in = self.count();
         let nparts = self.partitions.len();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
         let (gathered, shuffled) = hash_shuffle(&self.pool, &self.spill, self.partitions, |x| {
             (hash_of(x) % nparts as u64) as usize
         });
         // Per-partition dedup.
-        let parts = self.pool.map_partitions(gathered, |_, part| {
+        let parts = self.pool.map_partitions(gathered, |p, part| {
+            tasks.gate(op, p);
             let mut seen = std::collections::HashSet::with_capacity(part.len());
             let mut out = Vec::with_capacity(part.len());
             for x in part {
@@ -430,8 +506,13 @@ impl<T: Send + Hash + Eq + Clone + SpillCodec> Pdd<T> {
             }
             out
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         let n_out = out.count();
         out.metrics.record("distinct", n_in, n_out, shuffled);
         csb_obs::obs_debug!("distinct: {n_in} in, {n_out} out, {shuffled} shuffled");
@@ -446,9 +527,12 @@ impl<T: Send + Ord> Pdd<T> {
     where
         T: Clone + Sync,
     {
+        let op = self.tasks.next_op();
+        let tasks = self.tasks.clone();
         let mut parts: Vec<(&Vec<T>, Vec<T>)> =
             self.partitions.iter().map(|p| (p, Vec::new())).collect();
-        self.pool.for_each_partition(&mut parts, |_, slot| {
+        self.pool.for_each_partition(&mut parts, |p, slot| {
+            tasks.gate(op, p);
             let (input, out) = (slot.0, &mut slot.1);
             let mut local: Vec<T> = input.to_vec();
             local.sort_unstable();
@@ -472,19 +556,27 @@ where
     pub fn group_by_key(self) -> Pdd<(K, Vec<V>)> {
         let n_in = self.count();
         let nparts = self.partitions.len();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
         let (gathered, shuffled) =
             hash_shuffle(&self.pool, &self.spill, self.partitions, |kv: &(K, V)| {
                 (hash_of(&kv.0) % nparts as u64) as usize
             });
-        let parts = self.pool.map_partitions(gathered, |_, part| {
+        let parts = self.pool.map_partitions(gathered, |p, part| {
+            tasks.gate(op, p);
             let mut acc: HashMap<K, Vec<V>> = HashMap::new();
             for (k, v) in part {
                 acc.entry(k).or_default().push(v);
             }
             acc.into_iter().collect::<Vec<(K, Vec<V>)>>()
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         let n_out = out.count();
         out.metrics.record("group_by_key", n_in, n_out, shuffled);
         csb_obs::obs_debug!("group_by_key: {n_in} in, {n_out} keys, {shuffled} shuffled");
@@ -531,11 +623,14 @@ where
     {
         let n_in = self.count();
         let nparts = self.partitions.len();
+        let op = self.tasks.next_op();
+        let tasks = self.tasks;
         let (gathered, shuffled) =
             hash_shuffle(&self.pool, &self.spill, self.partitions, |kv: &(K, V)| {
                 (hash_of(&kv.0) % nparts as u64) as usize
             });
-        let parts = self.pool.map_partitions(gathered, |_, part| {
+        let parts = self.pool.map_partitions(gathered, |p, part| {
+            tasks.gate(op, p);
             let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
             for (k, v) in part {
                 match acc.remove(&k) {
@@ -550,8 +645,13 @@ where
             }
             acc.into_iter().collect::<Vec<(K, V)>>()
         });
-        let out =
-            Pdd { partitions: parts, pool: self.pool, metrics: self.metrics, spill: self.spill };
+        let out = Pdd {
+            partitions: parts,
+            pool: self.pool,
+            metrics: self.metrics,
+            spill: self.spill,
+            tasks,
+        };
         let n_out = out.count();
         out.metrics.record("reduce_by_key", n_in, n_out, shuffled);
         csb_obs::obs_debug!("reduce_by_key: {n_in} in, {n_out} keys, {shuffled} shuffled");
@@ -813,6 +913,31 @@ mod tests {
         assert!(get("engine.spills") >= 1);
         assert!(get("engine.spill_bytes_written") > 0);
         assert!(get("engine.spill_bytes_read") > 0);
+    }
+
+    #[test]
+    fn fault_injected_pipeline_matches_clean_run_and_counts_retries() {
+        use crate::retry::{FaultConfig, RetryPolicy};
+        let _guard = csb_obs::span::test_lock();
+        csb_obs::reset();
+        csb_obs::enable();
+        let flaky =
+            TaskPolicy::new(RetryPolicy { max_retries: 60, base_delay_ms: 0, max_delay_ms: 0 })
+                .with_fault(FaultConfig { failure_probability: 0.3, seed: 11 });
+        let data: Vec<u64> = (0..5000).map(|i| i % 900).collect();
+        let clean = pdd(data.clone(), 8).map(|x| x * 3).filter(|x| x % 2 == 0).distinct().collect();
+        let faulty = pdd(data, 8)
+            .with_tasks(flaky)
+            .map(|x| x * 3)
+            .filter(|x| x % 2 == 0)
+            .distinct()
+            .collect();
+        csb_obs::disable();
+        assert_eq!(clean, faulty, "injected faults must only delay tasks, never change data");
+        let counters = csb_obs::snapshot_metrics().counters;
+        let get = |name: &str| counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v);
+        assert!(get("engine.task_failures") > 0, "30% fault rate must trip at least once");
+        assert!(get("engine.task_retries") > 0, "failed tasks must be retried");
     }
 
     #[test]

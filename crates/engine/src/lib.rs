@@ -25,6 +25,7 @@ pub mod costmodel;
 pub mod dataset;
 pub mod executor;
 pub mod metrics;
+pub mod retry;
 pub mod sim;
 
 pub use cluster::ClusterConfig;
@@ -32,4 +33,5 @@ pub use costmodel::CostModel;
 pub use dataset::{Pdd, SpillConfig};
 pub use executor::ThreadPool;
 pub use metrics::JobMetrics;
+pub use retry::{FaultConfig, RetryPolicy, TaskPolicy};
 pub use sim::{SimCluster, SimReport};

@@ -1,0 +1,158 @@
+//! `CsbError` — the shared error type of the suite.
+//!
+//! One enum instead of per-crate `String` / `io::Error` soup, so the retry
+//! layer in `csb-engine` can classify failures structurally
+//! ([`CsbError::is_transient`]) instead of string-matching messages. The
+//! store's old `StoreError` is now an alias of this type; the CLI commands
+//! return it directly.
+
+use std::io;
+
+/// Errors from the csb suite: storage, generation jobs, and the CLI.
+#[derive(Debug)]
+pub enum CsbError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with a store file's contents.
+    Corrupt {
+        /// File offset of the problem (best effort).
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// Invalid configuration or command-line usage.
+    Config(String),
+    /// Malformed input data (pcap / NetFlow / text graph / filter syntax).
+    Input(String),
+    /// A consistency check failed: checkpoint identity, `--expect`
+    /// verification, or a resumed run that disagrees with its manifest.
+    Mismatch(String),
+    /// A transient condition worth retrying (injected faults, contended
+    /// resources). Produced by the fault-injection hooks and by anything
+    /// that knows its failure is momentary.
+    Transient(String),
+    /// A transient error that survived every allowed retry.
+    RetryExhausted {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// The last transient error observed.
+        last: Box<CsbError>,
+    },
+}
+
+impl CsbError {
+    /// True when retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient: [`CsbError::Transient`] and interrupted/timed-out I/O.
+    /// Everything else — corruption, bad configuration, mismatches, and
+    /// [`CsbError::RetryExhausted`] — is fatal: retrying replays the same
+    /// failure.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CsbError::Transient(_) => true,
+            CsbError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for CsbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsbError::Io(e) => write!(f, "I/O error: {e}"),
+            CsbError::Corrupt { offset, message } => {
+                write!(f, "corrupt store at byte {offset}: {message}")
+            }
+            CsbError::Config(m) => write!(f, "{m}"),
+            CsbError::Input(m) => write!(f, "{m}"),
+            CsbError::Mismatch(m) => write!(f, "{m}"),
+            CsbError::Transient(m) => write!(f, "transient failure: {m}"),
+            CsbError::RetryExhausted { attempts, last } => {
+                write!(f, "failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsbError::Io(e) => Some(e),
+            CsbError::RetryExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsbError {
+    fn from(e: io::Error) -> Self {
+        CsbError::Io(e)
+    }
+}
+
+impl From<csb_graph::io::GraphIoError> for CsbError {
+    fn from(e: csb_graph::io::GraphIoError) -> Self {
+        match e {
+            csb_graph::io::GraphIoError::Io(io) => CsbError::Io(io),
+            other => CsbError::Input(other.to_string()),
+        }
+    }
+}
+
+impl From<csb_net::pcap::PcapError> for CsbError {
+    fn from(e: csb_net::pcap::PcapError) -> Self {
+        CsbError::Input(e.to_string())
+    }
+}
+
+impl From<csb_net::netflow_v5::NetflowError> for CsbError {
+    fn from(e: csb_net::netflow_v5::NetflowError) -> Self {
+        CsbError::Input(e.to_string())
+    }
+}
+
+impl From<csb_net::filter::FilterError> for CsbError {
+    fn from(e: csb_net::filter::FilterError) -> Self {
+        CsbError::Input(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(CsbError::Transient("flaky".into()).is_transient());
+        assert!(CsbError::Io(io::Error::new(io::ErrorKind::Interrupted, "eintr")).is_transient());
+        assert!(CsbError::Io(io::Error::new(io::ErrorKind::TimedOut, "slow")).is_transient());
+        assert!(!CsbError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")).is_transient());
+        assert!(!CsbError::Corrupt { offset: 0, message: "bad".into() }.is_transient());
+        assert!(!CsbError::Config("bad flag".into()).is_transient());
+        assert!(!CsbError::Mismatch("wrong seed".into()).is_transient());
+        // Exhaustion is terminal even though its cause was transient.
+        let exhausted = CsbError::RetryExhausted {
+            attempts: 3,
+            last: Box::new(CsbError::Transient("still flaky".into())),
+        };
+        assert!(!exhausted.is_transient());
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CsbError::Io(io::Error::new(io::ErrorKind::NotFound, "missing"));
+        assert!(e.to_string().contains("missing"));
+        assert!(e.source().is_some());
+        let x = CsbError::RetryExhausted {
+            attempts: 5,
+            last: Box::new(CsbError::Transient("hiccup".into())),
+        };
+        assert!(x.to_string().contains("5 attempts"));
+        assert!(x.source().expect("has source").to_string().contains("hiccup"));
+        assert!(CsbError::Config("msg".into()).source().is_none());
+    }
+}

@@ -17,8 +17,6 @@
 //! payload; the trailing footer index makes chunk discovery O(1) from the
 //! end of the file without scanning.
 
-use std::io;
-
 /// File magic, first 8 bytes.
 pub const FILE_MAGIC: [u8; 8] = *b"CSBSTOR1";
 /// Trailer magic, last 8 bytes.
@@ -175,38 +173,10 @@ pub struct ChunkEntry {
     pub crc32: u32,
 }
 
-/// Errors from store (de)serialization.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Structural problem with the file contents.
-    Corrupt {
-        /// File offset of the problem (best effort).
-        offset: u64,
-        /// What was wrong.
-        message: String,
-    },
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
-            StoreError::Corrupt { offset, message } => {
-                write!(f, "corrupt store at byte {offset}: {message}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
-    }
-}
+/// Errors from store (de)serialization — an alias of the suite-wide
+/// [`CsbError`](crate::error::CsbError) so retry logic can classify store
+/// failures without conversion.
+pub type StoreError = crate::error::CsbError;
 
 pub(crate) fn corrupt(offset: u64, message: impl Into<String>) -> StoreError {
     StoreError::Corrupt { offset, message: message.into() }

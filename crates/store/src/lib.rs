@@ -21,6 +21,12 @@
 //!   [`spill::SpillFile`]) with a compact [`spill::SpillCodec`] record
 //!   encoding, used by `csb-engine` when a shuffle exceeds its memory
 //!   budget.
+//! * [`checkpoint`] — fault tolerance: a CRC-validated
+//!   [`checkpoint::CheckpointManifest`] recording the last durable chunk,
+//!   and a [`checkpoint::CheckpointedGraphSink`] that emits barriers every N
+//!   chunks so a killed generation run resumes byte-identically.
+//! * [`error`] — [`error::CsbError`], the suite-wide error enum with a
+//!   transient/fatal classification the retry layer keys off.
 //!
 //! Every store operation is instrumented with `csb-obs` spans
 //! (`store.write_chunk`, `store.read_chunk`) and counters
@@ -37,13 +43,17 @@
 //! assert_eq!(h.vertex_count(), 0);
 //! ```
 
+pub mod checkpoint;
 pub mod crc32;
+pub mod error;
 pub mod format;
 pub mod read;
 pub mod sink;
 pub mod spill;
 pub mod write;
 
+pub use checkpoint::{CheckpointIdentity, CheckpointManifest, CheckpointedGraphSink};
+pub use error::CsbError;
 pub use format::{ChunkEntry, ChunkKind, Column, FileKind, StoreError};
 pub use read::{EdgeBatch, StoreReader};
 pub use sink::{

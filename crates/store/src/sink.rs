@@ -29,6 +29,51 @@ pub trait EdgeSink {
         dst: &[u32],
         props: &[EdgeProperties],
     ) -> Result<(), StoreError>;
+
+    /// Vertices already durable from a resumed checkpoint; the sink silently
+    /// drops this many re-pushed vertices. Zero for fresh sinks.
+    fn resume_skip_vertices(&self) -> u64 {
+        0
+    }
+
+    /// Edges already durable from a resumed checkpoint. A generator may skip
+    /// regenerating any chunk of records that falls entirely below this mark
+    /// (the sink drops the re-pushed prefix of a partially durable chunk).
+    fn resume_skip_edges(&self) -> u64 {
+        0
+    }
+
+    /// Tells the sink the producer omitted the first `n` edges of the stream
+    /// because [`EdgeSink::resume_skip_edges`] said they are already durable.
+    /// The sink stops expecting them; pushes resume at edge `n`.
+    fn note_skipped_edges(&mut self, _n: u64) {}
+}
+
+impl<S: EdgeSink + ?Sized> EdgeSink for &mut S {
+    fn push_vertices(&mut self, ips: &[u32]) -> Result<(), StoreError> {
+        (**self).push_vertices(ips)
+    }
+
+    fn push_edges(
+        &mut self,
+        src: &[u32],
+        dst: &[u32],
+        props: &[EdgeProperties],
+    ) -> Result<(), StoreError> {
+        (**self).push_edges(src, dst, props)
+    }
+
+    fn resume_skip_vertices(&self) -> u64 {
+        (**self).resume_skip_vertices()
+    }
+
+    fn resume_skip_edges(&self) -> u64 {
+        (**self).resume_skip_edges()
+    }
+
+    fn note_skipped_edges(&mut self, n: u64) {
+        (**self).note_skipped_edges(n)
+    }
 }
 
 /// Receives NetFlow records as a stream of batches.
@@ -37,7 +82,7 @@ pub trait FlowSink {
     fn push_flows(&mut self, flows: &[FlowRecord]) -> Result<(), StoreError>;
 }
 
-fn encode_edge_chunk(src: &[u32], dst: &[u32], props: &[EdgeProperties]) -> Vec<u8> {
+pub(crate) fn encode_edge_chunk(src: &[u32], dst: &[u32], props: &[EdgeProperties]) -> Vec<u8> {
     let n = src.len();
     let mut payload = Vec::with_capacity(n * ChunkKind::Edge.record_width());
     debug_assert_eq!(EDGE_COLUMNS.len(), 11);

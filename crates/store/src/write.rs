@@ -36,9 +36,34 @@ impl<W: Write> StoreWriter<W> {
         Ok(StoreWriter { w, written: 16, chunks: Vec::new() })
     }
 
+    /// Reconstructs a writer mid-stream: `w` must be positioned at byte
+    /// `written` of a file whose prefix already holds the header and the
+    /// chunks in `chunks`. Used by checkpoint resume, which truncates a
+    /// partial file back to its last durable barrier and continues.
+    pub fn resume_at(w: W, written: u64, chunks: Vec<ChunkEntry>) -> Self {
+        debug_assert!(written >= 16, "resume offset must be past the file header");
+        StoreWriter { w, written, chunks }
+    }
+
     /// Chunks written so far.
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// The footer index accumulated so far.
+    pub fn chunks(&self) -> &[ChunkEntry] {
+        &self.chunks
+    }
+
+    /// Flushes the inner writer without sealing the file.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.w.flush()?;
+        Ok(())
+    }
+
+    /// The inner writer (checkpoint barriers use this to fsync the file).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.w
     }
 
     /// Bytes written so far (headers included).

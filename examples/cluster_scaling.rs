@@ -20,7 +20,7 @@ fn main() {
     })
     .generate();
     let seed = seed_from_trace(&trace);
-    let dist = DistConfig { partitions: 8, threads: 4 };
+    let dist = DistConfig { partitions: 8, threads: 4, ..DistConfig::default() };
 
     let target = seed.edge_count() as u64 * 4;
     let (ba_topo, ba_metrics) = pgpba_distributed(

@@ -1,0 +1,151 @@
+//! Crash-recovery invariants of checkpointed generation runs: a store-backed
+//! run killed after an *arbitrary* number of chunks and resumed from its
+//! manifest produces a file byte-identical to an uninterrupted run.
+
+use csb::gen::{GenJob, PgpbaConfig, SeedBundle};
+use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use csb::store::checkpoint::CheckpointManifest;
+use csb::store::CsbError;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const CHUNK_RECORDS: usize = 512;
+
+fn seed() -> &'static SeedBundle {
+    static SEED: OnceLock<SeedBundle> = OnceLock::new();
+    SEED.get_or_init(|| {
+        let trace = TrafficSim::new(TrafficSimConfig {
+            duration_secs: 6.0,
+            sessions_per_sec: 12.0,
+            seed: 17,
+            ..TrafficSimConfig::default()
+        })
+        .generate();
+        csb::gen::seed_from_trace(&trace)
+    })
+}
+
+fn cfg() -> PgpbaConfig {
+    PgpbaConfig { desired_size: 10_000, fraction: 0.5, seed: 99 }
+}
+
+/// Bytes of the uninterrupted reference run (computed once).
+fn clean_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = temp_dir("clean");
+        let path = dir.join("clean.csbstore");
+        GenJob::pgpba(seed(), cfg())
+            .store(&path)
+            .chunk_records(CHUNK_RECORDS)
+            .run()
+            .expect("clean run");
+        let bytes = std::fs::read(&path).expect("read clean");
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    })
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("csb-ckpt-rt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+/// Kills a checkpointed run after `kill_after` chunks, optionally tears the
+/// tail of the partial file, resumes, and returns the final bytes.
+fn kill_and_resume(tag: &str, kill_after: u64, garbage_tail: bool) -> Vec<u8> {
+    let dir = temp_dir(tag);
+    let store = dir.join("g.csbstore");
+    let ckpt = dir.join("ckpt");
+    let err = GenJob::pgpba(seed(), cfg())
+        .store(&store)
+        .chunk_records(CHUNK_RECORDS)
+        .checkpoint(&ckpt)
+        .checkpoint_every(1)
+        .kill_after_chunks(kill_after, false)
+        .run()
+        .expect_err("the kill hook must fire before the run completes");
+    assert!(err.is_transient(), "injected kill should be transient, got {err}");
+    assert!(CheckpointManifest::exists(&ckpt), "manifest must survive the crash");
+    if garbage_tail {
+        // Model a torn in-flight write past the last durable barrier.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&store).expect("open for append");
+        f.write_all(&0xDEAD_BEEF_u32.to_le_bytes()).expect("append garbage");
+    }
+    let run = GenJob::pgpba(seed(), cfg())
+        .store(&store)
+        .chunk_records(CHUNK_RECORDS)
+        .checkpoint(&ckpt)
+        .resume()
+        .run()
+        .expect("resume");
+    assert!(run.edges > 0);
+    let bytes = std::fs::read(&store).expect("read resumed");
+    std::fs::remove_dir_all(&dir).ok();
+    bytes
+}
+
+#[test]
+fn killed_then_resumed_run_is_byte_identical() {
+    assert_eq!(kill_and_resume("golden", 5, true), clean_bytes());
+}
+
+#[test]
+fn resume_without_a_manifest_degrades_to_a_fresh_run() {
+    let dir = temp_dir("fresh");
+    let store = dir.join("g.csbstore");
+    let ckpt = dir.join("ckpt");
+    let run = GenJob::pgpba(seed(), cfg())
+        .store(&store)
+        .chunk_records(CHUNK_RECORDS)
+        .checkpoint(&ckpt)
+        .resume()
+        .run()
+        .expect("resume with nothing to resume");
+    assert!(run.edges > 0);
+    assert_eq!(std::fs::read(&store).expect("read"), clean_bytes());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resuming_under_a_different_seed_is_rejected() {
+    let dir = temp_dir("wrongseed");
+    let store = dir.join("g.csbstore");
+    let ckpt = dir.join("ckpt");
+    GenJob::pgpba(seed(), cfg())
+        .store(&store)
+        .chunk_records(CHUNK_RECORDS)
+        .checkpoint(&ckpt)
+        .checkpoint_every(1)
+        .kill_after_chunks(4, false)
+        .run()
+        .expect_err("killed");
+    let err = GenJob::pgpba(seed(), PgpbaConfig { seed: 100, ..cfg() })
+        .store(&store)
+        .chunk_records(CHUNK_RECORDS)
+        .checkpoint(&ckpt)
+        .resume()
+        .run()
+        .expect_err("wrong master seed");
+    assert!(matches!(err, CsbError::Mismatch(_)), "got {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant, property-tested: for an arbitrary kill point
+    /// and an arbitrarily torn tail, resume reconstructs the clean bytes.
+    #[test]
+    fn resume_is_byte_identical_for_arbitrary_kill_points(
+        kill_after in 1u64..18,
+        garbage_tail in any::<bool>(),
+    ) {
+        let tag = format!("prop-{kill_after}-{garbage_tail}");
+        let bytes = kill_and_resume(&tag, kill_after, garbage_tail);
+        prop_assert_eq!(bytes, clean_bytes());
+    }
+}

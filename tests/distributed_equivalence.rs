@@ -35,7 +35,11 @@ fn distributed_pgpba_matches_reference_shape() {
     let seed = seed();
     let cfg = PgpbaConfig { desired_size: seed.edge_count() as u64 * 6, fraction: 0.4, seed: 1 };
     let reference = pgpba(&seed, &cfg);
-    let (dist_topo, _) = pgpba_distributed(&seed, &cfg, &DistConfig { partitions: 8, threads: 4 });
+    let (dist_topo, _) = pgpba_distributed(
+        &seed,
+        &cfg,
+        &DistConfig { partitions: 8, threads: 4, ..DistConfig::default() },
+    );
 
     // Sizes in the same class.
     let ratio = dist_topo.edge_count() as f64 / reference.edge_count() as f64;
@@ -58,7 +62,11 @@ fn distributed_pgsk_uses_distinct_and_matches_size() {
         kronfit_iterations: 6,
         kronfit_permutation_samples: 100,
     };
-    let (topo, metrics) = pgsk_distributed(&seed, &cfg, &DistConfig { partitions: 8, threads: 4 });
+    let (topo, metrics) = pgsk_distributed(
+        &seed,
+        &cfg,
+        &DistConfig { partitions: 8, threads: 4, ..DistConfig::default() },
+    );
     let got = topo.edge_count() as u64;
     assert!(got >= cfg.desired_size / 2 && got <= cfg.desired_size * 2, "{got}");
     // The paper's PGSK is shuffle-bound: distinct() must appear.
@@ -85,8 +93,16 @@ fn materialized_graph_has_full_attributes() {
 fn partition_count_does_not_change_results_materially() {
     let seed = seed();
     let cfg = PgpbaConfig { desired_size: seed.edge_count() as u64 * 3, fraction: 0.5, seed: 5 };
-    let (a, _) = pgpba_distributed(&seed, &cfg, &DistConfig { partitions: 2, threads: 2 });
-    let (b, _) = pgpba_distributed(&seed, &cfg, &DistConfig { partitions: 16, threads: 4 });
+    let (a, _) = pgpba_distributed(
+        &seed,
+        &cfg,
+        &DistConfig { partitions: 2, threads: 2, ..DistConfig::default() },
+    );
+    let (b, _) = pgpba_distributed(
+        &seed,
+        &cfg,
+        &DistConfig { partitions: 16, threads: 4, ..DistConfig::default() },
+    );
     let ratio = a.edge_count() as f64 / b.edge_count() as f64;
     assert!((0.7..1.4).contains(&ratio), "partitioning changed size: {ratio}");
 }
