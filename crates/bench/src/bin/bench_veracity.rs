@@ -1,0 +1,167 @@
+//! Veracity trajectory point: times the in-memory veracity scoring against
+//! the out-of-core path over sealed store files, checks the scores are
+//! bit-identical, and records the peak scratch footprint of the streaming
+//! kernels — the O(vertices + chunk) bound of ISSUE 5's acceptance criteria.
+//!
+//! Writes `BENCH_veracity.json` (schema note in crates/bench/src/lib.rs) and
+//! schema-checks its own output. `--smoke` shrinks the workload for CI;
+//! `CSB_SCALE` multiplies the default ~1M-edge synthetic graph.
+
+use csb_bench::{eng, scale, standard_seed_scaled};
+use csb_core::{pgpba, veracity_store, veracity_with, PgpbaConfig};
+use csb_graph::algo::PageRankConfig;
+use csb_graph::NetflowGraph;
+use csb_obs::json::JsonObject;
+use csb_store::sink::CHUNK_RECORDS;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Fields every `BENCH_veracity.json` must carry; CI checks the emitted
+/// file against this list, so keep it in sync with the schema note in
+/// crates/bench/src/lib.rs.
+const SCHEMA_FIELDS: [&str; 16] = [
+    "bench",
+    "status",
+    "scale",
+    "threads",
+    "os",
+    "git_rev",
+    "seed_vertices",
+    "seed_edges",
+    "synth_vertices",
+    "synth_edges",
+    "mem_secs",
+    "ooc_secs",
+    "degree",
+    "pagerank",
+    "peak_scratch_bytes",
+    "scratch_bound_bytes",
+];
+
+fn schema_check(json: &str) {
+    csb_obs::json::validate_json(json).expect("BENCH_veracity.json is valid JSON");
+    for field in SCHEMA_FIELDS {
+        assert!(
+            json.contains(&format!("\"{field}\":")),
+            "BENCH_veracity.json is missing field {field:?}"
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 0.05 } else { scale() };
+    let target = (1_000_000.0 * scale) as u64;
+
+    csb_obs::reset();
+    csb_obs::enable();
+    let peak_scratch = csb_obs::metrics::gauge("ooc.peak_scratch_bytes");
+    let ooc_bytes = csb_obs::metrics::counter("ooc.bytes_read");
+
+    let seed = standard_seed_scaled(scale);
+    let synth: NetflowGraph =
+        pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 1.0, seed: 7 });
+    println!(
+        "seed {}v/{}e, synthetic {}v/{}e (target {})",
+        eng(seed.graph.vertex_count() as f64),
+        eng(seed.graph.edge_count() as f64),
+        eng(synth.vertex_count() as f64),
+        eng(synth.edge_count() as f64),
+        eng(target as f64),
+    );
+
+    let dir = std::env::temp_dir().join(format!("csb-bench-veracity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let seed_store = dir.join("seed.csbstore");
+    let synth_store = dir.join("synth.csbstore");
+    csb_store::save_graph(&seed_store, &seed.graph).expect("save seed store");
+    csb_store::save_graph(&synth_store, &synth).expect("save synth store");
+
+    let pr = PageRankConfig::default();
+    let t = Instant::now();
+    let mem = veracity_with(&seed.graph, &synth, &pr);
+    let mem_secs = t.elapsed().as_secs_f64();
+
+    peak_scratch.set(0);
+    let t = Instant::now();
+    let ooc = veracity_store(&seed_store, &synth_store, &pr).expect("ooc veracity");
+    let ooc_secs = t.elapsed().as_secs_f64();
+
+    // The conformance contract, enforced at bench scale too.
+    assert_eq!(
+        mem.degree.to_bits(),
+        ooc.degree.to_bits(),
+        "degree scores diverged: {:e} vs {:e}",
+        mem.degree,
+        ooc.degree
+    );
+    assert_eq!(
+        mem.pagerank.to_bits(),
+        ooc.pagerank.to_bits(),
+        "pagerank scores diverged: {:e} vs {:e}",
+        mem.pagerank,
+        ooc.pagerank
+    );
+
+    // The acceptance bound: streaming veracity scratch is O(vertices +
+    // chunk) — three f64/u64 vectors over the larger vertex set plus the
+    // scan's per-chunk column buffers, with 2x headroom for allocator slop.
+    let max_vertices = seed.graph.vertex_count().max(synth.vertex_count()) as u64;
+    let bound = 2 * (24 * max_vertices + 24 * CHUNK_RECORDS as u64);
+    let peak = peak_scratch.get().max(0) as u64;
+    assert!(peak > 0, "kernels never reported scratch");
+    assert!(peak <= bound, "peak scratch {peak} B exceeds O(V + chunk) bound {bound} B");
+    println!(
+        "veracity: degree {:e}, pagerank {:e} (bit-identical in-memory vs out-of-core)",
+        mem.degree, mem.pagerank
+    );
+    println!(
+        "in-memory {mem_secs:.3}s, out-of-core {ooc_secs:.3}s; \
+         peak scratch {} B (bound {} B), {} column bytes streamed",
+        eng(peak as f64),
+        eng(bound as f64),
+        eng(ooc_bytes.get() as f64),
+    );
+
+    csb_obs::disable();
+    let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for s in csb_obs::flush_spans() {
+        let e = agg.entry(s.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.dur_micros;
+    }
+    let mut spans = JsonObject::new();
+    for (name, (count, total_micros)) in agg {
+        let mut o = JsonObject::new();
+        o.u64("count", count).u64("total_micros", total_micros);
+        spans.raw(name, &o.finish());
+    }
+
+    let git_rev = csb_bench::git_rev();
+    let mut root = JsonObject::new();
+    root.str("bench", "veracity")
+        .str("status", if smoke { "smoke" } else { "measured" })
+        .f64("scale", scale, 3)
+        .u64("threads", rayon::current_num_threads() as u64)
+        .str("os", std::env::consts::OS)
+        .str("git_rev", &git_rev)
+        .u64("seed_vertices", seed.graph.vertex_count() as u64)
+        .u64("seed_edges", seed.graph.edge_count() as u64)
+        .u64("synth_vertices", synth.vertex_count() as u64)
+        .u64("synth_edges", synth.edge_count() as u64)
+        .f64("mem_secs", mem_secs, 6)
+        .f64("ooc_secs", ooc_secs, 6)
+        // `{:e}` round-trips the exact f64 scores.
+        .raw("degree", &format!("{:e}", mem.degree))
+        .raw("pagerank", &format!("{:e}", mem.pagerank))
+        .u64("peak_scratch_bytes", peak)
+        .u64("scratch_bound_bytes", bound)
+        .u64("ooc_bytes_read", ooc_bytes.get())
+        .raw("spans", &spans.finish());
+    let mut json = root.finish();
+    json.push('\n');
+    schema_check(&json);
+    std::fs::write("BENCH_veracity.json", &json).expect("write BENCH_veracity.json");
+    println!("wrote BENCH_veracity.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,6 +32,29 @@
 //! by CI), then `git rev-parse HEAD`, then reading `.git/HEAD` directly when
 //! no git binary is available; `"unknown"` remains the placeholder when no
 //! provenance source works at all.
+//!
+//! ## `BENCH_veracity.json` schema
+//!
+//! One object per run, written by `bench_veracity` (the in-memory vs
+//! out-of-core veracity trajectory; `--smoke` emits `"status":"smoke"` at a
+//! reduced workload):
+//!
+//! ```text
+//! { "bench":"veracity", "status":"measured"|"smoke", "scale":F,
+//!   "threads":N, "os":S, "git_rev":S,
+//!   "seed_vertices":N, "seed_edges":N, "synth_vertices":N, "synth_edges":N,
+//!   "mem_secs":F, "ooc_secs":F,
+//!   "degree":F, "pagerank":F,
+//!   "peak_scratch_bytes":N, "scratch_bound_bytes":N, "ooc_bytes_read":N,
+//!   "spans": { name: {"count":N, "total_micros":N}, ... } }
+//! ```
+//!
+//! `degree`/`pagerank` are printed with `{:e}` (shortest round-trip), so
+//! parsing them recovers the exact scores, which are asserted bit-identical
+//! between the in-memory and out-of-core paths before the file is written.
+//! `peak_scratch_bytes` is the `ooc.peak_scratch_bytes` gauge high-water
+//! mark; the harness asserts it stays under `scratch_bound_bytes`, the
+//! O(vertices + chunk) ceiling of the streaming kernels.
 
 use csb_core::analysis::SeedAnalysis;
 use csb_core::seed::{seed_from_trace, SeedBundle};

@@ -1,14 +1,19 @@
 //! Minimal argument parsing: `--key value` flags and positional
 //! subcommands. Hand-rolled so the tool stays dependency-free.
+//!
+//! A flag collects every following token up to the next `--flag`, so both
+//! single-value options (`--size 1000`) and multi-value ones
+//! (`--store a.csb b.csb`) parse; single-value accessors reject flags that
+//! were given more than one value.
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand plus `--key value...` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// First positional argument.
     pub command: String,
-    options: HashMap<String, String>,
+    options: HashMap<String, Vec<String>>,
 }
 
 /// Parse failure with a user-facing message.
@@ -32,38 +37,64 @@ impl From<ArgError> for csb_store::CsbError {
 impl Args {
     /// Parses raw arguments (program name already stripped).
     pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         let command = it.next().ok_or_else(|| ArgError("missing subcommand".into()))?.clone();
         if command.starts_with("--") {
             return Err(ArgError(format!("expected subcommand, got flag {command}")));
         }
-        let mut options = HashMap::new();
+        let mut options: HashMap<String, Vec<String>> = HashMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(ArgError(format!("expected --flag, got {key}")));
             };
-            let value =
-                it.next().ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
-            if options.insert(name.to_string(), value.clone()).is_some() {
+            let mut values = Vec::new();
+            while let Some(next) = it.peek() {
+                if next.starts_with("--") {
+                    break;
+                }
+                values.push(it.next().expect("peeked").clone());
+            }
+            if values.is_empty() {
+                return Err(ArgError(format!("flag --{name} needs a value")));
+            }
+            if options.insert(name.to_string(), values).is_some() {
                 return Err(ArgError(format!("flag --{name} given twice")));
             }
         }
         Ok(Args { command, options })
     }
 
-    /// String option.
+    /// Single-value string option; `Ok(None)` when absent, an error when the
+    /// flag was given more than one value.
+    fn single(&self, name: &str) -> Result<Option<&str>, ArgError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(values) if values.len() == 1 => Ok(Some(values[0].as_str())),
+            Some(values) => {
+                Err(ArgError(format!("flag --{name} takes one value, got {}", values.len())))
+            }
+        }
+    }
+
+    /// String option. Returns the first value if the flag was (incorrectly)
+    /// given several; the typed accessors report that as an error.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.options.get(name).map(String::as_str)
+        self.options.get(name).and_then(|v| v.first()).map(String::as_str)
+    }
+
+    /// Every value of a (possibly multi-value) option, empty when absent.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.options.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Required string option.
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+        self.single(name)?.ok_or_else(|| ArgError(format!("missing required flag --{name}")))
     }
 
     /// Typed option with default.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
-        match self.get(name) {
+        match self.single(name)? {
             None => Ok(default),
             Some(raw) => {
                 raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
@@ -118,6 +149,20 @@ mod tests {
         assert!(Args::parse(&raw(&[])).is_err());
         assert!(Args::parse(&raw(&["--oops", "1"])).is_err());
         assert!(Args::parse(&raw(&["x", "stray"])).is_err());
+    }
+
+    #[test]
+    fn multi_value_flags_collect_until_the_next_flag() {
+        let a = Args::parse(&raw(&["veracity", "--store", "a.csb", "b.csb", "--damping", "0.9"]))
+            .expect("parse");
+        assert_eq!(a.get_all("store"), &["a.csb".to_string(), "b.csb".to_string()]);
+        assert_eq!(a.get_all("missing"), &[] as &[String]);
+        assert_eq!(a.get_or::<f64>("damping", 0.85).expect("typed"), 0.9);
+        // Single-value accessors refuse a multi-value flag.
+        assert!(a.require("store").is_err());
+        assert!(a.get_or::<String>("store", String::new()).is_err());
+        // The untyped accessor still yields the first value.
+        assert_eq!(a.get("store"), Some("a.csb"));
     }
 
     #[test]

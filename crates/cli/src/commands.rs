@@ -1,7 +1,9 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use csb_core::{seed_from_packets, veracity_with, GenJob, PgpbaConfig, PgskConfig, SeedBundle};
+use csb_core::{
+    seed_from_packets, veracity_store, veracity_with, GenJob, PgpbaConfig, PgskConfig, SeedBundle,
+};
 use csb_engine::sim::{GenAlgorithm, GenJob as SimGenJob};
 use csb_engine::{ClusterConfig, CostModel, SimCluster};
 use csb_graph::algo::PageRankConfig;
@@ -213,25 +215,70 @@ fn generate(args: &Args) -> Result<()> {
 }
 
 fn veracity_cmd(args: &Args) -> Result<()> {
-    args.expect_only(&["seed-graph", "synthetic", "damping", "max-iters", "tolerance"])?;
-    let seed = load_graph(args.require("seed-graph")?)?;
-    let synth = load_graph(args.require("synthetic")?)?;
+    args.expect_only(&[
+        "seed-graph",
+        "synthetic",
+        "store",
+        "json-out",
+        "damping",
+        "max-iters",
+        "tolerance",
+    ])?;
     let defaults = PageRankConfig::default();
     let pr = PageRankConfig {
         damping: args.get_or("damping", defaults.damping)?,
         max_iters: args.get_or("max-iters", defaults.max_iters)?,
         tolerance: args.get_or("tolerance", defaults.tolerance)?,
     };
-    let v = veracity_with(&seed, &synth, &pr);
-    println!(
-        "seed {}v/{}e vs synthetic {}v/{}e",
-        seed.vertex_count(),
-        seed.edge_count(),
-        synth.vertex_count(),
-        synth.edge_count()
-    );
+    let stores = args.get_all("store");
+    let (v, seed_label, synth_label) = if stores.is_empty() {
+        let seed_path = args.require("seed-graph")?;
+        let synth_path = args.require("synthetic")?;
+        let seed = load_graph(seed_path)?;
+        let synth = load_graph(synth_path)?;
+        println!(
+            "seed {}v/{}e vs synthetic {}v/{}e",
+            seed.vertex_count(),
+            seed.edge_count(),
+            synth.vertex_count(),
+            synth.edge_count()
+        );
+        (veracity_with(&seed, &synth, &pr), seed_path.to_string(), synth_path.to_string())
+    } else {
+        // Out-of-core: score two graph store files without materializing
+        // either graph (`csb veracity --store seed.csb synth.csb`).
+        if args.get("seed-graph").is_some() || args.get("synthetic").is_some() {
+            return Err(arg_err("--store replaces --seed-graph/--synthetic"));
+        }
+        let [seed_path, synth_path] = stores else {
+            return Err(arg_err(format!(
+                "--store takes exactly two files (seed, synthetic), got {}",
+                stores.len()
+            )));
+        };
+        for path in [seed_path, synth_path] {
+            let reader = csb_store::StoreReader::open(path)?;
+            println!(
+                "store {path}: {}v/{}e",
+                reader.record_count(csb_store::ChunkKind::Vertex),
+                reader.record_count(csb_store::ChunkKind::Edge),
+            );
+        }
+        (veracity_store(seed_path, synth_path, &pr)?, seed_path.clone(), synth_path.clone())
+    };
     println!("degree veracity:   {:.6e}", v.degree);
     println!("pagerank veracity: {:.6e}", v.pagerank);
+    if let Some(path) = args.get("json-out") {
+        // `{:e}` is the shortest round-trip form, so consumers recover the
+        // exact f64 scores by parsing.
+        let mut obj = csb_obs::json::JsonObject::new();
+        obj.str("seed", &seed_label);
+        obj.str("synthetic", &synth_label);
+        obj.raw("degree", &format!("{:e}", v.degree));
+        obj.raw("pagerank", &format!("{:e}", v.pagerank));
+        std::fs::write(path, obj.finish() + "\n")?;
+        println!("wrote veracity scores to {path}");
+    }
     Ok(())
 }
 
@@ -681,6 +728,73 @@ mod tests {
             std::fs::read(&plain_store).expect("read plain"),
             std::fs::read(&ckpt_store).expect("read re-run"),
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn veracity_store_mode_matches_in_memory_scores() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-vstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let store_a = dir.join("a.csbstore").to_string_lossy().into_owned();
+        let store_b = dir.join("b.csbstore").to_string_lossy().into_owned();
+        let json_path = dir.join("scores.json").to_string_lossy().into_owned();
+
+        run(&args(&["simulate", "--out", &pcap, "--duration", "8", "--rate", "15"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        // Two small PGPBA runs with different RNG seeds, straight to the
+        // store format (the checkpointed path writes .csbstore).
+        for (store, rng_seed) in [(&store_a, "42"), (&store_b, "43")] {
+            let ckpt = dir.join(format!("ckpt-{rng_seed}")).to_string_lossy().into_owned();
+            run(&args(&[
+                "generate",
+                "--seed-graph",
+                &seed_path,
+                "--algorithm",
+                "pgpba",
+                "--size",
+                "2000",
+                "--seed",
+                rng_seed,
+                "--out",
+                store,
+                "--checkpoint-dir",
+                &ckpt,
+            ]))
+            .expect("generate to store");
+        }
+        run(&args(&["veracity", "--store", &store_a, &store_b, "--json-out", &json_path]))
+            .expect("veracity --store");
+
+        // The JSON output parses and carries the exact scores: `{:e}` is the
+        // shortest round-trip form, so parsing recovers the same bits the
+        // in-memory veracity computes on the loaded graphs.
+        let json = std::fs::read_to_string(&json_path).expect("json written");
+        csb_obs::json::validate_json(&json).expect("scores are valid JSON");
+        let field = |name: &str| -> f64 {
+            let at = json.find(&format!("\"{name}\":")).expect("field present") + name.len() + 3;
+            json[at..]
+                .split([',', '}'])
+                .next()
+                .expect("value")
+                .parse()
+                .expect("score parses")
+        };
+        let ga = csb_store::load_graph(&store_a).expect("load a");
+        let gb = csb_store::load_graph(&store_b).expect("load b");
+        let mem = csb_core::veracity(&ga, &gb);
+        assert_eq!(field("degree").to_bits(), mem.degree.to_bits());
+        assert_eq!(field("pagerank").to_bits(), mem.pagerank.to_bits());
+
+        // Wrong arity and mixed modes are usage errors.
+        let err = run(&args(&["veracity", "--store", &store_a])).expect_err("one file");
+        assert!(err.to_string().contains("two files"), "got: {err}");
+        let err =
+            run(&args(&["veracity", "--store", &store_a, &store_b, "--seed-graph", &seed_path]))
+                .expect_err("mixed modes");
+        assert!(err.to_string().contains("--store replaces"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -50,6 +50,6 @@ pub use pgsk::{pgsk, pgsk_timed};
 pub use seed::{seed_from_packets, seed_from_trace, SeedBundle};
 pub use stream::{attach_properties_to_sink, pgpba_to_sink, pgsk_to_sink};
 pub use veracity::{
-    degree_veracity, pagerank_veracity, pagerank_veracity_with, veracity, veracity_with,
-    VeracityScores,
+    degree_veracity, pagerank_veracity, pagerank_veracity_with, veracity, veracity_scan_with,
+    veracity_store, veracity_with, VeracityScores,
 };

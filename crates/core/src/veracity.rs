@@ -5,8 +5,11 @@
 //! `csb_stats::veracity` for the precise metric definition.
 
 use csb_graph::algo::{pagerank, PageRankConfig};
+use csb_graph::ooc::{degree_counts_ooc, pagerank_ooc, EdgeScan};
 use csb_graph::NetflowGraph;
 use csb_stats::veracity::{average_euclidean_distance, NormalizedDistribution};
+use csb_store::{CsbError, StoreScan};
+use std::path::Path;
 
 /// Both veracity scores of one synthetic dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +67,53 @@ pub fn veracity_with(
 /// Computes both scores under the default PageRank configuration.
 pub fn veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> VeracityScores {
     veracity_with(seed, synthetic, &PageRankConfig::default())
+}
+
+/// Out-of-core veracity over two streamed graphs.
+///
+/// Uses the `csb_graph::ooc` kernels, so each graph is traversed with
+/// O(vertices + batch) scratch and the scores are *bit-identical* to
+/// [`veracity_with`] on the materialized graphs (the streaming kernels
+/// reproduce their in-memory counterparts bit-for-bit, and the distribution
+/// normalization downstream is deterministic given identical inputs).
+pub fn veracity_scan_with<S, T>(
+    seed: &mut S,
+    synthetic: &mut T,
+    cfg: &PageRankConfig,
+) -> Result<VeracityScores, CsbError>
+where
+    S: EdgeScan,
+    T: EdgeScan,
+    S::Error: Into<CsbError>,
+    T::Error: Into<CsbError>,
+{
+    let _span = csb_obs::span_cat("core.veracity_scan", "veracity");
+    let seed_deg = degree_counts_ooc(seed).map_err(Into::into)?.total();
+    let synth_deg = degree_counts_ooc(synthetic).map_err(Into::into)?.total();
+    let degree = average_euclidean_distance(
+        &NormalizedDistribution::from_u64(&seed_deg),
+        &NormalizedDistribution::from_u64(&synth_deg),
+    );
+    drop((seed_deg, synth_deg));
+    let seed_pr = pagerank_ooc(seed, cfg).map_err(Into::into)?;
+    let synth_pr = pagerank_ooc(synthetic, cfg).map_err(Into::into)?;
+    let pagerank = average_euclidean_distance(
+        &NormalizedDistribution::from_values(&seed_pr),
+        &NormalizedDistribution::from_values(&synth_pr),
+    );
+    Ok(VeracityScores { degree, pagerank })
+}
+
+/// Out-of-core veracity of the graph store at `synth_path` against the one
+/// at `seed_path`, never materializing either graph.
+pub fn veracity_store(
+    seed_path: impl AsRef<Path>,
+    synth_path: impl AsRef<Path>,
+    cfg: &PageRankConfig,
+) -> Result<VeracityScores, CsbError> {
+    let mut seed = StoreScan::open(seed_path)?;
+    let mut synth = StoreScan::open(synth_path)?;
+    veracity_scan_with(&mut seed, &mut synth, cfg)
 }
 
 #[cfg(test)]
@@ -142,6 +192,60 @@ mod tests {
         );
         let both = veracity_with(&seed.graph, &synth, &low_damping);
         assert_eq!(both.degree, degree_veracity(&seed.graph, &synth));
+    }
+
+    #[test]
+    fn veracity_scan_bit_identical_to_in_memory() {
+        // The out-of-core path over real store bytes must reproduce the
+        // in-memory scores bit-for-bit, at any chunk size.
+        use csb_store::sink::{push_graph, GraphStoreSink};
+        use csb_store::{StoreReader, StoreScan};
+        use std::io::Cursor;
+        let seed = small_seed();
+        let synth = crate::pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * 4, fraction: 0.2, seed: 9 },
+        );
+        let mem = veracity(&seed.graph, &synth);
+        for chunk_records in [7usize, 64, 100_000] {
+            let store_of = |g: &NetflowGraph| {
+                let mut sink = GraphStoreSink::new(Vec::new())
+                    .expect("sink")
+                    .with_chunk_records(chunk_records);
+                push_graph(&mut sink, g).expect("push");
+                let bytes = sink.finish().expect("seal");
+                StoreScan::new(StoreReader::new(Cursor::new(bytes)).expect("reader")).expect("scan")
+            };
+            let ooc = veracity_scan_with(
+                &mut store_of(&seed.graph),
+                &mut store_of(&synth),
+                &PageRankConfig::default(),
+            )
+            .expect("ooc veracity");
+            assert_eq!(mem.degree.to_bits(), ooc.degree.to_bits(), "chunk {chunk_records}");
+            assert_eq!(mem.pagerank.to_bits(), ooc.pagerank.to_bits(), "chunk {chunk_records}");
+        }
+    }
+
+    #[test]
+    fn veracity_store_scores_files_on_disk() {
+        use csb_store::sink::save_graph;
+        let seed = small_seed();
+        let synth = crate::pgpba(
+            &seed,
+            &PgpbaConfig { desired_size: seed.edge_count() as u64 * 2, fraction: 0.2, seed: 4 },
+        );
+        let dir = std::env::temp_dir().join(format!("csb-veracity-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = dir.join("seed.csb");
+        let b = dir.join("synth.csb");
+        save_graph(&a, &seed.graph).expect("save seed");
+        save_graph(&b, &synth).expect("save synth");
+        let ooc = veracity_store(&a, &b, &PageRankConfig::default()).expect("score");
+        let mem = veracity(&seed.graph, &synth);
+        assert_eq!(mem.degree.to_bits(), ooc.degree.to_bits());
+        assert_eq!(mem.pagerank.to_bits(), ooc.pagerank.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

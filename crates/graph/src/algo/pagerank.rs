@@ -5,10 +5,44 @@
 //! parallel over vertices (each writes only its own slot) — the rayon
 //! `par_iter` pattern from the hpc guides. Dangling-vertex mass is
 //! redistributed uniformly so ranks always sum to 1.
+//!
+//! The two scalar reductions of each iteration (dangling mass, L1 delta) use
+//! *blocked* deterministic sums ([`dangling_mass`], [`l1_delta`]): fixed
+//! [`SUM_BLOCK`]-wide chunks are summed independently and the partials are
+//! combined sequentially. Unlike `par_iter().sum()`, whose reduction tree
+//! follows work stealing, the result is bit-identical across thread counts
+//! and runs — which is what lets the out-of-core kernel
+//! (`crate::ooc::pagerank_ooc`) reproduce this function bit-for-bit.
 
 use crate::csr::Csr;
 use crate::graph::{PropertyGraph, VertexId};
 use rayon::prelude::*;
+
+/// Block width of the deterministic parallel reductions. Fixed (never
+/// derived from the thread count) so the floating-point combination tree —
+/// and therefore every rank vector — is a pure function of the input.
+pub(crate) const SUM_BLOCK: usize = 4096;
+
+/// Deterministic blocked reduction of the rank mass parked on dangling
+/// (out-degree zero) vertices.
+pub(crate) fn dangling_mass(rank: &[f64], out_deg: &[u64]) -> f64 {
+    let partials: Vec<f64> = rank
+        .par_chunks(SUM_BLOCK)
+        .zip(out_deg.par_chunks(SUM_BLOCK))
+        .map(|(r, d)| r.iter().zip(d).map(|(&r, &d)| if d == 0 { r } else { 0.0 }).sum::<f64>())
+        .collect();
+    partials.iter().sum()
+}
+
+/// Deterministic blocked L1 distance between two rank vectors.
+pub(crate) fn l1_delta(a: &[f64], b: &[f64]) -> f64 {
+    let partials: Vec<f64> = a
+        .par_chunks(SUM_BLOCK)
+        .zip(b.par_chunks(SUM_BLOCK))
+        .map(|(x, y)| x.iter().zip(y).map(|(&x, &y)| (x - y).abs()).sum::<f64>())
+        .collect();
+    partials.iter().sum()
+}
 
 /// PageRank parameters.
 #[derive(Debug, Clone, Copy)]
@@ -43,11 +77,7 @@ pub fn pagerank<V, E>(g: &PropertyGraph<V, E>, cfg: &PageRankConfig) -> Vec<f64>
     let mut next = vec![0.0f64; n];
     for _ in 0..cfg.max_iters {
         // Mass parked on dangling vertices is spread uniformly.
-        let dangling: f64 = rank
-            .par_iter()
-            .zip(out_deg.par_iter())
-            .map(|(&r, &d)| if d == 0 { r } else { 0.0 })
-            .sum();
+        let dangling = dangling_mass(&rank, &out_deg);
         let base = (1.0 - cfg.damping) * inv_n + cfg.damping * dangling * inv_n;
 
         next.par_iter_mut().enumerate().for_each(|(v, slot)| {
@@ -59,7 +89,7 @@ pub fn pagerank<V, E>(g: &PropertyGraph<V, E>, cfg: &PageRankConfig) -> Vec<f64>
             *slot = base + cfg.damping * gathered;
         });
 
-        let delta: f64 = rank.par_iter().zip(next.par_iter()).map(|(&a, &b)| (a - b).abs()).sum();
+        let delta = l1_delta(&rank, &next);
         std::mem::swap(&mut rank, &mut next);
         if delta < cfg.tolerance {
             break;

@@ -5,10 +5,11 @@
 //! `offsets[v]..offsets[v+1]` indexes `targets` with `v`'s out-neighbors.
 
 use crate::graph::{PropertyGraph, VertexId};
+use crate::ooc::EdgeScan;
 
 /// CSR adjacency over `n` vertices. Multi-edges are preserved (a neighbor
 /// appears once per parallel edge).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     offsets: Vec<usize>,
     targets: Vec<u32>,
@@ -23,6 +24,67 @@ impl Csr {
     /// Builds the *in*-adjacency (reverse edges) of the graph.
     pub fn in_of<V, E>(g: &PropertyGraph<V, E>) -> Self {
         Self::build(g.vertex_count(), g.edge_targets(), g.edge_sources())
+    }
+
+    /// Builds the *out*-adjacency from a streamed edge list (e.g. a
+    /// `csb-store` file), never holding both endpoint arrays in memory.
+    ///
+    /// Two-pass external counting sort: pass 1 streams only the sources and
+    /// counts per-vertex degrees (`ooc.pass1` span); the prefix sum turns the
+    /// counts into offsets; pass 2 streams full edges and drops each target
+    /// into its cursor slot (`ooc.pass2` span). Because the cursor placement
+    /// consumes edges in stream order, the neighbor order per vertex is
+    /// identical to [`Csr::out_of`] on the materialized graph whenever the
+    /// stream replays the graph's edge order — the in-memory build is the
+    /// same stable counting sort. Scratch beyond the output CSR itself is
+    /// one `usize` cursor array (O(vertices)) plus the scan's batch buffers.
+    pub fn out_of_scan<S: EdgeScan>(scan: &mut S) -> Result<Self, S::Error> {
+        Self::from_scan(scan, false)
+    }
+
+    /// Builds the *in*-adjacency (reverse edges) from a streamed edge list;
+    /// see [`Csr::out_of_scan`].
+    pub fn in_of_scan<S: EdgeScan>(scan: &mut S) -> Result<Self, S::Error> {
+        Self::from_scan(scan, true)
+    }
+
+    fn from_scan<S: EdgeScan>(scan: &mut S, reverse: bool) -> Result<Self, S::Error> {
+        let n = scan.vertex_count()?;
+        let mut offsets = vec![0usize; n + 1];
+        {
+            let _span = csb_obs::span_cat("ooc.pass1", "ooc");
+            let count = &mut |keys: &[u32]| {
+                for &k in keys {
+                    offsets[k as usize + 1] += 1;
+                }
+            };
+            if reverse {
+                scan.scan_targets(count)?;
+            } else {
+                scan.scan_sources(count)?;
+            }
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; *offsets.last().unwrap_or(&0)];
+        {
+            let _span = csb_obs::span_cat("ooc.pass2", "ooc");
+            scan.scan_edges(&mut |src, dst| {
+                let (from, to) = if reverse { (dst, src) } else { (src, dst) };
+                for (&f, &t) in from.iter().zip(to) {
+                    let slot = cursor[f as usize];
+                    targets[slot] = t;
+                    cursor[f as usize] += 1;
+                }
+            })?;
+        }
+        crate::ooc::note_peak_scratch(
+            8 * (n as u64 + 1) // cursor array; offsets+targets are the output
+                + scan.scratch_bytes(),
+        );
+        Ok(Csr { offsets, targets })
     }
 
     /// Counting-sort construction from parallel `from`/`to` arrays.
@@ -72,6 +134,12 @@ impl Csr {
     #[inline]
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
+    }
+
+    /// The concatenated neighbor array indexed by [`Csr::offsets`].
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
     }
 }
 

@@ -93,6 +93,12 @@ impl From<io::Error> for CsbError {
     }
 }
 
+impl From<std::convert::Infallible> for CsbError {
+    fn from(e: std::convert::Infallible) -> Self {
+        match e {}
+    }
+}
+
 impl From<csb_graph::io::GraphIoError> for CsbError {
     fn from(e: csb_graph::io::GraphIoError) -> Self {
         match e {

@@ -47,6 +47,7 @@ pub mod checkpoint;
 pub mod crc32;
 pub mod error;
 pub mod format;
+pub mod ooc;
 pub mod read;
 pub mod sink;
 pub mod spill;
@@ -55,6 +56,7 @@ pub mod write;
 pub use checkpoint::{CheckpointIdentity, CheckpointManifest, CheckpointedGraphSink};
 pub use error::CsbError;
 pub use format::{ChunkEntry, ChunkKind, Column, FileKind, StoreError};
+pub use ooc::StoreScan;
 pub use read::{EdgeBatch, StoreReader};
 pub use sink::{
     load_flows, load_graph, push_graph, save_flows, save_graph, save_graph_to, EdgeSink, FlowSink,

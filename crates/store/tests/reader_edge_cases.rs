@@ -1,0 +1,112 @@
+//! `StoreReader` edge cases that feed the out-of-core kernels: an empty
+//! store, single-record chunks, and a final short chunk. In every shape,
+//! the bulk `load_graph` path, manual chunk iteration, and the streaming
+//! `StoreScan` must agree on the record stream.
+
+use csb_graph::graph::VertexId;
+use csb_graph::ooc::EdgeScan;
+use csb_graph::{EdgeProperties, NetflowGraph};
+use csb_store::sink::{push_graph, GraphStoreSink};
+use csb_store::{ChunkKind, StoreReader, StoreScan};
+use std::io::Cursor;
+
+fn graph_of(n: u32, edges: &[(u32, u32)]) -> NetflowGraph {
+    let mut g = NetflowGraph::new();
+    let vs: Vec<VertexId> = (0..n).map(|i| g.add_vertex(0xc0a8_0000 | i)).collect();
+    for &(s, d) in edges {
+        g.add_edge(vs[s as usize], vs[d as usize], EdgeProperties::placeholder());
+    }
+    g
+}
+
+fn sealed_bytes(g: &NetflowGraph, chunk_records: usize) -> Vec<u8> {
+    let mut sink = GraphStoreSink::new(Vec::new()).expect("sink").with_chunk_records(chunk_records);
+    push_graph(&mut sink, g).expect("push");
+    sink.finish().expect("seal")
+}
+
+/// Collects the edge stream three ways and asserts they are identical.
+fn assert_paths_agree(bytes: Vec<u8>, expect_edges: usize) {
+    // Path 1: bulk graph load.
+    let mut reader = StoreReader::new(Cursor::new(bytes.clone())).expect("reader");
+    let g = reader.load_graph().expect("load_graph");
+    let loaded: Vec<(u32, u32)> =
+        g.edge_sources().iter().zip(g.edge_targets().iter()).map(|(s, d)| (s.0, d.0)).collect();
+    assert_eq!(loaded.len(), expect_edges);
+
+    // Path 2: manual chunk iteration over decoded edge batches.
+    let mut reader = StoreReader::new(Cursor::new(bytes.clone())).expect("reader");
+    let mut iterated = Vec::new();
+    for idx in 0..reader.chunks().len() {
+        if reader.chunks()[idx].kind != ChunkKind::Edge {
+            continue;
+        }
+        let batch = reader.read_edge_batch(idx).expect("edge batch");
+        iterated.extend(batch.src.iter().copied().zip(batch.dst.iter().copied()));
+    }
+    assert_eq!(loaded, iterated, "load_graph vs chunk iteration");
+
+    // Path 3: the streaming scan the out-of-core kernels consume.
+    let mut scan =
+        StoreScan::new(StoreReader::new(Cursor::new(bytes)).expect("reader")).expect("scan");
+    assert_eq!(scan.vertex_count().expect("infallible"), g.vertex_count());
+    assert_eq!(scan.edge_count().expect("count"), expect_edges as u64);
+    let mut scanned = Vec::new();
+    scan.scan_edges(&mut |src, dst| {
+        scanned.extend(src.iter().copied().zip(dst.iter().copied()));
+    })
+    .expect("scan_edges");
+    assert_eq!(loaded, scanned, "load_graph vs StoreScan");
+}
+
+#[test]
+fn empty_store() {
+    let g = NetflowGraph::new();
+    let bytes = sealed_bytes(&g, 16);
+    assert_paths_agree(bytes.clone(), 0);
+    let reader = StoreReader::new(Cursor::new(bytes)).expect("reader");
+    assert_eq!(reader.record_count(ChunkKind::Edge), 0);
+    assert_eq!(reader.record_count(ChunkKind::Vertex), 0);
+}
+
+#[test]
+fn vertices_but_no_edges() {
+    let g = graph_of(5, &[]);
+    assert_paths_agree(sealed_bytes(&g, 16), 0);
+}
+
+#[test]
+fn single_record_chunks() {
+    // chunk_records = 1: every edge is its own chunk.
+    let g = graph_of(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 0)]);
+    let bytes = sealed_bytes(&g, 1);
+    let reader = StoreReader::new(Cursor::new(bytes.clone())).expect("reader");
+    let edge_chunks = reader.chunks().iter().filter(|c| c.kind == ChunkKind::Edge).count();
+    assert_eq!(edge_chunks, 5, "one chunk per edge");
+    assert!(reader.chunks().iter().filter(|c| c.kind == ChunkKind::Edge).all(|c| c.records == 1));
+    assert_paths_agree(bytes, 5);
+}
+
+#[test]
+fn final_short_chunk() {
+    // 7 edges at 3 records per chunk: two full chunks plus a short tail of 1.
+    let edges = [(0, 1), (1, 2), (2, 0), (0, 2), (2, 1), (1, 0), (0, 0)];
+    let g = graph_of(3, &edges);
+    let bytes = sealed_bytes(&g, 3);
+    let reader = StoreReader::new(Cursor::new(bytes.clone())).expect("reader");
+    let records: Vec<u64> =
+        reader.chunks().iter().filter(|c| c.kind == ChunkKind::Edge).map(|c| c.records).collect();
+    assert_eq!(records, vec![3, 3, 1], "final chunk runs short");
+    assert_paths_agree(bytes, 7);
+}
+
+#[test]
+fn chunk_size_larger_than_data() {
+    // A chunk bound far above the record count: one short chunk total.
+    let g = graph_of(3, &[(0, 1), (1, 2)]);
+    let bytes = sealed_bytes(&g, 1_000_000);
+    let reader = StoreReader::new(Cursor::new(bytes.clone())).expect("reader");
+    let edge_chunks = reader.chunks().iter().filter(|c| c.kind == ChunkKind::Edge).count();
+    assert_eq!(edge_chunks, 1);
+    assert_paths_agree(bytes, 2);
+}
