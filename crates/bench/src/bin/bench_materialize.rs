@@ -4,7 +4,9 @@
 //! writes `BENCH_materialize.json` — one point of the perf trajectory per
 //! commit. `CSB_SCALE` multiplies the default ~1M-edge workload.
 
-use csb_bench::{attach_serial_reference, eng, scale, standard_seed, Table};
+use csb_bench::{
+    attach_serial_reference, configured_pool_width, eng, scale, standard_seed, with_pool, Table,
+};
 use csb_core::pgpba::pgpba_topology;
 use csb_core::topo::{attach_properties, Topology};
 use csb_core::{pgpba_timed, pgsk_timed, PgpbaConfig, PgskConfig, PhaseTimings};
@@ -39,8 +41,13 @@ fn main() {
         kronfit_permutation_samples: 200,
     };
 
-    let (_, pgpba_t) = pgpba_timed(&seed, &pgpba_cfg);
-    let (_, pgsk_t) = pgsk_timed(&seed, &pgsk_cfg);
+    // Every measured section runs inside the pool this harness configures;
+    // the width rayon reports *inside* each section is what the JSON
+    // records (reading the default pool width at JSON-write time stamped
+    // `threads: 1` on runs whose attach demonstrably went multi-worker).
+    let pool_width = configured_pool_width();
+    let ((_, pgpba_t), pgpba_threads) = with_pool(pool_width, || pgpba_timed(&seed, &pgpba_cfg));
+    let ((_, pgsk_t), pgsk_threads) = with_pool(pool_width, || pgsk_timed(&seed, &pgsk_cfg));
 
     let mut table = Table::new(&[
         "generator",
@@ -59,19 +66,54 @@ fn main() {
     // PGPBA topology.
     let topo = pgpba_topology(&Topology::of_graph(&seed.graph), &seed.analysis, &pgpba_cfg);
     let t = Instant::now();
-    let serial = attach_serial_reference(&topo, &seed.analysis.properties, 3);
+    // The serial reference is single-threaded by construction; pin it to a
+    // width-1 pool so its recorded width states that.
+    let (serial, serial_threads) =
+        with_pool(1, || attach_serial_reference(&topo, &seed.analysis.properties, 3));
     let serial_secs = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let parallel = attach_properties(&topo, &seed.analysis.properties, &[], 3);
+    let (parallel, parallel_threads) =
+        with_pool(pool_width, || attach_properties(&topo, &seed.analysis.properties, &[], 3));
     let parallel_secs = t.elapsed().as_secs_f64();
     assert_eq!(serial.edge_count(), parallel.edge_count());
     let speedup = serial_secs / parallel_secs.max(1e-9);
     println!(
         "\nattach {} edges: serial {serial_secs:.3}s, parallel {parallel_secs:.3}s \
-         ({speedup:.2}x, {} threads)",
+         ({speedup:.2}x, {parallel_threads} threads)",
         eng(topo.edge_count() as f64),
-        rayon::current_num_threads(),
     );
+
+    // Materialization straight to a sharded compressed store: the same
+    // attach stream, written by one worker thread per shard.
+    let store_shards: usize = 4;
+    let store_codec = csb_store::Compression::Columnar;
+    let dir = std::env::temp_dir().join(format!("csb-bench-materialize-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let shard_path = dir.join("materialize.csbshards");
+    let t = Instant::now();
+    let (store_edges, store_threads) = with_pool(pool_width, || {
+        let mut sink = csb_store::ShardedGraphSink::create(&shard_path, store_shards, store_codec)
+            .expect("shard sink");
+        let edges = csb_core::stream::attach_properties_to_sink(
+            &topo,
+            &seed.analysis.properties,
+            &[],
+            3,
+            &mut sink,
+        )
+        .expect("attach to sharded store");
+        sink.finish().expect("seal shard set");
+        edges
+    });
+    let store_secs = t.elapsed().as_secs_f64();
+    let store_eps = store_edges as f64 / store_secs.max(1e-9);
+    println!(
+        "materialize to {store_shards}-shard {} store: {} edges in {store_secs:.3}s ({} edges/s)",
+        store_codec.name(),
+        eng(store_edges as f64),
+        eng(store_eps),
+    );
+    std::fs::remove_dir_all(&dir).ok();
 
     csb_obs::disable();
     // Aggregate the collected spans per name: count + total busy time.
@@ -90,11 +132,19 @@ fn main() {
 
     // See the `BENCH_materialize.json` schema note in crates/bench/src/lib.rs.
     let git_rev = csb_bench::git_rev();
+    let mut section_threads = JsonObject::new();
+    section_threads
+        .u64("pgpba", pgpba_threads as u64)
+        .u64("pgsk", pgsk_threads as u64)
+        .u64("attach_serial", serial_threads as u64)
+        .u64("attach_parallel", parallel_threads as u64)
+        .u64("store_write", store_threads as u64);
     let mut root = JsonObject::new();
     root.str("bench", "materialize")
         .str("status", "measured")
         .f64("scale", scale(), 3)
-        .u64("threads", rayon::current_num_threads() as u64)
+        .u64("threads", pool_width as u64)
+        .raw("section_threads", &section_threads.finish())
         .str("os", std::env::consts::OS)
         .str("git_rev", &git_rev)
         .raw("pgpba", &pgpba_t.to_json())
@@ -103,6 +153,11 @@ fn main() {
         .f64("attach_serial_secs", serial_secs, 6)
         .f64("attach_parallel_secs", parallel_secs, 6)
         .f64("attach_speedup", speedup, 2)
+        .u64("store_shards", store_shards as u64)
+        .str("store_codec", store_codec.name())
+        .u64("store_write_edges", store_edges)
+        .f64("store_write_secs", store_secs, 6)
+        .f64("store_write_edges_per_sec", store_eps, 1)
         .raw("spans", &spans.finish());
     let mut json = root.finish();
     json.push('\n');

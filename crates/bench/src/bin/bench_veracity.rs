@@ -3,11 +3,16 @@
 //! bit-identical, and records the peak scratch footprint of the streaming
 //! kernels — the O(vertices + chunk) bound of ISSUE 5's acceptance criteria.
 //!
+//! The seed store is written as a v1 single file and the synthetic store as
+//! a v2 sharded + columnar-compressed shard set, so every run exercises the
+//! v1-compat rule and the format-v2 read path side by side; the scores must
+//! be bit-identical across layouts.
+//!
 //! Writes `BENCH_veracity.json` (schema note in crates/bench/src/lib.rs) and
 //! schema-checks its own output. `--smoke` shrinks the workload for CI;
 //! `CSB_SCALE` multiplies the default ~1M-edge synthetic graph.
 
-use csb_bench::{eng, scale, standard_seed_scaled};
+use csb_bench::{configured_pool_width, eng, scale, standard_seed_scaled, with_pool};
 use csb_core::{pgpba, veracity_store, veracity_with, PgpbaConfig};
 use csb_graph::algo::PageRankConfig;
 use csb_graph::NetflowGraph;
@@ -19,11 +24,14 @@ use std::time::Instant;
 /// Fields every `BENCH_veracity.json` must carry; CI checks the emitted
 /// file against this list, so keep it in sync with the schema note in
 /// crates/bench/src/lib.rs.
-const SCHEMA_FIELDS: [&str; 16] = [
+const SCHEMA_FIELDS: [&str; 19] = [
     "bench",
     "status",
     "scale",
     "threads",
+    "section_threads",
+    "store_shards",
+    "store_codec",
     "os",
     "git_rev",
     "seed_vertices",
@@ -72,20 +80,44 @@ fn main() {
 
     let dir = std::env::temp_dir().join(format!("csb-bench-veracity-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
+    // Seed as a v1 single file, synthetic as a v2 sharded + compressed
+    // shard set: one run covers both layouts, and `open_scan` must score
+    // them bit-identically.
+    let store_shards: usize = 4;
+    let store_codec = csb_store::Compression::Columnar;
     let seed_store = dir.join("seed.csbstore");
-    let synth_store = dir.join("synth.csbstore");
+    let synth_store = dir.join("synth.csbshards");
     csb_store::save_graph(&seed_store, &seed.graph).expect("save seed store");
-    csb_store::save_graph(&synth_store, &synth).expect("save synth store");
+    csb_store::save_graph_sharded(&synth_store, &synth, store_shards, store_codec)
+        .expect("save synth shard set");
 
+    // Each measured section runs inside the pool this harness configures,
+    // and records the width rayon reported *inside* the section — reading
+    // the default pool width at JSON-write time is the bug that stamped
+    // `threads: 1` on multi-worker runs.
+    let pool_width = configured_pool_width();
     let pr = PageRankConfig::default();
     let t = Instant::now();
-    let mem = veracity_with(&seed.graph, &synth, &pr);
+    let (mem, mem_threads) = with_pool(pool_width, || veracity_with(&seed.graph, &synth, &pr));
     let mem_secs = t.elapsed().as_secs_f64();
 
     peak_scratch.set(0);
     let t = Instant::now();
-    let ooc = veracity_store(&seed_store, &synth_store, &pr).expect("ooc veracity");
+    let (ooc, ooc_threads) =
+        with_pool(pool_width, || veracity_store(&seed_store, &synth_store, &pr));
+    let ooc = ooc.expect("ooc veracity");
     let ooc_secs = t.elapsed().as_secs_f64();
+
+    // Provenance guard (hard failure under --smoke and measured runs alike):
+    // the recorded thread counts must be the pool the sections actually ran
+    // under, not a default read before the pool was configured.
+    for (section, observed) in [("mem", mem_threads), ("ooc", ooc_threads)] {
+        assert_eq!(
+            observed, pool_width,
+            "section {section:?} ran at {observed} threads but the harness configured \
+             {pool_width} — threads metadata would misreport the run"
+        );
+    }
 
     // The conformance contract, enforced at bench scale too.
     assert_eq!(
@@ -138,11 +170,16 @@ fn main() {
     }
 
     let git_rev = csb_bench::git_rev();
+    let mut section_threads = JsonObject::new();
+    section_threads.u64("mem", mem_threads as u64).u64("ooc", ooc_threads as u64);
     let mut root = JsonObject::new();
     root.str("bench", "veracity")
         .str("status", if smoke { "smoke" } else { "measured" })
         .f64("scale", scale, 3)
-        .u64("threads", rayon::current_num_threads() as u64)
+        .u64("threads", pool_width as u64)
+        .raw("section_threads", &section_threads.finish())
+        .u64("store_shards", store_shards as u64)
+        .str("store_codec", store_codec.name())
         .str("os", std::env::consts::OS)
         .str("git_rev", &git_rev)
         .u64("seed_vertices", seed.graph.vertex_count() as u64)

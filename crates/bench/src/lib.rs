@@ -18,20 +18,31 @@
 //!
 //! ```text
 //! { "bench":"materialize", "status":"measured", "scale":F,
-//!   "threads":N, "os":S, "git_rev":S,
+//!   "threads":N, "section_threads": { section: N, ... }, "os":S,
+//!   "git_rev":S,
 //!   "pgpba":PhaseTimings, "pgsk":PhaseTimings,
 //!   "attach_edges":N, "attach_serial_secs":F, "attach_parallel_secs":F,
 //!   "attach_speedup":F,
+//!   "store_shards":N, "store_codec":S, "store_write_edges":N,
+//!   "store_write_secs":F, "store_write_edges_per_sec":F,
 //!   "spans": { name: {"count":N, "total_micros":N}, ... } }
 //! ```
 //!
+//! The `store_*` fields time the same attach stream materialized straight
+//! into a sharded columnar-compressed store (one writer worker per shard).
+//!
 //! `PhaseTimings` is [`csb_core::PhaseTimings::to_json`]; `spans` aggregates
 //! the csb-obs span stream per name. Provenance fields are best-effort:
-//! `threads` is the rayon pool width, `os` is `std::env::consts::OS`, and
-//! `git_rev` comes from [`git_rev`]: the `GIT_REV` environment variable (set
-//! by CI), then `git rev-parse HEAD`, then reading `.git/HEAD` directly when
-//! no git binary is available; `"unknown"` remains the placeholder when no
-//! provenance source works at all.
+//! `threads` is the pool width the harness configured
+//! ([`configured_pool_width`]), `section_threads` is the width rayon
+//! actually reported *inside* each measured section (captured by
+//! [`with_pool`], asserted equal to `threads` for parallel sections), `os`
+//! is `std::env::consts::OS`, and `git_rev` comes from [`git_rev`]: the
+//! `GIT_REV` environment variable (set by CI), then `git rev-parse HEAD`,
+//! then reading `.git/HEAD` directly (walking up from the working
+//! directory, the crate directory, and the executable) when no git binary
+//! is available; `"unknown"` remains the placeholder when no provenance
+//! source works at all.
 //!
 //! ## `BENCH_veracity.json` schema
 //!
@@ -41,7 +52,8 @@
 //!
 //! ```text
 //! { "bench":"veracity", "status":"measured"|"smoke", "scale":F,
-//!   "threads":N, "os":S, "git_rev":S,
+//!   "threads":N, "section_threads": { "mem":N, "ooc":N },
+//!   "store_shards":N, "store_codec":S, "os":S, "git_rev":S,
 //!   "seed_vertices":N, "seed_edges":N, "synth_vertices":N, "synth_edges":N,
 //!   "mem_secs":F, "ooc_secs":F,
 //!   "degree":F, "pagerank":F,
@@ -55,6 +67,9 @@
 //! `peak_scratch_bytes` is the `ooc.peak_scratch_bytes` gauge high-water
 //! mark; the harness asserts it stays under `scratch_bound_bytes`, the
 //! O(vertices + chunk) ceiling of the streaming kernels.
+//! `store_shards`/`store_codec` describe the synthetic store's layout (the
+//! seed store is always a v1 single file, so each run also exercises the
+//! v1-compat read path).
 
 use csb_core::analysis::SeedAnalysis;
 use csb_core::seed::{seed_from_trace, SeedBundle};
@@ -69,6 +84,37 @@ use std::path::Path;
 /// Reads the workload multiplier from `CSB_SCALE` (default 1.0).
 pub fn scale() -> f64 {
     std::env::var("CSB_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// The pool width the bench harnesses configure for their measured
+/// sections: the `CSB_BENCH_THREADS` environment variable when set to a
+/// positive integer, else the host parallelism. This is the width the
+/// JSON `threads` provenance field must agree with — reading the *default*
+/// rayon width at JSON-write time instead is exactly the bug that stamped
+/// `threads: 1` on multi-worker runs.
+pub fn configured_pool_width() -> usize {
+    std::env::var("CSB_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs one measured section inside a rayon pool of `width` threads and
+/// returns `(result, observed)`, where `observed` is the pool width rayon
+/// actually reported *inside* the section — the value bench JSONs must
+/// record per section, so the provenance reflects the pool the section ran
+/// under rather than whatever pool happened to be current when the JSON was
+/// assembled.
+pub fn with_pool<T>(width: usize, f: impl FnOnce() -> T) -> (T, usize) {
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(width.max(1)).build().expect("thread pool");
+    let mut observed = 0;
+    let out = pool.install(|| {
+        observed = rayon::current_num_threads();
+        f()
+    });
+    (out, observed)
 }
 
 /// Builds the standard seed used across the harnesses: a simulated
@@ -123,6 +169,12 @@ pub fn seed_via_store_cache(dir: &Path, scale: f64) -> SeedBundle {
 /// finally reading `.git/HEAD` (and the ref or packed-refs entry it points
 /// to) directly — for containers without a git binary. `"unknown"` only when
 /// every source fails.
+///
+/// The `.git` lookup walks up from *three* anchors — the working directory,
+/// this crate's source directory, and the running executable — because bench
+/// binaries are routinely invoked from outside the checkout (CI stages,
+/// `cargo run` wrappers with a scratch cwd). The working-directory-only walk
+/// used to stamp `git_rev: "unknown"` in exactly those runs.
 pub fn git_rev() -> String {
     if let Ok(rev) = std::env::var("GIT_REV") {
         let rev = rev.trim().to_string();
@@ -140,18 +192,31 @@ pub fn git_rev() -> String {
             }
         }
     }
-    let mut dir = std::env::current_dir().ok();
+    let anchors = [
+        std::env::current_dir().ok(),
+        Some(Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()),
+        std::env::current_exe().ok().and_then(|p| p.parent().map(Path::to_path_buf)),
+    ];
+    for start in anchors.into_iter().flatten() {
+        if let Some(rev) = rev_from_ancestors(&start) {
+            return rev;
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Walks up from `start` to the filesystem root looking for a `.git`
+/// directory, and resolves HEAD inside the first one found.
+fn rev_from_ancestors(start: &Path) -> Option<String> {
+    let mut dir = Some(start.to_path_buf());
     while let Some(d) = dir {
         let git = d.join(".git");
         if git.is_dir() {
-            if let Some(rev) = rev_from_git_dir(&git) {
-                return rev;
-            }
-            break;
+            return rev_from_git_dir(&git);
         }
         dir = d.parent().map(Path::to_path_buf);
     }
-    "unknown".to_string()
+    None
 }
 
 /// Resolves HEAD inside a `.git` directory without invoking git: follows a
@@ -359,6 +424,48 @@ mod tests {
         let rev = git_rev();
         assert_ne!(rev, "unknown");
         assert!(rev.len() >= 7 && rev.chars().all(|c| c.is_ascii_hexdigit()), "got {rev:?}");
+    }
+
+    #[test]
+    fn rev_resolves_from_a_subdirectory() {
+        // Regression: the `.git` walk used to start only at the working
+        // directory, so a bench binary launched from outside the checkout
+        // stamped "unknown". The walk must find the repo from any directory
+        // *below* it, however deep.
+        let dir = std::env::temp_dir().join(format!("csb-bench-anchor-{}", std::process::id()));
+        let git = dir.join(".git");
+        std::fs::create_dir_all(&git).expect("mkdir .git");
+        std::fs::write(git.join("HEAD"), "feedface01\n").expect("head");
+        let deep = dir.join("crates").join("bench").join("src").join("bin");
+        std::fs::create_dir_all(&deep).expect("mkdir deep");
+        assert_eq!(rev_from_ancestors(&deep).as_deref(), Some("feedface01"));
+        // And from the repo root itself.
+        assert_eq!(rev_from_ancestors(&dir).as_deref(), Some("feedface01"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn git_rev_anchors_on_the_crate_directory() {
+        // The crate-dir anchor alone must resolve this repository's HEAD —
+        // this is the path a bench binary takes when its working directory
+        // is outside the checkout and no git binary answers.
+        let rev = rev_from_ancestors(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("crate anchor");
+        assert!(rev.len() >= 7 && rev.chars().all(|c| c.is_ascii_hexdigit()), "got {rev:?}");
+    }
+
+    #[test]
+    fn with_pool_reports_the_configured_width() {
+        let (sum, observed) = with_pool(3, || (1..=4).sum::<i32>());
+        assert_eq!(sum, 10);
+        assert_eq!(observed, 3, "section must observe the pool it was given");
+        // Zero is clamped to a one-thread pool, never a zero-width one.
+        let ((), observed) = with_pool(0, || ());
+        assert_eq!(observed, 1);
+    }
+
+    #[test]
+    fn configured_pool_width_is_positive() {
+        assert!(configured_pool_width() >= 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use csb_net::packet::{fmt_ip, ip};
 use csb_net::pcap::{read_pcap, write_pcap};
 use csb_net::traffic::attacks::AttackInjector;
 use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
-use csb_store::CsbError;
+use csb_store::{Compression, CsbError};
 use std::fs::File;
 
 type Result<T> = std::result::Result<T, CsbError>;
@@ -133,6 +133,8 @@ fn generate(args: &Args) -> Result<()> {
         "checkpoint-every",
         "resume",
         "kill-after-chunks",
+        "shards",
+        "codec",
     ])?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
@@ -154,11 +156,17 @@ fn generate(args: &Args) -> Result<()> {
         "pgsk" => GenJob::pgsk(&bundle, PgskConfig { seed: rng_seed, ..PgskConfig::new(size) }),
         other => return Err(arg_err(format!("unknown algorithm {other}"))),
     };
+    let shards: usize = args.get_or("shards", 1)?;
+    let codec = match args.get("codec") {
+        None => Compression::None,
+        Some(s) => Compression::parse(s)
+            .ok_or_else(|| arg_err(format!("flag --codec: expected raw|columnar, got {s}")))?,
+    };
     let graph = match args.get("checkpoint-dir") {
         // Checkpointed runs write the binary store format directly (the text
         // writer has no durable barriers to resume from).
         Some(dir) => {
-            let mut job = job.store(out).checkpoint(dir);
+            let mut job = job.store(out).checkpoint(dir).shards(shards).compression(codec);
             job = job.checkpoint_every(args.get_or("checkpoint-every", 8)?);
             if args.get_or("resume", false)? {
                 job = job.resume();
@@ -175,6 +183,19 @@ fn generate(args: &Args) -> Result<()> {
                 "generated {out}: {} edges (csb-store format, target {size}; \
                  checkpoints in {dir})",
                 run.edges
+            );
+            None
+        }
+        // --shards / --codec imply the binary store format too: the text
+        // writer has neither shard files nor column codecs.
+        None if shards > 1 || args.get("codec").is_some() => {
+            let run = job.store(out).shards(shards).compression(codec).run()?;
+            println!(
+                "generated {out}: {} edges (csb-store format, target {size}; {} shard(s), \
+                 {} codec)",
+                run.edges,
+                shards.max(1),
+                codec.name()
             );
             None
         }
@@ -257,12 +278,10 @@ fn veracity_cmd(args: &Args) -> Result<()> {
             )));
         };
         for path in [seed_path, synth_path] {
-            let reader = csb_store::StoreReader::open(path)?;
-            println!(
-                "store {path}: {}v/{}e",
-                reader.record_count(csb_store::ChunkKind::Vertex),
-                reader.record_count(csb_store::ChunkKind::Edge),
-            );
+            // open_scan dispatches on magic: plain store file or sharded set.
+            use csb_graph::ooc::EdgeScan;
+            let mut scan = csb_store::open_scan(path)?;
+            println!("store {path}: {}v/{}e", scan.vertex_count()?, scan.edge_count()?);
         }
         (veracity_store(seed_path, synth_path, &pr)?, seed_path.clone(), synth_path.clone())
     };
@@ -732,6 +751,68 @@ mod tests {
     }
 
     #[test]
+    fn sharded_columnar_generate_scores_identically_to_single_file() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let single = dir.join("single.csbstore").to_string_lossy().into_owned();
+        let sharded = dir.join("sharded.csbshards").to_string_lossy().into_owned();
+
+        run(&args(&["simulate", "--out", &pcap, "--duration", "8", "--rate", "15"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        let generate = |out: &str, extra: &[&str]| {
+            let mut argv = vec![
+                "generate",
+                "--seed-graph",
+                &seed_path,
+                "--algorithm",
+                "pgpba",
+                "--size",
+                "3000",
+                "--out",
+                out,
+            ];
+            argv.extend_from_slice(extra);
+            run(&args(&argv)).expect("generate");
+        };
+        // --codec alone (even "raw") opts into the store format.
+        generate(&single, &["--codec", "raw"]);
+        generate(&sharded, &["--shards", "3", "--codec", "columnar"]);
+        for i in 0..3 {
+            assert!(dir.join(format!("sharded.csbshards.s{i}")).is_file(), "shard {i} missing");
+        }
+
+        // Same logical graph, and the compressed shard set is smaller.
+        let a = csb_store::load_graph(&single).expect("load single");
+        let b = csb_store::load_graph(&sharded).expect("load sharded");
+        assert_eq!(a.edge_sources(), b.edge_sources());
+        assert_eq!(a.edge_targets(), b.edge_targets());
+        assert_eq!(a.edge_data(), b.edge_data());
+        let single_bytes = std::fs::metadata(&single).expect("meta").len();
+        let shard_bytes: u64 = (0..3)
+            .map(|i| {
+                std::fs::metadata(dir.join(format!("sharded.csbshards.s{i}"))).expect("meta").len()
+            })
+            .sum();
+        assert!(
+            shard_bytes * 2 < single_bytes,
+            "columnar shards ({shard_bytes} B) should be well under half the raw store \
+             ({single_bytes} B)"
+        );
+
+        // veracity --store accepts either layout and scores bit-identically.
+        run(&args(&["veracity", "--store", &single, &sharded])).expect("veracity mixed layouts");
+        let pr = csb_graph::algo::PageRankConfig::default();
+        let v1 = csb_core::veracity_store(&single, &single, &pr).expect("v1 self-score");
+        let v2 = csb_core::veracity_store(&single, &sharded, &pr).expect("v2 cross-score");
+        assert_eq!(v1.degree.to_bits(), v2.degree.to_bits());
+        assert_eq!(v1.pagerank.to_bits(), v2.pagerank.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn veracity_store_mode_matches_in_memory_scores() {
         let dir = std::env::temp_dir().join(format!("csb-cli-vstore-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -775,12 +856,7 @@ mod tests {
         csb_obs::json::validate_json(&json).expect("scores are valid JSON");
         let field = |name: &str| -> f64 {
             let at = json.find(&format!("\"{name}\":")).expect("field present") + name.len() + 3;
-            json[at..]
-                .split([',', '}'])
-                .next()
-                .expect("value")
-                .parse()
-                .expect("score parses")
+            json[at..].split([',', '}']).next().expect("value").parse().expect("score parses")
         };
         let ga = csb_store::load_graph(&store_a).expect("load a");
         let gb = csb_store::load_graph(&store_b).expect("load b");

@@ -27,13 +27,18 @@ COMMANDS:
                  [--trace-out FILE] [--metrics-out FILE]
                  [--checkpoint-dir DIR] [--checkpoint-every CHUNKS=8]
                  [--resume true] [--kill-after-chunks N]
+                 [--shards N=1] [--codec raw|columnar]
                  (trace-out writes a Chrome trace-event JSON for Perfetto;
                  metrics-out writes the csb-obs counter/histogram summary;
                  checkpoint-dir writes --out in the binary csb-store format
                  with durable barriers — a killed run re-invoked with
                  --resume true continues from the last barrier and produces
                  a byte-identical file; kill-after-chunks aborts the process
-                 after N store chunks, for crash-recovery testing)
+                 after N store chunks, for crash-recovery testing;
+                 shards > 1 splits the store across N files behind a
+                 shard-set manifest written by parallel workers, and
+                 codec columnar writes compressed format-v2 chunks —
+                 both imply the binary store format for --out)
     veracity     Score a synthetic graph against its seed
                  --seed-graph FILE --synthetic FILE
                  [--damping F=0.85] [--max-iters N=100] [--tolerance F]

@@ -8,7 +8,7 @@ use csb_graph::algo::{pagerank, PageRankConfig};
 use csb_graph::ooc::{degree_counts_ooc, pagerank_ooc, EdgeScan};
 use csb_graph::NetflowGraph;
 use csb_stats::veracity::{average_euclidean_distance, NormalizedDistribution};
-use csb_store::{CsbError, StoreScan};
+use csb_store::{open_scan, CsbError};
 use std::path::Path;
 
 /// Both veracity scores of one synthetic dataset.
@@ -105,14 +105,16 @@ where
 }
 
 /// Out-of-core veracity of the graph store at `synth_path` against the one
-/// at `seed_path`, never materializing either graph.
+/// at `seed_path`, never materializing either graph. Each path may be a
+/// single store file (v1 or v2) or a shard-set manifest — the magic decides,
+/// and every layout scores bit-identically.
 pub fn veracity_store(
     seed_path: impl AsRef<Path>,
     synth_path: impl AsRef<Path>,
     cfg: &PageRankConfig,
 ) -> Result<VeracityScores, CsbError> {
-    let mut seed = StoreScan::open(seed_path)?;
-    let mut synth = StoreScan::open(synth_path)?;
+    let mut seed = open_scan(seed_path)?;
+    let mut synth = open_scan(synth_path)?;
     veracity_scan_with(&mut seed, &mut synth, cfg)
 }
 

@@ -18,7 +18,9 @@
 //! a re-read of the last durable chunk's payload against its recorded CRC.
 
 use crate::crc32::crc32;
-use crate::format::{corrupt, ChunkEntry, ChunkKind, FileKind, StoreError, FILE_MAGIC};
+use crate::format::{
+    corrupt, ChunkEntry, ChunkKind, FileKind, StoreError, FILE_MAGIC, FORMAT_VERSION,
+};
 use crate::sink::{encode_edge_chunk, EdgeSink, CHUNK_RECORDS};
 use crate::write::StoreWriter;
 use csb_graph::EdgeProperties;
@@ -95,11 +97,7 @@ impl CheckpointManifest {
         out.extend_from_slice(&self.bytes_durable.to_le_bytes());
         out.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
         for c in &self.chunks {
-            out.extend_from_slice(&[c.kind.code(), 0, 0, 0]);
-            out.extend_from_slice(&c.records.to_le_bytes());
-            out.extend_from_slice(&c.offset.to_le_bytes());
-            out.extend_from_slice(&c.payload_len.to_le_bytes());
-            out.extend_from_slice(&c.crc32.to_le_bytes());
+            c.encode_into(&mut out, FORMAT_VERSION);
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -142,15 +140,7 @@ impl CheckpointManifest {
         }
         let mut chunks = Vec::with_capacity(chunk_count);
         for _ in 0..chunk_count {
-            let kind = ChunkKind::from_code(bytes[o]).ok_or_else(|| bad("unknown chunk kind"))?;
-            chunks.push(ChunkEntry {
-                kind,
-                records: u64_at(o + 4),
-                offset: u64_at(o + 12),
-                payload_len: u64_at(o + 20),
-                crc32: u32_at(o + 28),
-            });
-            o += 32;
+            chunks.push(ChunkEntry::decode_from(&bytes[..body_len], &mut o, FORMAT_VERSION, 0)?);
         }
         Ok(CheckpointManifest {
             identity: CheckpointIdentity { generator, config_hash, master_seed },
@@ -300,7 +290,8 @@ impl CheckpointedGraphSink {
         }
         file.set_len(m.bytes_durable)?;
         file.seek(SeekFrom::Start(m.bytes_durable))?;
-        let writer = StoreWriter::resume_at(BufWriter::new(file), m.bytes_durable, m.chunks);
+        let writer =
+            StoreWriter::resume_at(BufWriter::new(file), FORMAT_VERSION, m.bytes_durable, m.chunks);
         csb_obs::counter_add("checkpoint.resumes", 1);
         Ok(CheckpointedGraphSink {
             writer,
@@ -553,6 +544,7 @@ mod tests {
                     offset: 16,
                     payload_len: 400,
                     crc32: 7,
+                    columns: vec![],
                 },
                 ChunkEntry {
                     kind: ChunkKind::Edge,
@@ -560,6 +552,7 @@ mod tests {
                     offset: 444,
                     payload_len: 27_648,
                     crc32: 9,
+                    columns: vec![],
                 },
             ],
         };
@@ -762,7 +755,7 @@ mod tests {
         drop(sink);
 
         let m = CheckpointManifest::load(&dir).expect("manifest");
-        let last = *m.chunks.last().expect("chunks");
+        let last = m.chunks.last().expect("chunks").clone();
         let mut f = OpenOptions::new().write(true).open(&store).expect("open");
         f.seek(SeekFrom::Start(last.offset + 28 + last.payload_len / 2)).expect("seek");
         f.write_all(&[0xFF]).expect("flip");

@@ -1,21 +1,34 @@
-//! On-disk layout of the csb store format, version 1.
+//! On-disk layout of the csb store format, versions 1 and 2.
 //!
 //! A store file is, in order:
 //!
 //! ```text
 //! file header   magic "CSBSTOR1" (8) | version u32 | kind u8 | 3 reserved     16 bytes
 //! chunk*        chunk header (28) | column payload                            variable
-//! footer        one index entry per chunk                                     32 bytes each
+//! footer        one index entry per chunk                                     variable
 //! trailer       chunk count u64 | footer offset u64 | magic "CSBEND01"        24 bytes
 //! ```
 //!
 //! All integers are **little-endian**. Each chunk's payload is column-major:
-//! the columns of [`EDGE_COLUMNS`] / [`FLOW_COLUMNS`] (or the single vertex
-//! ip column) concatenated, each `records x width` bytes, so a reader can
-//! project a single column by seeking to its offset without touching the
-//! other eight attributes. The chunk header carries a CRC32 (IEEE) of the
-//! payload; the trailing footer index makes chunk discovery O(1) from the
-//! end of the file without scanning.
+//! the columns of [`EDGE_COLUMNS`] / [`FLOW_COLUMNS`] (or the single-column
+//! [`VERTEX_COLUMNS`]) concatenated, so a reader can project a subset of
+//! columns without touching the other attributes. The chunk header carries a
+//! CRC32 (IEEE) of the stored payload; the trailing footer index makes chunk
+//! discovery O(1) from the end of the file without scanning.
+//!
+//! **Version 1** stores each column raw: `records x width` bytes at a
+//! computable offset, footer entries a fixed 32 bytes.
+//!
+//! **Version 2** stores each column individually encoded (see
+//! [`crate::codec`]) and appends a column directory to every footer entry:
+//! `ncols u8`, then per column `codec u8 | enc_len u32 | crc32 u32`. Column
+//! offsets inside a chunk are prefix sums of `enc_len`, and the per-column
+//! CRC lets a projection read verify exactly the bytes it fetched. Footer
+//! entries are therefore variable-length in v2; readers must parse the
+//! footer sequentially rather than indexing by a fixed stride. A v1 file is
+//! readable by a v2 reader unchanged (empty column directory ⇒ raw layout).
+
+use crate::codec::{Codec, ColumnCodec};
 
 /// File magic, first 8 bytes.
 pub const FILE_MAGIC: [u8; 8] = *b"CSBSTOR1";
@@ -23,15 +36,20 @@ pub const FILE_MAGIC: [u8; 8] = *b"CSBSTOR1";
 pub const TRAILER_MAGIC: [u8; 8] = *b"CSBEND01";
 /// Chunk header magic ("CHNK" in LE byte order).
 pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"CHNK");
-/// Format version written by this crate.
+/// Format version 1: raw columns, fixed 32-byte footer entries.
 pub const FORMAT_VERSION: u32 = 1;
+/// Format version 2: per-column codecs, footer entries carry a column
+/// directory.
+pub const FORMAT_VERSION_V2: u32 = 2;
 
 /// File header length in bytes.
 pub const FILE_HEADER_LEN: u64 = 16;
 /// Chunk header length in bytes (magic + kind + pad + count + len + crc).
 pub const CHUNK_HEADER_LEN: u64 = 28;
-/// Footer index entry length in bytes.
+/// Footer index entry length in bytes (v1; the fixed prefix of a v2 entry).
 pub const FOOTER_ENTRY_LEN: u64 = 32;
+/// Bytes per column tag appended to a v2 footer entry.
+pub const COLUMN_TAG_LEN: u64 = 9;
 /// Trailer length in bytes.
 pub const TRAILER_LEN: u64 = 24;
 
@@ -153,13 +171,25 @@ pub const FLOW_COLUMNS: [Column; 14] = [
     col("FIRST_TS_MICROS", 8),
 ];
 
+/// Vertex chunk schema: the single ip column.
+pub const VERTEX_COLUMNS: [Column; 1] = [col("IP", 4)];
+
+/// The column schema of a chunk kind.
+pub fn chunk_schema(kind: ChunkKind) -> &'static [Column] {
+    match kind {
+        ChunkKind::Vertex => &VERTEX_COLUMNS,
+        ChunkKind::Edge => &EDGE_COLUMNS,
+        ChunkKind::Flow => &FLOW_COLUMNS,
+    }
+}
+
 /// Byte offset of column `index` inside a chunk payload of `records` records.
 pub fn column_offset(schema: &[Column], index: usize, records: usize) -> usize {
     schema[..index].iter().map(|c| c.width * records).sum()
 }
 
 /// Footer index entry describing one chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkEntry {
     /// Chunk kind.
     pub kind: ChunkKind,
@@ -167,10 +197,89 @@ pub struct ChunkEntry {
     pub records: u64,
     /// File offset of the chunk header.
     pub offset: u64,
-    /// Payload length in bytes.
+    /// Stored payload length in bytes (encoded length for v2 chunks).
     pub payload_len: u64,
-    /// CRC32 (IEEE) of the payload.
+    /// CRC32 (IEEE) of the stored payload.
     pub crc32: u32,
+    /// v2 column directory, in schema order; empty for v1 chunks (raw
+    /// layout, offsets computed from the schema widths).
+    pub columns: Vec<ColumnCodec>,
+}
+
+impl ChunkEntry {
+    /// Serialized length of this entry under `version` framing.
+    pub fn encoded_len(&self, version: u32) -> u64 {
+        if version >= FORMAT_VERSION_V2 {
+            FOOTER_ENTRY_LEN + 1 + self.columns.len() as u64 * COLUMN_TAG_LEN
+        } else {
+            FOOTER_ENTRY_LEN
+        }
+    }
+
+    /// Appends the entry under `version` framing: the fixed 32-byte prefix,
+    /// plus the column directory for v2.
+    pub fn encode_into(&self, out: &mut Vec<u8>, version: u32) {
+        out.extend_from_slice(&[self.kind.code(), 0, 0, 0]);
+        out.extend_from_slice(&self.records.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.payload_len.to_le_bytes());
+        out.extend_from_slice(&self.crc32.to_le_bytes());
+        if version >= FORMAT_VERSION_V2 {
+            debug_assert!(self.columns.len() <= u8::MAX as usize);
+            out.push(self.columns.len() as u8);
+            for c in &self.columns {
+                out.push(c.codec.code());
+                out.extend_from_slice(&c.enc_len.to_le_bytes());
+                out.extend_from_slice(&c.crc32.to_le_bytes());
+            }
+        }
+    }
+
+    /// Parses one entry under `version` framing, advancing `pos`. `at` is
+    /// the file offset of `buf[0]`, for error reporting.
+    pub fn decode_from(
+        buf: &[u8],
+        pos: &mut usize,
+        version: u32,
+        at: u64,
+    ) -> Result<Self, StoreError> {
+        let err_at = at + *pos as u64;
+        let e = buf
+            .get(*pos..*pos + FOOTER_ENTRY_LEN as usize)
+            .ok_or_else(|| corrupt(err_at, "truncated footer entry"))?;
+        *pos += FOOTER_ENTRY_LEN as usize;
+        let kind = ChunkKind::from_code(e[0])
+            .ok_or_else(|| corrupt(err_at, format!("bad chunk kind {}", e[0])))?;
+        let mut entry = ChunkEntry {
+            kind,
+            records: u64::from_le_bytes(e[4..12].try_into().unwrap()),
+            offset: u64::from_le_bytes(e[12..20].try_into().unwrap()),
+            payload_len: u64::from_le_bytes(e[20..28].try_into().unwrap()),
+            crc32: u32::from_le_bytes(e[28..32].try_into().unwrap()),
+            columns: Vec::new(),
+        };
+        if version >= FORMAT_VERSION_V2 {
+            let &ncols = buf
+                .get(*pos)
+                .ok_or_else(|| corrupt(err_at, "footer entry missing column directory"))?;
+            *pos += 1;
+            entry.columns.reserve_exact(ncols as usize);
+            for _ in 0..ncols {
+                let t = buf
+                    .get(*pos..*pos + COLUMN_TAG_LEN as usize)
+                    .ok_or_else(|| corrupt(err_at, "truncated column tag"))?;
+                *pos += COLUMN_TAG_LEN as usize;
+                let codec = Codec::from_code(t[0])
+                    .ok_or_else(|| corrupt(err_at, format!("unknown codec {}", t[0])))?;
+                entry.columns.push(ColumnCodec {
+                    codec,
+                    enc_len: u32::from_le_bytes(t[1..5].try_into().unwrap()),
+                    crc32: u32::from_le_bytes(t[5..9].try_into().unwrap()),
+                });
+            }
+        }
+        Ok(entry)
+    }
 }
 
 /// Errors from store (de)serialization — an alias of the suite-wide

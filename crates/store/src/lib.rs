@@ -44,20 +44,27 @@
 //! ```
 
 pub mod checkpoint;
+pub mod codec;
 pub mod crc32;
 pub mod error;
 pub mod format;
 pub mod ooc;
 pub mod read;
+pub mod shard;
 pub mod sink;
 pub mod spill;
 pub mod write;
 
 pub use checkpoint::{CheckpointIdentity, CheckpointManifest, CheckpointedGraphSink};
+pub use codec::{Codec, ColumnCodec, Compression};
 pub use error::CsbError;
 pub use format::{ChunkEntry, ChunkKind, Column, FileKind, StoreError};
 pub use ooc::StoreScan;
-pub use read::{EdgeBatch, StoreReader};
+pub use read::{ColumnBlock, EdgeBatch, StoreReader};
+pub use shard::{
+    load_graph_sharded, open_scan, save_graph_sharded, CheckpointedShardedGraphSink, ScanSource,
+    ShardSetManifest, ShardedCheckpointManifest, ShardedGraphSink, ShardedScan,
+};
 pub use sink::{
     load_flows, load_graph, push_graph, save_flows, save_graph, save_graph_to, EdgeSink, FlowSink,
     FlowStoreSink, GraphStoreSink, MemoryGraphSink,

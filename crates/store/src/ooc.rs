@@ -2,18 +2,26 @@
 //! kernels of `csb_graph::ooc` without ever materializing the graph.
 //!
 //! [`StoreScan`] implements [`EdgeScan`] over a [`StoreReader`], projecting
-//! only the `SRC`/`DST` columns chunk by chunk via
-//! [`StoreReader::read_column`] — a fraction of each edge chunk's bytes (8 of
-//! 46 per record), and O(chunk) resident at a time. Because chunk iteration
-//! follows the footer index, the edge stream replays the exact record order
-//! of [`StoreReader::load_graph`], which is what makes
-//! `pagerank_ooc(StoreScan) `bit-identical to `pagerank(load_graph())`.
+//! the `SRC`+`DST` columns of each edge chunk with a **single** disk read
+//! per chunk per pass via [`StoreReader::fetch_columns`], and O(chunk)
+//! decoded at a time. Because chunk iteration follows the footer index, the
+//! edge stream replays the exact record order of
+//! [`StoreReader::load_graph`], which is what makes
+//! `pagerank_ooc(StoreScan)` bit-identical to `pagerank(load_graph())`.
+//!
+//! Iterative kernels (PageRank) re-scan the same edge stream dozens of
+//! times. The scan keeps each chunk's *decoded, narrowed* endpoint columns
+//! in a budgeted in-memory cache ([`StoreScan::with_cache_budget`]): a pass
+//! whose chunks are resident reads zero disk bytes and runs zero codec
+//! work — the kernel callback borrows the cached `u32` slices directly, so
+//! warm passes cost what an in-memory scan costs (8 bytes per edge of
+//! cache). The `ooc.bytes_read` counter therefore counts **bytes fetched
+//! from disk**, not bytes delivered to the kernel; the resident cache size
+//! is reported in the `ooc.cache_bytes` gauge.
 //!
 //! Endpoints are validated against the vertex count as each chunk is
 //! decoded, so corrupt files surface as [`CsbError::Corrupt`] instead of a
-//! kernel panic. Column bytes fed to the kernels are counted into the
-//! `ooc.bytes_read` counter (on top of the reader's own
-//! `store.bytes_read`).
+//! kernel panic.
 //!
 //! [`CsbError::Corrupt`]: crate::error::CsbError
 
@@ -24,6 +32,11 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek};
 use std::path::Path;
 
+/// Default endpoint cache budget: 256 MiB of decoded endpoints (8 bytes per
+/// edge, so ~32M edges resident). Pass 0 to
+/// [`StoreScan::with_cache_budget`] for pure streaming.
+pub const DEFAULT_CACHE_BUDGET: u64 = 256 << 20;
+
 /// [`EdgeScan`] over a sealed graph store file.
 #[derive(Debug)]
 pub struct StoreScan<R: Read + Seek> {
@@ -32,6 +45,11 @@ pub struct StoreScan<R: Read + Seek> {
     /// Footer indices of the edge chunks, in file order.
     edge_chunks: Vec<usize>,
     max_chunk_records: u64,
+    /// Cached decoded `(src, dst)` endpoint columns, indexed like
+    /// `edge_chunks`.
+    cache: Vec<Option<(Vec<u32>, Vec<u32>)>>,
+    cache_budget: u64,
+    cache_used: u64,
 }
 
 impl StoreScan<BufReader<File>> {
@@ -62,7 +80,28 @@ impl<R: Read + Seek> StoreScan<R> {
                 }
             }
         }
-        Ok(StoreScan { reader, vertex_count, edge_chunks, max_chunk_records })
+        let cache = (0..edge_chunks.len()).map(|_| None).collect();
+        Ok(StoreScan {
+            reader,
+            vertex_count,
+            edge_chunks,
+            max_chunk_records,
+            cache,
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            cache_used: 0,
+        })
+    }
+
+    /// Caps the decoded-endpoint cache at `bytes` (0 disables caching;
+    /// every pass then re-reads from disk and re-decodes).
+    pub fn with_cache_budget(mut self, bytes: u64) -> Self {
+        self.cache_budget = bytes;
+        if bytes == 0 {
+            self.cache = (0..self.edge_chunks.len()).map(|_| None).collect();
+            self.cache_used = 0;
+            csb_obs::gauge_set("ooc.cache_bytes", 0);
+        }
+        self
     }
 
     /// The wrapped reader (e.g. to load vertex attributes separately).
@@ -70,24 +109,90 @@ impl<R: Read + Seek> StoreScan<R> {
         self.reader
     }
 
-    /// Projects column `name` of edge chunk `idx`, narrowed back to the
-    /// `u32` vertex ids the kernels consume and range-checked against the
-    /// vertex count.
-    fn endpoint_column(&mut self, idx: usize, name: &str) -> Result<Vec<u32>, StoreError> {
-        let wide = self.reader.read_column(idx, name)?;
-        csb_obs::counter_add("ooc.bytes_read", 4 * wide.len() as u64);
-        let n = self.vertex_count as u64;
-        let offset = self.reader.chunks()[idx].offset;
-        wide.into_iter()
-            .map(|v| {
-                if v < n {
-                    Ok(v as u32)
-                } else {
-                    Err(corrupt(offset, format!("edge endpoint {v} out of vertex range {n}")))
-                }
-            })
-            .collect()
+    /// Edge chunks in this store.
+    pub fn edge_chunk_count(&self) -> usize {
+        self.edge_chunks.len()
     }
+
+    /// Largest edge chunk, in records.
+    pub fn max_chunk_records(&self) -> u64 {
+        self.max_chunk_records
+    }
+
+    /// Overrides the vertex-id range endpoints are checked against. The
+    /// sharded scan puts all vertex chunks on shard 0, so the other shards'
+    /// scans must borrow its count.
+    pub(crate) fn set_vertex_range(&mut self, vertices: usize) {
+        self.vertex_count = vertices;
+    }
+
+    /// Fetches and decodes edge chunk `i` (index into the edge chunk list,
+    /// not the footer) unless it is already cache-resident. Returns the
+    /// decoded pair when it did NOT fit the cache budget (the transient
+    /// case); returns `None` when the chunk is now resident in
+    /// `self.cache[i]`. One disk read per call on a miss, counted into
+    /// `ooc.bytes_read`.
+    fn load_chunk(&mut self, i: usize) -> Result<Option<(Vec<u32>, Vec<u32>)>, StoreError> {
+        if self.cache[i].is_some() {
+            return Ok(None);
+        }
+        let idx = self.edge_chunks[i];
+        let offset = self.reader.chunks()[idx].offset;
+        let fetched = self.reader.fetch_columns(idx, &["SRC", "DST"])?;
+        csb_obs::counter_add("ooc.bytes_read", fetched.stored_len() as u64);
+        let src = narrow_endpoints(fetched.decode(0)?, self.vertex_count, offset)?;
+        let dst = narrow_endpoints(fetched.decode(1)?, self.vertex_count, offset)?;
+        let cost = 4 * (src.len() + dst.len()) as u64;
+        if self.cache_used + cost <= self.cache_budget {
+            self.cache_used += cost;
+            csb_obs::gauge_set("ooc.cache_bytes", self.cache_used as i64);
+            self.cache[i] = Some((src, dst));
+            Ok(None)
+        } else {
+            Ok(Some((src, dst)))
+        }
+    }
+
+    /// Runs `f` over the endpoint columns of edge chunk `i`, decoded,
+    /// narrowed back to the `u32` vertex ids the kernels consume, and
+    /// range-checked against the vertex count. A cache-resident chunk is
+    /// borrowed in place — zero reads, zero decode, zero copies.
+    pub fn with_endpoints(
+        &mut self,
+        i: usize,
+        f: &mut dyn FnMut(&[u32], &[u32]),
+    ) -> Result<(), StoreError> {
+        match self.load_chunk(i)? {
+            Some((src, dst)) => f(&src, &dst),
+            None => {
+                let (src, dst) = self.cache[i].as_ref().expect("resident");
+                f(src, dst);
+            }
+        }
+        Ok(())
+    }
+
+    /// Owned-copy variant of [`StoreScan::with_endpoints`] (cache-resident
+    /// chunks are cloned); the streaming kernels use the borrowing path.
+    pub fn endpoint_chunk(&mut self, i: usize) -> Result<(Vec<u32>, Vec<u32>), StoreError> {
+        match self.load_chunk(i)? {
+            Some(pair) => Ok(pair),
+            None => Ok(self.cache[i].clone().expect("resident")),
+        }
+    }
+}
+
+fn narrow_endpoints(wide: Vec<u64>, vertices: usize, offset: u64) -> Result<Vec<u32>, StoreError> {
+    let n = vertices as u64;
+    wide.into_iter()
+        .map(|v| {
+            if v < n {
+                Ok(v as u32)
+            } else {
+                Err(corrupt(offset, format!("edge endpoint {v} out of vertex range {n}")))
+            }
+        })
+        .collect()
 }
 
 impl<R: Read + Seek> EdgeScan for StoreScan<R> {
@@ -103,34 +208,29 @@ impl<R: Read + Seek> EdgeScan for StoreScan<R> {
 
     fn scan_edges(&mut self, f: &mut dyn FnMut(&[u32], &[u32])) -> Result<(), StoreError> {
         for i in 0..self.edge_chunks.len() {
-            let idx = self.edge_chunks[i];
-            let src = self.endpoint_column(idx, "SRC")?;
-            let dst = self.endpoint_column(idx, "DST")?;
-            f(&src, &dst);
+            self.with_endpoints(i, f)?;
         }
         Ok(())
     }
 
     fn scan_sources(&mut self, f: &mut dyn FnMut(&[u32])) -> Result<(), StoreError> {
         for i in 0..self.edge_chunks.len() {
-            let idx = self.edge_chunks[i];
-            let src = self.endpoint_column(idx, "SRC")?;
-            f(&src);
+            self.with_endpoints(i, &mut |src, _| f(src))?;
         }
         Ok(())
     }
 
     fn scan_targets(&mut self, f: &mut dyn FnMut(&[u32])) -> Result<(), StoreError> {
         for i in 0..self.edge_chunks.len() {
-            let idx = self.edge_chunks[i];
-            let dst = self.endpoint_column(idx, "DST")?;
-            f(&dst);
+            self.with_endpoints(i, &mut |_, dst| f(dst))?;
         }
         Ok(())
     }
 
     /// Per-batch buffer bound: two endpoint columns, each transiently held
-    /// widened (`u64`) and narrowed (`u32`), over the largest chunk.
+    /// widened (`u64`) and narrowed (`u32`), over the largest chunk. The
+    /// endpoint cache is bounded separately by its own budget and is
+    /// excluded here — it is a reuse buffer, not per-batch scratch.
     fn scratch_bytes(&self) -> u64 {
         2 * (8 + 4) * self.max_chunk_records
     }

@@ -1,11 +1,19 @@
-//! The chunk reader: opens a sealed store file, parses the trailer + footer
-//! index, and serves whole chunks, projected single columns, or a fully
-//! reconstructed [`NetflowGraph`] / flow list.
+//! The chunk reader: opens a sealed store file (format v1 or v2), parses the
+//! trailer + footer index, and serves whole chunks, projected columns, or a
+//! fully reconstructed [`NetflowGraph`] / flow list.
+//!
+//! Projection reads go through [`StoreReader::read_columns`], which fetches
+//! every requested column of a chunk with **one** contiguous disk read and
+//! one `store.read_chunk` span — the scan layers project `SRC`+`DST`
+//! together, so a pass over an edge chunk costs a single seek instead of one
+//! per column.
 
+use crate::codec::{decode_column, Codec};
 use crate::crc32::crc32;
 use crate::format::{
     column_offset, corrupt, ChunkEntry, ChunkKind, Column, FileKind, StoreError, CHUNK_MAGIC,
-    EDGE_COLUMNS, FILE_MAGIC, FLOW_COLUMNS, FORMAT_VERSION, TRAILER_LEN, TRAILER_MAGIC,
+    EDGE_COLUMNS, FILE_MAGIC, FLOW_COLUMNS, FORMAT_VERSION, FORMAT_VERSION_V2, TRAILER_LEN,
+    TRAILER_MAGIC,
 };
 use csb_graph::graph::VertexId;
 use csb_graph::{EdgeProperties, NetflowGraph};
@@ -25,10 +33,52 @@ pub struct EdgeBatch {
     pub props: Vec<EdgeProperties>,
 }
 
+/// One fetched (but not yet decoded) block of chunk columns: the contiguous
+/// stored bytes covering the requested columns, plus what is needed to
+/// decode each. Splitting fetch from decode lets the scan layer cache the
+/// compact stored bytes and re-decode per pass without re-reading disk.
+#[derive(Debug, Clone)]
+pub struct ColumnBlock {
+    bytes: Vec<u8>,
+    /// Per requested column: byte range into `bytes`, codec, width, and the
+    /// v2 per-column CRC (`None` for v1 partial reads, which the whole-chunk
+    /// CRC cannot cover).
+    cols: Vec<(std::ops::Range<usize>, Codec, usize, Option<u32>)>,
+    records: usize,
+    chunk_offset: u64,
+}
+
+impl ColumnBlock {
+    /// Stored bytes held by this block (what a cache budget should charge).
+    pub fn stored_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes requested column `i` (index into the `names` passed to
+    /// [`StoreReader::fetch_columns`]), widened to `u64`.
+    pub fn decode(&self, i: usize) -> Result<Vec<u64>, StoreError> {
+        let (range, codec, width, crc) = &self.cols[i];
+        let enc = &self.bytes[range.clone()];
+        if let Some(want) = crc {
+            if crc32(enc) != *want {
+                return Err(corrupt(self.chunk_offset, "column CRC mismatch"));
+            }
+        }
+        let raw = decode_column(*codec, enc, *width, self.records, self.chunk_offset)?;
+        Ok(match *width {
+            1 => raw.iter().map(|&b| b as u64).collect(),
+            2 => raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]]) as u64).collect(),
+            4 => u32_col(&raw, 0, self.records).into_iter().map(u64::from).collect(),
+            _ => u64_col(&raw, 0, self.records),
+        })
+    }
+}
+
 /// Reads a sealed store file.
 #[derive(Debug)]
 pub struct StoreReader<R: Read + Seek> {
     r: R,
+    version: u32,
     kind: FileKind,
     chunks: Vec<ChunkEntry>,
 }
@@ -54,7 +104,7 @@ impl<R: Read + Seek> StoreReader<R> {
             return Err(corrupt(0, "bad file magic"));
         }
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
             return Err(corrupt(8, format!("unsupported version {version}")));
         }
         let kind = FileKind::from_code(header[12])
@@ -67,32 +117,36 @@ impl<R: Read + Seek> StoreReader<R> {
         }
         let chunk_count = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
         let footer_offset = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
-        let footer_len = chunk_count
-            .checked_mul(32)
-            .filter(|&fl| footer_offset.checked_add(fl + TRAILER_LEN) == Some(len))
+        // v2 footer entries are variable-length (the column directory), so
+        // the tiling check is "the entries parse and end exactly at the
+        // trailer", not a fixed-stride multiplication.
+        let footer_len = len
+            .checked_sub(TRAILER_LEN)
+            .and_then(|end| end.checked_sub(footer_offset))
+            .filter(|&fl| chunk_count.checked_mul(32).is_some_and(|min| min <= fl))
             .ok_or_else(|| corrupt(len - TRAILER_LEN, "footer does not tile the file"))?;
         let mut footer = vec![0u8; footer_len as usize];
         r.seek(SeekFrom::Start(footer_offset))?;
         r.read_exact(&mut footer)?;
         let mut chunks = Vec::with_capacity(chunk_count as usize);
-        for (i, e) in footer.chunks_exact(32).enumerate() {
-            let at = footer_offset + i as u64 * 32;
-            let kind = ChunkKind::from_code(e[0])
-                .ok_or_else(|| corrupt(at, format!("bad chunk kind {}", e[0])))?;
-            chunks.push(ChunkEntry {
-                kind,
-                records: u64::from_le_bytes(e[4..12].try_into().unwrap()),
-                offset: u64::from_le_bytes(e[12..20].try_into().unwrap()),
-                payload_len: u64::from_le_bytes(e[20..28].try_into().unwrap()),
-                crc32: u32::from_le_bytes(e[28..32].try_into().unwrap()),
-            });
+        let mut pos = 0usize;
+        for _ in 0..chunk_count {
+            chunks.push(ChunkEntry::decode_from(&footer, &mut pos, version, footer_offset)?);
         }
-        Ok(StoreReader { r, kind, chunks })
+        if pos as u64 != footer_len {
+            return Err(corrupt(footer_offset, "footer does not tile the file"));
+        }
+        Ok(StoreReader { r, version, kind, chunks })
     }
 
     /// What this file holds.
     pub fn kind(&self) -> FileKind {
         self.kind
+    }
+
+    /// The file's format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The footer index.
@@ -105,11 +159,12 @@ impl<R: Read + Seek> StoreReader<R> {
         self.chunks.iter().filter(|c| c.kind == kind).map(|c| c.records).sum()
     }
 
-    /// Reads chunk `idx`'s payload, verifying the chunk header against the
-    /// footer entry and the payload against its CRC32.
-    pub fn read_chunk_payload(&mut self, idx: usize) -> Result<Vec<u8>, StoreError> {
+    /// Reads chunk `idx`'s *stored* bytes (raw for v1, encoded for v2),
+    /// verifying the chunk header against the footer entry and the bytes
+    /// against the chunk CRC32.
+    pub fn read_chunk_stored(&mut self, idx: usize) -> Result<Vec<u8>, StoreError> {
         let _span = csb_obs::span_cat("store.read_chunk", "store");
-        let entry = self.chunks[idx];
+        let entry = &self.chunks[idx];
         let mut header = [0u8; 28];
         self.r.seek(SeekFrom::Start(entry.offset))?;
         self.r.read_exact(&mut header)?;
@@ -134,8 +189,26 @@ impl<R: Read + Seek> StoreReader<R> {
         Ok(payload)
     }
 
-    fn expect_kind(&self, idx: usize, kind: ChunkKind) -> Result<ChunkEntry, StoreError> {
-        let entry = self.chunks[idx];
+    /// Reads chunk `idx` and returns its **raw column-major payload**: the
+    /// stored bytes for v1, the per-column decodings for v2. Callers see the
+    /// identical layout either way.
+    pub fn read_chunk_payload(&mut self, idx: usize) -> Result<Vec<u8>, StoreError> {
+        let stored = self.read_chunk_stored(idx)?;
+        let entry = &self.chunks[idx];
+        if self.version < FORMAT_VERSION_V2 {
+            return Ok(stored);
+        }
+        crate::codec::decode_chunk_columns(
+            entry.kind,
+            entry.records,
+            &stored,
+            &entry.columns,
+            entry.offset,
+        )
+    }
+
+    fn expect_kind(&self, idx: usize, kind: ChunkKind) -> Result<&ChunkEntry, StoreError> {
+        let entry = &self.chunks[idx];
         if entry.kind != kind {
             return Err(corrupt(entry.offset, format!("chunk {idx} is not a {kind:?} chunk")));
         }
@@ -144,18 +217,18 @@ impl<R: Read + Seek> StoreReader<R> {
 
     /// Decodes vertex chunk `idx` into its ip column.
     pub fn read_vertex_batch(&mut self, idx: usize) -> Result<Vec<u32>, StoreError> {
-        let entry = self.expect_kind(idx, ChunkKind::Vertex)?;
+        let n = self.expect_kind(idx, ChunkKind::Vertex)?.records as usize;
         let payload = self.read_chunk_payload(idx)?;
-        Ok(u32_col(&payload, 0, entry.records as usize))
+        Ok(u32_col(&payload, 0, n))
     }
 
     /// Decodes edge chunk `idx` into all eleven columns.
     pub fn read_edge_batch(&mut self, idx: usize) -> Result<EdgeBatch, StoreError> {
         let entry = self.expect_kind(idx, ChunkKind::Edge)?;
+        let (n, offset) = (entry.records as usize, entry.offset);
         let payload = self.read_chunk_payload(idx)?;
-        let n = entry.records as usize;
         let at = |i| column_offset(&EDGE_COLUMNS, i, n);
-        let protocol = decode_protocols(&payload[at(2)..], n, entry.offset)?;
+        let protocol = decode_protocols(&payload[at(2)..], n, offset)?;
         let src_port = u16_col(&payload, at(3), n);
         let dst_port = u16_col(&payload, at(4), n);
         let duration_ms = u64_col(&payload, at(5), n);
@@ -163,7 +236,7 @@ impl<R: Read + Seek> StoreReader<R> {
         let in_bytes = u64_col(&payload, at(7), n);
         let out_pkts = u64_col(&payload, at(8), n);
         let in_pkts = u64_col(&payload, at(9), n);
-        let state = decode_states(&payload[at(10)..], n, entry.offset)?;
+        let state = decode_states(&payload[at(10)..], n, offset)?;
         let props = (0..n)
             .map(|i| EdgeProperties {
                 protocol: protocol[i],
@@ -183,12 +256,12 @@ impl<R: Read + Seek> StoreReader<R> {
     /// Decodes flow chunk `idx` into [`FlowRecord`]s.
     pub fn read_flow_batch(&mut self, idx: usize) -> Result<Vec<FlowRecord>, StoreError> {
         let entry = self.expect_kind(idx, ChunkKind::Flow)?;
+        let (n, offset) = (entry.records as usize, entry.offset);
         let payload = self.read_chunk_payload(idx)?;
-        let n = entry.records as usize;
         let at = |i| column_offset(&FLOW_COLUMNS, i, n);
         let src_ip = u32_col(&payload, at(0), n);
         let dst_ip = u32_col(&payload, at(1), n);
-        let protocol = decode_protocols(&payload[at(2)..], n, entry.offset)?;
+        let protocol = decode_protocols(&payload[at(2)..], n, offset)?;
         let src_port = u16_col(&payload, at(3), n);
         let dst_port = u16_col(&payload, at(4), n);
         let duration_ms = u64_col(&payload, at(5), n);
@@ -196,7 +269,7 @@ impl<R: Read + Seek> StoreReader<R> {
         let in_bytes = u64_col(&payload, at(7), n);
         let out_pkts = u64_col(&payload, at(8), n);
         let in_pkts = u64_col(&payload, at(9), n);
-        let state = decode_states(&payload[at(10)..], n, entry.offset)?;
+        let state = decode_states(&payload[at(10)..], n, offset)?;
         let syn_count = u32_col(&payload, at(11), n);
         let ack_count = u32_col(&payload, at(12), n);
         let first_ts = u64_col(&payload, at(13), n);
@@ -220,16 +293,17 @@ impl<R: Read + Seek> StoreReader<R> {
             .collect())
     }
 
-    /// Projects one column of an edge or flow chunk by name, widened to
-    /// `u64`. Seeks straight to the column, reading `records x width` bytes
-    /// instead of the whole chunk; the projection path skips the CRC (which
-    /// covers the full payload) in exchange — use [`read_chunk_payload`]
-    /// first when integrity matters more than speed.
-    ///
-    /// [`read_chunk_payload`]: StoreReader::read_chunk_payload
-    pub fn read_column(&mut self, idx: usize, name: &str) -> Result<Vec<u64>, StoreError> {
+    /// Fetches the named columns of an edge or flow chunk with **one**
+    /// contiguous disk read (one `store.read_chunk` span, one
+    /// `store.chunks_read` increment), without decoding them. For v1 the
+    /// read spans the raw bytes from the first to the last requested column;
+    /// for v2 it spans their encoded bytes, and each column carries its own
+    /// CRC (verified at decode). v1 partial reads skip CRC verification —
+    /// the whole-chunk CRC cannot cover a slice.
+    pub fn fetch_columns(&mut self, idx: usize, names: &[&str]) -> Result<ColumnBlock, StoreError> {
+        assert!(!names.is_empty(), "fetch_columns needs at least one column");
         let _span = csb_obs::span_cat("store.read_chunk", "store");
-        let entry = self.chunks[idx];
+        let entry = &self.chunks[idx];
         let schema: &[Column] = match entry.kind {
             ChunkKind::Edge => &EDGE_COLUMNS,
             ChunkKind::Flow => &FLOW_COLUMNS,
@@ -237,23 +311,67 @@ impl<R: Read + Seek> StoreReader<R> {
                 return Err(corrupt(entry.offset, "vertex chunks have no named columns"))
             }
         };
-        let col = schema
-            .iter()
-            .position(|c| c.name == name)
-            .ok_or_else(|| corrupt(entry.offset, format!("no column named {name}")))?;
         let n = entry.records as usize;
-        let width = schema[col].width;
-        let start = entry.offset + 28 + column_offset(schema, col, n) as u64;
-        let mut raw = vec![0u8; n * width];
-        self.r.seek(SeekFrom::Start(start))?;
-        self.r.read_exact(&mut raw)?;
-        csb_obs::counter_add("store.bytes_read", raw.len() as u64);
-        Ok(match width {
-            1 => raw.iter().map(|&b| b as u64).collect(),
-            2 => raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]]) as u64).collect(),
-            4 => u32_col(&raw, 0, n).into_iter().map(u64::from).collect(),
-            _ => u64_col(&raw, 0, n),
-        })
+        let v2 = self.version >= FORMAT_VERSION_V2;
+        if v2 && entry.columns.len() != schema.len() {
+            return Err(corrupt(entry.offset, "v2 chunk missing its column directory"));
+        }
+        // Byte range of each schema column inside the stored payload.
+        let col_range = |i: usize| -> std::ops::Range<usize> {
+            if v2 {
+                let start: usize = entry.columns[..i].iter().map(|c| c.enc_len as usize).sum();
+                start..start + entry.columns[i].enc_len as usize
+            } else {
+                let start = column_offset(schema, i, n);
+                start..start + n * schema[i].width
+            }
+        };
+        let mut picked = Vec::with_capacity(names.len());
+        for name in names {
+            let i = schema
+                .iter()
+                .position(|c| c.name == *name)
+                .ok_or_else(|| corrupt(entry.offset, format!("no column named {name}")))?;
+            picked.push(i);
+        }
+        let lo = picked.iter().map(|&i| col_range(i).start).min().expect("non-empty");
+        let hi = picked.iter().map(|&i| col_range(i).end).max().expect("non-empty");
+        let mut bytes = vec![0u8; hi - lo];
+        self.r.seek(SeekFrom::Start(entry.offset + 28 + lo as u64))?;
+        self.r.read_exact(&mut bytes)?;
+        csb_obs::counter_add("store.chunks_read", 1);
+        csb_obs::counter_add("store.bytes_read", bytes.len() as u64);
+        let cols = picked
+            .iter()
+            .map(|&i| {
+                let r = col_range(i);
+                let (codec, crc) = if v2 {
+                    (entry.columns[i].codec, Some(entry.columns[i].crc32))
+                } else {
+                    (Codec::Raw, None)
+                };
+                (r.start - lo..r.end - lo, codec, schema[i].width, crc)
+            })
+            .collect();
+        Ok(ColumnBlock { bytes, cols, records: n, chunk_offset: entry.offset })
+    }
+
+    /// Projects the named columns of an edge or flow chunk, widened to
+    /// `u64`, from a single disk read (see [`StoreReader::fetch_columns`]).
+    pub fn read_columns(
+        &mut self,
+        idx: usize,
+        names: &[&str],
+    ) -> Result<Vec<Vec<u64>>, StoreError> {
+        let block = self.fetch_columns(idx, names)?;
+        (0..names.len()).map(|i| block.decode(i)).collect()
+    }
+
+    /// Projects one column by name — [`StoreReader::read_columns`] with a
+    /// single name. Scans that need several columns of the same chunk should
+    /// ask for them together; separate calls cost one disk read each.
+    pub fn read_column(&mut self, idx: usize, name: &str) -> Result<Vec<u64>, StoreError> {
+        Ok(self.read_columns(idx, &[name])?.pop().expect("one column requested"))
     }
 
     /// Reconstructs the property graph from every vertex and edge chunk, in

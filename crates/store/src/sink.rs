@@ -4,7 +4,10 @@
 //! edge-by-edge and one pushing 8192-edge batches produce byte-identical
 //! files.
 
-use crate::format::{ChunkKind, FileKind, StoreError, EDGE_COLUMNS, FLOW_COLUMNS};
+use crate::codec::{encode_chunk_columns, Compression};
+use crate::format::{
+    ChunkKind, FileKind, StoreError, EDGE_COLUMNS, FLOW_COLUMNS, FORMAT_VERSION, FORMAT_VERSION_V2,
+};
 use crate::read::StoreReader;
 use crate::write::StoreWriter;
 use csb_graph::graph::VertexId;
@@ -162,10 +165,37 @@ fn encode_flow_chunk(flows: &[FlowRecord]) -> Vec<u8> {
     payload
 }
 
+/// Format version implied by a compression mode.
+pub(crate) fn version_for(compression: Compression) -> u32 {
+    match compression {
+        Compression::None => FORMAT_VERSION,
+        Compression::Columnar => FORMAT_VERSION_V2,
+    }
+}
+
+/// Writes one chunk through `writer` under the sink's compression mode:
+/// raw v1 chunks as-is, v2 chunks per-column encoded and tagged.
+pub(crate) fn write_sink_chunk<W: Write>(
+    writer: &mut StoreWriter<W>,
+    compression: Compression,
+    kind: ChunkKind,
+    records: u64,
+    raw_payload: &[u8],
+) -> Result<(), StoreError> {
+    match compression {
+        Compression::None => writer.write_chunk(kind, records, raw_payload),
+        Compression::Columnar => {
+            let (stored, columns) = encode_chunk_columns(kind, records, raw_payload);
+            writer.write_encoded_chunk(kind, records, &stored, columns)
+        }
+    }
+}
+
 /// An [`EdgeSink`] writing store chunks to `W`.
 #[derive(Debug)]
 pub struct GraphStoreSink<W: Write> {
     writer: StoreWriter<W>,
+    compression: Compression,
     chunk_records: usize,
     vertices: Vec<u32>,
     src: Vec<u32>,
@@ -174,21 +204,37 @@ pub struct GraphStoreSink<W: Write> {
 }
 
 impl GraphStoreSink<BufWriter<File>> {
-    /// Creates a graph store file at `path`.
+    /// Creates an uncompressed (v1) graph store file at `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Ok(GraphStoreSink::from_writer(StoreWriter::create(path, FileKind::Graph)?))
+        GraphStoreSink::create_with(path, Compression::None)
+    }
+
+    /// Creates a graph store file at `path` with the given compression.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        compression: Compression,
+    ) -> Result<Self, StoreError> {
+        let writer = StoreWriter::create_with(path, FileKind::Graph, version_for(compression))?;
+        Ok(GraphStoreSink::from_writer(writer, compression))
     }
 }
 
 impl<W: Write> GraphStoreSink<W> {
-    /// Starts a graph store stream on `w`.
+    /// Starts an uncompressed (v1) graph store stream on `w`.
     pub fn new(w: W) -> Result<Self, StoreError> {
-        Ok(GraphStoreSink::from_writer(StoreWriter::new(w, FileKind::Graph)?))
+        GraphStoreSink::new_with(w, Compression::None)
     }
 
-    fn from_writer(writer: StoreWriter<W>) -> Self {
+    /// Starts a graph store stream on `w` with the given compression.
+    pub fn new_with(w: W, compression: Compression) -> Result<Self, StoreError> {
+        let writer = StoreWriter::new_with(w, FileKind::Graph, version_for(compression))?;
+        Ok(GraphStoreSink::from_writer(writer, compression))
+    }
+
+    fn from_writer(writer: StoreWriter<W>, compression: Compression) -> Self {
         GraphStoreSink {
             writer,
+            compression,
             chunk_records: CHUNK_RECORDS,
             vertices: Vec::new(),
             src: Vec::new(),
@@ -209,7 +255,13 @@ impl<W: Write> GraphStoreSink<W> {
             let rest = self.vertices.split_off(self.chunk_records);
             let chunk = std::mem::replace(&mut self.vertices, rest);
             let payload: Vec<u8> = chunk.iter().flat_map(|ip| ip.to_le_bytes()).collect();
-            self.writer.write_chunk(ChunkKind::Vertex, chunk.len() as u64, &payload)?;
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::Vertex,
+                chunk.len() as u64,
+                &payload,
+            )?;
         }
         Ok(())
     }
@@ -223,7 +275,13 @@ impl<W: Write> GraphStoreSink<W> {
             let dst = std::mem::replace(&mut self.dst, rest_dst);
             let props = std::mem::replace(&mut self.props, rest_props);
             let payload = encode_edge_chunk(&src, &dst, &props);
-            self.writer.write_chunk(ChunkKind::Edge, src.len() as u64, &payload)?;
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::Edge,
+                src.len() as u64,
+                &payload,
+            )?;
         }
         Ok(())
     }
@@ -233,11 +291,23 @@ impl<W: Write> GraphStoreSink<W> {
     pub fn finish(mut self) -> Result<W, StoreError> {
         if !self.vertices.is_empty() {
             let payload: Vec<u8> = self.vertices.iter().flat_map(|ip| ip.to_le_bytes()).collect();
-            self.writer.write_chunk(ChunkKind::Vertex, self.vertices.len() as u64, &payload)?;
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::Vertex,
+                self.vertices.len() as u64,
+                &payload,
+            )?;
         }
         if !self.src.is_empty() {
             let payload = encode_edge_chunk(&self.src, &self.dst, &self.props);
-            self.writer.write_chunk(ChunkKind::Edge, self.src.len() as u64, &payload)?;
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::Edge,
+                self.src.len() as u64,
+                &payload,
+            )?;
         }
         self.writer.finish()
     }
@@ -268,23 +338,37 @@ impl<W: Write> EdgeSink for GraphStoreSink<W> {
 #[derive(Debug)]
 pub struct FlowStoreSink<W: Write> {
     writer: StoreWriter<W>,
+    compression: Compression,
     chunk_records: usize,
     flows: Vec<FlowRecord>,
 }
 
 impl FlowStoreSink<BufWriter<File>> {
-    /// Creates a flow store file at `path`.
+    /// Creates an uncompressed (v1) flow store file at `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let writer = StoreWriter::create(path, FileKind::Flows)?;
-        Ok(FlowStoreSink { writer, chunk_records: CHUNK_RECORDS, flows: Vec::new() })
+        FlowStoreSink::create_with(path, Compression::None)
+    }
+
+    /// Creates a flow store file at `path` with the given compression.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        compression: Compression,
+    ) -> Result<Self, StoreError> {
+        let writer = StoreWriter::create_with(path, FileKind::Flows, version_for(compression))?;
+        Ok(FlowStoreSink { writer, compression, chunk_records: CHUNK_RECORDS, flows: Vec::new() })
     }
 }
 
 impl<W: Write> FlowStoreSink<W> {
-    /// Starts a flow store stream on `w`.
+    /// Starts an uncompressed (v1) flow store stream on `w`.
     pub fn new(w: W) -> Result<Self, StoreError> {
-        let writer = StoreWriter::new(w, FileKind::Flows)?;
-        Ok(FlowStoreSink { writer, chunk_records: CHUNK_RECORDS, flows: Vec::new() })
+        FlowStoreSink::new_with(w, Compression::None)
+    }
+
+    /// Starts a flow store stream on `w` with the given compression.
+    pub fn new_with(w: W, compression: Compression) -> Result<Self, StoreError> {
+        let writer = StoreWriter::new_with(w, FileKind::Flows, version_for(compression))?;
+        Ok(FlowStoreSink { writer, compression, chunk_records: CHUNK_RECORDS, flows: Vec::new() })
     }
 
     /// Overrides the chunk size.
@@ -297,7 +381,13 @@ impl<W: Write> FlowStoreSink<W> {
     pub fn finish(mut self) -> Result<W, StoreError> {
         if !self.flows.is_empty() {
             let payload = encode_flow_chunk(&self.flows);
-            self.writer.write_chunk(ChunkKind::Flow, self.flows.len() as u64, &payload)?;
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::Flow,
+                self.flows.len() as u64,
+                &payload,
+            )?;
         }
         self.writer.finish()
     }
@@ -310,7 +400,13 @@ impl<W: Write> FlowSink for FlowStoreSink<W> {
             let rest = self.flows.split_off(self.chunk_records);
             let chunk = std::mem::replace(&mut self.flows, rest);
             let payload = encode_flow_chunk(&chunk);
-            self.writer.write_chunk(ChunkKind::Flow, chunk.len() as u64, &payload)?;
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::Flow,
+                chunk.len() as u64,
+                &payload,
+            )?;
         }
         Ok(())
     }
@@ -382,9 +478,14 @@ pub fn push_graph(sink: &mut impl EdgeSink, g: &NetflowGraph) -> Result<(), Stor
     sink.push_edges(&src, &dst, g.edge_data())
 }
 
-/// Loads the graph store file at `path`.
+/// Loads the graph store at `path` — a plain store file or a shard-set
+/// manifest, told apart by magic.
 pub fn load_graph(path: impl AsRef<Path>) -> Result<NetflowGraph, StoreError> {
-    StoreReader::open(path)?.load_graph()
+    if crate::shard::is_shard_set(&path)? {
+        crate::shard::load_graph_sharded(path)
+    } else {
+        StoreReader::open(path)?.load_graph()
+    }
 }
 
 /// Writes `flows` as a flow store file at `path`.

@@ -3,10 +3,11 @@
 //! counting written bytes, so plain `Write` targets (sockets, pipes,
 //! `Vec<u8>`) work — no `Seek` bound on the write path.
 
+use crate::codec::ColumnCodec;
 use crate::crc32::crc32;
 use crate::format::{
     ChunkEntry, ChunkKind, FileKind, StoreError, CHUNK_MAGIC, FILE_MAGIC, FORMAT_VERSION,
-    TRAILER_MAGIC,
+    FORMAT_VERSION_V2, TRAILER_MAGIC,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -16,33 +17,58 @@ use std::path::Path;
 #[derive(Debug)]
 pub struct StoreWriter<W: Write> {
     w: W,
+    version: u32,
     written: u64,
     chunks: Vec<ChunkEntry>,
 }
 
 impl StoreWriter<BufWriter<File>> {
-    /// Creates a store file at `path`.
+    /// Creates a format-v1 store file at `path`.
     pub fn create(path: impl AsRef<Path>, kind: FileKind) -> Result<Self, StoreError> {
         StoreWriter::new(BufWriter::new(File::create(path)?), kind)
+    }
+
+    /// Creates a store file at `path` with the given format version.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        kind: FileKind,
+        version: u32,
+    ) -> Result<Self, StoreError> {
+        StoreWriter::new_with(BufWriter::new(File::create(path)?), kind, version)
     }
 }
 
 impl<W: Write> StoreWriter<W> {
-    /// Starts a store stream on `w` by writing the file header.
-    pub fn new(mut w: W, kind: FileKind) -> Result<Self, StoreError> {
+    /// Starts a format-v1 store stream on `w` by writing the file header.
+    pub fn new(w: W, kind: FileKind) -> Result<Self, StoreError> {
+        StoreWriter::new_with(w, kind, FORMAT_VERSION)
+    }
+
+    /// Starts a store stream with the given format version ([`FORMAT_VERSION`]
+    /// or [`FORMAT_VERSION_V2`]).
+    pub fn new_with(mut w: W, kind: FileKind, version: u32) -> Result<Self, StoreError> {
+        assert!(
+            version == FORMAT_VERSION || version == FORMAT_VERSION_V2,
+            "unknown store format version {version}"
+        );
         w.write_all(&FILE_MAGIC)?;
-        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&version.to_le_bytes())?;
         w.write_all(&[kind.code(), 0, 0, 0])?;
-        Ok(StoreWriter { w, written: 16, chunks: Vec::new() })
+        Ok(StoreWriter { w, version, written: 16, chunks: Vec::new() })
     }
 
     /// Reconstructs a writer mid-stream: `w` must be positioned at byte
-    /// `written` of a file whose prefix already holds the header and the
-    /// chunks in `chunks`. Used by checkpoint resume, which truncates a
+    /// `written` of a file whose prefix already holds a `version` header and
+    /// the chunks in `chunks`. Used by checkpoint resume, which truncates a
     /// partial file back to its last durable barrier and continues.
-    pub fn resume_at(w: W, written: u64, chunks: Vec<ChunkEntry>) -> Self {
+    pub fn resume_at(w: W, version: u32, written: u64, chunks: Vec<ChunkEntry>) -> Self {
         debug_assert!(written >= 16, "resume offset must be past the file header");
-        StoreWriter { w, written, chunks }
+        StoreWriter { w, version, written, chunks }
+    }
+
+    /// The format version this writer stamps.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Chunks written so far.
@@ -71,16 +97,50 @@ impl<W: Write> StoreWriter<W> {
         self.written
     }
 
-    /// Appends one chunk of `records` records with the given column-major
-    /// payload.
+    /// Appends one chunk of `records` records with the given raw column-major
+    /// payload. v1 only: v2 chunks must carry a column directory, so v2
+    /// writers go through [`StoreWriter::write_encoded_chunk`].
     pub fn write_chunk(
         &mut self,
         kind: ChunkKind,
         records: u64,
         payload: &[u8],
     ) -> Result<(), StoreError> {
-        let _span = csb_obs::span_cat("store.write_chunk", "store");
         debug_assert_eq!(payload.len(), records as usize * kind.record_width());
+        assert_eq!(
+            self.version, FORMAT_VERSION,
+            "v2 writers must tag every chunk's columns via write_encoded_chunk"
+        );
+        self.write_chunk_inner(kind, records, payload, Vec::new())
+    }
+
+    /// Appends one v2 chunk: per-column encoded bytes (concatenated in
+    /// schema order) plus their codec tags, as produced by
+    /// [`crate::codec::encode_chunk_columns`].
+    pub fn write_encoded_chunk(
+        &mut self,
+        kind: ChunkKind,
+        records: u64,
+        stored: &[u8],
+        columns: Vec<ColumnCodec>,
+    ) -> Result<(), StoreError> {
+        assert_eq!(self.version, FORMAT_VERSION_V2, "encoded chunks require a v2 file");
+        debug_assert_eq!(
+            columns.iter().map(|c| c.enc_len as u64).sum::<u64>(),
+            stored.len() as u64,
+            "column tags must tile the stored payload"
+        );
+        self.write_chunk_inner(kind, records, stored, columns)
+    }
+
+    fn write_chunk_inner(
+        &mut self,
+        kind: ChunkKind,
+        records: u64,
+        payload: &[u8],
+        columns: Vec<ColumnCodec>,
+    ) -> Result<(), StoreError> {
+        let _span = csb_obs::span_cat("store.write_chunk", "store");
         let crc = crc32(payload);
         let entry = ChunkEntry {
             kind,
@@ -88,6 +148,7 @@ impl<W: Write> StoreWriter<W> {
             offset: self.written,
             payload_len: payload.len() as u64,
             crc32: crc,
+            columns,
         };
         self.w.write_all(&CHUNK_MAGIC.to_le_bytes())?;
         self.w.write_all(&[kind.code(), 0, 0, 0])?;
@@ -107,13 +168,11 @@ impl<W: Write> StoreWriter<W> {
     /// by the reader.
     pub fn finish(mut self) -> Result<W, StoreError> {
         let footer_offset = self.written;
+        let mut footer = Vec::new();
         for c in &self.chunks {
-            self.w.write_all(&[c.kind.code(), 0, 0, 0])?;
-            self.w.write_all(&c.records.to_le_bytes())?;
-            self.w.write_all(&c.offset.to_le_bytes())?;
-            self.w.write_all(&c.payload_len.to_le_bytes())?;
-            self.w.write_all(&c.crc32.to_le_bytes())?;
+            c.encode_into(&mut footer, self.version);
         }
+        self.w.write_all(&footer)?;
         self.w.write_all(&(self.chunks.len() as u64).to_le_bytes())?;
         self.w.write_all(&footer_offset.to_le_bytes())?;
         self.w.write_all(&TRAILER_MAGIC)?;
