@@ -28,9 +28,14 @@ fn timing_row(table: &mut Table, t: &PhaseTimings) {
 
 fn main() {
     // Collect spans over the whole harness so the JSON carries a per-phase
-    // breakdown alongside the wall-clock PhaseTimings.
+    // breakdown alongside the wall-clock PhaseTimings, and sample /proc so
+    // the JSON carries the peak RSS of the run.
     csb_obs::reset();
     csb_obs::enable();
+    let sampler = csb_obs::Sampler::start(
+        csb_obs::recorder::current(),
+        std::time::Duration::from_millis(200),
+    );
     let seed = standard_seed();
     let target = (1_000_000.0 * scale()) as u64;
     let pgpba_cfg = PgpbaConfig { desired_size: target, fraction: 1.0, seed: 7 };
@@ -115,6 +120,10 @@ fn main() {
     );
     std::fs::remove_dir_all(&dir).ok();
 
+    let samples = sampler.stop();
+    let peak_rss = csb_obs::sampler::peak_rss_bytes(&samples);
+    let metrics = csb_obs::snapshot_metrics();
+    let enc_saved = metrics.counter("store.enc_bytes_saved").unwrap_or(0);
     csb_obs::disable();
     // Aggregate the collected spans per name: count + total busy time.
     let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
@@ -158,6 +167,8 @@ fn main() {
         .u64("store_write_edges", store_edges)
         .f64("store_write_secs", store_secs, 6)
         .f64("store_write_edges_per_sec", store_eps, 1)
+        .u64("peak_rss_bytes", peak_rss)
+        .u64("store_enc_bytes_saved", enc_saved)
         .raw("spans", &spans.finish());
     let mut json = root.finish();
     json.push('\n');

@@ -24,7 +24,7 @@ use std::time::Instant;
 /// Fields every `BENCH_veracity.json` must carry; CI checks the emitted
 /// file against this list, so keep it in sync with the schema note in
 /// crates/bench/src/lib.rs.
-const SCHEMA_FIELDS: [&str; 19] = [
+const SCHEMA_FIELDS: [&str; 21] = [
     "bench",
     "status",
     "scale",
@@ -44,6 +44,8 @@ const SCHEMA_FIELDS: [&str; 19] = [
     "pagerank",
     "peak_scratch_bytes",
     "scratch_bound_bytes",
+    "peak_rss_bytes",
+    "store_enc_bytes_saved",
 ];
 
 fn schema_check(json: &str) {
@@ -63,6 +65,10 @@ fn main() {
 
     csb_obs::reset();
     csb_obs::enable();
+    let sampler = csb_obs::Sampler::start(
+        csb_obs::recorder::current(),
+        std::time::Duration::from_millis(200),
+    );
     let peak_scratch = csb_obs::metrics::gauge("ooc.peak_scratch_bytes");
     let ooc_bytes = csb_obs::metrics::counter("ooc.bytes_read");
 
@@ -155,6 +161,9 @@ fn main() {
         eng(ooc_bytes.get() as f64),
     );
 
+    let samples = sampler.stop();
+    let peak_rss = csb_obs::sampler::peak_rss_bytes(&samples);
+    let enc_saved = csb_obs::snapshot_metrics().counter("store.enc_bytes_saved").unwrap_or(0);
     csb_obs::disable();
     let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
     for s in csb_obs::flush_spans() {
@@ -194,6 +203,8 @@ fn main() {
         .u64("peak_scratch_bytes", peak)
         .u64("scratch_bound_bytes", bound)
         .u64("ooc_bytes_read", ooc_bytes.get())
+        .u64("peak_rss_bytes", peak_rss)
+        .u64("store_enc_bytes_saved", enc_saved)
         .raw("spans", &spans.finish());
     let mut json = root.finish();
     json.push('\n');

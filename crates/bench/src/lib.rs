@@ -25,11 +25,16 @@
 //!   "attach_speedup":F,
 //!   "store_shards":N, "store_codec":S, "store_write_edges":N,
 //!   "store_write_secs":F, "store_write_edges_per_sec":F,
+//!   "peak_rss_bytes":N, "store_enc_bytes_saved":N,
 //!   "spans": { name: {"count":N, "total_micros":N}, ... } }
 //! ```
 //!
 //! The `store_*` fields time the same attach stream materialized straight
 //! into a sharded columnar-compressed store (one writer worker per shard).
+//! `peak_rss_bytes` is the largest `VmRSS` the background [`csb_obs::Sampler`]
+//! observed over the whole harness (0 on procfs-less platforms), and
+//! `store_enc_bytes_saved` is the `store.enc_bytes_saved` counter — raw
+//! minus encoded payload bytes across every columnar chunk written.
 //!
 //! `PhaseTimings` is [`csb_core::PhaseTimings::to_json`]; `spans` aggregates
 //! the csb-obs span stream per name. Provenance fields are best-effort:
@@ -58,8 +63,13 @@
 //!   "mem_secs":F, "ooc_secs":F,
 //!   "degree":F, "pagerank":F,
 //!   "peak_scratch_bytes":N, "scratch_bound_bytes":N, "ooc_bytes_read":N,
+//!   "peak_rss_bytes":N, "store_enc_bytes_saved":N,
 //!   "spans": { name: {"count":N, "total_micros":N}, ... } }
 //! ```
+//!
+//! `peak_rss_bytes` and `store_enc_bytes_saved` are as in
+//! `BENCH_materialize.json`: the sampler's RSS high-water mark and the
+//! columnar encoder's total payload savings for the synthetic shard set.
 //!
 //! `degree`/`pagerank` are printed with `{:e}` (shortest round-trip), so
 //! parsing them recovers the exact scores, which are asserted bit-identical

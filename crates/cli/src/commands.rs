@@ -36,6 +36,9 @@ pub fn run(args: &Args) -> Result<()> {
         "export" => export_cmd(args),
         "import" => import_cmd(args),
         "cluster-sim" => cluster_sim(args),
+        // `csb obs report FILE` arrives rewritten by main::normalize_obs.
+        "obs-report" => obs_report(args),
+        "obs" => Err(arg_err("usage: csb obs report TRACE [--top N] [--metrics FILE]")),
         other => Err(arg_err(format!("unknown command `{other}` (try `csb help`)"))),
     }
 }
@@ -135,20 +138,48 @@ fn generate(args: &Args) -> Result<()> {
         "kill-after-chunks",
         "shards",
         "codec",
+        "obs-listen",
+        "obs-linger-ms",
+        "progress",
+        "job-id",
     ])?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
-    // Instrumentation is collected only when an export was requested; the
-    // disabled path is a single relaxed atomic load per probe.
-    if trace_out.is_some() || metrics_out.is_some() {
+    let obs_listen = args.get("obs-listen");
+    let progress: bool = args.get_or("progress", false)?;
+    let obs_linger_ms: u64 = args.get_or("obs-linger-ms", 0)?;
+    let telemetry =
+        trace_out.is_some() || metrics_out.is_some() || obs_listen.is_some() || progress;
+    // Instrumentation is collected only when an export, the live endpoint,
+    // or the progress ticker was requested; the disabled path costs two
+    // relaxed atomic loads per probe. Telemetry never touches generator RNG
+    // streams, so --out bytes are identical with or without these flags.
+    if telemetry {
         csb_obs::reset();
         csb_obs::enable();
     }
+    let server = match obs_listen {
+        Some(addr) => {
+            let srv = csb_obs::ObsServer::serve(addr, csb_obs::recorder::current())
+                .map_err(|e| arg_err(format!("--obs-listen {addr}: {e}")))?;
+            // Machine-parseable: CI and scripts read the bound (possibly
+            // ephemeral) port from this line.
+            println!("obs: serving http://{}", srv.addr());
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            Some(srv)
+        }
+        None => None,
+    };
+    let sampler = telemetry.then(|| {
+        csb_obs::Sampler::start(csb_obs::recorder::current(), std::time::Duration::from_millis(500))
+    });
+    let ticker = progress.then(start_progress_ticker);
     let bundle = load_seed(args.require("seed-graph")?)?;
     let size: u64 = args.require_parsed("size")?;
     let out = args.require("out")?;
     let rng_seed: u64 = args.get_or("seed", 42)?;
-    let job = match args.require("algorithm")? {
+    let mut job = match args.require("algorithm")? {
         "pgpba" => {
             let fraction: f64 = args.get_or("fraction", 0.1)?;
             GenJob::pgpba(&bundle, PgpbaConfig { desired_size: size, fraction, seed: rng_seed })
@@ -156,6 +187,9 @@ fn generate(args: &Args) -> Result<()> {
         "pgsk" => GenJob::pgsk(&bundle, PgskConfig { seed: rng_seed, ..PgskConfig::new(size) }),
         other => return Err(arg_err(format!("unknown algorithm {other}"))),
     };
+    if let Some(id) = args.get("job-id") {
+        job = job.job_id(id);
+    }
     let shards: usize = args.get_or("shards", 1)?;
     let codec = match args.get("codec") {
         None => Compression::None,
@@ -206,7 +240,33 @@ fn generate(args: &Args) -> Result<()> {
             Some(graph)
         }
     };
-    if trace_out.is_some() || metrics_out.is_some() {
+    if let Some((stop, handle)) = ticker {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        handle.join().ok();
+        // One final line so short runs still show their end state.
+        eprintln!("{}", csb_obs::recorder::current().status().snapshot().ticker_line());
+    }
+    if let Some(s) = sampler {
+        let series = s.stop();
+        if telemetry && !series.is_empty() {
+            let peak = csb_obs::sampler::peak_rss_bytes(&series);
+            if peak > 0 {
+                csb_obs::obs_info!(
+                    "peak RSS {:.1} MiB over {} samples",
+                    peak as f64 / (1 << 20) as f64,
+                    series.len()
+                );
+            }
+        }
+    }
+    if let Some(srv) = server {
+        // Give scrapers a window to read the final /metrics and /status.
+        if obs_linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(obs_linger_ms));
+        }
+        srv.shutdown();
+    }
+    if telemetry {
         csb_obs::disable();
         // Instrumentation export is best-effort: a full disk at --trace-out
         // must not discard the generated graph that was already written.
@@ -231,6 +291,55 @@ fn generate(args: &Args) -> Result<()> {
             graph.vertex_count(),
             graph.edge_count()
         );
+    }
+    Ok(())
+}
+
+/// Spawns the `--progress` stderr ticker: a half-second heartbeat printing
+/// the current recorder's status line. Returns the stop flag and the handle.
+fn start_progress_ticker(
+) -> (std::sync::Arc<std::sync::atomic::AtomicBool>, std::thread::JoinHandle<()>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_in = Arc::clone(&stop);
+    let board = csb_obs::recorder::current().status();
+    let handle = std::thread::Builder::new()
+        .name("csb-progress".into())
+        .spawn(move || {
+            while !stop_in.load(Ordering::Relaxed) {
+                // Sleep in slices so the final line lands promptly.
+                for _ in 0..25 {
+                    if stop_in.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                eprintln!("{}", board.snapshot().ticker_line());
+            }
+        })
+        .expect("spawn progress ticker");
+    (stop, handle)
+}
+
+/// `csb obs report TRACE [--top N] [--metrics FILE]`: folds a span trace
+/// (Chrome trace-event JSON from `--trace-out`, or the events JSONL format)
+/// into a per-phase self-time table, optionally followed by the top counters
+/// of a `--metrics-out` summary.
+fn obs_report(args: &Args) -> Result<()> {
+    args.expect_only(&["trace", "top", "metrics"])?;
+    let path = args.require("trace")?;
+    let top: usize = args.get_or("top", 20)?;
+    let text = std::fs::read_to_string(path)?;
+    let spans = csb_obs::profile::parse_trace(&text)
+        .map_err(|e| arg_err(format!("{path}: not a trace file: {e}")))?;
+    let profile = csb_obs::profile::profile(&spans);
+    print!("{}", csb_obs::profile::render_report(&profile, top));
+    if let Some(mpath) = args.get("metrics") {
+        let mtext = std::fs::read_to_string(mpath)?;
+        let rows = csb_obs::profile::top_counters_from_summary(&mtext, 10)
+            .map_err(|e| arg_err(format!("{mpath}: {e}")))?;
+        print!("{}", csb_obs::profile::render_top_counters(&rows));
     }
     Ok(())
 }
@@ -563,6 +672,49 @@ mod tests {
         let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
         csb_obs::json::validate_json(&metrics).expect("metrics are valid JSON");
         assert!(metrics.contains("\"attach.edges\""), "attach counter exported");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_report_folds_a_generated_trace() {
+        let _guard = csb_obs::span::test_lock();
+        let dir = std::env::temp_dir().join(format!("csb-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let synth_path = dir.join("synth.graph").to_string_lossy().into_owned();
+        let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+        let metrics_path = dir.join("metrics.json").to_string_lossy().into_owned();
+
+        run(&args(&["simulate", "--out", &pcap, "--duration", "8", "--rate", "15"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "2000",
+            "--out",
+            &synth_path,
+            "--trace-out",
+            &trace_path,
+            "--metrics-out",
+            &metrics_path,
+            "--job-id",
+            "report-test",
+        ]))
+        .expect("generate with exports");
+
+        // The report command parses and folds the trace it just wrote, with
+        // and without the optional counters.
+        run(&args(&["obs-report", "--trace", &trace_path, "--top", "5"])).expect("report");
+        run(&args(&["obs-report", "--trace", &trace_path, "--metrics", &metrics_path]))
+            .expect("report with counters");
+        let err = run(&args(&["obs-report", "--trace", &seed_path])).expect_err("not a trace");
+        assert!(err.to_string().contains("trace"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,6 +28,8 @@ COMMANDS:
                  [--checkpoint-dir DIR] [--checkpoint-every CHUNKS=8]
                  [--resume true] [--kill-after-chunks N]
                  [--shards N=1] [--codec raw|columnar]
+                 [--obs-listen ADDR] [--obs-linger-ms MS=0]
+                 [--progress true] [--job-id ID]
                  (trace-out writes a Chrome trace-event JSON for Perfetto;
                  metrics-out writes the csb-obs counter/histogram summary;
                  checkpoint-dir writes --out in the binary csb-store format
@@ -38,7 +40,20 @@ COMMANDS:
                  shards > 1 splits the store across N files behind a
                  shard-set manifest written by parallel workers, and
                  codec columnar writes compressed format-v2 chunks —
-                 both imply the binary store format for --out)
+                 both imply the binary store format for --out;
+                 obs-listen serves live Prometheus text at GET /metrics and
+                 job progress JSON at GET /status on ADDR, e.g.
+                 127.0.0.1:9184, or port 0 for an ephemeral port printed as
+                 `obs: serving http://...`; obs-linger-ms keeps the endpoint
+                 up that long after the run so scrapers catch the final
+                 state; progress prints a one-line status ticker to stderr;
+                 job-id names the job in /status and the ticker)
+    obs          Inspect observability artifacts
+                 report TRACE [--top N=20] [--metrics FILE]
+                 (folds a trace written by --trace-out — Chrome JSON or
+                 events JSONL — into a per-phase self-time profile; with
+                 --metrics, also prints top counters from a --metrics-out
+                 summary)
     veracity     Score a synthetic graph against its seed
                  --seed-graph FILE --synthetic FILE
                  [--damping F=0.85] [--max-iters N=100] [--tolerance F]
@@ -65,8 +80,26 @@ unset).
 Run `csb <COMMAND>` with missing flags to see what is required.
 ";
 
+/// Rewrites the `obs` command family into flat subcommands the `--flag`-only
+/// parser accepts: `obs report TRACE ...` becomes `obs-report --trace TRACE
+/// ...`. Anything else passes through untouched (Args then reports the usage
+/// error).
+fn normalize_obs(raw: Vec<String>) -> Vec<String> {
+    if raw.first().map(String::as_str) != Some("obs") {
+        return raw;
+    }
+    match raw.get(1).map(String::as_str) {
+        Some("report") if raw.len() >= 3 && !raw[2].starts_with("--") => {
+            let mut out = vec!["obs-report".to_string(), "--trace".to_string(), raw[2].clone()];
+            out.extend(raw[3..].iter().cloned());
+            out
+        }
+        _ => raw,
+    }
+}
+
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = normalize_obs(std::env::args().skip(1).collect());
     if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
         print!("{USAGE}");
         return;
@@ -85,4 +118,36 @@ fn main() {
         },
     };
     std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::normalize_obs;
+
+    fn raw(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn obs_report_rewrites_to_a_flat_subcommand() {
+        assert_eq!(
+            normalize_obs(raw(&["obs", "report", "trace.json", "--top", "5"])),
+            raw(&["obs-report", "--trace", "trace.json", "--top", "5"])
+        );
+    }
+
+    #[test]
+    fn other_commands_pass_through() {
+        assert_eq!(
+            normalize_obs(raw(&["generate", "--size", "10"])),
+            raw(&["generate", "--size", "10"])
+        );
+        assert_eq!(normalize_obs(raw(&["obs"])), raw(&["obs"]));
+        // `obs report` with no positional stays as-is; Args then reports it.
+        assert_eq!(
+            normalize_obs(raw(&["obs", "report", "--top", "5"])),
+            raw(&["obs", "report", "--top", "5"])
+        );
+        assert_eq!(normalize_obs(raw(&[])), raw(&[]));
+    }
 }

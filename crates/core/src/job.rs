@@ -85,6 +85,14 @@ impl GenConfig {
         }
     }
 
+    /// Requested synthetic edge count.
+    pub fn desired_size(&self) -> u64 {
+        match self {
+            GenConfig::Pgpba(c) => c.desired_size,
+            GenConfig::Pgsk(c) => c.desired_size,
+        }
+    }
+
     /// Deterministic hash of every config field *except* the seed (the
     /// checkpoint identity records the seed separately). Two jobs with the
     /// same hash, generator, and seed produce the same record stream, which
@@ -153,6 +161,8 @@ pub struct GenJob<'a, 's> {
     output: Output<'s>,
     ckpt: CheckpointOpts,
     store_opts: StoreOpts,
+    recorder: Option<csb_obs::Recorder>,
+    job_id: Option<String>,
 }
 
 /// What a [`GenJob`] produced.
@@ -180,6 +190,8 @@ impl<'a, 's> GenJob<'a, 's> {
             output: Output::Memory,
             ckpt: CheckpointOpts::default(),
             store_opts: StoreOpts::default(),
+            recorder: None,
+            job_id: None,
         }
     }
 
@@ -196,6 +208,24 @@ impl<'a, 's> GenJob<'a, 's> {
     /// Records per-phase wall-clock timings into [`GenRun::timings`].
     pub fn timed(mut self) -> Self {
         self.timed = true;
+        self
+    }
+
+    /// Routes this job's telemetry (spans, metrics, live status) into `rec`
+    /// instead of the process-global recorder, so concurrent jobs never
+    /// cross-contaminate. The recorder is installed on the job thread for
+    /// the whole run and propagated into the shard writer threads and
+    /// parallel attach workers. Telemetry never touches generator RNG
+    /// streams: output is bit-identical with or without a recorder.
+    pub fn recorder(mut self, rec: csb_obs::Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Names the job on its status board (`GET /status`, `--progress`);
+    /// defaults to `<generator>-<master_seed, hex>`.
+    pub fn job_id(mut self, id: impl Into<String>) -> Self {
+        self.job_id = Some(id.into());
         self
     }
 
@@ -287,6 +317,7 @@ impl<'a, 's> GenJob<'a, 's> {
     /// Grows the topology (in-process or on the engine), returning it with
     /// the grow duration and any engine metrics.
     fn grow(&self) -> (Topology, Option<JobMetrics>, std::time::Duration) {
+        csb_obs::status::set_phase("grow");
         let t0 = Instant::now();
         match (&self.config, &self.distributed) {
             (GenConfig::Pgpba(cfg), None) => {
@@ -321,7 +352,18 @@ impl<'a, 's> GenJob<'a, 's> {
 
     /// Runs the job.
     pub fn run(self) -> Result<GenRun, CsbError> {
+        // The scoped recorder (if any) is current for the whole run; worker
+        // threads spawned below re-install it explicitly.
+        let _scope = self.recorder.clone().map(|r| r.install());
         let _span = csb_obs::span_cat("genjob.run", "gen");
+        let job_id = self.job_id.clone().unwrap_or_else(|| {
+            format!("{}-{:016x}", self.config.generator_name(), self.config.master_seed())
+        });
+        csb_obs::status::begin_job(
+            &job_id,
+            self.config.generator_name(),
+            self.config.desired_size(),
+        );
         if self.ckpt.kill_after_chunks.is_some() && self.ckpt.dir.is_none() {
             return Err(CsbError::Config(
                 "kill_after_chunks requires a checkpoint directory".into(),
@@ -333,11 +375,19 @@ impl<'a, 's> GenJob<'a, 's> {
                 "checkpoint/resume apply only to store-backed runs (use .store(path))".into(),
             ));
         }
-        match self.output {
+        let result = match self.output {
             Output::Memory => self.run_memory(),
             Output::Sink(_) => self.run_sink(),
             Output::Store(_) => self.run_store(),
+        };
+        match &result {
+            Ok(run) => {
+                csb_obs::status::note_edges(run.edges);
+                csb_obs::status::finish();
+            }
+            Err(_) => csb_obs::status::set_phase("failed"),
         }
+        result
     }
 
     fn run_memory(self) -> Result<GenRun, CsbError> {
@@ -345,6 +395,7 @@ impl<'a, 's> GenJob<'a, 's> {
         // original timed implementations (PGSK reports grow and inflate
         // separately, which the generic grow() cannot observe).
         if self.timed && self.distributed.is_none() {
+            csb_obs::status::set_phase("grow");
             let (g, timings) = match &self.config {
                 GenConfig::Pgpba(cfg) => crate::pgpba::pgpba_timed(self.seed, cfg),
                 GenConfig::Pgsk(cfg) => crate::pgsk::pgsk_timed(self.seed, cfg),
@@ -355,6 +406,7 @@ impl<'a, 's> GenJob<'a, 's> {
         let generator = self.config.generator_name();
         let (topo, metrics, grow) = self.grow();
         let (ips, attach_seed) = self.attach_params();
+        csb_obs::status::set_phase("attach");
         let t1 = Instant::now();
         let g = attach_properties(&topo, &self.seed.analysis.properties, &ips, attach_seed);
         let attach = t1.elapsed();
@@ -371,6 +423,7 @@ impl<'a, 's> GenJob<'a, 's> {
         let (topo, metrics, grow) = self.grow();
         let (ips, attach_seed) = self.attach_params();
         let Output::Sink(sink) = self.output else { unreachable!("run_sink on non-sink output") };
+        csb_obs::status::set_phase("attach");
         let t1 = Instant::now();
         let edges = attach_properties_to_sink(
             &topo,
@@ -405,6 +458,7 @@ impl<'a, 's> GenJob<'a, 's> {
                 Ok(run) => return Ok(run),
                 Err(e) if e.is_transient() && checkpointing && attempt < retry.max_retries => {
                     csb_obs::counter_add("job.restarts", 1);
+                    csb_obs::status::note_restart();
                     csb_obs::obs_info!(
                         "{generator} store run failed transiently ({e}); resuming from the last \
                          checkpoint (restart {})",
@@ -440,6 +494,7 @@ impl<'a, 's> GenJob<'a, 's> {
         let (topo, metrics, grow) = self.grow();
         let (ips, attach_seed) = self.attach_params();
         let model = &self.seed.analysis.properties;
+        csb_obs::status::set_phase("attach");
 
         let shards = self.store_opts.shards;
         let compression = self.store_opts.compression;

@@ -42,6 +42,7 @@ pub fn attach_properties_to_sink<S: EdgeSink + ?Sized>(
     if first_chunk > 0 {
         sink.note_skipped_edges((first_chunk * ATTACH_CHUNK) as u64);
         csb_obs::counter_add("resume.chunks_skipped", first_chunk as u64);
+        csb_obs::status::note_resume_skip(first_chunk as u64);
     }
     for chunk_idx in first_chunk..edge_count.div_ceil(ATTACH_CHUNK) {
         let _chunk = csb_obs::span_cat("attach.chunk", "gen");

@@ -110,10 +110,15 @@ pub fn attach_properties(
     // One deterministic RNG stream per fixed-size chunk of edges: the stream
     // layout (and thus the output) is independent of the worker count. Each
     // chunk opens its own span on whichever worker thread runs it, so the
-    // trace shows the materialization fan-out per worker.
+    // trace shows the materialization fan-out per worker. Rayon pool threads
+    // do not inherit the caller's recorder scope, so it is captured here and
+    // re-installed per chunk — a scoped job's chunk spans land on its own
+    // recorder, not the global one.
+    let recorder = csb_obs::recorder::current();
     let props: Vec<csb_graph::EdgeProperties> = (0..edge_count.div_ceil(ATTACH_CHUNK))
         .into_par_iter()
         .flat_map_iter(|chunk_idx| {
+            let _scope = recorder.clone().install();
             let _chunk = csb_obs::span_cat("attach.chunk", "gen");
             let mut rng = rng_for(seed, 0x9_0000_0000 + chunk_idx as u64);
             let len = ATTACH_CHUNK.min(edge_count - chunk_idx * ATTACH_CHUNK);

@@ -52,24 +52,31 @@ impl ThreadPool {
         }
         let cursor = AtomicUsize::new(0);
         let base = partitions.as_mut_ptr() as usize;
+        // Workers do not inherit the caller's recorder scope; re-install it
+        // so scoped-job partition spans land on the job's own recorder.
+        let recorder = csb_obs::recorder::current();
         thread::scope(|s| {
             for _ in 0..workers {
                 let cursor = &cursor;
                 let f = &f;
-                s.spawn(move |_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                let recorder = recorder.clone();
+                s.spawn(move |_| {
+                    let _obs_scope = recorder.install();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: each index i is claimed exactly once via the
+                        // atomic counter, so no two threads alias the same
+                        // element; the scope guarantees the slice outlives the
+                        // workers.
+                        let item = unsafe { &mut *(base as *mut T).add(i) };
+                        // Per-partition span on the claiming worker's thread, so
+                        // a trace shows how partitions spread over the pool.
+                        let _part = csb_obs::span_cat("engine.partition", "engine");
+                        f(i, item);
                     }
-                    // SAFETY: each index i is claimed exactly once via the
-                    // atomic counter, so no two threads alias the same
-                    // element; the scope guarantees the slice outlives the
-                    // workers.
-                    let item = unsafe { &mut *(base as *mut T).add(i) };
-                    // Per-partition span on the claiming worker's thread, so
-                    // a trace shows how partitions spread over the pool.
-                    let _part = csb_obs::span_cat("engine.partition", "engine");
-                    f(i, item);
                 });
             }
         })

@@ -53,8 +53,10 @@ pub fn events_jsonl(spans: &[SpanRecord]) -> String {
 }
 
 /// Serializes a metrics snapshot as one JSON object:
-/// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,buckets}}}`.
-/// Histogram buckets serialize sparsely as `[[bucket_index, count], ...]`.
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,p50,p90,p99,buckets}}}`.
+/// Histogram buckets serialize sparsely as `[[bucket_index, count], ...]`;
+/// the quantiles are log₂-bucket interpolated estimates
+/// (see [`crate::metrics::HistogramSnapshot::quantile`]).
 pub fn metrics_summary_json(snap: &MetricsSnapshot) -> String {
     let mut counters = JsonObject::new();
     for &(name, v) in &snap.counters {
@@ -77,6 +79,9 @@ pub fn metrics_summary_json(snap: &MetricsSnapshot) -> String {
         o.u64("count", h.count)
             .u64("sum", h.sum)
             .f64("mean", h.mean(), 3)
+            .f64("p50", h.p50(), 3)
+            .f64("p90", h.p90(), 3)
+            .f64("p99", h.p99(), 3)
             .raw("log2_buckets", &buckets);
         histograms.raw(name, &o.finish());
     }
@@ -250,5 +255,7 @@ mod tests {
         assert!(s.contains("\"edges\":100"));
         assert!(s.contains("\"depth\":-2"));
         assert!(s.contains("\"log2_buckets\":[[0,2],[10,1]]"));
+        assert!(s.contains("\"p50\":"), "summary must carry quantile estimates");
+        assert!(s.contains("\"p99\":"));
     }
 }

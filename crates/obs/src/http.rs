@@ -1,0 +1,224 @@
+//! A zero-dependency HTTP endpoint over `std::net::TcpListener` serving one
+//! recorder's live telemetry:
+//!
+//! * `GET /metrics` — Prometheus text exposition (see [`crate::promtext`])
+//! * `GET /status`  — live job status as JSON (see [`crate::status`])
+//! * `GET /`        — a plain-text index of the above
+//!
+//! One accept-loop thread, one connection at a time, `Connection: close`
+//! semantics — deliberately minimal: the consumers are a Prometheus scraper
+//! and `curl` during a run, not a web tier. Shutdown wakes the accept loop
+//! with a self-connection so no platform-specific socket teardown is needed.
+
+use crate::recorder::Recorder;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running telemetry endpoint; dropping it shuts the server
+/// down (prefer calling [`ObsServer::shutdown`] to also join the thread).
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+    /// `recorder`'s telemetry until shutdown.
+    pub fn serve(addr: &str, recorder: Recorder) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in = Arc::clone(&stop);
+        let handle = std::thread::Builder::new().name("csb-obs-http".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if stop_in.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // Per-connection errors (slow, hung-up clients) only
+                    // affect that client; the endpoint keeps serving.
+                    let _ = handle_conn(stream, &recorder);
+                }
+            }
+        })?;
+        Ok(ObsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, recorder: &Recorder) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the end of the request head; everything we route on sits in
+    // the first line, so a body (which GET has no business sending) is moot.
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let first = head.lines().next().unwrap_or_default();
+    let mut parts = first.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let path = path.split('?').next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = crate::promtext::prometheus_text(&recorder.snapshot_metrics());
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/status" => {
+            let mut body = recorder.status().snapshot().to_json();
+            body.push('\n');
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain",
+            "csb live telemetry\n\nGET /metrics  Prometheus text exposition\nGET /status   job status JSON\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_status_index_and_404() {
+        let _l = crate::span::test_lock();
+        let rec = Recorder::new();
+        rec.counter("test.http.hits").add(3);
+        rec.histogram("test.http.lat").record(12);
+        rec.status().begin_job("http-job", "pgpba", 42);
+        let server = ObsServer::serve("127.0.0.1:0", rec).expect("bind");
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"));
+        crate::promtext::validate_prometheus_text(&body).expect("exposition must validate");
+        assert!(body.contains("csb_test_http_hits 3"));
+        assert!(body.contains("csb_test_http_lat{quantile=\"0.5\"}"));
+
+        let (head, body) = http_get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        crate::json::validate_json(body.trim()).expect("status must be JSON");
+        assert!(body.contains("\"job_id\":\"http-job\""));
+
+        let (head, body) = http_get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("/metrics"));
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_reflect_live_updates_between_requests() {
+        let _l = crate::span::test_lock();
+        let rec = Recorder::new();
+        let c = rec.counter("test.http.live");
+        let server = ObsServer::serve("127.0.0.1:0", rec).expect("bind");
+        c.add(1);
+        let (_, body1) = http_get(server.addr(), "/metrics");
+        c.add(9);
+        let (_, body2) = http_get(server.addr(), "/metrics");
+        assert!(body1.contains("csb_test_http_live 1"), "{body1}");
+        assert!(body2.contains("csb_test_http_live 10"), "{body2}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_frees_the_port() {
+        let rec = Recorder::new();
+        let server = ObsServer::serve("127.0.0.1:0", rec).expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        // The listener is gone: a fresh bind to the same port succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port must be released after shutdown");
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let rec = Recorder::new();
+        let server = ObsServer::serve("127.0.0.1:0", rec).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+}

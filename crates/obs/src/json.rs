@@ -273,6 +273,205 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
 }
 
+/// A parsed JSON value. Numbers are `f64` (exact for the integer ranges the
+/// exporters emit, up to 2⁵³); object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number
+    Num(f64),
+    /// A string (escapes decoded)
+    Str(String),
+    /// An array
+    Arr(Vec<JsonValue>),
+    /// An object, in document order
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload truncated to `u64`, if a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one JSON value (RFC 8259, same grammar as
+/// [`validate_json`]) into a [`JsonValue`] tree. Used by the span-profile
+/// reader to load traces without a parser dependency.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    let v = build_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn build_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => build_object(b, pos),
+        Some(b'[') => build_array(b, pos),
+        Some(b'"') => build_string(b, pos).map(JsonValue::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>().map(JsonValue::Num).map_err(|e| e.to_string())
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+    }
+}
+
+fn build_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?;
+    // Contents between the quotes, escapes still encoded.
+    let raw = std::str::from_utf8(&b[start + 1..*pos - 1]).map_err(|e| e.to_string())?;
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{0008}'),
+            Some('f') => out.push('\u{000C}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let cp = u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
+                // Decode surrogate pairs; the validator already guaranteed
+                // four hex digits per escape.
+                let decoded = if (0xD800..0xDC00).contains(&cp) {
+                    let (bs, u2) = (chars.next(), chars.next());
+                    if bs != Some('\\') || u2 != Some('u') {
+                        return Err("lone high surrogate".into());
+                    }
+                    let hex2: String = chars.by_ref().take(4).collect();
+                    let lo = u32::from_str_radix(&hex2, 16).map_err(|e| e.to_string())?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err("bad low surrogate".into());
+                    }
+                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    cp
+                };
+                out.push(char::from_u32(decoded).unwrap_or('\u{FFFD}'));
+            }
+            _ => return Err("bad escape".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn build_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    let mut fields = Vec::new();
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = build_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        fields.push((key, build_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn build_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    let mut items = Vec::new();
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(build_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +547,44 @@ mod tests {
         let s = array_of(vec!["1".to_string(), "{\"a\":2}".to_string()]);
         assert_eq!(s, "[1,{\"a\":2}]");
         validate_json(&s).unwrap();
+    }
+
+    #[test]
+    fn parser_builds_value_trees() {
+        let v = parse_json("{\"a\":[1,2.5,-3e2],\"b\":{\"c\":null,\"d\":true},\"s\":\"x\"}")
+            .expect("must parse");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_decodes_escapes() {
+        let v = parse_json("\"a\\\"b\\\\c\\nd\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndé😀"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "01", "{}{}", "\"\\ud800x\""] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut o = JsonObject::new();
+        o.str("name", "a\"b\nc").u64("n", 42).f64("f", 0.5, 3);
+        let s = o.finish();
+        let v = parse_json(&s).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("a\"b\nc"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(0.5));
     }
 }

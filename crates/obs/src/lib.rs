@@ -1,17 +1,27 @@
 //! # csb-obs
 //!
 //! Zero-dependency observability for the generation pipeline: scoped spans
-//! with thread-local buffers, a global registry of atomic counters / gauges /
-//! log₂-bucketed histograms, leveled stderr events (`CSB_LOG`), and three
-//! exporters — Chrome trace-event JSON (loadable in Perfetto / `chrome://
-//! tracing`), a JSONL event stream, and a metrics-summary JSON object.
+//! with thread-local buffers, per-recorder registries of atomic counters /
+//! gauges / log₂-bucketed histograms, a live status board, leveled stderr
+//! events (`CSB_LOG`), a background `/proc` resource [`Sampler`], a
+//! Prometheus-text [`ObsServer`] HTTP endpoint, a span-profile aggregator,
+//! and three exporters — Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`), a JSONL event stream, and a metrics-summary JSON
+//! object.
+//!
+//! Telemetry routes through [`Recorder`]s. The process-global default
+//! recorder carries everything emitted outside a [`Recorder::install`]
+//! scope, which is exactly the old single-registry behavior; scoped
+//! recorders give concurrent jobs disjoint telemetry (see the
+//! [`recorder`] module).
 //!
 //! The collector is **off by default**. Every instrumentation point first
-//! performs a single relaxed atomic load ([`enabled`]); when the collector is
-//! disabled that load is the entire cost, so instrumented hot paths run at
-//! effectively uninstrumented speed. Instrumentation never participates in
-//! generator RNG streams, so output graphs are bit-identical with the
-//! collector on or off.
+//! performs at most two relaxed atomic loads ([`enabled`]); when nothing in
+//! the process is recording those loads are the entire cost, so
+//! instrumented hot paths run at effectively uninstrumented speed.
+//! Instrumentation never participates in generator RNG streams, so output
+//! graphs are bit-identical with the collector on or off — and with
+//! telemetry scoped or global.
 //!
 //! ```
 //! csb_obs::enable();
@@ -29,45 +39,49 @@
 
 pub mod event;
 pub mod export;
+pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod promtext;
+pub mod recorder;
+pub mod sampler;
 pub mod span;
+pub mod status;
 
+pub use http::ObsServer;
 pub use metrics::{counter_add, gauge_set, histogram_record, snapshot_metrics, MetricsSnapshot};
+pub use recorder::{Recorder, RecorderScope};
+pub use sampler::Sampler;
 pub use span::{flush_spans, span, span_cat, SpanGuard, SpanRecord};
+pub use status::{StatusBoard, StatusSnapshot};
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
-/// Global collector switch. Relaxed ordering is deliberate: the flag gates
-/// *whether* data is recorded, not *what* is recorded, and the flush path
-/// synchronizes through the buffer mutexes.
-static COLLECT: AtomicBool = AtomicBool::new(false);
-
-/// Turns the collector on. Spans and metric updates issued from now on are
-/// recorded; the first call also pins the trace epoch (timestamp zero).
+/// Turns the **global** recorder on. Spans and metric updates issued outside
+/// any scope from now on are recorded; the first call also pins the trace
+/// epoch (timestamp zero).
 pub fn enable() {
-    span::epoch();
-    COLLECT.store(true, Ordering::Relaxed);
+    Recorder::global().enable();
 }
 
-/// Turns the collector off. Spans already buffered stay buffered until
-/// [`flush_spans`] or [`reset`].
+/// Turns the global recorder off. Spans already buffered stay buffered until
+/// [`flush_spans`] or [`reset`]. Scoped recorders are unaffected.
 pub fn disable() {
-    COLLECT.store(false, Ordering::Relaxed);
+    Recorder::global().disable();
 }
 
-/// Whether the collector is recording — one relaxed load, the whole cost of
-/// the disabled path.
+/// Whether anything in the process could be recording — the global recorder
+/// is enabled or some thread has a recorder scope installed. At most two
+/// relaxed loads; the whole cost of the disabled path.
 #[inline(always)]
 pub fn enabled() -> bool {
-    COLLECT.load(Ordering::Relaxed)
+    recorder::gate()
 }
 
-/// Discards all buffered spans and zeroes every registered metric. Intended
-/// for tests and for back-to-back runs in one process.
+/// Discards all buffered spans and zeroes every registered metric of the
+/// current recorder (the global default outside any scope). Intended for
+/// tests and for back-to-back runs in one process.
 pub fn reset() {
-    span::clear();
-    metrics::clear();
+    recorder::current().reset();
 }
 
 #[cfg(test)]
@@ -77,7 +91,7 @@ mod tests {
     #[test]
     fn disabled_by_default_records_nothing() {
         // Note: tests in this crate that toggle the global collector are
-        // serialized through `span::tests::GLOBAL_LOCK`.
+        // serialized through `span::test_lock`.
         let _l = span::test_lock();
         disable();
         reset();

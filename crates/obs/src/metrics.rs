@@ -1,8 +1,11 @@
-//! Global metrics registry: named atomic counters, gauges, and
-//! log₂-bucketed histograms. Handles are `Arc`s into the registry, so the
-//! per-update cost after the first lookup is a single atomic RMW; the
-//! convenience free functions ([`counter_add`] and friends) look the name up
-//! each call and are for cold-to-warm paths, not per-record inner loops.
+//! Metrics: named atomic counters, gauges, and log₂-bucketed histograms in
+//! a per-recorder registry (see [`crate::recorder`]). Handles are `Arc`s
+//! into the registry, so the per-update cost after the first lookup is a
+//! single atomic RMW; the convenience free functions ([`counter_add`] and
+//! friends) look the name up each call and are for cold-to-warm paths, not
+//! per-record inner loops. The free functions and [`counter`]-style handle
+//! getters resolve the *current* recorder — the innermost installed scope on
+//! the calling thread, else the global default.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -117,61 +120,141 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by rank walk over the log₂
+    /// buckets with linear interpolation inside the landing bucket. The
+    /// bucket bound makes the estimate exact to within a factor of 2 in the
+    /// worst case and to a few percent for spread-out distributions.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i >= 63 { u64::MAX as f64 } else { (1u64 << (i + 1)) as f64 };
+                let frac = (target - cum) as f64 / c as f64;
+                return lo + frac * (hi - lo);
+            }
+            cum += c;
+        }
+        u64::MAX as f64
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
-/// The registry: name → metric. `BTreeMap` so snapshots and exports are
-/// deterministically ordered.
+/// A registry: name → metric. `BTreeMap` so snapshots and exports are
+/// deterministically ordered. Each [`crate::Recorder`] owns one.
 #[derive(Debug, Default)]
-struct Registry {
+pub(crate) struct Registry {
+    inner: Mutex<Maps>,
+}
+
+#[derive(Debug, Default)]
+struct Maps {
     counters: BTreeMap<&'static str, Arc<Counter>>,
     gauges: BTreeMap<&'static str, Arc<Gauge>>,
     histograms: BTreeMap<&'static str, Arc<Histogram>>,
 }
 
-static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+impl Registry {
+    pub(crate) fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(self.inner.lock().counters.entry(name).or_default())
+    }
 
-fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
-    let mut guard = REGISTRY.lock();
-    f(guard.get_or_insert_with(Registry::default))
+    pub(crate) fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(self.inner.lock().gauges.entry(name).or_default())
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(self.inner.lock().histograms.entry(name).or_default())
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.lock();
+        MetricsSnapshot {
+            counters: m.counters.iter().map(|(&n, c)| (n, c.get())).collect(),
+            gauges: m.gauges.iter().map(|(&n, g)| (n, g.get())).collect(),
+            histograms: m.histograms.iter().map(|(&n, h)| (n, h.snapshot())).collect(),
+        }
+    }
+
+    /// Zeroes every registered metric (handles stay valid) and forgets
+    /// names that have no outstanding handles.
+    pub(crate) fn clear(&self) {
+        let mut m = self.inner.lock();
+        for c in m.counters.values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for g in m.gauges.values() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for h in m.histograms.values() {
+            h.clear();
+        }
+        m.counters.retain(|_, c| Arc::strong_count(c) > 1);
+        m.gauges.retain(|_, g| Arc::strong_count(g) > 1);
+        m.histograms.retain(|_, h| Arc::strong_count(h) > 1);
+    }
 }
 
-/// Registers (or fetches) a counter handle. Hold the handle across a hot
-/// loop to skip the name lookup per update.
+/// Registers (or fetches) a counter handle in the current recorder. Hold the
+/// handle across a hot loop to skip the name lookup per update.
 pub fn counter(name: &'static str) -> Arc<Counter> {
-    with_registry(|r| Arc::clone(r.counters.entry(name).or_default()))
+    crate::recorder::current().counter(name)
 }
 
-/// Registers (or fetches) a gauge handle.
+/// Registers (or fetches) a gauge handle in the current recorder.
 pub fn gauge(name: &'static str) -> Arc<Gauge> {
-    with_registry(|r| Arc::clone(r.gauges.entry(name).or_default()))
+    crate::recorder::current().gauge(name)
 }
 
-/// Registers (or fetches) a histogram handle.
+/// Registers (or fetches) a histogram handle in the current recorder.
 pub fn histogram(name: &'static str) -> Arc<Histogram> {
-    with_registry(|r| Arc::clone(r.histograms.entry(name).or_default()))
+    crate::recorder::current().histogram(name)
 }
 
-/// Adds to a named counter when the collector is enabled.
+/// Adds to a named counter when the current recorder is recording.
 #[inline]
 pub fn counter_add(name: &'static str, v: u64) {
-    if crate::enabled() {
-        counter(name).add(v);
+    if let Some(r) = crate::recorder::recording() {
+        r.counter(name).add(v);
     }
 }
 
-/// Sets a named gauge when the collector is enabled.
+/// Sets a named gauge when the current recorder is recording.
 #[inline]
 pub fn gauge_set(name: &'static str, v: i64) {
-    if crate::enabled() {
-        gauge(name).set(v);
+    if let Some(r) = crate::recorder::recording() {
+        r.gauge(name).set(v);
     }
 }
 
-/// Records into a named histogram when the collector is enabled.
+/// Records into a named histogram when the current recorder is recording.
 #[inline]
 pub fn histogram_record(name: &'static str, v: u64) {
-    if crate::enabled() {
-        histogram(name).record(v);
+    if let Some(r) = crate::recorder::recording() {
+        r.histogram(name).record(v);
     }
 }
 
@@ -186,32 +269,21 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(&'static str, HistogramSnapshot)>,
 }
 
-/// Snapshots the whole registry.
-pub fn snapshot_metrics() -> MetricsSnapshot {
-    with_registry(|r| MetricsSnapshot {
-        counters: r.counters.iter().map(|(&n, c)| (n, c.get())).collect(),
-        gauges: r.gauges.iter().map(|(&n, g)| (n, g.get())).collect(),
-        histograms: r.histograms.iter().map(|(&n, h)| (n, h.snapshot())).collect(),
-    })
+impl MetricsSnapshot {
+    /// Value of a named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Value of a named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
 }
 
-/// Zeroes every registered metric (handles stay valid) and forgets names
-/// that have no outstanding handles.
-pub(crate) fn clear() {
-    with_registry(|r| {
-        for c in r.counters.values() {
-            c.0.store(0, Ordering::Relaxed);
-        }
-        for g in r.gauges.values() {
-            g.0.store(0, Ordering::Relaxed);
-        }
-        for h in r.histograms.values() {
-            h.clear();
-        }
-        r.counters.retain(|_, c| Arc::strong_count(c) > 1);
-        r.gauges.retain(|_, g| Arc::strong_count(g) > 1);
-        r.histograms.retain(|_, h| Arc::strong_count(h) > 1);
-    });
+/// Snapshots the current recorder's whole registry.
+pub fn snapshot_metrics() -> MetricsSnapshot {
+    crate::recorder::current().snapshot_metrics()
 }
 
 #[cfg(test)]
@@ -243,6 +315,55 @@ mod tests {
         assert_eq!(s.buckets[1], 2);
         assert_eq!(s.buckets[10], 2);
         assert!((s.mean() - 411.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log₂-bucket interpolation lands within ~10% on a uniform spread.
+        assert!((s.p50() - 500.0).abs() / 500.0 < 0.10, "p50={}", s.p50());
+        assert!((s.p90() - 900.0).abs() / 900.0 < 0.10, "p90={}", s.p90());
+        assert!((s.p99() - 990.0).abs() / 990.0 < 0.10, "p99={}", s.p99());
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+    }
+
+    #[test]
+    fn quantiles_on_constant_distribution_stay_in_bucket() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99] {
+            let est = s.quantile(q);
+            // Bucket [4, 8) bounds the worst-case error at 2×.
+            assert!((4.0..=8.0).contains(&est), "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() < 20.0, "p50={}", s.p50());
+        assert!(s.p99() > 60_000.0, "p99={}", s.p99());
+        assert_eq!(s.quantile(0.0), s.quantile(0.0).max(0.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Span-profile aggregation: folds a flat span list (as exported to Chrome
+//! trace JSON or the JSONL event stream) into a per-phase table of count,
+//! total time, and *self* time — total minus the time spent inside child
+//! spans on the same thread — so `csb obs report trace.json` answers "where
+//! did the run actually go" without eyeballing a raw trace.
+
+use crate::json::{parse_json, JsonValue};
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A span as read back from a trace file (names owned, unlike
+/// [`crate::SpanRecord`] whose names are `&'static str`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedSpan {
+    /// Span name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Start offset, microseconds.
+    pub start_micros: u64,
+    /// Duration, microseconds.
+    pub dur_micros: u64,
+    /// Thread id.
+    pub thread: u64,
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Span name.
+    pub name: String,
+    /// Category (of the first occurrence).
+    pub cat: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Sum of wall-clock durations, microseconds.
+    pub total_micros: u64,
+    /// Sum of self time (duration minus same-thread children), microseconds.
+    pub self_micros: u64,
+}
+
+/// A whole profile: per-name rows plus run-level aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Rows sorted by self time, descending.
+    pub phases: Vec<PhaseStats>,
+    /// Last span end minus first span start, microseconds.
+    pub wall_micros: u64,
+    /// Sum of all self times (can exceed wall on multi-threaded runs).
+    pub self_sum_micros: u64,
+    /// Spans profiled.
+    pub span_count: u64,
+    /// Distinct threads seen.
+    pub threads: u64,
+}
+
+/// Computes per-name total/self times. Self time assumes the spans on one
+/// thread nest properly (RAII guards guarantee that at capture time);
+/// overlap is clipped to the parent, so malformed input degrades gracefully
+/// instead of going negative.
+pub fn profile(spans: &[OwnedSpan]) -> Profile {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    // Within a thread: by start, and for equal starts the longer span is
+    // the parent, so it must come first.
+    order.sort_by_key(|&i| (spans[i].thread, spans[i].start_micros, Reverse(spans[i].dur_micros)));
+    let mut self_micros: Vec<i64> = spans.iter().map(|s| s.dur_micros as i64).collect();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut cur_thread = None;
+    let end = |i: usize| spans[i].start_micros + spans[i].dur_micros;
+    for &i in &order {
+        if cur_thread != Some(spans[i].thread) {
+            cur_thread = Some(spans[i].thread);
+            stack.clear();
+        }
+        while let Some(&top) = stack.last() {
+            if end(top) <= spans[i].start_micros {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&parent) = stack.last() {
+            let overlap = end(i).min(end(parent)).saturating_sub(spans[i].start_micros);
+            self_micros[parent] -= overlap as i64;
+        }
+        stack.push(i);
+    }
+    let mut by_name: BTreeMap<&str, PhaseStats> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let row = by_name.entry(&s.name).or_insert_with(|| PhaseStats {
+            name: s.name.clone(),
+            cat: s.cat.clone(),
+            count: 0,
+            total_micros: 0,
+            self_micros: 0,
+        });
+        row.count += 1;
+        row.total_micros += s.dur_micros;
+        row.self_micros += self_micros[i].max(0) as u64;
+    }
+    let mut phases: Vec<PhaseStats> = by_name.into_values().collect();
+    phases.sort_by_key(|p| (Reverse(p.self_micros), p.name.clone()));
+    let wall_micros = match (
+        spans.iter().map(|s| s.start_micros).min(),
+        spans.iter().map(|s| s.start_micros + s.dur_micros).max(),
+    ) {
+        (Some(lo), Some(hi)) => hi - lo,
+        _ => 0,
+    };
+    Profile {
+        self_sum_micros: phases.iter().map(|p| p.self_micros).sum(),
+        span_count: spans.len() as u64,
+        threads: {
+            let mut t: Vec<u64> = spans.iter().map(|s| s.thread).collect();
+            t.sort_unstable();
+            t.dedup();
+            t.len() as u64
+        },
+        phases,
+        wall_micros,
+    }
+}
+
+fn span_from_fields(
+    v: &JsonValue,
+    name_key: &str,
+    start_key: &str,
+    dur_key: &str,
+    tid_key: &str,
+) -> Option<OwnedSpan> {
+    Some(OwnedSpan {
+        name: v.get(name_key)?.as_str()?.to_string(),
+        cat: v.get("cat").and_then(JsonValue::as_str).unwrap_or("").to_string(),
+        start_micros: v.get(start_key)?.as_u64()?,
+        dur_micros: v.get(dur_key)?.as_u64()?,
+        thread: v.get(tid_key).and_then(JsonValue::as_u64).unwrap_or(0),
+    })
+}
+
+/// Loads spans from trace text: either Chrome trace JSON (an object with a
+/// `traceEvents` array, or a bare event array — only `ph:"X"` complete
+/// events are read) or the JSONL event stream (`"event":"span"` lines).
+/// Format is auto-detected from the first non-space byte and line count.
+pub fn parse_trace(text: &str) -> Result<Vec<OwnedSpan>, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("empty trace".into());
+    }
+    // A single JSON document spanning the whole input = Chrome trace; a
+    // lone `{"event":"span",...}` object falls through to the JSONL path.
+    if let Ok(doc) = parse_json(trimmed) {
+        let events = match &doc {
+            JsonValue::Obj(_) if doc.get("traceEvents").is_some() => Some(
+                doc.get("traceEvents")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("traceEvents must be an array")?,
+            ),
+            JsonValue::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        };
+        if let Some(events) = events {
+            return Ok(events
+                .iter()
+                .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+                .filter_map(|e| span_from_fields(e, "name", "ts", "dur", "tid"))
+                .collect());
+        }
+    }
+    let mut spans = Vec::new();
+    for (i, line) in trimmed.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("event").and_then(JsonValue::as_str) != Some("span") {
+            continue;
+        }
+        spans.extend(span_from_fields(&v, "name", "start_micros", "dur_micros", "thread"));
+    }
+    if spans.is_empty() {
+        return Err("no span events found in trace".into());
+    }
+    Ok(spans)
+}
+
+fn fmt_ms(micros: u64) -> String {
+    format!("{:.3}", micros as f64 / 1000.0)
+}
+
+/// Renders the profile as an aligned text table, largest self time first,
+/// truncated to `top` rows (0 = all), with a wall-clock coverage footer.
+pub fn render_report(p: &Profile, top: usize) -> String {
+    let shown: &[PhaseStats] =
+        if top == 0 || top >= p.phases.len() { &p.phases } else { &p.phases[..top] };
+    let name_w = shown.iter().map(|r| r.name.len()).chain([4]).max().unwrap().min(48);
+    let cat_w = shown.iter().map(|r| r.cat.len()).chain([3]).max().unwrap().min(12);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "span profile — {} spans on {} thread{}, wall {} ms",
+        p.span_count,
+        p.threads,
+        if p.threads == 1 { "" } else { "s" },
+        fmt_ms(p.wall_micros)
+    );
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:<cat_w$}  {:>8}  {:>12}  {:>12}  {:>6}",
+        "NAME", "CAT", "COUNT", "TOTAL(ms)", "SELF(ms)", "SELF%"
+    );
+    for r in shown {
+        let pct = if p.wall_micros > 0 {
+            100.0 * r.self_micros as f64 / p.wall_micros as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:<cat_w$}  {:>8}  {:>12}  {:>12}  {:>5.1}%",
+            &r.name[..r.name.len().min(48)],
+            &r.cat[..r.cat.len().min(12)],
+            r.count,
+            fmt_ms(r.total_micros),
+            fmt_ms(r.self_micros),
+            pct
+        );
+    }
+    if shown.len() < p.phases.len() {
+        let _ = writeln!(out, "… and {} more span name(s)", p.phases.len() - shown.len());
+    }
+    let coverage = if p.wall_micros > 0 {
+        100.0 * p.self_sum_micros as f64 / p.wall_micros as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "self-time total: {} ms ({coverage:.1}% of wall-clock)",
+        fmt_ms(p.self_sum_micros)
+    );
+    out
+}
+
+/// Extracts the top `n` counters (by value, descending) from a metrics
+/// summary JSON document, as written by `generate --metrics-out`.
+pub fn top_counters_from_summary(json: &str, n: usize) -> Result<Vec<(String, u64)>, String> {
+    let doc = parse_json(json)?;
+    let counters = match doc.get("counters") {
+        Some(JsonValue::Obj(fields)) => fields,
+        _ => return Err("summary has no counters object".into()),
+    };
+    let mut rows: Vec<(String, u64)> =
+        counters.iter().filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n))).collect();
+    rows.sort_by_key(|(name, v)| (Reverse(*v), name.clone()));
+    rows.truncate(n);
+    Ok(rows)
+}
+
+/// Renders the top-counter rows as an aligned table.
+pub fn render_top_counters(rows: &[(String, u64)]) -> String {
+    let name_w = rows.iter().map(|(n, _)| n.len()).chain([7]).max().unwrap().min(48);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_w$}  {:>14}", "COUNTER", "VALUE");
+    for (name, v) in rows {
+        let _ = writeln!(out, "{:<name_w$}  {:>14}", &name[..name.len().min(48)], v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str, start: u64, dur: u64, thread: u64) -> OwnedSpan {
+        OwnedSpan {
+            name: name.to_string(),
+            cat: "t".to_string(),
+            start_micros: start,
+            dur_micros: dur,
+            thread,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_children() {
+        // parent [0,100) with children [10,30) and [40,90); grandchild [50,60).
+        let spans = vec![
+            s("parent", 0, 100, 1),
+            s("child", 10, 20, 1),
+            s("child", 40, 50, 1),
+            s("grand", 50, 10, 1),
+        ];
+        let p = profile(&spans);
+        let get = |n: &str| p.phases.iter().find(|r| r.name == n).unwrap().clone();
+        assert_eq!(get("parent").self_micros, 100 - 20 - 50);
+        assert_eq!(get("child").self_micros, 20 + 50 - 10);
+        assert_eq!(get("grand").self_micros, 10);
+        assert_eq!(p.wall_micros, 100);
+        // Proper nesting: self times partition the covered wall-clock.
+        assert_eq!(p.self_sum_micros, 100);
+        assert_eq!(p.span_count, 4);
+    }
+
+    #[test]
+    fn threads_do_not_shadow_each_other() {
+        let spans = vec![s("a", 0, 100, 1), s("b", 10, 50, 2)];
+        let p = profile(&spans);
+        // Different threads: b is NOT a child of a.
+        assert!(p.phases.iter().all(|r| r.self_micros == r.total_micros));
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.self_sum_micros, 150);
+    }
+
+    #[test]
+    fn equal_start_longer_span_is_the_parent() {
+        let spans = vec![s("outer", 0, 100, 1), s("inner", 0, 40, 1)];
+        let p = profile(&spans);
+        let outer = p.phases.iter().find(|r| r.name == "outer").unwrap();
+        assert_eq!(outer.self_micros, 60);
+    }
+
+    #[test]
+    fn parses_chrome_trace_round_trip() {
+        let recs = vec![
+            crate::SpanRecord {
+                name: "grow",
+                cat: "gen",
+                start_micros: 0,
+                dur_micros: 50,
+                thread: 0,
+            },
+            crate::SpanRecord {
+                name: "attach.chunk",
+                cat: "gen",
+                start_micros: 10,
+                dur_micros: 20,
+                thread: 0,
+            },
+        ];
+        let json = crate::export::chrome_trace_json(&recs);
+        let spans = parse_trace(&json).expect("chrome trace parses");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "grow");
+        assert_eq!(spans[1].start_micros, 10);
+        assert_eq!(spans[1].cat, "gen");
+    }
+
+    #[test]
+    fn parses_jsonl_round_trip() {
+        let recs = vec![crate::SpanRecord {
+            name: "veracity.pagerank",
+            cat: "veracity",
+            start_micros: 5,
+            dur_micros: 7,
+            thread: 3,
+        }];
+        let jsonl = crate::export::events_jsonl(&recs);
+        let spans = parse_trace(&jsonl).expect("jsonl parses");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].thread, 3);
+        assert_eq!(spans[0].dur_micros, 7);
+    }
+
+    #[test]
+    fn parse_trace_rejects_garbage() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("not json at all").is_err());
+        assert!(parse_trace("{\"noTraceEvents\":[]}").is_err(), "no span events anywhere");
+    }
+
+    #[test]
+    fn single_line_jsonl_still_parses() {
+        let line = "{\"event\":\"span\",\"name\":\"solo\",\"cat\":\"t\",\
+                    \"start_micros\":1,\"dur_micros\":2,\"thread\":0}";
+        let spans = parse_trace(line).expect("one-line jsonl parses");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "solo");
+    }
+
+    #[test]
+    fn report_mentions_phases_and_coverage() {
+        let spans = vec![s("grow", 0, 1000, 0), s("attach", 1000, 3000, 0)];
+        let report = render_report(&profile(&spans), 0);
+        assert!(report.contains("grow"));
+        assert!(report.contains("attach"));
+        assert!(report.contains("wall 4.000 ms"));
+        assert!(report.contains("(100.0% of wall-clock)"), "{report}");
+    }
+
+    #[test]
+    fn report_truncates_to_top_n() {
+        let spans: Vec<OwnedSpan> =
+            (0..10).map(|i| s(&format!("phase{i}"), i * 10, 5, 0)).collect();
+        let report = render_report(&profile(&spans), 3);
+        assert!(report.contains("… and 7 more"));
+    }
+
+    #[test]
+    fn top_counters_sorted_descending() {
+        let json = "{\"counters\":{\"a\":5,\"b\":50,\"c\":7},\"gauges\":{},\"histograms\":{}}";
+        let rows = top_counters_from_summary(json, 2).unwrap();
+        assert_eq!(rows, vec![("b".to_string(), 50), ("c".to_string(), 7)]);
+        let table = render_top_counters(&rows);
+        assert!(table.contains("b") && table.contains("50"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`], plus a strict-enough validator the endpoint smoke
+//! checker uses. Counters and gauges map directly; log₂-bucketed histograms
+//! are exposed as summaries with `quantile="0.5|0.9|0.99"` sample lines and
+//! the exact `_sum` / `_count` pair.
+//!
+//! Metric names are sanitized into the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every non-alphanumeric byte becomes `_`
+//! and everything gets a `csb_` namespace prefix, so `store.bytes_written`
+//! exports as `csb_store_bytes_written`.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps an internal dotted metric name onto the Prometheus grammar.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("csb_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format. Deterministic:
+/// metrics appear in name order within each kind (counters, gauges, then
+/// histograms-as-summaries).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for &(name, v) in &snap.counters {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for &(name, v) in &snap.gauges {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, est) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", fmt_f64(est));
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line `name[{labels}] value` and checks each part.
+fn check_sample(line: &str) -> Result<String, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unclosed label set")?;
+            if close < brace {
+                return Err("unclosed label set".into());
+            }
+            let labels = &line[brace + 1..close];
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or_else(|| format!("bad label {pair:?}"))?;
+                if !is_valid_name(k.trim()) {
+                    return Err(format!("bad label name {k:?}"));
+                }
+                let v = v.trim();
+                if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                    return Err(format!("label value {v:?} must be quoted"));
+                }
+            }
+            (&line[..brace], &line[close + 1..])
+        }
+        None => {
+            let sp = line.find(' ').ok_or("sample without value")?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    if !is_valid_name(name_part) {
+        return Err(format!("bad metric name {name_part:?}"));
+    }
+    let mut fields = rest.split_whitespace();
+    let value = fields.next().ok_or("sample without value")?;
+    if value.parse::<f64>().is_err() && !matches!(value, "NaN" | "+Inf" | "-Inf") {
+        return Err(format!("bad sample value {value:?}"));
+    }
+    // An optional trailing timestamp is allowed by the format.
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("bad timestamp {ts:?}"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err("trailing garbage after sample".into());
+    }
+    Ok(name_part.to_string())
+}
+
+/// Validates Prometheus text exposition: every non-comment line must be a
+/// well-formed sample, every sample's base name must have a preceding
+/// `# TYPE` declaration (allowing `_sum`/`_count`/`_bucket` suffixes for
+/// summary/histogram families), and at least one sample must be present.
+/// Errors carry the 1-based line number.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {lineno}: TYPE without name"))?;
+            let kind = parts.next().ok_or(format!("line {lineno}: TYPE without kind"))?;
+            if !is_valid_name(name) {
+                return Err(format!("line {lineno}: bad metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(format!("line {lineno}: unknown type {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free-form comment
+        }
+        let name = check_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let base = ["_sum", "_count", "_bucket"]
+            .iter()
+            .find_map(|suf| line_base(&name, suf, &types))
+            .unwrap_or(name.clone());
+        if !types.contains_key(&base) {
+            return Err(format!("line {lineno}: sample {name} has no TYPE declaration"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples".into());
+    }
+    Ok(())
+}
+
+fn line_base(name: &str, suffix: &str, types: &BTreeMap<String, String>) -> Option<String> {
+    let base = name.strip_suffix(suffix)?;
+    types.contains_key(base).then(|| base.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, MetricsSnapshot};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let h = Histogram::default();
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        MetricsSnapshot {
+            counters: vec![("attach.edges", 1234), ("store.bytes_written", 99)],
+            gauges: vec![("proc.rss_bytes", 5_000_000)],
+            histograms: vec![("store.write_micros", h.snapshot())],
+        }
+    }
+
+    #[test]
+    fn renders_sanitized_names_and_families() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE csb_attach_edges counter\ncsb_attach_edges 1234\n"));
+        assert!(text.contains("# TYPE csb_proc_rss_bytes gauge\ncsb_proc_rss_bytes 5000000\n"));
+        assert!(text.contains("# TYPE csb_store_write_micros summary"));
+        assert!(text.contains("csb_store_write_micros{quantile=\"0.5\"}"));
+        assert!(text.contains("csb_store_write_micros{quantile=\"0.99\"}"));
+        assert!(text.contains("csb_store_write_micros_sum 1500"));
+        assert!(text.contains("csb_store_write_micros_count 4"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn rendered_text_validates() {
+        validate_prometheus_text(&prometheus_text(&sample_snapshot())).expect("must validate");
+    }
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(sanitize_name("store.bytes_written"), "csb_store_bytes_written");
+        assert_eq!(sanitize_name("a-b/c"), "csb_a_b_c");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        for (bad, why) in [
+            ("", "empty"),
+            ("csb_x 1\n", "sample without TYPE"),
+            ("# TYPE csb_x counter\n", "no samples"),
+            ("# TYPE csb_x widget\ncsb_x 1\n", "unknown type"),
+            ("# TYPE csb_x counter\ncsb_x one\n", "bad value"),
+            ("# TYPE 9bad counter\n9bad 1\n", "bad name"),
+            ("# TYPE csb_x counter\n# TYPE csb_x counter\ncsb_x 1\n", "duplicate TYPE"),
+            ("# TYPE csb_x summary\ncsb_x{quantile=0.5} 1\n", "unquoted label"),
+        ] {
+            assert!(validate_prometheus_text(bad).is_err(), "{why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_suffixed_summary_samples_and_timestamps() {
+        let text = "# HELP csb_s a summary\n# TYPE csb_s summary\n\
+                    csb_s{quantile=\"0.5\"} 4.5\ncsb_s_sum 10\ncsb_s_count 2\n\
+                    # TYPE csb_t counter\ncsb_t 7 1712345678\n";
+        validate_prometheus_text(text).expect("must validate");
+    }
+
+    #[test]
+    fn quantile_values_are_finite_and_ordered_in_output() {
+        let snap = sample_snapshot();
+        let (_, h) = &snap.histograms[0];
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+        let text = prometheus_text(&snap);
+        for line in text.lines().filter(|l| l.contains("quantile=")) {
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v.is_finite() && v > 0.0, "{line}");
+        }
+    }
+}

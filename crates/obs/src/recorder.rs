@@ -1,0 +1,352 @@
+//! Scoped recorders: per-job telemetry state (metrics registry, span
+//! buffers, status board) behind a cheap cloneable handle, so two concurrent
+//! jobs in one process never cross-contaminate.
+//!
+//! The process-global registry that predates this module is simply the
+//! *default* recorder: every existing free function (`counter_add`,
+//! `flush_spans`, `snapshot_metrics`, ...) now resolves the **current**
+//! recorder — the innermost [`Recorder::install`] scope on the calling
+//! thread, falling back to [`Recorder::global`] when none is installed — so
+//! code written against the old global API keeps working unchanged.
+//!
+//! ```
+//! let rec = csb_obs::Recorder::new();
+//! {
+//!     let _scope = rec.install();
+//!     csb_obs::counter_add("scoped.items", 2);
+//!     let _g = csb_obs::span("scoped.work");
+//! }
+//! assert_eq!(rec.snapshot_metrics().counters, vec![("scoped.items", 2)]);
+//! assert_eq!(rec.flush_spans().len(), 1);
+//! // The global recorder saw none of it.
+//! assert!(!csb_obs::enabled());
+//! ```
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use crate::span::SpanRecord;
+use crate::status::StatusBoard;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Per-recorder span sink: the live buffers of threads that have recorded
+/// into this recorder, plus spans flushed from threads that have exited.
+#[derive(Debug, Default)]
+pub(crate) struct SpanSink {
+    pub(crate) live: Mutex<Vec<Arc<Mutex<Vec<SpanRecord>>>>>,
+    pub(crate) completed: Mutex<Vec<SpanRecord>>,
+}
+
+#[derive(Debug)]
+pub(crate) struct RecorderInner {
+    id: u64,
+    pub(crate) enabled: AtomicBool,
+    metrics: Registry,
+    spans: SpanSink,
+    status: StatusBoard,
+}
+
+/// A self-contained telemetry sink: metrics registry + span buffers + live
+/// status board. Cloning is an `Arc` bump; clones share state. Recorders
+/// created with [`Recorder::new`] start enabled; the global default recorder
+/// starts disabled and is toggled by [`crate::enable`] / [`crate::disable`].
+#[derive(Debug, Clone)]
+pub struct Recorder(pub(crate) Arc<RecorderInner>);
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+/// Count of installed scopes across all threads — part of the fast gate:
+/// when zero and the global recorder is disabled, instrumentation costs two
+/// relaxed loads and nothing more.
+static SCOPES: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+thread_local! {
+    /// Stack of installed recorders on this thread; innermost wins.
+    static CURRENT: RefCell<Vec<Recorder>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    fn with_enabled(enabled: bool) -> Recorder {
+        Recorder(Arc::new(RecorderInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(enabled),
+            metrics: Registry::default(),
+            spans: SpanSink::default(),
+            status: StatusBoard::default(),
+        }))
+    }
+
+    /// A fresh, enabled recorder with empty state.
+    pub fn new() -> Recorder {
+        crate::span::epoch();
+        Self::with_enabled(true)
+    }
+
+    /// The process-global default recorder — the sink for all telemetry
+    /// emitted outside any [`Recorder::install`] scope.
+    pub fn global() -> &'static Recorder {
+        GLOBAL.get_or_init(|| Self::with_enabled(false))
+    }
+
+    /// Stable id, unique within the process.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Starts recording into this recorder.
+    pub fn enable(&self) {
+        crate::span::epoch();
+        self.0.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording. Buffered spans/metrics stay until flushed or reset.
+    pub fn disable(&self) {
+        self.0.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether this recorder is accepting records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Makes this recorder current on the calling thread until the returned
+    /// scope drops. Scopes nest; the innermost wins. The scope is neither
+    /// `Send` nor `Sync` — install separately on each worker thread (clone
+    /// the recorder into the thread and install there).
+    pub fn install(&self) -> RecorderScope {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        SCOPES.fetch_add(1, Ordering::Relaxed);
+        RecorderScope { _not_send: PhantomData }
+    }
+
+    /// Registers (or fetches) a counter in this recorder's registry.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.0.metrics.counter(name)
+    }
+
+    /// Registers (or fetches) a gauge in this recorder's registry.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        self.0.metrics.gauge(name)
+    }
+
+    /// Registers (or fetches) a histogram in this recorder's registry.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.0.metrics.histogram(name)
+    }
+
+    /// Snapshots this recorder's metrics, sorted by name.
+    pub fn snapshot_metrics(&self) -> MetricsSnapshot {
+        self.0.metrics.snapshot()
+    }
+
+    /// This recorder's live status board (cloneable handle).
+    pub fn status(&self) -> StatusBoard {
+        self.0.status.clone()
+    }
+
+    /// Drains every buffered span — from live threads and from threads that
+    /// have since exited — sorted by start time.
+    pub fn flush_spans(&self) -> Vec<SpanRecord> {
+        let mut out = std::mem::take(&mut *self.0.spans.completed.lock());
+        for buf in self.0.spans.live.lock().iter() {
+            out.append(&mut buf.lock());
+        }
+        out.sort_by_key(|s| (s.start_micros, s.thread));
+        out
+    }
+
+    /// Number of live (thread-attached) span buffers — a diagnostic for the
+    /// thread-exit flush path: buffers deregister when their thread dies.
+    pub fn live_span_buffers(&self) -> usize {
+        self.0.spans.live.lock().len()
+    }
+
+    /// Discards buffered spans and zeroes every metric (metric handles stay
+    /// valid; names with no outstanding handles are forgotten).
+    pub fn reset(&self) {
+        self.0.spans.completed.lock().clear();
+        for buf in self.0.spans.live.lock().iter() {
+            buf.lock().clear();
+        }
+        self.0.metrics.clear();
+        self.0.status.reset();
+    }
+
+    pub(crate) fn register_live_buffer(&self, buf: &Arc<Mutex<Vec<SpanRecord>>>) {
+        self.0.spans.live.lock().push(Arc::clone(buf));
+    }
+
+    /// Thread-exit path: move a dying thread's spans into `completed` and
+    /// drop its buffer from the live list, so spans survive the thread and
+    /// the live list does not grow without bound.
+    pub(crate) fn adopt_thread_buffer(&self, buf: &Arc<Mutex<Vec<SpanRecord>>>) {
+        let mut drained = std::mem::take(&mut *buf.lock());
+        self.0.spans.completed.lock().append(&mut drained);
+        self.0.spans.live.lock().retain(|b| !Arc::ptr_eq(b, buf));
+    }
+
+    pub(crate) fn push_completed(&self, s: SpanRecord) {
+        self.0.spans.completed.lock().push(s);
+    }
+}
+
+/// RAII guard from [`Recorder::install`]; restores the previous current
+/// recorder on drop.
+#[must_use = "the recorder is only current while the scope guard is alive"]
+#[derive(Debug)]
+pub struct RecorderScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for RecorderScope {
+    fn drop(&mut self) {
+        SCOPES.fetch_sub(1, Ordering::Relaxed);
+        // The thread-local may already be torn down during thread exit.
+        let _ = CURRENT.try_with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The recorder telemetry on this thread routes to: the innermost installed
+/// scope, else the global default. Public so pipeline code can capture it
+/// before handing work to pool/worker threads (which do not inherit scopes)
+/// and re-[`Recorder::install`] it inside the worker closure.
+pub fn current() -> Recorder {
+    CURRENT
+        .try_with(|c| c.borrow().last().cloned())
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| Recorder::global().clone())
+}
+
+/// Fast instrumentation gate: true when anything in the process could be
+/// recording — the global recorder is enabled, or any thread has a scope
+/// installed. Two relaxed loads; the entire disabled-path cost.
+#[inline(always)]
+pub(crate) fn gate() -> bool {
+    SCOPES.load(Ordering::Relaxed) != 0
+        || GLOBAL.get().is_some_and(|r| r.0.enabled.load(Ordering::Relaxed))
+}
+
+/// The recorder to record into right now, or `None` when the current
+/// recorder is disabled (or nothing in the process is recording).
+#[inline]
+pub(crate) fn recording() -> Option<Recorder> {
+    if !gate() {
+        return None;
+    }
+    let r = current();
+    if r.is_enabled() {
+        Some(r)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_recorder_is_isolated_from_global() {
+        let _l = crate::span::test_lock();
+        crate::reset();
+        crate::disable();
+        let rec = Recorder::new();
+        {
+            let _scope = rec.install();
+            crate::counter_add("test.rec.iso", 11);
+            let _g = crate::span("test.rec.span");
+        }
+        // Outside the scope, with the global recorder disabled, nothing lands.
+        crate::counter_add("test.rec.iso", 100);
+        assert_eq!(rec.snapshot_metrics().counters, vec![("test.rec.iso", 11)]);
+        assert_eq!(rec.flush_spans().len(), 1);
+        assert!(crate::snapshot_metrics().counters.is_empty());
+        assert!(crate::flush_spans().is_empty());
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let _l = crate::span::test_lock();
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        let _o = outer.install();
+        crate::counter_add("test.nest", 1);
+        {
+            let _i = inner.install();
+            crate::counter_add("test.nest", 10);
+        }
+        crate::counter_add("test.nest", 2);
+        assert_eq!(outer.snapshot_metrics().counters, vec![("test.nest", 3)]);
+        assert_eq!(inner.snapshot_metrics().counters, vec![("test.nest", 10)]);
+    }
+
+    #[test]
+    fn disabled_scoped_recorder_records_nothing() {
+        let _l = crate::span::test_lock();
+        let rec = Recorder::new();
+        rec.disable();
+        let _scope = rec.install();
+        crate::counter_add("test.rec.off", 1);
+        let _g = crate::span("test.rec.off");
+        drop(_g);
+        assert!(rec.snapshot_metrics().counters.is_empty());
+        assert!(rec.flush_spans().is_empty());
+    }
+
+    #[test]
+    fn recorder_propagates_into_spawned_threads_by_install() {
+        let _l = crate::span::test_lock();
+        let rec = Recorder::new();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let _scope = rec.install();
+                    crate::counter_add("test.rec.worker", i + 1);
+                    let _g = crate::span("test.rec.worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.snapshot_metrics().counters, vec![("test.rec.worker", 6)]);
+        assert_eq!(rec.flush_spans().len(), 3);
+    }
+
+    #[test]
+    fn spans_survive_thread_exit_and_buffers_deregister() {
+        // Regression: spans recorded by a worker thread must outlive the
+        // thread, and the dead thread's buffer must leave the live list.
+        let _l = crate::span::test_lock();
+        let rec = Recorder::new();
+        let before = rec.live_span_buffers();
+        for _ in 0..8 {
+            let r = rec.clone();
+            std::thread::spawn(move || {
+                let _scope = r.install();
+                let _g = crate::span("test.rec.dying");
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(
+            rec.live_span_buffers(),
+            before,
+            "dead threads' buffers must deregister, not accumulate"
+        );
+        // All 8 spans were flushed into `completed` on thread exit.
+        assert_eq!(rec.flush_spans().len(), 8);
+    }
+}

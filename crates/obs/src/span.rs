@@ -1,9 +1,15 @@
 //! Scoped spans: RAII guards that record name, category, start offset,
-//! duration, and thread id into a thread-local buffer. Buffers register
-//! themselves with a global sink on first use, so [`flush_spans`] can drain
-//! every thread's records without any per-span cross-thread traffic.
+//! duration, and thread id into a thread-local buffer. Each thread keeps one
+//! buffer per recorder it has recorded into; buffers register themselves
+//! with the owning recorder on first use, so a flush can drain every
+//! thread's records without any per-span cross-thread traffic. When a thread
+//! exits, its buffers flush into the recorder and deregister — spans from
+//! short-lived worker threads survive, and the live-buffer list stays
+//! bounded by the number of *running* threads.
 
+use crate::recorder::Recorder;
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -30,18 +36,52 @@ pub(crate) fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Registry of every thread's span buffer.
-static SINK: Mutex<Vec<Arc<Mutex<Vec<SpanRecord>>>>> = Mutex::new(Vec::new());
+/// Microseconds since the trace epoch — the shared clock for spans, the
+/// sampler's series, and the status board.
+pub(crate) fn now_micros() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
 
 /// Next dense thread id.
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
+/// This thread's buffer into one recorder. Dropping (at thread exit) flushes
+/// the remaining spans into the recorder and deregisters the buffer.
+struct LocalBuf {
+    rec: Recorder,
+    buf: Arc<Mutex<Vec<SpanRecord>>>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.rec.adopt_thread_buffer(&self.buf);
+    }
+}
+
 thread_local! {
-    static LOCAL: (Arc<Mutex<Vec<SpanRecord>>>, u64) = {
-        let buf = Arc::new(Mutex::new(Vec::new()));
-        SINK.lock().push(Arc::clone(&buf));
-        (buf, NEXT_THREAD.fetch_add(1, Ordering::Relaxed))
-    };
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// One entry per recorder this thread has recorded into (almost always
+    /// one); linear scan beats a map at that size.
+    static LOCAL: RefCell<Vec<LocalBuf>> = const { RefCell::new(Vec::new()) };
+}
+
+fn push_record(rec: &Recorder, record: SpanRecord) {
+    let pushed = LOCAL.try_with(|cell| {
+        let mut bufs = cell.borrow_mut();
+        match bufs.iter().find(|lb| lb.rec.id() == rec.id()) {
+            Some(lb) => lb.buf.lock().push(record.clone()),
+            None => {
+                let buf = Arc::new(Mutex::new(vec![record.clone()]));
+                rec.register_live_buffer(&buf);
+                bufs.push(LocalBuf { rec: rec.clone(), buf });
+            }
+        }
+    });
+    if pushed.is_err() {
+        // Thread-local storage already torn down (a span dropped during
+        // thread exit): hand the record straight to the recorder.
+        rec.push_completed(record);
+    }
 }
 
 /// RAII span guard: records on drop. A disabled collector yields an inert
@@ -49,17 +89,16 @@ thread_local! {
 #[must_use = "a span measures the scope it is bound to; an unbound guard drops immediately"]
 #[derive(Debug)]
 pub struct SpanGuard {
-    live: Option<(&'static str, &'static str, Instant)>,
+    live: Option<(&'static str, &'static str, Instant, Recorder)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((name, cat, start)) = self.live.take() {
+        if let Some((name, cat, start, rec)) = self.live.take() {
             let dur_micros = start.elapsed().as_micros() as u64;
             let start_micros = start.duration_since(epoch()).as_micros() as u64;
-            LOCAL.with(|(buf, tid)| {
-                buf.lock().push(SpanRecord { name, cat, start_micros, dur_micros, thread: *tid });
-            });
+            let thread = THREAD_ID.try_with(|t| *t).unwrap_or(u64::MAX);
+            push_record(&rec, SpanRecord { name, cat, start_micros, dur_micros, thread });
         }
     }
 }
@@ -71,33 +110,22 @@ pub fn span(name: &'static str) -> SpanGuard {
 }
 
 /// Opens a span with an explicit category (the Chrome trace `cat` field,
-/// which Perfetto uses for filtering).
+/// which Perfetto uses for filtering). The span binds to the recorder that
+/// is current when it *opens*.
 #[inline]
 pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
-    if crate::enabled() {
-        SpanGuard { live: Some((name, cat, Instant::now())) }
-    } else {
-        SpanGuard { live: None }
+    match crate::recorder::recording() {
+        Some(rec) => SpanGuard { live: Some((name, cat, Instant::now(), rec)) },
+        None => SpanGuard { live: None },
     }
 }
 
-/// Drains every thread's buffered spans, sorted by start time. Spans from
-/// threads that have exited are still drained: the sink keeps each buffer
-/// alive independently of its thread.
+/// Drains every buffered span of the current recorder (the global default
+/// when no scope is installed), sorted by start time. Spans from threads
+/// that have exited were flushed into the recorder at thread exit and are
+/// included.
 pub fn flush_spans() -> Vec<SpanRecord> {
-    let mut out = Vec::new();
-    for buf in SINK.lock().iter() {
-        out.append(&mut buf.lock());
-    }
-    out.sort_by_key(|s| (s.start_micros, s.thread));
-    out
-}
-
-/// Discards all buffered spans.
-pub(crate) fn clear() {
-    for buf in SINK.lock().iter() {
-        buf.lock().clear();
-    }
+    crate::recorder::current().flush_spans()
 }
 
 /// Serializes tests that toggle the process-global collector.
@@ -166,6 +194,27 @@ mod tests {
         crate::disable();
         assert_eq!(flush_spans().len(), 1);
         assert!(flush_spans().is_empty(), "flush must drain");
+        crate::reset();
+    }
+
+    #[test]
+    fn global_live_buffers_do_not_leak_across_thread_exits() {
+        // Regression for span loss / buffer leak on worker-thread exit: the
+        // global recorder's live list must not grow by one per dead thread.
+        let _l = test_lock();
+        crate::reset();
+        crate::enable();
+        let before = crate::Recorder::global().live_span_buffers();
+        for _ in 0..16 {
+            std::thread::spawn(|| {
+                let _g = span("short.lived");
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(crate::Recorder::global().live_span_buffers(), before);
+        crate::disable();
+        assert_eq!(flush_spans().len(), 16, "spans outlive their threads");
         crate::reset();
     }
 }

@@ -1,0 +1,340 @@
+//! Live job status: a small mutex-guarded board per recorder that the
+//! generation pipeline updates at its natural progress points (phase
+//! changes, chunk closes, checkpoint barriers, resume skips, retries). The
+//! HTTP endpoint's `GET /status` and the CLI `--progress` ticker read
+//! point-in-time snapshots of it.
+//!
+//! The free functions in this module route through the *current* recorder
+//! (innermost installed scope, else the global default) and are no-ops when
+//! nothing is recording, so instrumented call sites stay cheap and never
+//! perturb generator output.
+
+use crate::json::JsonObject;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct StatusInner {
+    job_id: String,
+    generator: String,
+    phase: String,
+    target_edges: u64,
+    edges_done: u64,
+    chunks_closed: u64,
+    chunks_durable: u64,
+    barriers: u64,
+    resume_chunks_skipped: u64,
+    retries: u64,
+    restarts: u64,
+    done: bool,
+    started_micros: Option<u64>,
+    updated_micros: u64,
+}
+
+/// Cloneable handle to one recorder's status board.
+#[derive(Debug, Clone, Default)]
+pub struct StatusBoard(Arc<Mutex<StatusInner>>);
+
+/// A point-in-time copy of the status board.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Job identifier (caller-chosen or derived from generator + seed).
+    pub job_id: String,
+    /// Generator name (`"pgpba"`, `"pgsk"`).
+    pub generator: String,
+    /// Current phase (`"grow"`, `"attach"`, `"done"`, ...).
+    pub phase: String,
+    /// Requested synthetic edge count.
+    pub target_edges: u64,
+    /// Edges materialized so far (updated at completion for in-memory runs).
+    pub edges_done: u64,
+    /// Store chunks closed (written to their file) so far.
+    pub chunks_closed: u64,
+    /// Chunks made durable by the last checkpoint barrier.
+    pub chunks_durable: u64,
+    /// Checkpoint barriers written.
+    pub barriers: u64,
+    /// Chunks skipped on resume (already durable from a previous attempt).
+    pub resume_chunks_skipped: u64,
+    /// Transient-failure retries observed.
+    pub retries: u64,
+    /// Whole-job restarts (checkpointed retry loop).
+    pub restarts: u64,
+    /// Whether the job has finished.
+    pub done: bool,
+    /// Microseconds from trace epoch to job start, if a job began.
+    pub started_micros: Option<u64>,
+    /// Microseconds from trace epoch to the last update.
+    pub updated_micros: u64,
+}
+
+impl StatusSnapshot {
+    /// Renders the snapshot as a JSON object (the `GET /status` body).
+    pub fn to_json(&self) -> String {
+        let now = crate::span::now_micros();
+        let mut o = JsonObject::new();
+        o.str("job_id", &self.job_id);
+        o.str("generator", &self.generator);
+        o.str("phase", &self.phase);
+        o.u64("target_edges", self.target_edges);
+        o.u64("edges_done", self.edges_done);
+        o.u64("chunks_closed", self.chunks_closed);
+        o.u64("chunks_durable", self.chunks_durable);
+        o.u64("checkpoint_barriers", self.barriers);
+        o.u64("resume_chunks_skipped", self.resume_chunks_skipped);
+        o.u64("retries", self.retries);
+        o.u64("restarts", self.restarts);
+        o.raw("done", if self.done { "true" } else { "false" });
+        match self.started_micros {
+            Some(s) => o.f64("uptime_secs", now.saturating_sub(s) as f64 / 1e6, 3),
+            None => o.raw("uptime_secs", "null"),
+        };
+        o.f64("update_age_secs", now.saturating_sub(self.updated_micros) as f64 / 1e6, 3);
+        o.finish()
+    }
+
+    /// A one-line progress summary for the `--progress` stderr ticker.
+    pub fn ticker_line(&self) -> String {
+        let mut line = format!(
+            "[{}] {} edges {}/{}",
+            if self.phase.is_empty() { "idle" } else { &self.phase },
+            if self.job_id.is_empty() { "-" } else { &self.job_id },
+            self.edges_done,
+            self.target_edges
+        );
+        if self.chunks_closed > 0 || self.chunks_durable > 0 {
+            line.push_str(&format!(
+                " chunks {} durable {} barriers {}",
+                self.chunks_closed, self.chunks_durable, self.barriers
+            ));
+        }
+        if self.resume_chunks_skipped > 0 {
+            line.push_str(&format!(" resumed-past {}", self.resume_chunks_skipped));
+        }
+        if self.retries > 0 || self.restarts > 0 {
+            line.push_str(&format!(" retries {} restarts {}", self.retries, self.restarts));
+        }
+        line
+    }
+}
+
+impl StatusBoard {
+    fn update(&self, f: impl FnOnce(&mut StatusInner)) {
+        let mut s = self.0.lock();
+        f(&mut s);
+        s.updated_micros = crate::span::now_micros();
+    }
+
+    /// Marks the start of a job, clearing progress from any previous one.
+    pub fn begin_job(&self, job_id: &str, generator: &str, target_edges: u64) {
+        self.update(|s| {
+            *s = StatusInner {
+                job_id: job_id.to_string(),
+                generator: generator.to_string(),
+                phase: "starting".to_string(),
+                target_edges,
+                started_micros: Some(crate::span::now_micros()),
+                ..StatusInner::default()
+            };
+        });
+    }
+
+    /// Sets the current phase label.
+    pub fn set_phase(&self, phase: &str) {
+        self.update(|s| s.phase = phase.to_string());
+    }
+
+    /// Adds finished edges.
+    pub fn add_edges(&self, n: u64) {
+        self.update(|s| s.edges_done += n);
+    }
+
+    /// Counts `n` store chunks closed.
+    pub fn add_chunks_closed(&self, n: u64) {
+        self.update(|s| s.chunks_closed += n);
+    }
+
+    /// Records a checkpoint barrier making `chunks_durable` chunks durable.
+    pub fn note_barrier(&self, chunks_durable: u64) {
+        self.update(|s| {
+            s.barriers += 1;
+            s.chunks_durable = s.chunks_durable.max(chunks_durable);
+        });
+    }
+
+    /// Counts chunks skipped because a resume found them already durable.
+    pub fn add_resume_skipped(&self, chunks: u64) {
+        self.update(|s| s.resume_chunks_skipped += chunks);
+    }
+
+    /// Counts one transient-failure retry.
+    pub fn add_retry(&self) {
+        self.update(|s| s.retries += 1);
+    }
+
+    /// Counts one whole-job restart.
+    pub fn add_restart(&self) {
+        self.update(|s| s.restarts += 1);
+    }
+
+    /// Marks the job finished.
+    pub fn finish(&self) {
+        self.update(|s| {
+            s.done = true;
+            s.phase = "done".to_string();
+        });
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> StatusSnapshot {
+        let s = self.0.lock();
+        StatusSnapshot {
+            job_id: s.job_id.clone(),
+            generator: s.generator.clone(),
+            phase: s.phase.clone(),
+            target_edges: s.target_edges,
+            edges_done: s.edges_done,
+            chunks_closed: s.chunks_closed,
+            chunks_durable: s.chunks_durable,
+            barriers: s.barriers,
+            resume_chunks_skipped: s.resume_chunks_skipped,
+            retries: s.retries,
+            restarts: s.restarts,
+            done: s.done,
+            started_micros: s.started_micros,
+            updated_micros: s.updated_micros,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        *self.0.lock() = StatusInner::default();
+    }
+}
+
+fn with_board(f: impl FnOnce(&StatusBoard)) {
+    if let Some(r) = crate::recorder::recording() {
+        f(&r.status());
+    }
+}
+
+/// Marks the start of a job on the current recorder's board.
+pub fn begin_job(job_id: &str, generator: &str, target_edges: u64) {
+    with_board(|b| b.begin_job(job_id, generator, target_edges));
+}
+
+/// Sets the current phase on the current recorder's board.
+pub fn set_phase(phase: &str) {
+    with_board(|b| b.set_phase(phase));
+}
+
+/// Adds finished edges on the current recorder's board.
+pub fn note_edges(n: u64) {
+    with_board(|b| b.add_edges(n));
+}
+
+/// Counts a closed store chunk on the current recorder's board.
+pub fn note_chunk_closed(n: u64) {
+    with_board(|b| b.add_chunks_closed(n));
+}
+
+/// Records a checkpoint barrier on the current recorder's board.
+pub fn note_barrier(chunks_durable: u64) {
+    with_board(|b| b.note_barrier(chunks_durable));
+}
+
+/// Counts resume-skipped chunks on the current recorder's board.
+pub fn note_resume_skip(chunks: u64) {
+    with_board(|b| b.add_resume_skipped(chunks));
+}
+
+/// Counts one retry on the current recorder's board.
+pub fn note_retry() {
+    with_board(|b| b.add_retry());
+}
+
+/// Counts one restart on the current recorder's board.
+pub fn note_restart() {
+    with_board(|b| b.add_restart());
+}
+
+/// Marks the current recorder's job finished.
+pub fn finish() {
+    with_board(|b| b.finish());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_tracks_progress_and_renders_json() {
+        let b = StatusBoard::default();
+        b.begin_job("job-1", "pgpba", 1000);
+        b.set_phase("attach");
+        b.add_chunks_closed(3);
+        b.note_barrier(2);
+        b.add_edges(500);
+        let snap = b.snapshot();
+        assert_eq!(snap.job_id, "job-1");
+        assert_eq!(snap.phase, "attach");
+        assert_eq!(snap.chunks_closed, 3);
+        assert_eq!(snap.chunks_durable, 2);
+        assert_eq!(snap.barriers, 1);
+        let json = snap.to_json();
+        crate::json::validate_json(&json).expect("status JSON must be valid");
+        assert!(json.contains("\"job_id\":\"job-1\""));
+        assert!(json.contains("\"checkpoint_barriers\":1"));
+    }
+
+    #[test]
+    fn begin_job_clears_previous_progress() {
+        let b = StatusBoard::default();
+        b.begin_job("a", "pgsk", 10);
+        b.add_chunks_closed(5);
+        b.add_retry();
+        b.begin_job("b", "pgsk", 20);
+        let snap = b.snapshot();
+        assert_eq!(snap.job_id, "b");
+        assert_eq!(snap.chunks_closed, 0);
+        assert_eq!(snap.retries, 0);
+        assert!(snap.started_micros.is_some());
+    }
+
+    #[test]
+    fn durable_chunks_never_regress() {
+        let b = StatusBoard::default();
+        b.note_barrier(8);
+        b.note_barrier(4);
+        let snap = b.snapshot();
+        assert_eq!(snap.chunks_durable, 8);
+        assert_eq!(snap.barriers, 2);
+    }
+
+    #[test]
+    fn free_functions_route_to_scoped_recorder() {
+        let _l = crate::span::test_lock();
+        let rec = crate::Recorder::new();
+        {
+            let _scope = rec.install();
+            begin_job("scoped", "pgpba", 7);
+            note_chunk_closed(2);
+        }
+        // Outside the scope with the global recorder disabled: dropped.
+        note_chunk_closed(50);
+        let snap = rec.status().snapshot();
+        assert_eq!(snap.job_id, "scoped");
+        assert_eq!(snap.chunks_closed, 2);
+    }
+
+    #[test]
+    fn ticker_line_mentions_progress() {
+        let b = StatusBoard::default();
+        b.begin_job("t", "pgpba", 100);
+        b.set_phase("store");
+        b.add_chunks_closed(4);
+        b.note_barrier(4);
+        let line = b.snapshot().ticker_line();
+        assert!(line.contains("[store]"));
+        assert!(line.contains("chunks 4"));
+    }
+}

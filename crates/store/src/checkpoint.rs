@@ -389,6 +389,7 @@ impl CheckpointedGraphSink {
         self.chunks_since_barrier = 0;
         csb_obs::counter_add("checkpoint.barriers", 1);
         csb_obs::counter_add("checkpoint.bytes_durable", manifest.bytes_durable);
+        csb_obs::status::note_barrier(manifest.chunks.len() as u64);
         Ok(())
     }
 

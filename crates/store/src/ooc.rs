@@ -37,6 +37,9 @@ use std::path::Path;
 /// [`StoreScan::with_cache_budget`] for pure streaming.
 pub const DEFAULT_CACHE_BUDGET: u64 = 256 << 20;
 
+/// Decoded, narrowed `(src, dst)` endpoint columns of one edge chunk.
+type Endpoints = (Vec<u32>, Vec<u32>);
+
 /// [`EdgeScan`] over a sealed graph store file.
 #[derive(Debug)]
 pub struct StoreScan<R: Read + Seek> {
@@ -47,7 +50,7 @@ pub struct StoreScan<R: Read + Seek> {
     max_chunk_records: u64,
     /// Cached decoded `(src, dst)` endpoint columns, indexed like
     /// `edge_chunks`.
-    cache: Vec<Option<(Vec<u32>, Vec<u32>)>>,
+    cache: Vec<Option<Endpoints>>,
     cache_budget: u64,
     cache_used: u64,
 }
@@ -132,7 +135,7 @@ impl<R: Read + Seek> StoreScan<R> {
     /// case); returns `None` when the chunk is now resident in
     /// `self.cache[i]`. One disk read per call on a miss, counted into
     /// `ooc.bytes_read`.
-    fn load_chunk(&mut self, i: usize) -> Result<Option<(Vec<u32>, Vec<u32>)>, StoreError> {
+    fn load_chunk(&mut self, i: usize) -> Result<Option<Endpoints>, StoreError> {
         if self.cache[i].is_some() {
             return Ok(None);
         }

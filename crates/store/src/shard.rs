@@ -176,7 +176,11 @@ fn spawn_shard_worker(
     compression: Compression,
     rx: Receiver<WorkerMsg>,
 ) -> JoinHandle<Result<(), StoreError>> {
+    // Spawned threads do not inherit the caller's recorder scope; capture it
+    // here so a scoped job's shard-writer telemetry stays on its recorder.
+    let recorder = csb_obs::recorder::current();
     std::thread::spawn(move || {
+        let _obs_scope = recorder.install();
         let mut writer =
             StoreWriter::create_with(&path, FileKind::Graph, version_for(compression))?;
         while let Ok(WorkerMsg::Chunk { kind, records, payload }) = rx.recv() {
@@ -1032,6 +1036,7 @@ impl CheckpointedShardedGraphSink {
             "checkpoint.bytes_durable",
             manifest.shards.iter().map(|s| s.bytes_durable).sum(),
         );
+        csb_obs::status::note_barrier(manifest.shards.iter().map(|s| s.chunks.len() as u64).sum());
         Ok(())
     }
 

@@ -160,6 +160,10 @@ impl<W: Write> StoreWriter<W> {
         self.chunks.push(entry);
         csb_obs::counter_add("store.chunks_written", 1);
         csb_obs::counter_add("store.bytes_written", 28 + payload.len() as u64);
+        if kind == ChunkKind::Edge {
+            csb_obs::counter_add("store.edge_records_written", records);
+        }
+        csb_obs::status::note_chunk_closed(1);
         Ok(())
     }
 

@@ -1,0 +1,79 @@
+//! Live-telemetry endpoint checker, used by the CI smoke run: given the
+//! address a `csb generate --obs-listen` run printed, fetches `/metrics` and
+//! `/status` over raw TCP, validates the Prometheus exposition text and the
+//! status JSON with the csb-obs validators, and polls `/status` twice to
+//! confirm progress advances monotonically while the job runs.
+//!
+//! ```text
+//! cargo run --release --example obs_endpoint_check -- 127.0.0.1:PORT
+//! ```
+//!
+//! Exits non-zero (panics) on any malformed payload or progress regression.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Minimal HTTP/1.1 GET returning (status-line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+/// Pulls an unsigned integer field out of the /status JSON body.
+fn status_u64(body: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let at = body.find(&key).unwrap_or_else(|| panic!("/status missing {field}: {body}"));
+    body[at + key.len()..]
+        .split([',', '}'])
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("/status field {field} is not a u64: {body}"))
+}
+
+fn main() {
+    let addr = std::env::args().nth(1).expect("usage: obs_endpoint_check ADDR");
+
+    // /metrics must be valid Prometheus 0.0.4 exposition text.
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "/metrics returned {status}");
+    csb_obs::promtext::validate_prometheus_text(&metrics)
+        .unwrap_or_else(|e| panic!("/metrics is not valid Prometheus text: {e}\n{metrics}"));
+    println!("/metrics ok: {} lines of valid Prometheus text", metrics.lines().count());
+
+    // /status must be valid JSON and progress must never move backwards.
+    let (status, first) = http_get(&addr, "/status");
+    assert!(status.contains("200"), "/status returned {status}");
+    csb_obs::json::validate_json(&first)
+        .unwrap_or_else(|e| panic!("/status is not valid JSON: {e}\n{first}"));
+    std::thread::sleep(Duration::from_millis(400));
+    let (_, second) = http_get(&addr, "/status");
+    csb_obs::json::validate_json(&second).expect("second /status snapshot is valid JSON");
+
+    for field in ["edges_done", "chunks_closed", "chunks_durable", "checkpoint_barriers"] {
+        let (a, b) = (status_u64(&first, field), status_u64(&second, field));
+        assert!(b >= a, "{field} went backwards: {a} -> {b}");
+    }
+    // The job under test is real, so something must actually be moving (or
+    // already finished by the second poll).
+    let moving = status_u64(&second, "chunks_closed") > 0
+        || status_u64(&second, "edges_done") > 0
+        || second.contains("\"done\":true");
+    assert!(moving, "no observable progress in /status: {second}");
+
+    // Unknown paths 404, non-GET 405 — the server is a real HTTP citizen.
+    let (status, _) = http_get(&addr, "/nope");
+    assert!(status.contains("404"), "unknown path returned {status}");
+    println!(
+        "/status ok: progress is monotonic ({} -> {} chunks closed)",
+        status_u64(&first, "chunks_closed"),
+        status_u64(&second, "chunks_closed")
+    );
+}
