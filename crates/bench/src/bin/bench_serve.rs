@@ -1,0 +1,255 @@
+//! csb-serve load benchmark: boots an in-process daemon with N worker
+//! slots, hammers it with hundreds of concurrent protocol clients each
+//! submitting small generate jobs and long-polling for results, and stamps
+//! `BENCH_serve.json` with jobs/sec, p50/p99 submit-to-done latency, queue
+//! depth, and the zero-lost/zero-duplicated accounting.
+//!
+//! `--smoke` shrinks the fleet for CI; the schema is identical.
+
+use csb_obs::json::JsonObject;
+use csb_serve::{Algorithm, Client, JobSpec, Priority, ServeConfig, Server};
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Fields every `BENCH_serve.json` must carry; CI checks the emitted file
+/// against this list, so keep it in sync with the schema note in
+/// crates/bench/src/lib.rs.
+const SCHEMA_FIELDS: [&str; 23] = [
+    "bench",
+    "status",
+    "os",
+    "git_rev",
+    "workers",
+    "clients",
+    "jobs_per_client",
+    "job_size_edges",
+    "jobs_submitted",
+    "jobs_done",
+    "jobs_failed",
+    "jobs_rejected",
+    "lost",
+    "duplicates",
+    "wall_secs",
+    "jobs_per_sec",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "max_ms",
+    "mean_ms",
+    "max_queue_depth",
+    "rejection_rate",
+];
+
+fn schema_check(json: &str) {
+    csb_obs::json::validate_json(json).expect("BENCH_serve.json is valid JSON");
+    for field in SCHEMA_FIELDS {
+        assert!(
+            json.contains(&format!("\"{field}\":")),
+            "BENCH_serve.json is missing field {field:?}"
+        );
+    }
+}
+
+/// The same small deterministic seed graph the serve tests use (32 hosts,
+/// 96 flows) — jobs stay tiny so the benchmark measures the daemon, not the
+/// generator.
+fn write_seed_graph(path: &Path) {
+    let mut s = String::from("# csb-graph v1\n");
+    for i in 0..32u32 {
+        s.push_str(&format!("v\t{i}\t{}\n", 0x0A00_0001 + i));
+    }
+    for i in 0..96u32 {
+        let a = (i * 7) % 32;
+        let b = (i * 11 + 1) % 32;
+        s.push_str(&format!(
+            "e\t{a}\t{b}\t6\t{}\t443\t{}\t{}\t{}\t3\t5\t2\n",
+            40_000 + i,
+            10 + i,
+            100 + i * 3,
+            200 + i * 5
+        ));
+    }
+    std::fs::write(path, s).expect("write seed graph");
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+struct ClientOutcome {
+    job: String,
+    done: bool,
+    seq: Option<u64>,
+    latency_ms: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, jobs_per_client) = if smoke { (12, 1) } else { (120, 2) };
+    let workers = 4usize;
+    let job_size: u64 = 2000;
+
+    let dir = std::env::temp_dir().join(format!("csb-bench-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let seed_graph = dir.join("seed.graph");
+    write_seed_graph(&seed_graph);
+
+    let mut cfg = ServeConfig::new(dir.join("spool"));
+    cfg.workers = workers;
+    // The queue must hold the whole burst: rejection is load shedding, and
+    // this benchmark's contract is zero lost jobs.
+    cfg.max_queue = clients * jobs_per_client + 16;
+    let server = Server::start(cfg).expect("start daemon");
+    let addr = server.addr();
+    println!(
+        "bench_serve: {workers} workers at {addr}, {clients} clients x {jobs_per_client} job(s) \
+         of {job_size} edges"
+    );
+
+    // Queue-depth poller: samples the scheduler every 20 ms for the
+    // high-water mark while the burst is in flight. Scoped threads let the
+    // poller borrow the server and the clients report into shared counters.
+    let stop_poll = AtomicBool::new(false);
+    let max_depth = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let mut outcomes: Vec<ClientOutcome> = Vec::new();
+    std::thread::scope(|scope| {
+        let poller = scope.spawn(|| {
+            while !stop_poll.load(Ordering::Relaxed) {
+                let (_, queued, _, _) = server.scheduler().snapshot();
+                max_depth.fetch_max(queued as u64, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let seed_graph = &seed_graph;
+            let rejected = &rejected;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut client = Client::connect(addr).expect("client connect");
+                for j in 0..jobs_per_client {
+                    let spec = JobSpec::Generate {
+                        algorithm: Algorithm::Pgpba,
+                        seed_graph: seed_graph.clone(),
+                        size: job_size,
+                        fraction: 0.1,
+                        seed: (c * 1000 + j + 1) as u64,
+                        shards: 0,
+                        columnar: false,
+                        chunk_records: None,
+                    };
+                    let t = Instant::now();
+                    let job = match client.submit(&spec, Priority::Normal) {
+                        Ok(id) => id,
+                        Err(e) => {
+                            // Admission rejections are counted, not fatal —
+                            // the accounting below asserts there were none.
+                            eprintln!("client {c}: submit rejected: {e}");
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let v = client
+                        .result_wait(&job, Duration::from_secs(600))
+                        .expect("job reaches a terminal state");
+                    let latency_ms = t.elapsed().as_secs_f64() * 1e3;
+                    let done = v.get("state").and_then(|s| s.as_str()) == Some("done");
+                    let seq = v.get("done_seq").and_then(|s| s.as_u64());
+                    out.push(ClientOutcome { job, done, seq, latency_ms });
+                }
+                out
+            }));
+        }
+        for h in handles {
+            outcomes.extend(h.join().expect("client thread"));
+        }
+        stop_poll.store(true, Ordering::Relaxed);
+        poller.join().expect("poller");
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    // Accounting: every submitted job must be done, exactly once.
+    let submitted = outcomes.len() as u64 + rejected.load(Ordering::Relaxed);
+    let done = outcomes.iter().filter(|o| o.done).count() as u64;
+    let failed = outcomes.len() as u64 - done;
+    let mut ids = HashSet::new();
+    let mut seqs = HashSet::new();
+    let mut duplicates = 0u64;
+    for o in &outcomes {
+        if !ids.insert(o.job.clone()) {
+            duplicates += 1;
+        }
+        if let Some(seq) = o.seq {
+            if !seqs.insert(seq) {
+                duplicates += 1;
+            }
+        }
+    }
+    let lost = submitted - rejected.load(Ordering::Relaxed) - outcomes.len() as u64;
+    let attempted = (clients * jobs_per_client) as u64;
+    assert_eq!(submitted, attempted, "every client must account for every attempt");
+    assert_eq!(rejected.load(Ordering::Relaxed), 0, "queue was sized for the whole burst");
+    assert_eq!(failed, 0, "no job may fail");
+    assert_eq!(lost, 0, "no job may be lost");
+    assert_eq!(duplicates, 0, "no job id or completion seq may repeat");
+
+    let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency_ms).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&lat, 0.50);
+    let p90 = percentile(&lat, 0.90);
+    let p99 = percentile(&lat, 0.99);
+    let max = lat.last().copied().unwrap_or(0.0);
+    let mean = if lat.is_empty() { 0.0 } else { lat.iter().sum::<f64>() / lat.len() as f64 };
+    let jobs_per_sec = done as f64 / wall_secs.max(1e-9);
+    let depth = max_depth.load(Ordering::Relaxed);
+    println!(
+        "{done} jobs in {wall_secs:.2}s = {jobs_per_sec:.1} jobs/s; latency p50 {p50:.0} ms, \
+         p90 {p90:.0} ms, p99 {p99:.0} ms, max {max:.0} ms; peak queue depth {depth}"
+    );
+
+    // Graceful drain: the daemon must shut down cleanly under zero pending
+    // work after the burst.
+    let mut c = Client::connect(addr).expect("shutdown client");
+    c.shutdown(true).expect("drain");
+    drop(c);
+    server.wait();
+
+    let mut root = JsonObject::new();
+    root.str("bench", "serve")
+        .str("status", if smoke { "smoke" } else { "measured" })
+        .str("os", std::env::consts::OS)
+        .str("git_rev", &csb_bench::git_rev())
+        .u64("workers", workers as u64)
+        .u64("clients", clients as u64)
+        .u64("jobs_per_client", jobs_per_client as u64)
+        .u64("job_size_edges", job_size)
+        .u64("jobs_submitted", submitted)
+        .u64("jobs_done", done)
+        .u64("jobs_failed", failed)
+        .u64("jobs_rejected", 0)
+        .u64("lost", lost)
+        .u64("duplicates", duplicates)
+        .f64("wall_secs", wall_secs, 3)
+        .f64("jobs_per_sec", jobs_per_sec, 2)
+        .f64("p50_ms", p50, 2)
+        .f64("p90_ms", p90, 2)
+        .f64("p99_ms", p99, 2)
+        .f64("max_ms", max, 2)
+        .f64("mean_ms", mean, 2)
+        .u64("max_queue_depth", depth)
+        .f64("rejection_rate", 0.0, 4);
+    let json = root.finish();
+    schema_check(&json);
+    std::fs::write("BENCH_serve.json", format!("{json}\n")).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

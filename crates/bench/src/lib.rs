@@ -80,6 +80,31 @@
 //! `store_shards`/`store_codec` describe the synthetic store's layout (the
 //! seed store is always a v1 single file, so each run also exercises the
 //! v1-compat read path).
+//!
+//! ## `BENCH_serve.json` schema
+//!
+//! One object per run, written by `bench_serve` — the csb-serve load
+//! benchmark: an in-process daemon with N worker slots under hundreds of
+//! concurrent protocol clients, each submitting small generate jobs and
+//! long-polling for the result (`--smoke` shrinks the fleet for CI):
+//!
+//! ```text
+//! { "bench":"serve", "status":"measured"|"smoke", "os":S, "git_rev":S,
+//!   "workers":N, "clients":N, "jobs_per_client":N, "job_size_edges":N,
+//!   "jobs_submitted":N, "jobs_done":N, "jobs_failed":N, "jobs_rejected":N,
+//!   "lost":N, "duplicates":N,
+//!   "wall_secs":F, "jobs_per_sec":F,
+//!   "p50_ms":F, "p90_ms":F, "p99_ms":F, "max_ms":F, "mean_ms":F,
+//!   "max_queue_depth":N, "rejection_rate":F }
+//! ```
+//!
+//! Latencies are client-side submit-to-done (the long-poll `result` reply),
+//! so they include queueing. `lost` is submitted-minus-accounted (must be
+//! 0), `duplicates` counts job ids or completion sequence numbers seen
+//! twice (must be 0) — together they are the zero-lost/zero-duplicated
+//! acceptance check. `max_queue_depth` is the deepest scheduler queue a
+//! 20 ms poller observed, and `rejection_rate` is rejected over attempted
+//! submissions.
 
 use csb_core::analysis::SeedAnalysis;
 use csb_core::seed::{seed_from_trace, SeedBundle};

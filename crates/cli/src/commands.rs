@@ -36,6 +36,11 @@ pub fn run(args: &Args) -> Result<()> {
         "export" => export_cmd(args),
         "import" => import_cmd(args),
         "cluster-sim" => cluster_sim(args),
+        "serve" => crate::serve_cmd::serve(args),
+        "submit" => crate::serve_cmd::submit(args),
+        "jobs" => crate::serve_cmd::jobs(args),
+        "cancel" => crate::serve_cmd::cancel(args),
+        "shutdown" => crate::serve_cmd::shutdown(args),
         // `csb obs report FILE` arrives rewritten by main::normalize_obs.
         "obs-report" => obs_report(args),
         "obs" => Err(arg_err("usage: csb obs report TRACE [--top N] [--metrics FILE]")),

@@ -5,6 +5,7 @@
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 use args::Args;
 
@@ -73,6 +74,27 @@ COMMANDS:
     cluster-sim  Project a generation job onto the simulated Shadow II cluster
                  --algorithm pgpba|pgsk --edges N [--nodes N=60]
                  [--fraction F=2] [--seed-edges N=1940814]
+    serve        Run the generation-as-a-service daemon
+                 --spool DIR [--listen ADDR=127.0.0.1:7070] [--workers N=2]
+                 [--obs-listen ADDR] [--mem-budget-gb F=4] [--max-queue N=256]
+                 [--calibrate BENCH_materialize.json]
+                 (newline-JSON protocol: submit/status/result/cancel/list/
+                 shutdown; jobs checkpoint under the spool and resume
+                 byte-identically after a kill; --calibrate feeds the
+                 admission cost model from a stamped materialize bench)
+    submit       Submit a job to a csb-serve daemon
+                 [--server ADDR] [--kind generate|veracity]
+                 [--priority high|normal|low] [--wait true] [--timeout-secs N]
+                 generate: --seed-graph FILE --size EDGES [--algorithm pgpba]
+                 [--fraction F=0.1] [--seed N=1] [--shards N] [--codec raw]
+                 [--chunk-records N]
+                 veracity: --seed-store FILE --synth-store FILE
+    jobs         Show a csb-serve daemon's queue and job table
+                 [--server ADDR]
+    cancel       Cancel a queued or running job
+                 --job ID [--server ADDR]
+    shutdown     Stop a csb-serve daemon
+                 [--server ADDR] [--mode drain|now]
 
 Set CSB_LOG=warn|info|debug for leveled diagnostics on stderr (silent when
 unset).

@@ -57,6 +57,8 @@ use csb_store::shard::{CheckpointedShardedGraphSink, ShardedCheckpointManifest, 
 use csb_store::sink::GraphStoreSink;
 use csb_store::{Compression, CsbError, EdgeSink};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which generator a job runs, with its configuration.
@@ -163,6 +165,7 @@ pub struct GenJob<'a, 's> {
     store_opts: StoreOpts,
     recorder: Option<csb_obs::Recorder>,
     job_id: Option<String>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// What a [`GenJob`] produced.
@@ -192,6 +195,7 @@ impl<'a, 's> GenJob<'a, 's> {
             store_opts: StoreOpts::default(),
             recorder: None,
             job_id: None,
+            cancel: None,
         }
     }
 
@@ -312,6 +316,21 @@ impl<'a, 's> GenJob<'a, 's> {
     pub fn kill_after_chunks(mut self, n: u64, abort_process: bool) -> Self {
         self.ckpt.kill_after_chunks = Some((n, abort_process));
         self
+    }
+
+    /// Cooperative cancellation/preemption for store-backed runs: once
+    /// `flag` is set, the job stops at the next phase boundary — or, on a
+    /// checkpointed run, at the next store chunk boundary after taking a
+    /// durable barrier — and surfaces [`CsbError::Transient`]. A preempted
+    /// checkpointed job resumes byte-identically via [`GenJob::resume`].
+    /// While the flag is set, [`GenJob::retry`] does not auto-restart.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Grows the topology (in-process or on the engine), returning it with
@@ -456,7 +475,15 @@ impl<'a, 's> GenJob<'a, 's> {
             let result = self.run_store_once(&path, &identity, resume, kill);
             match result {
                 Ok(run) => return Ok(run),
-                Err(e) if e.is_transient() && checkpointing && attempt < retry.max_retries => {
+                // A preempted job (cancel flag set) must surface, not
+                // auto-restart: the scheduler that set the flag owns the
+                // requeue/resume decision.
+                Err(e)
+                    if e.is_transient()
+                        && checkpointing
+                        && attempt < retry.max_retries
+                        && !self.cancelled() =>
+                {
                     csb_obs::counter_add("job.restarts", 1);
                     csb_obs::status::note_restart();
                     csb_obs::obs_info!(
@@ -472,7 +499,12 @@ impl<'a, 's> GenJob<'a, 's> {
                     resume = true;
                     kill = None; // the fault hook models one crash, not a crash loop
                 }
-                Err(e) if e.is_transient() && checkpointing && retry.max_retries > 0 => {
+                Err(e)
+                    if e.is_transient()
+                        && checkpointing
+                        && retry.max_retries > 0
+                        && !self.cancelled() =>
+                {
                     return Err(CsbError::RetryExhausted {
                         attempts: attempt + 1,
                         last: Box::new(e),
@@ -491,9 +523,17 @@ impl<'a, 's> GenJob<'a, 's> {
         kill: Option<(u64, bool)>,
     ) -> Result<GenRun, CsbError> {
         let generator = self.config.generator_name();
+        if self.cancelled() {
+            return Err(CsbError::Transient("preempted: cancel flag set before grow".into()));
+        }
         let (topo, metrics, grow) = self.grow();
         let (ips, attach_seed) = self.attach_params();
         let model = &self.seed.analysis.properties;
+        if self.cancelled() && self.ckpt.dir.is_none() {
+            // Checkpointed runs defer to the sink's chunk-boundary check,
+            // which takes a durable barrier first.
+            return Err(CsbError::Transient("preempted: cancel flag set before attach".into()));
+        }
         csb_obs::status::set_phase("attach");
 
         let shards = self.store_opts.shards;
@@ -545,6 +585,9 @@ impl<'a, 's> GenJob<'a, 's> {
                 if let Some((n, abort)) = kill {
                     sink = sink.with_kill_after_chunks(n, abort);
                 }
+                if let Some(flag) = &self.cancel {
+                    sink = sink.with_stop_flag(Arc::clone(flag));
+                }
                 let _replay = resuming.then(|| csb_obs::span_cat("resume.replay", "gen"));
                 let t1 = Instant::now();
                 let edges = attach_properties_to_sink(&topo, model, &ips, attach_seed, &mut sink)?;
@@ -573,6 +616,9 @@ impl<'a, 's> GenJob<'a, 's> {
                 }
                 if let Some((n, abort)) = kill {
                     sink = sink.with_kill_after_chunks(n, abort);
+                }
+                if let Some(flag) = &self.cancel {
+                    sink = sink.with_stop_flag(Arc::clone(flag));
                 }
                 let _replay = resuming.then(|| csb_obs::span_cat("resume.replay", "gen"));
                 let t1 = Instant::now();

@@ -1,14 +1,21 @@
-//! A zero-dependency HTTP endpoint over `std::net::TcpListener` serving one
-//! recorder's live telemetry:
+//! A zero-dependency HTTP endpoint over `std::net::TcpListener` with
+//! pluggable routes. The default route table serves one recorder's live
+//! telemetry:
 //!
 //! * `GET /metrics` — Prometheus text exposition (see [`crate::promtext`])
 //! * `GET /status`  — live job status as JSON (see [`crate::status`])
-//! * `GET /`        — a plain-text index of the above
+//! * `GET /`        — a plain-text index of the registered routes
+//!
+//! Consumers with more to expose (csb-serve's queue and job pages) build a
+//! [`Router`], add handlers, and pass it to [`ObsServer::serve_router`] —
+//! one accept loop implementation for every endpoint in the workspace.
 //!
 //! One accept-loop thread, one connection at a time, `Connection: close`
 //! semantics — deliberately minimal: the consumers are a Prometheus scraper
-//! and `curl` during a run, not a web tier. Shutdown wakes the accept loop
-//! with a self-connection so no platform-specific socket teardown is needed.
+//! and `curl` during a run, not a web tier. Shutdown is deterministic: the
+//! accept loop is woken with a self-connection and joined, both from
+//! [`ObsServer::shutdown`] and from `Drop`, so no socket lingers after the
+//! handle is gone.
 
 use crate::recorder::Recorder;
 use std::io::{Read, Write};
@@ -17,8 +24,120 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Handle to a running telemetry endpoint; dropping it shuts the server
-/// down (prefer calling [`ObsServer::shutdown`] to also join the thread).
+/// A response produced by a route handler.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status line text, e.g. `200 OK`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` plain-text response.
+    pub fn text(body: impl Into<String>) -> HttpResponse {
+        HttpResponse { status: "200 OK", content_type: "text/plain", body: body.into() }
+    }
+
+    /// A `200 OK` JSON response (a trailing newline is appended for `curl`).
+    pub fn json(body: impl Into<String>) -> HttpResponse {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        HttpResponse { status: "200 OK", content_type: "application/json", body }
+    }
+
+    /// A `404 Not Found` response.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: "404 Not Found",
+            content_type: "text/plain",
+            body: "not found\n".into(),
+        }
+    }
+}
+
+type Handler = Box<dyn Fn() -> HttpResponse + Send + Sync>;
+
+struct Route {
+    path: String,
+    help: String,
+    handler: Handler,
+}
+
+/// An exact-path route table for [`ObsServer::serve_router`]. `GET /` is
+/// synthesized from the registered routes' help lines; unknown paths get a
+/// 404 and non-GET methods a 405.
+#[derive(Default)]
+pub struct Router {
+    title: String,
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let paths: Vec<&str> = self.routes.iter().map(|r| r.path.as_str()).collect();
+        f.debug_struct("Router").field("title", &self.title).field("routes", &paths).finish()
+    }
+}
+
+impl Router {
+    /// An empty router titled for the `GET /` index page.
+    pub fn new(title: impl Into<String>) -> Router {
+        Router { title: title.into(), routes: Vec::new() }
+    }
+
+    /// Registers `handler` for exact path `path` (e.g. `/metrics`); `help`
+    /// is the one-line description shown on the index page.
+    pub fn route(
+        mut self,
+        path: impl Into<String>,
+        help: impl Into<String>,
+        handler: impl Fn() -> HttpResponse + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            path: path.into(),
+            help: help.into(),
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// The standard telemetry route table for `recorder`: `/metrics`
+    /// (Prometheus text) and `/status` (job status JSON).
+    pub fn telemetry(recorder: Recorder) -> Router {
+        let metrics_rec = recorder.clone();
+        Router::new("csb live telemetry")
+            .route("/metrics", "Prometheus text exposition", move || HttpResponse {
+                status: "200 OK",
+                content_type: "text/plain; version=0.0.4",
+                body: crate::promtext::prometheus_text(&metrics_rec.snapshot_metrics()),
+            })
+            .route("/status", "job status JSON", move || {
+                HttpResponse::json(recorder.status().snapshot().to_json())
+            })
+    }
+
+    fn dispatch(&self, path: &str) -> HttpResponse {
+        if path == "/" {
+            let mut body = format!("{}\n\n", self.title);
+            for r in &self.routes {
+                body.push_str(&format!("GET {:<12} {}\n", r.path, r.help));
+            }
+            return HttpResponse::text(body);
+        }
+        match self.routes.iter().find(|r| r.path == path) {
+            Some(r) => (r.handler)(),
+            None => HttpResponse::not_found(),
+        }
+    }
+}
+
+/// Handle to a running HTTP endpoint; dropping it shuts the server down
+/// (stop, wake, join — same as [`ObsServer::shutdown`]).
 #[derive(Debug)]
 pub struct ObsServer {
     addr: SocketAddr,
@@ -30,6 +149,11 @@ impl ObsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
     /// `recorder`'s telemetry until shutdown.
     pub fn serve(addr: &str, recorder: Recorder) -> std::io::Result<ObsServer> {
+        ObsServer::serve_router(addr, Router::telemetry(recorder))
+    }
+
+    /// Binds `addr` and serves `router`'s route table until shutdown.
+    pub fn serve_router(addr: &str, router: Router) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -42,7 +166,7 @@ impl ObsServer {
                 if let Ok(stream) = conn {
                     // Per-connection errors (slow, hung-up clients) only
                     // affect that client; the endpoint keeps serving.
-                    let _ = handle_conn(stream, &recorder);
+                    let _ = handle_conn(stream, &router);
                 }
             }
         })?;
@@ -77,7 +201,7 @@ impl Drop for ObsServer {
     }
 }
 
-fn handle_conn(mut stream: TcpStream, recorder: &Recorder) -> std::io::Result<()> {
+fn handle_conn(mut stream: TcpStream, router: &Router) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 2048];
@@ -104,24 +228,8 @@ fn handle_conn(mut stream: TcpStream, recorder: &Recorder) -> std::io::Result<()
     if method != "GET" {
         return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
     }
-    match path {
-        "/metrics" => {
-            let body = crate::promtext::prometheus_text(&recorder.snapshot_metrics());
-            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
-        }
-        "/status" => {
-            let mut body = recorder.status().snapshot().to_json();
-            body.push('\n');
-            respond(&mut stream, "200 OK", "application/json", &body)
-        }
-        "/" => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain",
-            "csb live telemetry\n\nGET /metrics  Prometheus text exposition\nGET /status   job status JSON\n",
-        ),
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
-    }
+    let r = router.dispatch(path);
+    respond(&mut stream, r.status, r.content_type, &r.body)
 }
 
 fn respond(
@@ -200,6 +308,31 @@ mod tests {
     }
 
     #[test]
+    fn custom_routes_extend_the_default_table() {
+        let _l = crate::span::test_lock();
+        let rec = Recorder::new();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let hits_in = Arc::clone(&hits);
+        let router = Router::telemetry(rec).route("/jobs", "job table JSON", move || {
+            hits_in.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json("{\"jobs\":[]}")
+        });
+        let server = ObsServer::serve_router("127.0.0.1:0", router).expect("bind");
+
+        let (head, body) = http_get(server.addr(), "/jobs");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "{\"jobs\":[]}\n");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+
+        // The synthesized index lists the custom route alongside the defaults.
+        let (_, index) = http_get(server.addr(), "/");
+        for path in ["/metrics", "/status", "/jobs"] {
+            assert!(index.contains(path), "index must list {path}: {index}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn shutdown_joins_cleanly_and_frees_the_port() {
         let rec = Recorder::new();
         let server = ObsServer::serve("127.0.0.1:0", rec).expect("bind");
@@ -208,6 +341,17 @@ mod tests {
         // The listener is gone: a fresh bind to the same port succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok(), "port must be released after shutdown");
+    }
+
+    #[test]
+    fn drop_joins_the_accept_thread_and_frees_the_port() {
+        let addr;
+        {
+            let server = ObsServer::serve("127.0.0.1:0", Recorder::new()).expect("bind");
+            addr = server.addr();
+        } // Drop, not shutdown(): must still stop, wake, and join.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port must be released after drop");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sampler;
 pub mod span;
 pub mod status;
 
-pub use http::ObsServer;
+pub use http::{HttpResponse, ObsServer, Router};
 pub use metrics::{counter_add, gauge_set, histogram_record, snapshot_metrics, MetricsSnapshot};
 pub use recorder::{Recorder, RecorderScope};
 pub use sampler::Sampler;

@@ -1,0 +1,33 @@
+//! # csb-serve — generation as a service
+//!
+//! A multi-tenant daemon that accepts generation and veracity jobs over a
+//! newline-delimited JSON protocol, schedules them through a cost-model
+//! driven admission controller with priority classes, runs them on a
+//! bounded pool of worker slots, and survives `SIGKILL` by checkpointing
+//! to a durable spool: on the next boot every unfinished job resumes
+//! byte-identically from its last chunk barrier.
+//!
+//! The crate has five layers, each usable on its own:
+//!
+//! * [`proto`] — the wire grammar: requests, replies, [`JobSpec`].
+//! * [`queue`] — the [`Scheduler`]: admission, FIFO-within-class
+//!   priorities, memory-aware placement, preempt-and-requeue.
+//! * [`spool`] — durable specs/results/outputs/checkpoints and crash
+//!   recovery.
+//! * [`server`] — the daemon itself ([`Server::start`]).
+//! * [`client`] — a blocking [`Client`] for CLIs and load generators.
+//!
+//! Everything is std-only: `TcpListener` + threads, JSON via the csb-obs
+//! writer/parser.
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod spool;
+
+pub use client::Client;
+pub use proto::{Algorithm, JobSpec, Priority, Request, MAX_LINE_BYTES, PROTO_VERSION};
+pub use queue::{JobState, Reject, Scheduler, MAX_JOB_RESTARTS};
+pub use server::{ServeConfig, Server, ShutdownMode};
+pub use spool::Spool;

@@ -27,6 +27,8 @@ use csb_graph::EdgeProperties;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Manifest file name inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "checkpoint.manifest";
@@ -206,6 +208,9 @@ pub struct CheckpointedGraphSink {
     /// Fault-injection hook: fail (or abort) before writing chunk N+1.
     kill_after_chunks: Option<u64>,
     kill_aborts_process: bool,
+    /// Cooperative preemption: when set, the next chunk boundary takes a
+    /// barrier and surfaces a `Transient` error instead of writing.
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl CheckpointedGraphSink {
@@ -236,6 +241,7 @@ impl CheckpointedGraphSink {
             skip_edges: 0,
             kill_after_chunks: None,
             kill_aborts_process: false,
+            stop: None,
         })
     }
 
@@ -311,6 +317,7 @@ impl CheckpointedGraphSink {
             skip_edges: m.edges_durable,
             kill_after_chunks: None,
             kill_aborts_process: false,
+            stop: None,
         })
     }
 
@@ -342,12 +349,28 @@ impl CheckpointedGraphSink {
         self
     }
 
+    /// Cooperative preemption hook: once `flag` is set, the next chunk
+    /// boundary takes a checkpoint barrier (making everything written so far
+    /// durable — file bytes are untouched, so resume stays byte-identical)
+    /// and surfaces [`CsbError::Transient`](crate::error::CsbError::Transient)
+    /// to the caller, which requeues the job for later resume.
+    pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop = Some(flag);
+        self
+    }
+
     fn write_chunk(
         &mut self,
         kind: ChunkKind,
         records: u64,
         payload: &[u8],
     ) -> Result<(), StoreError> {
+        if self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
+            self.barrier()?;
+            return Err(StoreError::Transient(
+                "preempted: stop flag set at chunk boundary (checkpoint barrier taken)".into(),
+            ));
+        }
         if let Some(n) = self.kill_after_chunks {
             if self.chunks_written >= n {
                 if self.kill_aborts_process {

@@ -35,7 +35,9 @@ use csb_graph::{EdgeProperties, NetflowGraph};
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Shard-set manifest magic, first 8 bytes.
@@ -796,6 +798,7 @@ pub struct CheckpointedShardedGraphSink {
     skip_edges: u64,
     kill_after_chunks: Option<u64>,
     kill_aborts_process: bool,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl CheckpointedShardedGraphSink {
@@ -843,6 +846,7 @@ impl CheckpointedShardedGraphSink {
             skip_edges: 0,
             kill_after_chunks: None,
             kill_aborts_process: false,
+            stop: None,
         })
     }
 
@@ -941,6 +945,7 @@ impl CheckpointedShardedGraphSink {
             skip_edges: m.edges_durable,
             kill_after_chunks: None,
             kill_aborts_process: false,
+            stop: None,
         })
     }
 
@@ -968,12 +973,28 @@ impl CheckpointedShardedGraphSink {
         self
     }
 
+    /// Cooperative preemption hook, as on
+    /// [`CheckpointedGraphSink`](crate::checkpoint::CheckpointedGraphSink):
+    /// once `flag` is set, the next chunk boundary takes a barrier (one
+    /// consistent durable cut across all shards) and surfaces a `Transient`
+    /// error so the caller can requeue the job for byte-identical resume.
+    pub fn with_stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop = Some(flag);
+        self
+    }
+
     fn write_chunk(
         &mut self,
         kind: ChunkKind,
         records: u64,
         payload: &[u8],
     ) -> Result<(), StoreError> {
+        if self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
+            self.barrier()?;
+            return Err(StoreError::Transient(
+                "preempted: stop flag set at chunk boundary (checkpoint barrier taken)".into(),
+            ));
+        }
         if let Some(n) = self.kill_after_chunks {
             if self.chunks_written >= n {
                 if self.kill_aborts_process {
