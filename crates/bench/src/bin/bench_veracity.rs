@@ -1,7 +1,8 @@
-//! Veracity trajectory point: times the in-memory veracity scoring against
-//! the out-of-core path over sealed store files, checks the scores are
-//! bit-identical, and records the peak scratch footprint of the streaming
-//! kernels — the O(vertices + chunk) bound of ISSUE 5's acceptance criteria.
+//! Veracity trajectory point: times every Veracity 2.0 metric in-memory
+//! against the out-of-core path over sealed store files, checks each score
+//! is bit-identical across paths, and records the peak scratch footprint of
+//! the streaming distribution kernels — the O(vertices + chunk) bound of
+//! ISSUE 5's acceptance criteria.
 //!
 //! The seed store is written as a v1 single file and the synthetic store as
 //! a v2 sharded + columnar-compressed shard set, so every run exercises the
@@ -13,7 +14,7 @@
 //! `CSB_SCALE` multiplies the default ~1M-edge synthetic graph.
 
 use csb_bench::{configured_pool_width, eng, scale, standard_seed_scaled, with_pool};
-use csb_core::{pgpba, veracity_store, veracity_with, PgpbaConfig};
+use csb_core::{pgpba, Metric, PgpbaConfig, VeracityJob};
 use csb_graph::algo::PageRankConfig;
 use csb_graph::NetflowGraph;
 use csb_obs::json::JsonObject;
@@ -24,7 +25,7 @@ use std::time::Instant;
 /// Fields every `BENCH_veracity.json` must carry; CI checks the emitted
 /// file against this list, so keep it in sync with the schema note in
 /// crates/bench/src/lib.rs.
-const SCHEMA_FIELDS: [&str; 21] = [
+const SCHEMA_FIELDS: [&str; 22] = [
     "bench",
     "status",
     "scale",
@@ -40,6 +41,7 @@ const SCHEMA_FIELDS: [&str; 21] = [
     "synth_edges",
     "mem_secs",
     "ooc_secs",
+    "metrics",
     "degree",
     "pagerank",
     "peak_scratch_bytes",
@@ -56,6 +58,22 @@ fn schema_check(json: &str) {
             "BENCH_veracity.json is missing field {field:?}"
         );
     }
+    for m in Metric::ALL {
+        assert!(
+            json.contains(&format!("\"{}\":", m.name())),
+            "BENCH_veracity.json is missing metric {:?}",
+            m.name()
+        );
+    }
+}
+
+/// One timed metric: wall-clock for each path plus the (bit-identical)
+/// score.
+struct MetricRow {
+    metric: Metric,
+    mem_secs: f64,
+    ooc_secs: f64,
+    score: f64,
 }
 
 fn main() {
@@ -87,7 +105,7 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("csb-bench-veracity-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
     // Seed as a v1 single file, synthetic as a v2 sharded + compressed
-    // shard set: one run covers both layouts, and `open_scan` must score
+    // shard set: one run covers both layouts, and the scan path must score
     // them bit-identically.
     let store_shards: usize = 4;
     let store_codec = csb_store::Compression::Columnar;
@@ -103,16 +121,53 @@ fn main() {
     // `threads: 1` on multi-worker runs.
     let pool_width = configured_pool_width();
     let pr = PageRankConfig::default();
-    let t = Instant::now();
-    let (mem, mem_threads) = with_pool(pool_width, || veracity_with(&seed.graph, &synth, &pr));
-    let mem_secs = t.elapsed().as_secs_f64();
 
+    let (mem_rows, mem_threads) = with_pool(pool_width, || {
+        Metric::ALL
+            .iter()
+            .map(|&m| {
+                let t = Instant::now();
+                let report = VeracityJob::new()
+                    .seed_graph(&seed.graph)
+                    .synthetic_graph(&synth)
+                    .metrics([m])
+                    .pagerank_config(pr)
+                    .run()
+                    .expect("in-memory veracity");
+                let secs = t.elapsed().as_secs_f64();
+                (m, report.score(m.name()).expect("selected metric scored"), secs)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // The distribution kernels (degree, pagerank, and the MMD metrics that
+    // reuse their score vectors) are the ones under the O(vertices + chunk)
+    // scratch contract; clustering holds the simplified adjacency
+    // (O(V + E)) and the spectral sketch its iteration vectors (O(k * V)),
+    // so the bounded peak is captured while only degree/pagerank have run.
+    // Metric::ALL orders those two first.
     peak_scratch.set(0);
-    let t = Instant::now();
-    let (ooc, ooc_threads) =
-        with_pool(pool_width, || veracity_store(&seed_store, &synth_store, &pr));
-    let ooc = ooc.expect("ooc veracity");
-    let ooc_secs = t.elapsed().as_secs_f64();
+    let mut bounded_peak = 0u64;
+    let (ooc_rows, ooc_threads) = with_pool(pool_width, || {
+        Metric::ALL
+            .iter()
+            .map(|&m| {
+                let t = Instant::now();
+                let report = VeracityJob::new()
+                    .seed_store(&seed_store)
+                    .synthetic_store(&synth_store)
+                    .metrics([m])
+                    .pagerank_config(pr)
+                    .run()
+                    .expect("out-of-core veracity");
+                let secs = t.elapsed().as_secs_f64();
+                if matches!(m, Metric::Degree | Metric::Pagerank) {
+                    bounded_peak = bounded_peak.max(peak_scratch.get().max(0) as u64);
+                }
+                (m, report.score(m.name()).expect("selected metric scored"), secs)
+            })
+            .collect::<Vec<_>>()
+    });
 
     // Provenance guard (hard failure under --smoke and measured runs alike):
     // the recorded thread counts must be the pool the sections actually ran
@@ -125,38 +180,55 @@ fn main() {
         );
     }
 
-    // The conformance contract, enforced at bench scale too.
-    assert_eq!(
-        mem.degree.to_bits(),
-        ooc.degree.to_bits(),
-        "degree scores diverged: {:e} vs {:e}",
-        mem.degree,
-        ooc.degree
-    );
-    assert_eq!(
-        mem.pagerank.to_bits(),
-        ooc.pagerank.to_bits(),
-        "pagerank scores diverged: {:e} vs {:e}",
-        mem.pagerank,
-        ooc.pagerank
-    );
+    // The conformance contract, enforced per metric at bench scale too.
+    let rows: Vec<MetricRow> = mem_rows
+        .into_iter()
+        .zip(ooc_rows)
+        .map(|((m, mem_score, mem_secs), (m2, ooc_score, ooc_secs))| {
+            assert_eq!(m, m2, "metric order diverged between sections");
+            assert_eq!(
+                mem_score.to_bits(),
+                ooc_score.to_bits(),
+                "{} scores diverged: {mem_score:e} vs {ooc_score:e}",
+                m.name()
+            );
+            MetricRow { metric: m, mem_secs, ooc_secs, score: mem_score }
+        })
+        .collect();
+    let mem_secs: f64 = rows.iter().map(|r| r.mem_secs).sum();
+    let ooc_secs: f64 = rows.iter().map(|r| r.ooc_secs).sum();
+    let score_of = |name: &str| {
+        rows.iter().find(|r| r.metric.name() == name).map(|r| r.score).expect("metric row")
+    };
 
-    // The acceptance bound: streaming veracity scratch is O(vertices +
-    // chunk) — three f64/u64 vectors over the larger vertex set plus the
-    // scan's per-chunk column buffers, with 2x headroom for allocator slop.
+    // The acceptance bound: streaming distribution-veracity scratch is
+    // O(vertices + chunk) — three f64/u64 vectors over the larger vertex
+    // set plus the scan's per-chunk column buffers, with 2x headroom for
+    // allocator slop. Asserted over the degree/pagerank sections only; see
+    // the comment above the out-of-core loop.
     let max_vertices = seed.graph.vertex_count().max(synth.vertex_count()) as u64;
     let bound = 2 * (24 * max_vertices + 24 * CHUNK_RECORDS as u64);
-    let peak = peak_scratch.get().max(0) as u64;
-    assert!(peak > 0, "kernels never reported scratch");
-    assert!(peak <= bound, "peak scratch {peak} B exceeds O(V + chunk) bound {bound} B");
-    println!(
-        "veracity: degree {:e}, pagerank {:e} (bit-identical in-memory vs out-of-core)",
-        mem.degree, mem.pagerank
+    assert!(bounded_peak > 0, "kernels never reported scratch");
+    assert!(
+        bounded_peak <= bound,
+        "peak scratch {bounded_peak} B exceeds O(V + chunk) bound {bound} B"
     );
+    println!("metric         score          mem_secs   ooc_secs");
+    for r in &rows {
+        println!(
+            "{:<13} {:>13.6e} {:>9.3} {:>10.3}",
+            r.metric.name(),
+            r.score,
+            r.mem_secs,
+            r.ooc_secs
+        );
+    }
     println!(
-        "in-memory {mem_secs:.3}s, out-of-core {ooc_secs:.3}s; \
-         peak scratch {} B (bound {} B), {} column bytes streamed",
-        eng(peak as f64),
+        "all {} metrics bit-identical in-memory vs out-of-core; \
+         in-memory {mem_secs:.3}s, out-of-core {ooc_secs:.3}s; \
+         peak distribution scratch {} B (bound {} B), {} column bytes streamed",
+        rows.len(),
+        eng(bounded_peak as f64),
         eng(bound as f64),
         eng(ooc_bytes.get() as f64),
     );
@@ -181,6 +253,14 @@ fn main() {
     let git_rev = csb_bench::git_rev();
     let mut section_threads = JsonObject::new();
     section_threads.u64("mem", mem_threads as u64).u64("ooc", ooc_threads as u64);
+    let mut metrics = JsonObject::new();
+    for r in &rows {
+        let mut o = JsonObject::new();
+        o.f64("mem_secs", r.mem_secs, 6).f64("ooc_secs", r.ooc_secs, 6);
+        // `{:e}` round-trips the exact f64 score.
+        o.raw("score", &format!("{:e}", r.score));
+        metrics.raw(r.metric.name(), &o.finish());
+    }
     let mut root = JsonObject::new();
     root.str("bench", "veracity")
         .str("status", if smoke { "smoke" } else { "measured" })
@@ -197,10 +277,12 @@ fn main() {
         .u64("synth_edges", synth.edge_count() as u64)
         .f64("mem_secs", mem_secs, 6)
         .f64("ooc_secs", ooc_secs, 6)
-        // `{:e}` round-trips the exact f64 scores.
-        .raw("degree", &format!("{:e}", mem.degree))
-        .raw("pagerank", &format!("{:e}", mem.pagerank))
-        .u64("peak_scratch_bytes", peak)
+        .raw("metrics", &metrics.finish())
+        // `{:e}` round-trips the exact f64 scores; degree/pagerank stay as
+        // top-level fields so pre-2.0 consumers keep parsing.
+        .raw("degree", &format!("{:e}", score_of("degree")))
+        .raw("pagerank", &format!("{:e}", score_of("pagerank")))
+        .u64("peak_scratch_bytes", bounded_peak)
         .u64("scratch_bound_bytes", bound)
         .u64("ooc_bytes_read", ooc_bytes.get())
         .u64("peak_rss_bytes", peak_rss)

@@ -3,7 +3,20 @@
 //! graph grows; PGSK can start far below the seed size.
 
 use csb_bench::{eng, sci, standard_seed, Table};
-use csb_core::{degree_veracity, pgpba, pgsk, PgpbaConfig, PgskConfig};
+use csb_core::{pgpba, pgsk, Metric, PgpbaConfig, PgskConfig, VeracityJob};
+use csb_graph::NetflowGraph;
+
+/// The Fig. 6 score: the degree metric alone through the 2.0 job API.
+fn degree_veracity(seed: &NetflowGraph, synth: &NetflowGraph) -> f64 {
+    VeracityJob::new()
+        .seed_graph(seed)
+        .synthetic_graph(synth)
+        .metrics([Metric::Degree])
+        .run()
+        .expect("veracity")
+        .score("degree")
+        .expect("degree scored")
+}
 
 fn main() {
     let seed = standard_seed();

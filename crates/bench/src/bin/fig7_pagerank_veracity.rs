@@ -3,7 +3,20 @@
 //! better than PGSK in all configurations.
 
 use csb_bench::{eng, sci, standard_seed, Table};
-use csb_core::{pagerank_veracity, pgpba, pgsk, PgpbaConfig, PgskConfig};
+use csb_core::{pgpba, pgsk, Metric, PgpbaConfig, PgskConfig, VeracityJob};
+use csb_graph::NetflowGraph;
+
+/// The Fig. 7 score: the PageRank metric alone through the 2.0 job API.
+fn pagerank_veracity(seed: &NetflowGraph, synth: &NetflowGraph) -> f64 {
+    VeracityJob::new()
+        .seed_graph(seed)
+        .synthetic_graph(synth)
+        .metrics([Metric::Pagerank])
+        .run()
+        .expect("veracity")
+        .score("pagerank")
+        .expect("pagerank scored")
+}
 
 fn main() {
     let seed = standard_seed();

@@ -61,6 +61,7 @@
 //!   "store_shards":N, "store_codec":S, "os":S, "git_rev":S,
 //!   "seed_vertices":N, "seed_edges":N, "synth_vertices":N, "synth_edges":N,
 //!   "mem_secs":F, "ooc_secs":F,
+//!   "metrics": { name: {"mem_secs":F, "ooc_secs":F, "score":F}, ... },
 //!   "degree":F, "pagerank":F,
 //!   "peak_scratch_bytes":N, "scratch_bound_bytes":N, "ooc_bytes_read":N,
 //!   "peak_rss_bytes":N, "store_enc_bytes_saved":N,
@@ -71,12 +72,23 @@
 //! `BENCH_materialize.json`: the sampler's RSS high-water mark and the
 //! columnar encoder's total payload savings for the synthetic shard set.
 //!
-//! `degree`/`pagerank` are printed with `{:e}` (shortest round-trip), so
-//! parsing them recovers the exact scores, which are asserted bit-identical
-//! between the in-memory and out-of-core paths before the file is written.
+//! `metrics` has one entry per [`csb_core::Metric`] (the full Veracity 2.0
+//! suite, in `Metric::ALL` order): the wall-clock seconds of a
+//! single-metric `VeracityJob` run per path and the score, printed with
+//! `{:e}` (shortest round-trip) so parsing recovers the exact f64. Each
+//! score is asserted bit-identical between the in-memory and out-of-core
+//! paths before the file is written. `mem_secs`/`ooc_secs` are the sums
+//! over the per-metric sections, and `degree`/`pagerank` duplicate those
+//! two scores at top level so pre-2.0 consumers keep parsing. The per-path
+//! timings bracket the whole single-metric job, so the out-of-core numbers
+//! include re-opening the stores per metric.
+//!
 //! `peak_scratch_bytes` is the `ooc.peak_scratch_bytes` gauge high-water
-//! mark; the harness asserts it stays under `scratch_bound_bytes`, the
-//! O(vertices + chunk) ceiling of the streaming kernels.
+//! mark over the *degree and pagerank* sections; the harness asserts it
+//! stays under `scratch_bound_bytes`, the O(vertices + chunk) ceiling of
+//! the streaming distribution kernels. (Clustering legitimately holds the
+//! simplified adjacency — O(V + E) — and the spectral sketch its iteration
+//! vectors, so those sections are outside the bound.)
 //! `store_shards`/`store_codec` describe the synthetic store's layout (the
 //! seed store is always a v1 single file, so each run also exercises the
 //! v1-compat read path).

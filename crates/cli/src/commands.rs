@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use csb_core::{
-    seed_from_packets, veracity_store, veracity_with, GenJob, PgpbaConfig, PgskConfig, SeedBundle,
+    seed_from_packets, GenJob, Metric, PgpbaConfig, PgskConfig, SeedBundle, VeracityJob,
 };
 use csb_engine::sim::{GenAlgorithm, GenJob as SimGenJob};
 use csb_engine::{ClusterConfig, CostModel, SimCluster};
@@ -31,6 +31,7 @@ pub fn run(args: &Args) -> Result<()> {
         "seed" => seed(args),
         "generate" => generate(args),
         "veracity" => veracity_cmd(args),
+        "compare" => crate::compare::compare_cmd(args),
         "detect" => detect_cmd(args),
         "workload" => workload_cmd(args),
         "export" => export_cmd(args),
@@ -349,24 +350,65 @@ fn obs_report(args: &Args) -> Result<()> {
     Ok(())
 }
 
+/// Everything `csb veracity` accepts, parsed up front into one struct: the
+/// in-memory and the store mode then flow through the same [`VeracityJob`].
+pub(crate) struct VeracityCliConfig {
+    pub(crate) metrics: Vec<Metric>,
+    pub(crate) pagerank: PageRankConfig,
+    pub(crate) scan_cache_mb: Option<u64>,
+    json_out: Option<String>,
+}
+
+impl VeracityCliConfig {
+    /// Parses the flags shared by `veracity` and `compare`: `--metrics`, the
+    /// PageRank knobs, and `--scan-cache-mb`.
+    pub(crate) fn parse(args: &Args) -> Result<Self> {
+        let defaults = PageRankConfig::default();
+        Ok(VeracityCliConfig {
+            metrics: match args.get("metrics") {
+                Some(spec) => Metric::parse_list(spec)?,
+                None => Metric::DEFAULT.to_vec(),
+            },
+            pagerank: PageRankConfig {
+                damping: args.get_or("damping", defaults.damping)?,
+                max_iters: args.get_or("max-iters", defaults.max_iters)?,
+                tolerance: args.get_or("tolerance", defaults.tolerance)?,
+            },
+            scan_cache_mb: match args.get("scan-cache-mb") {
+                Some(_) => Some(args.require_parsed("scan-cache-mb")?),
+                None => None,
+            },
+            json_out: args.get("json-out").map(str::to_string),
+        })
+    }
+
+    /// A [`VeracityJob`] with the parsed metric set and knobs applied; the
+    /// caller attaches the two inputs.
+    pub(crate) fn job<'a>(&self) -> VeracityJob<'a> {
+        let mut job =
+            VeracityJob::new().metrics(self.metrics.iter().copied()).pagerank_config(self.pagerank);
+        if let Some(mb) = self.scan_cache_mb {
+            job = job.scan_cache_mb(mb);
+        }
+        job
+    }
+}
+
 fn veracity_cmd(args: &Args) -> Result<()> {
     args.expect_only(&[
         "seed-graph",
         "synthetic",
         "store",
         "json-out",
+        "metrics",
         "damping",
         "max-iters",
         "tolerance",
+        "scan-cache-mb",
     ])?;
-    let defaults = PageRankConfig::default();
-    let pr = PageRankConfig {
-        damping: args.get_or("damping", defaults.damping)?,
-        max_iters: args.get_or("max-iters", defaults.max_iters)?,
-        tolerance: args.get_or("tolerance", defaults.tolerance)?,
-    };
+    let cfg = VeracityCliConfig::parse(args)?;
     let stores = args.get_all("store");
-    let (v, seed_label, synth_label) = if stores.is_empty() {
+    let (report, seed_label, synth_label) = if stores.is_empty() {
         let seed_path = args.require("seed-graph")?;
         let synth_path = args.require("synthetic")?;
         let seed = load_graph(seed_path)?;
@@ -378,7 +420,8 @@ fn veracity_cmd(args: &Args) -> Result<()> {
             synth.vertex_count(),
             synth.edge_count()
         );
-        (veracity_with(&seed, &synth, &pr), seed_path.to_string(), synth_path.to_string())
+        let report = cfg.job().seed_graph(&seed).synthetic_graph(&synth).run()?;
+        (report, seed_path.to_string(), synth_path.to_string())
     } else {
         // Out-of-core: score two graph store files without materializing
         // either graph (`csb veracity --store seed.csb synth.csb`).
@@ -397,18 +440,22 @@ fn veracity_cmd(args: &Args) -> Result<()> {
             let mut scan = csb_store::open_scan(path)?;
             println!("store {path}: {}v/{}e", scan.vertex_count()?, scan.edge_count()?);
         }
-        (veracity_store(seed_path, synth_path, &pr)?, seed_path.clone(), synth_path.clone())
+        let report = cfg.job().seed_store(seed_path).synthetic_store(synth_path).run()?;
+        (report, seed_path.clone(), synth_path.clone())
     };
-    println!("degree veracity:   {:.6e}", v.degree);
-    println!("pagerank veracity: {:.6e}", v.pagerank);
-    if let Some(path) = args.get("json-out") {
+    for s in &report.scores {
+        // The pad keeps the score column aligned through "pagerank veracity:".
+        println!("{:<18} {:.6e}", format!("{} veracity:", s.metric), s.score);
+    }
+    if let Some(path) = &cfg.json_out {
         // `{:e}` is the shortest round-trip form, so consumers recover the
-        // exact f64 scores by parsing.
+        // exact f64 scores by parsing. Keys are the metric names.
         let mut obj = csb_obs::json::JsonObject::new();
         obj.str("seed", &seed_label);
         obj.str("synthetic", &synth_label);
-        obj.raw("degree", &format!("{:e}", v.degree));
-        obj.raw("pagerank", &format!("{:e}", v.pagerank));
+        for s in &report.scores {
+            obj.raw(s.metric, &format!("{:e}", s.score));
+        }
         std::fs::write(path, obj.finish() + "\n")?;
         println!("wrote veracity scores to {path}");
     }
@@ -961,11 +1008,22 @@ mod tests {
 
         // veracity --store accepts either layout and scores bit-identically.
         run(&args(&["veracity", "--store", &single, &sharded])).expect("veracity mixed layouts");
-        let pr = csb_graph::algo::PageRankConfig::default();
-        let v1 = csb_core::veracity_store(&single, &single, &pr).expect("v1 self-score");
-        let v2 = csb_core::veracity_store(&single, &sharded, &pr).expect("v2 cross-score");
-        assert_eq!(v1.degree.to_bits(), v2.degree.to_bits());
-        assert_eq!(v1.pagerank.to_bits(), v2.pagerank.to_bits());
+        let score = |seed: &str, synth: &str| {
+            csb_core::VeracityJob::new()
+                .seed_store(seed)
+                .synthetic_store(synth)
+                .run()
+                .expect("store veracity")
+        };
+        let v1 = score(&single, &single);
+        let v2 = score(&single, &sharded);
+        for metric in ["degree", "pagerank"] {
+            assert_eq!(
+                v1.score(metric).expect("scored").to_bits(),
+                v2.score(metric).expect("scored").to_bits(),
+                "{metric} must be layout-independent"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1017,9 +1075,13 @@ mod tests {
         };
         let ga = csb_store::load_graph(&store_a).expect("load a");
         let gb = csb_store::load_graph(&store_b).expect("load b");
-        let mem = csb_core::veracity(&ga, &gb);
-        assert_eq!(field("degree").to_bits(), mem.degree.to_bits());
-        assert_eq!(field("pagerank").to_bits(), mem.pagerank.to_bits());
+        let mem = csb_core::VeracityJob::new()
+            .seed_graph(&ga)
+            .synthetic_graph(&gb)
+            .run()
+            .expect("in-memory veracity");
+        assert_eq!(field("degree").to_bits(), mem.score("degree").expect("scored").to_bits());
+        assert_eq!(field("pagerank").to_bits(), mem.score("pagerank").expect("scored").to_bits());
 
         // Wrong arity and mixed modes are usage errors.
         let err = run(&args(&["veracity", "--store", &store_a])).expect_err("one file");
@@ -1078,6 +1140,99 @@ mod tests {
         ]))
         .expect_err("bad damping");
         assert!(err.to_string().contains("damping"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn veracity_metrics_and_cache_flags() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-vmet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pcap = dir.join("t.pcap").to_string_lossy().into_owned();
+        let seed_path = dir.join("seed.graph").to_string_lossy().into_owned();
+        let synth_path = dir.join("synth.graph").to_string_lossy().into_owned();
+        let json_path = dir.join("scores.json").to_string_lossy().into_owned();
+        run(&args(&["simulate", "--out", &pcap, "--duration", "6", "--rate", "12"]))
+            .expect("simulate");
+        run(&args(&["seed", "--pcap", &pcap, "--out", &seed_path])).expect("seed");
+        run(&args(&[
+            "generate",
+            "--seed-graph",
+            &seed_path,
+            "--algorithm",
+            "pgpba",
+            "--size",
+            "1500",
+            "--out",
+            &synth_path,
+        ]))
+        .expect("generate");
+
+        // The full metric suite lands in the JSON report, one key per metric.
+        run(&args(&[
+            "veracity",
+            "--seed-graph",
+            &seed_path,
+            "--synthetic",
+            &synth_path,
+            "--metrics",
+            "all",
+            "--json-out",
+            &json_path,
+        ]))
+        .expect("veracity --metrics all");
+        let json = std::fs::read_to_string(&json_path).expect("json written");
+        csb_obs::json::validate_json(&json).expect("scores are valid JSON");
+        for m in csb_core::Metric::ALL {
+            assert!(json.contains(&format!("\"{}\":", m.name())), "missing {}", m.name());
+        }
+
+        // Store mode accepts a metric subset and an explicit scan cache.
+        let store_a = dir.join("a.csbstore").to_string_lossy().into_owned();
+        let store_b = dir.join("b.csbstore").to_string_lossy().into_owned();
+        let seed_graph = load_graph(&seed_path).expect("load seed");
+        let synth_graph = load_graph(&synth_path).expect("load synth");
+        csb_store::save_graph(&store_a, &seed_graph).expect("save a");
+        csb_store::save_graph(&store_b, &synth_graph).expect("save b");
+        run(&args(&[
+            "veracity",
+            "--store",
+            &store_a,
+            &store_b,
+            "--metrics",
+            "degree,clustering",
+            "--scan-cache-mb",
+            "8",
+            "--json-out",
+            &json_path,
+        ]))
+        .expect("veracity --store with subset");
+        let json = std::fs::read_to_string(&json_path).expect("json written");
+        assert!(json.contains("\"degree\":") && json.contains("\"clustering\":"));
+        assert!(!json.contains("\"pagerank\":"), "unrequested metric leaked: {json}");
+
+        // Unknown metrics and malformed cache sizes are usage errors.
+        let err = run(&args(&[
+            "veracity",
+            "--seed-graph",
+            &seed_path,
+            "--synthetic",
+            &synth_path,
+            "--metrics",
+            "degree,bogus",
+        ]))
+        .expect_err("unknown metric");
+        assert!(err.to_string().contains("bogus"), "got: {err}");
+        let err = run(&args(&[
+            "veracity",
+            "--seed-graph",
+            &seed_path,
+            "--synthetic",
+            &synth_path,
+            "--scan-cache-mb",
+            "lots",
+        ]))
+        .expect_err("bad cache size");
+        assert!(err.to_string().contains("scan-cache-mb"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,6 +5,7 @@
 
 mod args;
 mod commands;
+mod compare;
 mod serve_cmd;
 
 use args::Args;
@@ -56,9 +57,27 @@ COMMANDS:
                  --metrics, also prints top counters from a --metrics-out
                  summary)
     veracity     Score a synthetic graph against its seed
-                 --seed-graph FILE --synthetic FILE
+                 --seed-graph FILE --synthetic FILE | --store SEED SYNTH
+                 [--metrics LIST=degree,pagerank] [--json-out FILE]
                  [--damping F=0.85] [--max-iters N=100] [--tolerance F]
-                 (the PageRank knobs used by the pagerank veracity score)
+                 [--scan-cache-mb N]
+                 (LIST picks from degree, pagerank, clustering,
+                 assortativity, spectral, mmd_degree, mmd_pagerank — or the
+                 shorthands mmd and all; --store scores two store files out
+                 of core and --scan-cache-mb caps that scan cache, also
+                 settable via CSB_SCAN_CACHE_MB; the PageRank knobs drive the
+                 pagerank and mmd_pagerank scores)
+    compare      Score the whole generator lineup against one seed graph:
+                 the 7 baseline models (ER, WS, BA, Chung-Lu, BTER, SBM,
+                 R-MAT) plus PGPBA and PGSK, at matched scale
+                 --seed-graph FILE | --seed-store FILE
+                 [--size-mult N=8] [--seed N=42] [--metrics LIST=all]
+                 [--store NAME=PATH ...] [--out REPORT.json] [--smoke true]
+                 [--damping F] [--max-iters N] [--tolerance F]
+                 [--scan-cache-mb N]
+                 (--store adds pre-generated store files to the lineup,
+                 scored out of core; --out writes the machine-readable
+                 comparison report; --smoke shrinks the scale for CI)
     detect       Run the NetFlow anomaly detector over a capture
                  --pcap FILE [--train FILE] [--filter EXPR]
     workload     Run the node/edge/path/sub-graph query workload on a graph

@@ -241,8 +241,19 @@ pub fn materialize(topo: &Topology, seed: &SeedBundle, rng_seed: u64) -> Netflow
 mod tests {
     use super::*;
     use crate::seed::seed_from_trace;
-    use crate::veracity::degree_veracity;
+    use crate::veracity::{Metric, VeracityJob};
     use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+    fn degree_veracity(seed: &NetflowGraph, synthetic: &NetflowGraph) -> f64 {
+        VeracityJob::new()
+            .seed_graph(seed)
+            .synthetic_graph(synthetic)
+            .metrics([Metric::Degree])
+            .run()
+            .expect("in-memory veracity")
+            .score("degree")
+            .expect("degree scored")
+    }
 
     fn small_seed() -> SeedBundle {
         let trace = TrafficSim::new(TrafficSimConfig {

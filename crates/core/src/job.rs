@@ -851,11 +851,20 @@ mod tests {
         // ...and bit-identical OOC veracity over either layout.
         let seed_store = dir.join("seed.csbstore");
         csb_store::sink::save_graph(&seed_store, &seed.graph).expect("save seed");
-        let cfg_pr = csb_graph::algo::pagerank::PageRankConfig::default();
-        let v1 = crate::veracity_store(&seed_store, &single, &cfg_pr).expect("score v1");
-        let v2 = crate::veracity_store(&seed_store, &sharded, &cfg_pr).expect("score v2");
-        assert_eq!(v1.degree.to_bits(), v2.degree.to_bits());
-        assert_eq!(v1.pagerank.to_bits(), v2.pagerank.to_bits());
+        let score = |synth: &std::path::Path| {
+            crate::VeracityJob::new()
+                .seed_store(&seed_store)
+                .synthetic_store(synth)
+                .run()
+                .expect("score")
+        };
+        let v1 = score(&single);
+        let v2 = score(&sharded);
+        assert_eq!(v1.score("degree").unwrap().to_bits(), v2.score("degree").unwrap().to_bits());
+        assert_eq!(
+            v1.score("pagerank").unwrap().to_bits(),
+            v2.score("pagerank").unwrap().to_bits()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -23,7 +23,8 @@
 //! Supporting modules: [`seed`] (the Fig. 1 preliminary pipeline: PCAP ->
 //! NetFlow -> property-graph -> analysis), [`analysis`] (degree and
 //! conditional attribute distributions, `p(a | IN_BYTES)`), [`veracity`]
-//! (the Section V-A veracity scores), and [`distributed`] (map-reduce
+//! (the Section V-A scores plus the Veracity 2.0 multi-metric suite behind
+//! [`VeracityJob`]), and [`distributed`] (map-reduce
 //! implementations on `csb-engine` mirroring the paper's Spark/GraphX code
 //! path, plus simulated-cluster performance estimation).
 
@@ -49,7 +50,9 @@ pub use pgpba::{pgpba, pgpba_timed};
 pub use pgsk::{pgsk, pgsk_timed};
 pub use seed::{seed_from_packets, seed_from_trace, SeedBundle};
 pub use stream::{attach_properties_to_sink, pgpba_to_sink, pgsk_to_sink};
+#[allow(deprecated)]
 pub use veracity::{
     degree_veracity, pagerank_veracity, pagerank_veracity_with, veracity, veracity_scan_with,
     veracity_store, veracity_with, VeracityScores,
 };
+pub use veracity::{DynEdgeScan, Metric, MetricScore, VeracityJob, VeracityReport};

@@ -160,7 +160,17 @@ fn different_master_seeds_give_different_graphs_same_statistics() {
     // ...from the same distribution: sizes within 25%, similar degree shape.
     let ratio = a.edge_count() as f64 / b.edge_count() as f64;
     assert!((0.75..1.33).contains(&ratio), "size ratio {ratio}");
-    let va = csb_core::degree_veracity(&s.graph, &a);
-    let vb = csb_core::degree_veracity(&s.graph, &b);
+    let degree_veracity = |g: &csb_graph::NetflowGraph| {
+        csb_core::VeracityJob::new()
+            .seed_graph(&s.graph)
+            .synthetic_graph(g)
+            .metrics([csb_core::Metric::Degree])
+            .run()
+            .expect("veracity")
+            .score("degree")
+            .expect("degree scored")
+    };
+    let va = degree_veracity(&a);
+    let vb = degree_veracity(&b);
     assert!(va < 0.01 && vb < 0.01, "both runs stay high-veracity ({va}, {vb})");
 }

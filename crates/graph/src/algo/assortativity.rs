@@ -4,6 +4,46 @@
 //! generators — are disassortative (r < 0): hubs talk to leaves.
 
 use crate::graph::PropertyGraph;
+use crate::ooc::{degree_counts_ooc, EdgeScan};
+
+/// The five Pearson sums of Newman's r, accumulated one edge at a time.
+///
+/// Shared by the in-memory and streaming entry points: both push every edge
+/// in stream order through the identical floating-point sequence, which is
+/// what makes [`degree_assortativity_ooc`] bit-for-bit equal to
+/// [`degree_assortativity`] for any batching (the accumulation is
+/// sequential, so thread count cannot enter either).
+#[derive(Debug, Default, Clone, Copy)]
+struct PearsonAccum {
+    sx: f64,
+    sy: f64,
+    sxy: f64,
+    sxx: f64,
+    syy: f64,
+}
+
+impl PearsonAccum {
+    #[inline]
+    fn push(&mut self, x: f64, y: f64) {
+        self.sx += x;
+        self.sy += y;
+        self.sxy += x * y;
+        self.sxx += x * x;
+        self.syy += y * y;
+    }
+
+    fn finish(self, edges: u64) -> f64 {
+        let n = edges as f64;
+        let cov = self.sxy / n - (self.sx / n) * (self.sy / n);
+        let vx = self.sxx / n - (self.sx / n).powi(2);
+        let vy = self.syy / n - (self.sy / n).powi(2);
+        if vx <= 0.0 || vy <= 0.0 {
+            0.0
+        } else {
+            cov / (vx * vy).sqrt()
+        }
+    }
+}
 
 /// Newman's degree assortativity coefficient over directed edges, using
 /// total degrees at both endpoints. Returns 0 for graphs with fewer than
@@ -18,25 +58,33 @@ pub fn degree_assortativity<V, E>(g: &PropertyGraph<V, E>) -> f64 {
         degree[s.index()] += 1;
         degree[t.index()] += 1;
     }
-    let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let mut acc = PearsonAccum::default();
     for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
-        let x = degree[s.index()] as f64;
-        let y = degree[t.index()] as f64;
-        sx += x;
-        sy += y;
-        sxy += x * y;
-        sxx += x * x;
-        syy += y * y;
+        acc.push(degree[s.index()] as f64, degree[t.index()] as f64);
     }
-    let n = m as f64;
-    let cov = sxy / n - (sx / n) * (sy / n);
-    let vx = sxx / n - (sx / n).powi(2);
-    let vy = syy / n - (sy / n).powi(2);
-    if vx <= 0.0 || vy <= 0.0 {
-        0.0
-    } else {
-        cov / (vx * vy).sqrt()
+    acc.finish(m as u64)
+}
+
+/// Streaming [`degree_assortativity`]: one degree-counting pass plus one
+/// moment-accumulation pass in stream order, O(vertices + batch) scratch,
+/// bit-identical to the in-memory coefficient.
+pub fn degree_assortativity_ooc<S: EdgeScan>(scan: &mut S) -> Result<f64, S::Error> {
+    let _span = csb_obs::span_cat("ooc.assortativity", "ooc");
+    let m = scan.edge_count()?;
+    if m < 2 {
+        return Ok(0.0);
     }
+    let degree = degree_counts_ooc(scan)?.total();
+    let mut acc = PearsonAccum::default();
+    {
+        let _span = csb_obs::span_cat("ooc.pass2", "ooc");
+        scan.scan_edges(&mut |src, dst| {
+            for (&s, &d) in src.iter().zip(dst) {
+                acc.push(degree[s as usize] as f64, degree[d as usize] as f64);
+            }
+        })?;
+    }
+    Ok(acc.finish(m))
 }
 
 #[cfg(test)]
@@ -115,5 +163,28 @@ mod tests {
         assert_eq!(degree_assortativity(&g), 0.0);
         let empty: PropertyGraph<(), ()> = PropertyGraph::new();
         assert_eq!(degree_assortativity(&empty), 0.0);
+    }
+
+    #[test]
+    fn path_graph_hand_computed() {
+        // P3 (0-1-2): endpoint degree pairs (1,2) and (2,1) are perfectly
+        // anti-correlated -> r = -1 exactly.
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(degree_assortativity(&g), -1.0);
+    }
+
+    #[test]
+    fn ooc_is_bit_identical_to_in_memory() {
+        use crate::ooc::GraphScan;
+        let mut edges = vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 3)];
+        for i in 0..6u32 {
+            edges.push((i % 4, (i * 7 + 1) % 4));
+        }
+        let g = graph(4, &edges);
+        let mem = degree_assortativity(&g);
+        for batch in [1usize, 2, 5, usize::MAX] {
+            let ooc = degree_assortativity_ooc(&mut GraphScan::of(&g).with_batch(batch)).unwrap();
+            assert_eq!(mem.to_bits(), ooc.to_bits(), "batch {batch}");
+        }
     }
 }

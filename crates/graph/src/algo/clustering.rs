@@ -2,25 +2,157 @@
 //! undirected skeleton of the multigraph (parallel edges and directions
 //! collapse, self-loops dropped) — the property the BTER line of work the
 //! paper surveys is built around.
+//!
+//! Both the in-memory and the streaming entry points reduce the input to
+//! the same [`UndirectedCsr`] — a sorted, deduplicated undirected adjacency
+//! — and then share one deterministic kernel ([`coefficients_of`]), so
+//! [`clustering_coefficients`] and [`clustering_coefficients_ooc`] are
+//! bit-for-bit identical on the same logical graph for any batching and any
+//! rayon thread count (integer wedge counts; the one floating-point
+//! reduction uses the fixed-block deterministic sum shared with PageRank).
 
+use crate::algo::pagerank::blocked_sum;
 use crate::graph::PropertyGraph;
+use crate::ooc::EdgeScan;
 use rayon::prelude::*;
 
-/// Builds a sorted, deduplicated undirected adjacency list.
-fn undirected_adjacency<V, E>(g: &PropertyGraph<V, E>) -> Vec<Vec<u32>> {
-    let n = g.vertex_count();
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
-        if s != t {
-            adj[s.index()].push(t.0);
-            adj[t.index()].push(s.0);
+/// Sorted, deduplicated undirected adjacency in CSR form: the simplified
+/// skeleton every clustering quantity is defined on. Identical regardless
+/// of whether it was built from a materialized graph or an edge scan,
+/// because simplification (sort + dedup) erases the insertion order.
+#[derive(Debug, Clone)]
+pub struct UndirectedCsr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl UndirectedCsr {
+    /// Builds from a materialized graph.
+    pub fn of_graph<V, E>(g: &PropertyGraph<V, E>) -> Self {
+        let n = g.vertex_count();
+        let mut counts = vec![0usize; n];
+        for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
+            if s != t {
+                counts[s.index()] += 1;
+                counts[t.index()] += 1;
+            }
         }
+        let mut b = Builder::new(counts);
+        for (s, t) in g.edge_sources().iter().zip(g.edge_targets().iter()) {
+            if s != t {
+                b.place(s.0, t.0);
+            }
+        }
+        b.finish()
     }
-    for list in &mut adj {
-        list.sort_unstable();
-        list.dedup();
+
+    /// Builds from an edge scan in two streaming passes (count, place).
+    /// The adjacency itself is O(vertices + simplified edges) scratch — the
+    /// irreducible footprint of wedge closure, counted into
+    /// `ooc.peak_scratch_bytes` by [`clustering_coefficients_ooc`].
+    pub fn of_scan<S: EdgeScan>(scan: &mut S) -> Result<Self, S::Error> {
+        let n = scan.vertex_count()?;
+        let mut counts = vec![0usize; n];
+        {
+            let _span = csb_obs::span_cat("ooc.pass1", "ooc");
+            scan.scan_edges(&mut |src, dst| {
+                for (&s, &d) in src.iter().zip(dst) {
+                    if s != d {
+                        counts[s as usize] += 1;
+                        counts[d as usize] += 1;
+                    }
+                }
+            })?;
+        }
+        let mut b = Builder::new(counts);
+        {
+            let _span = csb_obs::span_cat("ooc.pass2", "ooc");
+            scan.scan_edges(&mut |src, dst| {
+                for (&s, &d) in src.iter().zip(dst) {
+                    if s != d {
+                        b.place(s, d);
+                    }
+                }
+            })?;
+        }
+        Ok(b.finish())
     }
-    adj
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The sorted, deduplicated neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Bytes held by the adjacency arrays (scratch accounting).
+    pub fn scratch_bytes(&self) -> u64 {
+        (self.targets.len() * 4 + self.offsets.len() * 8) as u64
+    }
+}
+
+/// Counting-sort CSR builder shared by the two construction paths.
+struct Builder {
+    offsets: Vec<usize>,
+    cursors: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Builder {
+    fn new(counts: Vec<usize>) -> Self {
+        let n = counts.len();
+        let mut offsets = vec![0usize; n + 1];
+        for (v, &c) in counts.iter().enumerate() {
+            offsets[v + 1] = offsets[v] + c;
+        }
+        let cursors = offsets[..n].to_vec();
+        let targets = vec![0u32; offsets[n]];
+        Builder { offsets, cursors, targets }
+    }
+
+    #[inline]
+    fn place(&mut self, s: u32, t: u32) {
+        self.targets[self.cursors[s as usize]] = t;
+        self.cursors[s as usize] += 1;
+        self.targets[self.cursors[t as usize]] = s;
+        self.cursors[t as usize] += 1;
+    }
+
+    fn finish(mut self) -> UndirectedCsr {
+        let n = self.offsets.len() - 1;
+        // Per-vertex sort over disjoint slices, in parallel.
+        {
+            let mut rest: &mut [u32] = &mut self.targets;
+            let mut slices = Vec::with_capacity(n);
+            for v in 0..n {
+                let (head, tail) = rest.split_at_mut(self.offsets[v + 1] - self.offsets[v]);
+                slices.push(head);
+                rest = tail;
+            }
+            slices.into_par_iter().for_each(|s| s.sort_unstable());
+        }
+        // In-place dedup compaction (the write cursor never passes a read).
+        let mut new_offsets = vec![0usize; n + 1];
+        let mut w = 0usize;
+        for (v, off) in new_offsets.iter_mut().enumerate().take(n) {
+            *off = w;
+            let mut prev = None;
+            for i in self.offsets[v]..self.offsets[v + 1] {
+                let x = self.targets[i];
+                if prev != Some(x) {
+                    self.targets[w] = x;
+                    w += 1;
+                    prev = Some(x);
+                }
+            }
+        }
+        new_offsets[n] = w;
+        self.targets.truncate(w);
+        UndirectedCsr { offsets: new_offsets, targets: self.targets }
+    }
 }
 
 /// Number of common elements of two sorted slices.
@@ -40,62 +172,101 @@ fn intersection_size(a: &[u32], b: &[u32]) -> usize {
     count
 }
 
+/// Every clustering quantity of one graph, from one adjacency traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringCoefficients {
+    /// Global (transitivity) coefficient: `3 * triangles / wedges`.
+    /// Zero when the graph has no wedge.
+    pub global: f64,
+    /// Average local coefficient over vertices with degree >= 2; zero when
+    /// no such vertex exists.
+    pub average_local: f64,
+    /// Undirected triangles, each counted once.
+    pub triangles: u64,
+}
+
+/// Computes all clustering quantities on a prebuilt adjacency.
+///
+/// Per-vertex closed-wedge counts are integers (each vertex's count is the
+/// merge-intersection total over its neighbor lists, halved — every closed
+/// pair is seen from both endpoints), so the only floating-point reduction
+/// is the deterministic blocked sum of the local coefficients.
+pub fn coefficients_of(adj: &UndirectedCsr) -> ClusteringCoefficients {
+    let n = adj.vertex_count();
+    let closed: Vec<u64> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            let nu = adj.neighbors(u);
+            if nu.len() < 2 {
+                return 0;
+            }
+            let mut twice = 0u64;
+            for &v in nu {
+                twice += intersection_size(nu, adj.neighbors(v as usize)) as u64;
+            }
+            twice / 2
+        })
+        .collect();
+    let closed_total: u64 = closed.par_iter().sum();
+    let wedges: u64 = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            let d = adj.neighbors(u).len() as u64;
+            d * (d.saturating_sub(1)) / 2
+        })
+        .sum();
+    let locals: Vec<f64> = closed
+        .par_iter()
+        .enumerate()
+        .map(|(u, &c)| {
+            let d = adj.neighbors(u).len() as u64;
+            if d < 2 {
+                0.0
+            } else {
+                c as f64 / (d * (d - 1) / 2) as f64
+            }
+        })
+        .collect();
+    let eligible = (0..n).filter(|&u| adj.neighbors(u).len() >= 2).count() as u64;
+    ClusteringCoefficients {
+        global: if wedges == 0 { 0.0 } else { closed_total as f64 / wedges as f64 },
+        average_local: if eligible == 0 { 0.0 } else { blocked_sum(&locals) / eligible as f64 },
+        triangles: closed_total / 3,
+    }
+}
+
+/// All clustering quantities of a materialized graph.
+pub fn clustering_coefficients<V, E>(g: &PropertyGraph<V, E>) -> ClusteringCoefficients {
+    coefficients_of(&UndirectedCsr::of_graph(g))
+}
+
+/// Streaming [`clustering_coefficients`]: bit-for-bit identical results
+/// from an [`EdgeScan`], building the simplified adjacency in two passes.
+pub fn clustering_coefficients_ooc<S: EdgeScan>(
+    scan: &mut S,
+) -> Result<ClusteringCoefficients, S::Error> {
+    let _span = csb_obs::span_cat("ooc.clustering", "ooc");
+    let adj = UndirectedCsr::of_scan(scan)?;
+    crate::ooc::note_peak_scratch(adj.scratch_bytes() + scan.scratch_bytes());
+    Ok(coefficients_of(&adj))
+}
+
 /// Counts undirected triangles (each counted once).
 pub fn triangle_count<V, E>(g: &PropertyGraph<V, E>) -> u64 {
-    let adj = undirected_adjacency(g);
-    // For each edge (u,v) with u < v, count common neighbors w > v to count
-    // each triangle exactly once.
-    adj.par_iter()
-        .enumerate()
-        .map(|(u, nu)| {
-            let mut local = 0u64;
-            for &v in nu.iter().filter(|&&v| (v as usize) > u) {
-                let nv = &adj[v as usize];
-                // Common neighbors greater than v.
-                let start_u = nu.partition_point(|&x| x <= v);
-                let start_v = nv.partition_point(|&x| x <= v);
-                local += intersection_size(&nu[start_u..], &nv[start_v..]) as u64;
-            }
-            local
-        })
-        .sum()
+    clustering_coefficients(g).triangles
 }
 
 /// Average local clustering coefficient over vertices with degree >= 2.
 /// Returns 0 when no such vertex exists.
 pub fn average_clustering<V, E>(g: &PropertyGraph<V, E>) -> f64 {
-    let adj = undirected_adjacency(g);
-    let (sum, eligible) = adj
-        .par_iter()
-        .map(|nu| {
-            let d = nu.len();
-            if d < 2 {
-                return (0.0f64, 0u64);
-            }
-            let mut closed = 0u64;
-            for (i, &v) in nu.iter().enumerate() {
-                for &w in &nu[i + 1..] {
-                    // Edge between v and w?
-                    if adj[v as usize].binary_search(&w).is_ok() {
-                        closed += 1;
-                    }
-                }
-            }
-            let possible = (d * (d - 1) / 2) as f64;
-            (closed as f64 / possible, 1u64)
-        })
-        .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-    if eligible == 0 {
-        0.0
-    } else {
-        sum / eligible as f64
-    }
+    clustering_coefficients(g).average_local
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::PropertyGraph;
+    use crate::ooc::GraphScan;
 
     fn triangle() -> PropertyGraph<(), ()> {
         let mut g = PropertyGraph::new();
@@ -111,6 +282,9 @@ mod tests {
         let g = triangle();
         assert_eq!(triangle_count(&g), 1);
         assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        let c = clustering_coefficients(&g);
+        assert_eq!(c.global, 1.0);
+        assert_eq!(c.triangles, 1);
     }
 
     #[test]
@@ -131,6 +305,7 @@ mod tests {
         }
         assert_eq!(triangle_count(&g), 0);
         assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(clustering_coefficients(&g).global, 0.0);
     }
 
     #[test]
@@ -144,6 +319,7 @@ mod tests {
         }
         assert_eq!(triangle_count(&g), 4);
         assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficients(&g).global, 1.0);
     }
 
     #[test]
@@ -151,12 +327,16 @@ mod tests {
         // Triangle plus a pendant on vertex 0:
         // c(0) = 1/3 (neighbors 1,2,3; only (1,2) closed), c(1)=c(2)=1,
         // c(3) undefined (degree 1) -> average over eligible = (1/3+1+1)/3.
+        // Global: closed wedges 3 (one per triangle corner), total wedges
+        // 3 + 1 + 1 + 0 = 5 -> 3/5.
         let mut g = triangle();
         let p = g.add_vertex(());
         g.add_edge(crate::graph::VertexId(0), p, ());
         let expect = (1.0 / 3.0 + 1.0 + 1.0) / 3.0;
-        assert!((average_clustering(&g) - expect).abs() < 1e-12);
-        assert_eq!(triangle_count(&g), 1);
+        let c = clustering_coefficients(&g);
+        assert!((c.average_local - expect).abs() < 1e-12);
+        assert!((c.global - 0.6).abs() < 1e-12);
+        assert_eq!(c.triangles, 1);
     }
 
     #[test]
@@ -171,5 +351,24 @@ mod tests {
         let g: PropertyGraph<(), ()> = PropertyGraph::new();
         assert_eq!(triangle_count(&g), 0);
         assert_eq!(average_clustering(&g), 0.0);
+        let c = clustering_coefficients(&g);
+        assert_eq!(c.global, 0.0);
+        assert_eq!(c.triangles, 0);
+    }
+
+    #[test]
+    fn ooc_is_bit_identical_to_in_memory() {
+        let mut g = triangle();
+        let p = g.add_vertex(());
+        g.add_edge(crate::graph::VertexId(0), p, ());
+        g.add_edge(crate::graph::VertexId(2), crate::graph::VertexId(2), ());
+        let mem = clustering_coefficients(&g);
+        for batch in [1usize, 2, 3, usize::MAX] {
+            let ooc =
+                clustering_coefficients_ooc(&mut GraphScan::of(&g).with_batch(batch)).unwrap();
+            assert_eq!(mem.global.to_bits(), ooc.global.to_bits(), "batch {batch}");
+            assert_eq!(mem.average_local.to_bits(), ooc.average_local.to_bits());
+            assert_eq!(mem.triangles, ooc.triangles);
+        }
     }
 }

@@ -15,12 +15,17 @@ pub mod degree;
 pub mod kcore;
 pub mod pagerank;
 pub mod scc;
+pub mod spectral;
 
-pub use assortativity::degree_assortativity;
+pub use assortativity::{degree_assortativity, degree_assortativity_ooc};
 pub use betweenness::approximate_betweenness;
-pub use clustering::{average_clustering, triangle_count};
+pub use clustering::{
+    average_clustering, clustering_coefficients, clustering_coefficients_ooc, coefficients_of,
+    triangle_count, ClusteringCoefficients, UndirectedCsr,
+};
 pub use components::weakly_connected_components;
 pub use degree::{degree_distribution, DegreeDistributions};
 pub use kcore::{core_numbers, degeneracy};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use scc::strongly_connected_components;
+pub use spectral::{spectral_sketch, spectral_sketch_ooc, SpectralConfig};

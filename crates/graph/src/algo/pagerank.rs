@@ -34,6 +34,25 @@ pub(crate) fn dangling_mass(rank: &[f64], out_deg: &[u64]) -> f64 {
     partials.iter().sum()
 }
 
+/// Deterministic blocked sum of a value vector — the same fixed-block
+/// reduction as [`dangling_mass`], shared by the clustering and spectral
+/// kernels so their scalar outputs are thread-count-independent too.
+pub(crate) fn blocked_sum(xs: &[f64]) -> f64 {
+    let partials: Vec<f64> = xs.par_chunks(SUM_BLOCK).map(|c| c.iter().sum::<f64>()).collect();
+    partials.iter().sum()
+}
+
+/// Deterministic blocked dot product, for the spectral sketch's
+/// Gram-Schmidt and Rayleigh-quotient reductions.
+pub(crate) fn blocked_dot(a: &[f64], b: &[f64]) -> f64 {
+    let partials: Vec<f64> = a
+        .par_chunks(SUM_BLOCK)
+        .zip(b.par_chunks(SUM_BLOCK))
+        .map(|(x, y)| x.iter().zip(y).map(|(&x, &y)| x * y).sum::<f64>())
+        .collect();
+    partials.iter().sum()
+}
+
 /// Deterministic blocked L1 distance between two rank vectors.
 pub(crate) fn l1_delta(a: &[f64], b: &[f64]) -> f64 {
     let partials: Vec<f64> = a

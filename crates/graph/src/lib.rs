@@ -20,6 +20,7 @@ pub mod csr;
 pub mod from_flows;
 pub mod graph;
 pub mod io;
+pub mod metric;
 pub mod ooc;
 pub mod partition;
 pub mod properties;
@@ -28,6 +29,10 @@ pub mod sample;
 pub use csr::Csr;
 pub use from_flows::graph_from_flows;
 pub use graph::{EdgeId, PropertyGraph, VertexId};
+pub use metric::{
+    AssortativityMetric, ClusteringMetric, DegreeMetric, GraphMetric, MmdDegreeMetric,
+    MmdPagerankMetric, PagerankMetric, SpectralMetric,
+};
 pub use ooc::{
     degree_counts_ooc, degree_distribution_ooc, pagerank_ooc, DegreeCounts, EdgeScan, GraphScan,
     SliceScan,

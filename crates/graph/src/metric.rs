@@ -1,0 +1,381 @@
+//! The pluggable veracity metric suite: one trait, seven concrete metrics.
+//!
+//! A [`GraphMetric`] turns a graph into a *score vector* — per-vertex
+//! degrees or PageRank mass, the clustering coefficient pair, Newman's
+//! assortativity, a spectral sketch — and knows how to collapse a seed and
+//! a synthetic score vector into one scalar distance (lower = higher
+//! veracity). Every metric has two computation paths under the PR 5
+//! differential-conformance contract:
+//!
+//! * [`GraphMetric::compute`] on a materialized [`PropertyGraph`], and
+//! * [`GraphMetric::compute_scan`] on any [`EdgeScan`] stream,
+//!
+//! which are **bit-for-bit identical** on the same logical graph for any
+//! batching and any rayon thread count. `csb-core`'s `VeracityJob` drives
+//! this trait; the root `ooc_conformance` suite proves the contract per
+//! metric with differential proptests.
+
+use crate::algo::assortativity::{degree_assortativity, degree_assortativity_ooc};
+use crate::algo::clustering::{clustering_coefficients, clustering_coefficients_ooc};
+use crate::algo::pagerank::{pagerank, PageRankConfig};
+use crate::algo::spectral::{spectral_sketch, spectral_sketch_ooc, SpectralConfig};
+use crate::graph::PropertyGraph;
+use crate::ooc::{degree_counts_ooc, pagerank_ooc, EdgeScan};
+use csb_stats::veracity::{
+    average_euclidean_distance, median_heuristic_bandwidth, mmd_rbf, NormalizedDistribution,
+};
+
+/// One veracity metric: a score vector per graph plus a distance collapsing
+/// a seed/synthetic vector pair into the reported scalar.
+pub trait GraphMetric {
+    /// Stable metric name, used for report keys and CLI selection.
+    fn name(&self) -> &'static str;
+
+    /// Score vector from a materialized graph.
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64>;
+
+    /// Score vector from a streamed edge list — bit-for-bit identical to
+    /// [`GraphMetric::compute`] on the same logical graph.
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error>;
+
+    /// Collapses the two score vectors into the reported distance (lower is
+    /// better; zero for identical vectors).
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64;
+}
+
+/// Total (in + out) degree of every vertex, as f64 score values.
+fn total_degrees_f64<V, E>(g: &PropertyGraph<V, E>) -> Vec<f64> {
+    g.in_degrees().iter().zip(g.out_degrees().iter()).map(|(a, b)| (a + b) as f64).collect()
+}
+
+/// The paper's distribution distance: normalize per-vertex values by their
+/// own sum, rank-align descending, mean squared per-rank difference.
+fn distribution_distance(seed: &[f64], synth: &[f64]) -> f64 {
+    average_euclidean_distance(
+        &NormalizedDistribution::from_values(seed),
+        &NormalizedDistribution::from_values(synth),
+    )
+}
+
+/// Mean absolute difference of two short score vectors, zero-padded to the
+/// longer length. Zero when both are empty.
+fn mean_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|i| (a.get(i).copied().unwrap_or(0.0) - b.get(i).copied().unwrap_or(0.0)).abs())
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Sample-size cap of the MMD metrics: above this many values, each sample
+/// is reduced to this many evenly spaced ranks of its descending sort —
+/// deterministic (no RNG), shape-preserving, and it bounds the O(n^2)
+/// kernel sums.
+pub const MMD_MAX_SAMPLES: usize = 512;
+
+fn mmd_sample(values: &[f64]) -> Vec<f64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite metric values"));
+    if sorted.len() <= MMD_MAX_SAMPLES {
+        return sorted;
+    }
+    let last = sorted.len() - 1;
+    (0..MMD_MAX_SAMPLES).map(|i| sorted[i * last / (MMD_MAX_SAMPLES - 1)]).collect()
+}
+
+/// RBF-kernel MMD^2 between two score samples, bandwidth from the median
+/// heuristic on the (subsampled) inputs. NaN when exactly one side is empty.
+fn mmd_distance(seed: &[f64], synth: &[f64]) -> f64 {
+    if seed.is_empty() && synth.is_empty() {
+        return 0.0;
+    }
+    if seed.is_empty() || synth.is_empty() {
+        return f64::NAN;
+    }
+    let a = mmd_sample(seed);
+    let b = mmd_sample(synth);
+    mmd_rbf(&a, &b, median_heuristic_bandwidth(&a, &b))
+}
+
+/// Degree-distribution veracity (paper Fig. 6): per-vertex total degrees,
+/// compared with the paper's normalized-distribution distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeMetric;
+
+impl GraphMetric for DegreeMetric {
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        total_degrees_f64(g)
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        Ok(degree_counts_ooc(scan)?.total().iter().map(|&d| d as f64).collect())
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        distribution_distance(seed, synth)
+    }
+}
+
+/// PageRank-distribution veracity (paper Fig. 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PagerankMetric {
+    /// Power-iteration parameters.
+    pub cfg: PageRankConfig,
+}
+
+impl GraphMetric for PagerankMetric {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        pagerank(g, &self.cfg)
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        pagerank_ooc(scan, &self.cfg)
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        distribution_distance(seed, synth)
+    }
+}
+
+/// Clustering veracity: the `[global, average local]` coefficient pair,
+/// compared by mean absolute difference (both coefficients live in [0, 1]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusteringMetric;
+
+impl GraphMetric for ClusteringMetric {
+    fn name(&self) -> &'static str {
+        "clustering"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        let c = clustering_coefficients(g);
+        vec![c.global, c.average_local]
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        let c = clustering_coefficients_ooc(scan)?;
+        Ok(vec![c.global, c.average_local])
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        mean_abs_diff(seed, synth)
+    }
+}
+
+/// Degree-assortativity veracity: Newman's r as a one-element vector,
+/// compared by absolute difference (r lives in [-1, 1]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssortativityMetric;
+
+impl GraphMetric for AssortativityMetric {
+    fn name(&self) -> &'static str {
+        "assortativity"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        vec![degree_assortativity(g)]
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        Ok(vec![degree_assortativity_ooc(scan)?])
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        mean_abs_diff(seed, synth)
+    }
+}
+
+/// Spectral veracity: the top normalized-Laplacian eigenvalues (a
+/// fixed-length histogram sketch of the spectrum, each value in [0, 2]),
+/// compared by mean absolute difference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectralMetric {
+    /// Sketch parameters (eigenvalue count, iterations, start seed).
+    pub cfg: SpectralConfig,
+}
+
+impl GraphMetric for SpectralMetric {
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        spectral_sketch(g, &self.cfg)
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        spectral_sketch_ooc(scan, &self.cfg)
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        mean_abs_diff(seed, synth)
+    }
+}
+
+/// MMD over the degree samples: the kernel-embedding distance the
+/// graph-generation literature reports, on raw per-vertex total degrees
+/// (already size-comparable: mean degree is scale-free).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmdDegreeMetric;
+
+impl GraphMetric for MmdDegreeMetric {
+    fn name(&self) -> &'static str {
+        "mmd_degree"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        total_degrees_f64(g)
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        DegreeMetric.compute_scan(scan)
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        mmd_distance(seed, synth)
+    }
+}
+
+/// MMD over the PageRank mass, rescaled by the vertex count so the mean is
+/// 1 regardless of graph size (raw PageRank sums to 1, which would turn any
+/// size difference into pure support shift).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmdPagerankMetric {
+    /// Power-iteration parameters.
+    pub cfg: PageRankConfig,
+}
+
+impl MmdPagerankMetric {
+    /// The size normalization: multiply each vertex's rank by the vertex
+    /// count. Exposed so callers holding a raw PageRank vector can reuse it
+    /// without recomputing the ranks.
+    pub fn scaled(ranks: &[f64]) -> Vec<f64> {
+        let n = ranks.len() as f64;
+        ranks.iter().map(|&r| r * n).collect()
+    }
+}
+
+impl GraphMetric for MmdPagerankMetric {
+    fn name(&self) -> &'static str {
+        "mmd_pagerank"
+    }
+
+    fn compute<V, E>(&self, g: &PropertyGraph<V, E>) -> Vec<f64> {
+        Self::scaled(&pagerank(g, &self.cfg))
+    }
+
+    fn compute_scan<S: EdgeScan>(&self, scan: &mut S) -> Result<Vec<f64>, S::Error> {
+        Ok(Self::scaled(&pagerank_ooc(scan, &self.cfg)?))
+    }
+
+    fn distance(&self, seed: &[f64], synth: &[f64]) -> f64 {
+        mmd_distance(seed, synth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{PropertyGraph, VertexId};
+    use crate::ooc::GraphScan;
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> PropertyGraph<(), ()> {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex(());
+        }
+        for &(s, d) in edges {
+            g.add_edge(VertexId(s), VertexId(d), ());
+        }
+        g
+    }
+
+    fn check_conformance<M: GraphMetric>(metric: &M, g: &PropertyGraph<(), ()>) {
+        let mem = metric.compute(g);
+        for batch in [1usize, 3, usize::MAX] {
+            let ooc = metric.compute_scan(&mut GraphScan::of(g).with_batch(batch)).unwrap();
+            assert_eq!(mem.len(), ooc.len(), "{} batch {batch}", metric.name());
+            for (a, b) in mem.iter().zip(ooc.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} batch {batch}", metric.name());
+            }
+        }
+        assert_eq!(metric.distance(&mem, &mem), 0.0, "{} self-distance", metric.name());
+    }
+
+    #[test]
+    fn every_metric_conforms_and_self_scores_zero() {
+        let edges: Vec<(u32, u32)> =
+            (0..60u32).map(|i| (i % 11, (i * 7 + 2) % 11)).chain([(0, 0)]).collect();
+        let g = graph(12, &edges);
+        check_conformance(&DegreeMetric, &g);
+        check_conformance(&PagerankMetric::default(), &g);
+        check_conformance(&ClusteringMetric, &g);
+        check_conformance(&AssortativityMetric, &g);
+        check_conformance(&SpectralMetric::default(), &g);
+        check_conformance(&MmdDegreeMetric, &g);
+        check_conformance(&MmdPagerankMetric::default(), &g);
+    }
+
+    #[test]
+    fn degree_metric_matches_paper_definition() {
+        let a = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = graph(4, &[(0, 1), (0, 2), (0, 3), (1, 0)]);
+        let m = DegreeMetric;
+        let want = average_euclidean_distance(
+            &NormalizedDistribution::from_u64(&[2, 2, 2, 2]),
+            &NormalizedDistribution::from_u64(&[4, 2, 1, 1]),
+        );
+        let got = m.distance(&m.compute(&a), &m.compute(&b));
+        assert_eq!(want.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn mmd_subsample_is_deterministic_and_bounded() {
+        let values: Vec<f64> = (0..5000).map(|i| (i % 97) as f64).collect();
+        let s1 = mmd_sample(&values);
+        let s2 = mmd_sample(&values);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), MMD_MAX_SAMPLES);
+        // Descending and spanning the full range.
+        assert_eq!(s1[0], 96.0);
+        assert_eq!(*s1.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mmd_pagerank_scaling_is_size_free() {
+        // Two uniform rank vectors of different sizes scale to the same
+        // constant-1 sample.
+        let small = MmdPagerankMetric::scaled(&[0.25; 4]);
+        let large = MmdPagerankMetric::scaled(&[0.125; 8]);
+        assert!(small.iter().all(|&v| (v - 1.0).abs() < 1e-15));
+        assert!(large.iter().all(|&v| (v - 1.0).abs() < 1e-15));
+        assert!(mmd_distance(&small, &large).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_separate_unlike_graphs() {
+        let ring: Vec<(u32, u32)> = (0..30u32).map(|i| (i, (i + 1) % 30)).collect();
+        let star: Vec<(u32, u32)> = (1..30u32).map(|i| (0, i)).collect();
+        let a = graph(30, &ring);
+        let b = graph(30, &star);
+        let m = MmdDegreeMetric;
+        let d = m.distance(&m.compute(&a), &m.compute(&b));
+        assert!(d > 1e-3, "MMD {d} too small to separate ring from star");
+        // Assortativity: a path (r = -1 exactly) against the ring (r = 0).
+        let c = graph(3, &[(0, 1), (1, 2)]);
+        let m = AssortativityMetric;
+        let d = m.distance(&m.compute(&a), &m.compute(&c));
+        assert!((d - 1.0).abs() < 1e-12, "assortativity distance {d}");
+    }
+}

@@ -266,8 +266,9 @@ pub fn pagerank_ooc<S: EdgeScan>(scan: &mut S, cfg: &PageRankConfig) -> Result<V
 }
 
 /// Below this vertex count the destination-blocked parallel scatter cannot
-/// pay for its redundant batch reads; scatter sequentially instead.
-const SCATTER_MIN_VERTICES: usize = 1 << 14;
+/// pay for its redundant batch reads; scatter sequentially instead. Shared
+/// with the spectral sketch's symmetric scatter.
+pub(crate) const SCATTER_MIN_VERTICES: usize = 1 << 14;
 
 /// Accumulates one batch of contributions into `next`.
 ///

@@ -27,6 +27,7 @@ pub mod barabasi_albert;
 pub mod bter;
 pub mod chung_lu;
 pub mod erdos_renyi;
+pub mod model;
 pub mod rmat;
 pub mod sbm;
 pub mod watts_strogatz;
@@ -35,6 +36,7 @@ pub use barabasi_albert::barabasi_albert;
 pub use bter::bter;
 pub use chung_lu::chung_lu;
 pub use erdos_renyi::{gnm, gnp};
+pub use model::{zoo, GraphModel, TargetShape};
 pub use rmat::rmat;
 pub use sbm::sbm;
 pub use watts_strogatz::watts_strogatz;

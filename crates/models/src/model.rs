@@ -1,0 +1,228 @@
+//! The uniform model interface behind the cross-generator harness.
+//!
+//! Every baseline family exposes a bespoke constructor (`gnm(n, m, seed)`,
+//! `chung_lu(&weights, seed)`, ...). [`GraphModel`] erases those signatures:
+//! a model takes a [`TargetShape`] — the seed-derived size and degree
+//! sequence every family is parameterized from — plus an RNG seed, and
+//! returns a [`ModelGraph`]. [`zoo`] is the full survey lineup with the
+//! `baseline_comparison` parameterizations, so `csb compare` and the bench
+//! harness score the identical model configurations.
+
+use crate::bter::BterParams;
+use crate::rmat::RmatParams;
+use crate::{barabasi_albert, bter, chung_lu, gnm, rmat, sbm, watts_strogatz, ModelGraph};
+
+/// The target a model is asked to hit: the seed graph's scale (possibly
+/// size-multiplied) and its degree sequence for the sequence-driven models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetShape {
+    /// Vertex count to generate.
+    pub vertices: u32,
+    /// Edge count to aim for (models hit it exactly or in expectation).
+    pub edges: usize,
+    /// Target degree sequence, `vertices` entries (the seed's sequence,
+    /// replicated to size). Only the sequence-driven models (Chung-Lu,
+    /// BTER) read it; it may be empty for the others.
+    pub degrees: Vec<u64>,
+}
+
+impl TargetShape {
+    /// A shape with no degree sequence (for density-driven models only).
+    pub fn new(vertices: u32, edges: usize) -> Self {
+        TargetShape { vertices, edges, degrees: Vec::new() }
+    }
+
+    /// Mean out-degree implied by the size, at least 1 — the lattice /
+    /// attachment parameter of Watts-Strogatz and Barabási-Albert.
+    pub fn avg_out_degree(&self) -> u32 {
+        ((self.edges as f64 / self.vertices.max(1) as f64).round() as u32).max(1)
+    }
+}
+
+/// One baseline generator family under a uniform interface: deterministic
+/// in `(shape, seed)`.
+pub trait GraphModel {
+    /// Stable model name, used for report keys and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Generates a graph aiming at `shape`.
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph;
+}
+
+/// Uniform random graphs: `G(n, m)` with exactly `shape.edges` edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErdosRenyiModel;
+
+impl GraphModel for ErdosRenyiModel {
+    fn name(&self) -> &'static str {
+        "erdos_renyi"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        gnm(shape.vertices, shape.edges, seed)
+    }
+}
+
+/// Small-world ring-lattice rewiring at the survey's 10% rewire rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WattsStrogatzModel;
+
+impl GraphModel for WattsStrogatzModel {
+    fn name(&self) -> &'static str {
+        "watts_strogatz"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        watts_strogatz(shape.vertices, shape.avg_out_degree(), 0.1, seed)
+    }
+}
+
+/// Classic sequential Barabási-Albert preferential attachment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarabasiAlbertModel;
+
+impl GraphModel for BarabasiAlbertModel {
+    fn name(&self) -> &'static str {
+        "barabasi_albert"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        barabasi_albert(shape.vertices, shape.avg_out_degree(), seed)
+    }
+}
+
+/// Chung-Lu expected-degree random graph driven by `shape.degrees`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChungLuModel;
+
+impl GraphModel for ChungLuModel {
+    fn name(&self) -> &'static str {
+        "chung_lu"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        let weights: Vec<f64> = shape.degrees.iter().map(|&d| d as f64).collect();
+        chung_lu(&weights, seed)
+    }
+}
+
+/// Block two-level Erdős-Rényi driven by `shape.degrees`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BterModel;
+
+impl GraphModel for BterModel {
+    fn name(&self) -> &'static str {
+        "bter"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        bter(&shape.degrees, BterParams::default(), seed)
+    }
+}
+
+/// Two-block stochastic block model at the survey's 3:1 intra/inter density
+/// ratio, matching `shape.edges` in expectation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SbmModel;
+
+impl GraphModel for SbmModel {
+    fn name(&self) -> &'static str {
+        "sbm"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        let n = shape.vertices;
+        let half = n / 2;
+        let nn = n as f64 * n as f64;
+        let intra = 1.5 * shape.edges as f64 / nn;
+        let inter = 0.5 * shape.edges as f64 / nn;
+        sbm(&[half, n - half], &[vec![intra, inter], vec![inter, intra]], seed)
+    }
+}
+
+/// Recursive matrix model with graph500 quadrant probabilities, at the
+/// smallest power-of-two scale covering `shape.vertices`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RmatModel;
+
+impl GraphModel for RmatModel {
+    fn name(&self) -> &'static str {
+        "rmat"
+    }
+
+    fn generate(&self, shape: &TargetShape, seed: u64) -> ModelGraph {
+        let scale = (shape.vertices.max(2) as f64).log2().ceil() as u32;
+        rmat(scale, shape.edges, RmatParams::graph500(), seed)
+    }
+}
+
+/// The full survey lineup — ER, WS, BA, Chung-Lu, BTER, SBM, R-MAT — with
+/// the `baseline_comparison` parameterizations, in stable order.
+pub fn zoo() -> Vec<Box<dyn GraphModel>> {
+    vec![
+        Box::new(ErdosRenyiModel),
+        Box::new(WattsStrogatzModel),
+        Box::new(BarabasiAlbertModel),
+        Box::new(ChungLuModel),
+        Box::new(BterModel),
+        Box::new(SbmModel),
+        Box::new(RmatModel),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> TargetShape {
+        // A plausible skewed degree sequence summing to ~2 * edges.
+        let degrees: Vec<u64> = (0..64u64).map(|i| 1 + (64 - i) / 8).collect();
+        let edges = (degrees.iter().sum::<u64>() / 2) as usize;
+        TargetShape { vertices: 64, edges, degrees }
+    }
+
+    #[test]
+    fn zoo_names_are_unique_and_stable() {
+        let names: Vec<&str> = zoo().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "erdos_renyi",
+                "watts_strogatz",
+                "barabasi_albert",
+                "chung_lu",
+                "bter",
+                "sbm",
+                "rmat"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_model_generates_a_valid_nonempty_graph() {
+        let shape = shape();
+        for model in zoo() {
+            let g = model.generate(&shape, 42);
+            g.validate();
+            assert!(g.num_vertices > 0, "{} produced no vertices", model.name());
+            assert!(g.edge_count() > 0, "{} produced no edges", model.name());
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic_in_the_seed() {
+        let shape = shape();
+        for model in zoo() {
+            let a = model.generate(&shape, 7);
+            let b = model.generate(&shape, 7);
+            assert_eq!(a, b, "{} must be deterministic", model.name());
+        }
+    }
+
+    #[test]
+    fn avg_out_degree_rounds_and_floors() {
+        assert_eq!(TargetShape::new(10, 25).avg_out_degree(), 3);
+        assert_eq!(TargetShape::new(10, 2).avg_out_degree(), 1);
+        assert_eq!(TargetShape::new(0, 5).avg_out_degree(), 5);
+    }
+}

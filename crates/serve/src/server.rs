@@ -16,9 +16,8 @@ use crate::proto::{
 };
 use crate::queue::{FinishDisposition, JobRecord, Scheduler};
 use crate::spool::Spool;
-use csb_core::{veracity_store, GenJob, PgpbaConfig, PgskConfig, SeedBundle};
+use csb_core::{GenJob, PgpbaConfig, PgskConfig, SeedBundle, VeracityJob};
 use csb_engine::CostModel;
-use csb_graph::algo::PageRankConfig;
 use csb_graph::io::read_graph;
 use csb_obs::json::JsonObject;
 use csb_obs::{ObsServer, Recorder, Router};
@@ -336,9 +335,13 @@ fn run_job(shared: &Shared, record: &JobRecord) -> RunOutcome {
             Ok((run.edges, None, Some(out)))
         }
         JobSpec::Veracity { seed_store, synth_store } => {
-            let scores = veracity_store(seed_store, synth_store, &PageRankConfig::default())
+            let report = VeracityJob::new()
+                .seed_store(seed_store)
+                .synthetic_store(synth_store)
+                .run()
                 .map_err(|e| (e.to_string(), e.is_transient()))?;
-            Ok((0, Some((scores.degree, scores.pagerank)), None))
+            let score = |m| report.score(m).expect("default metrics scored");
+            Ok((0, Some((score("degree"), score("pagerank"))), None))
         }
     }
 }

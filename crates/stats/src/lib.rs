@@ -17,8 +17,8 @@
 //!   characterize and reproduce scale-free degree distributions.
 //! * [`histogram`] — linear and logarithmic binning.
 //! * [`veracity`] — the paper's veracity score: average Euclidean distance of
-//!   normalized degree / PageRank distributions, plus KS and total-variation
-//!   distances.
+//!   normalized degree / PageRank distributions, plus KS, total-variation and
+//!   RBF-kernel MMD distances.
 //! * [`summary`] — streaming moments and quantiles.
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible bit-for-bit.
@@ -43,5 +43,6 @@ pub use powerlaw::PowerLaw;
 pub use reservoir::Reservoir;
 pub use summary::Summary;
 pub use veracity::{
-    average_euclidean_distance, ks_distance, total_variation, NormalizedDistribution,
+    average_euclidean_distance, ks_distance, median_heuristic_bandwidth, mmd_rbf, total_variation,
+    NormalizedDistribution,
 };

@@ -1,0 +1,107 @@
+//! Schema check for `csb compare --out` reports — the machine-readable
+//! side of the cross-generator harness. CI runs it right after the compare
+//! smoke step:
+//!
+//! ```text
+//! cargo run --release --example compare_report_check -- compare.json
+//! ```
+//!
+//! It parses the report with the in-tree JSON reader and asserts the
+//! contract consumers rely on: the envelope fields, one row per lineup
+//! generator, and a finite score for every selected metric in every row.
+//! Exit code 0 means the report is well-formed; any violation panics with
+//! the offending field.
+
+use csb::gen::Metric;
+use csb::obs::json::{parse_json, JsonValue};
+
+/// The lineup every compare run must cover: the seven baseline families
+/// plus the paper's two seed-driven generators. Extra `--store` rows may
+/// follow; these nine must always be present.
+const LINEUP: [&str; 9] = [
+    "erdos_renyi",
+    "watts_strogatz",
+    "barabasi_albert",
+    "chung_lu",
+    "bter",
+    "sbm",
+    "rmat",
+    "pgpba",
+    "pgsk",
+];
+
+fn str_field<'a>(obj: &'a JsonValue, key: &str) -> &'a str {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("missing string field {key:?}"))
+}
+
+fn u64_field(obj: &JsonValue, key: &str) -> u64 {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing integer field {key:?}"))
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "compare.json".to_string());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read compare report {path:?}: {e}"));
+    let report = parse_json(&text).expect("compare report is valid JSON");
+
+    // Envelope.
+    assert_eq!(str_field(&report, "report"), "compare", "report kind");
+    assert_eq!(u64_field(&report, "version"), 1, "schema version");
+    assert_eq!(str_field(&report, "status"), "ok", "status");
+    assert!(!str_field(&report, "seed_source").is_empty(), "seed_source");
+    assert!(u64_field(&report, "seed_vertices") > 0, "seed_vertices must be positive");
+    assert!(u64_field(&report, "seed_edges") > 0, "seed_edges must be positive");
+    assert!(u64_field(&report, "size_mult") > 0, "size_mult must be positive");
+    assert!(u64_field(&report, "target_edges") > 0, "target_edges must be positive");
+    u64_field(&report, "master_seed");
+
+    // Selected metrics: non-empty, unique, every name from the known suite.
+    let metrics: Vec<&str> = report
+        .get("metrics")
+        .and_then(JsonValue::as_arr)
+        .expect("metrics array")
+        .iter()
+        .map(|m| m.as_str().expect("metric name"))
+        .collect();
+    assert!(!metrics.is_empty(), "metrics list is empty");
+    for (i, m) in metrics.iter().enumerate() {
+        assert!(Metric::ALL.iter().any(|k| k.name() == *m), "unknown metric {m:?} in report");
+        assert!(!metrics[..i].contains(m), "duplicate metric {m:?}");
+    }
+
+    // Generator rows: the full lineup present, every selected metric scored
+    // finite in every row (NaN would serialize as a JSON parse failure
+    // upstream, but a consumer contract is worth stating directly).
+    let generators = report.get("generators").and_then(JsonValue::as_arr).expect("generators");
+    let names: Vec<&str> = generators.iter().map(|g| str_field(g, "name")).collect();
+    for required in LINEUP {
+        assert!(names.contains(&required), "lineup row {required:?} missing (got {names:?})");
+    }
+    for row in generators {
+        let name = str_field(row, "name");
+        assert!(u64_field(row, "vertices") > 0, "row {name:?}: vertices");
+        assert!(u64_field(row, "edges") > 0, "row {name:?}: edges");
+        let gen_secs = row
+            .get("gen_secs")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("row {name:?}: gen_secs"));
+        assert!(gen_secs >= 0.0, "row {name:?}: negative gen_secs");
+        let scores = row.get("scores").expect("scores object");
+        for m in &metrics {
+            let s = scores
+                .get(m)
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("row {name:?}: metric {m:?} unscored"));
+            assert!(s.is_finite(), "row {name:?}: metric {m:?} score {s} not finite");
+        }
+    }
+    println!(
+        "compare report {path} ok: {} generators x {} metrics",
+        generators.len(),
+        metrics.len()
+    );
+}

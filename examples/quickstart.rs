@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use csb::gen::veracity::veracity;
-use csb::gen::{pgpba, pgsk, seed_from_trace, PgpbaConfig, PgskConfig};
+use csb::gen::{pgpba, pgsk, seed_from_trace, Metric, PgpbaConfig, PgskConfig, VeracityJob};
 use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
 
 fn main() {
@@ -41,9 +40,17 @@ fn main() {
     println!("PGPBA: {} vertices, {} edges", ba.vertex_count(), ba.edge_count());
     println!("PGSK:  {} vertices, {} edges", sk.vertex_count(), sk.edge_count());
 
-    // 4. Veracity scores (lower = closer to the seed).
-    let vba = veracity(&seed.graph, &ba);
-    let vsk = veracity(&seed.graph, &sk);
-    println!("PGPBA veracity: degree {:.3e}, pagerank {:.3e}", vba.degree, vba.pagerank);
-    println!("PGSK veracity:  degree {:.3e}, pagerank {:.3e}", vsk.degree, vsk.pagerank);
+    // 4. Veracity scores (lower = closer to the seed), over the full
+    // Veracity 2.0 metric suite.
+    for (name, g) in [("PGPBA", &ba), ("PGSK ", &sk)] {
+        let report = VeracityJob::new()
+            .seed_graph(&seed.graph)
+            .synthetic_graph(g)
+            .metrics(Metric::ALL)
+            .run()
+            .expect("in-memory veracity");
+        let scores: Vec<String> =
+            report.scores.iter().map(|s| format!("{} {:.3e}", s.metric, s.score)).collect();
+        println!("{name} veracity: {}", scores.join(", "));
+    }
 }

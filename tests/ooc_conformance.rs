@@ -1,16 +1,25 @@
 //! Differential conformance suite for the out-of-core analytics layer.
 //!
-//! The contract under test (ISSUE 5): every streaming kernel — over any
-//! batching of the edge stream, including store chunk sizes that straddle
-//! chunk boundaries mid-vertex — produces *bit-for-bit* the same result as
-//! its in-memory counterpart on the same logical graph, after a round-trip
+//! The contract under test (ISSUE 5, extended by the Veracity 2.0 suite):
+//! every streaming kernel — over any batching of the edge stream, including
+//! store chunk sizes that straddle chunk boundaries mid-vertex, and any
+//! rayon thread count — produces *bit-for-bit* the same result as its
+//! in-memory counterpart on the same logical graph, after a round-trip
 //! through the `EdgeSink` store format.
+//!
+//! The deprecated free functions (`veracity`, `veracity_scan_with`) stay
+//! under test here on purpose: they are frozen compatibility wrappers over
+//! `VeracityJob` and must keep returning the exact same bits.
+#![allow(deprecated)]
 
-use csb::gen::{veracity, veracity_scan_with, VeracityScores};
+use csb::gen::{veracity, veracity_scan_with, Metric, VeracityJob, VeracityScores};
 use csb::graph::algo::pagerank::{pagerank, PageRankConfig};
 use csb::graph::algo::{degree_distribution, DegreeDistributions};
 use csb::graph::ooc::{degree_distribution_ooc, pagerank_ooc, GraphScan};
-use csb::graph::{Csr, EdgeProperties, NetflowGraph, VertexId};
+use csb::graph::{
+    AssortativityMetric, ClusteringMetric, Csr, DegreeMetric, EdgeProperties, GraphMetric,
+    MmdDegreeMetric, MmdPagerankMetric, NetflowGraph, PagerankMetric, SpectralMetric, VertexId,
+};
 use csb::store::sink::{push_graph, GraphStoreSink};
 use csb::store::{StoreReader, StoreScan};
 use proptest::prelude::*;
@@ -55,6 +64,28 @@ fn assert_distributions_eq(a: &DegreeDistributions, b: &DegreeDistributions) {
 /// ranges of individual vertices and the final chunk runs short.
 fn arb_case() -> impl Strategy<Value = (u32, Vec<(u32, u32)>, usize)> {
     (1u32..60, prop::collection::vec((any::<u32>(), any::<u32>()), 0..400), 1usize..=67)
+}
+
+/// Runs `metric` in memory and over the store round-trip and asserts the
+/// value vectors are bit-identical.
+fn assert_metric_conforms<M: GraphMetric>(metric: &M, g: &NetflowGraph, chunk: usize) {
+    let mem = metric.compute(g);
+    let ooc = metric.compute_scan(&mut store_scan(g, chunk)).expect("ooc metric");
+    assert_eq!(mem.len(), ooc.len(), "{}: length", metric.name());
+    for (i, (x, y)) in mem.iter().zip(ooc.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{} slot {i}: {x:e} vs {y:e}", metric.name());
+    }
+}
+
+/// Runs every Veracity 2.0 metric through `assert_metric_conforms`.
+fn assert_all_metrics_conform(g: &NetflowGraph, chunk: usize) {
+    assert_metric_conforms(&DegreeMetric, g, chunk);
+    assert_metric_conforms(&PagerankMetric::default(), g, chunk);
+    assert_metric_conforms(&ClusteringMetric, g, chunk);
+    assert_metric_conforms(&AssortativityMetric, g, chunk);
+    assert_metric_conforms(&SpectralMetric::default(), g, chunk);
+    assert_metric_conforms(&MmdDegreeMetric, g, chunk);
+    assert_metric_conforms(&MmdPagerankMetric::default(), g, chunk);
 }
 
 proptest! {
@@ -116,4 +147,117 @@ proptest! {
         prop_assert_eq!(mem.degree.to_bits(), ooc.degree.to_bits());
         prop_assert_eq!(mem.pagerank.to_bits(), ooc.pagerank.to_bits());
     }
+
+    /// Every Veracity 2.0 metric kernel — clustering, assortativity, the
+    /// spectral sketch, the MMD value vectors — conforms bitwise over graph
+    /// shape x store chunk size x rayon thread count.
+    #[test]
+    fn veracity2_metrics_conform(
+        (n, edges, chunk) in arb_case(),
+        threads in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let g = graph_of(n, &edges);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| assert_all_metrics_conform(&g, chunk));
+    }
+
+    /// A `VeracityJob` over two edge scans scores every metric bit-for-bit
+    /// identically to the same job over the materialized graphs, at
+    /// independent chunk sizes per side.
+    #[test]
+    fn veracity_job_conforms_over_scans(
+        (n_a, edges_a, chunk_a) in arb_case(),
+        (n_b, edges_b, chunk_b) in arb_case(),
+    ) {
+        let a = graph_of(n_a, &edges_a);
+        let b = graph_of(n_b, &edges_b);
+        let mem = VeracityJob::new()
+            .seed_graph(&a)
+            .synthetic_graph(&b)
+            .metrics(Metric::ALL)
+            .run()
+            .expect("in-memory job");
+        let mut scan_a = store_scan(&a, chunk_a);
+        let mut scan_b = store_scan(&b, chunk_b);
+        let ooc = VeracityJob::new()
+            .seed_scan(&mut scan_a)
+            .synthetic_scan(&mut scan_b)
+            .metrics(Metric::ALL)
+            .run()
+            .expect("scan job");
+        prop_assert_eq!(mem.scores.len(), ooc.scores.len());
+        for (x, y) in mem.scores.iter().zip(ooc.scores.iter()) {
+            prop_assert_eq!(x.metric, y.metric);
+            prop_assert_eq!(
+                x.score.to_bits(), y.score.to_bits(),
+                "{}: {:e} vs {:e}", x.metric, x.score, y.score
+            );
+        }
+    }
+}
+
+/// Boundary batchings the proptest strategy rarely lands on exactly:
+/// chunk = 1 record and chunk far larger than the edge count.
+#[test]
+fn metric_kernels_conform_at_boundary_chunk_sizes() {
+    let g = graph_of(9, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (5, 5), (0, 1)]);
+    for chunk in [1usize, 7, 100_000] {
+        assert_all_metrics_conform(&g, chunk);
+    }
+}
+
+/// Hand-computed clustering values (satellite of the Veracity 2.0 issue):
+/// the "paw" graph — a triangle with a pendant vertex — has transitivity
+/// 3/5 and average-local (1/3 + 1 + 1) / 3 over its eligible vertices.
+#[test]
+fn clustering_metric_matches_hand_computed_values() {
+    let paw = graph_of(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+    let v = ClusteringMetric.compute(&paw);
+    assert_eq!(v.len(), 2);
+    assert!((v[0] - 0.6).abs() < 1e-15, "global: {}", v[0]);
+    assert!((v[1] - (1.0 / 3.0 + 2.0) / 3.0).abs() < 1e-15, "average local: {}", v[1]);
+    // A 4-cycle has wedges but no closed ones.
+    let square = graph_of(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    assert_eq!(ClusteringMetric.compute(&square), vec![0.0, 0.0]);
+}
+
+/// Hand-computed degree assortativity: the path P4 has degree pairs
+/// (1,2), (2,2), (2,1) over its edges, giving Pearson r = -1/2; the path
+/// P3 gives exactly -1.
+#[test]
+fn assortativity_metric_matches_hand_computed_values() {
+    let p4 = graph_of(4, &[(0, 1), (1, 2), (2, 3)]);
+    let v = AssortativityMetric.compute(&p4);
+    assert_eq!(v.len(), 1);
+    assert!((v[0] + 0.5).abs() < 1e-12, "P4 assortativity: {}", v[0]);
+    let p3 = graph_of(3, &[(0, 1), (1, 2)]);
+    assert!((AssortativityMetric.compute(&p3)[0] + 1.0).abs() < 1e-12);
+}
+
+/// Hand-computed MMD: two one-point samples at distance 1 under an RBF
+/// kernel with sigma = 1 give MMD^2 = 2 - 2 e^{-1/2}.
+#[test]
+fn mmd_matches_hand_computed_value() {
+    let got = csb::stats::veracity::mmd_rbf(&[0.0], &[1.0], 1.0);
+    let want = 2.0 - 2.0 * (-0.5f64).exp();
+    assert!((got - want).abs() < 1e-15, "{got} vs {want}");
+    // Identical samples are exactly zero, which is why every MMD metric
+    // self-scores 0 in the job-level tests.
+    assert_eq!(csb::stats::veracity::mmd_rbf(&[1.0, 2.0], &[1.0, 2.0], 0.7), 0.0);
+}
+
+/// The legacy free functions are frozen delegating wrappers: scores from
+/// `veracity`/`veracity_with` must stay bit-identical to a default
+/// `VeracityJob` on the same pair.
+#[test]
+fn legacy_wrappers_delegate_bit_for_bit() {
+    let a = graph_of(12, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6), (6, 7), (0, 2)]);
+    let b = graph_of(9, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]);
+    let legacy = veracity(&a, &b);
+    let job = VeracityJob::new().seed_graph(&a).synthetic_graph(&b).run().expect("job");
+    assert_eq!(legacy.degree.to_bits(), job.score("degree").expect("degree").to_bits());
+    assert_eq!(legacy.pagerank.to_bits(), job.score("pagerank").expect("pagerank").to_bits());
 }

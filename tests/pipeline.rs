@@ -2,10 +2,23 @@
 //! trace simulation -> PCAP round trip -> flow assembly -> seed graph ->
 //! generation -> veracity.
 
-use csb::gen::veracity::veracity;
-use csb::gen::{pgpba, pgsk, seed_from_packets, seed_from_trace, PgpbaConfig, PgskConfig};
+use csb::gen::{
+    pgpba, pgsk, seed_from_packets, seed_from_trace, PgpbaConfig, PgskConfig, VeracityJob,
+};
+use csb::graph::NetflowGraph;
 use csb::net::pcap::{read_pcap, write_pcap};
 use csb::net::traffic::sim::{TrafficSim, TrafficSimConfig};
+
+/// The default job scores (degree, pagerank), extracted by metric name.
+fn veracity(seed: &NetflowGraph, synth: &NetflowGraph) -> (f64, f64) {
+    let report =
+        VeracityJob::new().seed_graph(seed).synthetic_graph(synth).run().expect("veracity");
+    (report.score("degree").expect("degree"), report.score("pagerank").expect("pagerank"))
+}
+
+fn degree_veracity(seed: &NetflowGraph, synth: &NetflowGraph) -> f64 {
+    veracity(seed, synth).0
+}
 
 fn trace(seed: u64) -> csb::net::Trace {
     TrafficSim::new(TrafficSimConfig {
@@ -31,9 +44,9 @@ fn full_pipeline_pgpba() {
     let g = pgpba(&seed, &PgpbaConfig { desired_size: target, fraction: 0.2, seed: 2 });
     assert!(g.edge_count() as u64 >= target);
 
-    let v = veracity(&seed.graph, &g);
-    assert!(v.degree.is_finite() && v.degree < 0.01, "degree veracity {}", v.degree);
-    assert!(v.pagerank.is_finite() && v.pagerank < v.degree);
+    let (degree, pagerank) = veracity(&seed.graph, &g);
+    assert!(degree.is_finite() && degree < 0.01, "degree veracity {degree}");
+    assert!(pagerank.is_finite() && pagerank < degree);
 }
 
 #[test]
@@ -50,8 +63,8 @@ fn full_pipeline_pgsk() {
         },
     );
     assert!(g.edge_count() as u64 >= target / 2);
-    let v = veracity(&seed.graph, &g);
-    assert!(v.degree < 0.05, "degree veracity {}", v.degree);
+    let (degree, _) = veracity(&seed.graph, &g);
+    assert!(degree < 0.05, "degree veracity {degree}");
 }
 
 #[test]
@@ -66,7 +79,7 @@ fn veracity_decreases_with_size_for_both_generators() {
         .iter()
         .map(|&m| {
             let g = pgpba(&seed, &PgpbaConfig { desired_size: e0 * m, fraction: 0.1, seed: 4 });
-            csb::gen::degree_veracity(&seed.graph, &g)
+            degree_veracity(&seed.graph, &g)
         })
         .collect();
     assert!(
@@ -86,7 +99,7 @@ fn veracity_decreases_with_size_for_both_generators() {
                     kronfit_permutation_samples: 100,
                 },
             );
-            csb::gen::degree_veracity(&seed.graph, &g)
+            degree_veracity(&seed.graph, &g)
         })
         .collect();
     assert!(sk_scores[0] > sk_scores[2], "PGSK scores not decreasing overall: {sk_scores:?}");
