@@ -30,6 +30,7 @@ pub fn run(args: &Args) -> Result<()> {
         "simulate" => simulate(args),
         "seed" => seed(args),
         "generate" => generate(args),
+        "campaign" => campaign_cmd(args),
         "veracity" => veracity_cmd(args),
         "compare" => crate::compare::compare_cmd(args),
         "detect" => detect_cmd(args),
@@ -101,6 +102,161 @@ fn simulate(args: &Args) -> Result<()> {
         s.duration_secs,
         trace.labels.len()
     );
+    Ok(())
+}
+
+/// `csb campaign`: benign traffic plus kill-chain campaigns, out to a
+/// ground-truth-labeled flow store, optional KDD-style feature rows, and an
+/// optional machine-readable report scoring the Section IV detector against
+/// the campaign labels.
+fn campaign_cmd(args: &Args) -> Result<()> {
+    use csb_net::traffic::campaign::{CampaignConfig, StageKind, StageParams};
+    args.expect_only(&[
+        "out",
+        "kdd",
+        "report",
+        "duration",
+        "rate",
+        "seed",
+        "campaigns",
+        "stages",
+        "intensity",
+        "stealth",
+        "workers",
+        "shards",
+        "codec",
+    ])?;
+    let out = args.require("out")?;
+    let duration: f64 = args.get_or("duration", 60.0)?;
+    let rate: f64 = args.get_or("rate", 50.0)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let n_campaigns: u32 = args.get_or("campaigns", 1)?;
+    let intensity: f64 = args.get_or("intensity", 1.0)?;
+    let stealth: f64 = args.get_or("stealth", 0.3)?;
+    let workers: usize = args.get_or("workers", 1)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    let codec = match args.get("codec") {
+        None => Compression::None,
+        Some(s) => Compression::parse(s)
+            .ok_or_else(|| arg_err(format!("flag --codec: expected raw|columnar, got {s}")))?,
+    };
+    if n_campaigns == 0 {
+        return Err(arg_err("--campaigns must be at least 1"));
+    }
+    let stage_kinds: Vec<StageKind> = match args.get("stages") {
+        None => StageKind::ALL.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                StageKind::parse(s.trim()).ok_or_else(|| {
+                    arg_err(format!(
+                        "flag --stages: unknown stage `{s}` (expected recon, lateral, c2, exfil)"
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?,
+    };
+    // Kill chains are scaled into the capture and staggered: each campaign
+    // starts at a deterministic offset and its stages share the window the
+    // nominal 4-stage chain would occupy.
+    let nominal_total: f64 =
+        StageKind::ALL.iter().map(|&k| StageParams::nominal(k).duration_secs).sum();
+    let time_scale = (duration * 0.6 / nominal_total).min(1.0);
+    let stages: Vec<StageParams> = stage_kinds
+        .iter()
+        .map(|&kind| {
+            let nominal = StageParams::nominal(kind);
+            StageParams {
+                intensity: nominal.intensity * intensity,
+                stealth: stealth.clamp(0.0, 1.0),
+                duration_secs: nominal.duration_secs * time_scale,
+                ..nominal
+            }
+        })
+        .collect();
+
+    let mut job = csb_core::CampaignJob::new()
+        .duration_secs(duration)
+        .sessions_per_sec(rate)
+        .seed(seed)
+        .workers(workers)
+        .store(out)
+        .shards(shards)
+        .compression(codec);
+    for id in 1..=n_campaigns {
+        let start_secs = duration * 0.1 + duration * 0.8 * (id - 1) as f64 / n_campaigns as f64;
+        job = job.campaign(CampaignConfig {
+            id,
+            seed: csb_stats::rng::derive_seed(seed, 0xCA_u64 + id as u64),
+            start_secs,
+            stages: stages.clone(),
+        });
+    }
+    let outcome = job.run()?;
+    println!(
+        "wrote {out}: {} flows ({} labeled across {} campaign(s)), {} packets, \
+         {} shard(s), {} codec",
+        outcome.flows.len(),
+        outcome.labeled_flows,
+        n_campaigns,
+        outcome.packets,
+        shards.max(1),
+        codec.name()
+    );
+
+    if let Some(kdd_path) = args.get("kdd") {
+        let csv = csb_net::kdd::kdd_csv(&outcome.flows);
+        std::fs::write(kdd_path, &csv)?;
+        println!("wrote {} KDD feature rows to {kdd_path}", outcome.flows.len());
+    }
+
+    if let Some(report_path) = args.get("report") {
+        // The realistic evaluation loop: thresholds trained on the benign
+        // slice (ground truth makes that split exact), detector run over
+        // everything, detections scored flow-by-flow against the labels.
+        let benign: Vec<_> =
+            outcome.flows.iter().filter(|f| !f.label.is_attack()).map(|f| f.flow).collect();
+        let all: Vec<_> = outcome.flows.iter().map(|f| f.flow).collect();
+        let detections = detect(&all, &train_thresholds(&benign));
+        let eval = csb_ids::evaluate_flows(&outcome.flows, &detections);
+        let stages_json = csb_obs::json::array_of(eval.per_stage.iter().map(|s| {
+            let mut o = csb_obs::json::JsonObject::new();
+            o.u64("campaign", s.campaign as u64);
+            o.u64("stage", s.stage as u64);
+            o.str(
+                "class",
+                csb_net::AttackClass::from_code(s.class).map(|c| c.kdd_name()).unwrap_or("?"),
+            );
+            o.u64("flows", s.flows as u64);
+            o.u64("detected", s.detected as u64);
+            o.finish()
+        }));
+        let mut obj = csb_obs::json::JsonObject::new();
+        obj.str("report", "campaign");
+        obj.u64("version", 1);
+        obj.u64("seed", seed);
+        obj.u64("campaigns", n_campaigns as u64);
+        obj.u64("packets", outcome.packets as u64);
+        obj.u64("flows", outcome.flows.len() as u64);
+        obj.u64("labeled_flows", outcome.labeled_flows as u64);
+        obj.u64("detections", detections.len() as u64);
+        obj.u64("tp", eval.true_positives as u64);
+        obj.u64("fp", eval.false_positives as u64);
+        obj.u64("fn", eval.false_negatives as u64);
+        obj.u64("tn", eval.true_negatives as u64);
+        obj.f64("precision", eval.precision(), 6);
+        obj.f64("recall", eval.recall(), 6);
+        obj.f64("f1", eval.f1(), 6);
+        obj.raw("stages", &stages_json);
+        std::fs::write(report_path, obj.finish() + "\n")?;
+        println!(
+            "eval: precision {:.3} recall {:.3} f1 {:.3} ({} detections); report in {report_path}",
+            eval.precision(),
+            eval.recall(),
+            eval.f1(),
+            detections.len()
+        );
+    }
     Ok(())
 }
 
@@ -520,9 +676,30 @@ fn workload_cmd(args: &Args) -> Result<()> {
 }
 
 fn export_cmd(args: &Args) -> Result<()> {
-    args.expect_only(&["graph", "out", "duration", "seed", "format"])?;
-    let graph = load_graph(args.require("graph")?)?;
+    args.expect_only(&["graph", "flows", "out", "duration", "seed", "format"])?;
     let out = args.require("out")?;
+    // `--format kdd` reads a labeled flow store (`--flows`), not a graph:
+    // feature rows need the per-flow ground-truth labels a graph cannot carry.
+    if args.get("format") == Some("kdd") {
+        let flows_path = args.require("flows").map_err(|_| {
+            arg_err(
+                "--format kdd exports a labeled flow store: use --flows FILE (a store \
+                     written by `csb campaign` or `save_labeled_flows`)",
+            )
+        })?;
+        let flows = csb_store::load_labeled_flows(flows_path)?;
+        std::fs::write(out, csb_net::kdd::kdd_csv(&flows))?;
+        let labeled = flows.iter().filter(|f| f.label.is_attack()).count();
+        println!(
+            "exported {} KDD feature rows ({labeled} attack-labeled) from {flows_path} to {out}",
+            flows.len()
+        );
+        return Ok(());
+    }
+    if args.get("flows").is_some() {
+        return Err(arg_err("--flows applies only to --format kdd"));
+    }
+    let graph = load_graph(args.require("graph")?)?;
     let duration: f64 = args.get_or("duration", 60.0)?;
     let seed: u64 = args.get_or("seed", 1)?;
     match args.get("format").unwrap_or("nf5") {
@@ -552,7 +729,7 @@ fn export_cmd(args: &Args) -> Result<()> {
         }
         other => {
             return Err(arg_err(format!(
-                "unknown export format `{other}` (expected nf5, store, or store-flows)"
+                "unknown export format `{other}` (expected nf5, store, store-flows, or kdd)"
             )))
         }
     }
@@ -828,6 +1005,84 @@ mod tests {
             &back_path,
         ]));
         assert!(err.is_ok(), "identical graph under a different name still matches");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_writes_store_kdd_and_report() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-camp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let store = dir.join("flows.csbstore").to_string_lossy().into_owned();
+        let kdd = dir.join("rows.csv").to_string_lossy().into_owned();
+        let report = dir.join("report.json").to_string_lossy().into_owned();
+
+        run(&args(&[
+            "campaign",
+            "--out",
+            &store,
+            "--kdd",
+            &kdd,
+            "--report",
+            &report,
+            "--duration",
+            "30",
+            "--rate",
+            "10",
+            "--seed",
+            "5",
+            "--workers",
+            "3",
+            "--codec",
+            "columnar",
+        ]))
+        .expect("campaign");
+
+        let flows = csb_store::load_labeled_flows(&store).expect("load labeled store");
+        let labeled = flows.iter().filter(|f| f.label.is_attack()).count();
+        assert!(labeled > 0, "campaign must label flows");
+        assert!(flows.len() > labeled, "benign flows must be present too");
+
+        let csv = std::fs::read_to_string(&kdd).expect("kdd written");
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().expect("header"), csb_net::kdd::kdd_header());
+        assert_eq!(lines.count(), flows.len(), "one row per flow");
+
+        let json = std::fs::read_to_string(&report).expect("report written");
+        csb_obs::json::validate_json(&json).expect("report is valid JSON");
+        for key in ["\"report\":\"campaign\"", "\"precision\":", "\"recall\":", "\"stages\":"] {
+            assert!(json.contains(key), "report missing {key}: {json}");
+        }
+
+        // `csb export --format kdd` over the store reproduces the same rows.
+        let kdd2 = dir.join("rows2.csv").to_string_lossy().into_owned();
+        run(&args(&["export", "--flows", &store, "--out", &kdd2, "--format", "kdd"]))
+            .expect("export kdd");
+        assert_eq!(csv, std::fs::read_to_string(&kdd2).expect("read rows2"));
+
+        // kdd without --flows is a usage error that explains the flag.
+        let err = run(&args(&["export", "--out", &kdd2, "--format", "kdd"]))
+            .expect_err("missing --flows");
+        assert!(err.to_string().contains("--flows"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_is_worker_and_shard_invariant() {
+        let dir = std::env::temp_dir().join(format!("csb-cli-campinv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let single = dir.join("a.csbstore").to_string_lossy().into_owned();
+        let sharded = dir.join("b.csbset").to_string_lossy().into_owned();
+        let base = |out: &str, extra: &[&str]| {
+            let mut argv =
+                vec!["campaign", "--out", out, "--duration", "20", "--rate", "8", "--seed", "9"];
+            argv.extend_from_slice(extra);
+            run(&args(&argv)).expect("campaign");
+        };
+        base(&single, &["--workers", "1"]);
+        base(&sharded, &["--workers", "4", "--shards", "3", "--codec", "columnar"]);
+        let a = csb_store::load_labeled_flows(&single).expect("load single");
+        let b = csb_store::load_labeled_flows(&sharded).expect("load sharded");
+        assert_eq!(a, b, "worker count and shard layout must not change the stream");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,6 +20,20 @@ COMMANDS:
     simulate     Simulate an enterprise capture and write it as PCAP
                  --out FILE [--duration SECS=60] [--rate SESSIONS/S=50]
                  [--seed N=1] [--attacks true]
+    campaign     Simulate benign traffic plus multi-stage attack campaigns
+                 and write ground-truth-labeled flows
+                 --out FILE [--kdd FILE] [--report FILE]
+                 [--duration SECS=60] [--rate SESSIONS/S=50] [--seed N=1]
+                 [--campaigns N=1] [--stages LIST=recon,lateral,c2,exfil]
+                 [--intensity F=1] [--stealth F=0.3]
+                 [--workers N=1] [--shards N=1] [--codec raw|columnar]
+                 (each campaign walks the kill chain — recon, lateral
+                 movement, C2 beaconing, exfiltration — over the simulated
+                 topology; --out gets the labeled flow store (sharded when
+                 --shards > 1), --kdd NSL-KDD-style feature rows, and
+                 --report a JSON report scoring the Section IV detector
+                 against the campaign ground truth; output is byte-identical
+                 for every --workers count)
     seed         Build the seed property-graph from a PCAP capture
                  --pcap FILE --out FILE [--filter EXPR]
                  (EXPR is tcpdump-like: \"tcp and dst port 80\", \"not icmp\")
@@ -82,11 +96,16 @@ COMMANDS:
                  --pcap FILE [--train FILE] [--filter EXPR]
     workload     Run the node/edge/path/sub-graph query workload on a graph
                  --graph FILE [--node N] [--edge N] [--path N] [--subgraph N]
-    export       Export a graph: replayed NetFlow v5 stream or binary store
+    export       Export a graph (NetFlow v5 / binary store) or a labeled
+                 flow store (KDD feature rows)
                  --graph FILE --out FILE [--format nf5|store|store-flows]
                  [--duration SECS=60] [--seed N=1]
+                 --flows FILE --out FILE --format kdd
                  (nf5 and store-flows replay the graph as flows; store writes
-                 the chunked columnar graph format `csb import` reads back)
+                 the chunked columnar graph format `csb import` reads back;
+                 kdd renders a labeled flow store — e.g. from `csb campaign`
+                 — as NSL-KDD-style CSV feature rows with class, campaign,
+                 and stage label columns)
     import       Load a csb-store graph file and write it as a text graph
                  --store FILE --out FILE [--expect FILE]
                  (--expect verifies the store matches an existing text graph)

@@ -1,0 +1,284 @@
+//! `CampaignJob` — benign traffic plus multi-stage attack campaigns, out to
+//! labeled flows.
+//!
+//! The job mirrors [`GenJob`](crate::GenJob)'s builder shape for the labeled
+//! end of the pipeline: simulate a benign capture, run one or more kill-chain
+//! campaigns over the same topology, merge the packet streams in time order,
+//! assemble flows (optionally across parallel workers — output is
+//! byte-identical for every worker count), and attach per-flow ground-truth
+//! labels. Store-backed runs write the labeled flow store (single file or
+//! shard set) that `csb-ids` evaluation and the KDD exporter consume.
+//!
+//! ```no_run
+//! use csb_core::CampaignJob;
+//! use csb_net::traffic::campaign::CampaignConfig;
+//! let out = CampaignJob::new()
+//!     .duration_secs(60.0)
+//!     .sessions_per_sec(40.0)
+//!     .seed(7)
+//!     .campaign(CampaignConfig::kill_chain(1, 7, 5.0))
+//!     .workers(4)
+//!     .store("flows.csbstore")
+//!     .run()
+//!     .unwrap();
+//! assert!(out.labeled_flows > 0);
+//! ```
+
+use csb_net::traffic::campaign::{
+    assemble_labeled, Campaign, CampaignConfig, CampaignRun, LabeledFlow,
+};
+use csb_net::traffic::sim::{TrafficSim, TrafficSimConfig};
+use csb_store::{save_labeled_flows, save_labeled_flows_sharded, Compression, CsbError};
+use std::path::PathBuf;
+
+/// Default store chunk size for labeled flow stores (matches the flow sink
+/// default).
+const DEFAULT_CHUNK_RECORDS: usize = 8192;
+
+/// A configured campaign run. Build with [`CampaignJob::new`], refine with
+/// the builder methods, execute with [`CampaignJob::run`].
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    sim: TrafficSimConfig,
+    campaigns: Vec<CampaignConfig>,
+    workers: usize,
+    store: Option<PathBuf>,
+    shards: usize,
+    compression: Compression,
+    chunk_records: usize,
+    recorder: Option<csb_obs::Recorder>,
+}
+
+impl Default for CampaignJob {
+    fn default() -> Self {
+        CampaignJob::new()
+    }
+}
+
+/// What a [`CampaignJob`] produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The assembled labeled flow stream, in canonical (time, 5-tuple)
+    /// order — benign and attack flows interleaved.
+    pub flows: Vec<LabeledFlow>,
+    /// One realized run per configured campaign, carrying the ground-truth
+    /// [`StageAction`](csb_net::traffic::campaign::StageAction) list.
+    pub runs: Vec<CampaignRun>,
+    /// Total packets in the merged benign+campaign trace.
+    pub packets: usize,
+    /// Flows carrying an attack label.
+    pub labeled_flows: usize,
+}
+
+impl CampaignJob {
+    /// A job with the default benign simulator config and no campaigns.
+    pub fn new() -> Self {
+        CampaignJob {
+            sim: TrafficSimConfig::default(),
+            campaigns: Vec::new(),
+            workers: 1,
+            store: None,
+            shards: 0,
+            compression: Compression::default(),
+            chunk_records: DEFAULT_CHUNK_RECORDS,
+            recorder: None,
+        }
+    }
+
+    /// Replaces the whole benign simulator configuration (topology sizing,
+    /// rate profile, inbound fraction, ...).
+    pub fn sim(mut self, cfg: TrafficSimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// Capture duration in simulated seconds.
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.sim.duration_secs = secs;
+        self
+    }
+
+    /// Mean benign session arrival rate.
+    pub fn sessions_per_sec(mut self, rate: f64) -> Self {
+        self.sim.sessions_per_sec = rate;
+        self
+    }
+
+    /// Master seed of the benign simulator (campaigns carry their own seeds
+    /// in their [`CampaignConfig`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Adds one campaign to the run.
+    pub fn campaign(mut self, cfg: CampaignConfig) -> Self {
+        self.campaigns.push(cfg);
+        self
+    }
+
+    /// Flow-assembler worker count (default 1). Any count produces the same
+    /// labeled stream, bit for bit.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Also writes the labeled flow store to `path`.
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// Splits the `.store()` output across `n` shard files behind a shard-set
+    /// manifest (`n <= 1` keeps the single-file layout). Either layout loads
+    /// back to the identical stream.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Store compression ([`Compression::Columnar`] writes format v2 with
+    /// per-column codecs).
+    pub fn compression(mut self, c: Compression) -> Self {
+        self.compression = c;
+        self
+    }
+
+    /// Overrides the store chunk size.
+    pub fn chunk_records(mut self, records: usize) -> Self {
+        self.chunk_records = records.max(1);
+        self
+    }
+
+    /// Routes telemetry into `rec` instead of the process-global recorder.
+    pub fn recorder(mut self, rec: csb_obs::Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Runs the job: simulate, attack, merge, assemble, label, store.
+    pub fn run(self) -> Result<CampaignOutcome, CsbError> {
+        let _scope = self.recorder.clone().map(|r| r.install());
+        let _span = csb_obs::span_cat("campaignjob.run", "gen");
+
+        let sim = TrafficSim::new(self.sim.clone());
+        let mut trace = sim.generate();
+        let runs: Vec<CampaignRun> = self
+            .campaigns
+            .iter()
+            .map(|cfg| Campaign::new(cfg.clone()).run(sim.topology()))
+            .collect();
+        for run in &runs {
+            trace.merge_sorted(run.trace.clone());
+        }
+        let packets = trace.packets.len();
+
+        let flows = assemble_labeled(&trace, &runs, self.workers);
+        let labeled_flows = flows.iter().filter(|f| f.label.is_attack()).count();
+        csb_obs::counter_add("campaign.job.flows", flows.len() as u64);
+        csb_obs::counter_add("campaign.job.labeled_flows", labeled_flows as u64);
+
+        if let Some(path) = &self.store {
+            if self.shards > 1 {
+                save_labeled_flows_sharded(
+                    path,
+                    &flows,
+                    self.shards,
+                    self.compression,
+                    self.chunk_records,
+                )?;
+            } else {
+                save_labeled_flows(path, &flows, self.compression)?;
+            }
+        }
+        Ok(CampaignOutcome { flows, runs, packets, labeled_flows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csb_net::traffic::topology::TopologyConfig;
+    use std::path::PathBuf;
+
+    fn small_job() -> CampaignJob {
+        CampaignJob::new()
+            .sim(TrafficSimConfig {
+                topology: TopologyConfig {
+                    clients: 30,
+                    servers: 4,
+                    externals: 20,
+                    ..TopologyConfig::default()
+                },
+                duration_secs: 30.0,
+                sessions_per_sec: 8.0,
+                ..TrafficSimConfig::default()
+            })
+            .seed(99)
+            .campaign(CampaignConfig::kill_chain(1, 99, 2.0))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("csb-campjob-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn job_produces_labeled_and_benign_flows() {
+        let out = small_job().run().expect("run");
+        assert!(out.labeled_flows > 0, "campaign must label flows");
+        assert!(
+            out.flows.iter().any(|f| !f.label.is_attack()),
+            "benign traffic must survive the merge"
+        );
+        assert_eq!(out.runs.len(), 1);
+        assert!(out.packets > 0);
+        // Every campaign action assembled into exactly one labeled flow.
+        assert_eq!(out.labeled_flows, out.runs[0].actions.len());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_stream() {
+        let base = small_job().run().expect("run").flows;
+        for workers in [2usize, 5] {
+            let flows = small_job().workers(workers).run().expect("run").flows;
+            assert_eq!(flows, base, "workers={workers} must match sequential");
+        }
+    }
+
+    #[test]
+    fn store_layouts_load_back_to_the_same_stream() {
+        let dir = temp_dir("layouts");
+        let single = dir.join("flows.csbstore");
+        let sharded = dir.join("flows.csbset");
+        let out = small_job()
+            .store(&single)
+            .compression(Compression::Columnar)
+            .run()
+            .expect("single-file run");
+        small_job()
+            .store(&sharded)
+            .shards(3)
+            .compression(Compression::Columnar)
+            .chunk_records(64)
+            .run()
+            .expect("sharded run");
+        let a = csb_store::load_labeled_flows(&single).expect("load single");
+        let b = csb_store::load_labeled_flows(&sharded).expect("load sharded");
+        assert_eq!(a, out.flows);
+        assert_eq!(b, out.flows);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn two_campaigns_get_distinct_ids() {
+        let out = small_job().campaign(CampaignConfig::kill_chain(2, 123, 8.0)).run().expect("run");
+        let mut ids: Vec<u32> =
+            out.flows.iter().filter(|f| f.label.is_attack()).map(|f| f.label.campaign).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

@@ -29,6 +29,7 @@
 //! path, plus simulated-cluster performance estimation).
 
 pub mod analysis;
+pub mod campaign_job;
 pub mod config;
 pub mod diagnostics;
 pub mod distributed;
@@ -42,6 +43,7 @@ pub mod topo;
 pub mod veracity;
 
 pub use analysis::{PropertyModel, SeedAnalysis};
+pub use campaign_job::{CampaignJob, CampaignOutcome};
 pub use config::{PgpbaConfig, PgskConfig};
 pub use diagnostics::PhaseTimings;
 pub use distributed::DistConfig;

@@ -1,0 +1,113 @@
+//! Golden determinism test for the KDD feature-row exporter.
+//!
+//! A fixed-seed campaign pipeline must export byte-identical NSL-KDD-style
+//! rows on every run and every worker count; the row hash is pinned against a
+//! blessed snapshot guarded by the same rand-provenance probe as
+//! `golden.rs` (the hash depends on the simulator's RNG streams, so a
+//! stub-vs-crates.io `rand` difference must fail with its own message, not
+//! masquerade as an exporter regression).
+
+use csb_core::CampaignJob;
+use csb_net::kdd::kdd_csv;
+use csb_net::traffic::campaign::CampaignConfig;
+use csb_net::traffic::sim::TrafficSimConfig;
+use csb_net::traffic::topology::TopologyConfig;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::path::PathBuf;
+
+fn golden_rows(workers: usize) -> String {
+    let out = CampaignJob::new()
+        .sim(TrafficSimConfig {
+            topology: TopologyConfig {
+                clients: 30,
+                servers: 4,
+                externals: 20,
+                ..TopologyConfig::default()
+            },
+            duration_secs: 30.0,
+            sessions_per_sec: 10.0,
+            ..TrafficSimConfig::default()
+        })
+        .seed(1701)
+        .campaign(CampaignConfig::kill_chain(1, 31337, 3.0))
+        .workers(workers)
+        .run()
+        .expect("campaign run");
+    assert!(out.labeled_flows > 0, "golden campaign must label flows");
+    kdd_csv(&out.flows)
+}
+
+/// FNV-1a over the exported CSV text.
+fn fnv(text: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Same provenance probe as `golden.rs`: first 16 draws of a fixed-seed
+/// `SmallRng`, so snapshots blessed under a different `rand` implementation
+/// fail with a dependency message instead of an exporter-regression message.
+fn rng_provenance() -> u64 {
+    let mut rng = SmallRng::seed_from_u64(0x0c5b_6010_d3e9);
+    let mut h = String::new();
+    for _ in 0..16 {
+        h.push_str(&format!("{:016x}", rng.next_u64()));
+    }
+    fnv(&h)
+}
+
+#[test]
+fn kdd_rows_are_deterministic_and_worker_invariant() {
+    let rows = golden_rows(1);
+    assert_eq!(rows, golden_rows(1), "same-seed reruns must export identical rows");
+    assert_eq!(rows, golden_rows(5), "worker count must not change the exported rows");
+    // Sanity: attack classes survived export.
+    for class in ["probe", "r2l", "c2", "exfil"] {
+        assert!(rows.lines().any(|l| l.split(',').any(|f| f == class)), "missing class {class}");
+    }
+}
+
+#[test]
+fn kdd_rows_match_snapshot() {
+    let probe = rng_provenance();
+    let rows = golden_rows(1);
+    let current = format!(
+        "rand-probe {probe:016x}\nkdd-rows {:016x}\nrow-count {}\n",
+        fnv(&rows),
+        rows.lines().count()
+    );
+    let path: PathBuf =
+        [env!("CARGO_MANIFEST_DIR"), "tests", "snapshots", "kdd_golden.txt"].iter().collect();
+    match std::fs::read_to_string(&path) {
+        Ok(blessed) => {
+            let blessed_probe = blessed.lines().find_map(|l| l.strip_prefix("rand-probe "));
+            assert_eq!(
+                blessed_probe,
+                Some(format!("{probe:016x}").as_str()),
+                "snapshot {} was blessed under a different `rand` implementation; \
+                 delete the file and rerun to re-bless on this toolchain",
+                path.display()
+            );
+            assert_eq!(
+                blessed,
+                current,
+                "KDD export changed for a fixed seed; if intentional (a simulator, \
+                 campaign, or exporter change), delete {} and rerun to re-bless",
+                path.display()
+            );
+        }
+        Err(_) => {
+            // First run on this checkout: bless. Machine-local (gitignored)
+            // because the hash depends on the `rand` provenance above.
+            std::fs::create_dir_all(path.parent().expect("parent")).expect("snapshot dir");
+            std::fs::write(&path, &current).expect("write snapshot");
+            eprintln!("blessed KDD golden snapshot at {}", path.display());
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::detector::Detection;
 use csb_net::trace::{AttackKind, AttackLabel};
+use csb_net::LabeledFlow;
 
 /// Precision/recall report for one detection run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +121,121 @@ pub fn evaluate(detections: &[Detection], labels: &[AttackLabel]) -> EvalReport 
     EvalReport { true_positives: tp, false_positives: fp, false_negatives: fn_ }
 }
 
+/// Flow-level precision/recall against campaign ground-truth labels: a flow
+/// is *predicted* malicious when either endpoint carries a detection, and is
+/// *actually* malicious when its label says so.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEvalReport {
+    /// Total flows scored.
+    pub flows: usize,
+    /// Labeled flows touching a detected host.
+    pub true_positives: usize,
+    /// Benign flows touching a detected host.
+    pub false_positives: usize,
+    /// Labeled flows touching no detected host.
+    pub false_negatives: usize,
+    /// Benign flows touching no detected host.
+    pub true_negatives: usize,
+    /// Per kill-chain-stage recall breakdown (stages with zero labeled flows
+    /// are omitted).
+    pub per_stage: Vec<StageEval>,
+}
+
+/// Per-stage slice of a [`FlowEvalReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEval {
+    /// Campaign id.
+    pub campaign: u32,
+    /// Kill-chain stage index.
+    pub stage: u8,
+    /// Attack-class code of the stage's flows.
+    pub class: u8,
+    /// Labeled flows of this stage.
+    pub flows: usize,
+    /// Of those, flows touching a detected host.
+    pub detected: usize,
+}
+
+impl FlowEvalReport {
+    /// Precision = TP / (TP + FP); 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when nothing was labeled.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores detections against per-flow campaign ground truth. Detections are
+/// host-granular (`Detection { ip, .. }`), so the prediction rule is: a flow
+/// is flagged iff its originator or responder is a detected host.
+pub fn evaluate_flows(flows: &[LabeledFlow], detections: &[Detection]) -> FlowEvalReport {
+    use std::collections::{BTreeMap, HashSet};
+    let flagged: HashSet<u32> = detections.iter().map(|d| d.ip).collect();
+    let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    let mut stages: BTreeMap<(u32, u8, u8), (usize, usize)> = BTreeMap::new();
+    for lf in flows {
+        let predicted = flagged.contains(&lf.flow.src_ip) || flagged.contains(&lf.flow.dst_ip);
+        if lf.label.is_attack() {
+            let entry = stages
+                .entry((lf.label.campaign, lf.label.stage, lf.label.class.code()))
+                .or_insert((0, 0));
+            entry.0 += 1;
+            if predicted {
+                entry.1 += 1;
+                tp += 1;
+            } else {
+                fn_ += 1;
+            }
+        } else if predicted {
+            fp += 1;
+        } else {
+            tn += 1;
+        }
+    }
+    let per_stage = stages
+        .into_iter()
+        .map(|((campaign, stage, class), (flows, detected))| StageEval {
+            campaign,
+            stage,
+            class,
+            flows,
+            detected,
+        })
+        .collect();
+    FlowEvalReport {
+        flows: flows.len(),
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+        true_negatives: tn,
+        per_stage,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +308,69 @@ mod tests {
         assert_eq!(evaluate(&udp_det, &fraggle).true_positives, 1);
         // But not cross-wise.
         assert_eq!(evaluate(&icmp_det, &fraggle).true_positives, 0);
+    }
+
+    fn lf(src: u32, dst: u32, label: csb_net::FlowLabel) -> LabeledFlow {
+        use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+        LabeledFlow {
+            flow: FlowRecord {
+                src_ip: src,
+                dst_ip: dst,
+                protocol: Protocol::Tcp,
+                src_port: 40000,
+                dst_port: 80,
+                duration_ms: 10,
+                out_bytes: 100,
+                in_bytes: 200,
+                out_pkts: 3,
+                in_pkts: 2,
+                state: TcpConnState::Sf,
+                syn_count: 1,
+                ack_count: 2,
+                first_ts_micros: 0,
+            },
+            label,
+        }
+    }
+
+    #[test]
+    fn flow_eval_scores_against_campaign_labels() {
+        use csb_net::{AttackClass, FlowLabel};
+        let probe = FlowLabel { campaign: 1, stage: 0, class: AttackClass::Probe };
+        let exfil = FlowLabel { campaign: 1, stage: 3, class: AttackClass::Exfil };
+        let flows = vec![
+            lf(100, 2, probe),             // attacker 100 detected -> TP
+            lf(100, 3, probe),             // TP
+            lf(50, 7, exfil),              // nobody detected -> FN
+            lf(8, 9, FlowLabel::BENIGN),   // benign, undetected -> TN
+            lf(100, 9, FlowLabel::BENIGN), // benign but touches detected host -> FP
+        ];
+        let dets = vec![Detection { kind: AttackKind::HostScan, ip: 100 }];
+        let r = evaluate_flows(&flows, &dets);
+        assert_eq!(r.flows, 5);
+        assert_eq!(r.true_positives, 2);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.true_negatives, 1);
+        assert!((r.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r.f1() > 0.0);
+        // Per-stage breakdown: stage 0 fully detected, stage 3 missed.
+        assert_eq!(r.per_stage.len(), 2);
+        assert_eq!(r.per_stage[0].stage, 0);
+        assert_eq!(r.per_stage[0].flows, 2);
+        assert_eq!(r.per_stage[0].detected, 2);
+        assert_eq!(r.per_stage[1].stage, 3);
+        assert_eq!(r.per_stage[1].class, AttackClass::Exfil.code());
+        assert_eq!(r.per_stage[1].detected, 0);
+    }
+
+    #[test]
+    fn flow_eval_empty_is_perfect() {
+        let r = evaluate_flows(&[], &[]);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert!(r.per_stage.is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod streaming;
 pub mod train;
 
 pub use detector::{detect, Detection};
-pub use eval::{evaluate, EvalReport};
+pub use eval::{evaluate, evaluate_flows, EvalReport, FlowEvalReport, StageEval};
 pub use params::Thresholds;
 pub use pattern::{destination_patterns, source_patterns, TrafficPattern};
 pub use streaming::{StreamingDetector, TimedDetection};

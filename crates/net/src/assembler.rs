@@ -44,6 +44,37 @@ impl FlowKey {
             }
         }
     }
+
+    /// Stable partition index for parallel assembly: FNV-1a over the
+    /// canonical tuple, independent of `HashMap`'s per-process hasher.
+    fn partition(&self, workers: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in self.lo_ip.to_le_bytes() {
+            mix(b);
+        }
+        for b in self.hi_ip.to_le_bytes() {
+            mix(b);
+        }
+        for b in self.lo_port.to_le_bytes() {
+            mix(b);
+        }
+        for b in self.hi_port.to_le_bytes() {
+            mix(b);
+        }
+        mix(self.protocol.number());
+        (h % workers.max(1) as u64) as usize
+    }
+}
+
+/// The deterministic total order of assembled flow streams: no two distinct
+/// flows can share all six fields (same key at the same instant would be one
+/// builder), so sequential and partitioned assembly sort identically.
+fn flow_sort_key(f: &FlowRecord) -> (u64, u32, u32, u16, u16, u8) {
+    (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port, f.protocol.number())
 }
 
 #[derive(Debug)]
@@ -214,6 +245,42 @@ impl FlowAssembler {
         a.finish()
     }
 
+    /// Parallel assembly over `workers` threads, byte-identical to
+    /// [`FlowAssembler::assemble`] for every worker count.
+    ///
+    /// Flow construction is per-key independent (timeout splits compare a
+    /// packet's timestamp against the *same key's* last packet, never
+    /// another flow's), so packets are partitioned by a stable hash of the
+    /// canonical 5-tuple, each partition is assembled independently, and the
+    /// concatenation is re-sorted with the same total order `finish()` uses.
+    pub fn assemble_partitioned(packets: &[Packet], workers: usize) -> Vec<FlowRecord> {
+        if workers <= 1 {
+            return Self::assemble(packets);
+        }
+        let _span = csb_obs::span_cat("assembler.assemble_partitioned", "net");
+        let mut buckets: Vec<Vec<Packet>> = vec![Vec::new(); workers];
+        for p in packets {
+            buckets[FlowKey::of(p).partition(workers)].push(*p);
+        }
+        // Spawned threads do not inherit the caller's recorder scope.
+        let recorder = csb_obs::recorder::current();
+        let mut out: Vec<FlowRecord> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|b| {
+                    let recorder = recorder.clone();
+                    s.spawn(move || {
+                        let _obs_scope = recorder.install();
+                        Self::assemble(&b)
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("assembler worker panicked")).collect()
+        });
+        out.sort_unstable_by_key(flow_sort_key);
+        out
+    }
+
     /// Advances the assembler's clock to `ts_micros` (e.g. a window
     /// boundary) and expires idle streams — the "inactive timeout" export a
     /// real NetFlow exporter performs even when no further packets arrive
@@ -251,9 +318,7 @@ impl FlowAssembler {
         let mut rest: Vec<FlowRecord> = self.active.values().map(|b| b.build()).collect();
         out.append(&mut rest);
         // Deterministic order regardless of hash iteration.
-        out.sort_unstable_by_key(|f| {
-            (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port)
-        });
+        out.sort_unstable_by_key(flow_sort_key);
         csb_obs::counter_add("assembler.flows", out.len() as u64);
         csb_obs::obs_debug!("assembler: {} flows finished", out.len());
         out
@@ -376,6 +441,23 @@ mod tests {
         let flows = FlowAssembler::assemble(&pkts);
         let total: u64 = flows.iter().map(|f| f.total_pkts()).sum();
         assert_eq!(total, n);
+    }
+
+    #[test]
+    fn partitioned_assembly_matches_sequential_for_any_worker_count() {
+        // A busy little trace with splits (idle timeout) and mixed protocols.
+        let mut pkts = Vec::new();
+        for i in 0..40u16 {
+            pkts.extend(tcp_session(i as u64 * 1_000, A, 40_000 + i, B, 80));
+            pkts.push(Packet::udp(i as u64 * 1_500, B, 53, A, 9_000 + i, 60));
+        }
+        pkts.push(Packet::udp(200_000_000, A, 9_000, B, 53, 60));
+        pkts.sort_by_key(|p| p.ts_micros);
+        let sequential = FlowAssembler::assemble(&pkts);
+        for workers in [1usize, 2, 3, 7, 16] {
+            let par = FlowAssembler::assemble_partitioned(&pkts, workers);
+            assert_eq!(par, sequential, "workers={workers} diverged");
+        }
     }
 
     #[test]

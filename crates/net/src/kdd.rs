@@ -1,0 +1,332 @@
+//! NSL-KDD-style labeled feature-row export.
+//!
+//! Classic IDS benchmarks (KDD'99 and its NSL-KDD revision) describe each
+//! connection as a feature vector plus an attack-class label. This module
+//! derives an analogous, fully deterministic row set from labeled flows so a
+//! generated campaign trace can feed tabular NIDS baselines alongside the
+//! graph pipeline.
+//!
+//! Determinism contract: rows depend only on the flow records and labels —
+//! all derived features use integer arithmetic plus IEEE-754 division of
+//! small integers, and formatting is fixed-width (`{:.2}`), so a fixed-seed
+//! campaign exports byte-identical rows on every platform. The golden test
+//! in `crates/core/tests` pins this.
+
+use crate::flow::{Protocol, TcpConnState};
+use crate::traffic::campaign::LabeledFlow;
+use std::collections::{HashMap, VecDeque};
+
+/// Trailing time window for the `count`/`srv_count` traffic features,
+/// mirroring KDD's two-second window.
+pub const WINDOW_MICROS: u64 = 2_000_000;
+
+/// Host-window depth for the `dst_host_*` features (KDD uses the last 100
+/// connections).
+pub const HOST_WINDOW: usize = 100;
+
+/// Column names of an exported row, in order.
+pub const KDD_COLUMNS: [&str; 17] = [
+    "duration",
+    "protocol_type",
+    "service",
+    "flag",
+    "src_bytes",
+    "dst_bytes",
+    "land",
+    "count",
+    "srv_count",
+    "serror_rate",
+    "srv_serror_rate",
+    "same_srv_rate",
+    "dst_host_count",
+    "dst_host_srv_count",
+    "class",
+    "campaign",
+    "stage",
+];
+
+/// The CSV header line (no trailing newline).
+pub fn kdd_header() -> String {
+    KDD_COLUMNS.join(",")
+}
+
+/// Well-known service name for a responder port, KDD vocabulary where a
+/// mapping exists; unknown ports map to `private`, ICMP to `ecr_i`.
+pub fn service_name(protocol: Protocol, dst_port: u16) -> &'static str {
+    if protocol == Protocol::Icmp {
+        return "ecr_i";
+    }
+    match (protocol, dst_port) {
+        (Protocol::Udp, 53) => "domain_u",
+        (Protocol::Tcp, 53) => "domain",
+        (_, 20) => "ftp_data",
+        (_, 21) => "ftp",
+        (_, 22) => "ssh",
+        (_, 23) => "telnet",
+        (_, 25) => "smtp",
+        (_, 80) => "http",
+        (_, 110) => "pop_3",
+        (_, 123) => "ntp_u",
+        (_, 143) => "imap4",
+        (_, 443) => "http_443",
+        (_, 445) => "smb",
+        (_, 3306) => "sql_net",
+        _ => "private",
+    }
+}
+
+/// SYN-error states: the connection never completed its handshake, which is
+/// what KDD's `serror` family of features counts.
+fn is_serror(state: TcpConnState) -> bool {
+    matches!(state, TcpConnState::S0 | TcpConnState::S1 | TcpConnState::Sh)
+}
+
+/// Fixed two-decimal rendering of `num / denom`; `0.00` when the denominator
+/// is zero. Small-integer IEEE-754 division plus Rust's float formatting is
+/// bit-stable across platforms, which the golden export test relies on.
+fn rate(num: usize, denom: usize) -> String {
+    if denom == 0 {
+        "0.00".to_string()
+    } else {
+        format!("{:.2}", num as f64 / denom as f64)
+    }
+}
+
+/// Renders labeled flows as KDD-style CSV rows (no header; one line per
+/// flow, in time order).
+///
+/// Traffic features are computed over the time-sorted stream: `count`,
+/// `srv_count`, and the rate features look back [`WINDOW_MICROS`] from each
+/// flow's first packet (inclusive of the flow itself); `dst_host_*` features
+/// look back over the previous [`HOST_WINDOW`] flows. Input order does not
+/// matter — rows are emitted in the same canonical order the assembler
+/// produces.
+pub fn kdd_rows(flows: &[LabeledFlow]) -> Vec<String> {
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        let f = &flows[i].flow;
+        (f.first_ts_micros, f.src_ip, f.dst_ip, f.src_port, f.dst_port, f.protocol.number())
+    });
+
+    // Two-second trailing window, advanced with a second pointer; per-key
+    // occupancy counts are maintained incrementally so the pass is O(n).
+    let mut window: VecDeque<usize> = VecDeque::new();
+    let mut by_dst: HashMap<u32, usize> = HashMap::new();
+    let mut by_srv: HashMap<(Protocol, u16), usize> = HashMap::new();
+    let mut by_dst_srv: HashMap<(u32, u16), usize> = HashMap::new();
+    let mut serror_by_dst: HashMap<u32, usize> = HashMap::new();
+    let mut serror_by_srv: HashMap<(Protocol, u16), usize> = HashMap::new();
+
+    // Last-HOST_WINDOW connection ring for the dst_host_* features.
+    let mut host_ring: VecDeque<(u32, u16)> = VecDeque::new();
+
+    let mut rows = Vec::with_capacity(flows.len());
+    for &i in &order {
+        let lf = &flows[i];
+        let f = &lf.flow;
+        let srv = (f.protocol, f.dst_port);
+
+        // Evict flows older than the window.
+        while let Some(&old) = window.front() {
+            let of = &flows[old].flow;
+            if f.first_ts_micros.saturating_sub(of.first_ts_micros) <= WINDOW_MICROS {
+                break;
+            }
+            window.pop_front();
+            let okey = (of.protocol, of.dst_port);
+            *by_dst.get_mut(&of.dst_ip).unwrap() -= 1;
+            *by_srv.get_mut(&okey).unwrap() -= 1;
+            *by_dst_srv.get_mut(&(of.dst_ip, of.dst_port)).unwrap() -= 1;
+            if is_serror(of.state) {
+                *serror_by_dst.get_mut(&of.dst_ip).unwrap() -= 1;
+                *serror_by_srv.get_mut(&okey).unwrap() -= 1;
+            }
+        }
+
+        // Admit the current flow, then read the window features.
+        window.push_back(i);
+        *by_dst.entry(f.dst_ip).or_insert(0) += 1;
+        *by_srv.entry(srv).or_insert(0) += 1;
+        *by_dst_srv.entry((f.dst_ip, f.dst_port)).or_insert(0) += 1;
+        if is_serror(f.state) {
+            *serror_by_dst.entry(f.dst_ip).or_insert(0) += 1;
+            *serror_by_srv.entry(srv).or_insert(0) += 1;
+        }
+
+        let count = by_dst[&f.dst_ip];
+        let srv_count = by_srv[&srv];
+        let serror = serror_by_dst.get(&f.dst_ip).copied().unwrap_or(0);
+        let srv_serror = serror_by_srv.get(&srv).copied().unwrap_or(0);
+        let same_srv = by_dst_srv[&(f.dst_ip, f.dst_port)];
+
+        host_ring.push_back((f.dst_ip, f.dst_port));
+        if host_ring.len() > HOST_WINDOW {
+            host_ring.pop_front();
+        }
+        let dst_host_count = host_ring.iter().filter(|&&(ip, _)| ip == f.dst_ip).count();
+        let dst_host_srv_count =
+            host_ring.iter().filter(|&&(ip, p)| ip == f.dst_ip && p == f.dst_port).count();
+
+        let land = u8::from(f.src_ip == f.dst_ip && f.src_port == f.dst_port);
+        let proto = match f.protocol {
+            Protocol::Tcp => "tcp",
+            Protocol::Udp => "udp",
+            Protocol::Icmp => "icmp",
+        };
+        rows.push(format!(
+            "{}.{:02},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            f.duration_ms / 1000,
+            (f.duration_ms % 1000) / 10,
+            proto,
+            service_name(f.protocol, f.dst_port),
+            f.state,
+            f.out_bytes,
+            f.in_bytes,
+            land,
+            count,
+            srv_count,
+            rate(serror, count),
+            rate(srv_serror, srv_count),
+            rate(same_srv, count),
+            dst_host_count,
+            dst_host_srv_count,
+            lf.label.class.kdd_name(),
+            lf.label.campaign,
+            lf.label.stage,
+        ));
+    }
+    rows
+}
+
+/// Full CSV document: header line plus one row per flow, `\n`-terminated.
+pub fn kdd_csv(flows: &[LabeledFlow]) -> String {
+    let mut out = kdd_header();
+    out.push('\n');
+    for row in kdd_rows(flows) {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowRecord;
+    use crate::traffic::campaign::{AttackClass, FlowLabel};
+
+    fn flow(ts_micros: u64, src: u32, dst: u32, dst_port: u16, state: TcpConnState) -> FlowRecord {
+        FlowRecord {
+            src_ip: src,
+            dst_ip: dst,
+            protocol: Protocol::Tcp,
+            src_port: 40000,
+            dst_port,
+            duration_ms: 1540,
+            out_bytes: 300,
+            in_bytes: 500,
+            out_pkts: 5,
+            in_pkts: 4,
+            state,
+            syn_count: 1,
+            ack_count: 3,
+            first_ts_micros: ts_micros,
+        }
+    }
+
+    fn benign(f: FlowRecord) -> LabeledFlow {
+        LabeledFlow { flow: f, label: FlowLabel::BENIGN }
+    }
+
+    #[test]
+    fn header_and_rows_have_matching_arity() {
+        let flows = vec![benign(flow(0, 1, 2, 80, TcpConnState::Sf))];
+        let rows = kdd_rows(&flows);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].split(',').count(), KDD_COLUMNS.len());
+        assert_eq!(kdd_header().split(',').count(), KDD_COLUMNS.len());
+    }
+
+    #[test]
+    fn basic_fields_render_deterministically() {
+        let flows = vec![LabeledFlow {
+            flow: flow(0, 1, 2, 80, TcpConnState::Sf),
+            label: FlowLabel { campaign: 7, stage: 2, class: AttackClass::C2 },
+        }];
+        let row = &kdd_rows(&flows)[0];
+        assert_eq!(row, "1.54,tcp,http,SF,300,500,0,1,1,0.00,0.00,1.00,1,1,c2,7,2");
+    }
+
+    #[test]
+    fn two_second_window_counts_only_recent_flows() {
+        // Three flows to the same responder: the third arrives 2.5s after the
+        // first, so only the second remains in its window.
+        let flows = vec![
+            benign(flow(0, 1, 9, 80, TcpConnState::S0)),
+            benign(flow(1_000_000, 2, 9, 80, TcpConnState::Sf)),
+            benign(flow(2_500_000, 3, 9, 80, TcpConnState::Sf)),
+        ];
+        let rows = kdd_rows(&flows);
+        let count_of = |r: &String| r.split(',').nth(7).unwrap().parse::<usize>().unwrap();
+        assert_eq!(count_of(&rows[0]), 1);
+        assert_eq!(count_of(&rows[1]), 2);
+        assert_eq!(count_of(&rows[2]), 2, "first flow fell out of the 2s window");
+        // serror_rate of the second row: one S0 among two flows to dst 9.
+        assert_eq!(rows[1].split(',').nth(9).unwrap(), "0.50");
+        assert_eq!(rows[2].split(',').nth(9).unwrap(), "0.00");
+    }
+
+    #[test]
+    fn srv_count_tracks_service_not_host() {
+        let flows = vec![
+            benign(flow(0, 1, 9, 443, TcpConnState::Sf)),
+            benign(flow(100, 1, 10, 443, TcpConnState::Sf)),
+            benign(flow(200, 1, 9, 80, TcpConnState::Sf)),
+        ];
+        let rows = kdd_rows(&flows);
+        let srv_of = |r: &String| r.split(',').nth(8).unwrap().parse::<usize>().unwrap();
+        assert_eq!(srv_of(&rows[1]), 2, "two https flows in window");
+        assert_eq!(srv_of(&rows[2]), 1, "http is its own service");
+        // same_srv_rate of row 2: dst 9 saw one 443 flow and one 80 flow.
+        assert_eq!(rows[2].split(',').nth(11).unwrap(), "0.50");
+    }
+
+    #[test]
+    fn dst_host_window_is_bounded_at_100() {
+        let mut flows: Vec<LabeledFlow> =
+            (0..130u64).map(|i| benign(flow(i * 10_000_000, 1, 9, 80, TcpConnState::Sf))).collect();
+        flows.push(benign(flow(131 * 10_000_000, 1, 9, 80, TcpConnState::Sf)));
+        let rows = kdd_rows(&flows);
+        let host_count = rows.last().unwrap().split(',').nth(12).unwrap().parse::<usize>().unwrap();
+        assert_eq!(host_count, HOST_WINDOW);
+    }
+
+    #[test]
+    fn land_flag_fires_on_self_connection() {
+        let mut f = flow(0, 5, 5, 80, TcpConnState::Sf);
+        f.src_port = 80;
+        let rows = kdd_rows(&[benign(f)]);
+        assert_eq!(rows[0].split(',').nth(6).unwrap(), "1");
+    }
+
+    #[test]
+    fn rows_are_input_order_independent() {
+        let a = vec![
+            benign(flow(0, 1, 9, 80, TcpConnState::Sf)),
+            benign(flow(500, 2, 9, 80, TcpConnState::S0)),
+            benign(flow(900, 3, 8, 53, TcpConnState::Oth)),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(kdd_rows(&a), kdd_rows(&b));
+    }
+
+    #[test]
+    fn service_map_covers_campaign_ports() {
+        assert_eq!(service_name(Protocol::Tcp, 22), "ssh");
+        assert_eq!(service_name(Protocol::Tcp, 443), "http_443");
+        assert_eq!(service_name(Protocol::Udp, 53), "domain_u");
+        assert_eq!(service_name(Protocol::Tcp, 12345), "private");
+        assert_eq!(service_name(Protocol::Icmp, 0), "ecr_i");
+    }
+}

@@ -25,6 +25,7 @@
 pub mod assembler;
 pub mod filter;
 pub mod flow;
+pub mod kdd;
 pub mod netflow_v5;
 pub mod packet;
 pub mod pcap;
@@ -37,3 +38,4 @@ pub use filter::Filter;
 pub use flow::{FlowRecord, Protocol, TcpConnState};
 pub use packet::{Packet, TcpFlags};
 pub use trace::{AttackKind, AttackLabel, Trace};
+pub use traffic::campaign::{AttackClass, FlowLabel, LabeledFlow};

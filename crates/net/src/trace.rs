@@ -96,9 +96,45 @@ impl Trace {
         self.packets.sort_by_key(|p| p.ts_micros);
     }
 
-    /// Appends another trace's packets and labels (does not re-sort).
+    /// Appends another trace's packets and labels.
+    ///
+    /// **Invariant caveat:** this concatenates; it does *not* re-sort, so the
+    /// result violates the "packets sorted by timestamp" invariant whenever
+    /// the two traces overlap in time. Callers must either call
+    /// [`Trace::sort`] afterwards (the attack-injector path does) or use
+    /// [`Trace::merge_sorted`], which preserves the invariant directly.
     pub fn merge(&mut self, other: Trace) {
         self.packets.extend(other.packets);
+        self.labels.extend(other.labels);
+    }
+
+    /// Merges another trace, keeping packets time-ordered.
+    ///
+    /// Both inputs must already be sorted by timestamp (the documented trace
+    /// invariant); the merge is a stable two-way merge, so on timestamp ties
+    /// `self`'s packets precede `other`'s and each side keeps its internal
+    /// order. This is O(n + m) — the campaign scheduler uses it to interleave
+    /// stage traces without a full re-sort.
+    pub fn merge_sorted(&mut self, other: Trace) {
+        debug_assert!(self.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        debug_assert!(other.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        let left = std::mem::take(&mut self.packets);
+        self.packets = Vec::with_capacity(left.len() + other.packets.len());
+        let (mut a, mut b) = (left.into_iter().peekable(), other.packets.into_iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.ts_micros <= y.ts_micros {
+                        self.packets.push(a.next().expect("peeked"));
+                    } else {
+                        self.packets.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => self.packets.extend(a.by_ref()),
+                (None, Some(_)) => self.packets.extend(b.by_ref()),
+                (None, None) => break,
+            }
+        }
         self.labels.extend(other.labels);
     }
 
@@ -211,6 +247,57 @@ mod tests {
         a.merge(b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.labels.len(), 1);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves_two_stages() {
+        // Two overlapping "stages": merge_sorted must interleave by time
+        // where plain merge would leave packets out of order.
+        let mut a = Trace::new();
+        for t in [0u64, 200, 400, 600] {
+            a.packets.push(Packet::icmp(t, 1, 2, 8));
+        }
+        let mut b = Trace::new();
+        for t in [100u64, 300, 400, 500] {
+            b.packets.push(Packet::icmp(t, 3, 4, 8));
+        }
+        b.labels.push(AttackLabel {
+            kind: AttackKind::HostScan,
+            attacker: 3,
+            victim: 4,
+            start_micros: 100,
+            end_micros: 500,
+        });
+        let mut concat = a.clone();
+        concat.merge(b.clone());
+        assert!(
+            concat.packets.windows(2).any(|w| w[0].ts_micros > w[1].ts_micros),
+            "plain merge of overlapping traces must be out of order (else this test is vacuous)"
+        );
+        a.merge_sorted(b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.labels.len(), 1);
+        assert!(a.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        // Stable on ties: at t=400 the left trace's packet comes first.
+        let at_400: Vec<u32> =
+            a.packets.iter().filter(|p| p.ts_micros == 400).map(|p| p.src_ip).collect();
+        assert_eq!(at_400, vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_sorted_handles_empty_sides() {
+        let mut a = Trace::new();
+        a.merge_sorted(Trace::new());
+        assert!(a.is_empty());
+        let mut b = Trace::new();
+        b.packets.push(Packet::icmp(7, 1, 2, 8));
+        a.merge_sorted(b);
+        assert_eq!(a.len(), 1);
+        let mut c = Trace::new();
+        c.packets.push(Packet::icmp(3, 5, 6, 8));
+        c.merge_sorted(a);
+        assert_eq!(c.packets[0].ts_micros, 3);
+        assert_eq!(c.packets[1].ts_micros, 7);
     }
 
     #[test]

@@ -1,0 +1,891 @@
+//! Multi-stage attack campaigns with per-flow ground truth.
+//!
+//! A [`Campaign`] is a kill chain of [`StageKind`] stages (recon → lateral
+//! movement → C2 beaconing → DNS/HTTPS exfiltration) scheduled over the
+//! simulated [`Topology`]. Each stage is parameterized by intensity, stealth,
+//! and duration, draws from its own deterministic RNG stream
+//! (`rng_for(seed, stage_index + 1)`), and targets hosts discovered by the
+//! previous stage: recon's open hosts feed lateral movement, lateral
+//! movement's compromised set feeds beaconing and exfiltration.
+//!
+//! Ground truth is exact, not windowed-heuristic: every malicious flow the
+//! campaign emits is recorded as a [`StageAction`] carrying the flow's
+//! oriented 5-tuple and time window, and [`label_flows`] labels an assembled
+//! flow if and only if it matches an action. Two structural properties make
+//! the labeling sound against benign traffic:
+//!
+//! 1. Campaign infrastructure (attacker + C2 hosts) lives in TEST-NET-2
+//!    (`198.51.100.0/24`), disjoint from every topology host class, and
+//!    lateral movement is client→client, a direction the benign simulator
+//!    never generates.
+//! 2. Campaign originator ports come from [`CAMPAIGN_SPORT_BASE`]`..`
+//!    `+`[`CAMPAIGN_SPORT_SPAN`], disjoint from the benign simulator's
+//!    ephemeral range (32768..61000).
+//!
+//! So no benign flow can collide with a campaign action's 5-tuple, and the
+//! invariant "labeled ⇔ emitted by a stage" holds exactly.
+
+use crate::assembler::FlowAssembler;
+use crate::flow::{FlowRecord, Protocol};
+use crate::packet::{ip, Packet, TcpFlags};
+use crate::trace::Trace;
+use crate::traffic::topology::Topology;
+use csb_stats::rng::rng_for;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// First originator port campaign stages allocate from.
+pub const CAMPAIGN_SPORT_BASE: u16 = 61000;
+/// Size of the campaign originator-port window (ports wrap within it).
+pub const CAMPAIGN_SPORT_SPAN: u16 = 4000;
+
+/// Kill-chain stage taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageKind {
+    /// Port/host sweep of the server farm and a client sample.
+    Recon,
+    /// SSH-style credential attempts from a foothold toward discovered hosts.
+    LateralMovement,
+    /// Periodic low-volume beacons from compromised hosts to the C2 server.
+    C2Beacon,
+    /// Bulk DNS-tunnel and HTTPS uploads from compromised hosts.
+    Exfiltration,
+}
+
+impl StageKind {
+    /// All kinds, in canonical kill-chain order.
+    pub const ALL: [StageKind; 4] = [
+        StageKind::Recon,
+        StageKind::LateralMovement,
+        StageKind::C2Beacon,
+        StageKind::Exfiltration,
+    ];
+
+    /// Stable name, also accepted by [`StageKind::parse`].
+    pub const fn name(self) -> &'static str {
+        match self {
+            StageKind::Recon => "recon",
+            StageKind::LateralMovement => "lateral",
+            StageKind::C2Beacon => "c2",
+            StageKind::Exfiltration => "exfil",
+        }
+    }
+
+    /// Parses a stage name as written in CLI stage lists.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "recon" => Some(StageKind::Recon),
+            "lateral" => Some(StageKind::LateralMovement),
+            "c2" => Some(StageKind::C2Beacon),
+            "exfil" => Some(StageKind::Exfiltration),
+            _ => None,
+        }
+    }
+
+    /// The attack class flows of this stage are labeled with.
+    pub const fn class(self) -> AttackClass {
+        match self {
+            StageKind::Recon => AttackClass::Probe,
+            StageKind::LateralMovement => AttackClass::R2l,
+            StageKind::C2Beacon => AttackClass::C2,
+            StageKind::Exfiltration => AttackClass::Exfil,
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Attack class of a labeled flow — the NSL-KDD-style class vocabulary the
+/// KDD exporter writes in its `class` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackClass {
+    /// Benign traffic.
+    Normal,
+    /// Scanning/probing (KDD "probe").
+    Probe,
+    /// Remote-to-local access attempts (KDD "r2l").
+    R2l,
+    /// Command-and-control beaconing.
+    C2,
+    /// Data exfiltration.
+    Exfil,
+    /// Denial of service (reserved for the legacy flood injectors).
+    Dos,
+}
+
+impl AttackClass {
+    /// All classes, for enumeration.
+    pub const ALL: [AttackClass; 6] = [
+        AttackClass::Normal,
+        AttackClass::Probe,
+        AttackClass::R2l,
+        AttackClass::C2,
+        AttackClass::Exfil,
+        AttackClass::Dos,
+    ];
+
+    /// Stable small integer code (the store's `CLASS` label column).
+    pub const fn code(self) -> u8 {
+        match self {
+            AttackClass::Normal => 0,
+            AttackClass::Probe => 1,
+            AttackClass::R2l => 2,
+            AttackClass::C2 => 3,
+            AttackClass::Exfil => 4,
+            AttackClass::Dos => 5,
+        }
+    }
+
+    /// Inverse of [`AttackClass::code`].
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(AttackClass::Normal),
+            1 => Some(AttackClass::Probe),
+            2 => Some(AttackClass::R2l),
+            3 => Some(AttackClass::C2),
+            4 => Some(AttackClass::Exfil),
+            5 => Some(AttackClass::Dos),
+            _ => None,
+        }
+    }
+
+    /// Class name as written in KDD-style exports.
+    pub const fn kdd_name(self) -> &'static str {
+        match self {
+            AttackClass::Normal => "normal",
+            AttackClass::Probe => "probe",
+            AttackClass::R2l => "r2l",
+            AttackClass::C2 => "c2",
+            AttackClass::Exfil => "exfil",
+            AttackClass::Dos => "dos",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kdd_name())
+    }
+}
+
+/// Per-flow ground-truth label. Campaign id 0 is reserved for benign
+/// traffic, so a v1 (unlabeled) flow store reads back as all-benign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowLabel {
+    /// Campaign id (0 = benign).
+    pub campaign: u32,
+    /// Kill-chain stage index within the campaign (0 when benign).
+    pub stage: u8,
+    /// Attack class.
+    pub class: AttackClass,
+}
+
+impl FlowLabel {
+    /// The benign label.
+    pub const BENIGN: FlowLabel = FlowLabel { campaign: 0, stage: 0, class: AttackClass::Normal };
+
+    /// True when the flow belongs to a campaign.
+    pub const fn is_attack(self) -> bool {
+        self.campaign != 0
+    }
+}
+
+/// A flow with its ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledFlow {
+    /// The assembled flow.
+    pub flow: FlowRecord,
+    /// Ground truth.
+    pub label: FlowLabel,
+}
+
+/// Parameters of one kill-chain stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageParams {
+    /// What the stage does.
+    pub kind: StageKind,
+    /// Action-count multiplier (1.0 = nominal).
+    pub intensity: f64,
+    /// `[0, 1]`: higher = slower, more jittered, lower-volume behavior.
+    pub stealth: f64,
+    /// Stage window length in simulated seconds.
+    pub duration_secs: f64,
+}
+
+impl StageParams {
+    /// Nominal parameters for a stage kind.
+    pub fn nominal(kind: StageKind) -> Self {
+        let duration_secs = match kind {
+            StageKind::Recon => 30.0,
+            StageKind::LateralMovement => 40.0,
+            StageKind::C2Beacon => 60.0,
+            StageKind::Exfiltration => 40.0,
+        };
+        StageParams { kind, intensity: 1.0, stealth: 0.3, duration_secs }
+    }
+}
+
+/// A campaign: an id, a seed, a start time, and an ordered stage list.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign id carried in every label; must be nonzero (0 = benign).
+    pub id: u32,
+    /// Master seed; stage `i` draws from `rng_for(seed, i + 1)`.
+    pub seed: u64,
+    /// Campaign start, simulated seconds from the trace epoch.
+    pub start_secs: f64,
+    /// Stages, executed back to back.
+    pub stages: Vec<StageParams>,
+}
+
+impl CampaignConfig {
+    /// The canonical 4-stage kill chain at nominal parameters.
+    pub fn kill_chain(id: u32, seed: u64, start_secs: f64) -> Self {
+        CampaignConfig {
+            id,
+            seed,
+            start_secs,
+            stages: StageKind::ALL.iter().map(|&k| StageParams::nominal(k)).collect(),
+        }
+    }
+}
+
+/// Ground truth for one malicious flow: the exact oriented 5-tuple the
+/// assembler will produce for it, plus its time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageAction {
+    /// Stage index within the campaign.
+    pub stage: u8,
+    /// Stage kind.
+    pub kind: StageKind,
+    /// Originator (first sender) address.
+    pub src_ip: u32,
+    /// Originator port.
+    pub src_port: u16,
+    /// Responder address.
+    pub dst_ip: u32,
+    /// Responder port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// First packet timestamp, microseconds.
+    pub start_micros: u64,
+    /// Last packet timestamp, microseconds.
+    pub end_micros: u64,
+}
+
+/// The realized campaign: its packets, ground-truth actions, and findings.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// Campaign id.
+    pub id: u32,
+    /// Time-ordered malicious packets (labels vector left empty; campaign
+    /// ground truth is `actions`).
+    pub trace: Trace,
+    /// One entry per malicious flow emitted.
+    pub actions: Vec<StageAction>,
+    /// Hosts compromised by lateral movement (drive C2 and exfiltration).
+    pub compromised: Vec<u32>,
+}
+
+/// Allocates campaign originator ports: per-source sequential from the
+/// campaign window so every action gets a distinct 5-tuple.
+#[derive(Debug, Default)]
+struct PortAlloc {
+    next: HashMap<u32, u16>,
+}
+
+impl PortAlloc {
+    fn alloc(&mut self, src: u32) -> u16 {
+        let off = self.next.entry(src).or_insert(0);
+        let port = CAMPAIGN_SPORT_BASE + *off;
+        *off = (*off + 1) % CAMPAIGN_SPORT_SPAN;
+        port
+    }
+}
+
+/// What a stage emits: packets plus the action bookkeeping shared across
+/// stages of one run.
+struct StageCtx<'a> {
+    stage: u8,
+    kind: StageKind,
+    trace: Trace,
+    actions: &'a mut Vec<StageAction>,
+    ports: &'a mut PortAlloc,
+}
+
+impl StageCtx<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        src: u32,
+        sport: u16,
+        dst: u32,
+        dport: u16,
+        proto: Protocol,
+        start: u64,
+        end: u64,
+    ) {
+        self.actions.push(StageAction {
+            stage: self.stage,
+            kind: self.kind,
+            src_ip: src,
+            src_port: sport,
+            dst_ip: dst,
+            dst_port: dport,
+            protocol: proto,
+            start_micros: start,
+            end_micros: end,
+        });
+    }
+
+    /// SYN → SYN-ACK → attacker RST: an "open" probe (assembles as RSTO).
+    fn probe_open(&mut self, t: u64, src: u32, dst: u32, dport: u16) {
+        let sport = self.ports.alloc(src);
+        self.trace.packets.push(Packet::tcp(t, src, sport, dst, dport, TcpFlags::SYN, 0));
+        self.trace.packets.push(Packet::tcp(t + 150, dst, dport, src, sport, TcpFlags::SYN_ACK, 0));
+        self.trace.packets.push(Packet::tcp(t + 300, src, sport, dst, dport, TcpFlags::RST, 0));
+        self.record(src, sport, dst, dport, Protocol::Tcp, t, t + 300);
+    }
+
+    /// SYN → RST: a closed-port probe (assembles as REJ).
+    fn probe_closed(&mut self, t: u64, src: u32, dst: u32, dport: u16) {
+        let sport = self.ports.alloc(src);
+        self.trace.packets.push(Packet::tcp(t, src, sport, dst, dport, TcpFlags::SYN, 0));
+        self.trace.packets.push(Packet::tcp(
+            t + 150,
+            dst,
+            dport,
+            src,
+            sport,
+            TcpFlags::RST | TcpFlags::ACK,
+            0,
+        ));
+        self.record(src, sport, dst, dport, Protocol::Tcp, t, t + 150);
+    }
+
+    /// Full TCP session: handshake, segmented data both ways, FIN teardown
+    /// (assembles as SF).
+    #[allow(clippy::too_many_arguments)]
+    fn tcp_exchange(
+        &mut self,
+        t0: u64,
+        src: u32,
+        dst: u32,
+        dport: u16,
+        out_bytes: u64,
+        in_bytes: u64,
+        dur_micros: u64,
+    ) -> u64 {
+        const SEG: u64 = 1380;
+        let sport = self.ports.alloc(src);
+        let out_segs = out_bytes.div_ceil(SEG).max(1);
+        let in_segs = in_bytes.div_ceil(SEG).max(1);
+        let events = out_segs + in_segs + 5;
+        let step = (dur_micros.max(1) / events).max(1);
+        let mut t = t0;
+        let p = &mut self.trace.packets;
+        p.push(Packet::tcp(t, src, sport, dst, dport, TcpFlags::SYN, 0));
+        t += step;
+        p.push(Packet::tcp(t, dst, dport, src, sport, TcpFlags::SYN_ACK, 0));
+        t += step;
+        p.push(Packet::tcp(t, src, sport, dst, dport, TcpFlags::ACK, 0));
+        let mut rem = out_bytes;
+        for _ in 0..out_segs {
+            t += step;
+            let chunk = rem.min(SEG) as u32;
+            rem -= chunk as u64;
+            p.push(Packet::tcp(t, src, sport, dst, dport, TcpFlags::PSH | TcpFlags::ACK, chunk));
+        }
+        let mut rem = in_bytes;
+        for _ in 0..in_segs {
+            t += step;
+            let chunk = rem.min(SEG) as u32;
+            rem -= chunk as u64;
+            p.push(Packet::tcp(t, dst, dport, src, sport, TcpFlags::PSH | TcpFlags::ACK, chunk));
+        }
+        t += step;
+        p.push(Packet::tcp(t, src, sport, dst, dport, TcpFlags::FIN | TcpFlags::ACK, 0));
+        t += step;
+        p.push(Packet::tcp(t, dst, dport, src, sport, TcpFlags::FIN | TcpFlags::ACK, 0));
+        self.record(src, sport, dst, dport, Protocol::Tcp, t0, t);
+        t
+    }
+
+    /// UDP request burst with a small reply (assembles as OTH).
+    #[allow(clippy::too_many_arguments)]
+    fn udp_exchange(
+        &mut self,
+        t0: u64,
+        src: u32,
+        dst: u32,
+        dport: u16,
+        out_bytes: u64,
+        in_bytes: u64,
+        dur_micros: u64,
+    ) -> u64 {
+        const SEG: u64 = 180;
+        let sport = self.ports.alloc(src);
+        let out_pkts = out_bytes.div_ceil(SEG).max(1);
+        let in_pkts = in_bytes.div_ceil(SEG).max(1);
+        let step = (dur_micros.max(1) / (out_pkts + in_pkts)).max(1);
+        let mut t = t0;
+        let mut rem = out_bytes;
+        for _ in 0..out_pkts {
+            let chunk = rem.min(SEG) as u32;
+            rem -= chunk as u64;
+            self.trace.packets.push(Packet::udp(t, src, sport, dst, dport, chunk));
+            t += step;
+        }
+        let mut rem = in_bytes;
+        let mut last = t0;
+        for _ in 0..in_pkts {
+            let chunk = rem.min(SEG) as u32;
+            rem -= chunk as u64;
+            self.trace.packets.push(Packet::udp(t, dst, dport, src, sport, chunk));
+            last = t;
+            t += step;
+        }
+        self.record(src, sport, dst, dport, Protocol::Udp, t0, last);
+        last
+    }
+}
+
+/// The campaign engine. Deterministic given `(config, topology)`.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    cfg: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    ///
+    /// # Panics
+    /// Panics if `cfg.id == 0` (0 is the benign label) or no stages.
+    pub fn new(cfg: CampaignConfig) -> Self {
+        assert!(cfg.id != 0, "campaign id 0 is reserved for benign traffic");
+        assert!(!cfg.stages.is_empty(), "campaign needs at least one stage");
+        Campaign { cfg }
+    }
+
+    /// The attacker's external address for campaign `id` (TEST-NET-2, never
+    /// a topology host).
+    pub fn attacker_ip(id: u32) -> u32 {
+        ip(198, 51, 100, 10 + (id % 90) as u8)
+    }
+
+    /// The C2/exfiltration server address for campaign `id`.
+    pub fn c2_ip(id: u32) -> u32 {
+        ip(198, 51, 100, 110 + (id % 140) as u8)
+    }
+
+    /// Runs every stage over the topology, chaining findings, and returns
+    /// the time-ordered malicious trace plus exact ground truth.
+    pub fn run(&self, topo: &Topology) -> CampaignRun {
+        let _span = csb_obs::span_cat("campaign.run", "net");
+        let cfg = &self.cfg;
+        let attacker = Self::attacker_ip(cfg.id);
+        let c2 = Self::c2_ip(cfg.id);
+        let mut trace = Trace::new();
+        let mut actions = Vec::new();
+        let mut ports = PortAlloc::default();
+        // Findings chain: recon fills `discovered`, lateral movement turns a
+        // subset into `compromised`, which C2/exfil stages then use.
+        let mut discovered: Vec<u32> = Vec::new();
+        let mut compromised: Vec<u32> = Vec::new();
+        let mut stage_start = (cfg.start_secs.max(0.0) * 1e6) as u64;
+        for (i, stage) in cfg.stages.iter().enumerate() {
+            let _stage_span = csb_obs::span_cat("campaign.stage", "net");
+            let mut rng = rng_for(cfg.seed, i as u64 + 1);
+            let dur = (stage.duration_secs.max(0.1) * 1e6) as u64;
+            let mut ctx = StageCtx {
+                stage: i as u8,
+                kind: stage.kind,
+                trace: Trace::new(),
+                actions: &mut actions,
+                ports: &mut ports,
+            };
+            let before = ctx.actions.len();
+            match stage.kind {
+                StageKind::Recon => {
+                    run_recon(
+                        &mut ctx,
+                        stage,
+                        topo,
+                        attacker,
+                        stage_start,
+                        dur,
+                        &mut rng,
+                        &mut discovered,
+                    );
+                }
+                StageKind::LateralMovement => {
+                    run_lateral(
+                        &mut ctx,
+                        stage,
+                        attacker,
+                        stage_start,
+                        dur,
+                        &mut rng,
+                        &discovered,
+                        &mut compromised,
+                    );
+                }
+                StageKind::C2Beacon => {
+                    run_c2(
+                        &mut ctx,
+                        stage,
+                        c2,
+                        stage_start,
+                        dur,
+                        &mut rng,
+                        fallback(&compromised, &discovered, attacker),
+                    );
+                }
+                StageKind::Exfiltration => {
+                    run_exfil(
+                        &mut ctx,
+                        stage,
+                        c2,
+                        stage_start,
+                        dur,
+                        &mut rng,
+                        fallback(&compromised, &discovered, attacker),
+                    );
+                }
+            }
+            csb_obs::counter_add("campaign.actions", (ctx.actions.len() - before) as u64);
+            let mut st = ctx.trace;
+            st.sort();
+            trace.merge_sorted(st);
+            stage_start += dur;
+        }
+        csb_obs::counter_add("campaign.stages", cfg.stages.len() as u64);
+        csb_obs::counter_add("campaign.packets", trace.packets.len() as u64);
+        csb_obs::obs_debug!(
+            "campaign {}: {} stages, {} actions, {} packets",
+            cfg.id,
+            cfg.stages.len(),
+            actions.len(),
+            trace.packets.len()
+        );
+        CampaignRun { id: cfg.id, trace, actions, compromised }
+    }
+}
+
+/// C2/exfil target set: compromised hosts, else discovered hosts (a chain
+/// missing the lateral stage), else the attacker itself beaconing out.
+fn fallback<'a>(compromised: &'a [u32], discovered: &'a [u32], attacker: u32) -> Vec<u32> {
+    if !compromised.is_empty() {
+        compromised.to_vec()
+    } else if !discovered.is_empty() {
+        discovered.to_vec()
+    } else {
+        vec![attacker]
+    }
+}
+
+/// Spaces `n` events over `dur`, shrunk and jittered by stealth: stealthy
+/// stages use more of the window with larger per-event jitter.
+fn event_time(start: u64, dur: u64, idx: u64, n: u64, stealth: f64, rng: &mut SmallRng) -> u64 {
+    let usable = (dur as f64 * (0.6 + 0.4 * stealth)) as u64;
+    let step = (usable / n.max(1)).max(1);
+    let jitter = ((step as f64) * 0.4 * stealth * rng.gen::<f64>()) as u64;
+    start + idx * step + jitter
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_recon(
+    ctx: &mut StageCtx<'_>,
+    stage: &StageParams,
+    topo: &Topology,
+    attacker: u32,
+    start: u64,
+    dur: u64,
+    rng: &mut SmallRng,
+    discovered: &mut Vec<u32>,
+) {
+    const SERVER_PORTS: [u16; 3] = [22, 80, 443];
+    // Sample fraction of clients scales with intensity, shrinks with stealth.
+    let frac = (0.25 * stage.intensity * (1.0 - 0.5 * stage.stealth)).clamp(0.01, 1.0);
+    let client_targets: Vec<u32> =
+        topo.clients().iter().copied().filter(|_| rng.gen::<f64>() < frac).collect();
+    let total = (topo.servers().len() * SERVER_PORTS.len() + client_targets.len()) as u64;
+    let mut idx = 0u64;
+    for &server in topo.servers() {
+        let mut open = false;
+        for port in SERVER_PORTS {
+            let t = event_time(start, dur, idx, total, stage.stealth, rng);
+            idx += 1;
+            // The farm answers most well-known ports.
+            if rng.gen::<f64>() < 0.9 {
+                ctx.probe_open(t, attacker, server, port);
+                open = true;
+            } else {
+                ctx.probe_closed(t, attacker, server, port);
+            }
+        }
+        if open {
+            discovered.push(server);
+        }
+    }
+    for client in client_targets {
+        let t = event_time(start, dur, idx, total, stage.stealth, rng);
+        idx += 1;
+        // A minority of clients run a reachable SSH service.
+        if rng.gen::<f64>() < 0.35 {
+            ctx.probe_open(t, attacker, client, 22);
+            discovered.push(client);
+        } else {
+            ctx.probe_closed(t, attacker, client, 22);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lateral(
+    ctx: &mut StageCtx<'_>,
+    stage: &StageParams,
+    attacker: u32,
+    start: u64,
+    dur: u64,
+    rng: &mut SmallRng,
+    discovered: &[u32],
+    compromised: &mut Vec<u32>,
+) {
+    if discovered.is_empty() {
+        return;
+    }
+    // Foothold: the attacker exploits the first discovered host directly.
+    let foothold = discovered[0];
+    let t = event_time(start, dur, 0, discovered.len() as u64 + 1, stage.stealth, rng);
+    ctx.tcp_exchange(t, attacker, foothold, 22, 2_500, 900, 4_000_000);
+    compromised.push(foothold);
+    // From the foothold, spread to a deterministic intensity-scaled subset.
+    let spread =
+        ((discovered.len() - 1) as f64 * (0.6 * stage.intensity).min(1.0)).round() as usize;
+    for (idx, &target) in (1u64..).zip(discovered.iter().skip(1).take(spread)) {
+        let t = event_time(start, dur, idx, discovered.len() as u64 + 1, stage.stealth, rng);
+        // A few failed credential attempts (REJ) precede each outcome.
+        let tries = 1 + (rng.gen::<f64>() * 2.0 * stage.intensity) as u64;
+        let mut at = t;
+        for _ in 0..tries {
+            ctx.probe_closed(at, foothold, target, 22);
+            at += 400_000;
+        }
+        if rng.gen::<f64>() < 0.55 {
+            ctx.tcp_exchange(at, foothold, target, 22, 1_800, 700, 3_000_000);
+            compromised.push(target);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_c2(
+    ctx: &mut StageCtx<'_>,
+    stage: &StageParams,
+    c2: u32,
+    start: u64,
+    dur: u64,
+    rng: &mut SmallRng,
+    hosts: Vec<u32>,
+) {
+    // Stealthy implants beacon slower; intensity speeds them up.
+    let period_secs = 15.0 * (1.0 + 2.0 * stage.stealth) / stage.intensity.max(0.25);
+    let beacons = ((dur as f64 / 1e6 / period_secs) as u64).max(1);
+    for host in hosts {
+        for k in 0..beacons {
+            let t = event_time(start, dur, k, beacons, stage.stealth, rng);
+            let out = 180 + (rng.gen::<f64>() * 120.0) as u64;
+            let inb = 90 + (rng.gen::<f64>() * 60.0) as u64;
+            ctx.tcp_exchange(t, host, c2, 443, out, inb, 600_000);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_exfil(
+    ctx: &mut StageCtx<'_>,
+    stage: &StageParams,
+    c2: u32,
+    start: u64,
+    dur: u64,
+    rng: &mut SmallRng,
+    hosts: Vec<u32>,
+) {
+    let uploads = ((2.0 * stage.intensity).round() as u64).max(1);
+    for host in hosts {
+        for k in 0..uploads {
+            let t = event_time(start, dur, k, uploads, stage.stealth, rng);
+            // Stealthy exfil trickles smaller payloads over longer windows.
+            let scale = 1.0 - 0.6 * stage.stealth;
+            let dur_micros = (6_000_000.0 * (1.0 + 2.0 * stage.stealth)) as u64;
+            if k % 2 == 0 {
+                // DNS tunnel: many small queries, tiny answers.
+                let out = (30_000.0 * scale * (0.5 + rng.gen::<f64>())) as u64 + 1_000;
+                ctx.udp_exchange(t, host, c2, 53, out, 600, dur_micros);
+            } else {
+                // Bulk HTTPS upload.
+                let out = (400_000.0 * scale * (0.5 + rng.gen::<f64>())) as u64 + 10_000;
+                ctx.tcp_exchange(t, host, c2, 443, out, 2_000, dur_micros);
+            }
+        }
+    }
+}
+
+/// Labels assembled flows against campaign ground truth: a flow is labeled
+/// iff its oriented 5-tuple matches a [`StageAction`] and its first packet
+/// falls inside the action's window; everything else is benign.
+pub fn label_flows(flows: &[FlowRecord], runs: &[CampaignRun]) -> Vec<LabeledFlow> {
+    let _span = csb_obs::span_cat("campaign.label", "net");
+    type Key = (u32, u16, u32, u16, u8);
+    let mut index: HashMap<Key, Vec<(u64, u64, FlowLabel)>> = HashMap::new();
+    for run in runs {
+        for a in &run.actions {
+            let label = FlowLabel { campaign: run.id, stage: a.stage, class: a.kind.class() };
+            index
+                .entry((a.src_ip, a.src_port, a.dst_ip, a.dst_port, a.protocol.number()))
+                .or_default()
+                .push((a.start_micros, a.end_micros, label));
+        }
+    }
+    let mut labeled = 0u64;
+    let out = flows
+        .iter()
+        .map(|f| {
+            let key = (f.src_ip, f.src_port, f.dst_ip, f.dst_port, f.protocol.number());
+            let label = index
+                .get(&key)
+                .and_then(|windows| {
+                    windows
+                        .iter()
+                        .find(|(s, e, _)| (*s..=*e).contains(&f.first_ts_micros))
+                        .map(|&(_, _, l)| l)
+                })
+                .unwrap_or(FlowLabel::BENIGN);
+            if label.is_attack() {
+                labeled += 1;
+            }
+            LabeledFlow { flow: *f, label }
+        })
+        .collect();
+    csb_obs::counter_add("campaign.labeled_flows", labeled);
+    out
+}
+
+/// Assembles a combined benign+campaign trace into labeled flows with
+/// `workers` parallel assembler partitions. The output is byte-identical for
+/// every worker count (see [`FlowAssembler::assemble_partitioned`]).
+pub fn assemble_labeled(trace: &Trace, runs: &[CampaignRun], workers: usize) -> Vec<LabeledFlow> {
+    let flows = FlowAssembler::assemble_partitioned(&trace.packets, workers);
+    label_flows(&flows, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::new(&TopologyConfig {
+            clients: 40,
+            servers: 5,
+            externals: 30,
+            ..TopologyConfig::default()
+        })
+    }
+
+    #[test]
+    fn kill_chain_runs_all_four_stages() {
+        let run = Campaign::new(CampaignConfig::kill_chain(1, 42, 0.0)).run(&topo());
+        assert!(!run.trace.is_empty());
+        assert!(!run.compromised.is_empty(), "lateral movement must compromise hosts");
+        for (i, kind) in StageKind::ALL.iter().enumerate() {
+            assert!(
+                run.actions.iter().any(|a| a.stage == i as u8 && a.kind == *kind),
+                "stage {kind} emitted no actions"
+            );
+        }
+        assert!(run.trace.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let cfg = CampaignConfig::kill_chain(3, 7, 5.0);
+        let a = Campaign::new(cfg.clone()).run(&topo());
+        let b = Campaign::new(cfg).run(&topo());
+        assert_eq!(a.trace.packets, b.trace.packets);
+        assert_eq!(a.actions, b.actions);
+        let c = Campaign::new(CampaignConfig::kill_chain(3, 8, 5.0)).run(&topo());
+        assert_ne!(a.trace.packets, c.trace.packets);
+    }
+
+    #[test]
+    fn every_action_assembles_to_one_labeled_flow() {
+        let run = Campaign::new(CampaignConfig::kill_chain(2, 99, 0.0)).run(&topo());
+        let n_actions = run.actions.len();
+        let flows = FlowAssembler::assemble(&run.trace.packets);
+        let labeled = label_flows(&flows, &[run]);
+        let attack = labeled.iter().filter(|l| l.label.is_attack()).count();
+        assert_eq!(attack, labeled.len(), "a pure campaign trace has no benign flows");
+        assert_eq!(attack, n_actions, "actions and labeled flows must be 1:1");
+    }
+
+    #[test]
+    fn stage_targets_derive_from_findings() {
+        let run = Campaign::new(CampaignConfig::kill_chain(4, 1234, 0.0)).run(&topo());
+        // Every C2/exfil originator must be a compromised host.
+        for a in &run.actions {
+            if matches!(a.kind, StageKind::C2Beacon | StageKind::Exfiltration) {
+                assert!(run.compromised.contains(&a.src_ip));
+            }
+        }
+        // Every lateral target beyond the foothold was discovered by recon.
+        let probed: Vec<u32> =
+            run.actions.iter().filter(|a| a.kind == StageKind::Recon).map(|a| a.dst_ip).collect();
+        for a in &run.actions {
+            if a.kind == StageKind::LateralMovement && run.compromised.first() == Some(&a.src_ip) {
+                assert!(probed.contains(&a.dst_ip), "lateral target was never probed");
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_action_count() {
+        let mut lo = CampaignConfig::kill_chain(5, 11, 0.0);
+        let mut hi = lo.clone();
+        for s in &mut lo.stages {
+            s.intensity = 0.4;
+        }
+        for s in &mut hi.stages {
+            s.intensity = 2.0;
+        }
+        let t = topo();
+        let a = Campaign::new(lo).run(&t).actions.len();
+        let b = Campaign::new(hi).run(&t).actions.len();
+        assert!(b > a, "intensity 2.0 ({b}) must emit more actions than 0.4 ({a})");
+    }
+
+    #[test]
+    fn class_and_stage_codes_round_trip() {
+        for c in AttackClass::ALL {
+            assert_eq!(AttackClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(AttackClass::from_code(6), None);
+        for k in StageKind::ALL {
+            assert_eq!(StageKind::parse(k.name()), Some(k));
+            assert!(k.class().code() != 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn campaign_id_zero_panics() {
+        let _ = Campaign::new(CampaignConfig::kill_chain(0, 1, 0.0));
+    }
+}

@@ -10,11 +10,13 @@
 //! The simulator is deterministic given its seed.
 
 pub mod attacks;
+pub mod campaign;
 pub mod profiles;
 pub mod sim;
 pub mod topology;
 
 pub use attacks::AttackInjector;
+pub use campaign::{Campaign, CampaignConfig, CampaignRun, StageAction, StageKind, StageParams};
 pub use profiles::{AppProfile, ProfileCatalog};
 pub use sim::{TrafficSim, TrafficSimConfig};
 pub use topology::{Topology, TopologyConfig};

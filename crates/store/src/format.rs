@@ -90,6 +90,9 @@ pub enum ChunkKind {
     Edge,
     /// Flow columns ([`FLOW_COLUMNS`]).
     Flow,
+    /// Labeled flow columns ([`LABELED_FLOW_COLUMNS`]): the flow schema plus
+    /// campaign ground-truth label columns.
+    LabeledFlow,
 }
 
 impl ChunkKind {
@@ -99,6 +102,7 @@ impl ChunkKind {
             ChunkKind::Vertex => 0,
             ChunkKind::Edge => 1,
             ChunkKind::Flow => 2,
+            ChunkKind::LabeledFlow => 3,
         }
     }
 
@@ -108,6 +112,7 @@ impl ChunkKind {
             0 => Some(ChunkKind::Vertex),
             1 => Some(ChunkKind::Edge),
             2 => Some(ChunkKind::Flow),
+            3 => Some(ChunkKind::LabeledFlow),
             _ => None,
         }
     }
@@ -118,6 +123,7 @@ impl ChunkKind {
             ChunkKind::Vertex => 4,
             ChunkKind::Edge => EDGE_COLUMNS.iter().map(|c| c.width).sum(),
             ChunkKind::Flow => FLOW_COLUMNS.iter().map(|c| c.width).sum(),
+            ChunkKind::LabeledFlow => LABELED_FLOW_COLUMNS.iter().map(|c| c.width).sum(),
         }
     }
 }
@@ -171,6 +177,30 @@ pub const FLOW_COLUMNS: [Column; 14] = [
     col("FIRST_TS_MICROS", 8),
 ];
 
+/// Labeled flow chunk schema: [`FLOW_COLUMNS`] plus the campaign
+/// ground-truth label columns (campaign id, kill-chain stage index, attack
+/// class code). Campaign id 0 = benign, so unlabeled v1 flow chunks read
+/// back as all-benign without translation.
+pub const LABELED_FLOW_COLUMNS: [Column; 17] = [
+    col("SRC_IP", 4),
+    col("DST_IP", 4),
+    col("PROTOCOL", 1),
+    col("SRC_PORT", 2),
+    col("DEST_PORT", 2),
+    col("DURATION", 8),
+    col("OUT_BYTES", 8),
+    col("IN_BYTES", 8),
+    col("OUT_PKTS", 8),
+    col("IN_PKTS", 8),
+    col("STATE", 1),
+    col("SYN_COUNT", 4),
+    col("ACK_COUNT", 4),
+    col("FIRST_TS_MICROS", 8),
+    col("CAMPAIGN", 4),
+    col("STAGE", 1),
+    col("CLASS", 1),
+];
+
 /// Vertex chunk schema: the single ip column.
 pub const VERTEX_COLUMNS: [Column; 1] = [col("IP", 4)];
 
@@ -180,6 +210,7 @@ pub fn chunk_schema(kind: ChunkKind) -> &'static [Column] {
         ChunkKind::Vertex => &VERTEX_COLUMNS,
         ChunkKind::Edge => &EDGE_COLUMNS,
         ChunkKind::Flow => &FLOW_COLUMNS,
+        ChunkKind::LabeledFlow => &LABELED_FLOW_COLUMNS,
     }
 }
 
@@ -301,7 +332,7 @@ mod tests {
             assert_eq!(FileKind::from_code(k.code()), Some(k));
         }
         assert_eq!(FileKind::from_code(9), None);
-        for k in [ChunkKind::Vertex, ChunkKind::Edge, ChunkKind::Flow] {
+        for k in [ChunkKind::Vertex, ChunkKind::Edge, ChunkKind::Flow, ChunkKind::LabeledFlow] {
             assert_eq!(ChunkKind::from_code(k.code()), Some(k));
         }
         assert_eq!(ChunkKind::from_code(9), None);

@@ -62,12 +62,14 @@ pub use format::{ChunkEntry, ChunkKind, Column, FileKind, StoreError};
 pub use ooc::StoreScan;
 pub use read::{ColumnBlock, EdgeBatch, StoreReader};
 pub use shard::{
-    load_graph_sharded, open_scan, save_graph_sharded, CheckpointedShardedGraphSink, ScanSource,
-    ShardSetManifest, ShardedCheckpointManifest, ShardedGraphSink, ShardedScan,
+    load_graph_sharded, load_labeled_flows_sharded, open_scan, save_graph_sharded,
+    save_labeled_flows_sharded, CheckpointedShardedGraphSink, ScanSource, ShardSetManifest,
+    ShardedCheckpointManifest, ShardedGraphSink, ShardedScan,
 };
 pub use sink::{
-    load_flows, load_graph, push_graph, save_flows, save_graph, save_graph_to, EdgeSink, FlowSink,
-    FlowStoreSink, GraphStoreSink, MemoryGraphSink,
+    load_flows, load_graph, load_labeled_flows, push_graph, save_flows, save_graph, save_graph_to,
+    save_labeled_flows, EdgeSink, FlowSink, FlowStoreSink, GraphStoreSink, LabeledFlowSink,
+    LabeledFlowStoreSink, MemoryGraphSink,
 };
 pub use spill::{SpillCodec, SpillFile, SpillWriter};
 pub use write::StoreWriter;

@@ -78,7 +78,7 @@ impl<R: Read + Seek> StoreScan<R> {
                     max_chunk_records = max_chunk_records.max(entry.records);
                 }
                 ChunkKind::Vertex => {}
-                ChunkKind::Flow => {
+                ChunkKind::Flow | ChunkKind::LabeledFlow => {
                     return Err(corrupt(entry.offset, "flow chunk in a graph store"))
                 }
             }

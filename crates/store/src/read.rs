@@ -12,12 +12,13 @@ use crate::codec::{decode_column, Codec};
 use crate::crc32::crc32;
 use crate::format::{
     column_offset, corrupt, ChunkEntry, ChunkKind, Column, FileKind, StoreError, CHUNK_MAGIC,
-    EDGE_COLUMNS, FILE_MAGIC, FLOW_COLUMNS, FORMAT_VERSION, FORMAT_VERSION_V2, TRAILER_LEN,
-    TRAILER_MAGIC,
+    EDGE_COLUMNS, FILE_MAGIC, FLOW_COLUMNS, FORMAT_VERSION, FORMAT_VERSION_V2,
+    LABELED_FLOW_COLUMNS, TRAILER_LEN, TRAILER_MAGIC,
 };
 use csb_graph::graph::VertexId;
 use csb_graph::{EdgeProperties, NetflowGraph};
 use csb_net::flow::{FlowRecord, Protocol, TcpConnState};
+use csb_net::{AttackClass, FlowLabel, LabeledFlow};
 use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
@@ -258,39 +259,49 @@ impl<R: Read + Seek> StoreReader<R> {
         let entry = self.expect_kind(idx, ChunkKind::Flow)?;
         let (n, offset) = (entry.records as usize, entry.offset);
         let payload = self.read_chunk_payload(idx)?;
-        let at = |i| column_offset(&FLOW_COLUMNS, i, n);
-        let src_ip = u32_col(&payload, at(0), n);
-        let dst_ip = u32_col(&payload, at(1), n);
-        let protocol = decode_protocols(&payload[at(2)..], n, offset)?;
-        let src_port = u16_col(&payload, at(3), n);
-        let dst_port = u16_col(&payload, at(4), n);
-        let duration_ms = u64_col(&payload, at(5), n);
-        let out_bytes = u64_col(&payload, at(6), n);
-        let in_bytes = u64_col(&payload, at(7), n);
-        let out_pkts = u64_col(&payload, at(8), n);
-        let in_pkts = u64_col(&payload, at(9), n);
-        let state = decode_states(&payload[at(10)..], n, offset)?;
-        let syn_count = u32_col(&payload, at(11), n);
-        let ack_count = u32_col(&payload, at(12), n);
-        let first_ts = u64_col(&payload, at(13), n);
-        Ok((0..n)
-            .map(|i| FlowRecord {
-                src_ip: src_ip[i],
-                dst_ip: dst_ip[i],
-                protocol: protocol[i],
-                src_port: src_port[i],
-                dst_port: dst_port[i],
-                duration_ms: duration_ms[i],
-                out_bytes: out_bytes[i],
-                in_bytes: in_bytes[i],
-                out_pkts: out_pkts[i],
-                in_pkts: in_pkts[i],
-                state: state[i],
-                syn_count: syn_count[i],
-                ack_count: ack_count[i],
-                first_ts_micros: first_ts[i],
-            })
-            .collect())
+        decode_flow_fields(&payload, &FLOW_COLUMNS, n, offset)
+    }
+
+    /// Decodes flow chunk `idx` into [`LabeledFlow`]s. Accepts both labeled
+    /// chunks and plain v1 flow chunks — the latter carry no label columns
+    /// and read back as all-benign.
+    pub fn read_labeled_flow_batch(&mut self, idx: usize) -> Result<Vec<LabeledFlow>, StoreError> {
+        let entry = &self.chunks[idx];
+        let (kind, n, offset) = (entry.kind, entry.records as usize, entry.offset);
+        match kind {
+            ChunkKind::Flow => Ok(self
+                .read_flow_batch(idx)?
+                .into_iter()
+                .map(|flow| LabeledFlow { flow, label: FlowLabel::BENIGN })
+                .collect()),
+            ChunkKind::LabeledFlow => {
+                let payload = self.read_chunk_payload(idx)?;
+                let flows = decode_flow_fields(&payload, &LABELED_FLOW_COLUMNS, n, offset)?;
+                let at = |i| column_offset(&LABELED_FLOW_COLUMNS, i, n);
+                let campaign = u32_col(&payload, at(14), n);
+                let stage = &payload[at(15)..at(15) + n];
+                let class_codes = &payload[at(16)..at(16) + n];
+                let mut classes = Vec::with_capacity(n);
+                for &c in class_codes {
+                    classes.push(AttackClass::from_code(c).ok_or_else(|| {
+                        corrupt(offset, format!("invalid attack class code {c}"))
+                    })?);
+                }
+                Ok(flows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, flow)| LabeledFlow {
+                        flow,
+                        label: FlowLabel {
+                            campaign: campaign[i],
+                            stage: stage[i],
+                            class: classes[i],
+                        },
+                    })
+                    .collect())
+            }
+            _ => Err(corrupt(offset, format!("chunk {idx} is not a flow chunk"))),
+        }
     }
 
     /// Fetches the named columns of an edge or flow chunk with **one**
@@ -307,6 +318,7 @@ impl<R: Read + Seek> StoreReader<R> {
         let schema: &[Column] = match entry.kind {
             ChunkKind::Edge => &EDGE_COLUMNS,
             ChunkKind::Flow => &FLOW_COLUMNS,
+            ChunkKind::LabeledFlow => &LABELED_FLOW_COLUMNS,
             ChunkKind::Vertex => {
                 return Err(corrupt(entry.offset, "vertex chunks have no named columns"))
             }
@@ -393,7 +405,7 @@ impl<R: Read + Seek> StoreReader<R> {
                     dst.extend(batch.dst.into_iter().map(VertexId));
                     props.extend(batch.props);
                 }
-                ChunkKind::Flow => {
+                ChunkKind::Flow | ChunkKind::LabeledFlow => {
                     return Err(corrupt(self.chunks[idx].offset, "flow chunk in a graph store"))
                 }
             }
@@ -406,16 +418,79 @@ impl<R: Read + Seek> StoreReader<R> {
     }
 
     /// Reconstructs the flow list from every flow chunk, in file order.
+    /// Labeled chunks are read too, with their labels dropped, so the
+    /// unlabeled API works on labeled stores.
     pub fn load_flows(&mut self) -> Result<Vec<FlowRecord>, StoreError> {
         if self.kind != FileKind::Flows {
             return Err(corrupt(12, "not a flow store"));
         }
         let mut flows = Vec::with_capacity(self.record_count(ChunkKind::Flow) as usize);
         for idx in 0..self.chunks.len() {
-            flows.extend(self.read_flow_batch(idx)?);
+            match self.chunks[idx].kind {
+                ChunkKind::Flow => flows.extend(self.read_flow_batch(idx)?),
+                _ => flows.extend(self.read_labeled_flow_batch(idx)?.into_iter().map(|l| l.flow)),
+            }
         }
         Ok(flows)
     }
+
+    /// Reconstructs the labeled flow list from every flow chunk, in file
+    /// order. Plain v1 flow chunks read back as all-benign ([`FlowLabel`]
+    /// campaign id 0) — a v1 store carries no ground truth.
+    pub fn load_labeled_flows(&mut self) -> Result<Vec<LabeledFlow>, StoreError> {
+        if self.kind != FileKind::Flows {
+            return Err(corrupt(12, "not a flow store"));
+        }
+        let mut flows = Vec::new();
+        for idx in 0..self.chunks.len() {
+            flows.extend(self.read_labeled_flow_batch(idx)?);
+        }
+        Ok(flows)
+    }
+}
+
+/// Decodes the 14 [`FlowRecord`] fields from a column-major payload whose
+/// schema starts with [`FLOW_COLUMNS`] (the labeled schema shares that
+/// prefix, so both chunk kinds decode through here).
+fn decode_flow_fields(
+    payload: &[u8],
+    schema: &[Column],
+    n: usize,
+    offset: u64,
+) -> Result<Vec<FlowRecord>, StoreError> {
+    let at = |i| column_offset(schema, i, n);
+    let src_ip = u32_col(payload, at(0), n);
+    let dst_ip = u32_col(payload, at(1), n);
+    let protocol = decode_protocols(&payload[at(2)..], n, offset)?;
+    let src_port = u16_col(payload, at(3), n);
+    let dst_port = u16_col(payload, at(4), n);
+    let duration_ms = u64_col(payload, at(5), n);
+    let out_bytes = u64_col(payload, at(6), n);
+    let in_bytes = u64_col(payload, at(7), n);
+    let out_pkts = u64_col(payload, at(8), n);
+    let in_pkts = u64_col(payload, at(9), n);
+    let state = decode_states(&payload[at(10)..], n, offset)?;
+    let syn_count = u32_col(payload, at(11), n);
+    let ack_count = u32_col(payload, at(12), n);
+    let first_ts = u64_col(payload, at(13), n);
+    Ok((0..n)
+        .map(|i| FlowRecord {
+            src_ip: src_ip[i],
+            dst_ip: dst_ip[i],
+            protocol: protocol[i],
+            src_port: src_port[i],
+            dst_port: dst_port[i],
+            duration_ms: duration_ms[i],
+            out_bytes: out_bytes[i],
+            in_bytes: in_bytes[i],
+            out_pkts: out_pkts[i],
+            in_pkts: in_pkts[i],
+            state: state[i],
+            syn_count: syn_count[i],
+            ack_count: ack_count[i],
+            first_ts_micros: first_ts[i],
+        })
+        .collect())
 }
 
 fn u32_col(payload: &[u8], offset: usize, n: usize) -> Vec<u32> {

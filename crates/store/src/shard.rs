@@ -602,7 +602,7 @@ pub fn load_graph_sharded(path: impl AsRef<Path>) -> Result<NetflowGraph, StoreE
             match r.chunks()[idx].kind {
                 ChunkKind::Vertex => ips.extend(r.read_vertex_batch(idx)?),
                 ChunkKind::Edge => edges.push(idx),
-                ChunkKind::Flow => {
+                ChunkKind::Flow | ChunkKind::LabeledFlow => {
                     return Err(corrupt(r.chunks()[idx].offset, "flow chunk in a graph store"))
                 }
             }
@@ -627,6 +627,82 @@ pub fn load_graph_sharded(path: impl AsRef<Path>) -> Result<NetflowGraph, StoreE
         return Err(corrupt(0, "edge endpoint out of vertex range"));
     }
     Ok(NetflowGraph::from_parts(ips, src, dst, props))
+}
+
+/// Writes labeled flows as a sharded flow store: a shard-set manifest at
+/// `path` with `shards` flow-store shard files beside it, chunks dealt
+/// round-robin. Shard bytes depend only on the flow stream, the shard
+/// count, the chunk size, and the compression mode.
+pub fn save_labeled_flows_sharded(
+    path: impl AsRef<Path>,
+    flows: &[csb_net::LabeledFlow],
+    shards: usize,
+    compression: Compression,
+    chunk_records: usize,
+) -> Result<(), StoreError> {
+    assert!(shards > 0, "need at least one shard");
+    let _span = csb_obs::span_cat("store.save_flows_sharded", "store");
+    let path = path.as_ref();
+    let names = shard_file_names(path, shards);
+    let manifest = ShardSetManifest { kind: FileKind::Flows, shards: names };
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    let mut sinks = Vec::with_capacity(shards);
+    for name in &manifest.shards {
+        sinks.push(
+            crate::sink::LabeledFlowStoreSink::create_with(dir.join(name), compression)?
+                .with_chunk_records(chunk_records.max(1)),
+        );
+    }
+    // Deal whole chunks round-robin; each shard sink's chunk size equals the
+    // deal size, so shard chunk boundaries match the logical ones.
+    for (i, chunk) in flows.chunks(chunk_records.max(1)).enumerate() {
+        use crate::sink::LabeledFlowSink as _;
+        sinks[i % shards].push_labeled(chunk)?;
+    }
+    for sink in sinks {
+        sink.finish()?;
+    }
+    manifest.save(path)
+}
+
+/// Reconstructs the labeled flow list behind a flow shard-set manifest,
+/// replaying the round-robin chunk order.
+pub fn load_labeled_flows_sharded(
+    path: impl AsRef<Path>,
+) -> Result<Vec<csb_net::LabeledFlow>, StoreError> {
+    let manifest = ShardSetManifest::load(&path)?;
+    if manifest.kind != FileKind::Flows {
+        return Err(corrupt(12, "not a flow shard set"));
+    }
+    let mut readers = Vec::with_capacity(manifest.shards.len());
+    for p in manifest.shard_paths(&path) {
+        readers.push(StoreReader::open(p)?);
+    }
+    let mut chunk_lists: Vec<Vec<usize>> = Vec::with_capacity(readers.len());
+    for r in &mut readers {
+        let mut chunks = Vec::new();
+        for idx in 0..r.chunks().len() {
+            match r.chunks()[idx].kind {
+                ChunkKind::Flow | ChunkKind::LabeledFlow => chunks.push(idx),
+                k => {
+                    return Err(corrupt(
+                        r.chunks()[idx].offset,
+                        format!("{k:?} chunk in a flow shard set"),
+                    ))
+                }
+            }
+        }
+        chunk_lists.push(chunks);
+    }
+    let counts: Vec<usize> = chunk_lists.iter().map(Vec::len).collect();
+    let total = check_round_robin(&counts)?;
+    let shards = readers.len();
+    let mut flows = Vec::new();
+    for i in 0..total {
+        let (s, p) = (i % shards, i / shards);
+        flows.extend(readers[s].read_labeled_flow_batch(chunk_lists[s][p])?);
+    }
+    Ok(flows)
 }
 
 /// Per-shard durable state inside a [`ShardedCheckpointManifest`].

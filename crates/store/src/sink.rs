@@ -13,6 +13,7 @@ use crate::write::StoreWriter;
 use csb_graph::graph::VertexId;
 use csb_graph::{EdgeProperties, NetflowGraph};
 use csb_net::flow::FlowRecord;
+use csb_net::LabeledFlow;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -83,6 +84,12 @@ impl<S: EdgeSink + ?Sized> EdgeSink for &mut S {
 pub trait FlowSink {
     /// Appends flow records.
     fn push_flows(&mut self, flows: &[FlowRecord]) -> Result<(), StoreError>;
+}
+
+/// Receives ground-truth-labeled NetFlow records as a stream of batches.
+pub trait LabeledFlowSink {
+    /// Appends labeled flow records.
+    fn push_labeled(&mut self, flows: &[LabeledFlow]) -> Result<(), StoreError>;
 }
 
 pub(crate) fn encode_edge_chunk(src: &[u32], dst: &[u32], props: &[EdgeProperties]) -> Vec<u8> {
@@ -162,6 +169,20 @@ fn encode_flow_chunk(flows: &[FlowRecord]) -> Vec<u8> {
     for f in flows {
         payload.extend_from_slice(&f.first_ts_micros.to_le_bytes());
     }
+    payload
+}
+
+fn encode_labeled_flow_chunk(flows: &[LabeledFlow]) -> Vec<u8> {
+    // The labeled schema is the flow schema plus three trailing label
+    // columns, so the flow encoder produces the payload prefix verbatim.
+    let base: Vec<FlowRecord> = flows.iter().map(|l| l.flow).collect();
+    let mut payload = encode_flow_chunk(&base);
+    payload.reserve(flows.len() * 6);
+    for l in flows {
+        payload.extend_from_slice(&l.label.campaign.to_le_bytes());
+    }
+    payload.extend(flows.iter().map(|l| l.label.stage));
+    payload.extend(flows.iter().map(|l| l.label.class.code()));
     payload
 }
 
@@ -412,6 +433,87 @@ impl<W: Write> FlowSink for FlowStoreSink<W> {
     }
 }
 
+/// A [`LabeledFlowSink`] writing labeled flow chunks to `W`. The file is a
+/// regular flow store (`FileKind::Flows`) whose chunks carry the labeled
+/// schema, so unlabeled readers still load it (labels dropped).
+#[derive(Debug)]
+pub struct LabeledFlowStoreSink<W: Write> {
+    writer: StoreWriter<W>,
+    compression: Compression,
+    chunk_records: usize,
+    flows: Vec<LabeledFlow>,
+}
+
+impl LabeledFlowStoreSink<BufWriter<File>> {
+    /// Creates a labeled flow store file at `path` with the given
+    /// compression.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        compression: Compression,
+    ) -> Result<Self, StoreError> {
+        let writer = StoreWriter::create_with(path, FileKind::Flows, version_for(compression))?;
+        Ok(LabeledFlowStoreSink {
+            writer,
+            compression,
+            chunk_records: CHUNK_RECORDS,
+            flows: Vec::new(),
+        })
+    }
+}
+
+impl<W: Write> LabeledFlowStoreSink<W> {
+    /// Starts a labeled flow store stream on `w` with the given compression.
+    pub fn new_with(w: W, compression: Compression) -> Result<Self, StoreError> {
+        let writer = StoreWriter::new_with(w, FileKind::Flows, version_for(compression))?;
+        Ok(LabeledFlowStoreSink {
+            writer,
+            compression,
+            chunk_records: CHUNK_RECORDS,
+            flows: Vec::new(),
+        })
+    }
+
+    /// Overrides the chunk size.
+    pub fn with_chunk_records(mut self, records: usize) -> Self {
+        self.chunk_records = records.max(1);
+        self
+    }
+
+    /// Flushes the partial buffer and seals the file.
+    pub fn finish(mut self) -> Result<W, StoreError> {
+        if !self.flows.is_empty() {
+            let payload = encode_labeled_flow_chunk(&self.flows);
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::LabeledFlow,
+                self.flows.len() as u64,
+                &payload,
+            )?;
+        }
+        self.writer.finish()
+    }
+}
+
+impl<W: Write> LabeledFlowSink for LabeledFlowStoreSink<W> {
+    fn push_labeled(&mut self, flows: &[LabeledFlow]) -> Result<(), StoreError> {
+        self.flows.extend_from_slice(flows);
+        while self.flows.len() >= self.chunk_records {
+            let rest = self.flows.split_off(self.chunk_records);
+            let chunk = std::mem::replace(&mut self.flows, rest);
+            let payload = encode_labeled_flow_chunk(&chunk);
+            write_sink_chunk(
+                &mut self.writer,
+                self.compression,
+                ChunkKind::LabeledFlow,
+                chunk.len() as u64,
+                &payload,
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// An [`EdgeSink`] accumulating in memory — the reference target the store
 /// sinks are tested against, and the adapter that lets streaming generators
 /// serve callers who want a [`NetflowGraph`].
@@ -496,7 +598,35 @@ pub fn save_flows(path: impl AsRef<Path>, flows: &[FlowRecord]) -> Result<(), St
     Ok(())
 }
 
-/// Loads the flow store file at `path`.
+/// Loads the flow store at `path` — a plain store file or a shard-set
+/// manifest, told apart by magic. Labels, if present, are dropped.
 pub fn load_flows(path: impl AsRef<Path>) -> Result<Vec<FlowRecord>, StoreError> {
-    StoreReader::open(path)?.load_flows()
+    if crate::shard::is_shard_set(&path)? {
+        Ok(crate::shard::load_labeled_flows_sharded(path)?.into_iter().map(|l| l.flow).collect())
+    } else {
+        StoreReader::open(path)?.load_flows()
+    }
+}
+
+/// Writes labeled flows as a flow store file at `path` with the given
+/// compression.
+pub fn save_labeled_flows(
+    path: impl AsRef<Path>,
+    flows: &[LabeledFlow],
+    compression: Compression,
+) -> Result<(), StoreError> {
+    let mut sink = LabeledFlowStoreSink::create_with(path, compression)?;
+    sink.push_labeled(flows)?;
+    sink.finish()?;
+    Ok(())
+}
+
+/// Loads the labeled flow store at `path` — a plain store file or a
+/// shard-set manifest. Plain v1 flow stores load as all-benign.
+pub fn load_labeled_flows(path: impl AsRef<Path>) -> Result<Vec<LabeledFlow>, StoreError> {
+    if crate::shard::is_shard_set(&path)? {
+        crate::shard::load_labeled_flows_sharded(path)
+    } else {
+        StoreReader::open(path)?.load_labeled_flows()
+    }
 }

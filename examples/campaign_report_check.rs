@@ -1,0 +1,116 @@
+//! Schema check for `csb campaign --report` scorecards — the machine-readable
+//! side of the labeled-campaign pipeline. CI runs it right after the campaign
+//! smoke step:
+//!
+//! ```text
+//! cargo run --release --example campaign_report_check -- report.json 0.5 0.3
+//! ```
+//!
+//! It parses the report with the in-tree JSON reader and asserts the contract
+//! consumers rely on: the envelope fields, confusion-matrix counts that add up
+//! (every flow scored exactly once, labeled flows = tp + fn), scores in
+//! [0, 1], and one per-stage row per (campaign, stage) with a known attack
+//! class whose flow counts sum back to the labeled total. The optional second
+//! and third arguments are hard floors on precision and recall — the CI smoke
+//! uses them to assert the detector actually catches its loud fixed-seed
+//! campaigns, not just that a well-formed report landed. Exit code 0 means
+//! the report honors the contract; any violation panics with the offending
+//! field.
+
+use csb::obs::json::{parse_json, JsonValue};
+
+/// The KDD class names campaign stages can map to (benign rows are `normal`
+/// and never appear in the per-stage breakdown).
+const STAGE_CLASSES: [&str; 4] = ["probe", "r2l", "c2", "exfil"];
+
+fn str_field<'a>(obj: &'a JsonValue, key: &str) -> &'a str {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("missing string field {key:?}"))
+}
+
+fn u64_field(obj: &JsonValue, key: &str) -> u64 {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing integer field {key:?}"))
+}
+
+fn score_field(obj: &JsonValue, key: &str) -> f64 {
+    let s = obj
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("missing score field {key:?}"));
+    assert!((0.0..=1.0).contains(&s), "score {key:?} = {s} outside [0, 1]");
+    s
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "campaign-report.json".to_string());
+    let min_precision: f64 = args.next().map(|a| a.parse().expect("min precision")).unwrap_or(0.0);
+    let min_recall: f64 = args.next().map(|a| a.parse().expect("min recall")).unwrap_or(0.0);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read campaign report {path:?}: {e}"));
+    let report = parse_json(&text).expect("campaign report is valid JSON");
+
+    // Envelope.
+    assert_eq!(str_field(&report, "report"), "campaign", "report kind");
+    assert_eq!(u64_field(&report, "version"), 1, "schema version");
+    u64_field(&report, "seed");
+    let campaigns = u64_field(&report, "campaigns");
+    assert!(campaigns > 0, "campaigns must be positive");
+    assert!(u64_field(&report, "packets") > 0, "packets must be positive");
+
+    // Confusion matrix: every flow scored exactly once, ground truth adds up.
+    let flows = u64_field(&report, "flows");
+    let labeled = u64_field(&report, "labeled_flows");
+    let (tp, fp) = (u64_field(&report, "tp"), u64_field(&report, "fp"));
+    let (fneg, tn) = (u64_field(&report, "fn"), u64_field(&report, "tn"));
+    assert!(flows > 0, "flows must be positive");
+    assert!(labeled > 0, "a campaign run must label flows");
+    assert!(labeled < flows, "benign flows must be present alongside labeled ones");
+    assert_eq!(tp + fp + fneg + tn, flows, "confusion matrix must cover every flow once");
+    assert_eq!(tp + fneg, labeled, "tp + fn must equal the labeled ground truth");
+    u64_field(&report, "detections");
+
+    let precision = score_field(&report, "precision");
+    let recall = score_field(&report, "recall");
+    score_field(&report, "f1");
+    assert!(
+        precision >= min_precision,
+        "precision {precision} below the required floor {min_precision}"
+    );
+    assert!(recall >= min_recall, "recall {recall} below the required floor {min_recall}");
+
+    // Per-stage rows: known classes, detected <= flows, no duplicate
+    // (campaign, stage) key, and the stage totals sum back to the labeled
+    // ground truth — the breakdown must be a partition, not a sample.
+    let stages = report.get("stages").and_then(JsonValue::as_arr).expect("stages array");
+    assert!(!stages.is_empty(), "stages breakdown is empty");
+    let mut seen: Vec<(u64, u64)> = Vec::new();
+    let mut stage_total = 0;
+    for row in stages {
+        let campaign = u64_field(row, "campaign");
+        let stage = u64_field(row, "stage");
+        assert!(
+            campaign >= 1 && campaign <= campaigns,
+            "stage row campaign {campaign} out of range"
+        );
+        let key = (campaign, stage);
+        assert!(!seen.contains(&key), "duplicate stage row {key:?}");
+        seen.push(key);
+        let class = str_field(row, "class");
+        assert!(STAGE_CLASSES.contains(&class), "unknown stage class {class:?}");
+        let row_flows = u64_field(row, "flows");
+        let detected = u64_field(row, "detected");
+        assert!(row_flows > 0, "stage row {key:?} has zero flows");
+        assert!(detected <= row_flows, "stage row {key:?} detected more flows than it has");
+        stage_total += row_flows;
+    }
+    assert_eq!(stage_total, labeled, "per-stage flow counts must sum to labeled_flows");
+
+    println!(
+        "campaign report {path} ok: {campaigns} campaign(s), {labeled}/{flows} flows labeled, \
+         precision {precision:.3} recall {recall:.3}"
+    );
+}
